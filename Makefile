@@ -1,0 +1,27 @@
+# Convenience targets for the TLC reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench examples figures clean
+
+install:
+	pip install -e .
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	@for script in examples/*.py; do \
+		echo "== $$script =="; \
+		$(PYTHON) $$script || exit 1; \
+	done
+
+figures:
+	$(PYTHON) -m repro run all
+
+clean:
+	rm -rf .pytest_cache benchmarks/results
+	find . -name __pycache__ -type d -exec rm -rf {} +

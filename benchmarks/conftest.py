@@ -1,0 +1,28 @@
+"""Benchmark harness helpers.
+
+Every bench regenerates one table or figure from the paper's §7 and
+emits the rows/series both to stdout (live, bypassing capture) and to
+``benchmarks/results/<name>.txt`` so runs leave artifacts behind.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture()
+def emit(capsys):
+    """Return a function that prints a report and persists it."""
+
+    def _emit(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        with capsys.disabled():
+            print(f"\n===== {name} =====")
+            print(text)
+
+    return _emit

@@ -1,0 +1,74 @@
+"""Ablation: §8's deployment-incentive claim, quantified.
+
+"If operator A deploys TLC but operator B does not, B's user may switch
+to A to avoid over-billing and thus lead to B's revenue loss.  This
+strategy is effective for the prepaid edge/IoT users or MVNOs, whose
+monthly user churn rate can be up to 25%."
+
+The bench runs the churn market model at the paper's 25% churn with the
+measured over-billing ratios (TLC ~2% record error vs legacy gaps from
+the Figure 13 sweep) and reports the share trajectory.
+"""
+
+from repro.economics.adoption import AdoptionModel, OperatorProfile
+from repro.experiments.report import render_table
+
+# Over-billing users experience, from this repo's measured Table 2 /
+# Figure 13 numbers: TLC residual ~2%; legacy under mixed congestion ~10%.
+TLC_RESIDUAL = 0.02
+LEGACY_GAP = 0.10
+CHURN = 0.25  # the paper's prepaid/MVNO churn ceiling
+
+
+def run_model():
+    model = AdoptionModel(
+        [
+            OperatorProfile("operator-A (TLC)", True, TLC_RESIDUAL),
+            OperatorProfile("operator-B (legacy)", False, LEGACY_GAP),
+        ],
+        churn_propensity=CHURN,
+    )
+    trajectory = []
+    state = model.uniform_start()
+    for month in range(0, 25):
+        if month % 6 == 0:
+            trajectory.append((month, dict(state.shares)))
+        state = model.step(state)
+    steady = model.steady_state()
+    return trajectory, steady
+
+
+def test_ablation_adoption(benchmark, emit):
+    trajectory, steady = benchmark.pedantic(
+        run_model, rounds=1, iterations=1
+    )
+
+    rows = [
+        [
+            f"{month}",
+            f"{shares['operator-A (TLC)']:.1%}",
+            f"{shares['operator-B (legacy)']:.1%}",
+        ]
+        for month, shares in trajectory
+    ]
+    rows.append(
+        [
+            "steady",
+            f"{steady.share_of('operator-A (TLC)'):.1%}",
+            f"{steady.share_of('operator-B (legacy)'):.1%}",
+        ]
+    )
+    emit(
+        "ablation_adoption",
+        render_table(["month", "A (TLC) share", "B (legacy) share"], rows),
+    )
+
+    # The TLC operator strictly gains share, month over month.
+    shares = [s["operator-A (TLC)"] for _m, s in trajectory]
+    assert shares == sorted(shares)
+    assert shares[0] == 0.5
+    # After two years it holds a clear majority; at steady state the
+    # advantage persists (both operators keep *some* users because the
+    # churn pool redistributes by trust, not winner-take-all).
+    assert shares[-1] > 0.6
+    assert steady.share_of("operator-A (TLC)") > 0.55

@@ -1,0 +1,71 @@
+"""Ablation: RSA key size vs PoC cost.
+
+The paper fixes RSA-1024.  This ablation sweeps the modulus size and
+measures what actually changes: signature length (hence message sizes
+would change on the wire) and live sign/verify latency on this host.
+"""
+
+import random
+import time
+
+from repro.crypto.rsa import generate_keypair
+from repro.crypto.signing import sign, verify
+from repro.experiments.report import render_table
+
+KEY_SIZES = (512, 1024, 2048)
+
+
+def run_sweep():
+    rows = []
+    for bits in KEY_SIZES:
+        keys = generate_keypair(bits, random.Random(bits))
+        message = b"charging-claim" * 4
+        t0 = time.perf_counter()
+        n_sign = 20
+        for _ in range(n_sign):
+            signature = sign(keys.private, message)
+        sign_ms = (time.perf_counter() - t0) / n_sign * 1e3
+        t0 = time.perf_counter()
+        n_verify = 200
+        for _ in range(n_verify):
+            assert verify(keys.public, message, signature)
+        verify_ms = (time.perf_counter() - t0) / n_verify * 1e3
+        rows.append(
+            {
+                "bits": bits,
+                "signature_bytes": len(signature),
+                "sign_ms": sign_ms,
+                "verify_ms": verify_ms,
+            }
+        )
+    return rows
+
+
+def test_ablation_keysize(benchmark, emit):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    emit(
+        "ablation_keysize",
+        render_table(
+            ["RSA bits", "signature bytes", "sign ms", "verify ms"],
+            [
+                [
+                    r["bits"],
+                    r["signature_bytes"],
+                    f"{r['sign_ms']:.3f}",
+                    f"{r['verify_ms']:.4f}",
+                ]
+                for r in rows
+            ],
+        ),
+    )
+
+    by_bits = {r["bits"]: r for r in rows}
+    # Signature length is the modulus length: it drives message sizes.
+    assert by_bits[512]["signature_bytes"] == 64
+    assert by_bits[1024]["signature_bytes"] == 128
+    assert by_bits[2048]["signature_bytes"] == 256
+    # Signing cost grows superlinearly with the modulus.
+    assert by_bits[2048]["sign_ms"] > 2 * by_bits[1024]["sign_ms"]
+    # Verification stays cheap (e = 65537) at every size.
+    assert by_bits[2048]["verify_ms"] < by_bits[2048]["sign_ms"]

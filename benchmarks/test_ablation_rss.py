@@ -1,0 +1,46 @@
+"""Ablation: signal strength vs charging gap (§7.1's RSS dimension).
+
+Shape: weaker RSS means higher residual air loss, so the legacy gap
+ratio climbs as the device walks toward the cell edge; TLC-optimal stays
+at record-error level through the whole [-95, -110] dBm range.
+"""
+
+from repro.experiments.report import render_table
+from repro.experiments.rss_sweep import rss_sweep
+
+
+def run_sweep():
+    return rss_sweep(
+        rss_values_dbm=(-95.0, -103.0, -110.0),
+        seeds=(1, 2, 3),
+        cycle_duration=30.0,
+    )
+
+
+def test_ablation_rss(benchmark, emit):
+    points = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    emit(
+        "ablation_rss",
+        render_table(
+            ["RSS dBm", "loss", "legacy ε", "TLC-optimal ε"],
+            [
+                [
+                    f"{p.rss_dbm:.0f}",
+                    f"{p.loss_fraction:.1%}",
+                    f"{p.legacy_gap_ratio:.1%}",
+                    f"{p.tlc_optimal_gap_ratio:.1%}",
+                ]
+                for p in points
+            ],
+        ),
+    )
+
+    # Loss and the legacy gap grow as the signal weakens.
+    losses = [p.loss_fraction for p in points]
+    assert losses == sorted(losses)
+    assert points[-1].legacy_gap_ratio > 2 * points[0].legacy_gap_ratio
+    # TLC stays at record-error level everywhere.
+    for p in points:
+        assert p.tlc_optimal_gap_ratio < 0.05
+        assert p.tlc_optimal_gap_ratio < p.legacy_gap_ratio

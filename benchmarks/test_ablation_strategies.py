@@ -1,0 +1,111 @@
+"""Ablation: the strategy cross-matrix Theorem 4's caveat hints at.
+
+Runs Algorithm 1 over every pairing of {honest, optimal, random} edge and
+operator strategies on the same records, reporting the converged volume,
+its deviation from x̂, and the round count.  Expected shape: every
+rational/honest pairing stays within Theorem 2's bounds; optimal-optimal
+and honest-honest hit x̂ exactly in one round; mixed pairings may deviate
+from x̂ but never leave [x̂o, x̂e].
+"""
+
+import random
+import statistics
+
+from repro.charging.cycle import ChargingCycle
+from repro.core.cancellation import negotiate
+from repro.core.plan import DataPlan
+from repro.core.records import GroundTruth, UsageView
+from repro.core.strategies import (
+    HonestStrategy,
+    OptimalStrategy,
+    RandomSelfishStrategy,
+    Role,
+)
+from repro.experiments.report import render_table
+
+MB = 1_000_000
+TRUTH = GroundTruth(sent=1000 * MB, received=920 * MB)
+PLAN = DataPlan(
+    cycle=ChargingCycle(index=0, start=0.0, end=3600.0), loss_weight=0.5
+)
+
+
+def make_strategy(kind, role, seed):
+    view = UsageView.exact(TRUTH)
+    if kind == "honest":
+        return HonestStrategy(role, view)
+    if kind == "optimal":
+        return OptimalStrategy(role, view)
+    return RandomSelfishStrategy(role, view, random.Random(seed))
+
+
+def run_matrix():
+    kinds = ("honest", "optimal", "random")
+    cells = []
+    for edge_kind in kinds:
+        for operator_kind in kinds:
+            volumes, rounds = [], []
+            for seed in range(12):
+                result = negotiate(
+                    make_strategy(edge_kind, Role.EDGE, seed),
+                    make_strategy(
+                        operator_kind, Role.OPERATOR, seed + 100
+                    ),
+                    PLAN,
+                )
+                if result.converged:
+                    volumes.append(result.volume)
+                    rounds.append(result.rounds)
+            cells.append(
+                {
+                    "edge": edge_kind,
+                    "operator": operator_kind,
+                    "mean_volume": statistics.mean(volumes),
+                    "mean_rounds": statistics.mean(rounds),
+                    "converged": len(volumes),
+                }
+            )
+    return cells
+
+
+def test_ablation_strategies(benchmark, emit):
+    cells = benchmark.pedantic(run_matrix, rounds=1, iterations=1)
+    fair = TRUTH.fair_volume(PLAN.c)
+
+    emit(
+        "ablation_strategies",
+        render_table(
+            ["edge", "operator", "mean x (MB)", "x−x̂ (MB)", "rounds"],
+            [
+                [
+                    c["edge"],
+                    c["operator"],
+                    f"{c['mean_volume'] / MB:.1f}",
+                    f"{(c['mean_volume'] - fair) / MB:+.1f}",
+                    f"{c['mean_rounds']:.1f}",
+                ]
+                for c in cells
+            ],
+        )
+        + f"\nfair volume x̂ = {fair / MB:.1f} MB",
+    )
+
+    by_pair = {(c["edge"], c["operator"]): c for c in cells}
+    # Deterministic pairings hit x̂ exactly in one round.
+    for pair in (("honest", "honest"), ("optimal", "optimal")):
+        cell = by_pair[pair]
+        assert abs(cell["mean_volume"] - fair) < 1.0
+        assert cell["mean_rounds"] == 1.0
+    # Theorem 2 bounds hold (up to the random strategy's overshoot) for
+    # every pairing that converged.
+    for cell in cells:
+        assert cell["converged"] >= 10
+        assert (
+            TRUTH.received * 0.95
+            <= cell["mean_volume"]
+            <= TRUTH.sent * 1.05
+        )
+    # Mixed honest/rational pairings deviate from x̂ in the rational
+    # party's favour (Theorem 4's caveat).
+    assert by_pair[("optimal", "honest")]["mean_volume"] <= fair + 1.0
+    assert by_pair[("honest", "optimal")]["mean_volume"] >= fair - 1.0

@@ -1,0 +1,63 @@
+"""Ablation: UDP vs TCP-like transport under identical loss (§3.1).
+
+Shape: UDP never recovers, so its delivery ratio ~ (1 - loss) and its
+record gap ~ loss x volume; the TCP-like transport delivers ~everything
+but pays for retransmissions (the gateway charges them), so its
+*overcharge per delivered byte* is nonzero — the cause-4 effect.
+"""
+
+from repro.experiments.report import render_table
+from repro.experiments.transport_comparison import compare_transports
+
+LOSS_RATE = 0.10
+
+
+def run_comparison():
+    return compare_transports(seed=3, loss_rate=LOSS_RATE, duration=30.0)
+
+
+def test_ablation_transport(benchmark, emit):
+    udp, tcp = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+
+    emit(
+        "ablation_transport",
+        render_table(
+            [
+                "transport",
+                "offered B",
+                "charged B",
+                "delivered B",
+                "delivery",
+                "record gap B",
+                "retx B",
+            ],
+            [
+                [
+                    o.transport,
+                    o.app_bytes_offered,
+                    o.gateway_charged,
+                    o.device_received,
+                    f"{o.delivery_ratio:.1%}",
+                    o.record_gap,
+                    o.retransmitted_bytes,
+                ]
+                for o in (udp, tcp)
+            ],
+        ),
+    )
+
+    # UDP: loses ~the loss rate, never retransmits.
+    assert 1 - udp.delivery_ratio > LOSS_RATE * 0.5
+    assert udp.retransmitted_bytes == 0
+    assert udp.record_gap > 0
+
+    # TCP-like: recovers nearly everything...
+    assert tcp.delivery_ratio > 0.97
+    # ...but the network charges the retransmissions (over-charging).
+    assert tcp.retransmitted_bytes > 0
+    assert tcp.gateway_charged > tcp.app_bytes_offered
+    assert tcp.overcharge_ratio > 0.03
+
+    # The headline: the edge's UDP gap is the delivery shortfall, while
+    # TCP's "gap" is pure retransmission overhead.
+    assert udp.device_received < tcp.device_received

@@ -1,0 +1,80 @@
+"""Appendix D: the generic-charging over-charge bound.
+
+Sweeps Internet-segment and RAN-segment loss and verifies that TLC's
+over-charge in the generic setting equals c x (server-to-core loss) —
+bounded — while legacy 4G/5G's over-charge tracks the full weighted RAN
+loss and is unbounded in the selfish case.
+"""
+
+from repro.core.generic import (
+    GenericChargingOutcome,
+    GenericPathTruth,
+    appendix_d_bound_holds,
+)
+from repro.experiments.report import render_table
+
+MB = 1_000_000
+
+
+def run_sweep():
+    rows = []
+    for internet_loss in (0.0, 0.02, 0.05, 0.10):
+        for ran_loss in (0.02, 0.08, 0.20):
+            internet_sent = 1000 * MB
+            core = internet_sent * (1 - internet_loss)
+            device = core * (1 - ran_loss)
+            truth = GenericPathTruth(
+                internet_sent=internet_sent,
+                core_received=core,
+                device_received=device,
+            )
+            outcome = GenericChargingOutcome(truth=truth, c=0.5)
+            rows.append(
+                {
+                    "internet_loss": internet_loss,
+                    "ran_loss": ran_loss,
+                    "truth": truth,
+                    "outcome": outcome,
+                }
+            )
+    return rows
+
+
+def test_appendixd_generic_bound(benchmark, emit):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    emit(
+        "appendixd_generic_bound",
+        render_table(
+            [
+                "internet loss",
+                "RAN loss",
+                "TLC overcharge MB",
+                "bound MB",
+                "legacy overcharge MB",
+            ],
+            [
+                [
+                    f"{r['internet_loss']:.0%}",
+                    f"{r['ran_loss']:.0%}",
+                    f"{r['outcome'].tlc_overcharge / MB:.1f}",
+                    f"{r['truth'].overcharge_bound(0.5) / MB:.1f}",
+                    f"{r['outcome'].legacy_overcharge / MB:.1f}",
+                ]
+                for r in rows
+            ],
+        ),
+    )
+
+    for r in rows:
+        truth, outcome = r["truth"], r["outcome"]
+        # The bound is met with equality (Appendix D).
+        assert appendix_d_bound_holds(truth, 0.5)
+        assert outcome.tlc_overcharge <= truth.overcharge_bound(0.5) + 1e-6
+        # With no Internet loss, TLC is exact regardless of RAN loss.
+        if r["internet_loss"] == 0.0:
+            assert abs(outcome.tlc_overcharge) < 1e-6
+        # Whenever the RAN leg is lossier than the Internet leg, TLC
+        # over-charges strictly less than legacy.
+        if r["ran_loss"] > r["internet_loss"]:
+            assert outcome.tlc_overcharge < outcome.legacy_overcharge

@@ -1,0 +1,55 @@
+"""Figure 3: record gap per hour (MB) vs background traffic.
+
+Paper series: WebCam (RTSP, UL), WebCam (UDP, UL), VRidge (GVSP, DL) at
+RSS >= -95 dBm with 0-160 Mbps iperf UDP background.  Shape to hold: the
+gap grows with the congestion level for every app, reaching hundreds of
+MB/hr for the VR stream at saturation.
+"""
+
+from repro.experiments.congestion import (
+    FIG3_APPS,
+    PAPER_BACKGROUND_SWEEP_BPS,
+    congestion_sweep,
+)
+from repro.experiments.report import render_table
+
+
+def run_sweep():
+    return congestion_sweep(
+        apps=FIG3_APPS,
+        backgrounds_bps=PAPER_BACKGROUND_SWEEP_BPS,
+        seeds=(1, 2),
+        cycle_duration=30.0,
+    )
+
+
+def test_fig03_congestion_gap(benchmark, emit):
+    points = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    rows = [
+        [
+            point.app,
+            f"{point.background_bps / 1e6:.0f} Mbps",
+            f"{point.record_gap_mb_per_hr:.1f}",
+            f"{point.loss_fraction:.1%}",
+        ]
+        for point in points
+    ]
+    emit(
+        "fig03_congestion_gap",
+        render_table(
+            ["app", "background", "record gap (MB/hr)", "loss"], rows
+        ),
+    )
+
+    # Shape check: monotone-ish growth from calm to saturated for each app.
+    for app in FIG3_APPS:
+        mine = [p for p in points if p.app == app]
+        assert mine[-1].record_gap_mb_per_hr > 2 * mine[0].record_gap_mb_per_hr
+    # VR (9 Mbps) has by far the largest absolute gap at saturation.
+    vr_saturated = next(
+        p
+        for p in points
+        if p.app == "vridge" and p.background_bps == 160e6
+    )
+    assert vr_saturated.record_gap_mb_per_hr > 300

@@ -1,0 +1,48 @@
+"""Figure 12: CDFs of the charging gap per hour, per app, per scheme.
+
+Four panels (RTSP webcam UL, UDP webcam UL, VRidge DL, gaming QCI=7 DL)
+at c = 0.5 over the mixed congestion/intermittency dataset.  Shape to
+hold: TLC-optimal's CDF sits far left of TLC-random, which sits left of
+legacy, in every panel.
+"""
+
+from repro.experiments.overall import (
+    ALL_APPS,
+    gap_cdf_series,
+    overall_dataset,
+)
+from repro.experiments.report import cdf_summary, percentile
+
+
+def run_dataset():
+    return overall_dataset(
+        apps=ALL_APPS,
+        conditions=((0.0, 0.0), (120e6, 0.02), (160e6, 0.05)),
+        seeds=(1, 2),
+        cycle_duration=30.0,
+    )
+
+
+def test_fig12_gap_cdf(benchmark, emit):
+    outcomes = benchmark.pedantic(run_dataset, rounds=1, iterations=1)
+
+    lines = []
+    for app in ALL_APPS:
+        series = gap_cdf_series(outcomes, app)
+        lines.append(f"--- {app} (gap MB/hr) ---")
+        for scheme in ("legacy", "tlc-random", "tlc-optimal"):
+            lines.append(cdf_summary(scheme, series[scheme], unit="MB"))
+    emit("fig12_gap_cdf", "\n".join(lines))
+
+    # Shape: optimal < random < legacy at the median, for streaming apps.
+    for app in ("webcam-rtsp", "webcam-udp", "vridge"):
+        series = gap_cdf_series(outcomes, app)
+        optimal_med = percentile(series["tlc-optimal"], 50)
+        random_med = percentile(series["tlc-random"], 50)
+        legacy_med = percentile(series["legacy"], 50)
+        assert optimal_med < legacy_med
+        assert random_med < legacy_med
+    # Gaming's legacy gap is already tiny (QCI=7); TLC keeps it small.
+    gaming = gap_cdf_series(outcomes, "gaming")
+    assert percentile(gaming["legacy"], 50) < 3.0
+    assert percentile(gaming["tlc-optimal"], 50) < 3.0

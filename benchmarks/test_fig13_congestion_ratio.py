@@ -1,0 +1,61 @@
+"""Figure 13: gap ratio (%) vs congestion, per app, three schemes.
+
+Shape to hold: legacy's ratio climbs with the background load (up to
+tens of percent at saturation); TLC-optimal stays flat at record-error
+level; TLC-random sits in between; the QCI=7 gaming panel stays nearly
+flat even for legacy.
+"""
+
+from repro.experiments.congestion import ALL_APPS, congestion_sweep
+from repro.experiments.report import render_table
+
+
+def run_sweep():
+    return congestion_sweep(
+        apps=ALL_APPS,
+        backgrounds_bps=(0.0, 120e6, 160e6),
+        seeds=(1, 2, 3, 4),
+        cycle_duration=30.0,
+    )
+
+
+def test_fig13_congestion_ratio(benchmark, emit):
+    points = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    rows = [
+        [
+            p.app,
+            f"{p.background_bps / 1e6:.0f} Mbps",
+            f"{p.legacy_gap_ratio:.1%}",
+            f"{p.tlc_random_gap_ratio:.1%}",
+            f"{p.tlc_optimal_gap_ratio:.1%}",
+        ]
+        for p in points
+    ]
+    emit(
+        "fig13_congestion_ratio",
+        render_table(
+            ["app", "background", "legacy ε", "random ε", "optimal ε"],
+            rows,
+        ),
+    )
+
+    for app in ("webcam-rtsp", "webcam-udp", "vridge"):
+        mine = [p for p in points if p.app == app]
+        calm, saturated = mine[0], mine[-1]
+        # Legacy climbs steeply with congestion.
+        assert saturated.legacy_gap_ratio > 2 * calm.legacy_gap_ratio
+        assert saturated.legacy_gap_ratio > 0.10
+        # Both TLC variants stay at record-error level throughout,
+        # far below legacy at saturation.
+        assert saturated.tlc_optimal_gap_ratio < 0.04
+        assert saturated.tlc_random_gap_ratio < 0.08
+        assert (
+            saturated.tlc_optimal_gap_ratio < saturated.legacy_gap_ratio
+        )
+        assert (
+            saturated.tlc_random_gap_ratio < saturated.legacy_gap_ratio
+        )
+    # Gaming is shielded by QCI=7: even legacy stays under a few percent.
+    gaming = [p for p in points if p.app == "gaming"]
+    assert all(p.legacy_gap_ratio < 0.05 for p in gaming)

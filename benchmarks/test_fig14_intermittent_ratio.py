@@ -1,0 +1,48 @@
+"""Figure 14: gap ratio vs intermittent disconnectivity ratio η (5-15%).
+
+UDP WebCam streaming.  Shape to hold: legacy's gap ratio grows roughly
+linearly with η; TLC-optimal stays flat; TLC-random in between.
+"""
+
+from repro.experiments.intermittent import intermittent_sweep
+from repro.experiments.report import render_table
+
+
+def run_sweep():
+    return intermittent_sweep(
+        etas=(0.05, 0.09, 0.12, 0.15),
+        seeds=(1, 2, 3),
+        cycle_duration=60.0,
+    )
+
+
+def test_fig14_intermittent_ratio(benchmark, emit):
+    points = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    rows = [
+        [
+            f"{p.disconnectivity_ratio:.0%}",
+            f"{p.legacy_gap_ratio:.1%}",
+            f"{p.tlc_random_gap_ratio:.1%}",
+            f"{p.tlc_optimal_gap_ratio:.1%}",
+        ]
+        for p in points
+    ]
+    emit(
+        "fig14_intermittent_ratio",
+        render_table(["η", "legacy ε", "random ε", "optimal ε"], rows),
+    )
+
+    # Legacy grows with η; the heaviest intermittency at least ~1.5x the
+    # lightest.
+    assert points[-1].legacy_gap_ratio > 1.5 * points[0].legacy_gap_ratio
+    # TLC-optimal flat and small at every η.
+    for p in points:
+        assert p.tlc_optimal_gap_ratio < 0.05
+        assert p.tlc_optimal_gap_ratio < p.legacy_gap_ratio
+    # Random in between at the heavy end.
+    assert (
+        points[-1].tlc_optimal_gap_ratio
+        <= points[-1].tlc_random_gap_ratio
+        <= points[-1].legacy_gap_ratio
+    )

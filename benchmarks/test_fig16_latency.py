@@ -1,0 +1,67 @@
+"""Figure 16: latency friendliness.
+
+(a) RTT through the LTE data path with and without TLC per device
+    (paper: marginal differences — TLC does nothing per-packet inside
+    the cycle).
+(b) Negotiation rounds at cycle end: TLC-optimal always 1 (Theorem 4);
+    TLC-random averages 2.7-4.6 depending on the app.
+"""
+
+from repro.experiments.latency import negotiation_rounds, rtt_comparison
+from repro.experiments.report import render_table
+
+
+def run_experiment():
+    rtts = rtt_comparison(
+        devices=("EL20", "Pixel2XL", "S7Edge"), probes=200
+    )
+    rounds = negotiation_rounds(
+        apps=("webcam-udp", "webcam-rtsp", "gaming", "vridge"),
+        seeds=tuple(range(1, 16)),
+        cycle_duration=20.0,
+    )
+    return rtts, rounds
+
+
+def test_fig16_latency(benchmark, emit):
+    rtts, rounds = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    rtt_table = render_table(
+        ["device", "RTT w/o TLC (ms)", "RTT w/ TLC (ms)", "overhead (ms)"],
+        [
+            [
+                m.device,
+                f"{m.rtt_ms_without_tlc:.1f}",
+                f"{m.rtt_ms_with_tlc:.1f}",
+                f"{m.overhead_ms:+.2f}",
+            ]
+            for m in rtts
+        ],
+    )
+    rounds_table = render_table(
+        ["app", "TLC-optimal rounds", "TLC-random rounds"],
+        [
+            [
+                r.app,
+                f"{r.optimal_rounds_mean:.1f}",
+                f"{r.random_rounds_mean:.1f}",
+            ]
+            for r in rounds
+        ],
+    )
+    emit("fig16_latency", rtt_table + "\n\n" + rounds_table)
+
+    # (a) TLC adds no measurable RTT inside the charging cycle.
+    for m in rtts:
+        assert abs(m.overhead_ms) < 0.5
+        assert m.samples >= 190
+    # Device RTTs track the paper's per-device baselines (18/27/24 ms).
+    by_device = {m.device: m.rtt_ms_without_tlc for m in rtts}
+    assert 14 < by_device["EL20"] < 24
+    assert 22 < by_device["Pixel2XL"] < 33
+    assert 19 < by_device["S7Edge"] < 30
+
+    # (b) optimal is exactly 1 round; random averages in the paper band.
+    for r in rounds:
+        assert r.optimal_rounds_mean == 1.0
+        assert 1.5 < r.random_rounds_mean < 6.5

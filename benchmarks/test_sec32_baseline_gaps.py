@@ -1,0 +1,73 @@
+"""§3.2's headline numbers: good-radio, no-congestion record gaps.
+
+Paper: 8.28 MB/hr (8.3%) for RTSP webcam, 59.04 MB/hr (6.7%) for UDP
+webcam, 80.64 MB/hr (8.0%) for GVSP VR, and per-app usage of
+346.5 MB/hr / 778.5 MB/hr / 4.05 GB/hr.
+"""
+
+import pytest
+
+from repro.experiments.congestion import run_congestion_point
+from repro.experiments.report import render_table
+
+PAPER = {
+    "webcam-rtsp": (8.28, 0.083, 346.5),
+    "webcam-udp": (59.04, 0.067, 778.5),
+    "vridge": (80.64, 0.080, 4050.0),
+}
+
+
+def run_baselines():
+    return {
+        app: run_congestion_point(
+            app, 0.0, seeds=(1, 2, 3), cycle_duration=30.0
+        )
+        for app in PAPER
+    }
+
+
+def test_sec32_baseline_gaps(benchmark, emit):
+    points = benchmark.pedantic(run_baselines, rounds=1, iterations=1)
+
+    rows = []
+    for app, point in points.items():
+        paper_gap, paper_loss, paper_usage = PAPER[app]
+        usage = point.record_gap_mb_per_hr / max(point.loss_fraction, 1e-9)
+        rows.append(
+            [
+                app,
+                f"{point.record_gap_mb_per_hr:.1f}",
+                f"{paper_gap:.1f}",
+                f"{point.loss_fraction:.1%}",
+                f"{paper_loss:.1%}",
+                f"{usage:.0f}",
+                f"{paper_usage:.0f}",
+            ]
+        )
+    emit(
+        "sec32_baseline_gaps",
+        render_table(
+            [
+                "app",
+                "gap MB/hr",
+                "paper",
+                "loss",
+                "paper",
+                "usage MB/hr",
+                "paper",
+            ],
+            rows,
+        ),
+    )
+
+    # Loss fractions calibrated to §3.2 within a couple of points.
+    assert points["webcam-rtsp"].loss_fraction == pytest.approx(
+        0.083, abs=0.025
+    )
+    assert points["webcam-udp"].loss_fraction == pytest.approx(
+        0.067, abs=0.025
+    )
+    assert points["vridge"].loss_fraction == pytest.approx(0.080, abs=0.025)
+    # Absolute gaps track usage x loss: RTSP smallest, VR largest.
+    gaps = {a: p.record_gap_mb_per_hr for a, p in points.items()}
+    assert gaps["webcam-rtsp"] < gaps["webcam-udp"] < gaps["vridge"]

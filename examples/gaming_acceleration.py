@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Online gaming acceleration (§2.2's Tencent use case).
+
+A multiplayer game needs sub-100 ms control latency.  The game SDK asks
+the operator's PCRF for a dedicated QCI=7 session; the network then
+schedules the game's packets ahead of best-effort traffic in a congested
+cell.  The example measures, with and without the acceleration:
+
+- packet delivery through a saturated cell,
+- the charging gap on the game's (tiny but premium-priced) volume,
+- the QoS-weighted bill.
+
+Run:  python examples/gaming_acceleration.py
+"""
+
+from repro.apps.gaming import GamingWorkload
+from repro.experiments.report import render_table
+from repro.lte.network import LteNetwork, LteNetworkConfig
+from repro.net.channel import ChannelConfig
+from repro.net.congestion import CongestionConfig
+from repro.net.packet import Direction
+from repro.sim.events import EventLoop
+from repro.sim.rng import RngStreams
+
+DURATION = 60.0
+BACKGROUND_BPS = 160e6  # a saturated cell
+
+
+def run_session(accelerated: bool, seed: int = 5) -> dict:
+    loop = EventLoop()
+    network = LteNetwork(
+        loop,
+        LteNetworkConfig(
+            channel=ChannelConfig(
+                rss_dbm=-90.0,
+                base_loss_rate=0.01,
+                mean_uptime=float("inf"),
+            ),
+            congestion=CongestionConfig(background_bps=BACKGROUND_BPS),
+            use_pcrf=True,
+        ),
+        RngStreams(seed),
+    )
+    if accelerated:
+        # The game SDK's API call (footnote 2: QCI=3/7 only).
+        network.pcrf.request_gaming_session(
+            "king-of-glory", qci=7, requested_by="tencent-sdk"
+        )
+
+    workload = GamingWorkload(
+        loop, network.send_downlink, RngStreams(seed).stream("game")
+    )
+    workload.start()
+    loop.schedule_at(DURATION, workload.stop, label="stop")
+    loop.run(until=DURATION + 2.0)
+
+    sent = network.true_downlink_sent()
+    received = network.true_downlink_received()
+    qci = network.pcrf.qci_for_flow("king-of-glory")
+    price = network.pcrf.price_multiplier(qci)
+    return {
+        "label": "QCI=7 (accelerated)" if accelerated else "QCI=9 (default)",
+        "qci": qci,
+        "sent": sent,
+        "received": received,
+        "loss": (sent - received) / sent if sent else 0.0,
+        "weighted_volume": network.pcrf.weighted_volume({qci: received}),
+        "price_multiplier": price,
+    }
+
+
+def main() -> None:
+    default = run_session(accelerated=False)
+    accelerated = run_session(accelerated=True)
+
+    print(
+        f"King-of-Glory control stream through a saturated cell "
+        f"({BACKGROUND_BPS / 1e6:.0f} Mbps background):"
+    )
+    print(
+        render_table(
+            [
+                "session",
+                "QCI",
+                "sent B",
+                "delivered B",
+                "loss",
+                "price x",
+                "QoS-weighted bill units",
+            ],
+            [
+                [
+                    r["label"],
+                    r["qci"],
+                    r["sent"],
+                    r["received"],
+                    f"{r['loss']:.1%}",
+                    f"{r['price_multiplier']:.1f}",
+                    f"{r['weighted_volume'] / 1e6:.3f}",
+                ]
+                for r in (default, accelerated)
+            ],
+        )
+    )
+    print(
+        "\nThe dedicated bearer cuts the congestion loss by an order of "
+        "magnitude — smooth player control — in exchange for the "
+        "premium per-byte rate; TLC then keeps the (now premium-priced) "
+        "volume honest."
+    )
+    assert accelerated["loss"] < default["loss"]
+
+
+if __name__ == "__main__":
+    main()

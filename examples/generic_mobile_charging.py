@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Generic mobile data charging (§8 + Appendix D).
+
+When the server is a generic Internet service (not co-located with the
+cellular core), the downlink gains a loss segment the operator never
+meters.  TLC still works, but the user can be over-charged by at most
+c x (the server-to-core loss) — Appendix D's bound — which still beats
+legacy 4G/5G's unbounded over-charging.
+
+This example sweeps the Internet-segment loss and shows the bound.
+
+Run:  python examples/generic_mobile_charging.py
+"""
+
+from repro.core.generic import GenericChargingOutcome, GenericPathTruth
+from repro.experiments.report import render_table
+
+MB = 1_000_000
+
+
+def main() -> None:
+    c = 0.5
+    ran_loss_fraction = 0.06  # the cellular leg loses 6%
+    rows = []
+    for internet_loss_fraction in (0.0, 0.01, 0.03, 0.08):
+        internet_sent = 1000 * MB
+        core_received = internet_sent * (1 - internet_loss_fraction)
+        device_received = core_received * (1 - ran_loss_fraction)
+        truth = GenericPathTruth(
+            internet_sent=internet_sent,
+            core_received=core_received,
+            device_received=device_received,
+        )
+        outcome = GenericChargingOutcome(truth=truth, c=c)
+        rows.append(
+            [
+                f"{internet_loss_fraction:.0%}",
+                f"{outcome.ideal_charged / MB:.1f}",
+                f"{outcome.tlc_charged / MB:.1f}",
+                f"{outcome.tlc_overcharge / MB:.1f}",
+                f"{truth.overcharge_bound(c) / MB:.1f}",
+                f"{outcome.legacy_overcharge / MB:.1f}",
+            ]
+        )
+        assert outcome.tlc_overcharge <= truth.overcharge_bound(c) + 1e-6
+
+    print(
+        f"Generic downlink charging (c={c}, cellular leg loses "
+        f"{ran_loss_fraction:.0%}):"
+    )
+    print(
+        render_table(
+            [
+                "internet loss",
+                "ideal x̂ MB",
+                "TLC x̂' MB",
+                "TLC overcharge",
+                "Appendix D bound",
+                "legacy overcharge",
+            ],
+            rows,
+        )
+    )
+    print(
+        "\nTLC's overcharge tracks c x internet-segment loss exactly "
+        "(the Appendix D bound); legacy's overcharge is the full "
+        "weighted RAN loss regardless."
+    )
+
+
+if __name__ == "__main__":
+    main()

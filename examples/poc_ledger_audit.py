@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""A month of charging receipts, archived and audited (§5.3.4).
+
+Both parties store every cycle's PoC (Algorithm 1 line 9).  Here the
+edge vendor archives 24 hourly receipts into a ledger, persists it, and
+an MVNO-style verification service audits the whole batch — including a
+receipt the operator doctored after the fact and a replayed one.
+
+Run:  python examples/poc_ledger_audit.py
+"""
+
+import random
+
+from repro.charging.cycle import CycleSchedule
+from repro.core.ledger import PocLedger, VerificationService
+from repro.core.messages import ProofOfCharging
+from repro.core.plan import DataPlan
+from repro.core.protocol import NegotiationAgent, run_negotiation
+from repro.core.records import UsageView
+from repro.core.strategies import OptimalStrategy, Role
+from repro.crypto.nonces import NonceFactory
+from repro.crypto.rsa import generate_keypair
+from repro.sim.rng import RngStreams
+
+MB = 1_000_000
+CYCLES = 24
+
+
+def main() -> None:
+    rngs = RngStreams(404)
+    edge_keys = generate_keypair(1024, rngs.stream("edge-key"))
+    operator_keys = generate_keypair(1024, rngs.stream("op-key"))
+    schedule = CycleSchedule(origin=0.0, duration=3600.0)
+    usage_rng = rngs.stream("usage")
+    nonce_factory = NonceFactory(rngs.stream("nonces"))
+
+    ledger = PocLedger()
+    plans = []
+    for index in range(CYCLES):
+        cycle = schedule.cycle(index)
+        plan = DataPlan(cycle=cycle, loss_weight=0.5)
+        plans.append(plan)
+        sent = usage_rng.uniform(800, 1200) * MB
+        received = sent * usage_rng.uniform(0.90, 0.99)
+        view = UsageView(sent_estimate=sent, received_estimate=received)
+        edge = NegotiationAgent(
+            Role.EDGE,
+            OptimalStrategy(Role.EDGE, view),
+            plan,
+            edge_keys.private,
+            operator_keys.public,
+            nonce_factory,
+            app_id="vr-arcade",
+        )
+        operator = NegotiationAgent(
+            Role.OPERATOR,
+            OptimalStrategy(Role.OPERATOR, view),
+            plan,
+            operator_keys.private,
+            edge_keys.public,
+            nonce_factory,
+            app_id="vr-arcade",
+        )
+        outcome = run_negotiation(operator, edge)
+        assert outcome.converged
+        ledger.append("vr-arcade", outcome.poc)
+
+    print(
+        f"archived {len(ledger)} receipts, "
+        f"{ledger.total_volume('vr-arcade') / 1e9:.2f} GB negotiated total"
+    )
+
+    # Persist and reload (a billing dispute months later).
+    ledger.save("/tmp/tlc-ledger.jsonl")
+    reloaded = PocLedger.load("/tmp/tlc-ledger.jsonl")
+    print(f"reloaded {len(reloaded)} receipts from disk")
+
+    # The MVNO audits each cycle against its plan.
+    service = VerificationService()
+    accepted = 0
+    for entry, plan in zip(reloaded.entries_for("vr-arcade"), plans):
+        service.register(
+            "vr-arcade", plan, edge_keys.public, operator_keys.public
+        )
+        accepted += service.verify_entry(entry).ok
+    print(f"audit: {accepted}/{len(reloaded)} receipts verified")
+    assert accepted == CYCLES
+
+    # A doctored receipt (operator inflates a cycle by 20%) is caught.
+    victim = reloaded.entries_for("vr-arcade")[5]
+    doctored_poc = ProofOfCharging(
+        party=victim.poc().party,
+        cycle_start=victim.cycle_start,
+        cycle_end=victim.cycle_end,
+        c=0.5,
+        volume=victim.volume * 1.2,
+        cda=victim.poc().cda,
+        edge_nonce=victim.poc().edge_nonce,
+        operator_nonce=victim.poc().operator_nonce,
+    ).signed(operator_keys.private)
+    doctored = PocLedger()
+    entry = doctored.append("vr-arcade", doctored_poc)
+    # A court examining this one receipt for the first time (fresh
+    # verifier, so the rejection is about the forgery, not a replay).
+    court = VerificationService()
+    court.register(
+        "vr-arcade", plans[5], edge_keys.public, operator_keys.public
+    )
+    result = court.verify_entry(entry)
+    print(f"doctored receipt: ok={result.ok} ({result.reason})")
+    assert not result.ok
+    assert "recomputed" in result.reason
+
+    # A replayed receipt is caught too: presenting the same receipt
+    # twice to one verifier accepts the first copy only.
+    replay_check = VerificationService()
+    replay_check.register(
+        "vr-arcade", plans[7], edge_keys.public, operator_keys.public
+    )
+    target = reloaded.entries_for("vr-arcade")[7]
+    report = replay_check.audit([target, target])
+    print(
+        f"replay audit: {report.accepted} accepted, "
+        f"{report.rejected} rejected ({list(report.rejection_reasons)})"
+    )
+    assert report.accepted == 1
+    assert report.rejected == 1
+
+
+if __name__ == "__main__":
+    main()

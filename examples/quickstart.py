@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Quickstart: negotiate a Proof-of-Charging and verify it publicly.
+
+This walks the whole TLC pipeline at the API level, with no simulation:
+
+1. both parties agree on a data plan (cycle T, lost-data weight c),
+2. each generates an RSA-1024 key pair and publishes the public half,
+3. after the cycle, they negotiate with their (differing!) usage records
+   using the optimal minimax strategy — one round, per Theorem 4,
+4. the resulting PoC is verified by an independent third party, and a
+   tampered copy is rejected.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.charging.cycle import ChargingCycle
+from repro.core.messages import ProofOfCharging
+from repro.core.plan import DataPlan
+from repro.core.protocol import NegotiationAgent, run_negotiation
+from repro.core.records import UsageView
+from repro.core.strategies import OptimalStrategy, Role
+from repro.core.verifier import PublicVerifier
+from repro.crypto.nonces import NonceFactory
+from repro.crypto.rsa import generate_keypair
+from repro.sim.rng import RngStreams
+
+MB = 1_000_000
+
+
+def main() -> None:
+    rngs = RngStreams(2024)
+
+    # -- setup (§5.3.1): plan agreement + key publication ----------------
+    cycle = ChargingCycle(index=0, start=0.0, end=3600.0)
+    plan = DataPlan(cycle=cycle, loss_weight=0.5)
+    print(f"data plan: cycle={cycle.duration:.0f}s  c={plan.c}")
+
+    edge_keys = generate_keypair(1024, rngs.stream("edge-key"))
+    operator_keys = generate_keypair(1024, rngs.stream("operator-key"))
+    print("keys: RSA-1024 generated for edge vendor and operator")
+
+    # -- the cycle happened; records disagree because data was lost ------
+    # The edge server sent 1000 MB; the device received 930 MB; each
+    # party's monitors measure both quantities with ~1% error.
+    edge_view = UsageView(
+        sent_estimate=1002 * MB, received_estimate=928 * MB
+    )
+    operator_view = UsageView(
+        sent_estimate=997 * MB, received_estimate=931 * MB
+    )
+    print(
+        f"edge records:     sent={edge_view.sent_estimate / MB:.0f}MB "
+        f"received={edge_view.received_estimate / MB:.0f}MB"
+    )
+    print(
+        f"operator records: sent={operator_view.sent_estimate / MB:.0f}MB "
+        f"received={operator_view.received_estimate / MB:.0f}MB"
+    )
+
+    # -- negotiation (§5.3.2): operator initiates ------------------------
+    nonce_factory = NonceFactory(rngs.stream("nonces"))
+    edge = NegotiationAgent(
+        role=Role.EDGE,
+        strategy=OptimalStrategy(Role.EDGE, edge_view),
+        plan=plan,
+        private_key=edge_keys.private,
+        peer_public_key=operator_keys.public,
+        nonce_factory=nonce_factory,
+        app_id="quickstart",
+    )
+    operator = NegotiationAgent(
+        role=Role.OPERATOR,
+        strategy=OptimalStrategy(Role.OPERATOR, operator_view),
+        plan=plan,
+        private_key=operator_keys.private,
+        peer_public_key=edge_keys.public,
+        nonce_factory=nonce_factory,
+        app_id="quickstart",
+    )
+    outcome = run_negotiation(operator, edge)
+    assert outcome.converged, "negotiation did not converge"
+    print(
+        f"negotiated: x={outcome.volume / MB:.1f}MB in "
+        f"{outcome.rounds} round(s), {outcome.messages} messages, "
+        f"{outcome.bytes_on_wire} bytes on the wire"
+    )
+
+    # -- public verification (§5.3.3) ------------------------------------
+    verifier = PublicVerifier()
+    result = verifier.verify(
+        outcome.poc, plan, edge_keys.public, operator_keys.public
+    )
+    print(f"verifier: ok={result.ok} volume={result.volume / MB:.1f}MB")
+    assert result.ok
+
+    # A forged PoC (inflated volume) must be rejected.
+    forged = ProofOfCharging(
+        party=outcome.poc.party,
+        cycle_start=outcome.poc.cycle_start,
+        cycle_end=outcome.poc.cycle_end,
+        c=outcome.poc.c,
+        volume=outcome.poc.volume * 2,  # the over-bill
+        cda=outcome.poc.cda,
+        edge_nonce=outcome.poc.edge_nonce,
+        operator_nonce=outcome.poc.operator_nonce,
+        signature=outcome.poc.signature,  # stale signature
+    )
+    forged_result = verifier.verify(
+        forged, plan, edge_keys.public, operator_keys.public
+    )
+    print(f"forged PoC: ok={forged_result.ok} ({forged_result.reason})")
+    assert not forged_result.ok
+    print("quickstart complete")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,207 @@
+#!/usr/bin/env python3
+"""Selfish charging, cross-checks, and tamper-resilient records.
+
+Three demonstrations from §3.3-§5.4:
+
+1. **Selfish operator, legacy charging**: the operator inflates its
+   gateway CDRs — legacy 4G/5G has no bound, the edge just pays.
+2. **Selfish operator, TLC**: the same inflated claim is caught by the
+   edge's cross-check; the negotiation settles within [x̂o, x̂e]
+   (Theorem 2's bound) no matter how large the over-claim.
+3. **Selfish edge vs. monitors**: the edge under-reports its OS counters
+   (strawman 1 falls for it) while the RRC COUNTER CHECK record from the
+   hardware modem is unaffected.
+
+Run:  python examples/selfish_charging_audit.py
+"""
+
+from repro.charging.cycle import ChargingCycle
+from repro.core.cancellation import negotiate
+from repro.core.plan import DataPlan
+from repro.core.records import UsageView
+from repro.core.strategies import (
+    MisbehavingStrategy,
+    OptimalStrategy,
+    RandomSelfishStrategy,
+    Role,
+)
+from repro.lte.network import LteNetwork, LteNetworkConfig
+from repro.monitors.device import DeviceApiMonitor
+from repro.monitors.tamper import UnderReportTamper, tamper_fraction
+from repro.net.packet import Direction, Packet
+from repro.sim.events import EventLoop
+from repro.sim.rng import RngStreams
+
+MB = 1_000_000
+
+
+def selfish_operator_demo() -> None:
+    print("== 1+2: selfish operator over-claims 40% ==")
+    truth_sent, truth_received = 1000 * MB, 930 * MB
+    plan = DataPlan(
+        cycle=ChargingCycle(index=0, start=0, end=3600), loss_weight=0.5
+    )
+
+    # Legacy: the operator bills its (inflated) CDR volume directly.
+    inflated = truth_received * 1.40
+    print(f"legacy 4G/5G:    edge pays {inflated / MB:.0f}MB (unbounded)")
+
+    # TLC with a mildly selfish operator (pads every record by 6%): the
+    # negotiation still converges, and Theorem 2's bound caps the charge
+    # at the edge's sent volume.
+    edge = OptimalStrategy(
+        Role.EDGE,
+        UsageView(sent_estimate=truth_sent, received_estimate=truth_received),
+    )
+    padded_operator = RandomSelfishStrategy(
+        Role.OPERATOR,
+        UsageView(
+            sent_estimate=truth_sent * 1.06,
+            received_estimate=truth_received * 1.06,
+        ),
+        rng=RngStreams(3).stream("op"),
+    )
+    result = negotiate(edge, padded_operator, plan)
+    fair = truth_received + 0.5 * (truth_sent - truth_received)
+    print(
+        f"TLC (6% padding): converged={result.converged} "
+        f"x={result.volume / MB:.0f}MB in {result.rounds} rounds "
+        f"(bounded by x̂e={truth_sent / MB:.0f}MB)"
+    )
+    print(f"fair volume x̂ = {fair / MB:.0f}MB")
+    assert result.volume is not None
+    assert result.volume <= truth_sent * 1.08  # cross-check tolerance
+
+    # An operator inflating 40% is rejected by the edge's cross-check
+    # every round: no agreement, no PoC, no payment.
+    greedy_operator = RandomSelfishStrategy(
+        Role.OPERATOR,
+        UsageView(
+            sent_estimate=truth_sent * 1.40,
+            received_estimate=truth_received * 1.40,
+        ),
+        rng=RngStreams(3).stream("op2"),
+        overshoot=0.0,
+    )
+    result = negotiate(edge, greedy_operator, plan, max_rounds=16)
+    print(
+        f"TLC (40% inflation): converged={result.converged} "
+        f"(cross-check rejects every claim; operator is never paid)"
+    )
+
+    # A stonewalling operator that rejects everything fares no better.
+    wall = MisbehavingStrategy(
+        Role.OPERATOR, fixed_claim=5000 * MB, reject_all=True
+    )
+    result = negotiate(edge, wall, plan, max_rounds=16)
+    print(
+        f"stonewalling op: converged={result.converged} "
+        f"(no PoC, operator is never paid)\n"
+    )
+
+
+def tampered_monitor_demo() -> None:
+    print("== 3: selfish edge tampers with the OS counters ==")
+    loop = EventLoop()
+    rngs = RngStreams(17)
+    network = LteNetwork(loop, LteNetworkConfig(), rngs.fork("lte"))
+    # The edge device under-reports 40% of its received traffic.
+    network.ue.os_stats.install_tamper(
+        downlink=UnderReportTamper(fraction=0.60)
+    )
+    for i in range(2000):
+        loop.schedule_at(
+            i * 0.01,
+            lambda s=i: network.send_downlink(
+                Packet(
+                    size=1200,
+                    flow="vr",
+                    direction=Direction.DOWNLINK,
+                    created_at=0.0,
+                    seq=s,
+                )
+            ),
+            label="traffic",
+        )
+    loop.run(until=25.0)
+
+    os_monitor = DeviceApiMonitor(network.ue, Direction.DOWNLINK)
+    network.enodeb.run_counter_check()
+    _, modem_dl = network.ue.modem.totals()
+    true_dl = os_monitor.read_true_bytes()
+    reported_dl = os_monitor.read_bytes()
+    print(f"truly received:           {true_dl:>9d} bytes")
+    print(
+        f"strawman-1 OS monitor:    {reported_dl:>9d} bytes "
+        f"(hides {tamper_fraction(true_dl, reported_dl):.0%})"
+    )
+    print(
+        f"RRC COUNTER CHECK (modem):{modem_dl:>9d} bytes "
+        f"(hides {tamper_fraction(true_dl, modem_dl):.0%})"
+    )
+    assert modem_dl == true_dl, "hardware counters must be tamper-proof"
+
+
+def dispute_demo() -> None:
+    """A court settles an inflated bill against the charging receipt."""
+    import random
+
+    from repro.charging.billing import RatePlan
+    from repro.core.dispute import DisputeArbiter, Ruling
+    from repro.core.protocol import NegotiationAgent, run_negotiation
+    from repro.crypto.nonces import NonceFactory
+    from repro.crypto.rsa import generate_keypair
+
+    print("\n== 4: billing dispute settled with the PoC ==")
+    edge_keys = generate_keypair(1024, random.Random(71))
+    operator_keys = generate_keypair(1024, random.Random(72))
+    plan = DataPlan(
+        cycle=ChargingCycle(index=0, start=0, end=3600), loss_weight=0.5
+    )
+    view = UsageView(sent_estimate=1000 * MB, received_estimate=930 * MB)
+    nonce_factory = NonceFactory(random.Random(73))
+    edge_agent = NegotiationAgent(
+        Role.EDGE,
+        OptimalStrategy(Role.EDGE, view),
+        plan,
+        edge_keys.private,
+        operator_keys.public,
+        nonce_factory,
+    )
+    operator_agent = NegotiationAgent(
+        Role.OPERATOR,
+        OptimalStrategy(Role.OPERATOR, view),
+        plan,
+        operator_keys.private,
+        edge_keys.public,
+        nonce_factory,
+    )
+    outcome = run_negotiation(operator_agent, edge_agent)
+    assert outcome.converged
+
+    arbiter = DisputeArbiter(RatePlan(price_per_mb=0.01))
+    fair_amount = arbiter.price(outcome.volume).total
+    # The operator nevertheless bills 15% above the negotiated volume.
+    inflated_bill = fair_amount * 1.15
+    resolution = arbiter.resolve(
+        inflated_bill,
+        outcome.poc,
+        plan,
+        edge_keys.public,
+        operator_keys.public,
+    )
+    print(
+        f"billed ${inflated_bill:,.2f} vs proven ${fair_amount:,.2f} -> "
+        f"{resolution.ruling.value}, refund ${resolution.refund_due:,.2f}"
+    )
+    assert resolution.ruling is Ruling.OVERBILLED
+
+
+def main() -> None:
+    selfish_operator_demo()
+    tampered_monitor_demo()
+    dispute_demo()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Targeted-advertisement use case: roadside webcam streaming over LTE.
+
+The §2.2 scenario: a wireless camera streams images uplink 24x7 to an
+edge server that picks billboard ads.  The advertiser pays per byte and
+"wants to save the bill and ensure the operator charges faithfully".
+
+This example runs the camera stream through the simulated LTE testbed at
+several congestion levels, charges each cycle under legacy 4G/5G and
+under TLC, and prices the difference with a rate plan — the advertiser's
+actual monetary exposure to the charging gap.
+
+Run:  python examples/targeted_ads_webcam.py
+"""
+
+from repro.charging.billing import RatePlan
+from repro.charging.policy import ChargingPolicy
+from repro.experiments.report import render_table
+from repro.experiments.scenario import (
+    ChargingScheme,
+    ScenarioConfig,
+    charge_with_scheme,
+    run_scenario,
+)
+
+MB = 1_000_000
+HOURS_PER_MONTH = 24 * 30
+
+
+def main() -> None:
+    rate_plan = RatePlan(
+        price_per_mb=0.01,  # $0.01/MB
+        policy=ChargingPolicy(loss_weight=0.5),
+    )
+
+    rows = []
+    for background_mbps in (0, 100, 140, 160):
+        result = run_scenario(
+            ScenarioConfig(
+                app="webcam-rtsp",
+                seed=7,
+                cycle_duration=60.0,
+                background_bps=background_mbps * 1e6,
+            )
+        )
+        legacy = charge_with_scheme(result, ChargingScheme.LEGACY)
+        tlc = charge_with_scheme(result, ChargingScheme.TLC_OPTIMAL)
+
+        # Scale one cycle to a 24x7 month of streaming.
+        scale = 3600.0 / result.duration * HOURS_PER_MONTH
+        fair_bill = rate_plan.bill_for(result.fair_volume * scale)
+        legacy_bill = rate_plan.bill_for(legacy.charged * scale)
+        tlc_bill = rate_plan.bill_for(tlc.charged * scale)
+
+        rows.append(
+            [
+                f"{background_mbps} Mbps",
+                f"{result.truth.loss / result.truth.sent:.1%}",
+                f"${legacy_bill.total:,.0f}",
+                f"${tlc_bill.total:,.0f}",
+                f"${fair_bill.total:,.0f}",
+                f"${legacy_bill.overbilling_vs(fair_bill):+,.0f}",
+                f"${tlc_bill.overbilling_vs(fair_bill):+,.0f}",
+            ]
+        )
+
+    print("Monthly bill for a 24x7 roadside ad camera (RTSP uplink):")
+    print(
+        render_table(
+            [
+                "background",
+                "loss",
+                "legacy bill",
+                "TLC bill",
+                "fair bill",
+                "legacy error",
+                "TLC error",
+            ],
+            rows,
+        )
+    )
+    print(
+        "\nTLC keeps the advertiser's bill within record-measurement "
+        "error of the fair volume at every congestion level; legacy "
+        "drifts with the loss rate."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Setup shim: enables `pip install -e .` on environments without the
+``wheel`` package (PEP 660 editable installs need it; the legacy
+``setup.py develop`` path does not)."""
+
+from setuptools import setup
+
+setup()

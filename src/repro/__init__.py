@@ -1,0 +1,20 @@
+"""TLC: Trusted, Loss-tolerant Charging for the cellular edge.
+
+A complete Python reproduction of "Bridging the Data Charging Gap in
+the Cellular Edge" (SIGCOMM 2019): the loss-selfishness cancellation
+game, the publicly verifiable Proof-of-Charging protocol, the
+tamper-resilient record collection, and every substrate the paper's
+prototype ran on (LTE/EPC core, wireless channel, workloads, monitors,
+crypto), plus the experiment harness regenerating the paper's tables
+and figures.
+
+Entry points:
+
+- :mod:`repro.core` — the TLC scheme itself,
+- :mod:`repro.experiments` — per-figure experiment drivers,
+- ``python -m repro`` — the CLI experiment runner.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

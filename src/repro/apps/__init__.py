@@ -1,0 +1,35 @@
+"""Edge application workloads (§2.2 of the paper).
+
+Synthetic generators calibrated to the paper's measured averages:
+
+=====================  ==========  =====  =========  ====
+Workload               Bitrate     FPS    Direction  QCI
+=====================  ==========  =====  =========  ====
+WebCam over RTSP       0.77 Mbps   30     uplink     9
+WebCam over legacy UDP 1.73 Mbps   30     uplink     9
+VRidge over GVSP       9.0 Mbps    60     downlink   9
+King-of-Glory gaming   0.02 Mbps   30     downlink   7
+=====================  ==========  =====  =========  ====
+
+plus iperf-style UDP background traffic for the congestion sweeps, and a
+trace record/replay facility standing in for the paper's tcpdump replays.
+"""
+
+from repro.apps.background import IperfUdpWorkload
+from repro.apps.base import FrameModel, Workload
+from repro.apps.gaming import GamingWorkload
+from repro.apps.traces import PacketTrace, TraceReplayWorkload
+from repro.apps.vr import VrGvspWorkload
+from repro.apps.webcam import WebcamRtspWorkload, WebcamUdpWorkload
+
+__all__ = [
+    "IperfUdpWorkload",
+    "FrameModel",
+    "Workload",
+    "GamingWorkload",
+    "PacketTrace",
+    "TraceReplayWorkload",
+    "VrGvspWorkload",
+    "WebcamRtspWorkload",
+    "WebcamUdpWorkload",
+]

@@ -1,0 +1,83 @@
+"""iperf-style UDP background traffic.
+
+The paper loads the cell with [0, 1 Gbps] iperf UDP streams to a separate
+phone to create congestion (Figures 3 and 13).  The congestion *effect* on
+the foreground app is modelled analytically by
+:class:`repro.net.congestion.CongestedQueue`; this workload exists for
+examples and integration tests that want the background packets to
+actually flow (e.g. to drive queue counters or a second UE's charging).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.apps.base import PACKET_OVERHEAD, SendFn
+from repro.net.packet import Direction, Packet
+from repro.sim.events import EventLoop
+
+IPERF_DATAGRAM = 1470  # iperf's default UDP payload size
+
+
+class IperfUdpWorkload:
+    """Constant-bitrate UDP blaster at a configurable offered load."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        send: SendFn,
+        rng: random.Random,
+        offered_bps: float,
+        direction: Direction = Direction.DOWNLINK,
+        flow: str = "iperf-udp",
+        qci: int = 9,
+    ) -> None:
+        if offered_bps < 0:
+            raise ValueError(f"negative offered load: {offered_bps}")
+        self.loop = loop
+        self.send = send
+        self.rng = rng
+        self.offered_bps = float(offered_bps)
+        self.direction = direction
+        self.flow = flow
+        self.qci = qci
+        self._running = False
+        self._seq = 0
+        self.generated_packets = 0
+        self.generated_bytes = 0
+        self.packet_size = IPERF_DATAGRAM + PACKET_OVERHEAD
+        self._interval = (
+            self.packet_size * 8.0 / self.offered_bps
+            if self.offered_bps > 0
+            else 0.0
+        )
+
+    def start(self) -> None:
+        """Begin blasting (no-op at zero offered load)."""
+        if self._running or self.offered_bps <= 0:
+            return
+        self._running = True
+        self.loop.schedule_in(
+            self.rng.uniform(0, self._interval), self._tick, label="iperf"
+        )
+
+    def stop(self) -> None:
+        """Stop generating."""
+        self._running = False
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        packet = Packet(
+            size=self.packet_size,
+            flow=self.flow,
+            direction=self.direction,
+            qci=self.qci,
+            created_at=self.loop.now,
+            seq=self._seq,
+        )
+        self._seq += 1
+        self.generated_packets += 1
+        self.generated_bytes += packet.size
+        self.send(packet)
+        self.loop.schedule_in(self._interval, self._tick, label="iperf")

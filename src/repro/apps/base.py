@@ -1,0 +1,167 @@
+"""Workload base: frame models, packetization, and the send loop.
+
+Video-style workloads generate *frames* on a fixed cadence; each frame is
+packetized into MTU-sized UDP packets and handed to a send function (the
+scenario wires that to the uplink or downlink entry of the simulated LTE
+network).  Frame sizes follow a lognormal around the codec's per-frame
+budget with periodic intra-frame (I-frame) spikes, which reproduces the
+bursty loss exposure of real H.264/GVSP streams.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.net.packet import Direction, Packet
+from repro.sim.events import EventLoop
+
+SendFn = Callable[[Packet], object]
+
+MTU_PAYLOAD = 1400  # bytes of app payload per packet
+PACKET_OVERHEAD = 40  # IP + UDP + RTP-ish headers
+
+
+@dataclass(frozen=True)
+class FrameModel:
+    """Statistical model of a frame stream.
+
+    Attributes
+    ----------
+    bitrate_bps:
+        Long-run average bitrate (application bytes).
+    fps:
+        Frames per second.
+    iframe_interval:
+        Every n-th frame is an I-frame (0 disables the GOP structure).
+    iframe_scale:
+        I-frame size relative to the average frame.
+    jitter_sigma:
+        Lognormal sigma of per-frame size variation.
+    """
+
+    bitrate_bps: float
+    fps: float
+    iframe_interval: int = 30
+    iframe_scale: float = 4.0
+    jitter_sigma: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.bitrate_bps <= 0 or self.fps <= 0:
+            raise ValueError("bitrate and fps must be positive")
+        if self.iframe_interval < 0:
+            raise ValueError("iframe interval must be >= 0")
+
+    @property
+    def mean_frame_bytes(self) -> float:
+        """Average frame size implied by bitrate and fps."""
+        return self.bitrate_bps / 8.0 / self.fps
+
+    def frame_size(self, frame_index: int, rng: random.Random) -> int:
+        """Draw one frame's size in bytes."""
+        # Scale P-frames down so the GOP average stays on budget.
+        if self.iframe_interval > 0:
+            n = self.iframe_interval
+            p_scale = (n - self.iframe_scale) / (n - 1) if n > 1 else 1.0
+            p_scale = max(p_scale, 0.1)
+            scale = (
+                self.iframe_scale
+                if frame_index % n == 0
+                else p_scale
+            )
+        else:
+            scale = 1.0
+        mu = math.log(max(self.mean_frame_bytes * scale, 1.0))
+        size = rng.lognormvariate(mu, self.jitter_sigma)
+        return max(1, int(size))
+
+
+def packetize(frame_bytes: int, mtu_payload: int = MTU_PAYLOAD) -> list[int]:
+    """Split a frame into on-the-wire packet sizes (overhead included)."""
+    if frame_bytes <= 0:
+        raise ValueError(f"frame must have positive size: {frame_bytes}")
+    sizes = []
+    remaining = frame_bytes
+    while remaining > 0:
+        payload = min(remaining, mtu_payload)
+        sizes.append(payload + PACKET_OVERHEAD)
+        remaining -= payload
+    return sizes
+
+
+class Workload:
+    """A frame-cadence traffic generator bound to a send function."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        send: SendFn,
+        model: FrameModel,
+        rng: random.Random,
+        flow: str,
+        direction: Direction,
+        qci: int = 9,
+    ) -> None:
+        self.loop = loop
+        self.send = send
+        self.model = model
+        self.rng = rng
+        self.flow = flow
+        self.direction = direction
+        self.qci = qci
+        self._running = False
+        self._frame_index = 0
+        self._seq = 0
+        self.generated_frames = 0
+        self.generated_packets = 0
+        self.generated_bytes = 0
+
+    def start(self) -> None:
+        """Begin generating frames on the event loop."""
+        if self._running:
+            return
+        self._running = True
+        self.loop.schedule_in(
+            self.rng.uniform(0, 1.0 / self.model.fps),
+            self._tick,
+            label=f"{self.flow}-frame",
+        )
+
+    def stop(self) -> None:
+        """Stop generating (already-scheduled frames still fire)."""
+        self._running = False
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        self._emit_frame()
+        self.loop.schedule_in(
+            1.0 / self.model.fps, self._tick, label=f"{self.flow}-frame"
+        )
+
+    def _emit_frame(self) -> None:
+        size = self.model.frame_size(self._frame_index, self.rng)
+        self._frame_index += 1
+        self.generated_frames += 1
+        for packet_size in packetize(size):
+            packet = Packet(
+                size=packet_size,
+                flow=self.flow,
+                direction=self.direction,
+                qci=self.qci,
+                created_at=self.loop.now,
+                seq=self._seq,
+            )
+            self._seq += 1
+            self.generated_packets += 1
+            self.generated_bytes += packet_size
+            self.send(packet)
+
+    @property
+    def average_bitrate(self) -> float:
+        """Generated bits/s since the loop origin (diagnostics)."""
+        if self.loop.now <= 0:
+            return 0.0
+        return self.generated_bytes * 8.0 / self.loop.now

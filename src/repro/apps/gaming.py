@@ -1,0 +1,51 @@
+"""Online gaming workload (King of Glory via Tencent acceleration, §2.2).
+
+Multiplayer-game player-control traffic: tiny UDP datagrams at a steady
+tick rate, ~0.02 Mbps average, downlink (server state updates to the
+player), carried on a dedicated QCI=7 bearer — the "gaming with QCI=7"
+series of Figures 12d/13d.  The high-QoS bearer's scheduling priority is
+what keeps its congestion gap near zero in the paper.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.apps.base import FrameModel, SendFn, Workload
+from repro.net.packet import Direction
+from repro.sim.events import EventLoop
+
+GAMING_BITRATE_BPS = 0.02e6  # on-the-wire target
+GAMING_TICK_HZ = 30.0
+GAMING_QCI = 7
+
+# Game ticks are tiny, so the 40-byte header overhead is a large share of
+# the wire rate; budget the payload generator for target minus headers.
+_HEADER_BPS = 40 * 8 * GAMING_TICK_HZ
+_PAYLOAD_BITRATE_BPS = GAMING_BITRATE_BPS - _HEADER_BPS
+
+
+class GamingWorkload(Workload):
+    """King-of-Glory-style control stream: 20 kbps, 30 Hz ticks, QCI=7."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        send: SendFn,
+        rng: random.Random,
+        qci: int = GAMING_QCI,
+    ) -> None:
+        super().__init__(
+            loop=loop,
+            send=send,
+            model=FrameModel(
+                bitrate_bps=_PAYLOAD_BITRATE_BPS,
+                fps=GAMING_TICK_HZ,
+                iframe_interval=0,  # no GOP structure: flat small packets
+                jitter_sigma=0.35,
+            ),
+            rng=rng,
+            flow="king-of-glory",
+            direction=Direction.DOWNLINK,
+            qci=qci,
+        )

@@ -1,0 +1,159 @@
+"""Packet trace record and replay.
+
+The paper replays tcpdump captures (VRidge over operational LTE from the
+SIGMETRICS'18 dataset, a 1-hour King of Glory session) with ``tcprelay``.
+Those captures are not redistributable, so this module provides the same
+workflow over synthetic traces: record any workload into a
+:class:`PacketTrace`, persist it as JSON lines, and replay it with
+original timing through :class:`TraceReplayWorkload`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterable
+
+from repro.net.packet import Direction, Packet
+from repro.sim.events import EventLoop
+
+SendFn = Callable[[Packet], object]
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One captured packet: relative send time and wire size."""
+
+    time: float
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError(f"negative trace timestamp: {self.time}")
+        if self.size <= 0:
+            raise ValueError(f"non-positive packet size: {self.size}")
+
+
+class PacketTrace:
+    """An ordered packet capture with save/load and summary stats."""
+
+    def __init__(
+        self,
+        entries: Iterable[TraceEntry] = (),
+        flow: str = "trace",
+        direction: Direction = Direction.DOWNLINK,
+        qci: int = 9,
+    ) -> None:
+        self.entries = sorted(entries, key=lambda e: e.time)
+        self.flow = flow
+        self.direction = direction
+        self.qci = qci
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @property
+    def total_bytes(self) -> int:
+        """Sum of all packet sizes."""
+        return sum(e.size for e in self.entries)
+
+    @property
+    def duration(self) -> float:
+        """Time span from first to last packet."""
+        if not self.entries:
+            return 0.0
+        return self.entries[-1].time - self.entries[0].time
+
+    @property
+    def average_bitrate(self) -> float:
+        """Bits per second over the capture duration."""
+        if self.duration <= 0:
+            return 0.0
+        return self.total_bytes * 8.0 / self.duration
+
+    def record(self, time: float, size: int) -> None:
+        """Append a packet observation (keeps entries time-ordered)."""
+        entry = TraceEntry(time=time, size=size)
+        if self.entries and entry.time < self.entries[-1].time:
+            raise ValueError(
+                f"out-of-order record at t={time}; last was "
+                f"t={self.entries[-1].time}"
+            )
+        self.entries.append(entry)
+
+    def save(self, path: str | Path) -> None:
+        """Persist as JSON lines (header line + one line per packet)."""
+        path = Path(path)
+        with path.open("w", encoding="ascii") as fh:
+            header = {
+                "flow": self.flow,
+                "direction": self.direction.value,
+                "qci": self.qci,
+                "packets": len(self.entries),
+            }
+            fh.write(json.dumps(header) + "\n")
+            for entry in self.entries:
+                fh.write(
+                    json.dumps({"t": entry.time, "s": entry.size}) + "\n"
+                )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "PacketTrace":
+        """Load a trace saved with :meth:`save`."""
+        path = Path(path)
+        with path.open("r", encoding="ascii") as fh:
+            header = json.loads(fh.readline())
+            entries = [
+                TraceEntry(time=obj["t"], size=obj["s"])
+                for obj in (json.loads(line) for line in fh if line.strip())
+            ]
+        return cls(
+            entries=entries,
+            flow=header["flow"],
+            direction=Direction(header["direction"]),
+            qci=header["qci"],
+        )
+
+
+class TraceReplayWorkload:
+    """Replays a :class:`PacketTrace` with original relative timing."""
+
+    def __init__(
+        self, loop: EventLoop, send: SendFn, trace: PacketTrace
+    ) -> None:
+        self.loop = loop
+        self.send = send
+        self.trace = trace
+        self.replayed_packets = 0
+        self.replayed_bytes = 0
+        self._seq = 0
+        self._started = False
+
+    def start(self) -> None:
+        """Schedule every trace packet relative to now."""
+        if self._started:
+            return
+        self._started = True
+        origin = self.loop.now
+        base = self.trace.entries[0].time if self.trace.entries else 0.0
+        for entry in self.trace.entries:
+            self.loop.schedule_at(
+                origin + (entry.time - base),
+                lambda e=entry: self._emit(e),
+                label=f"{self.trace.flow}-replay",
+            )
+
+    def _emit(self, entry: TraceEntry) -> None:
+        packet = Packet(
+            size=entry.size,
+            flow=self.trace.flow,
+            direction=self.trace.direction,
+            qci=self.trace.qci,
+            created_at=self.loop.now,
+            seq=self._seq,
+        )
+        self._seq += 1
+        self.replayed_packets += 1
+        self.replayed_bytes += entry.size
+        self.send(packet)

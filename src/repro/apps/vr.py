@@ -1,0 +1,44 @@
+"""Edge-based VR workload (VRidge / Portal 2 over GVSP, §7.1).
+
+The paper replays tcpdump traces of VRidge streaming 1920x1080p 60 FPS
+graphical frames over the GigE Vision Stream Protocol at 9.0 Mbps average,
+downlink from the edge server to the headset.  GVSP fragments each frame
+into MTU-size leader/payload/trailer packets, which the base packetizer
+reproduces; frames are large (~18.7 KB mean), so a single air-interface
+outage clips many packets at once — the reason VR shows the largest gaps
+in Figure 12/Table 2.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.apps.base import FrameModel, SendFn, Workload
+from repro.net.packet import Direction
+from repro.sim.events import EventLoop
+
+VR_BITRATE_BPS = 9.0e6
+VR_FPS = 60.0
+
+
+class VrGvspWorkload(Workload):
+    """VRidge GVSP stream: 9.0 Mbps, 60 FPS, downlink, best effort."""
+
+    def __init__(
+        self, loop: EventLoop, send: SendFn, rng: random.Random
+    ) -> None:
+        super().__init__(
+            loop=loop,
+            send=send,
+            model=FrameModel(
+                bitrate_bps=VR_BITRATE_BPS,
+                fps=VR_FPS,
+                iframe_interval=60,
+                iframe_scale=3.0,
+                jitter_sigma=0.20,
+            ),
+            rng=rng,
+            flow="vridge-gvsp",
+            direction=Direction.DOWNLINK,
+            qci=9,
+        )

@@ -1,0 +1,67 @@
+"""WebCam streaming workloads (the targeted-advertisement use case, §2.2).
+
+Two variants from the paper's §7.1 setup — both 1920x1080p 30 FPS H.264
+camera streams sent *uplink* from the roadside camera device to the edge
+server, differing in transport framing and the achieved bitrate:
+
+- RTSP (VLC's RTP/UDP interleaving): 0.77 Mbps average,
+- legacy UDP: 1.73 Mbps average.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.apps.base import FrameModel, SendFn, Workload
+from repro.net.packet import Direction
+from repro.sim.events import EventLoop
+
+RTSP_BITRATE_BPS = 0.77e6
+UDP_BITRATE_BPS = 1.73e6
+WEBCAM_FPS = 30.0
+
+
+class WebcamRtspWorkload(Workload):
+    """RTSP camera stream: 0.77 Mbps, 30 FPS, uplink, best effort."""
+
+    def __init__(
+        self, loop: EventLoop, send: SendFn, rng: random.Random
+    ) -> None:
+        super().__init__(
+            loop=loop,
+            send=send,
+            model=FrameModel(
+                bitrate_bps=RTSP_BITRATE_BPS,
+                fps=WEBCAM_FPS,
+                iframe_interval=30,
+                iframe_scale=4.0,
+                jitter_sigma=0.25,
+            ),
+            rng=rng,
+            flow="webcam-rtsp",
+            direction=Direction.UPLINK,
+            qci=9,
+        )
+
+
+class WebcamUdpWorkload(Workload):
+    """Legacy UDP camera stream: 1.73 Mbps, 30 FPS, uplink, best effort."""
+
+    def __init__(
+        self, loop: EventLoop, send: SendFn, rng: random.Random
+    ) -> None:
+        super().__init__(
+            loop=loop,
+            send=send,
+            model=FrameModel(
+                bitrate_bps=UDP_BITRATE_BPS,
+                fps=WEBCAM_FPS,
+                iframe_interval=30,
+                iframe_scale=4.0,
+                jitter_sigma=0.30,
+            ),
+            rng=rng,
+            flow="webcam-udp",
+            direction=Direction.UPLINK,
+            qci=9,
+        )

@@ -1,0 +1,22 @@
+"""Charging substrate: CDRs, policies, cycles, bills.
+
+This package reproduces the 4G offline-charging machinery the paper builds
+on (§2.1): the gateway emits charging data records (Trace 1), the offline
+charging system (OFCS) aggregates them per charging cycle, and a policy
+converts usage into a bill (including "unlimited" plans that throttle past
+a quota).
+"""
+
+from repro.charging.cdr import ChargingDataRecord
+from repro.charging.cycle import ChargingCycle, CycleSchedule
+from repro.charging.policy import ChargingPolicy
+from repro.charging.billing import Bill, RatePlan
+
+__all__ = [
+    "ChargingDataRecord",
+    "ChargingCycle",
+    "CycleSchedule",
+    "ChargingPolicy",
+    "Bill",
+    "RatePlan",
+]

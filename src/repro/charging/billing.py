@@ -1,0 +1,69 @@
+"""Bills and rate plans.
+
+Downstream of the charging-volume decision: a :class:`RatePlan` prices the
+charged bytes, applies the quota, and produces a :class:`Bill`.  TLC does
+not change this layer — it changes the *volume* fed into it — but having it
+lets examples show the end-to-end monetary effect of the charging gap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.charging.policy import ChargingPolicy
+
+MB = 1_000_000
+
+
+@dataclass(frozen=True)
+class RatePlan:
+    """Pricing for a data plan.
+
+    Attributes
+    ----------
+    price_per_mb:
+        Metered price in currency units per megabyte.
+    monthly_fee:
+        Flat recurring fee.
+    policy:
+        The charging policy (loss weight + quota) the plan embeds.
+    """
+
+    price_per_mb: float = 0.01
+    monthly_fee: float = 0.0
+    policy: ChargingPolicy = ChargingPolicy()
+
+    def __post_init__(self) -> None:
+        if self.price_per_mb < 0 or self.monthly_fee < 0:
+            raise ValueError("prices must be non-negative")
+
+    def bill_for(self, charged_bytes: float) -> "Bill":
+        """Price a cycle's charged volume."""
+        if charged_bytes < 0:
+            raise ValueError(f"negative charged volume: {charged_bytes}")
+        metered = self.price_per_mb * charged_bytes / MB
+        return Bill(
+            charged_bytes=charged_bytes,
+            metered_amount=metered,
+            flat_amount=self.monthly_fee,
+            throttled=self.policy.should_throttle(charged_bytes),
+        )
+
+
+@dataclass(frozen=True)
+class Bill:
+    """The priced outcome of one charging cycle."""
+
+    charged_bytes: float
+    metered_amount: float
+    flat_amount: float
+    throttled: bool
+
+    @property
+    def total(self) -> float:
+        """Total amount due."""
+        return self.metered_amount + self.flat_amount
+
+    def overbilling_vs(self, fair_bill: "Bill") -> float:
+        """Signed monetary difference against the fair bill."""
+        return self.total - fair_bill.total

@@ -1,0 +1,174 @@
+"""Charging data records, matching Trace 1 of the paper.
+
+A CDR is what the 4G gateway emits per subscriber per reporting interval:
+IMSI, gateway address, charging id, sequence number, first/last usage
+times, and uplink/downlink byte volumes.  Two encodings are provided:
+
+- :meth:`ChargingDataRecord.to_xml` — the human-readable form shown in
+  Trace 1 (OpenEPC emits this),
+- :meth:`ChargingDataRecord.to_bytes` — a compact binary form whose size
+  (34 bytes) matches the "LTE CDR" row of the paper's Figure 17 message
+  size table.
+"""
+
+from __future__ import annotations
+
+import struct
+import xml.etree.ElementTree as ElementTree
+from dataclasses import dataclass
+from datetime import datetime, timezone
+from xml.sax.saxutils import escape
+
+from repro.lte.identifiers import Imsi
+
+# Binary layout: 8B TBCD IMSI + 4B gateway IPv4 + 4B charging id +
+# 4B sequence + 4B time-of-first-usage + 2B duration + 4B UL + 4B DL = 34.
+_BINARY_LAYOUT = struct.Struct(">8s4sIIIHII")
+BINARY_CDR_SIZE = _BINARY_LAYOUT.size
+assert BINARY_CDR_SIZE == 34
+
+
+def _format_time(epoch: float) -> str:
+    """Render an epoch timestamp the way OpenEPC does in Trace 1."""
+    dt = datetime.fromtimestamp(epoch, tz=timezone.utc)
+    return dt.strftime("%Y-%m-%d %H:%M:%S")
+
+
+def _parse_time(text: str) -> float:
+    """Parse a Trace-1 timestamp back to an epoch."""
+    dt = datetime.strptime(text, "%Y-%m-%d %H:%M:%S").replace(
+        tzinfo=timezone.utc
+    )
+    return dt.timestamp()
+
+
+def _ipv4_to_bytes(address: str) -> bytes:
+    parts = address.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"not an IPv4 address: {address!r}")
+    return bytes(int(p) for p in parts)
+
+
+def _ipv4_from_bytes(data: bytes) -> str:
+    return ".".join(str(b) for b in data)
+
+
+@dataclass(frozen=True)
+class ChargingDataRecord:
+    """One gateway charging record (Trace 1 fields)."""
+
+    served_imsi: Imsi
+    gateway_address: str
+    charging_id: int
+    sequence_number: int
+    time_of_first_usage: float
+    time_of_last_usage: float
+    uplink_bytes: int
+    downlink_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.uplink_bytes < 0 or self.downlink_bytes < 0:
+            raise ValueError("CDR volumes must be non-negative")
+        if self.time_of_last_usage < self.time_of_first_usage:
+            raise ValueError("CDR usage interval is inverted")
+
+    @property
+    def time_usage(self) -> int:
+        """Usage duration in whole seconds (Trace 1's ``timeUsage``)."""
+        return int(round(self.time_of_last_usage - self.time_of_first_usage))
+
+    @property
+    def total_bytes(self) -> int:
+        """Uplink plus downlink volume."""
+        return self.uplink_bytes + self.downlink_bytes
+
+    def to_xml(self) -> str:
+        """The OpenEPC-style XML rendering from Trace 1."""
+        imsi_hex = self.served_imsi.to_tbcd().hex(" ").upper()
+        return (
+            "<chargingRecord>\n"
+            f"  <servedIMSI>{imsi_hex}</servedIMSI>\n"
+            f"  <gatewayAddress>{escape(self.gateway_address)}</gatewayAddress>\n"
+            f"  <chargingID>{self.charging_id}</chargingID>\n"
+            f"  <SequenceNumber>{self.sequence_number}</SequenceNumber>\n"
+            f"  <timeOfFirstUsage>{_format_time(self.time_of_first_usage)}"
+            "</timeOfFirstUsage>\n"
+            f"  <timeOfLastUsage>{_format_time(self.time_of_last_usage)}"
+            "</timeOfLastUsage>\n"
+            f"  <timeUsage>{self.time_usage}</timeUsage>\n"
+            f"  <datavolumeUplink>{self.uplink_bytes}</datavolumeUplink>\n"
+            f"  <datavolumeDownlink>{self.downlink_bytes}"
+            "</datavolumeDownlink>\n"
+            "</chargingRecord>"
+        )
+
+    @classmethod
+    def from_xml(cls, text: str) -> "ChargingDataRecord":
+        """Parse an OpenEPC-style charging record (Trace 1 format).
+
+        Lets the charging pipeline ingest real core dumps; round-trips
+        with :meth:`to_xml`.
+        """
+        try:
+            root = ElementTree.fromstring(text)
+        except ElementTree.ParseError as exc:
+            raise ValueError(f"malformed charging record XML: {exc}") from exc
+        if root.tag != "chargingRecord":
+            raise ValueError(f"unexpected root element: {root.tag!r}")
+
+        def field(tag: str) -> str:
+            node = root.find(tag)
+            if node is None or node.text is None:
+                raise ValueError(f"missing <{tag}> in charging record")
+            return node.text.strip()
+
+        imsi_tbcd = bytes.fromhex(field("servedIMSI").replace(" ", ""))
+        return cls(
+            served_imsi=Imsi.from_tbcd(imsi_tbcd),
+            gateway_address=field("gatewayAddress"),
+            charging_id=int(field("chargingID")),
+            sequence_number=int(field("SequenceNumber")),
+            time_of_first_usage=_parse_time(field("timeOfFirstUsage")),
+            time_of_last_usage=_parse_time(field("timeOfLastUsage")),
+            uplink_bytes=int(field("datavolumeUplink")),
+            downlink_bytes=int(field("datavolumeDownlink")),
+        )
+
+    def to_bytes(self) -> bytes:
+        """Compact 34-byte binary encoding (Figure 17's LTE CDR size)."""
+        imsi_tbcd = self.served_imsi.to_tbcd().ljust(8, b"\xff")[:8]
+        return _BINARY_LAYOUT.pack(
+            imsi_tbcd,
+            _ipv4_to_bytes(self.gateway_address),
+            self.charging_id & 0xFFFFFFFF,
+            self.sequence_number & 0xFFFFFFFF,
+            int(self.time_of_first_usage) & 0xFFFFFFFF,
+            min(self.time_usage, 0xFFFF),
+            min(self.uplink_bytes, 0xFFFFFFFF),
+            min(self.downlink_bytes, 0xFFFFFFFF),
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "ChargingDataRecord":
+        """Decode a record produced by :meth:`to_bytes`."""
+        (
+            imsi_tbcd,
+            gw_bytes,
+            charging_id,
+            sequence,
+            first_usage,
+            duration,
+            uplink,
+            downlink,
+        ) = _BINARY_LAYOUT.unpack(data)
+        imsi = Imsi.from_tbcd(imsi_tbcd.rstrip(b"\xff"))
+        return cls(
+            served_imsi=imsi,
+            gateway_address=_ipv4_from_bytes(gw_bytes),
+            charging_id=charging_id,
+            sequence_number=sequence,
+            time_of_first_usage=float(first_usage),
+            time_of_last_usage=float(first_usage + duration),
+            uplink_bytes=uplink,
+            downlink_bytes=downlink,
+        )

@@ -1,0 +1,80 @@
+"""Charging cycles.
+
+The paper's data plan fixes a charging cycle ``T = (T_start, T_end)``
+(1 hour per experiment round in §7.1); TLC's negotiation runs once per
+cycle, at its end.  :class:`CycleSchedule` slices simulated time into
+consecutive cycles and tells each party — whose local clock may be skewed —
+when a boundary falls in *its* view of time, which is exactly the error
+source Figure 18 attributes the residual record error to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ChargingCycle:
+    """One cycle ``[start, end)`` in reference time (seconds)."""
+
+    index: int
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ValueError(f"empty charging cycle: [{self.start}, {self.end})")
+        if self.index < 0:
+            raise ValueError(f"negative cycle index: {self.index}")
+
+    @property
+    def duration(self) -> float:
+        """Cycle length in seconds."""
+        return self.end - self.start
+
+    def contains(self, t: float) -> bool:
+        """True when ``t`` falls inside the cycle (half-open)."""
+        return self.start <= t < self.end
+
+    def key(self) -> tuple[float, float]:
+        """The ``(T_start, T_end)`` pair used inside TLC messages."""
+        return (self.start, self.end)
+
+
+@dataclass(frozen=True)
+class CycleSchedule:
+    """Consecutive fixed-length cycles starting at ``origin``."""
+
+    origin: float
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ValueError(f"cycle duration must be positive: {self.duration}")
+
+    def cycle(self, index: int) -> ChargingCycle:
+        """The ``index``-th cycle."""
+        start = self.origin + index * self.duration
+        return ChargingCycle(index=index, start=start, end=start + self.duration)
+
+    def cycle_at(self, t: float) -> ChargingCycle:
+        """The cycle containing reference time ``t``."""
+        if t < self.origin:
+            raise ValueError(f"time {t} precedes schedule origin {self.origin}")
+        index = int((t - self.origin) // self.duration)
+        return self.cycle(index)
+
+    def cycles_between(self, start: float, end: float) -> list[ChargingCycle]:
+        """All cycles overlapping ``[start, end)``."""
+        if end <= start:
+            return []
+        first = self.cycle_at(start).index
+        out = []
+        index = first
+        while True:
+            cycle = self.cycle(index)
+            if cycle.start >= end:
+                break
+            out.append(cycle)
+            index += 1
+        return out

@@ -1,0 +1,72 @@
+"""Charging policies: how claimed volumes become the charged volume.
+
+§2.1 of the paper surveys real policies: some operators charge only
+received data, some also charge lost data (it consumed radio resources),
+some throttle past a quota.  TLC is policy-neutral — the whole spectrum is
+the single weight ``c`` of Equation (1):
+
+    x = x_o + c * (x_e - x_o),    0 <= c <= 1,  x_o <= x_e
+
+``c = 0`` charges only received data; ``c = 1`` charges all sent data.
+The symmetric branch (``x_o > x_e``, a signal someone is claiming
+selfishly) mirrors the formula exactly as Algorithm 1 line 8 does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def charged_volume(x_received: float, x_sent: float, c: float) -> float:
+    """Equation (1) / Algorithm 1 line 8: the negotiated charging volume.
+
+    Accepts the claims in either order, mirroring the algorithm's two
+    branches; callers pass ``(x_o, x_e)``.
+    """
+    if not 0.0 <= c <= 1.0:
+        raise ValueError(f"charging weight c out of [0,1]: {c}")
+    if x_received < 0 or x_sent < 0:
+        raise ValueError("claimed volumes must be non-negative")
+    if x_received <= x_sent:
+        return x_received + c * (x_sent - x_received)
+    return x_sent + c * (x_received - x_sent)
+
+
+@dataclass(frozen=True)
+class ChargingPolicy:
+    """An operator policy: the lost-data weight plus optional quota rules.
+
+    Attributes
+    ----------
+    loss_weight:
+        The constant ``c`` from the data plan.
+    quota_bytes:
+        "Unlimited"-plan quota after which speed is throttled
+        (``None`` disables the quota).
+    throttle_bps:
+        Throttled speed once past the quota (128 kbps in the paper's
+        AT&T example).
+    """
+
+    loss_weight: float = 0.5
+    quota_bytes: int | None = None
+    throttle_bps: float = 128_000.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.loss_weight <= 1.0:
+            raise ValueError(f"loss weight out of [0,1]: {self.loss_weight}")
+        if self.quota_bytes is not None and self.quota_bytes < 0:
+            raise ValueError(f"negative quota: {self.quota_bytes}")
+        if self.throttle_bps <= 0:
+            raise ValueError(f"throttle speed must be positive: {self.throttle_bps}")
+
+    def charge(self, x_received: float, x_sent: float) -> float:
+        """The volume to charge given the two (claimed) volumes."""
+        return charged_volume(x_received, x_sent, self.loss_weight)
+
+    def should_throttle(self, cumulative_bytes: float) -> bool:
+        """True once the cycle's cumulative usage passes the quota."""
+        return (
+            self.quota_bytes is not None
+            and cumulative_bytes > self.quota_bytes
+        )

@@ -1,0 +1,101 @@
+"""Quota enforcement: speed throttling on "unlimited" plans.
+
+§2.1: "Some offer the 'unlimited' data plan, but throttle the speed if
+the usage exceeds some quota (e.g. 128Kbps after 15GB)."  And §1: even
+unlimited-plan edge apps care about the charging gap because a gap
+*advances the quota clock* — over-counted bytes bring the throttle
+forward.
+
+:class:`ThrottlingEnforcer` is a pipeline element the operator deploys
+after the charging gateway: it counts charged bytes against the plan's
+quota and, once exceeded, shapes traffic to the throttled rate with a
+token bucket (excess beyond the bucket's queue is dropped, as a real
+shaper's tail-drop would).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable
+
+from repro.charging.policy import ChargingPolicy
+from repro.net.packet import Packet
+from repro.sim.events import EventLoop
+
+Deliver = Callable[[Packet], None]
+
+
+class ThrottlingEnforcer:
+    """Token-bucket shaper armed by quota exhaustion."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        policy: ChargingPolicy,
+        queue_limit: int = 64,
+        name: str = "throttle",
+    ) -> None:
+        if policy.quota_bytes is None:
+            raise ValueError(
+                "throttling enforcer needs a policy with a quota"
+            )
+        self.loop = loop
+        self.policy = policy
+        self.queue_limit = int(queue_limit)
+        self.name = name
+        self._receivers: list[Deliver] = []
+        self._queue: deque[Packet] = deque()
+        self._next_release = 0.0
+        self._draining = False
+        self.charged_bytes = 0
+        self.throttled_packets = 0
+        self.dropped_packets = 0
+
+    def connect(self, receiver: Deliver) -> None:
+        """Attach the downstream element."""
+        self._receivers.append(receiver)
+
+    @property
+    def throttling(self) -> bool:
+        """True once the quota has been exceeded."""
+        return self.policy.should_throttle(self.charged_bytes)
+
+    def send(self, packet: Packet) -> bool:
+        """Pass a packet through the shaper."""
+        self.charged_bytes += packet.size
+        if not self.throttling:
+            self._deliver(packet)
+            return True
+
+        # Past the quota: shape to throttle_bps.
+        if len(self._queue) >= self.queue_limit:
+            self.dropped_packets += 1
+            return False
+        self.throttled_packets += 1
+        self._queue.append(packet)
+        self._drain()
+        return True
+
+    def _drain(self) -> None:
+        if self._draining or not self._queue:
+            return
+        self._draining = True
+        release_at = max(self.loop.now, self._next_release)
+        packet = self._queue[0]
+        serialization = packet.size * 8 / self.policy.throttle_bps
+        self._next_release = release_at + serialization
+        self.loop.schedule_at(
+            self._next_release, self._release_head, label=f"{self.name}-tx"
+        )
+
+    def _release_head(self) -> None:
+        self._draining = False
+        if not self._queue:
+            return
+        packet = self._queue.popleft()
+        self._deliver(packet)
+        self._drain()
+
+    def _deliver(self, packet: Packet) -> None:
+        for receiver in self._receivers:
+            receiver(packet)

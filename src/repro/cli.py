@@ -1,0 +1,385 @@
+"""Command-line interface: regenerate any table or figure.
+
+Usage::
+
+    python -m repro list
+    python -m repro run fig03 [--fast]
+    python -m repro run table2
+    python -m repro run all --fast
+
+Each experiment id maps to the same driver the benchmark suite uses;
+``--fast`` shrinks seeds and cycle lengths for a quick look.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from repro.experiments.cdr_error import record_error_samples
+from repro.experiments.congestion import (
+    ALL_APPS,
+    FIG3_APPS,
+    congestion_sweep,
+)
+from repro.experiments.intermittent import (
+    intermittent_sweep,
+    intermittent_timeseries,
+)
+from repro.experiments.latency import negotiation_rounds, rtt_comparison
+from repro.experiments.mobility import mobility_sweep
+from repro.experiments.overall import overall_dataset, table2_summary
+from repro.experiments.plan_sweep import plan_sweep
+from repro.experiments.poc_cost import (
+    measure_live_poc_costs,
+    message_sizes,
+    modelled_poc_costs,
+    modelled_verifier_throughput_per_hour,
+)
+from repro.experiments.report import cdf_summary, render_table
+from repro.experiments.transport_comparison import compare_transports
+
+
+def _fig03(fast: bool) -> str:
+    backgrounds = (
+        (0.0, 120e6, 160e6)
+        if fast
+        else (0.0, 100e6, 120e6, 140e6, 160e6)
+    )
+    points = congestion_sweep(
+        apps=FIG3_APPS,
+        backgrounds_bps=backgrounds,
+        seeds=(1,) if fast else (1, 2, 3),
+        cycle_duration=20.0 if fast else 30.0,
+    )
+    return render_table(
+        ["app", "background Mbps", "record gap MB/hr", "loss"],
+        [
+            [
+                p.app,
+                f"{p.background_bps / 1e6:.0f}",
+                f"{p.record_gap_mb_per_hr:.1f}",
+                f"{p.loss_fraction:.1%}",
+            ]
+            for p in points
+        ],
+    )
+
+
+def _fig04(fast: bool) -> str:
+    trace = intermittent_timeseries(
+        duration=120.0 if fast else 300.0, seed=4,
+        disconnectivity_ratio=0.10,
+    )
+    lines = ["t  sent(Mbps)  delivered(Mbps)  gap(MB)  radio"]
+    for s in trace.samples[:: 10 if fast else 15]:
+        lines.append(
+            f"{s.time:4.0f}  {s.edge_rate_mbps:10.2f}  "
+            f"{s.network_rate_mbps:15.2f}  {s.cumulative_gap_mb:7.2f}  "
+            f"{'up' if s.connected else 'DOWN'}"
+        )
+    lines.append(
+        f"final gap {trace.final_gap_mb:.2f} MB, mean outage "
+        f"{trace.mean_outage_duration:.2f}s"
+    )
+    return "\n".join(lines)
+
+
+def _fig12(fast: bool) -> str:
+    from repro.experiments.overall import gap_cdf_series
+
+    outcomes = overall_dataset(
+        apps=ALL_APPS,
+        conditions=((0.0, 0.0), (160e6, 0.05))
+        if fast
+        else ((0.0, 0.0), (120e6, 0.02), (160e6, 0.05)),
+        seeds=(1,) if fast else (1, 2),
+        cycle_duration=20.0 if fast else 30.0,
+    )
+    lines = []
+    for app in ALL_APPS:
+        series = gap_cdf_series(outcomes, app)
+        lines.append(f"--- {app} ---")
+        for scheme, values in series.items():
+            lines.append(cdf_summary(scheme, values, unit="MB/hr"))
+    return "\n".join(lines)
+
+
+def _table2(fast: bool) -> str:
+    outcomes = overall_dataset(
+        apps=ALL_APPS,
+        conditions=((0.0, 0.0), (140e6, 0.03))
+        if fast
+        else ((0.0, 0.0), (100e6, 0.0), (140e6, 0.03), (160e6, 0.06)),
+        seeds=(1, 2) if fast else (1, 2, 3, 4, 5),
+        cycle_duration=20.0 if fast else 30.0,
+    )
+    rows = table2_summary(outcomes)
+    return render_table(
+        ["app", "Mbps", "legacy ∆", "ε", "optimal ∆", "ε", "random ∆", "ε"],
+        [
+            [
+                r.app,
+                f"{r.bitrate_mbps:.2f}",
+                f"{r.legacy_gap_mb_per_hr:.2f}",
+                f"{r.legacy_gap_ratio:.1%}",
+                f"{r.tlc_optimal_gap_mb_per_hr:.2f}",
+                f"{r.tlc_optimal_gap_ratio:.1%}",
+                f"{r.tlc_random_gap_mb_per_hr:.2f}",
+                f"{r.tlc_random_gap_ratio:.1%}",
+            ]
+            for r in rows
+        ],
+    )
+
+
+def _fig13(fast: bool) -> str:
+    points = congestion_sweep(
+        apps=ALL_APPS,
+        backgrounds_bps=(0.0, 160e6) if fast else (0.0, 120e6, 160e6),
+        seeds=(1, 2) if fast else (1, 2, 3, 4),
+        cycle_duration=20.0 if fast else 30.0,
+    )
+    return render_table(
+        ["app", "background Mbps", "legacy ε", "random ε", "optimal ε"],
+        [
+            [
+                p.app,
+                f"{p.background_bps / 1e6:.0f}",
+                f"{p.legacy_gap_ratio:.1%}",
+                f"{p.tlc_random_gap_ratio:.1%}",
+                f"{p.tlc_optimal_gap_ratio:.1%}",
+            ]
+            for p in points
+        ],
+    )
+
+
+def _fig14(fast: bool) -> str:
+    points = intermittent_sweep(
+        etas=(0.05, 0.15) if fast else (0.05, 0.09, 0.12, 0.15),
+        seeds=(1, 2) if fast else (1, 2, 3),
+        cycle_duration=40.0 if fast else 120.0,
+    )
+    return render_table(
+        ["η", "legacy ε", "random ε", "optimal ε"],
+        [
+            [
+                f"{p.disconnectivity_ratio:.0%}",
+                f"{p.legacy_gap_ratio:.1%}",
+                f"{p.tlc_random_gap_ratio:.1%}",
+                f"{p.tlc_optimal_gap_ratio:.1%}",
+            ]
+            for p in points
+        ],
+    )
+
+
+def _fig15(fast: bool) -> str:
+    results = plan_sweep(
+        seeds=(1, 2) if fast else (1, 2, 3, 4, 5, 6),
+        backgrounds_bps=(120e6,) if fast else (0.0, 120e6, 160e6),
+        cycle_duration=20.0 if fast else 60.0,
+    )
+    return "\n".join(
+        cdf_summary(f"c={r.c:.2f} µ", list(r.reductions)) for r in results
+    )
+
+
+def _fig16(fast: bool) -> str:
+    rtts = rtt_comparison(probes=50 if fast else 200)
+    rounds = negotiation_rounds(
+        seeds=tuple(range(1, 6 if fast else 21)),
+        cycle_duration=15.0 if fast else 30.0,
+    )
+    a = render_table(
+        ["device", "RTT w/o TLC", "RTT w/ TLC"],
+        [
+            [m.device, f"{m.rtt_ms_without_tlc:.1f}ms",
+             f"{m.rtt_ms_with_tlc:.1f}ms"]
+            for m in rtts
+        ],
+    )
+    b = render_table(
+        ["app", "optimal rounds", "random rounds"],
+        [
+            [r.app, f"{r.optimal_rounds_mean:.1f}",
+             f"{r.random_rounds_mean:.1f}"]
+            for r in rounds
+        ],
+    )
+    return a + "\n\n" + b
+
+
+def _fig17(fast: bool) -> str:
+    sizes = message_sizes()
+    costs = modelled_poc_costs(samples=100 if fast else 400)
+    live = measure_live_poc_costs(iterations=3 if fast else 15)
+    lines = [
+        render_table(
+            ["message", "bytes"], [[k, v] for k, v in sizes.items()]
+        ),
+        "",
+        render_table(
+            ["device", "negotiate ms", "verify ms"],
+            [
+                [
+                    c.device,
+                    f"{c.negotiation_mean_ms:.1f}",
+                    f"{c.verification_mean_ms:.1f}",
+                ]
+                for c in costs
+            ],
+        ),
+        f"modelled Z840 throughput: "
+        f"{modelled_verifier_throughput_per_hour():,.0f}/hr",
+        f"live verification on this host: "
+        f"{live.verification_ms_mean:.3f} ms "
+        f"({live.verifications_per_hour:,.0f}/hr)",
+    ]
+    return "\n".join(lines)
+
+
+def _fig18(fast: bool) -> str:
+    samples = record_error_samples(
+        seeds=tuple(range(1, 9 if fast else 25)),
+        app="webcam-udp",
+        cycle_duration=30.0 if fast else 60.0,
+    )
+    return render_table(
+        ["record", "mean", "p95"],
+        [
+            [
+                "operator γo",
+                f"{samples.operator_mean:.2%}",
+                f"{samples.operator_percentile(95):.2%}",
+            ],
+            [
+                "edge γe",
+                f"{samples.edge_mean:.2%}",
+                f"{samples.edge_percentile(95):.2%}",
+            ],
+        ],
+    )
+
+
+def _mobility(fast: bool) -> str:
+    points = mobility_sweep(
+        intervals=(30.0, 1.5) if fast else (30.0, 5.0, 1.5),
+        seeds=(1,) if fast else (1, 2, 3),
+        duration=30.0 if fast else 40.0,
+    )
+    return render_table(
+        ["HO interval s", "HO/cycle", "legacy ε", "TLC ε"],
+        [
+            [
+                f"{p.mean_handover_interval:.1f}",
+                f"{p.handovers_per_cycle:.1f}",
+                f"{p.legacy_gap_ratio:.2%}",
+                f"{p.tlc_gap_ratio:.2%}",
+            ]
+            for p in points
+        ],
+    )
+
+
+def _rss(fast: bool) -> str:
+    from repro.experiments.rss_sweep import rss_sweep
+
+    points = rss_sweep(
+        rss_values_dbm=(-95.0, -110.0) if fast else (-95.0, -103.0, -110.0),
+        seeds=(1,) if fast else (1, 2, 3),
+        cycle_duration=20.0 if fast else 30.0,
+    )
+    return render_table(
+        ["RSS dBm", "loss", "legacy ε", "optimal ε"],
+        [
+            [
+                f"{p.rss_dbm:.0f}",
+                f"{p.loss_fraction:.1%}",
+                f"{p.legacy_gap_ratio:.1%}",
+                f"{p.tlc_optimal_gap_ratio:.1%}",
+            ]
+            for p in points
+        ],
+    )
+
+
+def _transport(fast: bool) -> str:
+    udp, tcp = compare_transports(
+        seed=3, loss_rate=0.10, duration=15.0 if fast else 30.0
+    )
+    return render_table(
+        ["transport", "delivery", "charged B", "retx B"],
+        [
+            [o.transport, f"{o.delivery_ratio:.1%}", o.gateway_charged,
+             o.retransmitted_bytes]
+            for o in (udp, tcp)
+        ],
+    )
+
+
+EXPERIMENTS: dict[str, tuple[str, Callable[[bool], str]]] = {
+    "fig03": ("record gap vs congestion (Figure 3)", _fig03),
+    "fig04": ("intermittent-connectivity time series (Figure 4)", _fig04),
+    "fig12": ("gap CDFs per scheme (Figure 12)", _fig12),
+    "table2": ("average gap per app (Table 2)", _table2),
+    "fig13": ("gap ratio vs congestion (Figure 13)", _fig13),
+    "fig14": ("gap ratio vs disconnectivity (Figure 14)", _fig14),
+    "fig15": ("reduction vs plan weight c (Figure 15)", _fig15),
+    "fig16": ("latency friendliness (Figure 16)", _fig16),
+    "fig17": ("PoC cost (Figure 17)", _fig17),
+    "fig18": ("record accuracy (Figure 18)", _fig18),
+    "mobility": ("handover-rate ablation", _mobility),
+    "transport": ("UDP vs TCP-like ablation", _transport),
+    "rss": ("signal-strength ablation", _rss),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="TLC (SIGCOMM'19) reproduction experiment runner",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+    run = sub.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument("experiment", help="experiment id from 'list', or 'all'")
+    run.add_argument(
+        "--fast",
+        action="store_true",
+        help="smaller seeds/cycles for a quick look",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for name, (description, _fn) in EXPERIMENTS.items():
+            print(f"{name:10s} {description}")
+        return 0
+
+    if args.experiment == "all":
+        targets = list(EXPERIMENTS)
+    elif args.experiment in EXPERIMENTS:
+        targets = [args.experiment]
+    else:
+        print(
+            f"unknown experiment {args.experiment!r}; "
+            f"choose from {', '.join(EXPERIMENTS)} or 'all'",
+            file=sys.stderr,
+        )
+        return 2
+
+    for name in targets:
+        description, fn = EXPERIMENTS[name]
+        print(f"===== {name}: {description} =====")
+        print(fn(args.fast))
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

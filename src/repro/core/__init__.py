@@ -1,0 +1,44 @@
+"""TLC: the paper's primary contribution.
+
+- :mod:`repro.core.plan` — the data plan (charging weight ``c``, cycle T),
+- :mod:`repro.core.records` — usage ground truth and party-side estimates,
+- :mod:`repro.core.cancellation` — Algorithm 1, the loss-selfishness
+  cancellation game,
+- :mod:`repro.core.strategies` — honest, optimal (minimax/maximin),
+  random-selfish, and misbehaving negotiation strategies,
+- :mod:`repro.core.messages` — signed CDR / CDA / PoC wire messages,
+- :mod:`repro.core.protocol` — the Figure 7a state machines,
+- :mod:`repro.core.verifier` — Algorithm 2 public verification,
+- :mod:`repro.core.gap` — charging-gap metrics (∆, ε, µ).
+"""
+
+from repro.core.cancellation import NegotiationResult, negotiate
+from repro.core.gap import absolute_gap, gap_ratio, reduction_ratio
+from repro.core.plan import DataPlan
+from repro.core.records import GroundTruth, UsageView
+from repro.core.strategies import (
+    HonestStrategy,
+    MisbehavingStrategy,
+    OptimalStrategy,
+    RandomSelfishStrategy,
+    Role,
+)
+from repro.core.verifier import PublicVerifier, VerificationResult
+
+__all__ = [
+    "NegotiationResult",
+    "negotiate",
+    "absolute_gap",
+    "gap_ratio",
+    "reduction_ratio",
+    "DataPlan",
+    "GroundTruth",
+    "UsageView",
+    "HonestStrategy",
+    "MisbehavingStrategy",
+    "OptimalStrategy",
+    "RandomSelfishStrategy",
+    "Role",
+    "PublicVerifier",
+    "VerificationResult",
+]

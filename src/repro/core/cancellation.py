@@ -1,0 +1,166 @@
+"""Algorithm 1: loss-selfishness cancellation.
+
+The engine runs the claim/decide loop between two
+:class:`~repro.core.strategies.Strategy` objects, enforcing the paper's
+rules:
+
+- claims must fall inside the current bounds ``(xL, xU)`` (line 4); a
+  claim outside them is visible to the peer, which rejects it (§5.1's
+  misbehaviour discussion) — the engine flags the violation;
+- when both parties accept, the charging volume is line 8's two-branch
+  formula (:func:`repro.charging.policy.charged_volume`);
+- on any rejection, the bounds contract to the span of this round's
+  claims (line 12) and the parties re-claim.
+
+The loop is capped at ``max_rounds`` because a buggy party can otherwise
+reject forever (the paper notes neither side benefits from that; the
+engine reports the non-convergence instead of spinning).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.charging.policy import charged_volume
+from repro.core.plan import DataPlan
+from repro.core.strategies import Strategy
+
+# Claims within this relative slack of a bound still count as "inside":
+# bounds tighten through floating-point claim values.
+_BOUND_SLACK = 1e-9
+
+
+@dataclass(frozen=True)
+class RoundRecord:
+    """One negotiation round's claims and decisions."""
+
+    round_index: int
+    lower_bound: float
+    upper_bound: float
+    edge_claim: float
+    operator_claim: float
+    edge_accepts: bool
+    operator_accepts: bool
+    bound_violation: bool
+
+
+@dataclass
+class NegotiationResult:
+    """Outcome of Algorithm 1."""
+
+    converged: bool
+    volume: float | None
+    rounds: int
+    transcript: list[RoundRecord] = field(default_factory=list)
+    bound_violations: int = 0
+
+    @property
+    def final_claims(self) -> tuple[float, float] | None:
+        """(edge claim, operator claim) of the accepted round."""
+        if not self.converged or not self.transcript:
+            return None
+        last = self.transcript[-1]
+        return (last.edge_claim, last.operator_claim)
+
+
+def _inside(value: float, low: float, high: float) -> bool:
+    slack = _BOUND_SLACK * max(1.0, abs(value), abs(low))
+    return (value >= low - slack) and (value <= high + slack)
+
+
+def negotiate(
+    edge: Strategy,
+    operator: Strategy,
+    plan: DataPlan,
+    max_rounds: int = 64,
+) -> NegotiationResult:
+    """Run Algorithm 1 between an edge and an operator strategy.
+
+    Parameters
+    ----------
+    edge, operator:
+        The two players.  Their ``claim``/``decide`` methods are called
+        exactly as the algorithm's lines 4 and 6 (exchange order does not
+        affect the result, as the paper notes).
+    plan:
+        Supplies the lost-data weight ``c`` for line 8.
+    max_rounds:
+        Termination cap for misbehaving players.
+    """
+    x_lower = 0.0
+    x_upper = math.inf
+    transcript: list[RoundRecord] = []
+    violations = 0
+
+    for round_index in range(1, max_rounds + 1):
+        edge_claim = edge.claim(x_lower, x_upper, round_index)
+        operator_claim = operator.claim(x_lower, x_upper, round_index)
+
+        violation = not (
+            _inside(edge_claim, x_lower, x_upper)
+            and _inside(operator_claim, x_lower, x_upper)
+        )
+        if violation:
+            violations += 1
+
+        if violation:
+            # A claim outside the agreed bounds is locally detectable by
+            # the peer (line 12's constraint is public), so the round is
+            # rejected outright.
+            edge_accepts = False
+            operator_accepts = False
+        else:
+            edge_accepts = edge.decide(
+                own_claim=edge_claim,
+                peer_claim=operator_claim,
+                round_index=round_index,
+            )
+            operator_accepts = operator.decide(
+                own_claim=operator_claim,
+                peer_claim=edge_claim,
+                round_index=round_index,
+            )
+
+        transcript.append(
+            RoundRecord(
+                round_index=round_index,
+                lower_bound=x_lower,
+                upper_bound=x_upper,
+                edge_claim=edge_claim,
+                operator_claim=operator_claim,
+                edge_accepts=edge_accepts,
+                operator_accepts=operator_accepts,
+                bound_violation=violation,
+            )
+        )
+
+        if edge_accepts and operator_accepts:
+            volume = charged_volume(operator_claim, edge_claim, plan.c)
+            return NegotiationResult(
+                converged=True,
+                volume=volume,
+                rounds=round_index,
+                transcript=transcript,
+                bound_violations=violations,
+            )
+
+        # Line 12: contract the bounds to the span of this round's claims.
+        new_lower = min(edge_claim, operator_claim)
+        new_upper = max(edge_claim, operator_claim)
+        # Keep the bounds inside the previous window even when a claim
+        # violated it, so a misbehaving player cannot re-widen the range.
+        x_lower = max(x_lower, min(new_lower, x_upper))
+        x_upper = (
+            min(x_upper, new_upper) if not math.isinf(x_upper) else new_upper
+        )
+        if x_upper < x_lower:
+            x_lower, x_upper = x_upper, x_lower
+
+    return NegotiationResult(
+        converged=False,
+        volume=None,
+        rounds=max_rounds,
+        transcript=transcript,
+        bound_violations=violations,
+    )

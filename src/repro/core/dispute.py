@@ -1,0 +1,108 @@
+"""Dispute resolution: what the verified PoC is *for* (§5.3.4).
+
+The paper motivates public verifiability with the Project-Fi lawsuit:
+without proofs, "it is difficult for even the laws to ensure that the
+network and edge are well-behaved".  This module is the court's side of
+that workflow: given the operator's issued bill and the charging receipt
+(PoC) either party presents, the arbiter
+
+1. verifies the PoC (Algorithm 2, via :class:`PublicVerifier`),
+2. prices the *proven* volume under the rate plan,
+3. rules: over-billed (refund due), under-billed (arrears due), or
+   consistent — or throws the case out if the proof does not verify.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.charging.billing import Bill, RatePlan
+from repro.core.messages import ProofOfCharging
+from repro.core.plan import DataPlan
+from repro.core.verifier import PublicVerifier
+from repro.crypto.keys import PublicKey
+
+
+class Ruling(enum.Enum):
+    """The arbiter's possible outcomes."""
+
+    CONSISTENT = "consistent"
+    OVERBILLED = "overbilled"        # operator owes a refund
+    UNDERBILLED = "underbilled"      # edge owes arrears
+    PROOF_REJECTED = "proof-rejected"
+
+
+@dataclass(frozen=True)
+class DisputeResolution:
+    """The arbiter's ruling for one cycle."""
+
+    ruling: Ruling
+    billed_amount: float
+    proven_amount: float | None
+    adjustment: float  # positive = refund to the edge
+    reason: str = ""
+
+    @property
+    def refund_due(self) -> float:
+        """Money the operator must return (0 when none)."""
+        return max(0.0, self.adjustment)
+
+    @property
+    def arrears_due(self) -> float:
+        """Money the edge must still pay (0 when none)."""
+        return max(0.0, -self.adjustment)
+
+
+class DisputeArbiter:
+    """An independent third party settling billing disputes with PoCs."""
+
+    def __init__(
+        self,
+        rate_plan: RatePlan,
+        amount_tolerance: float = 1e-6,
+    ) -> None:
+        self.rate_plan = rate_plan
+        self.amount_tolerance = float(amount_tolerance)
+        self._verifier = PublicVerifier()
+
+    def price(self, volume_bytes: float) -> Bill:
+        """The plan-priced bill for a proven volume."""
+        return self.rate_plan.bill_for(volume_bytes)
+
+    def resolve(
+        self,
+        billed_amount: float,
+        poc: ProofOfCharging | bytes,
+        plan: DataPlan,
+        edge_key: PublicKey,
+        operator_key: PublicKey,
+    ) -> DisputeResolution:
+        """Rule on one cycle's bill against its charging receipt."""
+        if billed_amount < 0:
+            raise ValueError(f"negative billed amount: {billed_amount}")
+        verdict = self._verifier.verify(poc, plan, edge_key, operator_key)
+        if not verdict.ok:
+            return DisputeResolution(
+                ruling=Ruling.PROOF_REJECTED,
+                billed_amount=billed_amount,
+                proven_amount=None,
+                adjustment=0.0,
+                reason=verdict.reason,
+            )
+
+        proven_bill = self.price(verdict.volume)
+        proven_amount = proven_bill.total
+        delta = billed_amount - proven_amount
+        if abs(delta) <= self.amount_tolerance * max(1.0, proven_amount):
+            ruling = Ruling.CONSISTENT
+        elif delta > 0:
+            ruling = Ruling.OVERBILLED
+        else:
+            ruling = Ruling.UNDERBILLED
+        return DisputeResolution(
+            ruling=ruling,
+            billed_amount=billed_amount,
+            proven_amount=proven_amount,
+            adjustment=delta,
+        )

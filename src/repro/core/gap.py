@@ -1,0 +1,48 @@
+"""Charging-gap metrics used throughout the evaluation (§7.1).
+
+- ``∆ = |x − x̂|`` — absolute gap between the charged volume and the fair
+  volume (:func:`absolute_gap`),
+- ``ε = ∆ / x̂`` — relative gap ratio (:func:`gap_ratio`),
+- ``µ = (x_legacy − x_TLC) / x_legacy`` — charged-volume reduction of TLC
+  over legacy charging, Figure 15's metric (:func:`reduction_ratio`).
+"""
+
+from __future__ import annotations
+
+
+def absolute_gap(charged: float, fair: float) -> float:
+    """∆ = |x − x̂| in the same byte unit as the inputs."""
+    if charged < 0 or fair < 0:
+        raise ValueError("volumes must be non-negative")
+    return abs(charged - fair)
+
+
+def gap_ratio(charged: float, fair: float) -> float:
+    """ε = ∆ / x̂ (0 when there was no usage at all)."""
+    if fair == 0:
+        return 0.0 if charged == 0 else float("inf")
+    return absolute_gap(charged, fair) / fair
+
+
+def reduction_ratio(legacy_charged: float, tlc_charged: float) -> float:
+    """µ = (x_legacy − x_TLC) / x_legacy, Figure 15's reduction metric."""
+    if legacy_charged < 0 or tlc_charged < 0:
+        raise ValueError("volumes must be non-negative")
+    if legacy_charged == 0:
+        return 0.0
+    return (legacy_charged - tlc_charged) / legacy_charged
+
+
+def per_hour(volume_bytes: float, elapsed_seconds: float) -> float:
+    """Scale a volume measured over ``elapsed_seconds`` to bytes/hour."""
+    if elapsed_seconds <= 0:
+        raise ValueError(f"elapsed time must be positive: {elapsed_seconds}")
+    return volume_bytes * 3600.0 / elapsed_seconds
+
+
+MB = 1_000_000.0
+
+
+def to_mb(volume_bytes: float) -> float:
+    """Bytes to megabytes (decimal, as the paper reports)."""
+    return volume_bytes / MB

@@ -1,0 +1,124 @@
+"""TLC for generic mobile data charging (§8 + Appendix D).
+
+The core scheme assumes the sender-side monitor sits next to the 4G/5G
+core (true for edge servers).  For a *generic* Internet service the
+downlink path gains a segment the operator never sees::
+
+    Internet server --[x̂'e]--> (Internet loss) --> 4G/5G core --[x̂e]-->
+        (RAN loss) --> device --[x̂o]
+
+The edge/user can only report the Internet server's sent volume x̂'e >=
+x̂e, so TLC's negotiated volume becomes x̂' = x̂o + c (x̂'e − x̂o) and the
+user is over-charged by exactly
+
+    x̂' − x̂ = c (x̂'e − x̂e)
+
+— Appendix D's bound: no more than the weighted loss between the server
+and the cellular gateway, which still beats legacy 4G/5G's unbounded
+over-charging.  This module models the three-point pipeline and exposes
+the bound so experiments can verify it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.charging.policy import charged_volume
+from repro.core.records import GroundTruth
+
+
+@dataclass(frozen=True)
+class GenericPathTruth:
+    """Ground truth for the three metering points of the generic path."""
+
+    internet_sent: float   # x̂'e at the Internet server
+    core_received: float   # x̂e at the 4G/5G core ingress
+    device_received: float  # x̂o at the device
+
+    def __post_init__(self) -> None:
+        if min(
+            self.internet_sent, self.core_received, self.device_received
+        ) < 0:
+            raise ValueError("volumes must be non-negative")
+        if self.core_received > self.internet_sent + 1e-9:
+            raise ValueError(
+                "core cannot receive more than the server sent"
+            )
+        if self.device_received > self.core_received + 1e-9:
+            raise ValueError(
+                "device cannot receive more than the core forwarded"
+            )
+
+    @property
+    def internet_loss(self) -> float:
+        """Bytes lost between the Internet server and the 4G/5G core."""
+        return self.internet_sent - self.core_received
+
+    @property
+    def ran_loss(self) -> float:
+        """Bytes lost between the core and the device."""
+        return self.core_received - self.device_received
+
+    def cellular_truth(self) -> GroundTruth:
+        """The (x̂e, x̂o) pair of the cellular segment only."""
+        return GroundTruth(
+            sent=self.core_received, received=self.device_received
+        )
+
+    def ideal_volume(self, c: float) -> float:
+        """x̂: the charge if the core-received volume were reportable."""
+        return charged_volume(self.device_received, self.core_received, c)
+
+    def negotiated_volume(self, c: float) -> float:
+        """x̂': what TLC negotiates when the edge reports x̂'e."""
+        return charged_volume(self.device_received, self.internet_sent, c)
+
+    def overcharge(self, c: float) -> float:
+        """x̂' − x̂: the Appendix D over-charging."""
+        return self.negotiated_volume(c) - self.ideal_volume(c)
+
+    def overcharge_bound(self, c: float) -> float:
+        """Appendix D's bound: c · (x̂'e − x̂e)."""
+        if not 0.0 <= c <= 1.0:
+            raise ValueError(f"charging weight c out of [0,1]: {c}")
+        return c * self.internet_loss
+
+
+def appendix_d_bound_holds(truth: GenericPathTruth, c: float) -> bool:
+    """Check x̂' − x̂ == c (x̂'e − x̂e) (exact for the paper's formula)."""
+    return abs(truth.overcharge(c) - truth.overcharge_bound(c)) <= 1e-6 * max(
+        1.0, truth.internet_sent
+    )
+
+
+@dataclass(frozen=True)
+class GenericChargingOutcome:
+    """Comparison of charging options for a generic downlink cycle."""
+
+    truth: GenericPathTruth
+    c: float
+
+    @property
+    def legacy_charged(self) -> float:
+        """Legacy 4G/5G bills the gateway count (core ingress)."""
+        return self.truth.core_received
+
+    @property
+    def tlc_charged(self) -> float:
+        """TLC's negotiated volume with the edge reporting x̂'e."""
+        return self.truth.negotiated_volume(self.c)
+
+    @property
+    def ideal_charged(self) -> float:
+        """The unreachable ideal using the core-received volume."""
+        return self.truth.ideal_volume(self.c)
+
+    @property
+    def tlc_overcharge(self) -> float:
+        """TLC's bounded over-charge vs the ideal."""
+        return self.tlc_charged - self.ideal_charged
+
+    @property
+    def legacy_overcharge(self) -> float:
+        """Legacy's over-charge vs the ideal (RAN loss weighted)."""
+        return self.legacy_charged - self.ideal_charged

@@ -1,0 +1,192 @@
+"""PoC ledger and the third-party verification service.
+
+After each cycle both parties "sign and store" the PoC (Algorithm 1,
+line 9) — the ledger is that store: an append-only, disk-persistable
+archive of charging receipts, queryable by app and cycle.  On top of it,
+:class:`VerificationService` models the §5.3.4 deployments (FCC, court,
+MVNO): a key registry per app plus batch verification with audit
+statistics.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.messages import MessageError, ProofOfCharging
+from repro.core.plan import DataPlan
+from repro.core.verifier import PublicVerifier, VerificationResult
+from repro.crypto.keys import PublicKey
+
+
+@dataclass(frozen=True)
+class LedgerEntry:
+    """One archived charging receipt."""
+
+    app_id: str
+    cycle_start: float
+    cycle_end: float
+    volume: float
+    poc_bytes: bytes
+
+    def poc(self) -> ProofOfCharging:
+        """Decode the stored proof."""
+        return ProofOfCharging.from_bytes(self.poc_bytes)
+
+
+class PocLedger:
+    """Append-only archive of Proofs-of-Charging."""
+
+    def __init__(self) -> None:
+        self._entries: list[LedgerEntry] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def append(self, app_id: str, poc: ProofOfCharging) -> LedgerEntry:
+        """Archive a finished negotiation's PoC."""
+        entry = LedgerEntry(
+            app_id=app_id,
+            cycle_start=poc.cycle_start,
+            cycle_end=poc.cycle_end,
+            volume=poc.volume,
+            poc_bytes=poc.to_bytes(),
+        )
+        self._entries.append(entry)
+        return entry
+
+    def entries_for(self, app_id: str) -> list[LedgerEntry]:
+        """All receipts for one app, in archive order."""
+        return [e for e in self._entries if e.app_id == app_id]
+
+    def entries_between(
+        self, start: float, end: float
+    ) -> list[LedgerEntry]:
+        """Receipts whose cycle overlaps [start, end)."""
+        return [
+            e
+            for e in self._entries
+            if e.cycle_start < end and e.cycle_end > start
+        ]
+
+    def total_volume(self, app_id: str) -> float:
+        """Sum of negotiated volumes across an app's receipts."""
+        return sum(e.volume for e in self.entries_for(app_id))
+
+    # ------------------------------------------------------------------
+    # persistence
+
+    def save(self, path: str | Path) -> None:
+        """Persist as JSON lines (PoC bytes hex-encoded)."""
+        path = Path(path)
+        with path.open("w", encoding="ascii") as fh:
+            for entry in self._entries:
+                fh.write(
+                    json.dumps(
+                        {
+                            "app_id": entry.app_id,
+                            "cycle_start": entry.cycle_start,
+                            "cycle_end": entry.cycle_end,
+                            "volume": entry.volume,
+                            "poc": entry.poc_bytes.hex(),
+                        }
+                    )
+                    + "\n"
+                )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "PocLedger":
+        """Reload a ledger saved with :meth:`save`.
+
+        Each record's PoC bytes are parsed on load, so a corrupted file
+        fails here rather than at verification time.
+        """
+        ledger = cls()
+        path = Path(path)
+        with path.open("r", encoding="ascii") as fh:
+            for line_number, line in enumerate(fh, start=1):
+                if not line.strip():
+                    continue
+                obj = json.loads(line)
+                poc_bytes = bytes.fromhex(obj["poc"])
+                try:
+                    ProofOfCharging.from_bytes(poc_bytes)
+                except (MessageError, ValueError) as exc:
+                    raise ValueError(
+                        f"corrupt PoC at line {line_number}: {exc}"
+                    ) from exc
+                ledger._entries.append(
+                    LedgerEntry(
+                        app_id=obj["app_id"],
+                        cycle_start=obj["cycle_start"],
+                        cycle_end=obj["cycle_end"],
+                        volume=obj["volume"],
+                        poc_bytes=poc_bytes,
+                    )
+                )
+        return ledger
+
+
+@dataclass
+class AuditReport:
+    """Batch verification statistics."""
+
+    total: int = 0
+    accepted: int = 0
+    rejected: int = 0
+    rejection_reasons: dict = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.rejection_reasons is None:
+            self.rejection_reasons = {}
+
+    @property
+    def acceptance_rate(self) -> float:
+        """Fraction of presented PoCs that verified."""
+        return self.accepted / self.total if self.total else 0.0
+
+
+class VerificationService:
+    """A third-party verifier with a per-app key/plan registry."""
+
+    def __init__(self) -> None:
+        self._verifier = PublicVerifier()
+        self._registry: dict[str, tuple[DataPlan, PublicKey, PublicKey]] = {}
+
+    def register(
+        self,
+        app_id: str,
+        plan: DataPlan,
+        edge_key: PublicKey,
+        operator_key: PublicKey,
+    ) -> None:
+        """Register the public material for one app's charging."""
+        self._registry[app_id] = (plan, edge_key, operator_key)
+
+    def verify_entry(self, entry: LedgerEntry) -> VerificationResult:
+        """Algorithm 2 on one archived receipt."""
+        try:
+            plan, edge_key, operator_key = self._registry[entry.app_id]
+        except KeyError:
+            return VerificationResult(
+                False, f"no registration for app {entry.app_id!r}"
+            )
+        return self._verifier.verify(
+            entry.poc_bytes, plan, edge_key, operator_key
+        )
+
+    def audit(self, entries: list[LedgerEntry]) -> AuditReport:
+        """Verify a batch and summarize the outcomes."""
+        report = AuditReport()
+        for entry in entries:
+            report.total += 1
+            result = self.verify_entry(entry)
+            if result.ok:
+                report.accepted += 1
+            else:
+                report.rejected += 1
+                report.rejection_reasons[result.reason] = (
+                    report.rejection_reasons.get(result.reason, 0) + 1
+                )
+        return report

@@ -1,0 +1,339 @@
+"""TLC wire messages: signed CDR, CDA, and Proof-of-Charging.
+
+Wire sizes match the paper's Figure 17 table for RSA-1024:
+
+========== =========
+TLC CDR    199 bytes
+TLC CDA    398 bytes
+TLC PoC    796 bytes
+========== =========
+
+A TLC CDR is ``{T, c, s, n, x}`` signed by its sender; a CDA copies the
+peer's CDR verbatim and signs it together with the sender's own claim; a
+PoC carries the negotiated volume, the accepted CDA, and both nonces,
+signed by the accepting party — so the finished PoC transitively carries
+both parties' signatures and is "unforgeable, undeniable" (§5.3.2).
+
+The PoC payload is padded to the prototype's 796-byte on-wire size; the
+paper itself notes most PoC bytes are RSA padding "and thus compressable".
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, replace
+
+from repro.core.strategies import Role
+from repro.crypto.keys import PrivateKey, PublicKey
+from repro.crypto.signing import sign, verify
+
+MAGIC = b"TL"
+VERSION = 1
+NONCE_LEN = 16
+APP_ID_LEN = 12
+SIGNATURE_LEN = 128  # RSA-1024
+
+MSG_CDR = 1
+MSG_CDA = 2
+MSG_POC = 3
+
+CDR_WIRE_SIZE = 199
+CDA_WIRE_SIZE = 398
+POC_WIRE_SIZE = 796
+
+# header: magic(2) version(1) type(1) party(1) reserved(2)
+_HEADER = struct.Struct(">2sBBB2s")
+# claim body: T_start(8) T_end(8) c(8) seq(4) volume(8)
+_CLAIM_BODY = struct.Struct(">dddId")
+# poc body: T_start(8) T_end(8) c(8) volume(8)
+_POC_BODY = struct.Struct(">dddd")
+
+
+class MessageError(ValueError):
+    """Raised on malformed or mis-sized TLC messages."""
+
+
+def _pack_app_id(app_id: str) -> bytes:
+    encoded = app_id.encode("ascii")
+    if len(encoded) > APP_ID_LEN:
+        raise MessageError(f"app id too long (> {APP_ID_LEN}): {app_id!r}")
+    return encoded.ljust(APP_ID_LEN, b"\x00")
+
+
+def _unpack_app_id(data: bytes) -> str:
+    return data.rstrip(b"\x00").decode("ascii")
+
+
+def _header(msg_type: int, party: Role) -> bytes:
+    party_code = 0 if party is Role.EDGE else 1
+    return _HEADER.pack(MAGIC, VERSION, msg_type, party_code, b"\x00\x00")
+
+
+def _parse_header(data: bytes, expected_type: int) -> Role:
+    magic, version, msg_type, party_code, reserved = _HEADER.unpack(
+        data[: _HEADER.size]
+    )
+    if magic != MAGIC:
+        raise MessageError(f"bad magic: {magic!r}")
+    if reserved != b"\x00\x00":
+        # Reserved bytes are regenerated as zero when the signature
+        # payload is recomputed; accepting nonzero values here would
+        # make them a malleable, unsigned channel.
+        raise MessageError(f"nonzero reserved bytes: {reserved!r}")
+    if version != VERSION:
+        raise MessageError(f"unsupported version: {version}")
+    if msg_type != expected_type:
+        raise MessageError(
+            f"wrong message type: got {msg_type}, want {expected_type}"
+        )
+    if party_code not in (0, 1):
+        raise MessageError(f"bad party code: {party_code}")
+    return Role.EDGE if party_code == 0 else Role.OPERATOR
+
+
+@dataclass(frozen=True)
+class TlcCdr:
+    """A signed charging-data-record claim: ``{T, c, s, n, x}_K-``."""
+
+    party: Role
+    app_id: str
+    cycle_start: float
+    cycle_end: float
+    c: float
+    sequence: int
+    nonce: bytes
+    volume: float
+    signature: bytes = b""
+
+    def payload_bytes(self) -> bytes:
+        """The byte string the signature covers."""
+        if len(self.nonce) != NONCE_LEN:
+            raise MessageError(f"nonce must be {NONCE_LEN} bytes")
+        return (
+            _header(MSG_CDR, self.party)
+            + _pack_app_id(self.app_id)
+            + _CLAIM_BODY.pack(
+                self.cycle_start,
+                self.cycle_end,
+                self.c,
+                self.sequence,
+                self.volume,
+            )
+            + self.nonce
+        )
+
+    def signed(self, key: PrivateKey) -> "TlcCdr":
+        """A copy carrying a fresh signature by ``key``."""
+        return replace(self, signature=sign(key, self.payload_bytes()))
+
+    def verify_signature(self, key: PublicKey) -> bool:
+        """Check the signature against the sender's public key."""
+        return verify(key, self.payload_bytes(), self.signature)
+
+    def to_bytes(self) -> bytes:
+        """Serialize; always :data:`CDR_WIRE_SIZE` bytes."""
+        if len(self.signature) != SIGNATURE_LEN:
+            raise MessageError(
+                f"CDR must be signed with RSA-1024 before serialization "
+                f"(signature is {len(self.signature)} bytes)"
+            )
+        wire = self.payload_bytes() + self.signature
+        if len(wire) != CDR_WIRE_SIZE:
+            raise MessageError(
+                f"CDR wire size {len(wire)} != {CDR_WIRE_SIZE}"
+            )
+        return wire
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "TlcCdr":
+        """Parse a serialized CDR."""
+        if len(data) != CDR_WIRE_SIZE:
+            raise MessageError(f"CDR must be {CDR_WIRE_SIZE} bytes")
+        party = _parse_header(data, MSG_CDR)
+        offset = _HEADER.size
+        app_id = _unpack_app_id(data[offset : offset + APP_ID_LEN])
+        offset += APP_ID_LEN
+        start, end, c, seq, volume = _CLAIM_BODY.unpack(
+            data[offset : offset + _CLAIM_BODY.size]
+        )
+        offset += _CLAIM_BODY.size
+        nonce = data[offset : offset + NONCE_LEN]
+        offset += NONCE_LEN
+        signature = data[offset:]
+        return cls(
+            party=party,
+            app_id=app_id,
+            cycle_start=start,
+            cycle_end=end,
+            c=c,
+            sequence=seq,
+            nonce=nonce,
+            volume=volume,
+            signature=signature,
+        )
+
+
+@dataclass(frozen=True)
+class TlcCda:
+    """Charging Data Acceptance: the sender's claim plus the peer's CDR."""
+
+    party: Role
+    app_id: str
+    cycle_start: float
+    cycle_end: float
+    c: float
+    sequence: int
+    nonce: bytes
+    volume: float
+    peer_cdr: TlcCdr
+    signature: bytes = b""
+
+    def payload_bytes(self) -> bytes:
+        """The byte string the signature covers (peer CDR embedded)."""
+        if len(self.nonce) != NONCE_LEN:
+            raise MessageError(f"nonce must be {NONCE_LEN} bytes")
+        return (
+            _header(MSG_CDA, self.party)
+            + _pack_app_id(self.app_id)
+            + _CLAIM_BODY.pack(
+                self.cycle_start,
+                self.cycle_end,
+                self.c,
+                self.sequence,
+                self.volume,
+            )
+            + self.nonce
+            + self.peer_cdr.to_bytes()
+        )
+
+    def signed(self, key: PrivateKey) -> "TlcCda":
+        """A copy carrying a fresh signature by ``key``."""
+        return replace(self, signature=sign(key, self.payload_bytes()))
+
+    def verify_signature(self, key: PublicKey) -> bool:
+        """Check the outer signature (sender's key)."""
+        return verify(key, self.payload_bytes(), self.signature)
+
+    def to_bytes(self) -> bytes:
+        """Serialize; always :data:`CDA_WIRE_SIZE` bytes."""
+        if len(self.signature) != SIGNATURE_LEN:
+            raise MessageError("CDA must be signed before serialization")
+        wire = self.payload_bytes() + self.signature
+        if len(wire) != CDA_WIRE_SIZE:
+            raise MessageError(
+                f"CDA wire size {len(wire)} != {CDA_WIRE_SIZE}"
+            )
+        return wire
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "TlcCda":
+        """Parse a serialized CDA."""
+        if len(data) != CDA_WIRE_SIZE:
+            raise MessageError(f"CDA must be {CDA_WIRE_SIZE} bytes")
+        party = _parse_header(data, MSG_CDA)
+        offset = _HEADER.size
+        app_id = _unpack_app_id(data[offset : offset + APP_ID_LEN])
+        offset += APP_ID_LEN
+        start, end, c, seq, volume = _CLAIM_BODY.unpack(
+            data[offset : offset + _CLAIM_BODY.size]
+        )
+        offset += _CLAIM_BODY.size
+        nonce = data[offset : offset + NONCE_LEN]
+        offset += NONCE_LEN
+        peer_cdr = TlcCdr.from_bytes(data[offset : offset + CDR_WIRE_SIZE])
+        offset += CDR_WIRE_SIZE
+        signature = data[offset:]
+        return cls(
+            party=party,
+            app_id=app_id,
+            cycle_start=start,
+            cycle_end=end,
+            c=c,
+            sequence=seq,
+            nonce=nonce,
+            volume=volume,
+            peer_cdr=peer_cdr,
+            signature=signature,
+        )
+
+
+@dataclass(frozen=True)
+class ProofOfCharging:
+    """The doubly-signed negotiation receipt (§5.3.2)."""
+
+    party: Role  # the party that constructed (and signed) the PoC
+    cycle_start: float
+    cycle_end: float
+    c: float
+    volume: float
+    cda: TlcCda
+    edge_nonce: bytes
+    operator_nonce: bytes
+    signature: bytes = b""
+
+    def payload_bytes(self) -> bytes:
+        """The byte string the outer signature covers."""
+        if (
+            len(self.edge_nonce) != NONCE_LEN
+            or len(self.operator_nonce) != NONCE_LEN
+        ):
+            raise MessageError(f"nonces must be {NONCE_LEN} bytes")
+        return (
+            _header(MSG_POC, self.party)
+            + _POC_BODY.pack(
+                self.cycle_start, self.cycle_end, self.c, self.volume
+            )
+            + self.cda.to_bytes()
+            + self.edge_nonce
+            + self.operator_nonce
+        )
+
+    def signed(self, key: PrivateKey) -> "ProofOfCharging":
+        """A copy carrying a fresh signature by ``key``."""
+        return replace(self, signature=sign(key, self.payload_bytes()))
+
+    def verify_signature(self, key: PublicKey) -> bool:
+        """Check the outer signature (the constructor's key)."""
+        return verify(key, self.payload_bytes(), self.signature)
+
+    def to_bytes(self) -> bytes:
+        """Serialize; always :data:`POC_WIRE_SIZE` bytes (zero-padded,
+        mirroring the prototype's compressible RSA padding)."""
+        if len(self.signature) != SIGNATURE_LEN:
+            raise MessageError("PoC must be signed before serialization")
+        wire = self.payload_bytes() + self.signature
+        if len(wire) > POC_WIRE_SIZE:
+            raise MessageError(
+                f"PoC wire size {len(wire)} > {POC_WIRE_SIZE}"
+            )
+        return wire + b"\x00" * (POC_WIRE_SIZE - len(wire))
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "ProofOfCharging":
+        """Parse a serialized PoC (padding stripped)."""
+        if len(data) != POC_WIRE_SIZE:
+            raise MessageError(f"PoC must be {POC_WIRE_SIZE} bytes")
+        party = _parse_header(data, MSG_POC)
+        offset = _HEADER.size
+        start, end, c, volume = _POC_BODY.unpack(
+            data[offset : offset + _POC_BODY.size]
+        )
+        offset += _POC_BODY.size
+        cda = TlcCda.from_bytes(data[offset : offset + CDA_WIRE_SIZE])
+        offset += CDA_WIRE_SIZE
+        edge_nonce = data[offset : offset + NONCE_LEN]
+        offset += NONCE_LEN
+        operator_nonce = data[offset : offset + NONCE_LEN]
+        offset += NONCE_LEN
+        signature = data[offset : offset + SIGNATURE_LEN]
+        return cls(
+            party=party,
+            cycle_start=start,
+            cycle_end=end,
+            c=c,
+            volume=volume,
+            cda=cda,
+            edge_nonce=edge_nonce,
+            operator_nonce=operator_nonce,
+            signature=signature,
+        )

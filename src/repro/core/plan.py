@@ -1,0 +1,39 @@
+"""The data plan agreed between the edge app vendor and the operator.
+
+Setup step (1) of §5.3.1: before any charging cycle, both parties agree on
+the cycle ``T = (T_start, T_end)`` and the lost-data charging weight
+``c ∈ [0, 1]``, and make them public.  Every TLC message embeds ``(T, c)``
+and the verifier rejects PoCs whose plan does not match.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.charging.cycle import ChargingCycle
+
+
+@dataclass(frozen=True)
+class DataPlan:
+    """The public plan parameters a negotiation runs under."""
+
+    cycle: ChargingCycle
+    loss_weight: float  # the constant c
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.loss_weight <= 1.0:
+            raise ValueError(
+                f"loss weight c out of [0,1]: {self.loss_weight}"
+            )
+
+    @property
+    def c(self) -> float:
+        """The paper's name for the loss weight."""
+        return self.loss_weight
+
+    def matches(self, other: "DataPlan", c_tolerance: float = 1e-9) -> bool:
+        """Plan-consistency check used by Algorithm 2 (lines 2-4)."""
+        return (
+            self.cycle.key() == other.cycle.key()
+            and abs(self.loss_weight - other.loss_weight) <= c_tolerance
+        )

@@ -1,0 +1,316 @@
+"""The TLC negotiation protocol (Figure 7 of the paper).
+
+Two :class:`NegotiationAgent` objects — one per party — exchange signed
+CDR/CDA/PoC messages after the charging cycle ends.  Either party can
+initiate.  The state machine per Figure 7a:
+
+- ``NULL``: initiator sends its CDR.
+- on receiving a CDR: accept → reply CDA (own claim + the peer's CDR);
+  reject → reply a fresh CDR (re-claim, bounds contracted).
+- on receiving a CDA: accept → construct the PoC, send it, done;
+  reject → reply a fresh CDR (case 2 of Figure 7b).
+- on receiving a PoC: verify, store, done.
+
+Claims and accept/reject decisions come from the party's
+:class:`~repro.core.strategies.Strategy`, so the protocol is exactly
+Algorithm 1 made concrete over authenticated messages.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+
+from repro.charging.policy import charged_volume
+from repro.core.messages import (
+    MessageError,
+    ProofOfCharging,
+    TlcCda,
+    TlcCdr,
+)
+from repro.core.plan import DataPlan
+from repro.core.strategies import Role, Strategy
+from repro.crypto.keys import PrivateKey, PublicKey
+from repro.crypto.nonces import NonceFactory
+
+
+class ProtocolState(enum.Enum):
+    """Figure 7a states, named by the last message type sent."""
+
+    NULL = "null"
+    CDR = "cdr"
+    CDA = "cda"
+    POC = "poc"
+
+
+class ProtocolError(RuntimeError):
+    """Raised on signature failures or protocol violations."""
+
+
+Message = TlcCdr | TlcCda | ProofOfCharging
+
+
+@dataclass
+class ProtocolOutcome:
+    """What a finished negotiation produced."""
+
+    poc: ProofOfCharging | None
+    rounds: int
+    messages: int
+    bytes_on_wire: int
+    converged: bool
+    transcript: list[Message] = field(default_factory=list)
+
+    @property
+    def volume(self) -> float | None:
+        """The negotiated charging volume, if agreement was reached."""
+        return self.poc.volume if self.poc is not None else None
+
+
+class NegotiationAgent:
+    """One party's protocol endpoint."""
+
+    def __init__(
+        self,
+        role: Role,
+        strategy: Strategy,
+        plan: DataPlan,
+        private_key: PrivateKey,
+        peer_public_key: PublicKey,
+        nonce_factory: NonceFactory,
+        app_id: str = "tlc-app",
+    ) -> None:
+        if strategy.role is not role:
+            raise ValueError(
+                f"strategy role {strategy.role} does not match agent role "
+                f"{role}"
+            )
+        self.role = role
+        self.strategy = strategy
+        self.plan = plan
+        self.private_key = private_key
+        self.peer_public_key = peer_public_key
+        self.app_id = app_id
+        self.state = ProtocolState.NULL
+        self.nonce = nonce_factory.fresh()
+        self.poc: ProofOfCharging | None = None
+        # Algorithm 1 bound tracking (visible to both parties).
+        self.lower_bound = 0.0
+        self.upper_bound = math.inf
+        self.round_index = 0
+        self._last_own_claim: float | None = None
+
+    # ------------------------------------------------------------------
+    # message construction
+
+    def _next_claim(self) -> float:
+        self.round_index += 1
+        value = self.strategy.claim(
+            self.lower_bound, self.upper_bound, self.round_index
+        )
+        self._last_own_claim = value
+        return value
+
+    def _make_cdr(self, volume: float) -> TlcCdr:
+        # The sequence number is the claim's round index: both parties'
+        # claim counts never diverge by more than one, which is what
+        # Algorithm 2's sequence check enforces against stale splices.
+        return TlcCdr(
+            party=self.role,
+            app_id=self.app_id,
+            cycle_start=self.plan.cycle.start,
+            cycle_end=self.plan.cycle.end,
+            c=self.plan.c,
+            sequence=self.round_index,
+            nonce=self.nonce,
+            volume=volume,
+        ).signed(self.private_key)
+
+    def _make_cda(self, volume: float, peer_cdr: TlcCdr) -> TlcCda:
+        return TlcCda(
+            party=self.role,
+            app_id=self.app_id,
+            cycle_start=self.plan.cycle.start,
+            cycle_end=self.plan.cycle.end,
+            c=self.plan.c,
+            sequence=self.round_index,
+            nonce=self.nonce,
+            volume=volume,
+            peer_cdr=peer_cdr,
+        ).signed(self.private_key)
+
+    def _make_poc(self, cda: TlcCda) -> ProofOfCharging:
+        own_claim = cda.peer_cdr.volume  # our CDR is embedded in their CDA
+        peer_claim = cda.volume
+        # Line 8's formula is symmetric in the claim order, so the same
+        # call serves whichever party constructs the PoC.
+        x = charged_volume(own_claim, peer_claim, self.plan.c)
+        edge_nonce = self.nonce if self.role is Role.EDGE else cda.nonce
+        operator_nonce = (
+            self.nonce if self.role is Role.OPERATOR else cda.nonce
+        )
+        return ProofOfCharging(
+            party=self.role,
+            cycle_start=self.plan.cycle.start,
+            cycle_end=self.plan.cycle.end,
+            c=self.plan.c,
+            volume=x,
+            cda=cda,
+            edge_nonce=edge_nonce,
+            operator_nonce=operator_nonce,
+        ).signed(self.private_key)
+
+    # ------------------------------------------------------------------
+    # validation
+
+    def _check_plan(self, start: float, end: float, c: float) -> None:
+        if (start, end) != self.plan.cycle.key() or abs(
+            c - self.plan.c
+        ) > 1e-9:
+            raise ProtocolError(
+                "peer message references a different data plan"
+            )
+
+    def _check_bounds(self, claim: float) -> bool:
+        slack = 1e-9 * max(1.0, abs(claim))
+        low_ok = claim >= self.lower_bound - slack
+        high_ok = math.isinf(self.upper_bound) or (
+            claim <= self.upper_bound + slack
+        )
+        return low_ok and high_ok
+
+    def _contract_bounds(self, claim_a: float, claim_b: float) -> None:
+        self.lower_bound = min(claim_a, claim_b)
+        self.upper_bound = max(claim_a, claim_b)
+
+    # ------------------------------------------------------------------
+    # protocol steps
+
+    def start(self) -> TlcCdr:
+        """Initiate the negotiation by sending the first CDR."""
+        if self.state is not ProtocolState.NULL:
+            raise ProtocolError(f"cannot start from state {self.state}")
+        cdr = self._make_cdr(self._next_claim())
+        self.state = ProtocolState.CDR
+        return cdr
+
+    def handle(self, message: Message) -> Message | None:
+        """Process an incoming message; returns the reply (None if done)."""
+        if isinstance(message, TlcCdr):
+            return self._handle_cdr(message)
+        if isinstance(message, TlcCda):
+            return self._handle_cda(message)
+        if isinstance(message, ProofOfCharging):
+            return self._handle_poc(message)
+        raise ProtocolError(f"unknown message type: {type(message)!r}")
+
+    def _handle_cdr(self, cdr: TlcCdr) -> Message:
+        if not cdr.verify_signature(self.peer_public_key):
+            raise ProtocolError("bad signature on peer CDR")
+        self._check_plan(cdr.cycle_start, cdr.cycle_end, cdr.c)
+
+        peer_in_bounds = self._check_bounds(cdr.volume)
+        own_claim = (
+            self._last_own_claim
+            if self.state is ProtocolState.CDR
+            and self._last_own_claim is not None
+            else self._next_claim()
+        )
+        accept = peer_in_bounds and self.strategy.decide(
+            own_claim=own_claim,
+            peer_claim=cdr.volume,
+            round_index=self.round_index,
+        )
+        if accept:
+            cda = self._make_cda(own_claim, cdr)
+            self.state = ProtocolState.CDA
+            return cda
+        # Reject: contract bounds over this round's claims and re-claim.
+        self._contract_bounds(own_claim, cdr.volume)
+        new_cdr = self._make_cdr(self._next_claim())
+        self.state = ProtocolState.CDR
+        return new_cdr
+
+    def _handle_cda(self, cda: TlcCda) -> Message:
+        if self.state is not ProtocolState.CDR:
+            raise ProtocolError(
+                f"CDA received in state {self.state}; expected CDR"
+            )
+        if not cda.verify_signature(self.peer_public_key):
+            raise ProtocolError("bad signature on peer CDA")
+        self._check_plan(cda.cycle_start, cda.cycle_end, cda.c)
+        if cda.peer_cdr.volume != self._last_own_claim:
+            raise ProtocolError(
+                "peer CDA embeds a CDR that does not match our last claim"
+            )
+
+        accept = self._check_bounds(cda.volume) and self.strategy.decide(
+            own_claim=self._last_own_claim,
+            peer_claim=cda.volume,
+            round_index=self.round_index,
+        )
+        if accept:
+            poc = self._make_poc(cda)
+            self.poc = poc
+            self.state = ProtocolState.POC
+            return poc
+        self._contract_bounds(self._last_own_claim, cda.volume)
+        new_cdr = self._make_cdr(self._next_claim())
+        self.state = ProtocolState.CDR
+        return new_cdr
+
+    def _handle_poc(self, poc: ProofOfCharging) -> None:
+        if self.state is not ProtocolState.CDA:
+            raise ProtocolError(
+                f"PoC received in state {self.state}; expected CDA"
+            )
+        if not poc.verify_signature(self.peer_public_key):
+            raise ProtocolError("bad signature on PoC")
+        self._check_plan(poc.cycle_start, poc.cycle_end, poc.c)
+        self.poc = poc
+        self.state = ProtocolState.POC
+        return None
+
+
+def run_negotiation(
+    initiator: NegotiationAgent,
+    responder: NegotiationAgent,
+    max_messages: int = 200,
+) -> ProtocolOutcome:
+    """Ping-pong messages between two agents until a PoC or the cap.
+
+    Returns the outcome from the initiator's perspective (both agents end
+    up storing the same PoC when the negotiation converges).
+    """
+    transcript: list[Message] = []
+    bytes_on_wire = 0
+
+    message: Message | None = initiator.start()
+    transcript.append(message)
+    bytes_on_wire += len(message.to_bytes())
+    current, other = responder, initiator
+
+    while message is not None and len(transcript) < max_messages:
+        try:
+            reply = current.handle(message)
+        except (ProtocolError, MessageError):
+            reply = None
+            break
+        if reply is None:
+            break
+        transcript.append(reply)
+        bytes_on_wire += len(reply.to_bytes())
+        message = reply
+        current, other = other, current
+
+    poc = initiator.poc or responder.poc
+    rounds = max(initiator.round_index, responder.round_index)
+    return ProtocolOutcome(
+        poc=poc,
+        rounds=rounds,
+        messages=len(transcript),
+        bytes_on_wire=bytes_on_wire,
+        converged=poc is not None,
+        transcript=transcript,
+    )

@@ -1,0 +1,99 @@
+"""Usage ground truth and per-party views.
+
+Table 1 notation:
+
+- ``x̂e`` — bytes the edge actually sent (:attr:`GroundTruth.sent`),
+- ``x̂o`` — bytes the network/receiver actually received
+  (:attr:`GroundTruth.received`), with the invariant ``x̂o <= x̂e``,
+- ``x̂ = x̂o + c (x̂e − x̂o)`` — the fair charging volume
+  (:meth:`GroundTruth.fair_volume`).
+
+Neither party sees the ground truth directly; each works from a
+:class:`UsageView` — its monitors' estimates of both quantities, carrying
+the measurement error Figure 18 quantifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.charging.policy import charged_volume
+
+
+@dataclass(frozen=True)
+class GroundTruth:
+    """The true (simulation-side) usage pair for one charging cycle."""
+
+    sent: float      # x̂e
+    received: float  # x̂o
+
+    def __post_init__(self) -> None:
+        if self.sent < 0 or self.received < 0:
+            raise ValueError("usage volumes must be non-negative")
+        if self.received > self.sent + 1e-9:
+            raise ValueError(
+                f"received ({self.received}) cannot exceed sent "
+                f"({self.sent}): data does not materialize in transit"
+            )
+
+    @property
+    def loss(self) -> float:
+        """Bytes lost in delivery: ``x̂e − x̂o``."""
+        return max(0.0, self.sent - self.received)
+
+    def fair_volume(self, c: float) -> float:
+        """The plan-prescribed charging volume x̂ (Equation 1)."""
+        return charged_volume(self.received, self.sent, c)
+
+
+@dataclass(frozen=True)
+class UsageView:
+    """One party's monitor-derived estimates of (x̂e, x̂o).
+
+    ``sent_estimate`` is the party's belief about x̂e and
+    ``received_estimate`` about x̂o.  §5.2: the operator infers x̂e from
+    its gateway counters and x̂o from RRC COUNTER CHECK; the edge infers
+    x̂e from its sender monitor and x̂o from its receiver-side monitor.
+    """
+
+    sent_estimate: float
+    received_estimate: float
+
+    def __post_init__(self) -> None:
+        if self.sent_estimate < 0 or self.received_estimate < 0:
+            raise ValueError("usage estimates must be non-negative")
+
+    def clamped(self) -> "UsageView":
+        """A view with ``received <= sent`` enforced (monitor noise can
+        locally invert the pair; claims built from it must not)."""
+        if self.received_estimate <= self.sent_estimate:
+            return self
+        return UsageView(
+            sent_estimate=self.received_estimate,
+            received_estimate=self.received_estimate,
+        )
+
+    @classmethod
+    def exact(cls, truth: GroundTruth) -> "UsageView":
+        """A perfectly accurate view (no monitor error)."""
+        return cls(
+            sent_estimate=truth.sent, received_estimate=truth.received
+        )
+
+    @classmethod
+    def with_errors(
+        cls,
+        truth: GroundTruth,
+        sent_error: float,
+        received_error: float,
+    ) -> "UsageView":
+        """A view with fractional errors applied to each estimate.
+
+        ``sent_error=+0.02`` means the party over-measures x̂e by 2%.
+        """
+        return cls(
+            sent_estimate=max(0.0, truth.sent * (1.0 + sent_error)),
+            received_estimate=max(
+                0.0, truth.received * (1.0 + received_error)
+            ),
+        )

@@ -1,0 +1,238 @@
+"""Negotiation strategies for Algorithm 1.
+
+Roles and their incentives (§3.4): the *edge* pays, so it minimizes the
+charged volume; the *operator* is paid, so it maximizes it.  Each strategy
+works from the party's own :class:`~repro.core.records.UsageView` — its
+monitors' estimates of (x̂e, x̂o) — never from the ground truth.
+
+Strategies provided:
+
+- :class:`HonestStrategy` — report your own measured quantity and accept
+  anything consistent with your records (cross-check with tolerance).
+- :class:`OptimalStrategy` — the paper's minimax/maximin play (§5.1,
+  proof of Theorem 3): the edge claims its estimate of x̂o, the operator
+  claims its estimate of x̂e.  Converges in one round against itself
+  (Theorem 4) and yields x = x̂.
+- :class:`RandomSelfishStrategy` — §7.1's TLC-random: selfish but unaware
+  of the optimal play; claims uniformly in the feasible band and haggles a
+  few rounds before accepting.
+- :class:`MisbehavingStrategy` — rejects everything and/or ignores the
+  bound constraint; used to test the engine's termination and the
+  bounded-charging property under misbehaviour.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+import random
+from typing import Protocol
+
+from repro.core.records import UsageView
+
+# Relative cross-check tolerance: a peer claim within this fraction of the
+# local estimate is considered consistent.  The paper's monitors disagree
+# by ~2% on average (Figure 18), so 8% accommodates the tail without
+# letting gross selfishness through.
+DEFAULT_CROSS_CHECK_TOLERANCE = 0.08
+
+
+class Role(enum.Enum):
+    """Which side of the negotiation a strategy plays."""
+
+    EDGE = "edge"          # minimizes the charge
+    OPERATOR = "operator"  # maximizes the charge
+
+
+class Strategy(Protocol):
+    """The Algorithm 1 player interface."""
+
+    role: Role
+
+    def claim(
+        self, lower_bound: float, upper_bound: float, round_index: int
+    ) -> float:
+        """Report a charging volume within the current bounds (line 4)."""
+        ...
+
+    def decide(
+        self, own_claim: float, peer_claim: float, round_index: int
+    ) -> bool:
+        """Accept or reject this round's claims (line 6)."""
+        ...
+
+
+def _clamp(value: float, low: float, high: float) -> float:
+    if math.isinf(high):
+        return max(value, low)
+    return min(max(value, low), high)
+
+
+class _ViewStrategy:
+    """Shared plumbing: a role, a usage view, and the cross-check test."""
+
+    def __init__(
+        self,
+        role: Role,
+        view: UsageView,
+        cross_check_tolerance: float = DEFAULT_CROSS_CHECK_TOLERANCE,
+    ) -> None:
+        self.role = role
+        self.view = view.clamped()
+        self.tolerance = float(cross_check_tolerance)
+
+    def _cross_check_ok(self, peer_claim: float) -> bool:
+        """The §4 cross-check, from this party's perspective.
+
+        The edge rejects an operator claim above its sent estimate
+        (``xo > x̂e`` means the network claims to have received more than
+        was ever sent); the operator rejects an edge claim below its
+        received estimate (``xe < x̂o``).
+        """
+        if self.role is Role.EDGE:
+            ceiling = self.view.sent_estimate * (1.0 + self.tolerance)
+            return peer_claim <= ceiling
+        floor = self.view.received_estimate * (1.0 - self.tolerance)
+        return peer_claim >= floor
+
+
+class HonestStrategy(_ViewStrategy):
+    """Report the truthful local record; accept consistent peers."""
+
+    def claim(
+        self, lower_bound: float, upper_bound: float, round_index: int
+    ) -> float:
+        if self.role is Role.EDGE:
+            value = self.view.sent_estimate
+        else:
+            value = self.view.received_estimate
+        return _clamp(value, lower_bound, upper_bound)
+
+    def decide(
+        self, own_claim: float, peer_claim: float, round_index: int
+    ) -> bool:
+        return self._cross_check_ok(peer_claim)
+
+
+class OptimalStrategy(_ViewStrategy):
+    """Theorem 3's rational play: xe = x̂o (edge), xo = x̂e (operator).
+
+    With line 8's symmetric formula, the pair (x̂o, x̂e) evaluates to
+    exactly x̂ = x̂o + c·(x̂e − x̂o), and both parties accept immediately
+    because each other's claim passes the cross-check — the 1-round
+    convergence of Theorem 4.
+    """
+
+    def claim(
+        self, lower_bound: float, upper_bound: float, round_index: int
+    ) -> float:
+        if self.role is Role.EDGE:
+            value = self.view.received_estimate  # minimax: claim x̂o
+        else:
+            value = self.view.sent_estimate      # maximin: claim x̂e
+        return _clamp(value, lower_bound, upper_bound)
+
+    def decide(
+        self, own_claim: float, peer_claim: float, round_index: int
+    ) -> bool:
+        return self._cross_check_ok(peer_claim)
+
+
+class RandomSelfishStrategy(_ViewStrategy):
+    """§7.1's TLC-random: selfish, but unaware of the optimal strategy.
+
+    Each round the party draws its claim uniformly from the feasible band
+    (its estimate of [x̂o, x̂e]) intersected with the current bounds —
+    biased toward its own interest by an ``overshoot`` that may push the
+    first claims slightly outside the other party's comfort zone.  It
+    accepts a consistent peer claim with a probability that rises with the
+    round index (haggling fatigue), which produces the paper's 2.7–4.6
+    average rounds while guaranteeing termination.
+    """
+
+    def __init__(
+        self,
+        role: Role,
+        view: UsageView,
+        rng: random.Random,
+        overshoot: float = 0.06,
+        base_accept_probability: float = 0.35,
+        patience_rounds: int = 10,
+        cross_check_tolerance: float = DEFAULT_CROSS_CHECK_TOLERANCE,
+    ) -> None:
+        super().__init__(role, view, cross_check_tolerance)
+        self.rng = rng
+        self.overshoot = float(overshoot)
+        self.base_accept_probability = float(base_accept_probability)
+        self.patience_rounds = int(patience_rounds)
+
+    def claim(
+        self, lower_bound: float, upper_bound: float, round_index: int
+    ) -> float:
+        low = self.view.received_estimate
+        high = self.view.sent_estimate
+        if self.role is Role.OPERATOR:
+            # Over-claim: up to overshoot above the sent estimate.
+            high = high * (1.0 + self.overshoot)
+        else:
+            # Under-claim: down to overshoot below the received estimate.
+            low = low * (1.0 - self.overshoot)
+        low = _clamp(low, lower_bound, upper_bound)
+        high = _clamp(high, lower_bound, upper_bound)
+        if high < low:
+            low, high = high, low
+        if high == low:
+            return low
+        return self.rng.uniform(low, high)
+
+    def decide(
+        self, own_claim: float, peer_claim: float, round_index: int
+    ) -> bool:
+        if not self._cross_check_ok(peer_claim):
+            return False
+        if round_index >= self.patience_rounds:
+            return True
+        # Haggling fatigue: the longer the negotiation, the likelier the
+        # party settles (neither side benefits from more rounds, §5.1).
+        p = 1.0 - (1.0 - self.base_accept_probability) * (
+            0.75 ** (round_index - 1)
+        )
+        return self.rng.random() < p
+
+
+class MisbehavingStrategy:
+    """A buggy/hostile player for robustness tests.
+
+    ``reject_all`` keeps rejecting forever; ``ignore_bounds`` claims
+    regardless of the negotiated bounds (detected by the engine and
+    auto-rejected, per §5.1's misbehaviour discussion); ``escalation``
+    grows the claim each round, so it strays *outside* the contracted
+    bounds rather than sitting on their boundary.
+    """
+
+    def __init__(
+        self,
+        role: Role,
+        fixed_claim: float,
+        reject_all: bool = True,
+        ignore_bounds: bool = True,
+        escalation: float = 1.0,
+    ) -> None:
+        self.role = role
+        self.fixed_claim = float(fixed_claim)
+        self.reject_all = reject_all
+        self.ignore_bounds = ignore_bounds
+        self.escalation = float(escalation)
+
+    def claim(
+        self, lower_bound: float, upper_bound: float, round_index: int
+    ) -> float:
+        value = self.fixed_claim * self.escalation ** (round_index - 1)
+        if self.ignore_bounds:
+            return value
+        return _clamp(value, lower_bound, upper_bound)
+
+    def decide(
+        self, own_claim: float, peer_claim: float, round_index: int
+    ) -> bool:
+        return not self.reject_all

@@ -1,0 +1,143 @@
+"""Algorithm 2: public verification of a Proof-of-Charging.
+
+An independent third party (FCC, court, MVNO — §5.3.4) receives a PoC plus
+the public data plan and both parties' public keys, and checks — without
+ever seeing the data transfer — that:
+
+1. every signature layer is valid (PoC by its constructor, the embedded
+   CDA by the other party, the inner CDR by the constructor again);
+2. the data plan ``(T, c)`` is consistent across all layers and equal to
+   the verifier's copy (lines 2-4);
+3. nonces and sequence numbers are coherent, and the nonce pair has not
+   been presented before (replay defence, lines 5-7);
+4. the negotiated volume equals line 8's formula recomputed from the two
+   embedded claims (lines 8-9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.charging.policy import charged_volume
+from repro.core.messages import MessageError, ProofOfCharging
+from repro.core.plan import DataPlan
+from repro.core.strategies import Role
+from repro.crypto.keys import PublicKey
+
+
+@dataclass(frozen=True)
+class VerificationResult:
+    """The verdict and, on failure, the violated check."""
+
+    ok: bool
+    reason: str = ""
+    volume: float | None = None
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.ok
+
+
+class PublicVerifier:
+    """A third-party verification service with a replay cache."""
+
+    def __init__(self, volume_tolerance: float = 1e-6) -> None:
+        self.volume_tolerance = float(volume_tolerance)
+        self._seen_nonce_pairs: set[tuple[bytes, bytes]] = set()
+        self.verified_count = 0
+        self.rejected_count = 0
+
+    def verify(
+        self,
+        poc: ProofOfCharging | bytes,
+        plan: DataPlan,
+        edge_key: PublicKey,
+        operator_key: PublicKey,
+    ) -> VerificationResult:
+        """Run Algorithm 2 on one PoC."""
+        result = self._verify(poc, plan, edge_key, operator_key)
+        if result.ok:
+            self.verified_count += 1
+        else:
+            self.rejected_count += 1
+        return result
+
+    def _verify(
+        self,
+        poc: ProofOfCharging | bytes,
+        plan: DataPlan,
+        edge_key: PublicKey,
+        operator_key: PublicKey,
+    ) -> VerificationResult:
+        if isinstance(poc, bytes):
+            try:
+                poc = ProofOfCharging.from_bytes(poc)
+            except (MessageError, ValueError) as exc:
+                return VerificationResult(False, f"malformed PoC: {exc}")
+
+        constructor_key = (
+            edge_key if poc.party is Role.EDGE else operator_key
+        )
+        accepter_key = (
+            operator_key if poc.party is Role.EDGE else edge_key
+        )
+
+        # (1) signature layers: PoC outer, CDA by the other party, inner
+        # CDR by the PoC constructor (it is the constructor's own CDR that
+        # the peer's CDA embeds).
+        if not poc.verify_signature(constructor_key):
+            return VerificationResult(False, "invalid PoC signature")
+        cda = poc.cda
+        if cda.party is poc.party:
+            return VerificationResult(
+                False, "CDA and PoC signed by the same party"
+            )
+        if not cda.verify_signature(accepter_key):
+            return VerificationResult(False, "invalid CDA signature")
+        cdr = cda.peer_cdr
+        if cdr.party is not poc.party:
+            return VerificationResult(
+                False, "inner CDR not from the PoC constructor"
+            )
+        if not cdr.verify_signature(constructor_key):
+            return VerificationResult(False, "invalid inner CDR signature")
+
+        # (2) plan consistency across layers and with the verifier's copy.
+        layers = [
+            (poc.cycle_start, poc.cycle_end, poc.c),
+            (cda.cycle_start, cda.cycle_end, cda.c),
+            (cdr.cycle_start, cdr.cycle_end, cdr.c),
+        ]
+        for start, end, c in layers:
+            if (start, end) != plan.cycle.key() or abs(c - plan.c) > 1e-9:
+                return VerificationResult(False, "inconsistent data plan")
+
+        # (3) nonce coherence + replay defence + sequence agreement.
+        edge_msg = cda if cda.party is Role.EDGE else cdr
+        op_msg = cda if cda.party is Role.OPERATOR else cdr
+        if poc.edge_nonce != edge_msg.nonce:
+            return VerificationResult(False, "edge nonce mismatch")
+        if poc.operator_nonce != op_msg.nonce:
+            return VerificationResult(False, "operator nonce mismatch")
+        # Sequence numbers are claim-round indices; legitimate protocol
+        # paths pair claims from the same or adjacent rounds.  A larger
+        # gap means a stale message was spliced into the proof.
+        if abs(cda.sequence - cdr.sequence) > 1:
+            return VerificationResult(
+                False, "sequence numbers disagree (possible replay splice)"
+            )
+        pair = (poc.edge_nonce, poc.operator_nonce)
+        if pair in self._seen_nonce_pairs:
+            return VerificationResult(False, "replayed PoC")
+        self._seen_nonce_pairs.add(pair)
+
+        # (4) recompute line 8 from the embedded claims.
+        expected = charged_volume(cdr.volume, cda.volume, plan.c)
+        if abs(expected - poc.volume) > self.volume_tolerance * max(
+            1.0, abs(expected)
+        ):
+            return VerificationResult(
+                False,
+                f"negotiated volume {poc.volume} does not match "
+                f"recomputed {expected}",
+            )
+        return VerificationResult(True, volume=poc.volume)

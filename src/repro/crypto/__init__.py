@@ -1,0 +1,31 @@
+"""Cryptographic substrate for Proof-of-Charging.
+
+The paper signs CDR/CDA/PoC messages with RSA-1024 via ``java.security``.
+No crypto library is assumed here, so this package implements the whole
+stack from scratch:
+
+- :mod:`repro.crypto.primes` — Miller–Rabin primality and prime generation,
+- :mod:`repro.crypto.rsa` — key generation and the raw RSA permutation,
+- :mod:`repro.crypto.signing` — PKCS#1 v1.5 signatures over SHA-256,
+- :mod:`repro.crypto.nonces` — replay-protection nonces and sequence numbers.
+
+Only signing and verification are used by the TLC protocol: the records are
+public, so confidentiality is out of scope (as in the paper).
+"""
+
+from repro.crypto.keys import KeyPair, PrivateKey, PublicKey
+from repro.crypto.nonces import NonceFactory, SequenceCounter
+from repro.crypto.rsa import generate_keypair
+from repro.crypto.signing import SignatureError, sign, verify
+
+__all__ = [
+    "KeyPair",
+    "PrivateKey",
+    "PublicKey",
+    "NonceFactory",
+    "SequenceCounter",
+    "generate_keypair",
+    "SignatureError",
+    "sign",
+    "verify",
+]

@@ -1,0 +1,112 @@
+"""RSA key objects and their serialization.
+
+Keys are plain dataclasses with integer fields.  Serialization is a compact
+deterministic JSON form (hex-encoded integers) — enough to publish a public
+key to a verifier, persist a negotiation transcript, or measure message
+sizes for the Figure 17 reproduction.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+
+def _int_byte_len(n: int) -> int:
+    return (n.bit_length() + 7) // 8
+
+
+@dataclass(frozen=True)
+class PublicKey:
+    """RSA public key ``(n, e)``."""
+
+    n: int
+    e: int
+
+    @property
+    def bits(self) -> int:
+        """Modulus size in bits."""
+        return self.n.bit_length()
+
+    @property
+    def byte_length(self) -> int:
+        """Modulus size in bytes (signature length)."""
+        return _int_byte_len(self.n)
+
+    def to_json(self) -> str:
+        """Serialize to a deterministic JSON string."""
+        return json.dumps(
+            {"kty": "RSA", "n": hex(self.n), "e": hex(self.e)},
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, data: str) -> "PublicKey":
+        """Parse a key serialized with :meth:`to_json`."""
+        obj = json.loads(data)
+        if obj.get("kty") != "RSA":
+            raise ValueError(f"not an RSA public key: {obj.get('kty')!r}")
+        return cls(n=int(obj["n"], 16), e=int(obj["e"], 16))
+
+    def fingerprint(self) -> str:
+        """Short stable identifier for logs and PoC records."""
+        import hashlib
+
+        return hashlib.sha256(self.to_json().encode()).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class PrivateKey:
+    """RSA private key with CRT components for fast signing."""
+
+    n: int
+    e: int
+    d: int
+    p: int
+    q: int
+
+    @property
+    def public(self) -> PublicKey:
+        """The matching public key."""
+        return PublicKey(n=self.n, e=self.e)
+
+    @property
+    def byte_length(self) -> int:
+        """Modulus size in bytes (signature length)."""
+        return _int_byte_len(self.n)
+
+    def to_json(self) -> str:
+        """Serialize to JSON (test/persistence use only; keys are secret)."""
+        return json.dumps(
+            {
+                "kty": "RSA",
+                "n": hex(self.n),
+                "e": hex(self.e),
+                "d": hex(self.d),
+                "p": hex(self.p),
+                "q": hex(self.q),
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, data: str) -> "PrivateKey":
+        """Parse a key serialized with :meth:`to_json`."""
+        obj = json.loads(data)
+        if obj.get("kty") != "RSA":
+            raise ValueError(f"not an RSA private key: {obj.get('kty')!r}")
+        return cls(
+            n=int(obj["n"], 16),
+            e=int(obj["e"], 16),
+            d=int(obj["d"], 16),
+            p=int(obj["p"], 16),
+            q=int(obj["q"], 16),
+        )
+
+
+@dataclass(frozen=True)
+class KeyPair:
+    """A private key together with its public half."""
+
+    private: PrivateKey
+    public: PublicKey

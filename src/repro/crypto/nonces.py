@@ -1,0 +1,52 @@
+"""Nonces and sequence numbers for replay protection.
+
+TLC messages carry a per-party nonce ``n_e``/``n_o`` and a sequence number
+``s_e``/``s_o`` (Table 1 of the paper); Algorithm 2 rejects PoCs whose
+nonces or sequence numbers are inconsistent, which defeats replays of old
+negotiation transcripts.
+"""
+
+from __future__ import annotations
+
+import random
+
+
+class NonceFactory:
+    """Generates fixed-width random nonces from a seeded stream."""
+
+    def __init__(self, rng: random.Random, width_bytes: int = 16) -> None:
+        if width_bytes < 8:
+            raise ValueError(f"nonce too short to resist replay: {width_bytes}")
+        self._rng = rng
+        self.width_bytes = width_bytes
+        self._issued: set[bytes] = set()
+
+    def fresh(self) -> bytes:
+        """Return a nonce never issued by this factory before."""
+        while True:
+            nonce = self._rng.getrandbits(self.width_bytes * 8).to_bytes(
+                self.width_bytes, "big"
+            )
+            if nonce not in self._issued:
+                self._issued.add(nonce)
+                return nonce
+
+
+class SequenceCounter:
+    """Monotone message sequence number, incremented on every send."""
+
+    def __init__(self, start: int = 0) -> None:
+        if start < 0:
+            raise ValueError(f"sequence numbers are non-negative: {start}")
+        self._value = int(start)
+
+    @property
+    def current(self) -> int:
+        """The last value handed out (``start - 1`` before first use)."""
+        return self._value - 1
+
+    def next(self) -> int:
+        """Return the next sequence number and advance."""
+        value = self._value
+        self._value += 1
+        return value

@@ -1,0 +1,69 @@
+"""PKCS#1 v1.5 signatures over SHA-256.
+
+This is the EMSA-PKCS1-v1_5 encoding from RFC 8017 §9.2: a DER-wrapped
+SHA-256 digest padded with ``0x00 0x01 FF.. 0x00``.  It is what
+``java.security``'s ``SHA256withRSA`` (used by the paper's prototype)
+produces, so signature sizes match the paper's message-size table.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.crypto.keys import PrivateKey, PublicKey
+from repro.crypto.rsa import rsa_private_op, rsa_public_op
+
+# DER prefix for a SHA-256 DigestInfo (RFC 8017, Appendix A.2.4).
+_SHA256_DER_PREFIX = bytes.fromhex("3031300d060960864801650304020105000420")
+
+
+class SignatureError(ValueError):
+    """Raised when a signature fails verification or cannot be produced."""
+
+
+def _emsa_pkcs1_v15_encode(message: bytes, em_len: int) -> bytes:
+    """EMSA-PKCS1-v1_5 encoding of SHA-256(message) into ``em_len`` bytes."""
+    digest = hashlib.sha256(message).digest()
+    t = _SHA256_DER_PREFIX + digest
+    if em_len < len(t) + 11:
+        raise SignatureError(
+            f"key too small for SHA-256 PKCS#1 v1.5: need at least "
+            f"{len(t) + 11} bytes, modulus gives {em_len}"
+        )
+    padding = b"\xff" * (em_len - len(t) - 3)
+    return b"\x00\x01" + padding + b"\x00" + t
+
+
+def sign(key: PrivateKey, message: bytes) -> bytes:
+    """Sign ``message`` with ``key``; returns a modulus-length signature."""
+    em_len = key.byte_length
+    em = _emsa_pkcs1_v15_encode(message, em_len)
+    m = int.from_bytes(em, "big")
+    s = rsa_private_op(key, m)
+    return s.to_bytes(em_len, "big")
+
+
+def verify(key: PublicKey, message: bytes, signature: bytes) -> bool:
+    """Return True iff ``signature`` is a valid signature on ``message``.
+
+    Verification is strict (full encoding comparison), which forecloses
+    Bleichenbacher-style forgery against lax parsers.
+    """
+    if len(signature) != key.byte_length:
+        return False
+    s = int.from_bytes(signature, "big")
+    if s >= key.n:
+        return False
+    m = rsa_public_op(key, s)
+    recovered = m.to_bytes(key.byte_length, "big")
+    try:
+        expected = _emsa_pkcs1_v15_encode(message, key.byte_length)
+    except SignatureError:
+        return False
+    return recovered == expected
+
+
+def require_valid(key: PublicKey, message: bytes, signature: bytes) -> None:
+    """Verify and raise :class:`SignatureError` on failure."""
+    if not verify(key, message, signature):
+        raise SignatureError("signature verification failed")

@@ -1,0 +1,19 @@
+"""Economic deployment incentives (§8).
+
+The paper argues both sides *want* TLC: the edge deploys it to block
+unbounded over-charging, and an operator deploys it because "an operator
+with TLC will gain the unique competitive edge (i.e., trusted charging)
+over other operators without TLC, and attract more users (revenue)" —
+especially in the prepaid/MVNO segment where monthly churn reaches 25%.
+
+:mod:`repro.economics.adoption` turns that argument into a churn-driven
+market-share model so the incentive can be measured instead of asserted.
+"""
+
+from repro.economics.adoption import (
+    AdoptionModel,
+    MarketState,
+    OperatorProfile,
+)
+
+__all__ = ["AdoptionModel", "MarketState", "OperatorProfile"]

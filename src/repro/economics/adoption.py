@@ -1,0 +1,144 @@
+"""A churn-driven market model of TLC adoption.
+
+Users (edge vendors) sit on operators.  Each month a fraction of every
+operator's users *shops around* (the churn propensity — up to 25%/month
+for prepaid/MVNO, §8).  A shopping user leaves its operator with a
+probability that grows with the over-billing it experiences there
+(operators running TLC expose only the record error; legacy operators
+expose the full charging gap, plus any selfish inflation).  Leavers pick
+a destination weighted by trustworthiness = 1 / (1 + overbilling).
+
+The dynamics are deterministic expected-value difference equations, so
+tests are exact; the qualitative §8 claim to verify is that deploying
+TLC strictly grows steady-state share whenever rivals over-bill.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class OperatorProfile:
+    """One operator's charging behaviour as its users experience it.
+
+    ``overbilling_ratio`` is the expected fraction by which bills exceed
+    the fair volume: a legacy operator's loss-induced gap (e.g. 0.08
+    under congestion), plus selfish inflation if any; a TLC operator's
+    residual record error (~0.02).
+    """
+
+    name: str
+    deploys_tlc: bool
+    overbilling_ratio: float
+
+    def __post_init__(self) -> None:
+        if self.overbilling_ratio < 0:
+            raise ValueError(
+                f"overbilling ratio must be >= 0: {self.overbilling_ratio}"
+            )
+
+    @property
+    def trust_weight(self) -> float:
+        """Attractiveness to shopping users."""
+        return 1.0 / (1.0 + self.overbilling_ratio)
+
+
+@dataclass
+class MarketState:
+    """Market shares by operator name (fractions summing to 1)."""
+
+    shares: dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        total = sum(self.shares.values())
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"shares must sum to 1, got {total}")
+        if any(share < 0 for share in self.shares.values()):
+            raise ValueError("shares must be non-negative")
+
+    def share_of(self, name: str) -> float:
+        """One operator's current share."""
+        return self.shares[name]
+
+
+class AdoptionModel:
+    """Expected-value churn dynamics over a set of operators."""
+
+    def __init__(
+        self,
+        operators: list[OperatorProfile],
+        churn_propensity: float = 0.25,
+        billing_sensitivity: float = 4.0,
+    ) -> None:
+        if not operators:
+            raise ValueError("need at least one operator")
+        names = [op.name for op in operators]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate operator names: {names}")
+        if not 0.0 <= churn_propensity <= 1.0:
+            raise ValueError(
+                f"churn propensity out of [0,1]: {churn_propensity}"
+            )
+        if billing_sensitivity < 0:
+            raise ValueError(
+                f"billing sensitivity must be >= 0: {billing_sensitivity}"
+            )
+        self.operators = {op.name: op for op in operators}
+        self.churn_propensity = float(churn_propensity)
+        self.billing_sensitivity = float(billing_sensitivity)
+
+    def uniform_start(self) -> MarketState:
+        """Everyone starts with equal share."""
+        n = len(self.operators)
+        return MarketState({name: 1.0 / n for name in self.operators})
+
+    def leave_probability(self, operator: OperatorProfile) -> float:
+        """P(a shopping user leaves), rising with over-billing."""
+        pressure = self.billing_sensitivity * operator.overbilling_ratio
+        return self.churn_propensity * min(1.0, pressure)
+
+    def step(self, state: MarketState) -> MarketState:
+        """One month of expected churn."""
+        leavers = {
+            name: state.share_of(name)
+            * self.leave_probability(self.operators[name])
+            for name in self.operators
+        }
+        pool = sum(leavers.values())
+        weights = {
+            name: op.trust_weight for name, op in self.operators.items()
+        }
+        weight_total = sum(weights.values())
+        new_shares = {}
+        for name in self.operators:
+            inflow = pool * weights[name] / weight_total
+            new_shares[name] = (
+                state.share_of(name) - leavers[name] + inflow
+            )
+        return MarketState(new_shares)
+
+    def run(self, months: int, state: MarketState | None = None) -> MarketState:
+        """Iterate the dynamics for ``months`` steps."""
+        if months < 0:
+            raise ValueError(f"negative horizon: {months}")
+        state = state or self.uniform_start()
+        for _ in range(months):
+            state = self.step(state)
+        return state
+
+    def steady_state(
+        self, tolerance: float = 1e-10, max_months: int = 10_000
+    ) -> MarketState:
+        """Iterate until shares stop moving."""
+        state = self.uniform_start()
+        for _ in range(max_months):
+            nxt = self.step(state)
+            drift = max(
+                abs(nxt.share_of(n) - state.share_of(n))
+                for n in self.operators
+            )
+            state = nxt
+            if drift < tolerance:
+                break
+        return state

@@ -1,0 +1,32 @@
+"""Experiment harness: one driver per table/figure of the paper's §7.
+
+The :mod:`repro.experiments.scenario` runner stands up the full stack
+(workload -> LTE network -> monitors -> TLC negotiation) for one charging
+cycle and returns the ground truth plus both parties' views.  Per-figure
+drivers sweep it:
+
+- :mod:`repro.experiments.congestion` — Figures 3, 13 and the §3.2 numbers,
+- :mod:`repro.experiments.intermittent` — Figures 4 and 14,
+- :mod:`repro.experiments.overall` — Figure 12 and Table 2,
+- :mod:`repro.experiments.plan_sweep` — Figure 15,
+- :mod:`repro.experiments.latency` — Figure 16,
+- :mod:`repro.experiments.poc_cost` — Figure 17,
+- :mod:`repro.experiments.cdr_error` — Figure 18,
+- :mod:`repro.experiments.report` — plain-text table/series rendering.
+"""
+
+from repro.experiments.scenario import (
+    ChargingScheme,
+    ScenarioConfig,
+    ScenarioResult,
+    charge_with_scheme,
+    run_scenario,
+)
+
+__all__ = [
+    "ChargingScheme",
+    "ScenarioConfig",
+    "ScenarioResult",
+    "charge_with_scheme",
+    "run_scenario",
+]

@@ -1,0 +1,124 @@
+"""Congestion experiments: Figures 3 and 13, plus the §3.2 baselines.
+
+The paper loads the cell with iperf UDP background traffic in
+{0, 100, 120, 140, 160} Mbps and reports:
+
+- Figure 3 — the *record gap* per hour (gateway count minus edge count,
+  i.e. the lost volume) for the three streaming apps under legacy
+  charging;
+- Figure 13 — the charging gap ratio ε for legacy / TLC-random /
+  TLC-optimal across the same sweep, all four apps;
+- §3.2 — good-radio no-congestion record gaps: 8.28 / 59.04 / 80.64
+  MB/hr for RTSP webcam / UDP webcam / GVSP VR.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+
+from repro.core.gap import per_hour, to_mb
+from repro.experiments.scenario import (
+    ChargingScheme,
+    ScenarioConfig,
+    charge_with_scheme,
+    run_scenario,
+)
+
+PAPER_BACKGROUND_SWEEP_BPS = (0.0, 100e6, 120e6, 140e6, 160e6)
+FIG3_APPS = ("webcam-rtsp", "webcam-udp", "vridge")
+ALL_APPS = ("webcam-rtsp", "webcam-udp", "vridge", "gaming")
+
+
+@dataclass(frozen=True)
+class CongestionPoint:
+    """One (app, background) cell of the sweep, averaged over seeds."""
+
+    app: str
+    background_bps: float
+    record_gap_mb_per_hr: float     # Figure 3's y-axis (loss volume)
+    legacy_gap_ratio: float         # Figure 13 series
+    tlc_random_gap_ratio: float
+    tlc_optimal_gap_ratio: float
+    loss_fraction: float
+
+
+def run_congestion_point(
+    app: str,
+    background_bps: float,
+    seeds: tuple[int, ...] = (1, 2, 3),
+    cycle_duration: float = 60.0,
+    loss_weight: float = 0.5,
+) -> CongestionPoint:
+    """Average one sweep cell over several seeded cycles."""
+    record_gaps = []
+    ratios: dict[ChargingScheme, list[float]] = {
+        s: [] for s in ChargingScheme
+    }
+    losses = []
+    for seed in seeds:
+        config = ScenarioConfig(
+            app=app,
+            seed=seed,
+            cycle_duration=cycle_duration,
+            background_bps=background_bps,
+            loss_weight=loss_weight,
+        )
+        result = run_scenario(config)
+        record_gaps.append(
+            to_mb(per_hour(result.truth.loss, result.duration))
+        )
+        if result.truth.sent > 0:
+            losses.append(result.truth.loss / result.truth.sent)
+        for scheme in (
+            ChargingScheme.LEGACY,
+            ChargingScheme.TLC_RANDOM,
+            ChargingScheme.TLC_OPTIMAL,
+        ):
+            outcome = charge_with_scheme(result, scheme, seed=seed)
+            ratios[scheme].append(outcome.gap_ratio)
+
+    return CongestionPoint(
+        app=app,
+        background_bps=background_bps,
+        record_gap_mb_per_hr=statistics.mean(record_gaps),
+        legacy_gap_ratio=statistics.mean(ratios[ChargingScheme.LEGACY]),
+        tlc_random_gap_ratio=statistics.mean(
+            ratios[ChargingScheme.TLC_RANDOM]
+        ),
+        tlc_optimal_gap_ratio=statistics.mean(
+            ratios[ChargingScheme.TLC_OPTIMAL]
+        ),
+        loss_fraction=statistics.mean(losses) if losses else 0.0,
+    )
+
+
+def congestion_sweep(
+    apps: tuple[str, ...] = ALL_APPS,
+    backgrounds_bps: tuple[float, ...] = PAPER_BACKGROUND_SWEEP_BPS,
+    seeds: tuple[int, ...] = (1, 2, 3),
+    cycle_duration: float = 60.0,
+    loss_weight: float = 0.5,
+) -> list[CongestionPoint]:
+    """The full Figure 3 / Figure 13 grid."""
+    return [
+        run_congestion_point(
+            app, bg, seeds, cycle_duration, loss_weight
+        )
+        for app in apps
+        for bg in backgrounds_bps
+    ]
+
+
+def baseline_record_gaps(
+    seeds: tuple[int, ...] = (1, 2, 3, 4, 5),
+    cycle_duration: float = 60.0,
+) -> dict[str, float]:
+    """§3.2's good-radio, no-congestion record gaps (MB/hr) per app."""
+    out = {}
+    for app in FIG3_APPS:
+        point = run_congestion_point(
+            app, 0.0, seeds=seeds, cycle_duration=cycle_duration
+        )
+        out[app] = point.record_gap_mb_per_hr
+    return out

@@ -1,0 +1,206 @@
+"""Intermittent-connectivity experiments: Figures 4 and 14.
+
+Figure 4 is a 300 s time series of a downlink UDP webcam stream through
+outages (mean 1.93 s): the sending rate vs. the device-received rate, the
+cumulative record gap, and the RSS trace with no-service periods.  The
+buffer-assisted recovery after reconnection (the paper's t=240 s note) and
+the <5 s radio-link-failure blind spot both show up.
+
+Figure 14 sweeps the disconnectivity ratio η = t_disconn / t_total over
+5-15% and reports the charging-gap ratio per scheme.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+
+from repro.apps.base import FrameModel, Workload
+from repro.charging.policy import ChargingPolicy
+from repro.experiments.scenario import (
+    ChargingScheme,
+    ScenarioConfig,
+    charge_with_scheme,
+    run_scenario,
+)
+from repro.lte.network import LteNetwork, LteNetworkConfig
+from repro.net.channel import ChannelConfig
+from repro.net.congestion import CongestionConfig
+from repro.net.packet import Direction
+from repro.sim.events import EventLoop
+from repro.sim.rng import RngStreams
+
+
+@dataclass
+class TimeseriesSample:
+    """One 1-second sample of the Figure 4 panels."""
+
+    time: float
+    edge_rate_mbps: float        # what the edge server offered
+    network_rate_mbps: float     # what the device actually received
+    cumulative_gap_mb: float     # gateway-charged minus device-received
+    rss_dbm: float
+    connected: bool
+
+
+@dataclass
+class TimeseriesResult:
+    """The full Figure 4 trace plus summary statistics."""
+
+    samples: list[TimeseriesSample] = field(default_factory=list)
+    mean_outage_duration: float = 0.0
+    total_outage_time: float = 0.0
+    final_gap_mb: float = 0.0
+    rlf_events: int = 0
+
+
+def intermittent_timeseries(
+    duration: float = 300.0,
+    seed: int = 4,
+    mean_outage: float = 1.93,
+    disconnectivity_ratio: float = 0.10,
+    rss_dbm: float = -95.0,
+    sample_period: float = 1.0,
+) -> TimeseriesResult:
+    """Reproduce Figure 4: DL UDP webcam through intermittent coverage."""
+    loop = EventLoop()
+    rngs = RngStreams(seed)
+    channel = ChannelConfig.for_disconnectivity_ratio(
+        disconnectivity_ratio,
+        mean_outage=mean_outage,
+        rss_dbm=rss_dbm,
+        base_loss_rate=0.01,
+    )
+    net_config = LteNetworkConfig(
+        channel=channel,
+        congestion=CongestionConfig(background_bps=0.0),
+        policy=ChargingPolicy(loss_weight=0.5),
+    )
+    network = LteNetwork(loop, net_config, rngs.fork("lte"))
+
+    # Downlink UDP webcam at the paper's Figure 4 rate (~1.7 Mbps).
+    workload = Workload(
+        loop=loop,
+        send=network.send_downlink,
+        model=FrameModel(bitrate_bps=1.73e6, fps=30.0),
+        rng=rngs.stream("workload"),
+        flow="webcam-udp-dl",
+        direction=Direction.DOWNLINK,
+        qci=9,
+    )
+
+    result = TimeseriesResult()
+    rss_noise = rngs.stream("rss")
+    state = {"last_sent": 0, "last_received": 0}
+    outage_spans: list[float] = []
+    outage_started = {"t": None}
+
+    def on_channel_state(connected: bool) -> None:
+        if not connected:
+            outage_started["t"] = loop.now
+        elif outage_started["t"] is not None:
+            outage_spans.append(loop.now - outage_started["t"])
+            outage_started["t"] = None
+
+    network.channel.on_state_change(on_channel_state)
+
+    def sample() -> None:
+        sent = network.server_sent_bytes
+        received = network.ue.app_received_bytes
+        edge_rate = (sent - state["last_sent"]) * 8 / sample_period / 1e6
+        net_rate = (
+            (received - state["last_received"]) * 8 / sample_period / 1e6
+        )
+        state["last_sent"] = sent
+        state["last_received"] = received
+        connected = network.channel.connected
+        rss = rss_dbm + rss_noise.gauss(0.0, 2.0)
+        if not connected:
+            rss = -125.0 + rss_noise.gauss(0.0, 1.5)
+        gap_mb = (
+            network.gateway.charged_downlink_bytes - received
+        ) / 1e6
+        result.samples.append(
+            TimeseriesSample(
+                time=loop.now,
+                edge_rate_mbps=edge_rate,
+                network_rate_mbps=net_rate,
+                cumulative_gap_mb=gap_mb,
+                rss_dbm=rss,
+                connected=connected,
+            )
+        )
+        if loop.now + sample_period <= duration:
+            loop.schedule_in(sample_period, sample, label="sampler")
+
+    workload.start()
+    loop.schedule_in(sample_period, sample, label="sampler")
+    loop.schedule_at(duration, workload.stop, label="stop")
+    loop.run(until=duration + 0.5)
+
+    result.total_outage_time = network.channel.total_outage_time
+    result.mean_outage_duration = (
+        statistics.mean(outage_spans) if outage_spans else 0.0
+    )
+    result.final_gap_mb = (
+        network.gateway.charged_downlink_bytes
+        - network.ue.app_received_bytes
+    ) / 1e6
+    result.rlf_events = network.enodeb.rlf_events
+    return result
+
+
+@dataclass(frozen=True)
+class IntermittentPoint:
+    """One η cell of the Figure 14 sweep, averaged over seeds."""
+
+    disconnectivity_ratio: float
+    legacy_gap_ratio: float
+    tlc_random_gap_ratio: float
+    tlc_optimal_gap_ratio: float
+
+
+def intermittent_sweep(
+    etas: tuple[float, ...] = (0.05, 0.07, 0.09, 0.11, 0.13, 0.15),
+    seeds: tuple[int, ...] = (1, 2, 3, 4),
+    app: str = "webcam-udp",
+    cycle_duration: float = 120.0,
+    loss_weight: float = 0.5,
+) -> list[IntermittentPoint]:
+    """Reproduce Figure 14: gap ratio vs disconnectivity ratio η."""
+    points = []
+    for eta in etas:
+        ratios: dict[ChargingScheme, list[float]] = {
+            s: [] for s in ChargingScheme
+        }
+        for seed in seeds:
+            config = ScenarioConfig(
+                app=app,
+                seed=seed,
+                cycle_duration=cycle_duration,
+                disconnectivity_ratio=eta,
+                loss_weight=loss_weight,
+            )
+            result = run_scenario(config)
+            for scheme in (
+                ChargingScheme.LEGACY,
+                ChargingScheme.TLC_RANDOM,
+                ChargingScheme.TLC_OPTIMAL,
+            ):
+                outcome = charge_with_scheme(result, scheme, seed=seed)
+                ratios[scheme].append(outcome.gap_ratio)
+        points.append(
+            IntermittentPoint(
+                disconnectivity_ratio=eta,
+                legacy_gap_ratio=statistics.mean(
+                    ratios[ChargingScheme.LEGACY]
+                ),
+                tlc_random_gap_ratio=statistics.mean(
+                    ratios[ChargingScheme.TLC_RANDOM]
+                ),
+                tlc_optimal_gap_ratio=statistics.mean(
+                    ratios[ChargingScheme.TLC_OPTIMAL]
+                ),
+            )
+        )
+    return points

@@ -1,0 +1,132 @@
+"""Mobility experiment: handover rate vs the charging gap.
+
+Not a numbered figure in the paper, but §3.1's cause-2 taxonomy entry;
+DESIGN.md lists it as an ablation.  Shape expected: the legacy downlink
+gap grows with the handover rate (each break loses charged-but-undelivered
+bytes), while TLC's negotiated volume stays at record-error level — and
+handovers actually *improve* the operator's RRC record freshness because
+each one triggers a COUNTER CHECK.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+
+from repro.apps.base import FrameModel, Workload
+from repro.charging.cycle import ChargingCycle
+from repro.core.cancellation import negotiate
+from repro.core.plan import DataPlan
+from repro.core.records import GroundTruth, UsageView
+from repro.core.strategies import OptimalStrategy, Role
+from repro.lte.handover import HandoverConfig, HandoverManager
+from repro.lte.network import LteNetwork, LteNetworkConfig
+from repro.net.channel import ChannelConfig
+from repro.net.packet import Direction
+from repro.sim.events import EventLoop
+from repro.sim.rng import RngStreams
+
+
+@dataclass(frozen=True)
+class MobilityPoint:
+    """Gap metrics at one handover rate, averaged over seeds."""
+
+    mean_handover_interval: float
+    handovers_per_cycle: float
+    counter_checks_per_cycle: float
+    legacy_gap_ratio: float
+    tlc_gap_ratio: float
+
+
+def run_mobility_point(
+    mean_interval: float,
+    seeds: tuple[int, ...] = (1, 2, 3),
+    duration: float = 60.0,
+    interruption: float = 0.050,
+    bitrate_bps: float = 9.0e6,
+) -> MobilityPoint:
+    """One (handover rate) cell of the mobility sweep."""
+    handovers, checks, legacy_ratios, tlc_ratios = [], [], [], []
+    for seed in seeds:
+        loop = EventLoop()
+        rngs = RngStreams(seed)
+        network = LteNetwork(
+            loop,
+            LteNetworkConfig(
+                channel=ChannelConfig(
+                    rss_dbm=-90.0,
+                    base_loss_rate=0.01,
+                    mean_uptime=float("inf"),
+                    buffer_packets=32,
+                ),
+            ),
+            rngs.fork("lte"),
+        )
+        manager = HandoverManager(
+            loop,
+            network.enodeb,
+            HandoverConfig(
+                mean_interval=mean_interval, interruption=interruption
+            ),
+            rngs.stream("mobility"),
+        )
+        workload = Workload(
+            loop=loop,
+            send=network.send_downlink,
+            model=FrameModel(bitrate_bps=bitrate_bps, fps=60.0),
+            rng=rngs.stream("workload"),
+            flow="vr-mobile",
+            direction=Direction.DOWNLINK,
+        )
+        workload.start()
+        loop.schedule_at(duration, workload.stop, label="stop")
+        loop.run(until=duration + 1.0)
+
+        truth = GroundTruth(
+            sent=float(network.true_downlink_sent()),
+            received=float(network.true_downlink_received()),
+        )
+        fair = truth.fair_volume(0.5)
+        legacy = float(network.legacy_charged(Direction.DOWNLINK))
+        plan = DataPlan(
+            cycle=ChargingCycle(index=0, start=0.0, end=duration),
+            loss_weight=0.5,
+        )
+        view = UsageView.exact(truth)
+        result = negotiate(
+            OptimalStrategy(Role.EDGE, view),
+            OptimalStrategy(Role.OPERATOR, view),
+            plan,
+        )
+        handovers.append(manager.handover_count)
+        checks.append(network.enodeb.counter_check_messages)
+        if fair > 0:
+            legacy_ratios.append(abs(legacy - fair) / fair)
+            tlc_ratios.append(abs((result.volume or 0.0) - fair) / fair)
+
+    return MobilityPoint(
+        mean_handover_interval=mean_interval,
+        handovers_per_cycle=statistics.mean(handovers),
+        counter_checks_per_cycle=statistics.mean(checks),
+        legacy_gap_ratio=statistics.mean(legacy_ratios),
+        tlc_gap_ratio=statistics.mean(tlc_ratios),
+    )
+
+
+def mobility_sweep(
+    intervals: tuple[float, ...] = (30.0, 10.0, 3.0, 1.0),
+    seeds: tuple[int, ...] = (1, 2, 3),
+    duration: float = 60.0,
+    interruption: float = 0.150,
+) -> list[MobilityPoint]:
+    """Handover-rate sweep from stationary-ish (largest interval) to
+    highway-speed cell-crossing (smallest)."""
+    return [
+        run_mobility_point(
+            interval,
+            seeds=seeds,
+            duration=duration,
+            interruption=interruption,
+        )
+        for interval in intervals
+    ]

@@ -1,0 +1,117 @@
+"""Multi-operator settlement experiment (§8).
+
+Drives a dual-homed edge device across operator pairs with asymmetric
+radio quality and compares per-operator TLC settlement against a naive
+"split the legacy bill by operator" scheme.  Shape expected: TLC charges
+each operator's x̂ exactly (one round each), so the lossier operator's
+bill shrinks by its own loss — while legacy billing per operator keeps
+charging the gateway counts.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+
+from repro.charging.policy import ChargingPolicy
+from repro.lte.network import LteNetworkConfig
+from repro.multiop.coordinator import MultiAccessEdge, RoutingPolicy
+from repro.net.channel import ChannelConfig
+from repro.net.packet import Direction, Packet
+from repro.sim.events import EventLoop
+
+
+@dataclass(frozen=True)
+class SettlementPoint:
+    """One asymmetry level, averaged over seeds."""
+
+    lossy_leg_loss_rate: float
+    clean_fair_mb: float
+    lossy_fair_mb: float
+    clean_tlc_mb: float
+    lossy_tlc_mb: float
+    lossy_legacy_mb: float
+    rounds_total: float
+
+
+def _operator_config(base_loss: float) -> LteNetworkConfig:
+    return LteNetworkConfig(
+        channel=ChannelConfig(
+            rss_dbm=-90.0,
+            base_loss_rate=base_loss,
+            mean_uptime=float("inf"),
+        ),
+        policy=ChargingPolicy(loss_weight=0.5),
+    )
+
+
+def run_settlement_point(
+    lossy_rate: float,
+    seeds: tuple[int, ...] = (1, 2, 3),
+    duration: float = 30.0,
+    packet_size: int = 800,
+    packet_interval: float = 0.01,
+) -> SettlementPoint:
+    """One asymmetric dual-operator cycle, averaged over seeds."""
+    clean_fair, lossy_fair = [], []
+    clean_tlc, lossy_tlc = [], []
+    lossy_legacy, rounds = [], []
+    MB = 1e6
+    for seed in seeds:
+        loop = EventLoop()
+        edge = MultiAccessEdge(
+            loop,
+            {
+                "clean": _operator_config(0.01),
+                "lossy": _operator_config(lossy_rate),
+            },
+            seed=seed,
+            routing=RoutingPolicy.ROUND_ROBIN,
+        )
+        count = int(duration / packet_interval)
+        for i in range(count):
+            loop.schedule_at(
+                i * packet_interval,
+                lambda s=i: edge.send(
+                    Packet(
+                        size=packet_size,
+                        flow=f"sensor-{s % 4}",
+                        direction=Direction.UPLINK,
+                        created_at=0.0,
+                        seq=s,
+                    )
+                ),
+            )
+        loop.run(until=duration + 2.0)
+        outcomes = {
+            o.operator: o
+            for o in edge.settle_cycle(duration, Direction.UPLINK)
+        }
+        clean_fair.append(outcomes["clean"].fair_volume / MB)
+        lossy_fair.append(outcomes["lossy"].fair_volume / MB)
+        clean_tlc.append((outcomes["clean"].negotiated or 0.0) / MB)
+        lossy_tlc.append((outcomes["lossy"].negotiated or 0.0) / MB)
+        lossy_legacy.append(outcomes["lossy"].legacy_charged / MB)
+        rounds.append(sum(o.rounds for o in outcomes.values()))
+
+    return SettlementPoint(
+        lossy_leg_loss_rate=lossy_rate,
+        clean_fair_mb=statistics.mean(clean_fair),
+        lossy_fair_mb=statistics.mean(lossy_fair),
+        clean_tlc_mb=statistics.mean(clean_tlc),
+        lossy_tlc_mb=statistics.mean(lossy_tlc),
+        lossy_legacy_mb=statistics.mean(lossy_legacy),
+        rounds_total=statistics.mean(rounds),
+    )
+
+
+def settlement_sweep(
+    lossy_rates: tuple[float, ...] = (0.02, 0.08, 0.20),
+    seeds: tuple[int, ...] = (1, 2, 3),
+    duration: float = 30.0,
+) -> list[SettlementPoint]:
+    """Sweep the lossy leg's loss rate."""
+    return [
+        run_settlement_point(rate, seeds=seeds, duration=duration)
+        for rate in lossy_rates
+    ]

@@ -1,0 +1,183 @@
+"""Overall effectiveness: Figure 12 (gap CDFs) and Table 2 (averages).
+
+The paper's dataset mixes experiment rounds across congestion levels
+(0-1 Gbps offered background) and radio conditions ([-95, -120] dBm /
+intermittency) — Table 2's averages and Figure 12's CDFs are computed over
+that mixed population.  :func:`overall_dataset` reproduces the mix with a
+deterministic grid of conditions x seeds.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+
+from repro.core.gap import per_hour, to_mb
+from repro.experiments.scenario import (
+    ChargingScheme,
+    ScenarioConfig,
+    charge_with_scheme,
+    run_scenario,
+)
+
+ALL_APPS = ("webcam-rtsp", "webcam-udp", "vridge", "gaming")
+
+# The mixed-condition grid standing in for the paper's experiment rounds:
+# (background offered load, disconnectivity ratio).
+DEFAULT_CONDITIONS = (
+    (0.0, 0.0),
+    (60e6, 0.0),
+    (100e6, 0.0),
+    (120e6, 0.02),
+    (140e6, 0.04),
+    (160e6, 0.06),
+)
+
+
+@dataclass(frozen=True)
+class CycleOutcome:
+    """One charging cycle's gap metrics for every scheme."""
+
+    app: str
+    seed: int
+    background_bps: float
+    disconnectivity_ratio: float
+    bitrate_mbps: float
+    gap_mb_per_hr: dict
+    gap_ratio: dict
+    rounds: dict
+
+
+@dataclass(frozen=True)
+class AppSummary:
+    """One Table 2 row."""
+
+    app: str
+    bitrate_mbps: float
+    legacy_gap_mb_per_hr: float
+    legacy_gap_ratio: float
+    tlc_optimal_gap_mb_per_hr: float
+    tlc_optimal_gap_ratio: float
+    tlc_random_gap_mb_per_hr: float
+    tlc_random_gap_ratio: float
+
+    @property
+    def optimal_reduction(self) -> float:
+        """Fractional ∆ reduction of TLC-optimal over legacy."""
+        if self.legacy_gap_mb_per_hr == 0:
+            return 0.0
+        return 1.0 - (
+            self.tlc_optimal_gap_mb_per_hr / self.legacy_gap_mb_per_hr
+        )
+
+
+def overall_dataset(
+    apps: tuple[str, ...] = ALL_APPS,
+    conditions: tuple[tuple[float, float], ...] = DEFAULT_CONDITIONS,
+    seeds: tuple[int, ...] = (1, 2, 3),
+    cycle_duration: float = 60.0,
+    loss_weight: float = 0.5,
+) -> list[CycleOutcome]:
+    """Run the mixed-condition grid and collect per-cycle outcomes."""
+    outcomes = []
+    schemes = (
+        ChargingScheme.LEGACY,
+        ChargingScheme.TLC_OPTIMAL,
+        ChargingScheme.TLC_RANDOM,
+    )
+    for app in apps:
+        for background_bps, eta in conditions:
+            for seed in seeds:
+                config = ScenarioConfig(
+                    app=app,
+                    seed=seed,
+                    cycle_duration=cycle_duration,
+                    background_bps=background_bps,
+                    disconnectivity_ratio=eta,
+                    loss_weight=loss_weight,
+                )
+                result = run_scenario(config)
+                gap_mb = {}
+                ratio = {}
+                rounds = {}
+                for scheme in schemes:
+                    outcome = charge_with_scheme(result, scheme, seed=seed)
+                    gap_mb[scheme] = to_mb(
+                        per_hour(outcome.absolute_gap, result.duration)
+                    )
+                    ratio[scheme] = outcome.gap_ratio
+                    rounds[scheme] = outcome.rounds
+                outcomes.append(
+                    CycleOutcome(
+                        app=app,
+                        seed=seed,
+                        background_bps=background_bps,
+                        disconnectivity_ratio=eta,
+                        bitrate_mbps=(
+                            result.truth.sent
+                            * 8
+                            / result.duration
+                            / 1e6
+                        ),
+                        gap_mb_per_hr=gap_mb,
+                        gap_ratio=ratio,
+                        rounds=rounds,
+                    )
+                )
+    return outcomes
+
+
+def table2_summary(outcomes: list[CycleOutcome]) -> list[AppSummary]:
+    """Aggregate per-cycle outcomes into Table 2 rows."""
+    rows = []
+    apps = sorted(
+        {o.app for o in outcomes},
+        key=lambda a: ALL_APPS.index(a) if a in ALL_APPS else 99,
+    )
+    for app in apps:
+        mine = [o for o in outcomes if o.app == app]
+        def mean_of(scheme: ChargingScheme, attr: str) -> float:
+            values = [getattr(o, attr)[scheme] for o in mine]
+            return statistics.mean(values)
+
+        rows.append(
+            AppSummary(
+                app=app,
+                bitrate_mbps=statistics.mean(o.bitrate_mbps for o in mine),
+                legacy_gap_mb_per_hr=mean_of(
+                    ChargingScheme.LEGACY, "gap_mb_per_hr"
+                ),
+                legacy_gap_ratio=mean_of(
+                    ChargingScheme.LEGACY, "gap_ratio"
+                ),
+                tlc_optimal_gap_mb_per_hr=mean_of(
+                    ChargingScheme.TLC_OPTIMAL, "gap_mb_per_hr"
+                ),
+                tlc_optimal_gap_ratio=mean_of(
+                    ChargingScheme.TLC_OPTIMAL, "gap_ratio"
+                ),
+                tlc_random_gap_mb_per_hr=mean_of(
+                    ChargingScheme.TLC_RANDOM, "gap_mb_per_hr"
+                ),
+                tlc_random_gap_ratio=mean_of(
+                    ChargingScheme.TLC_RANDOM, "gap_ratio"
+                ),
+            )
+        )
+    return rows
+
+
+def gap_cdf_series(
+    outcomes: list[CycleOutcome], app: str
+) -> dict[str, list[float]]:
+    """Figure 12's per-app CDF inputs: gap/hr (MB) per scheme."""
+    mine = [o for o in outcomes if o.app == app]
+    return {
+        "legacy": [o.gap_mb_per_hr[ChargingScheme.LEGACY] for o in mine],
+        "tlc-random": [
+            o.gap_mb_per_hr[ChargingScheme.TLC_RANDOM] for o in mine
+        ],
+        "tlc-optimal": [
+            o.gap_mb_per_hr[ChargingScheme.TLC_OPTIMAL] for o in mine
+        ],
+    }

@@ -1,0 +1,74 @@
+"""Data-plan parameter sweep: Figure 15.
+
+Figure 15 plots the CDF of TLC-optimal's charged-volume reduction over
+legacy charging, µ = (x_legacy − x_TLC) / x_legacy, for
+c ∈ {0, 0.25, 0.5, 0.75, 1}.  Smaller c weights lost data less, so legacy
+(which charges the gateway count — the *sent* side for downlink traffic)
+over-bills more and TLC's reduction grows; at c = 1 every lost byte is
+chargeable and TLC coincides with honest legacy charging (µ → 0).
+
+The sweep runs downlink scenarios (where legacy meters the sender side),
+matching the paper's framing of over-charging reduction.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+
+from repro.core.gap import reduction_ratio
+from repro.experiments.scenario import (
+    ChargingScheme,
+    ScenarioConfig,
+    charge_with_scheme,
+    run_scenario,
+)
+
+PAPER_C_VALUES = (0.0, 0.25, 0.5, 0.75, 1.0)
+
+
+@dataclass(frozen=True)
+class PlanSweepResult:
+    """Reduction samples per plan weight c."""
+
+    c: float
+    reductions: tuple[float, ...]
+
+    @property
+    def mean_reduction(self) -> float:
+        """Average µ over the sampled cycles."""
+        return statistics.mean(self.reductions) if self.reductions else 0.0
+
+
+def plan_sweep(
+    c_values: tuple[float, ...] = PAPER_C_VALUES,
+    app: str = "vridge",
+    seeds: tuple[int, ...] = (1, 2, 3, 4, 5, 6),
+    backgrounds_bps: tuple[float, ...] = (0.0, 120e6, 160e6),
+    cycle_duration: float = 60.0,
+) -> list[PlanSweepResult]:
+    """Reproduce Figure 15's µ CDFs across plan weights."""
+    results = []
+    for c in c_values:
+        reductions = []
+        for background in backgrounds_bps:
+            for seed in seeds:
+                config = ScenarioConfig(
+                    app=app,
+                    seed=seed,
+                    cycle_duration=cycle_duration,
+                    background_bps=background,
+                    loss_weight=c,
+                )
+                result = run_scenario(config)
+                legacy = charge_with_scheme(
+                    result, ChargingScheme.LEGACY
+                ).charged
+                tlc = charge_with_scheme(
+                    result, ChargingScheme.TLC_OPTIMAL
+                ).charged
+                reductions.append(reduction_ratio(legacy, tlc))
+        results.append(
+            PlanSweepResult(c=c, reductions=tuple(reductions))
+        )
+    return results

@@ -1,0 +1,70 @@
+"""Plain-text rendering of experiment results.
+
+Benchmarks print the same rows/series the paper's tables and figures
+report; these helpers keep the formatting consistent and dependency-free.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+
+def render_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """Render an aligned ASCII table."""
+    rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+    out = [line(headers), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in rows)
+    return "\n".join(out)
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The q-th percentile (q in [0, 100]) by linear interpolation."""
+    if not values:
+        raise ValueError("no values")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile out of range: {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    pos = (len(ordered) - 1) * q / 100.0
+    lo = math.floor(pos)
+    hi = math.ceil(pos)
+    frac = pos - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+def cdf_summary(name: str, values: Sequence[float], unit: str = "") -> str:
+    """A one-line CDF summary: mean and key percentiles."""
+    if not values:
+        return f"{name}: (no samples)"
+    mean = sum(values) / len(values)
+    parts = [f"mean={mean:.3f}{unit}"]
+    for q in (50, 90, 95, 99):
+        parts.append(f"p{q}={percentile(values, q):.3f}{unit}")
+    return f"{name}: n={len(values)} " + " ".join(parts)
+
+
+def cdf_points(
+    values: Sequence[float], steps: int = 20
+) -> list[tuple[float, float]]:
+    """(value, cumulative fraction) pairs for plotting a CDF."""
+    if not values:
+        return []
+    ordered = sorted(values)
+    n = len(ordered)
+    points = []
+    for i in range(steps + 1):
+        q = 100.0 * i / steps
+        points.append((percentile(ordered, q), q / 100.0))
+    del n
+    return points

@@ -1,0 +1,72 @@
+"""Signal-strength sweep: the paper's [-95, -120] dBm dimension.
+
+§7.1 repeats the experiments "with various ... wireless intermittent
+disconnectivity levels (with [-95dBm, -120dBm] signal strength)".  Weak
+signal raises the residual air-interface loss, so the legacy gap grows
+as RSS falls while TLC's negotiated charge keeps tracking x̂.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+
+from repro.experiments.scenario import (
+    ChargingScheme,
+    ScenarioConfig,
+    charge_with_scheme,
+    run_scenario,
+)
+
+PAPER_RSS_SWEEP_DBM = (-95.0, -100.0, -105.0, -110.0)
+
+
+@dataclass(frozen=True)
+class RssPoint:
+    """One signal-strength cell, averaged over seeds."""
+
+    rss_dbm: float
+    loss_fraction: float
+    legacy_gap_ratio: float
+    tlc_optimal_gap_ratio: float
+
+
+def rss_sweep(
+    rss_values_dbm: tuple[float, ...] = PAPER_RSS_SWEEP_DBM,
+    app: str = "webcam-udp",
+    seeds: tuple[int, ...] = (1, 2, 3),
+    cycle_duration: float = 40.0,
+) -> list[RssPoint]:
+    """Legacy vs TLC gap ratios across the paper's RSS range."""
+    points = []
+    for rss in rss_values_dbm:
+        losses, legacy_ratios, optimal_ratios = [], [], []
+        for seed in seeds:
+            config = ScenarioConfig(
+                app=app,
+                seed=seed,
+                cycle_duration=cycle_duration,
+                rss_dbm=rss,
+            )
+            result = run_scenario(config)
+            if result.truth.sent > 0:
+                losses.append(result.truth.loss / result.truth.sent)
+            legacy_ratios.append(
+                charge_with_scheme(
+                    result, ChargingScheme.LEGACY
+                ).gap_ratio
+            )
+            optimal_ratios.append(
+                charge_with_scheme(
+                    result, ChargingScheme.TLC_OPTIMAL
+                ).gap_ratio
+            )
+        points.append(
+            RssPoint(
+                rss_dbm=rss,
+                loss_fraction=statistics.mean(losses) if losses else 0.0,
+                legacy_gap_ratio=statistics.mean(legacy_ratios),
+                tlc_optimal_gap_ratio=statistics.mean(optimal_ratios),
+            )
+        )
+    return points

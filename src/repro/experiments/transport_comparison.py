@@ -1,0 +1,209 @@
+"""Transport ablation: why UDP-based edge apps suffer bigger gaps.
+
+§3.1/§3.2: traditional apps use TCP, which recovers lost data — the
+receiver eventually gets everything, so the loss-induced record gap is
+small (but spurious retransmissions can *over*-charge, cause 4).  The
+delay-sensitive edge uses UDP, which never recovers, so every lost byte
+is a charged-but-undelivered byte.
+
+This experiment streams the same frame workload over both transports
+through the same lossy downlink and compares the charging quantities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.base import FrameModel, Workload
+from repro.lte.network import LteNetwork, LteNetworkConfig
+from repro.net.channel import ChannelConfig
+from repro.net.packet import Direction, Packet
+from repro.net.transport import ACK_SIZE
+from repro.sim.events import EventLoop
+from repro.sim.rng import RngStreams
+
+
+@dataclass(frozen=True)
+class TransportOutcome:
+    """Charging quantities for one transport run."""
+
+    transport: str
+    app_bytes_offered: int      # application payload the sender produced
+    wire_bytes_sent: int        # bytes injected into the network
+    gateway_charged: int        # what legacy billing sees
+    device_received: int        # unique bytes the app actually got
+    retransmitted_bytes: int
+
+    @property
+    def delivery_ratio(self) -> float:
+        """Unique delivered bytes over offered bytes."""
+        if self.app_bytes_offered == 0:
+            return 0.0
+        return self.device_received / self.app_bytes_offered
+
+    @property
+    def record_gap(self) -> int:
+        """Charged minus delivered: the §3.2 gap."""
+        return self.gateway_charged - self.device_received
+
+    @property
+    def overcharge_ratio(self) -> float:
+        """Charged bytes per usefully delivered byte, minus one."""
+        if self.device_received == 0:
+            return float("inf")
+        return self.gateway_charged / self.device_received - 1.0
+
+
+def _build_network(seed: int, loss_rate: float) -> tuple[EventLoop, LteNetwork]:
+    loop = EventLoop()
+    network = LteNetwork(
+        loop,
+        LteNetworkConfig(
+            channel=ChannelConfig(
+                rss_dbm=-85.0,
+                base_loss_rate=loss_rate,
+                mean_uptime=float("inf"),
+                delay=0.010,
+            ),
+        ),
+        RngStreams(seed).fork("lte"),
+    )
+    return loop, network
+
+
+def run_udp(
+    seed: int = 1,
+    loss_rate: float = 0.08,
+    duration: float = 30.0,
+    bitrate_bps: float = 2e6,
+) -> TransportOutcome:
+    """Stream the frames over plain UDP (no recovery)."""
+    loop, network = _build_network(seed, loss_rate)
+    workload = Workload(
+        loop=loop,
+        send=network.send_downlink,
+        model=FrameModel(bitrate_bps=bitrate_bps, fps=30.0),
+        rng=RngStreams(seed).stream("workload"),
+        flow="stream",
+        direction=Direction.DOWNLINK,
+    )
+    workload.start()
+    loop.schedule_at(duration, workload.stop, label="stop")
+    loop.run(until=duration + 2.0)
+    return TransportOutcome(
+        transport="udp",
+        app_bytes_offered=workload.generated_bytes,
+        wire_bytes_sent=workload.generated_bytes,
+        gateway_charged=network.gateway.charged_downlink_bytes,
+        device_received=network.ue.app_received_bytes,
+        retransmitted_bytes=0,
+    )
+
+
+class _ReliableDownlink:
+    """A minimal ARQ layer over the simulated network's downlink."""
+
+    def __init__(
+        self, loop: EventLoop, network: LteNetwork, rto: float = 0.25,
+        max_retries: int = 6,
+    ) -> None:
+        self.loop = loop
+        self.network = network
+        self.rto = rto
+        self.max_retries = max_retries
+        self._unacked: dict[int, Packet] = {}
+        self._retries: dict[int, int] = {}
+        self._delivered: set[int] = set()
+        self.wire_bytes_sent = 0
+        self.retransmitted_bytes = 0
+        self.unique_delivered_bytes = 0
+        network.connect_device_app(self._on_device_receive)
+        network.connect_server_app(self._on_ack)
+
+    def send(self, packet: Packet) -> None:
+        self._transmit(packet, first=True)
+
+    def _transmit(self, packet: Packet, first: bool) -> None:
+        self.wire_bytes_sent += packet.size
+        if not first:
+            self.retransmitted_bytes += packet.size
+        self._unacked[packet.seq] = packet
+        self.network.send_downlink(packet)
+        self.loop.schedule_in(
+            self.rto,
+            lambda seq=packet.seq: self._on_timeout(seq),
+            label="arq-rto",
+        )
+
+    def _on_timeout(self, seq: int) -> None:
+        if seq not in self._unacked:
+            return
+        retries = self._retries.get(seq, 0)
+        if retries >= self.max_retries:
+            self._unacked.pop(seq, None)
+            return
+        self._retries[seq] = retries + 1
+        self._transmit(
+            self._unacked[seq].copy_for_retransmission(), first=False
+        )
+
+    def _on_device_receive(self, packet: Packet) -> None:
+        if packet.flow != "stream":
+            return
+        if packet.seq not in self._delivered:
+            self._delivered.add(packet.seq)
+            self.unique_delivered_bytes += packet.size
+        ack = Packet(
+            size=ACK_SIZE,
+            flow="stream-ack",
+            direction=Direction.UPLINK,
+            created_at=self.loop.now,
+            seq=packet.seq,
+        )
+        self.network.send_uplink(ack)
+
+    def _on_ack(self, packet: Packet) -> None:
+        if packet.flow != "stream-ack":
+            return
+        self._unacked.pop(packet.seq, None)
+        self._retries.pop(packet.seq, None)
+
+
+def run_tcp_like(
+    seed: int = 1,
+    loss_rate: float = 0.08,
+    duration: float = 30.0,
+    bitrate_bps: float = 2e6,
+) -> TransportOutcome:
+    """Stream the same frames over a retransmitting transport."""
+    loop, network = _build_network(seed, loss_rate)
+    arq = _ReliableDownlink(loop, network)
+    workload = Workload(
+        loop=loop,
+        send=arq.send,
+        model=FrameModel(bitrate_bps=bitrate_bps, fps=30.0),
+        rng=RngStreams(seed).stream("workload"),
+        flow="stream",
+        direction=Direction.DOWNLINK,
+    )
+    workload.start()
+    loop.schedule_at(duration, workload.stop, label="stop")
+    loop.run(until=duration + 5.0)
+    return TransportOutcome(
+        transport="tcp-like",
+        app_bytes_offered=workload.generated_bytes,
+        wire_bytes_sent=arq.wire_bytes_sent,
+        gateway_charged=network.gateway.charged_downlink_bytes,
+        device_received=arq.unique_delivered_bytes,
+        retransmitted_bytes=arq.retransmitted_bytes,
+    )
+
+
+def compare_transports(
+    seed: int = 1, loss_rate: float = 0.08, duration: float = 30.0
+) -> tuple[TransportOutcome, TransportOutcome]:
+    """(udp, tcp-like) outcomes over identical conditions."""
+    return (
+        run_udp(seed=seed, loss_rate=loss_rate, duration=duration),
+        run_tcp_like(seed=seed, loss_rate=loss_rate, duration=duration),
+    )

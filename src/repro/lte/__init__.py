@@ -1,0 +1,41 @@
+"""Simulated LTE/EPC substrate.
+
+The paper's testbed runs OpenEPC (HSS, MME, S/P-GW, OFCS, PCRF) with a
+Qualcomm small cell.  This package reproduces the pieces that matter for
+data charging:
+
+- :mod:`repro.lte.identifiers` — IMSI and charging identifiers,
+- :mod:`repro.lte.bearer` — QCI classes and bearers (gaming runs at QCI=7),
+- :mod:`repro.lte.rrc` — the RRC connection state machine and the
+  COUNTER CHECK procedure TLC uses for tamper-resilient downlink records,
+- :mod:`repro.lte.ue` — the device: hardware modem counters (trusted) vs.
+  OS-level counters (tamperable),
+- :mod:`repro.lte.enodeb` — the base station: forwards traffic, releases
+  idle connections, runs COUNTER CHECK before release, detects radio link
+  failure,
+- :mod:`repro.lte.gateway` — the S/P-GW charging gateway generating CDRs,
+- :mod:`repro.lte.mme` / :mod:`repro.lte.hss` — attach/detach bookkeeping,
+- :mod:`repro.lte.network` — the assembled end-to-end data path with the
+  exact metering points that create the charging gap.
+"""
+
+from repro.lte.bearer import QCI_DELAY_BUDGET, Bearer
+from repro.lte.identifiers import Imsi
+
+__all__ = [
+    "QCI_DELAY_BUDGET",
+    "Bearer",
+    "Imsi",
+    "LteNetwork",
+    "LteNetworkConfig",
+]
+
+
+def __getattr__(name: str):
+    # LteNetwork pulls in the charging package, which itself needs
+    # repro.lte.identifiers — import it lazily to break the cycle.
+    if name in ("LteNetwork", "LteNetworkConfig"):
+        from repro.lte import network
+
+        return getattr(network, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,60 @@
+"""EPS bearers and QoS Class Identifiers.
+
+The paper's gaming-acceleration use case (§2.2) assigns QCI=7 to game
+traffic (100 ms packet-delay budget per TS 23.203) while background traffic
+runs at QCI=9.  Bearers are also the unit the RRC COUNTER CHECK procedure
+reports per-bearer PDCP counts for.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.lte.identifiers import Imsi
+
+# Packet delay budget per QCI (seconds), from 3GPP TS 23.203 Table 6.1.7.
+QCI_DELAY_BUDGET = {
+    1: 0.100,
+    2: 0.150,
+    3: 0.050,
+    4: 0.300,
+    5: 0.100,
+    6: 0.300,
+    7: 0.100,
+    8: 0.300,
+    9: 0.300,
+}
+
+# Guaranteed-bit-rate QCIs (1-4); the rest are non-GBR.
+_GBR_QCIS = frozenset({1, 2, 3, 4})
+
+_bearer_ids = itertools.count(5)  # EPS bearer IDs start at 5 in practice
+
+
+@dataclass
+class Bearer:
+    """An EPS bearer: the tunnel between UE and P-GW with a QoS class."""
+
+    imsi: Imsi
+    qci: int = 9
+    bearer_id: int = field(default_factory=lambda: next(_bearer_ids))
+
+    def __post_init__(self) -> None:
+        if self.qci not in QCI_DELAY_BUDGET:
+            raise ValueError(f"unknown QCI: {self.qci}")
+
+    @property
+    def is_gbr(self) -> bool:
+        """True for guaranteed-bit-rate classes (QCI 1-4)."""
+        return self.qci in _GBR_QCIS
+
+    @property
+    def delay_budget(self) -> float:
+        """Packet delay budget in seconds for this bearer's QCI."""
+        return QCI_DELAY_BUDGET[self.qci]
+
+    @property
+    def is_default(self) -> bool:
+        """QCI=9 is the default best-effort bearer."""
+        return self.qci == 9

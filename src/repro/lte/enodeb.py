@@ -1,0 +1,172 @@
+"""The base station (eNodeB / small cell).
+
+Charging-relevant responsibilities reproduced from the paper:
+
+- forwards downlink traffic onto the air interface and uplink traffic
+  toward the core;
+- runs the RRC connection lifecycle: network-initiated release after an
+  inactivity timeout, and — when TLC is enabled — an RRC COUNTER CHECK
+  right before each release so the operator captures the device-received
+  byte counts from the tamper-resilient modem (§5.4);
+- detects radio link failure: after ``rlf_timeout`` (~5 s in the paper's
+  core) of continuous outage it reports the UE to the MME, which detaches
+  it and stops the gateway from charging undeliverable traffic (§3.2).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable
+
+from repro.lte.rrc import (
+    CounterCheckRequest,
+    CounterCheckResponse,
+    RrcConnection,
+    RrcState,
+)
+from repro.lte.ue import UserEquipment
+from repro.net.channel import WirelessChannel
+from repro.net.packet import Direction, Packet
+from repro.sim.events import EventLoop
+
+CounterReportSink = Callable[[str, CounterCheckResponse], None]
+RlfSink = Callable[[str], None]
+Deliver = Callable[[Packet], None]
+
+
+class ENodeB:
+    """A small cell serving one UE (matching the paper's testbed scale)."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        ue: UserEquipment,
+        channel: WirelessChannel,
+        inactivity_timeout: float = 10.0,
+        rlf_timeout: float = 5.0,
+        counter_check_enabled: bool = True,
+        supervision_period: float = 1.0,
+    ) -> None:
+        self.loop = loop
+        self.ue = ue
+        self.channel = channel
+        self.inactivity_timeout = float(inactivity_timeout)
+        self.rlf_timeout = float(rlf_timeout)
+        self.counter_check_enabled = counter_check_enabled
+        self.supervision_period = float(supervision_period)
+
+        self._transaction_ids = itertools.count(1)
+        self._connection: RrcConnection | None = None
+        self._uplink_receivers: list[Deliver] = []
+        self._counter_sinks: list[CounterReportSink] = []
+        self._rlf_sinks: list[RlfSink] = []
+        self.counter_check_messages = 0
+        self.releases = 0
+        self.rlf_events = 0
+
+        # One air interface carries both directions; demux on delivery.
+        channel.connect(self._on_air_delivery)
+        self.loop.schedule_in(
+            self.supervision_period, self._supervise, label="enb-supervise"
+        )
+
+    # ------------------------------------------------------------------
+    # wiring
+
+    def connect_uplink(self, receiver: Deliver) -> None:
+        """Attach the core-network side for uplink packets."""
+        self._uplink_receivers.append(receiver)
+
+    def on_counter_report(self, sink: CounterReportSink) -> None:
+        """Subscribe to COUNTER CHECK responses (the operator's app does)."""
+        self._counter_sinks.append(sink)
+
+    def on_radio_link_failure(self, sink: RlfSink) -> None:
+        """Subscribe to RLF notifications (the MME does)."""
+        self._rlf_sinks.append(sink)
+
+    # ------------------------------------------------------------------
+    # data path
+
+    def send_downlink(self, packet: Packet) -> bool:
+        """Forward a core-network packet over the air toward the UE."""
+        self._ensure_connection()
+        return self.channel.send(packet)
+
+    def receive_uplink(self, packet: Packet) -> None:
+        """Handle a packet arriving over the air from the UE."""
+        self._ensure_connection()
+        for receiver in self._uplink_receivers:
+            receiver(packet)
+
+    def _on_air_delivery(self, packet: Packet) -> None:
+        if packet.direction is Direction.DOWNLINK:
+            self.ue.receive_from_air(packet)
+        else:
+            self.receive_uplink(packet)
+
+    # ------------------------------------------------------------------
+    # RRC lifecycle
+
+    @property
+    def rrc_state(self) -> RrcState:
+        """The served UE's current RRC state."""
+        if self._connection is None:
+            return RrcState.IDLE
+        return self._connection.state
+
+    def _ensure_connection(self) -> None:
+        if (
+            self._connection is None
+            or self._connection.state is not RrcState.CONNECTED
+        ):
+            self._connection = RrcConnection(
+                imsi_digits=self.ue.imsi.digits,
+                established_at=self.loop.now,
+                inactivity_timeout=self.inactivity_timeout,
+            )
+        self._connection.touch(self.loop.now)
+
+    def _supervise(self) -> None:
+        """Periodic timer: inactivity release + RLF detection."""
+        conn = self._connection
+        if conn is not None and conn.should_release(self.loop.now):
+            self.release_connection()
+
+        outage = self.channel.current_outage_duration()
+        if outage >= self.rlf_timeout:
+            self.rlf_events += 1
+            for sink in self._rlf_sinks:
+                sink(self.ue.imsi.digits)
+
+        self.loop.schedule_in(
+            self.supervision_period, self._supervise, label="enb-supervise"
+        )
+
+    def release_connection(self) -> CounterCheckResponse | None:
+        """Release the RRC connection, running COUNTER CHECK first.
+
+        Returns the counter response when the check ran, matching the
+        paper's bound: one COUNTER CHECK per connection release.
+        """
+        conn = self._connection
+        if conn is None or conn.state is not RrcState.CONNECTED:
+            return None
+        response = None
+        if self.counter_check_enabled and self.channel.connected:
+            response = self.run_counter_check()
+        conn.release(self.loop.now)
+        self.releases += 1
+        return response
+
+    def run_counter_check(self) -> CounterCheckResponse:
+        """Query the UE modem's per-bearer counters (TS 36.331 §5.3.6)."""
+        request = CounterCheckRequest(
+            transaction_id=next(self._transaction_ids),
+            bearer_ids=(self.ue.bearer.bearer_id,),
+        )
+        response = self.ue.modem.counter_check(request)
+        self.counter_check_messages += 1
+        for sink in self._counter_sinks:
+            sink(self.ue.imsi.digits, response)
+        return response

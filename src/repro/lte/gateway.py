@@ -1,0 +1,170 @@
+"""The S/P-GW charging gateway.
+
+This is *the* metering point of legacy 4G/5G charging and the structural
+root of the charging gap:
+
+- **Downlink** packets are counted when the gateway forwards them toward
+  the radio network — *before* the congested backhaul and the air
+  interface can drop them.  Lost bytes are therefore still charged.
+- **Uplink** packets are counted on arrival at the gateway — *after* the
+  air interface — so the gateway's count is the network-received volume.
+
+The gateway stops forwarding (and charging) a detached subscriber, which
+is how the paper's core bounds the gap from long outages: the MME detaches
+a UE after ~5 s of radio link failure.
+
+It periodically emits Trace-1-style CDRs to the OFCS.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable
+
+from repro.charging.cdr import ChargingDataRecord
+from repro.lte.identifiers import Imsi
+from repro.net.packet import Direction, Packet
+from repro.sim.events import EventLoop
+
+Deliver = Callable[[Packet], None]
+CdrSink = Callable[[ChargingDataRecord], None]
+
+_charging_ids = itertools.count(0)
+
+
+class ChargingGateway:
+    """An S/P-GW serving one subscriber session."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        imsi: Imsi,
+        address: str = "192.168.2.11",
+        cdr_period: float = 60.0,
+    ) -> None:
+        self.loop = loop
+        self.imsi = imsi
+        self.address = address
+        self.cdr_period = float(cdr_period)
+        self.charging_id = next(_charging_ids)
+        self.attached = True
+
+        self._downlink_receivers: list[Deliver] = []
+        self._uplink_receivers: list[Deliver] = []
+        self._cdr_sinks: list[CdrSink] = []
+        self._sequence = itertools.count(1000)
+
+        # Cumulative charged volumes (what legacy billing uses).
+        self.charged_uplink_bytes = 0
+        self.charged_downlink_bytes = 0
+        # Interval accumulators for periodic CDRs.
+        self._interval_uplink = 0
+        self._interval_downlink = 0
+        self._interval_first_usage: float | None = None
+        self._interval_last_usage: float | None = None
+        # Traffic refused while detached (never charged).
+        self.blocked_packets = 0
+        self.blocked_bytes = 0
+
+        if self.cdr_period > 0:
+            self.loop.schedule_in(
+                self.cdr_period, self._emit_periodic_cdr, label="gw-cdr"
+            )
+
+    # ------------------------------------------------------------------
+    # wiring
+
+    def connect_downlink(self, receiver: Deliver) -> None:
+        """Attach the RAN-facing side for downlink forwarding."""
+        self._downlink_receivers.append(receiver)
+
+    def connect_uplink(self, receiver: Deliver) -> None:
+        """Attach the server-facing side for uplink forwarding."""
+        self._uplink_receivers.append(receiver)
+
+    def on_cdr(self, sink: CdrSink) -> None:
+        """Subscribe to emitted CDRs (the OFCS does)."""
+        self._cdr_sinks.append(sink)
+
+    # ------------------------------------------------------------------
+    # session state (driven by the MME)
+
+    def detach(self) -> None:
+        """Stop forwarding and charging (subscriber detached)."""
+        self.attached = False
+
+    def attach(self) -> None:
+        """Resume forwarding and charging."""
+        self.attached = True
+
+    # ------------------------------------------------------------------
+    # data path
+
+    def forward_downlink(self, packet: Packet) -> bool:
+        """Meter then forward a server->device packet toward the RAN."""
+        if packet.direction is not Direction.DOWNLINK:
+            raise ValueError("forward_downlink needs a downlink packet")
+        if not self.attached:
+            self.blocked_packets += 1
+            self.blocked_bytes += packet.size
+            return False
+        self._meter(packet)
+        for receiver in self._downlink_receivers:
+            receiver(packet)
+        return True
+
+    def forward_uplink(self, packet: Packet) -> bool:
+        """Meter then forward a device->server packet toward the server."""
+        if packet.direction is not Direction.UPLINK:
+            raise ValueError("forward_uplink needs an uplink packet")
+        if not self.attached:
+            self.blocked_packets += 1
+            self.blocked_bytes += packet.size
+            return False
+        self._meter(packet)
+        for receiver in self._uplink_receivers:
+            receiver(packet)
+        return True
+
+    def _meter(self, packet: Packet) -> None:
+        if packet.direction is Direction.UPLINK:
+            self.charged_uplink_bytes += packet.size
+            self._interval_uplink += packet.size
+        else:
+            self.charged_downlink_bytes += packet.size
+            self._interval_downlink += packet.size
+        if self._interval_first_usage is None:
+            self._interval_first_usage = self.loop.now
+        self._interval_last_usage = self.loop.now
+
+    # ------------------------------------------------------------------
+    # CDR generation
+
+    def _emit_periodic_cdr(self) -> None:
+        self.flush_cdr()
+        self.loop.schedule_in(
+            self.cdr_period, self._emit_periodic_cdr, label="gw-cdr"
+        )
+
+    def flush_cdr(self) -> ChargingDataRecord | None:
+        """Emit a CDR for the accumulated interval, if any usage occurred."""
+        if self._interval_first_usage is None:
+            return None
+        record = ChargingDataRecord(
+            served_imsi=self.imsi,
+            gateway_address=self.address,
+            charging_id=self.charging_id,
+            sequence_number=next(self._sequence),
+            time_of_first_usage=self._interval_first_usage,
+            time_of_last_usage=self._interval_last_usage
+            or self._interval_first_usage,
+            uplink_bytes=self._interval_uplink,
+            downlink_bytes=self._interval_downlink,
+        )
+        self._interval_uplink = 0
+        self._interval_downlink = 0
+        self._interval_first_usage = None
+        self._interval_last_usage = None
+        for sink in self._cdr_sinks:
+            sink(record)
+        return record

@@ -1,0 +1,54 @@
+"""Home Subscriber Server: the subscriber database.
+
+Minimal but real: subscription records with the data plan's charging
+parameters, looked up by the MME at attach.  Unknown subscribers are
+rejected, which the attach tests exercise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.charging.policy import ChargingPolicy
+from repro.lte.identifiers import Imsi
+
+
+class SubscriberNotProvisioned(LookupError):
+    """Raised when an IMSI has no subscription record."""
+
+
+@dataclass(frozen=True)
+class SubscriptionProfile:
+    """What the HSS knows about one subscriber."""
+
+    imsi: Imsi
+    policy: ChargingPolicy
+    default_qci: int = 9
+    msisdn: str = ""
+
+
+class HomeSubscriberServer:
+    """The subscriber database keyed by IMSI digits."""
+
+    def __init__(self) -> None:
+        self._profiles: dict[str, SubscriptionProfile] = {}
+
+    def provision(self, profile: SubscriptionProfile) -> None:
+        """Add or replace a subscription record."""
+        self._profiles[profile.imsi.digits] = profile
+
+    def lookup(self, imsi: Imsi | str) -> SubscriptionProfile:
+        """Fetch a subscription; raises :class:`SubscriberNotProvisioned`."""
+        digits = imsi.digits if isinstance(imsi, Imsi) else imsi
+        try:
+            return self._profiles[digits]
+        except KeyError:
+            raise SubscriberNotProvisioned(digits) from None
+
+    def is_provisioned(self, imsi: Imsi | str) -> bool:
+        """True when the subscriber exists."""
+        digits = imsi.digits if isinstance(imsi, Imsi) else imsi
+        return digits in self._profiles
+
+    def __len__(self) -> int:
+        return len(self._profiles)

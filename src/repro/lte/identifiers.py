@@ -1,0 +1,70 @@
+"""Subscriber and charging identifiers.
+
+The gateway's charging data record (Trace 1 in the paper) carries the
+served IMSI encoded in TBCD (telephony BCD, swapped nibbles, 0xF filler),
+which is why ``001011123456748F5``-style byte strings appear in CDR dumps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Imsi:
+    """International Mobile Subscriber Identity (15 decimal digits)."""
+
+    digits: str
+
+    def __post_init__(self) -> None:
+        if not self.digits.isdigit():
+            raise ValueError(f"IMSI must be decimal digits: {self.digits!r}")
+        if not 6 <= len(self.digits) <= 15:
+            raise ValueError(
+                f"IMSI length out of range [6, 15]: {len(self.digits)}"
+            )
+
+    @property
+    def mcc(self) -> str:
+        """Mobile country code (first 3 digits)."""
+        return self.digits[:3]
+
+    @property
+    def mnc(self) -> str:
+        """Mobile network code (next 2 digits; 2-digit MNC assumed)."""
+        return self.digits[3:5]
+
+    def to_tbcd(self) -> bytes:
+        """Encode as TBCD: nibble-swapped pairs, 0xF filler when odd."""
+        padded = self.digits + ("F" if len(self.digits) % 2 else "")
+        out = bytearray()
+        for i in range(0, len(padded), 2):
+            low = int(padded[i], 16)
+            high = int(padded[i + 1], 16)
+            out.append((high << 4) | low)
+        return bytes(out)
+
+    @classmethod
+    def from_tbcd(cls, data: bytes) -> "Imsi":
+        """Decode a TBCD-encoded IMSI."""
+        digits = []
+        for byte in data:
+            low = byte & 0x0F
+            high = (byte >> 4) & 0x0F
+            digits.append(f"{low:X}")
+            if high != 0xF:
+                digits.append(f"{high:X}")
+        text = "".join(digits)
+        if not text.isdigit():
+            raise ValueError(f"invalid TBCD IMSI bytes: {data.hex()}")
+        return cls(text)
+
+    def __str__(self) -> str:
+        return self.digits
+
+
+def subscriber_imsi(index: int) -> Imsi:
+    """A deterministic test-network IMSI (MCC 001, MNC 01)."""
+    if index < 0:
+        raise ValueError(f"negative subscriber index: {index}")
+    return Imsi(f"00101{index:010d}")

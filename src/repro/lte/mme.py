@@ -1,0 +1,94 @@
+"""Mobility Management Entity: attach/detach control.
+
+The MME's charging-relevant job in this reproduction is the radio link
+failure path from §3.2: when the eNodeB reports that a UE has been out of
+coverage past the RLF threshold, the MME detaches it and tells the gateway
+to stop forwarding (and charging).  Once the device regains coverage it
+re-attaches after a short procedure delay.  This bounds the loss-induced
+gap for long outages while leaving the sub-threshold outages — the ones
+TLC targets — uncharged-for and accumulating.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable
+
+from repro.lte.gateway import ChargingGateway
+from repro.lte.hss import HomeSubscriberServer
+from repro.net.channel import WirelessChannel
+from repro.sim.events import EventLoop
+
+
+class AttachState(enum.Enum):
+    """EMM state of a subscriber."""
+
+    ATTACHED = "attached"
+    DETACHED = "detached"
+
+
+class MobilityManagementEntity:
+    """MME serving one subscriber session (testbed scale)."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        hss: HomeSubscriberServer,
+        gateway: ChargingGateway,
+        channel: WirelessChannel,
+        reattach_delay: float = 0.5,
+    ) -> None:
+        self.loop = loop
+        self.hss = hss
+        self.gateway = gateway
+        self.channel = channel
+        self.reattach_delay = float(reattach_delay)
+        self.state = AttachState.DETACHED
+        self.attach_count = 0
+        self.detach_count = 0
+        self._listeners: list[Callable[[AttachState], None]] = []
+        channel.on_state_change(self._on_channel_state)
+
+    def on_state_change(self, listener: Callable[[AttachState], None]) -> None:
+        """Subscribe to EMM state transitions."""
+        self._listeners.append(listener)
+
+    def _notify(self) -> None:
+        for listener in self._listeners:
+            listener(self.state)
+
+    def attach(self, imsi_digits: str) -> None:
+        """Attach procedure: HSS lookup then activate the gateway session."""
+        self.hss.lookup(imsi_digits)  # raises if not provisioned
+        if self.state is AttachState.ATTACHED:
+            return
+        self.state = AttachState.ATTACHED
+        self.attach_count += 1
+        self.gateway.attach()
+        self._notify()
+
+    def detach(self, imsi_digits: str) -> None:
+        """Detach: deactivate the gateway session so charging stops."""
+        if self.state is AttachState.DETACHED:
+            return
+        self.state = AttachState.DETACHED
+        self.detach_count += 1
+        self.gateway.detach()
+        self._notify()
+
+    def handle_radio_link_failure(self, imsi_digits: str) -> None:
+        """eNodeB-reported RLF: detach the subscriber (paper's ~5 s path)."""
+        self.detach(imsi_digits)
+
+    def _on_channel_state(self, connected: bool) -> None:
+        if connected and self.state is AttachState.DETACHED:
+            # Coverage is back: the UE re-attaches after the procedure delay.
+            self.loop.schedule_in(
+                self.reattach_delay,
+                lambda: self._reattach_if_connected(),
+                label="mme-reattach",
+            )
+
+    def _reattach_if_connected(self) -> None:
+        if self.channel.connected and self.state is AttachState.DETACHED:
+            self.attach(self.gateway.imsi.digits)

@@ -1,0 +1,245 @@
+"""The assembled end-to-end LTE data path.
+
+This wires the testbed of Figure 11 into one object, with the exact
+metering points that create the charging gap:
+
+Downlink (server -> device)::
+
+    server app --[x̂e: server monitor]--> gateway --[CHARGED HERE]-->
+        backhaul queue (congestion drops) --> eNodeB --> air (RSS +
+        intermittency drops) --> UE modem [x̂o: RRC counters] --> OS
+        counters --> device app
+
+Uplink (device -> server)::
+
+    device app --[x̂e: OS counters]--> UE modem --> air (drops) -->
+        eNodeB --> RAN scheduler queue (congestion drops) -->
+        gateway --[CHARGED HERE, = x̂o]--> server app
+
+The gateway always meters downlink *before* the loss processes and uplink
+*after* them, which is why the legacy charged volume tracks the sender side
+for downlink and the receiver side for uplink.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.charging.policy import ChargingPolicy
+from repro.charging.throttle import ThrottlingEnforcer
+from repro.lte.bearer import Bearer
+from repro.lte.enodeb import ENodeB
+from repro.lte.gateway import ChargingGateway
+from repro.lte.hss import HomeSubscriberServer, SubscriptionProfile
+from repro.lte.identifiers import Imsi, subscriber_imsi
+from repro.lte.mme import MobilityManagementEntity
+from repro.lte.ofcs import OfflineChargingSystem
+from repro.lte.pcrf import PolicyChargingRulesFunction
+from repro.lte.ue import DEVICE_PROFILES, DeviceProfile, UserEquipment
+from repro.net.channel import ChannelConfig, WirelessChannel
+from repro.net.congestion import CongestedQueue, CongestionConfig
+from repro.net.packet import Direction, Packet
+from repro.net.sla import SlaMiddlebox
+from repro.sim.events import EventLoop
+from repro.sim.rng import RngStreams
+
+Deliver = Callable[[Packet], None]
+
+
+@dataclass
+class LteNetworkConfig:
+    """Everything needed to stand up the simulated testbed."""
+
+    channel: ChannelConfig = field(default_factory=ChannelConfig)
+    congestion: CongestionConfig = field(default_factory=CongestionConfig)
+    policy: ChargingPolicy = field(default_factory=ChargingPolicy)
+    qci: int = 9
+    device_profile: str = "EL20"
+    inactivity_timeout: float = 10.0
+    rlf_timeout: float = 5.0
+    counter_check_enabled: bool = True
+    cdr_period: float = 60.0
+    reattach_delay: float = 0.5
+    core_delay: float = 0.002  # gateway <-> server wired hop (1 Gbps LAN)
+    use_pcrf: bool = False  # classify packet QCIs via a PCRF node
+    # Drop downlink data that aged past its delay budget before the RAN
+    # (§3.1 cause 5's SLA middlebox); None disables the element.
+    sla_budget: float | None = None
+
+
+class LteNetwork:
+    """One UE, one small cell, one core — the paper's testbed in software."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        config: LteNetworkConfig,
+        rngs: RngStreams,
+        subscriber_index: int = 1,
+    ) -> None:
+        self.loop = loop
+        self.config = config
+        self.imsi: Imsi = subscriber_imsi(subscriber_index)
+        profile: DeviceProfile = DEVICE_PROFILES[config.device_profile]
+
+        self.bearer = Bearer(imsi=self.imsi, qci=config.qci)
+        self.ue = UserEquipment(self.imsi, self.bearer, profile)
+        self.channel = WirelessChannel(
+            loop, config.channel, rngs.stream("channel"), name="air"
+        )
+        self.enodeb = ENodeB(
+            loop,
+            self.ue,
+            self.channel,
+            inactivity_timeout=config.inactivity_timeout,
+            rlf_timeout=config.rlf_timeout,
+            counter_check_enabled=config.counter_check_enabled,
+        )
+        self.gateway = ChargingGateway(
+            loop, self.imsi, cdr_period=config.cdr_period
+        )
+        self.ofcs = OfflineChargingSystem()
+        self.gateway.on_cdr(self.ofcs.ingest)
+
+        self.hss = HomeSubscriberServer()
+        self.hss.provision(
+            SubscriptionProfile(
+                imsi=self.imsi, policy=config.policy, default_qci=config.qci
+            )
+        )
+        self.mme = MobilityManagementEntity(
+            loop,
+            self.hss,
+            self.gateway,
+            self.channel,
+            reattach_delay=config.reattach_delay,
+        )
+        self.enodeb.on_radio_link_failure(self.mme.handle_radio_link_failure)
+
+        self.dl_queue = CongestedQueue(
+            loop, config.congestion, rngs.stream("dl-queue"), name="dl-queue"
+        )
+        self.ul_queue = CongestedQueue(
+            loop, config.congestion, rngs.stream("ul-queue"), name="ul-queue"
+        )
+
+        # Downlink chain: gateway -> [quota throttle] -> queue -> eNodeB.
+        # Plans with a quota get the §2.1 "unlimited"-plan shaper wired
+        # right after the metering point, where real UPFs enforce it.
+        self.throttle: ThrottlingEnforcer | None = None
+        if config.policy.quota_bytes is not None:
+            self.throttle = ThrottlingEnforcer(loop, config.policy)
+            self.gateway.connect_downlink(self.throttle.send)
+            self.throttle.connect(self.dl_queue.send)
+        else:
+            self.gateway.connect_downlink(self.dl_queue.send)
+        # Optional SLA middlebox between the backhaul queue and the RAN:
+        # frames that queued past their latency budget are shed *after*
+        # the gateway charged them (§3.1 cause 5).
+        self.sla: SlaMiddlebox | None = None
+        if config.sla_budget is not None:
+            self.sla = SlaMiddlebox(
+                loop, default_budget=config.sla_budget
+            )
+            self.dl_queue.connect(self.sla.send)
+            self.sla.connect(lambda p: self.enodeb.send_downlink(p))
+        else:
+            self.dl_queue.connect(lambda p: self.enodeb.send_downlink(p))
+        # Uplink chain: eNodeB -> queue -> gateway.
+        self.enodeb.connect_uplink(self.ul_queue.send)
+        self.ul_queue.connect(lambda p: self.gateway.forward_uplink(p))
+
+        self.pcrf = (
+            PolicyChargingRulesFunction(default_qci=config.qci)
+            if config.use_pcrf
+            else None
+        )
+
+        self._server_receivers: list[Deliver] = []
+        self.gateway.connect_uplink(self._deliver_to_server)
+
+        # Edge-vendor ground-truth counters at the metering endpoints.
+        self.server_sent_bytes = 0
+        self.server_sent_packets = 0
+        self.server_received_bytes = 0
+        self.server_received_packets = 0
+
+        self.mme.attach(self.imsi.digits)
+
+    # ------------------------------------------------------------------
+    # wiring
+
+    def connect_server_app(self, receiver: Deliver) -> None:
+        """Attach the edge server's application-layer uplink receiver."""
+        self._server_receivers.append(receiver)
+
+    def connect_device_app(self, receiver: Deliver) -> None:
+        """Attach the edge device's application-layer downlink receiver."""
+        self.ue.connect_app(receiver)
+
+    # ------------------------------------------------------------------
+    # traffic entry points
+
+    def send_downlink(self, packet: Packet) -> bool:
+        """Edge server sends a packet toward the device."""
+        if packet.direction is not Direction.DOWNLINK:
+            raise ValueError("send_downlink needs a downlink packet")
+        if self.pcrf is not None:
+            self.pcrf.classify(packet)
+        self.server_sent_bytes += packet.size
+        self.server_sent_packets += 1
+        # Wired hop server -> gateway: lossless, small delay.
+        self.loop.schedule_in(
+            self.config.core_delay,
+            lambda p=packet: self.gateway.forward_downlink(p),
+            label="core-dl",
+        )
+        return True
+
+    def send_uplink(self, packet: Packet) -> bool:
+        """Edge device app sends a packet toward the server."""
+        if packet.direction is not Direction.UPLINK:
+            raise ValueError("send_uplink needs an uplink packet")
+        if self.pcrf is not None:
+            self.pcrf.classify(packet)
+        self.ue.prepare_uplink(packet)
+        return self.channel.send(packet)
+
+    def _deliver_to_server(self, packet: Packet) -> None:
+        self.loop.schedule_in(
+            self.config.core_delay,
+            lambda p=packet: self._server_app_receive(p),
+            label="core-ul",
+        )
+
+    def _server_app_receive(self, packet: Packet) -> None:
+        self.server_received_bytes += packet.size
+        self.server_received_packets += 1
+        for receiver in self._server_receivers:
+            receiver(packet)
+
+    # ------------------------------------------------------------------
+    # ground-truth views (simulation-only; parties see monitors instead)
+
+    def true_downlink_sent(self) -> int:
+        """x̂e for downlink: bytes the edge server sent."""
+        return self.server_sent_bytes
+
+    def true_downlink_received(self) -> int:
+        """x̂o for downlink: bytes the device actually received."""
+        return self.ue.app_received_bytes
+
+    def true_uplink_sent(self) -> int:
+        """x̂e for uplink: bytes the device actually sent."""
+        return self.ue.os_stats.true_uplink_bytes
+
+    def true_uplink_received(self) -> int:
+        """x̂o for uplink: bytes the gateway (network) received."""
+        return self.gateway.charged_uplink_bytes
+
+    def legacy_charged(self, direction: Direction) -> int:
+        """The volume legacy 4G/5G bills: the gateway CDR count."""
+        if direction is Direction.UPLINK:
+            return self.gateway.charged_uplink_bytes
+        return self.gateway.charged_downlink_bytes

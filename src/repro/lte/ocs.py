@@ -1,0 +1,175 @@
+"""Online Charging System: credit-control quota grants.
+
+4G charges through two paths: *offline* (the OFCS collects CDRs after
+the fact — what the paper's prototype extends) and *online* (the OCS
+grants prepaid credit in quota chunks before usage, Diameter Gy/Ro).
+The online path is where prepaid edge/IoT plans live (§8 notes prepaid
+users churn up to 25%/month), and it inherits the same gap: the gateway
+draws down credit for bytes it forwards, delivered or not.
+
+The model: the gateway opens a credit session, receives quota grants,
+reports usage against them, and asks for more when a grant is nearly
+used.  When the balance runs dry the OCS denies further grants and the
+gateway must stop forwarding (or throttle).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+
+class CreditSessionState(enum.Enum):
+    """Lifecycle of a Gy credit-control session."""
+
+    OPEN = "open"
+    EXHAUSTED = "exhausted"
+    CLOSED = "closed"
+
+
+class CreditError(RuntimeError):
+    """Raised on invalid credit-control operations."""
+
+
+_session_ids = itertools.count(1)
+
+
+@dataclass
+class CreditSession:
+    """One subscriber's running credit state."""
+
+    imsi_digits: str
+    granted_bytes: int = 0
+    used_bytes: int = 0
+    state: CreditSessionState = CreditSessionState.OPEN
+    session_id: int = field(default_factory=lambda: next(_session_ids))
+
+    @property
+    def remaining_grant(self) -> int:
+        """Unused bytes of the current cumulative grant."""
+        return max(0, self.granted_bytes - self.used_bytes)
+
+
+class OnlineChargingSystem:
+    """The OCS: prepaid balances and quota grant decisions."""
+
+    def __init__(self, default_grant_bytes: int = 1_000_000) -> None:
+        if default_grant_bytes <= 0:
+            raise ValueError(
+                f"grant chunk must be positive: {default_grant_bytes}"
+            )
+        self.default_grant_bytes = int(default_grant_bytes)
+        self._balances: dict[str, int] = {}
+        self._sessions: dict[str, CreditSession] = {}
+        self.grant_requests = 0
+        self.denied_requests = 0
+
+    # ------------------------------------------------------------------
+    # account management
+
+    def provision_balance(self, imsi_digits: str, balance_bytes: int) -> None:
+        """Load a prepaid byte balance for a subscriber."""
+        if balance_bytes < 0:
+            raise ValueError(f"negative balance: {balance_bytes}")
+        self._balances[imsi_digits] = int(balance_bytes)
+
+    def balance_of(self, imsi_digits: str) -> int:
+        """Remaining prepaid bytes (grants already deducted)."""
+        return self._balances.get(imsi_digits, 0)
+
+    # ------------------------------------------------------------------
+    # credit-control session (what the gateway drives)
+
+    def open_session(self, imsi_digits: str) -> CreditSession:
+        """CCR-Initial: open a session and hand out the first grant."""
+        if imsi_digits in self._sessions:
+            raise CreditError(f"session already open for {imsi_digits}")
+        if imsi_digits not in self._balances:
+            raise CreditError(f"no prepaid balance for {imsi_digits}")
+        session = CreditSession(imsi_digits=imsi_digits)
+        self._sessions[imsi_digits] = session
+        self._grant(session)
+        return session
+
+    def _grant(self, session: CreditSession) -> int:
+        self.grant_requests += 1
+        balance = self._balances[session.imsi_digits]
+        chunk = min(self.default_grant_bytes, balance)
+        if chunk <= 0:
+            self.denied_requests += 1
+            session.state = CreditSessionState.EXHAUSTED
+            return 0
+        self._balances[session.imsi_digits] = balance - chunk
+        session.granted_bytes += chunk
+        return chunk
+
+    def request_more_credit(self, session: CreditSession) -> int:
+        """CCR-Update: the gateway's grant is low; ask for another chunk.
+
+        Returns the granted bytes (0 when the balance is exhausted).
+        """
+        if session.state is CreditSessionState.CLOSED:
+            raise CreditError("session is closed")
+        return self._grant(session)
+
+    def report_usage(self, session: CreditSession, used_bytes: int) -> bool:
+        """Draw usage against the session's grant.
+
+        Returns False once the subscriber exceeds its granted credit —
+        the gateway must stop forwarding until a new grant arrives.
+        """
+        if used_bytes < 0:
+            raise ValueError(f"negative usage: {used_bytes}")
+        if session.state is CreditSessionState.CLOSED:
+            raise CreditError("session is closed")
+        session.used_bytes += used_bytes
+        while session.used_bytes > session.granted_bytes:
+            if self.request_more_credit(session) == 0:
+                return False
+        return True
+
+    def close_session(self, session: CreditSession) -> int:
+        """CCR-Terminate: refund the unused grant; returns the refund."""
+        if session.state is CreditSessionState.CLOSED:
+            raise CreditError("session already closed")
+        refund = session.remaining_grant
+        self._balances[session.imsi_digits] = (
+            self._balances.get(session.imsi_digits, 0) + refund
+        )
+        session.granted_bytes = session.used_bytes
+        session.state = CreditSessionState.CLOSED
+        self._sessions.pop(session.imsi_digits, None)
+        return refund
+
+
+class PrepaidEnforcer:
+    """Glues the OCS to a charging gateway for prepaid enforcement.
+
+    Subscribes to the gateway's CDR stream, draws each record's volume
+    against the subscriber's credit session, and detaches the gateway
+    when the balance runs dry — the online-charging path's equivalent of
+    the quota throttle.  Because the gateway meters delivered-or-not
+    bytes, the charging gap burns prepaid credit too.
+    """
+
+    def __init__(self, ocs: OnlineChargingSystem, gateway) -> None:
+        self.ocs = ocs
+        self.gateway = gateway
+        self.session = ocs.open_session(gateway.imsi.digits)
+        self.cut_off = False
+        gateway.on_cdr(self._on_cdr)
+
+    def _on_cdr(self, record) -> None:
+        if self.cut_off:
+            return
+        granted = self.ocs.report_usage(
+            self.session, record.uplink_bytes + record.downlink_bytes
+        )
+        if not granted:
+            self.cut_off = True
+            self.gateway.detach()
+
+    def settle(self) -> int:
+        """End of service: close the session; returns the refund."""
+        return self.ocs.close_session(self.session)

@@ -1,0 +1,66 @@
+"""The Offline Charging System.
+
+Collects CDRs from gateways, aggregates per-subscriber usage over charging
+cycles, and — with TLC enabled — hands the aggregates to the operator's
+negotiation agent instead of billing them directly.  The paper implements
+TLC "as an extended policy of LTE offline charging functions (OFCS)" (§6);
+this class is that extension point.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.charging.cdr import ChargingDataRecord
+from repro.charging.cycle import ChargingCycle
+
+
+@dataclass
+class SubscriberUsage:
+    """Aggregated usage for one subscriber."""
+
+    uplink_bytes: int = 0
+    downlink_bytes: int = 0
+    records: list[ChargingDataRecord] = field(default_factory=list)
+
+    @property
+    def total_bytes(self) -> int:
+        """Uplink plus downlink volume."""
+        return self.uplink_bytes + self.downlink_bytes
+
+
+class OfflineChargingSystem:
+    """OFCS: CDR collection and per-cycle aggregation."""
+
+    def __init__(self) -> None:
+        self._usage: dict[str, SubscriberUsage] = defaultdict(SubscriberUsage)
+        self.received_cdrs = 0
+
+    def ingest(self, record: ChargingDataRecord) -> None:
+        """Accept one CDR from a gateway."""
+        usage = self._usage[record.served_imsi.digits]
+        usage.uplink_bytes += record.uplink_bytes
+        usage.downlink_bytes += record.downlink_bytes
+        usage.records.append(record)
+        self.received_cdrs += 1
+
+    def usage_for(self, imsi_digits: str) -> SubscriberUsage:
+        """Cumulative usage for one subscriber."""
+        return self._usage[imsi_digits]
+
+    def usage_in_cycle(
+        self, imsi_digits: str, cycle: ChargingCycle
+    ) -> SubscriberUsage:
+        """Usage restricted to CDRs whose first usage falls in ``cycle``."""
+        out = SubscriberUsage()
+        for record in self._usage[imsi_digits].records:
+            if cycle.contains(record.time_of_first_usage):
+                out.uplink_bytes += record.uplink_bytes
+                out.downlink_bytes += record.downlink_bytes
+                out.records.append(record)
+        return out
+
+    def subscribers(self) -> list[str]:
+        """All IMSIs with any recorded usage."""
+        return sorted(self._usage)

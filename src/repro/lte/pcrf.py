@@ -1,0 +1,143 @@
+"""Policy and Charging Rules Function (PCRF).
+
+The paper's testbed deploys a PCRF node (Figure 11a), and the gaming
+use case (§2.2) depends on it: Tencent's SDK requests a dedicated
+high-QoS session (QCI=3/7, the game-specific classes with 50/100 ms
+delay budgets) for player-control traffic, and the game "is charged by
+its request volume".  §2.1 also notes operators "may charge more for the
+data with higher QoS priority".
+
+This PCRF holds flow->QCI policy rules, activates dedicated bearers on
+request (the SDK call), classifies packets at the gateway, and exposes
+per-QCI price multipliers for the billing layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lte.bearer import QCI_DELAY_BUDGET
+from repro.net.packet import Packet
+
+# QCIs the gaming-acceleration API may request (paper footnote 2).
+GAMING_QCIS = frozenset({3, 7})
+
+# Relative price per byte by QCI (best effort = 1.0); higher QoS costs
+# more, per §2.1's policy survey.
+DEFAULT_PRICE_MULTIPLIERS = {
+    1: 2.5,
+    2: 2.2,
+    3: 2.0,
+    4: 1.8,
+    5: 1.6,
+    6: 1.3,
+    7: 1.5,
+    8: 1.1,
+    9: 1.0,
+}
+
+
+class PolicyError(ValueError):
+    """Raised for invalid policy requests."""
+
+
+@dataclass
+class PolicyRule:
+    """One installed rule: a flow (exact name) pinned to a QCI."""
+
+    flow: str
+    qci: int
+    requested_by: str = ""
+    active: bool = True
+
+    def __post_init__(self) -> None:
+        if self.qci not in QCI_DELAY_BUDGET:
+            raise PolicyError(f"unknown QCI: {self.qci}")
+
+
+class PolicyChargingRulesFunction:
+    """The PCRF: rule storage, bearer activation, packet classification."""
+
+    def __init__(
+        self,
+        default_qci: int = 9,
+        price_multipliers: dict[int, float] | None = None,
+    ) -> None:
+        if default_qci not in QCI_DELAY_BUDGET:
+            raise PolicyError(f"unknown default QCI: {default_qci}")
+        self.default_qci = default_qci
+        self.price_multipliers = dict(
+            price_multipliers or DEFAULT_PRICE_MULTIPLIERS
+        )
+        self._rules: dict[str, PolicyRule] = {}
+        self.activation_requests = 0
+
+    # ------------------------------------------------------------------
+    # the app-facing API (what the game SDK invokes)
+
+    def request_gaming_session(
+        self, flow: str, qci: int = 7, requested_by: str = "game-sdk"
+    ) -> PolicyRule:
+        """Activate a dedicated gaming bearer (QCI 3 or 7 only)."""
+        if qci not in GAMING_QCIS:
+            raise PolicyError(
+                f"gaming sessions use QCI 3 or 7, not {qci}"
+            )
+        return self.install_rule(flow, qci, requested_by)
+
+    def install_rule(
+        self, flow: str, qci: int, requested_by: str = "operator"
+    ) -> PolicyRule:
+        """Install (or replace) a flow->QCI rule."""
+        rule = PolicyRule(flow=flow, qci=qci, requested_by=requested_by)
+        self._rules[flow] = rule
+        self.activation_requests += 1
+        return rule
+
+    def deactivate(self, flow: str) -> None:
+        """Tear the dedicated bearer down; traffic reverts to default."""
+        try:
+            self._rules[flow].active = False
+        except KeyError:
+            raise PolicyError(f"no rule for flow {flow!r}") from None
+
+    def rule_for(self, flow: str) -> PolicyRule | None:
+        """The active rule for a flow, if any."""
+        rule = self._rules.get(flow)
+        if rule is not None and rule.active:
+            return rule
+        return None
+
+    # ------------------------------------------------------------------
+    # gateway-side enforcement
+
+    def qci_for_flow(self, flow: str) -> int:
+        """The QCI the network grants this flow."""
+        rule = self.rule_for(flow)
+        return rule.qci if rule is not None else self.default_qci
+
+    def classify(self, packet: Packet) -> Packet:
+        """Stamp the network-decided QCI onto a packet (in place).
+
+        The network, not the app, decides the QoS class: an app setting
+        its own packets to QCI=7 without a rule is reset to default.
+        """
+        packet.qci = self.qci_for_flow(packet.flow)
+        return packet
+
+    # ------------------------------------------------------------------
+    # charging policy
+
+    def price_multiplier(self, qci: int) -> float:
+        """Relative per-byte price for a QCI (best effort = 1.0)."""
+        try:
+            return self.price_multipliers[qci]
+        except KeyError:
+            raise PolicyError(f"no price multiplier for QCI {qci}") from None
+
+    def weighted_volume(self, volumes_by_qci: dict[int, float]) -> float:
+        """Price-weighted volume across QCIs (for QoS-aware billing)."""
+        return sum(
+            volume * self.price_multiplier(qci)
+            for qci, volume in volumes_by_qci.items()
+        )

@@ -1,0 +1,98 @@
+"""Radio Resource Control: connection states and the COUNTER CHECK procedure.
+
+TLC's tamper-resilient downlink record (§5.4 of the paper) is built on the
+standard RRC COUNTER CHECK exchange (3GPP TS 36.331 §5.3.6): the base
+station asks the *hardware modem* for its per-bearer PDCP byte counts, and
+the modem answers from silicon the device OS cannot rewrite.  This module
+provides the message types and the connection-side state machine; the modem
+counters themselves live in :class:`repro.lte.ue.HardwareModem`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class RrcState(enum.Enum):
+    """UE RRC state as seen by the base station."""
+
+    IDLE = "idle"
+    CONNECTED = "connected"
+
+
+@dataclass(frozen=True)
+class CounterCheckRequest:
+    """RRC COUNTER CHECK: sent by the eNodeB over SRB1."""
+
+    transaction_id: int
+    bearer_ids: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class BearerCount:
+    """Per-bearer PDCP COUNT report (uplink and downlink byte totals)."""
+
+    bearer_id: int
+    uplink_bytes: int
+    downlink_bytes: int
+
+
+@dataclass(frozen=True)
+class CounterCheckResponse:
+    """RRC COUNTER CHECK RESPONSE from the UE's hardware modem."""
+
+    transaction_id: int
+    counts: tuple[BearerCount, ...]
+
+    def downlink_total(self) -> int:
+        """Total device-received bytes across reported bearers."""
+        return sum(c.downlink_bytes for c in self.counts)
+
+    def uplink_total(self) -> int:
+        """Total device-sent bytes across reported bearers."""
+        return sum(c.uplink_bytes for c in self.counts)
+
+
+@dataclass
+class RrcConnection:
+    """One radio connection episode between UE and eNodeB.
+
+    The base station releases the connection after ``inactivity_timeout``
+    without traffic (RRC CONNECTION RELEASE is always network-initiated);
+    TLC hooks the release to run a COUNTER CHECK first, so every episode's
+    delivered bytes are captured before the connection state is torn down.
+    """
+
+    imsi_digits: str
+    established_at: float
+    inactivity_timeout: float = 10.0
+    state: RrcState = RrcState.CONNECTED
+    last_activity_at: float = field(default=0.0)
+    released_at: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.last_activity_at == 0.0:
+            self.last_activity_at = self.established_at
+
+    def touch(self, now: float) -> None:
+        """Record traffic activity (defers the inactivity release)."""
+        if self.state is not RrcState.CONNECTED:
+            raise ValueError("activity on a released RRC connection")
+        self.last_activity_at = now
+
+    def idle_for(self, now: float) -> float:
+        """Seconds since the last traffic on this connection."""
+        return now - self.last_activity_at
+
+    def should_release(self, now: float) -> bool:
+        """True once the inactivity timer has expired."""
+        return (
+            self.state is RrcState.CONNECTED
+            and self.idle_for(now) >= self.inactivity_timeout
+        )
+
+    def release(self, now: float) -> None:
+        """Tear the connection down (network-initiated)."""
+        self.state = RrcState.IDLE
+        self.released_at = now

@@ -1,0 +1,205 @@
+"""The user equipment (edge device).
+
+The UE separates two counting domains the paper's §5.4 carefully
+distinguishes:
+
+- :class:`HardwareModem` — per-bearer PDCP byte counts kept in the baseband
+  chip.  These answer RRC COUNTER CHECK and cannot be modified from the OS
+  (the paper: "We are unaware of attacks that can manipulate the cellular
+  hardware modem").
+- :class:`OsTrafficStats` — the Android ``TrafficStats`` / Linux
+  ``netstat`` view.  A selfish edge with a custom OS image *can* rewrite
+  these (strawman 1), which is modelled by installing a tamper function.
+
+Packets received over the air pass through the modem first (always
+counted), then through the OS counters (possibly tampered), then to the
+application.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.lte.bearer import Bearer
+from repro.lte.identifiers import Imsi
+from repro.lte.rrc import (
+    BearerCount,
+    CounterCheckRequest,
+    CounterCheckResponse,
+)
+from repro.net.packet import Direction, Packet
+
+TamperFn = Callable[[int], int]
+Deliver = Callable[[Packet], None]
+
+
+@dataclass
+class _BearerCounters:
+    uplink_bytes: int = 0
+    downlink_bytes: int = 0
+
+
+class HardwareModem:
+    """Baseband counters: the trusted root of TLC's downlink record."""
+
+    def __init__(self, imsi: Imsi) -> None:
+        self.imsi = imsi
+        self._counters: dict[int, _BearerCounters] = {}
+
+    def _bearer(self, bearer_id: int) -> _BearerCounters:
+        return self._counters.setdefault(bearer_id, _BearerCounters())
+
+    def count_downlink(self, bearer_id: int, size: int) -> None:
+        """Record ``size`` bytes delivered to the device on a bearer."""
+        self._bearer(bearer_id).downlink_bytes += size
+
+    def count_uplink(self, bearer_id: int, size: int) -> None:
+        """Record ``size`` bytes transmitted by the device on a bearer."""
+        self._bearer(bearer_id).uplink_bytes += size
+
+    def counter_check(self, request: CounterCheckRequest) -> CounterCheckResponse:
+        """Answer an RRC COUNTER CHECK from the base station."""
+        counts = tuple(
+            BearerCount(
+                bearer_id=bid,
+                uplink_bytes=self._bearer(bid).uplink_bytes,
+                downlink_bytes=self._bearer(bid).downlink_bytes,
+            )
+            for bid in request.bearer_ids
+        )
+        return CounterCheckResponse(
+            transaction_id=request.transaction_id, counts=counts
+        )
+
+    def totals(self) -> tuple[int, int]:
+        """(uplink_bytes, downlink_bytes) across all bearers."""
+        ul = sum(c.uplink_bytes for c in self._counters.values())
+        dl = sum(c.downlink_bytes for c in self._counters.values())
+        return ul, dl
+
+
+class OsTrafficStats:
+    """The OS-level byte counters (TrafficStats / netstat equivalent).
+
+    ``install_tamper`` models a selfish edge rewriting the counters; the
+    tamper function maps the true cumulative count to the reported one
+    (e.g. ``lambda b: int(b * 0.7)`` under-reports 30%).
+    """
+
+    def __init__(self) -> None:
+        self._uplink_bytes = 0
+        self._downlink_bytes = 0
+        self._uplink_tamper: TamperFn | None = None
+        self._downlink_tamper: TamperFn | None = None
+
+    def count(self, packet: Packet) -> None:
+        """Account a packet passing through the OS network stack."""
+        if packet.direction is Direction.UPLINK:
+            self._uplink_bytes += packet.size
+        else:
+            self._downlink_bytes += packet.size
+
+    def install_tamper(
+        self,
+        uplink: TamperFn | None = None,
+        downlink: TamperFn | None = None,
+    ) -> None:
+        """Install counter-rewriting functions (selfish edge, strawman 1)."""
+        self._uplink_tamper = uplink
+        self._downlink_tamper = downlink
+
+    @property
+    def uplink_bytes(self) -> int:
+        """Reported uplink bytes (after any tampering)."""
+        if self._uplink_tamper is not None:
+            return self._uplink_tamper(self._uplink_bytes)
+        return self._uplink_bytes
+
+    @property
+    def downlink_bytes(self) -> int:
+        """Reported downlink bytes (after any tampering)."""
+        if self._downlink_tamper is not None:
+            return self._downlink_tamper(self._downlink_bytes)
+        return self._downlink_bytes
+
+    @property
+    def true_uplink_bytes(self) -> int:
+        """Ground-truth uplink bytes (simulation-only view)."""
+        return self._uplink_bytes
+
+    @property
+    def true_downlink_bytes(self) -> int:
+        """Ground-truth downlink bytes (simulation-only view)."""
+        return self._downlink_bytes
+
+
+@dataclass
+class DeviceProfile:
+    """Hardware profile of an edge device (Figure 11b / 16 / 17).
+
+    ``crypto_ms_per_sign`` / ``crypto_ms_per_verify`` calibrate the PoC
+    cost model to the paper's measured per-device numbers.
+    """
+
+    name: str
+    crypto_ms_per_sign: float
+    crypto_ms_per_verify: float
+    baseline_rtt_ms: float
+
+
+# Paper testbed devices (Figure 11b) plus the edge server workstation.
+DEVICE_PROFILES = {
+    "EL20": DeviceProfile("EL20", 30.0, 23.2, 18.0),
+    "Pixel2XL": DeviceProfile("Pixel2XL", 55.0, 75.6, 27.0),
+    "S7Edge": DeviceProfile("S7Edge", 48.0, 58.3, 24.0),
+    "Z840": DeviceProfile("Z840", 6.0, 15.7, 1.0),
+}
+
+
+class UserEquipment:
+    """An attached edge device: modem + OS counters + application sink."""
+
+    def __init__(
+        self,
+        imsi: Imsi,
+        bearer: Bearer,
+        profile: DeviceProfile | None = None,
+    ) -> None:
+        self.imsi = imsi
+        self.bearer = bearer
+        self.profile = profile or DEVICE_PROFILES["EL20"]
+        self.modem = HardwareModem(imsi)
+        self.os_stats = OsTrafficStats()
+        self._app_receivers: list[Deliver] = []
+        self.app_received_packets = 0
+        self.app_received_bytes = 0
+
+    def connect_app(self, receiver: Deliver) -> None:
+        """Attach an application-layer packet handler."""
+        self._app_receivers.append(receiver)
+
+    # -- downlink path: air -> modem -> OS -> app ------------------------
+
+    def receive_from_air(self, packet: Packet) -> None:
+        """Entry point for packets delivered by the wireless channel."""
+        self.modem.count_downlink(self.bearer.bearer_id, packet.size)
+        self.os_stats.count(packet)
+        self.app_received_packets += 1
+        self.app_received_bytes += packet.size
+        for receiver in self._app_receivers:
+            receiver(packet)
+
+    # -- uplink path: app -> OS -> modem -> air --------------------------
+
+    def prepare_uplink(self, packet: Packet) -> Packet:
+        """Account an app-originated packet through OS and modem counters.
+
+        The caller (the network assembly) then pushes the packet onto the
+        air interface.
+        """
+        if packet.direction is not Direction.UPLINK:
+            raise ValueError("prepare_uplink needs an uplink packet")
+        self.os_stats.count(packet)
+        self.modem.count_uplink(self.bearer.bearer_id, packet.size)
+        return packet

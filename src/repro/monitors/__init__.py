@@ -1,0 +1,40 @@
+"""Traffic monitors: how each party measures (x̂e, x̂o) — §5.4.
+
+Four collection mechanisms, with the tamper surface each exposes:
+
+===========================  ==========================  ==================
+Monitor                      Measures                    Tamperable by
+===========================  ==========================  ==================
+:class:`DeviceApiMonitor`    device OS counters          edge (strawman 1)
+:class:`ServerMonitor`       server netstat counters     edge (its own box)
+:class:`GatewayMonitor`      gateway CDR counters        operator
+:class:`RrcCounterMonitor`   modem hardware counters     nobody (TLC §5.4)
+===========================  ==========================  ==================
+
+Every monitor reads cumulative bytes on *its owner's clock*; cycle
+snapshots taken on skewed clocks are where Figure 18's record errors come
+from (:class:`CycleSampler`).
+"""
+
+from repro.monitors.base import CycleSampler, MonitorReading
+from repro.monitors.device import DeviceApiMonitor
+from repro.monitors.gateway import GatewayMonitor
+from repro.monitors.rrc_counter import RrcCounterMonitor
+from repro.monitors.server import ServerMonitor
+from repro.monitors.tamper import (
+    ResetTamper,
+    UnderReportTamper,
+    tamper_fraction,
+)
+
+__all__ = [
+    "CycleSampler",
+    "MonitorReading",
+    "DeviceApiMonitor",
+    "GatewayMonitor",
+    "RrcCounterMonitor",
+    "ServerMonitor",
+    "ResetTamper",
+    "UnderReportTamper",
+    "tamper_fraction",
+]

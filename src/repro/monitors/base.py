@@ -1,0 +1,78 @@
+"""Monitor primitives: readings and cycle sampling on skewed clocks.
+
+A monitor exposes a cumulative byte counter.  Per-cycle usage is the
+difference of two snapshots taken at the cycle boundaries — but each party
+snapshots when *its own clock* says the boundary has arrived.  With a
+skewed clock the snapshot is early or late by the clock offset, so traffic
+near the boundary lands in the wrong cycle: exactly the "asynchronous
+charging cycle start/end" error the paper measures in Figure 18.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Protocol
+
+
+@dataclass(frozen=True)
+class MonitorReading:
+    """One snapshot of a cumulative counter."""
+
+    taken_at: float       # reference (simulated) time of the snapshot
+    local_time: float     # what the owner's clock showed
+    cumulative_bytes: int
+
+
+class ByteCounter(Protocol):
+    """Anything exposing a cumulative byte count."""
+
+    def read_bytes(self) -> int: ...  # noqa: E704
+
+
+class CycleSampler:
+    """Takes boundary snapshots of a counter and yields per-cycle usage."""
+
+    def __init__(
+        self,
+        read_bytes: Callable[[], int],
+        name: str = "monitor",
+    ) -> None:
+        self._read_bytes = read_bytes
+        self.name = name
+        self._snapshots: list[MonitorReading] = []
+
+    def snapshot(self, reference_time: float, local_time: float) -> MonitorReading:
+        """Record the counter at a cycle boundary."""
+        reading = MonitorReading(
+            taken_at=reference_time,
+            local_time=local_time,
+            cumulative_bytes=self._read_bytes(),
+        )
+        self._snapshots.append(reading)
+        return reading
+
+    @property
+    def snapshots(self) -> list[MonitorReading]:
+        """All boundary snapshots so far."""
+        return list(self._snapshots)
+
+    def usage_between(self, start_index: int, end_index: int) -> int:
+        """Bytes counted between two snapshots (a cycle's usage)."""
+        if not 0 <= start_index < end_index < len(self._snapshots):
+            raise IndexError(
+                f"snapshot indices out of range: "
+                f"({start_index}, {end_index}) with "
+                f"{len(self._snapshots)} snapshots"
+            )
+        return (
+            self._snapshots[end_index].cumulative_bytes
+            - self._snapshots[start_index].cumulative_bytes
+        )
+
+    def last_cycle_usage(self) -> int:
+        """Usage between the two most recent snapshots."""
+        if len(self._snapshots) < 2:
+            raise ValueError("need at least two snapshots for a cycle")
+        return self.usage_between(
+            len(self._snapshots) - 2, len(self._snapshots) - 1
+        )

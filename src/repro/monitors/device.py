@@ -1,0 +1,32 @@
+"""Device-side OS monitor: TrafficStats on Android, netstat on Linux.
+
+This is strawman 1 of §5.4 — a user-space monitor over legacy OS APIs.  It
+is accurate, but a selfish edge controlling the OS image can rewrite it;
+tampering installed on the underlying :class:`~repro.lte.ue.OsTrafficStats`
+flows straight through to these readings.
+"""
+
+from __future__ import annotations
+
+from repro.lte.ue import UserEquipment
+from repro.net.packet import Direction
+
+
+class DeviceApiMonitor:
+    """Reads the UE's OS counters for one direction."""
+
+    def __init__(self, ue: UserEquipment, direction: Direction) -> None:
+        self.ue = ue
+        self.direction = direction
+
+    def read_bytes(self) -> int:
+        """Cumulative bytes as the OS APIs report them (tamper included)."""
+        if self.direction is Direction.UPLINK:
+            return self.ue.os_stats.uplink_bytes
+        return self.ue.os_stats.downlink_bytes
+
+    def read_true_bytes(self) -> int:
+        """Ground truth (simulation-only; no real party can call this)."""
+        if self.direction is Direction.UPLINK:
+            return self.ue.os_stats.true_uplink_bytes
+        return self.ue.os_stats.true_downlink_bytes

@@ -1,0 +1,42 @@
+"""Gateway monitor: the operator's standard charging counters.
+
+The S/P-GW counts every byte it forwards (§2.1); this is what legacy
+4G/5G bills from, what the operator reports as its uplink-received record,
+and what it uses to *infer* x̂e for the downlink (the gateway forwards
+essentially everything the server sent, the wired hop being lossless).
+
+The operator owns the gateway, so a selfish operator can inflate these
+counters — :meth:`install_inflation` models that (validated against the
+carrier LTE core in the paper: "The operator can modify its CDRs for
+over-billing").
+"""
+
+from __future__ import annotations
+
+from repro.lte.gateway import ChargingGateway
+from repro.net.packet import Direction
+
+
+class GatewayMonitor:
+    """Reads a gateway's cumulative charged bytes for one direction."""
+
+    def __init__(self, gateway: ChargingGateway, direction: Direction) -> None:
+        self.gateway = gateway
+        self.direction = direction
+        self._inflation = 1.0
+
+    def install_inflation(self, factor: float) -> None:
+        """Selfish operator: report ``factor`` times the true count."""
+        if factor < 0:
+            raise ValueError(f"negative inflation factor: {factor}")
+        self._inflation = float(factor)
+
+    def read_bytes(self) -> int:
+        """Cumulative charged bytes (inflation applied, if installed)."""
+        return int(self.read_true_bytes() * self._inflation)
+
+    def read_true_bytes(self) -> int:
+        """Ground-truth gateway count (simulation-only view)."""
+        if self.direction is Direction.UPLINK:
+            return self.gateway.charged_uplink_bytes
+        return self.gateway.charged_downlink_bytes

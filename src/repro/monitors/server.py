@@ -1,0 +1,30 @@
+"""Edge-server monitor: the vendor's per-app netstat view.
+
+The paper's prototype reads ``/proc/<EDGE_APP_PID>/net/netstat`` on the
+Linux edge server (§6).  The vendor owns this box, so the monitor is
+trusted *by the vendor* — it is the source of the edge's downlink
+``x̂e`` (sent) and uplink received cross-check.
+"""
+
+from __future__ import annotations
+
+from repro.lte.network import LteNetwork
+from repro.net.packet import Direction
+
+
+class ServerMonitor:
+    """Reads the edge server's socket counters for one direction."""
+
+    def __init__(self, network: LteNetwork, direction: Direction) -> None:
+        self.network = network
+        self.direction = direction
+
+    def read_bytes(self) -> int:
+        """Cumulative bytes through the server's sockets.
+
+        Downlink: bytes the server app wrote (sent toward the device).
+        Uplink: bytes the server app read (received from the device).
+        """
+        if self.direction is Direction.DOWNLINK:
+            return self.network.server_sent_bytes
+        return self.network.server_received_bytes

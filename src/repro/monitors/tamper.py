@@ -1,0 +1,53 @@
+"""Tamper models: what a selfish party does to its counters (§3.3, §5.4).
+
+The paper names two concrete edge-side manipulations:
+
+- directly modifying ``netstat``/``TrafficStats`` to report less
+  (:class:`UnderReportTamper`), and
+- resetting the billing counters mid-cycle so usage "starts over"
+  (:class:`ResetTamper`, the no-root trick from [31]).
+
+Both are callables matching :class:`repro.lte.ue.OsTrafficStats`'s tamper
+hook signature: true cumulative bytes in, reported bytes out.
+"""
+
+from __future__ import annotations
+
+
+class UnderReportTamper:
+    """Report only ``fraction`` of the true counter value."""
+
+    def __init__(self, fraction: float) -> None:
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"report fraction out of [0,1]: {fraction}")
+        self.fraction = float(fraction)
+
+    def __call__(self, true_bytes: int) -> int:
+        return int(true_bytes * self.fraction)
+
+
+class ResetTamper:
+    """Zero the counter as of a chosen baseline (bill-cycle reset trick).
+
+    ``arm()`` captures the current true value; readings afterwards report
+    only bytes accumulated since the reset.
+    """
+
+    def __init__(self) -> None:
+        self._baseline = 0
+
+    def arm(self, current_true_bytes: int) -> None:
+        """Perform the reset at the current counter value."""
+        if current_true_bytes < 0:
+            raise ValueError("counter values are non-negative")
+        self._baseline = int(current_true_bytes)
+
+    def __call__(self, true_bytes: int) -> int:
+        return max(0, true_bytes - self._baseline)
+
+
+def tamper_fraction(true_bytes: int, reported_bytes: int) -> float:
+    """How much of the true volume the report hides (0 = honest)."""
+    if true_bytes <= 0:
+        return 0.0
+    return max(0.0, 1.0 - reported_bytes / true_bytes)

@@ -1,0 +1,26 @@
+"""Multi-access edge: TLC across multiple operators (§8).
+
+Some edge scenarios (V2X, self-driving) bond several operators' 4G/5G
+networks for coverage.  The paper's extension recipe: run TLC *per
+operator* — the edge classifies its traffic by operator when building
+charging records, installs each operator's tamper-resilient monitor, and
+negotiates a separate PoC with each.
+
+- :mod:`repro.multiop.classifier` — per-operator traffic accounting,
+- :mod:`repro.multiop.coordinator` — the multi-homed edge device driving
+  several simulated operator networks and the per-operator negotiations.
+"""
+
+from repro.multiop.classifier import OperatorTrafficClassifier
+from repro.multiop.coordinator import (
+    MultiAccessEdge,
+    OperatorCycleOutcome,
+    RoutingPolicy,
+)
+
+__all__ = [
+    "OperatorTrafficClassifier",
+    "MultiAccessEdge",
+    "OperatorCycleOutcome",
+    "RoutingPolicy",
+]

@@ -1,0 +1,86 @@
+"""Per-operator traffic classification.
+
+§8: "To avoid the interference, the edge should classify its data
+traffic by operators when generating the charging records."  The
+classifier tags each packet with the operator it was routed over and
+keeps separate byte counters, so each per-operator negotiation reports
+only that operator's share.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.net.packet import Direction, Packet
+
+
+@dataclass
+class _OperatorCounters:
+    uplink_bytes: int = 0
+    downlink_bytes: int = 0
+    uplink_packets: int = 0
+    downlink_packets: int = 0
+
+
+class OperatorTrafficClassifier:
+    """Edge-side byte accounting keyed by operator name."""
+
+    def __init__(self, operators: list[str]) -> None:
+        if not operators:
+            raise ValueError("need at least one operator")
+        if len(set(operators)) != len(operators):
+            raise ValueError(f"duplicate operator names: {operators}")
+        self.operators = list(operators)
+        self._counters: dict[str, _OperatorCounters] = defaultdict(
+            _OperatorCounters
+        )
+        self._flow_assignments: dict[str, str] = {}
+
+    def assign_flow(self, flow: str, operator: str) -> None:
+        """Pin a flow to an operator (all its packets count there)."""
+        if operator not in self.operators:
+            raise ValueError(f"unknown operator: {operator!r}")
+        self._flow_assignments[flow] = operator
+
+    def operator_for_flow(self, flow: str) -> str:
+        """The operator a flow is pinned to."""
+        try:
+            return self._flow_assignments[flow]
+        except KeyError:
+            raise ValueError(f"flow {flow!r} has no operator") from None
+
+    def record(self, packet: Packet, operator: str | None = None) -> str:
+        """Account a packet; returns the operator it was attributed to."""
+        if operator is None:
+            operator = self.operator_for_flow(packet.flow)
+        elif operator not in self.operators:
+            raise ValueError(f"unknown operator: {operator!r}")
+        counters = self._counters[operator]
+        if packet.direction is Direction.UPLINK:
+            counters.uplink_bytes += packet.size
+            counters.uplink_packets += 1
+        else:
+            counters.downlink_bytes += packet.size
+            counters.downlink_packets += 1
+        return operator
+
+    def bytes_for(self, operator: str, direction: Direction) -> int:
+        """This operator's accumulated bytes in one direction."""
+        counters = self._counters[operator]
+        if direction is Direction.UPLINK:
+            return counters.uplink_bytes
+        return counters.downlink_bytes
+
+    def total_bytes(self, direction: Direction) -> int:
+        """All-operator total in one direction."""
+        return sum(
+            self.bytes_for(op, direction) for op in self.operators
+        )
+
+    def share_of(self, operator: str, direction: Direction) -> float:
+        """The operator's fraction of the direction's total traffic."""
+        total = self.total_bytes(direction)
+        if total == 0:
+            return 0.0
+        return self.bytes_for(operator, direction) / total

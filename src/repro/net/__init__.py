@@ -1,0 +1,32 @@
+"""Network substrate: packets, links, wireless channel, congestion, transports.
+
+The charging gap exists because packets are *counted* at one point (the
+gateway, the sender's socket) and *dropped* at another (the air interface,
+a congested queue, a middlebox).  This package provides exactly those
+elements:
+
+- :mod:`repro.net.packet` — the packet record all substrates pass around,
+- :mod:`repro.net.link` — fixed-delay, optionally lossy point-to-point links,
+- :mod:`repro.net.channel` — the wireless access channel with an RSS-driven
+  loss model and Gilbert–Elliott-style intermittent disconnectivity bursts,
+- :mod:`repro.net.congestion` — a backhaul queue whose drop rate grows with
+  background offered load (the iperf knob from Figures 3 and 13),
+- :mod:`repro.net.transport` — UDP-like (fire and forget) and TCP-like
+  (retransmitting) senders, because the paper contrasts the loss exposure
+  of real-time UDP apps with recovering TCP apps.
+"""
+
+from repro.net.channel import ChannelConfig, WirelessChannel
+from repro.net.congestion import CongestedQueue, CongestionConfig
+from repro.net.link import Link
+from repro.net.packet import Direction, Packet
+
+__all__ = [
+    "ChannelConfig",
+    "WirelessChannel",
+    "CongestedQueue",
+    "CongestionConfig",
+    "Link",
+    "Direction",
+    "Packet",
+]

@@ -1,0 +1,236 @@
+"""The wireless access channel between the base station and the device.
+
+Two loss processes from §3.1 of the paper live here:
+
+- *PHY intermittent connectivity*: the channel alternates between connected
+  and disconnected states with exponentially distributed durations
+  (a Gilbert–Elliott on/off model).  While disconnected, a small link-layer
+  buffer holds packets (the paper observes buffering partially recovers the
+  gap, Figure 4 at t=240s); overflow is lost over the air.
+- *RSS-driven random loss*: weaker received signal strength means a higher
+  residual per-packet loss probability even while "connected".
+
+The channel also exposes its connectivity state and outage durations so
+the LTE layer can emulate radio-link-failure detach: the paper's core
+detaches a device after ~5 s of continuous outage, bounding the gap.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.net.packet import Packet
+from repro.sim.events import EventLoop
+
+Deliver = Callable[[Packet], None]
+StateListener = Callable[[bool], None]
+
+
+@dataclass
+class ChannelConfig:
+    """Tunable parameters of the wireless channel.
+
+    Attributes
+    ----------
+    rss_dbm:
+        Received signal strength; the paper sweeps [-95, -120] dBm.
+    delay:
+        One-way air-interface latency in seconds (LTE radio ~10 ms).
+    mean_outage:
+        Mean duration of a disconnectivity burst (s); paper measures 1.93 s.
+    mean_uptime:
+        Mean duration of connected periods (s).  ``float('inf')`` disables
+        intermittency entirely.
+    buffer_packets:
+        Link-layer buffer capacity used to ride out outages.
+    base_loss_rate:
+        Residual loss at excellent signal (>= -85 dBm).
+    """
+
+    rss_dbm: float = -90.0
+    delay: float = 0.010
+    mean_outage: float = 1.93
+    mean_uptime: float = float("inf")
+    buffer_packets: int = 64
+    base_loss_rate: float = 0.001
+
+    @property
+    def disconnectivity_ratio(self) -> float:
+        """Long-run fraction of time spent disconnected (η in Figure 14)."""
+        if math.isinf(self.mean_uptime):
+            return 0.0
+        return self.mean_outage / (self.mean_outage + self.mean_uptime)
+
+    @classmethod
+    def for_disconnectivity_ratio(
+        cls, eta: float, mean_outage: float = 1.93, **kwargs: object
+    ) -> "ChannelConfig":
+        """Build a config with a target disconnectivity ratio η in [0, 1)."""
+        if not 0.0 <= eta < 1.0:
+            raise ValueError(f"disconnectivity ratio out of [0,1): {eta}")
+        if eta == 0.0:
+            return cls(mean_outage=mean_outage, mean_uptime=float("inf"), **kwargs)
+        mean_uptime = mean_outage * (1.0 - eta) / eta
+        return cls(mean_outage=mean_outage, mean_uptime=mean_uptime, **kwargs)
+
+
+def rss_loss_rate(rss_dbm: float, base_loss_rate: float = 0.001) -> float:
+    """Residual per-packet loss probability as a function of RSS.
+
+    A logistic curve anchored so that loss is ~``base_loss_rate`` at
+    -85 dBm and climbs steeply below about -110 dBm, matching the paper's
+    qualitative observation that gaps stay small above -95 dBm and grow in
+    the [-95, -120] sweep.
+    """
+    midpoint = -112.0   # dBm at which loss reaches ~50%
+    steepness = 0.35    # per-dB growth
+    logistic = 1.0 / (1.0 + math.exp(-steepness * (midpoint - rss_dbm)))
+    return min(1.0, base_loss_rate + logistic)
+
+
+class WirelessChannel:
+    """A bidirectional air interface with intermittency and RSS loss."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        config: ChannelConfig,
+        rng: random.Random,
+        name: str = "air",
+    ) -> None:
+        self.loop = loop
+        self.config = config
+        self.rng = rng
+        self.name = name
+        self.connected = True
+        self._receivers: list[Deliver] = []
+        self._state_listeners: list[StateListener] = []
+        self._buffer: deque[Packet] = deque()
+        self._outage_started_at: float | None = None
+
+        self.sent_packets = 0
+        self.sent_bytes = 0
+        self.delivered_packets = 0
+        self.delivered_bytes = 0
+        self.dropped_packets = 0
+        self.dropped_bytes = 0
+        self.total_outage_time = 0.0
+
+        if not math.isinf(config.mean_uptime):
+            self._schedule_disconnect()
+
+    # ------------------------------------------------------------------
+    # wiring
+
+    def connect(self, receiver: Deliver) -> None:
+        """Attach the receiving endpoint (device or base station side)."""
+        self._receivers.append(receiver)
+
+    def on_state_change(self, listener: StateListener) -> None:
+        """Subscribe to connectivity transitions (True = connected)."""
+        self._state_listeners.append(listener)
+
+    # ------------------------------------------------------------------
+    # state machine
+
+    def _schedule_disconnect(self) -> None:
+        uptime = self.rng.expovariate(1.0 / self.config.mean_uptime)
+        self.loop.schedule_in(uptime, self._go_down, label=f"{self.name}-down")
+
+    def _schedule_reconnect(self) -> None:
+        outage = self.rng.expovariate(1.0 / self.config.mean_outage)
+        self.loop.schedule_in(outage, self._go_up, label=f"{self.name}-up")
+
+    def _go_down(self, schedule_reconnect: bool = True) -> None:
+        if not self.connected:
+            return
+        self.connected = False
+        self._outage_started_at = self.loop.now
+        for listener in self._state_listeners:
+            listener(False)
+        if schedule_reconnect:
+            self._schedule_reconnect()
+
+    def _go_up(self) -> None:
+        if self.connected:
+            return
+        self.connected = True
+        if self._outage_started_at is not None:
+            self.total_outage_time += self.loop.now - self._outage_started_at
+            self._outage_started_at = None
+        for listener in self._state_listeners:
+            listener(True)
+        self._flush_buffer()
+        if not math.isinf(self.config.mean_uptime):
+            self._schedule_disconnect()
+
+    def interrupt(self, duration: float) -> None:
+        """Force a fixed-length service interruption (handover break).
+
+        Link-layer mobility (§3.1 cause 2) interrupts the user plane for
+        tens of milliseconds per handover; packets beyond the buffer are
+        lost exactly as in a natural outage.
+        """
+        if duration <= 0:
+            raise ValueError(f"interruption must be positive: {duration}")
+        if not self.connected:
+            return  # already down; the outage in progress covers it
+        self._go_down(schedule_reconnect=False)
+        self.loop.schedule_in(duration, self._go_up, label=f"{self.name}-ho")
+
+    def current_outage_duration(self) -> float:
+        """Seconds the channel has currently been down (0 if connected)."""
+        if self.connected or self._outage_started_at is None:
+            return 0.0
+        return self.loop.now - self._outage_started_at
+
+    # ------------------------------------------------------------------
+    # data path
+
+    def send(self, packet: Packet) -> bool:
+        """Transmit a packet over the air.
+
+        Returns True if the packet was delivered or buffered, False if it
+        was lost (over-the-air loss or buffer overflow during an outage).
+        """
+        self.sent_packets += 1
+        self.sent_bytes += packet.size
+
+        if not self.connected:
+            if len(self._buffer) < self.config.buffer_packets:
+                self._buffer.append(packet)
+                return True
+            self.dropped_packets += 1
+            self.dropped_bytes += packet.size
+            return False
+
+        loss = rss_loss_rate(self.config.rss_dbm, self.config.base_loss_rate)
+        if self.rng.random() < loss:
+            self.dropped_packets += 1
+            self.dropped_bytes += packet.size
+            return False
+
+        self._schedule_delivery(packet)
+        return True
+
+    def _flush_buffer(self) -> None:
+        while self._buffer:
+            packet = self._buffer.popleft()
+            self._schedule_delivery(packet)
+
+    def _schedule_delivery(self, packet: Packet) -> None:
+        self.loop.schedule_in(
+            self.config.delay,
+            lambda p=packet: self._deliver(p),
+            label=f"{self.name}-rx",
+        )
+
+    def _deliver(self, packet: Packet) -> None:
+        self.delivered_packets += 1
+        self.delivered_bytes += packet.size
+        for receiver in self._receivers:
+            receiver(packet)

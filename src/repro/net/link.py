@@ -1,0 +1,92 @@
+"""Point-to-point links with delay and optional random loss.
+
+Used for the wired segments of the testbed (edge server <-> LTE core over
+1 Gbps Ethernet in the paper's Figure 11) where loss is negligible but
+propagation/serialization delay still contributes to RTT.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable
+
+from repro.net.packet import Packet
+from repro.sim.events import EventLoop
+
+Deliver = Callable[[Packet], None]
+
+
+class Link:
+    """A unidirectional link delivering packets after a fixed delay.
+
+    Parameters
+    ----------
+    loop:
+        The shared event loop.
+    delay:
+        One-way latency in seconds.
+    loss_rate:
+        Independent per-packet drop probability in [0, 1].
+    bandwidth_bps:
+        Optional serialization bandwidth; ``None`` means infinitely fast.
+        When set, packets queue behind each other FIFO.
+    rng:
+        Randomness source for loss draws (required when ``loss_rate > 0``).
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        delay: float,
+        loss_rate: float = 0.0,
+        bandwidth_bps: float | None = None,
+        rng: random.Random | None = None,
+        name: str = "link",
+    ) -> None:
+        if delay < 0:
+            raise ValueError(f"negative link delay: {delay}")
+        if not 0.0 <= loss_rate <= 1.0:
+            raise ValueError(f"loss rate out of [0,1]: {loss_rate}")
+        if loss_rate > 0 and rng is None:
+            raise ValueError("lossy link needs an rng")
+        self.loop = loop
+        self.delay = float(delay)
+        self.loss_rate = float(loss_rate)
+        self.bandwidth_bps = bandwidth_bps
+        self.rng = rng
+        self.name = name
+        self._receivers: list[Deliver] = []
+        self._busy_until = 0.0
+        self.sent_packets = 0
+        self.sent_bytes = 0
+        self.dropped_packets = 0
+        self.dropped_bytes = 0
+
+    def connect(self, receiver: Deliver) -> None:
+        """Attach a delivery callback (multiple receivers all get a copy)."""
+        self._receivers.append(receiver)
+
+    def send(self, packet: Packet) -> bool:
+        """Inject a packet; returns False if the loss draw dropped it."""
+        self.sent_packets += 1
+        self.sent_bytes += packet.size
+        if self.loss_rate > 0 and self.rng.random() < self.loss_rate:
+            self.dropped_packets += 1
+            self.dropped_bytes += packet.size
+            return False
+
+        depart = self.loop.now
+        if self.bandwidth_bps:
+            serialization = packet.size * 8 / self.bandwidth_bps
+            start = max(depart, self._busy_until)
+            self._busy_until = start + serialization
+            depart = self._busy_until
+        arrival = depart + self.delay
+        self.loop.schedule_at(
+            arrival, lambda p=packet: self._deliver(p), label=f"{self.name}-rx"
+        )
+        return True
+
+    def _deliver(self, packet: Packet) -> None:
+        for receiver in self._receivers:
+            receiver(packet)

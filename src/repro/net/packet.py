@@ -1,0 +1,76 @@
+"""The packet record shared by every substrate.
+
+Packets carry enough metadata for charging (size, owning flow, direction,
+QCI) without any payload bytes — the evaluation only ever uses volume and
+timing statistics, never content.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+
+class Direction(enum.Enum):
+    """Traffic direction relative to the edge device."""
+
+    UPLINK = "uplink"      # device -> server
+    DOWNLINK = "downlink"  # server -> device
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+_packet_ids = itertools.count(1)
+
+
+@dataclass
+class Packet:
+    """A simulated IP packet.
+
+    Attributes
+    ----------
+    size:
+        Total on-the-wire bytes (headers included) — the unit the charging
+        gateway meters.
+    flow:
+        Name of the owning application flow (e.g. ``"webcam-rtsp"``).
+    direction:
+        Uplink or downlink relative to the device.
+    qci:
+        LTE QoS Class Identifier of the bearer carrying this packet;
+        QCI=7 marks the accelerated gaming traffic, QCI=9 best-effort.
+    created_at:
+        Simulated send timestamp (set by the sender).
+    seq:
+        Per-flow sequence number (used by TCP-like retransmission).
+    retransmission:
+        True when this packet is a retransmitted copy (spurious
+        retransmissions are one of the §3.1 gap causes).
+    """
+
+    size: int
+    flow: str
+    direction: Direction
+    qci: int = 9
+    created_at: float = 0.0
+    seq: int = 0
+    retransmission: bool = False
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"packet size must be positive: {self.size}")
+
+    def copy_for_retransmission(self) -> "Packet":
+        """A fresh packet object carrying the same flow bytes again."""
+        return Packet(
+            size=self.size,
+            flow=self.flow,
+            direction=self.direction,
+            qci=self.qci,
+            created_at=self.created_at,
+            seq=self.seq,
+            retransmission=True,
+        )

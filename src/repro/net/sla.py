@@ -1,0 +1,77 @@
+"""SLA middlebox: application-layer drops for late real-time data.
+
+§3.1, cause 5: "The operator's middle-box may drop the data frames from
+real-time applications (e.g. video streaming) that exceed the latency
+requirements or service-level agreements."  A late VR frame is useless,
+so the middlebox sheds it — after the gateway already charged it.
+
+The element measures each packet's age (now minus ``created_at``) on
+arrival and drops anything older than the flow's delay budget.  By
+default the budget comes from the bearer's QCI (TS 23.203); per-flow
+overrides model app-specific SLAs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.lte.bearer import QCI_DELAY_BUDGET
+from repro.net.packet import Packet
+from repro.sim.events import EventLoop
+
+Deliver = Callable[[Packet], None]
+
+
+class SlaMiddlebox:
+    """Drops packets whose in-network age exceeds their delay budget."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        default_budget: float | None = None,
+        name: str = "sla",
+    ) -> None:
+        if default_budget is not None and default_budget <= 0:
+            raise ValueError(
+                f"delay budget must be positive: {default_budget}"
+            )
+        self.loop = loop
+        self.default_budget = default_budget
+        self.name = name
+        self._flow_budgets: dict[str, float] = {}
+        self._receivers: list[Deliver] = []
+        self.passed_packets = 0
+        self.passed_bytes = 0
+        self.dropped_packets = 0
+        self.dropped_bytes = 0
+
+    def connect(self, receiver: Deliver) -> None:
+        """Attach the downstream element."""
+        self._receivers.append(receiver)
+
+    def set_flow_budget(self, flow: str, budget: float) -> None:
+        """Install a per-flow SLA tighter/looser than the QCI default."""
+        if budget <= 0:
+            raise ValueError(f"delay budget must be positive: {budget}")
+        self._flow_budgets[flow] = float(budget)
+
+    def budget_for(self, packet: Packet) -> float:
+        """The delay budget applying to this packet."""
+        if packet.flow in self._flow_budgets:
+            return self._flow_budgets[packet.flow]
+        if self.default_budget is not None:
+            return self.default_budget
+        return QCI_DELAY_BUDGET.get(packet.qci, 0.300)
+
+    def send(self, packet: Packet) -> bool:
+        """Forward the packet unless it has aged past its budget."""
+        age = self.loop.now - packet.created_at
+        if age > self.budget_for(packet):
+            self.dropped_packets += 1
+            self.dropped_bytes += packet.size
+            return False
+        self.passed_packets += 1
+        self.passed_bytes += packet.size
+        for receiver in self._receivers:
+            receiver(packet)
+        return True

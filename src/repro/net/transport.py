@@ -1,0 +1,234 @@
+"""Transport abstractions: pipelines, UDP-like and TCP-like senders.
+
+The paper's edge workloads are UDP-based real-time protocols (RTSP, GVSP,
+game UDP), which never recover lost bytes — that is why their charging gap
+is large.  Traditional apps use TCP, which retransmits and can also
+*over*-charge through spurious retransmissions (§3.1, cause 4).  Both
+sender types are provided so experiments can contrast them.
+
+A :class:`Pipeline` chains network elements (gateway counter, congested
+queue, wireless channel, ...) into a unidirectional path; each element
+exposes ``send(packet) -> bool`` and ``connect(receiver)``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+from repro.net.packet import Direction, Packet
+from repro.sim.events import EventLoop
+
+Deliver = Callable[[Packet], None]
+
+
+class NetworkElement(Protocol):
+    """Anything that can forward packets along a path."""
+
+    def send(self, packet: Packet) -> bool: ...  # noqa: E704
+
+    def connect(self, receiver: Deliver) -> None: ...  # noqa: E704
+
+
+class Pipeline:
+    """A unidirectional chain of network elements ending in receivers."""
+
+    def __init__(self, elements: list[NetworkElement]) -> None:
+        self.elements = list(elements)
+        for upstream, downstream in zip(self.elements, self.elements[1:]):
+            upstream.connect(downstream.send)
+        self._receivers: list[Deliver] = []
+        if self.elements:
+            self.elements[-1].connect(self._fanout)
+
+    def _fanout(self, packet: Packet) -> None:
+        for receiver in self._receivers:
+            receiver(packet)
+
+    def connect(self, receiver: Deliver) -> None:
+        """Attach a terminal receiver after the last element."""
+        self._receivers.append(receiver)
+
+    def send(self, packet: Packet) -> bool:
+        """Inject a packet at the head of the pipeline."""
+        if not self.elements:
+            self._fanout(packet)
+            return True
+        return self.elements[0].send(packet)
+
+
+class UdpSender:
+    """Fire-and-forget sender: what RTSP/GVSP/game traffic uses."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        path: Pipeline,
+        flow: str,
+        direction: Direction,
+        qci: int = 9,
+    ) -> None:
+        self.loop = loop
+        self.path = path
+        self.flow = flow
+        self.direction = direction
+        self.qci = qci
+        self._seq = 0
+        self.sent_packets = 0
+        self.sent_bytes = 0
+
+    def send(self, size: int) -> Packet:
+        """Send ``size`` application bytes; returns the packet object."""
+        packet = Packet(
+            size=size,
+            flow=self.flow,
+            direction=self.direction,
+            qci=self.qci,
+            created_at=self.loop.now,
+            seq=self._seq,
+        )
+        self._seq += 1
+        self.sent_packets += 1
+        self.sent_bytes += packet.size
+        self.path.send(packet)
+        return packet
+
+
+ACK_SIZE = 40  # bytes of a TCP pure-ACK segment on the wire
+
+
+class TcpLikeSender:
+    """A retransmitting sender with a per-packet retransmission timer.
+
+    Models the §3.1 transport-layer effects: lost packets are re-sent
+    (recovering the app's bytes but inflating the operator's count), and a
+    delayed ACK can trigger a *spurious* retransmission that is charged
+    although the original arrived.
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        path: Pipeline,
+        ack_path: Pipeline,
+        flow: str,
+        direction: Direction,
+        qci: int = 9,
+        rto: float = 0.200,
+        max_retries: int = 5,
+    ) -> None:
+        self.loop = loop
+        self.path = path
+        self.flow = flow
+        self.direction = direction
+        self.qci = qci
+        self.rto = float(rto)
+        self.max_retries = int(max_retries)
+        self._seq = 0
+        self._unacked: dict[int, Packet] = {}
+        self._retries: dict[int, int] = {}
+        self._timers: dict[int, object] = {}
+        self.sent_packets = 0
+        self.sent_bytes = 0
+        self.retransmitted_packets = 0
+        self.retransmitted_bytes = 0
+        self.spurious_retransmissions = 0
+        self.abandoned_packets = 0
+        ack_path.connect(self._on_ack)
+
+    def send(self, size: int) -> Packet:
+        """Send ``size`` bytes reliably; returns the original packet."""
+        packet = Packet(
+            size=size,
+            flow=self.flow,
+            direction=self.direction,
+            qci=self.qci,
+            created_at=self.loop.now,
+            seq=self._seq,
+        )
+        self._seq += 1
+        self._transmit(packet, first=True)
+        return packet
+
+    def _transmit(self, packet: Packet, first: bool) -> None:
+        self.sent_packets += 1
+        self.sent_bytes += packet.size
+        if not first:
+            self.retransmitted_packets += 1
+            self.retransmitted_bytes += packet.size
+        self._unacked[packet.seq] = packet
+        self.path.send(packet)
+        timer = self.loop.schedule_in(
+            self.rto,
+            lambda seq=packet.seq: self._on_timeout(seq),
+            label=f"{self.flow}-rto",
+        )
+        self._timers[packet.seq] = timer
+
+    def _on_timeout(self, seq: int) -> None:
+        if seq not in self._unacked:
+            return
+        retries = self._retries.get(seq, 0)
+        if retries >= self.max_retries:
+            self._unacked.pop(seq, None)
+            self._retries.pop(seq, None)
+            self.abandoned_packets += 1
+            return
+        self._retries[seq] = retries + 1
+        packet = self._unacked[seq]
+        self._transmit(packet.copy_for_retransmission(), first=False)
+
+    def _on_ack(self, ack: Packet) -> None:
+        seq = ack.seq
+        if seq in self._unacked:
+            self._unacked.pop(seq)
+            self._retries.pop(seq, None)
+            timer = self._timers.pop(seq, None)
+            if timer is not None:
+                timer.cancel()
+        else:
+            # ACK for a segment already retransmitted: the retransmission
+            # was spurious (duplicate data charged by the network).
+            self.spurious_retransmissions += 1
+
+
+class AckingReceiver:
+    """Terminal receiver that acknowledges every data packet (for TCP)."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        ack_path: Pipeline,
+        on_data: Deliver | None = None,
+    ) -> None:
+        self.loop = loop
+        self.ack_path = ack_path
+        self.on_data = on_data
+        self._seen: set[int] = set()
+        self.received_packets = 0
+        self.received_bytes = 0
+        self.duplicate_packets = 0
+
+    def receive(self, packet: Packet) -> None:
+        """Handle an arriving data packet: deliver once, always ACK."""
+        if packet.seq in self._seen:
+            self.duplicate_packets += 1
+        else:
+            self._seen.add(packet.seq)
+            self.received_packets += 1
+            self.received_bytes += packet.size
+            if self.on_data is not None:
+                self.on_data(packet)
+        ack_direction = (
+            Direction.UPLINK
+            if packet.direction is Direction.DOWNLINK
+            else Direction.DOWNLINK
+        )
+        ack = Packet(
+            size=ACK_SIZE,
+            flow=f"{packet.flow}-ack",
+            direction=ack_direction,
+            qci=packet.qci,
+            created_at=self.loop.now,
+            seq=packet.seq,
+        )
+        self.ack_path.send(ack)

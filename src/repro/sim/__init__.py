@@ -1,0 +1,22 @@
+"""Discrete-event simulation kernel used by every substrate in this repo.
+
+The kernel is intentionally small: a :class:`~repro.sim.clock.Clock` that
+only moves when the scheduler advances it, an event queue
+(:class:`~repro.sim.events.EventLoop`) with deterministic tie-breaking, and
+seeded random-stream helpers (:mod:`repro.sim.rng`) so that every experiment
+in the paper reproduction is replayable bit-for-bit from a single seed.
+"""
+
+from repro.sim.clock import Clock, SkewedClock
+from repro.sim.events import Event, EventLoop, SimulationError
+from repro.sim.rng import RngStreams, derive_seed
+
+__all__ = [
+    "Clock",
+    "SkewedClock",
+    "Event",
+    "EventLoop",
+    "SimulationError",
+    "RngStreams",
+    "derive_seed",
+]

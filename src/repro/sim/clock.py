@@ -1,0 +1,101 @@
+"""Simulated clocks.
+
+All timestamps in the reproduction come from a :class:`Clock` owned by the
+event loop, never from the wall clock.  :class:`SkewedClock` wraps a
+reference clock with a fixed offset plus drift, which is how we model the
+edge vendor and the cellular operator reading *different* local times for
+the same charging-cycle boundary (the error source behind Figure 18).
+"""
+
+from __future__ import annotations
+
+
+class Clock:
+    """A monotonically advancing simulated clock.
+
+    The clock starts at ``start`` (seconds) and only moves via
+    :meth:`advance_to`.  Moving backwards raises ``ValueError`` so that a
+    buggy event ordering is caught immediately instead of corrupting
+    downstream charging records.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance_to(self, t: float) -> None:
+        """Move the clock forward to absolute time ``t`` seconds."""
+        if t < self._now:
+            raise ValueError(
+                f"clock cannot move backwards: {t:.9f} < {self._now:.9f}"
+            )
+        self._now = float(t)
+
+    def advance_by(self, dt: float) -> None:
+        """Move the clock forward by ``dt`` seconds (``dt >= 0``)."""
+        if dt < 0:
+            raise ValueError(f"negative clock step: {dt}")
+        self._now += float(dt)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Clock(now={self._now:.6f})"
+
+
+class SkewedClock:
+    """A view of a reference clock with constant offset and linear drift.
+
+    ``local = reference + offset + drift_ppm * 1e-6 * reference``
+
+    Parameters
+    ----------
+    reference:
+        The authoritative simulated clock (usually the event loop's).
+    offset:
+        Constant offset in seconds (positive means this clock runs ahead).
+    drift_ppm:
+        Linear drift in parts-per-million of elapsed reference time.
+    """
+
+    def __init__(
+        self, reference: Clock, offset: float = 0.0, drift_ppm: float = 0.0
+    ) -> None:
+        self._reference = reference
+        self.offset = float(offset)
+        self.drift_ppm = float(drift_ppm)
+
+    @property
+    def now(self) -> float:
+        """Local (skewed) time in seconds."""
+        ref = self._reference.now
+        return ref + self.offset + self.drift_ppm * 1e-6 * ref
+
+    def to_local(self, reference_time: float) -> float:
+        """Convert a reference timestamp into this clock's local time."""
+        return (
+            reference_time
+            + self.offset
+            + self.drift_ppm * 1e-6 * reference_time
+        )
+
+    def to_reference(self, local_time: float) -> float:
+        """Convert a local timestamp back to reference time (inverse map)."""
+        scale = 1.0 + self.drift_ppm * 1e-6
+        return (local_time - self.offset) / scale
+
+    def synchronize(self, residual_offset: float = 0.0) -> None:
+        """Discipline the clock as NTP would, leaving ``residual_offset``.
+
+        A perfect sync leaves ``offset == 0``; real NTP leaves a few
+        milliseconds, which is what the caller passes in.
+        """
+        self.offset = float(residual_offset)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SkewedClock(offset={self.offset:+.6f}s, "
+            f"drift={self.drift_ppm:+.3f}ppm)"
+        )

@@ -1,0 +1,129 @@
+"""Deterministic discrete-event loop.
+
+Every substrate (wireless channel, LTE gateways, application workloads,
+negotiation protocol) schedules callbacks on one shared :class:`EventLoop`.
+Ties at the same timestamp are broken by insertion order, so a run is a
+pure function of (seed, scenario parameters).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulation is driven incorrectly."""
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Ordered by ``(time, sequence)`` so same-time events fire in the order
+    they were scheduled.
+    """
+
+    time: float
+    sequence: int
+    callback: Callable[[], Any] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+    label: str = field(default="", compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the loop skips it (O(1) lazy deletion)."""
+        self.cancelled = True
+
+
+class EventLoop:
+    """A minimal priority-queue event scheduler with a simulated clock."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        from repro.sim.clock import Clock
+
+        self.clock = Clock(start)
+        self._queue: list[Event] = []
+        self._sequence = itertools.count()
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time (seconds)."""
+        return self.clock.now
+
+    @property
+    def processed_events(self) -> int:
+        """How many events have fired so far (for diagnostics)."""
+        return self._processed
+
+    def schedule_at(
+        self, time: float, callback: Callable[[], Any], label: str = ""
+    ) -> Event:
+        """Schedule ``callback`` at absolute simulated time ``time``."""
+        if time < self.clock.now:
+            raise SimulationError(
+                f"cannot schedule event in the past: {time:.9f} < "
+                f"{self.clock.now:.9f} ({label or callback!r})"
+            )
+        event = Event(time, next(self._sequence), callback, label=label)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_in(
+        self, delay: float, callback: Callable[[], Any], label: str = ""
+    ) -> Event:
+        """Schedule ``callback`` after ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        return self.schedule_at(self.clock.now + delay, callback, label)
+
+    def pending(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    def step(self) -> bool:
+        """Fire the next event.  Returns False when the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self.clock.advance_to(event.time)
+            self._processed += 1
+            event.callback()
+            return True
+        return False
+
+    def run(self, until: float | None = None, max_events: int = 50_000_000) -> None:
+        """Run events in order.
+
+        Parameters
+        ----------
+        until:
+            Stop once the next event is strictly later than this time
+            (the clock is advanced to ``until``).  ``None`` runs to
+            queue exhaustion.
+        max_events:
+            Safety valve against runaway self-scheduling loops.
+        """
+        fired = 0
+        while self._queue:
+            if fired >= max_events:
+                raise SimulationError(
+                    f"event budget exhausted after {fired} events"
+                )
+            nxt = self._peek()
+            if nxt is None:
+                break
+            if until is not None and nxt.time > until:
+                break
+            self.step()
+            fired += 1
+        if until is not None and self.clock.now < until:
+            self.clock.advance_to(until)
+
+    def _peek(self) -> Event | None:
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0] if self._queue else None

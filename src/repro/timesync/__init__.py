@@ -1,0 +1,11 @@
+"""Time synchronization between the edge vendor and the operator.
+
+TLC requires both parties to agree on the charging cycle boundaries,
+"achievable via NTP protocol" (§4).  Residual sync error makes the two
+parties snapshot their counters at slightly different true times, which is
+the dominant source of the record errors in Figure 18.
+"""
+
+from repro.timesync.ntp import NtpModel, SyncedParty
+
+__all__ = ["NtpModel", "SyncedParty"]

@@ -1,0 +1,69 @@
+"""An NTP-flavoured clock discipline model.
+
+Real NTP leaves a residual offset of a few milliseconds over the WAN (and
+sub-millisecond on a LAN); unsynchronized device clocks drift by seconds
+per day.  :class:`NtpModel` produces per-party residual offsets from a
+seeded stream, and :class:`SyncedParty` bundles a skewed clock with the
+boundary-snapshot behaviour experiments need: the party acts when *its*
+clock reaches the boundary, i.e. at reference time ``boundary - offset``
+(to first order).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.sim.clock import Clock, SkewedClock
+
+
+class NtpModel:
+    """Draws residual clock offsets for synchronized (or not) parties.
+
+    Parameters
+    ----------
+    rng:
+        Seeded randomness.
+    residual_std:
+        Standard deviation of the post-sync offset, seconds.  Paper-scale
+        values: ~0.005-0.05 s for NTP over the LTE link; several seconds
+        when sync is disabled.
+    """
+
+    def __init__(self, rng: random.Random, residual_std: float = 0.02) -> None:
+        if residual_std < 0:
+            raise ValueError(f"negative residual std: {residual_std}")
+        self.rng = rng
+        self.residual_std = float(residual_std)
+
+    def residual_offset(self) -> float:
+        """One party's post-sync clock offset (seconds, signed)."""
+        return self.rng.gauss(0.0, self.residual_std)
+
+    def synced_party(
+        self, name: str, reference: Clock, drift_ppm: float = 0.0
+    ) -> "SyncedParty":
+        """Create a party with a freshly disciplined clock."""
+        clock = SkewedClock(
+            reference, offset=self.residual_offset(), drift_ppm=drift_ppm
+        )
+        return SyncedParty(name=name, clock=clock)
+
+
+class SyncedParty:
+    """A named party observing time through its own (skewed) clock."""
+
+    def __init__(self, name: str, clock: SkewedClock) -> None:
+        self.name = name
+        self.clock = clock
+
+    def local_boundary_in_reference_time(self, boundary: float) -> float:
+        """When (reference time) this party believes ``boundary`` occurs.
+
+        The party acts when its local clock shows ``boundary``; a party
+        running ahead (positive offset) therefore acts early.
+        """
+        return self.clock.to_reference(boundary)
+
+    def snapshot_error(self, boundary: float) -> float:
+        """Signed seconds between the party's snapshot and the boundary."""
+        return self.local_boundary_in_reference_time(boundary) - boundary

@@ -1,0 +1,137 @@
+"""Frame models and packetization."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.base import (
+    MTU_PAYLOAD,
+    PACKET_OVERHEAD,
+    FrameModel,
+    Workload,
+    packetize,
+)
+from repro.net.packet import Direction
+from repro.sim.events import EventLoop
+
+
+class TestFrameModel:
+    def test_mean_frame_bytes(self):
+        model = FrameModel(bitrate_bps=1.2e6, fps=30.0)
+        assert model.mean_frame_bytes == pytest.approx(5000)
+
+    def test_iframes_larger_than_pframes(self):
+        model = FrameModel(
+            bitrate_bps=1e6,
+            fps=30.0,
+            iframe_interval=30,
+            iframe_scale=4.0,
+            jitter_sigma=0.0,
+        )
+        rng = random.Random(1)
+        iframe = model.frame_size(0, rng)
+        pframe = model.frame_size(1, rng)
+        assert iframe > pframe * 2
+
+    def test_long_run_average_near_budget(self):
+        model = FrameModel(bitrate_bps=1e6, fps=30.0)
+        rng = random.Random(2)
+        sizes = [model.frame_size(i, rng) for i in range(3000)]
+        mean = sum(sizes) / len(sizes)
+        assert mean == pytest.approx(model.mean_frame_bytes, rel=0.1)
+
+    def test_no_gop_means_flat_sizes(self):
+        model = FrameModel(
+            bitrate_bps=1e6, fps=30.0, iframe_interval=0, jitter_sigma=0.0
+        )
+        rng = random.Random(3)
+        sizes = {model.frame_size(i, rng) for i in range(10)}
+        assert len(sizes) == 1
+
+    def test_invalid_bitrate_rejected(self):
+        with pytest.raises(ValueError):
+            FrameModel(bitrate_bps=0, fps=30)
+
+
+class TestPacketize:
+    def test_small_frame_is_one_packet(self):
+        sizes = packetize(500)
+        assert sizes == [500 + PACKET_OVERHEAD]
+
+    def test_large_frame_fragments(self):
+        frame = MTU_PAYLOAD * 3 + 100
+        sizes = packetize(frame)
+        assert len(sizes) == 4
+
+    def test_payload_conserved(self):
+        frame = 12_345
+        sizes = packetize(frame)
+        payload = sum(s - PACKET_OVERHEAD for s in sizes)
+        assert payload == frame
+
+    def test_zero_frame_rejected(self):
+        with pytest.raises(ValueError):
+            packetize(0)
+
+    @given(st.integers(min_value=1, max_value=200_000))
+    @settings(max_examples=100)
+    def test_fragments_bounded_by_mtu(self, frame):
+        for size in packetize(frame):
+            assert PACKET_OVERHEAD < size <= MTU_PAYLOAD + PACKET_OVERHEAD
+
+
+class TestWorkload:
+    def _workload(self, loop, fps=10.0, bitrate=1e5):
+        sent = []
+        workload = Workload(
+            loop=loop,
+            send=sent.append,
+            model=FrameModel(bitrate_bps=bitrate, fps=fps),
+            rng=random.Random(4),
+            flow="test",
+            direction=Direction.UPLINK,
+        )
+        return workload, sent
+
+    def test_generates_at_frame_rate(self):
+        loop = EventLoop()
+        workload, sent = self._workload(loop, fps=10.0)
+        workload.start()
+        loop.run(until=5.0)
+        assert 40 <= workload.generated_frames <= 55
+
+    def test_stop_halts_generation(self):
+        loop = EventLoop()
+        workload, sent = self._workload(loop)
+        workload.start()
+        loop.run(until=1.0)
+        workload.stop()
+        frames = workload.generated_frames
+        loop.run(until=5.0)
+        assert workload.generated_frames == frames
+
+    def test_double_start_is_idempotent(self):
+        loop = EventLoop()
+        workload, sent = self._workload(loop, fps=10.0)
+        workload.start()
+        workload.start()
+        loop.run(until=2.0)
+        assert workload.generated_frames <= 25
+
+    def test_packets_carry_flow_and_direction(self):
+        loop = EventLoop()
+        workload, sent = self._workload(loop)
+        workload.start()
+        loop.run(until=1.0)
+        assert sent
+        assert all(p.flow == "test" for p in sent)
+        assert all(p.direction is Direction.UPLINK for p in sent)
+
+    def test_average_bitrate_tracks_target(self):
+        loop = EventLoop()
+        workload, _ = self._workload(loop, fps=30.0, bitrate=1e6)
+        workload.start()
+        loop.run(until=30.0)
+        assert workload.average_bitrate == pytest.approx(1e6, rel=0.2)

@@ -1,0 +1,118 @@
+"""Trace record / persist / replay."""
+
+import random
+
+import pytest
+
+from repro.apps.traces import PacketTrace, TraceEntry, TraceReplayWorkload
+from repro.apps.webcam import WebcamUdpWorkload
+from repro.net.packet import Direction
+from repro.sim.events import EventLoop
+
+
+def sample_trace():
+    return PacketTrace(
+        entries=[
+            TraceEntry(time=0.0, size=100),
+            TraceEntry(time=0.5, size=200),
+            TraceEntry(time=1.0, size=300),
+        ],
+        flow="sample",
+        direction=Direction.DOWNLINK,
+        qci=7,
+    )
+
+
+class TestPacketTrace:
+    def test_summary_statistics(self):
+        trace = sample_trace()
+        assert len(trace) == 3
+        assert trace.total_bytes == 600
+        assert trace.duration == 1.0
+        assert trace.average_bitrate == pytest.approx(4800)
+
+    def test_record_appends_in_order(self):
+        trace = PacketTrace()
+        trace.record(0.0, 100)
+        trace.record(1.0, 100)
+        with pytest.raises(ValueError):
+            trace.record(0.5, 100)
+
+    def test_entries_sorted_at_construction(self):
+        trace = PacketTrace(
+            entries=[TraceEntry(1.0, 10), TraceEntry(0.0, 20)]
+        )
+        assert [e.time for e in trace.entries] == [0.0, 1.0]
+
+    def test_invalid_entries_rejected(self):
+        with pytest.raises(ValueError):
+            TraceEntry(time=-1.0, size=10)
+        with pytest.raises(ValueError):
+            TraceEntry(time=0.0, size=0)
+
+    def test_save_load_roundtrip(self, tmp_path):
+        trace = sample_trace()
+        path = tmp_path / "trace.jsonl"
+        trace.save(path)
+        loaded = PacketTrace.load(path)
+        assert loaded.flow == "sample"
+        assert loaded.direction is Direction.DOWNLINK
+        assert loaded.qci == 7
+        assert [e.size for e in loaded.entries] == [100, 200, 300]
+
+
+class TestTraceReplay:
+    def test_replay_preserves_timing_and_sizes(self):
+        loop = EventLoop()
+        received = []
+        replay = TraceReplayWorkload(
+            loop, lambda p: received.append((loop.now, p.size)), sample_trace()
+        )
+        replay.start()
+        loop.run()
+        assert received == [(0.0, 100), (0.5, 200), (1.0, 300)]
+        assert replay.replayed_bytes == 600
+
+    def test_replay_offsets_from_start_time(self):
+        loop = EventLoop()
+        received = []
+        replay = TraceReplayWorkload(
+            loop, lambda p: received.append(loop.now), sample_trace()
+        )
+        loop.schedule_at(10.0, replay.start)
+        loop.run()
+        assert received == [10.0, 10.5, 11.0]
+
+    def test_double_start_is_idempotent(self):
+        loop = EventLoop()
+        received = []
+        replay = TraceReplayWorkload(
+            loop, lambda p: received.append(p), sample_trace()
+        )
+        replay.start()
+        replay.start()
+        loop.run()
+        assert len(received) == 3
+
+    def test_workload_capture_then_replay_matches_volume(self, tmp_path):
+        # The paper's tcpdump-replay workflow over a synthetic capture.
+        loop = EventLoop()
+        trace = PacketTrace(flow="webcam", direction=Direction.UPLINK)
+        workload = WebcamUdpWorkload(
+            loop,
+            lambda p: trace.record(loop.now, p.size),
+            random.Random(5),
+        )
+        workload.start()
+        loop.run(until=5.0)
+        path = tmp_path / "webcam.jsonl"
+        trace.save(path)
+
+        loop2 = EventLoop()
+        replayed_bytes = []
+        replay = TraceReplayWorkload(
+            loop2, lambda p: replayed_bytes.append(p.size), PacketTrace.load(path)
+        )
+        replay.start()
+        loop2.run()
+        assert sum(replayed_bytes) == trace.total_bytes

@@ -1,0 +1,114 @@
+"""The four paper workloads hit their calibrated bitrates and shapes."""
+
+import random
+
+import pytest
+
+from repro.apps.background import IperfUdpWorkload
+from repro.apps.gaming import GamingWorkload
+from repro.apps.vr import VrGvspWorkload
+from repro.apps.webcam import WebcamRtspWorkload, WebcamUdpWorkload
+from repro.net.packet import Direction
+from repro.sim.events import EventLoop
+
+
+def run_workload(cls, duration=30.0, seed=1, **kwargs):
+    loop = EventLoop()
+    sent = []
+    workload = cls(loop, sent.append, random.Random(seed), **kwargs)
+    workload.start()
+    loop.run(until=duration)
+    bitrate = sum(p.size for p in sent) * 8 / duration
+    return workload, sent, bitrate
+
+
+class TestWebcamRtsp:
+    def test_bitrate_near_077_mbps(self):
+        _, _, bitrate = run_workload(WebcamRtspWorkload)
+        assert bitrate == pytest.approx(0.77e6, rel=0.25)
+
+    def test_uplink_best_effort(self):
+        _, sent, _ = run_workload(WebcamRtspWorkload, duration=2.0)
+        assert all(p.direction is Direction.UPLINK for p in sent)
+        assert all(p.qci == 9 for p in sent)
+
+
+class TestWebcamUdp:
+    def test_bitrate_near_173_mbps(self):
+        _, _, bitrate = run_workload(WebcamUdpWorkload)
+        assert bitrate == pytest.approx(1.73e6, rel=0.25)
+
+    def test_thirty_fps(self):
+        workload, _, _ = run_workload(WebcamUdpWorkload, duration=10.0)
+        assert workload.generated_frames == pytest.approx(300, abs=15)
+
+
+class TestVrGvsp:
+    def test_bitrate_near_9_mbps(self):
+        _, _, bitrate = run_workload(VrGvspWorkload)
+        assert bitrate == pytest.approx(9.0e6, rel=0.2)
+
+    def test_downlink_60fps(self):
+        workload, sent, _ = run_workload(VrGvspWorkload, duration=10.0)
+        assert workload.generated_frames == pytest.approx(600, abs=30)
+        assert all(p.direction is Direction.DOWNLINK for p in sent)
+
+    def test_frames_fragment_into_multiple_packets(self):
+        workload, sent, _ = run_workload(VrGvspWorkload, duration=5.0)
+        assert workload.generated_packets > workload.generated_frames * 5
+
+
+class TestGaming:
+    def test_bitrate_near_20_kbps(self):
+        _, _, bitrate = run_workload(GamingWorkload)
+        assert bitrate == pytest.approx(0.02e6, rel=0.4)
+
+    def test_uses_qci7(self):
+        _, sent, _ = run_workload(GamingWorkload, duration=2.0)
+        assert all(p.qci == 7 for p in sent)
+
+    def test_packets_are_small(self):
+        _, sent, _ = run_workload(GamingWorkload, duration=5.0)
+        assert max(p.size for p in sent) < 500
+
+
+class TestIperfBackground:
+    def test_offered_load_achieved(self):
+        loop = EventLoop()
+        sent = []
+        workload = IperfUdpWorkload(
+            loop, sent.append, random.Random(1), offered_bps=10e6
+        )
+        workload.start()
+        loop.run(until=5.0)
+        bitrate = sum(p.size for p in sent) * 8 / 5.0
+        assert bitrate == pytest.approx(10e6, rel=0.05)
+
+    def test_zero_load_sends_nothing(self):
+        loop = EventLoop()
+        sent = []
+        workload = IperfUdpWorkload(
+            loop, sent.append, random.Random(1), offered_bps=0.0
+        )
+        workload.start()
+        loop.run(until=2.0)
+        assert sent == []
+
+    def test_negative_load_rejected(self):
+        with pytest.raises(ValueError):
+            IperfUdpWorkload(
+                EventLoop(), lambda p: None, random.Random(1), offered_bps=-1
+            )
+
+    def test_stop_halts(self):
+        loop = EventLoop()
+        sent = []
+        workload = IperfUdpWorkload(
+            loop, sent.append, random.Random(1), offered_bps=1e6
+        )
+        workload.start()
+        loop.run(until=1.0)
+        workload.stop()
+        count = len(sent)
+        loop.run(until=3.0)
+        assert len(sent) == count

@@ -1,0 +1,101 @@
+"""CDR records: Trace 1 XML and the 34-byte binary encoding."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.charging.cdr import BINARY_CDR_SIZE, ChargingDataRecord
+from repro.lte.identifiers import subscriber_imsi
+
+
+def make_cdr(**overrides):
+    defaults = dict(
+        served_imsi=subscriber_imsi(1),
+        gateway_address="192.168.2.11",
+        charging_id=0,
+        sequence_number=1001,
+        time_of_first_usage=1_546_845_226.0,  # 2019-01-07 07:13:46 UTC
+        time_of_last_usage=1_546_848_826.0,
+        uplink_bytes=274_841,
+        downlink_bytes=33_604_032,
+    )
+    defaults.update(overrides)
+    return ChargingDataRecord(**defaults)
+
+
+class TestValidation:
+    def test_negative_volume_rejected(self):
+        with pytest.raises(ValueError):
+            make_cdr(uplink_bytes=-1)
+
+    def test_inverted_interval_rejected(self):
+        with pytest.raises(ValueError):
+            make_cdr(time_of_first_usage=100.0, time_of_last_usage=50.0)
+
+    def test_time_usage_is_duration(self):
+        assert make_cdr().time_usage == 3600
+
+    def test_total_bytes(self):
+        cdr = make_cdr(uplink_bytes=10, downlink_bytes=20)
+        assert cdr.total_bytes == 30
+
+
+class TestXml:
+    def test_contains_trace1_fields(self):
+        xml = make_cdr().to_xml()
+        for tag in (
+            "servedIMSI",
+            "gatewayAddress",
+            "chargingID",
+            "SequenceNumber",
+            "timeOfFirstUsage",
+            "timeOfLastUsage",
+            "timeUsage",
+            "datavolumeUplink",
+            "datavolumeDownlink",
+        ):
+            assert f"<{tag}>" in xml
+
+    def test_volumes_rendered(self):
+        xml = make_cdr().to_xml()
+        assert "<datavolumeUplink>274841</datavolumeUplink>" in xml
+        assert "<datavolumeDownlink>33604032</datavolumeDownlink>" in xml
+
+    def test_time_format_matches_trace1(self):
+        xml = make_cdr().to_xml()
+        assert "<timeOfFirstUsage>2019-01-07 07:13:46</timeOfFirstUsage>" in xml
+        assert "<timeUsage>3600</timeUsage>" in xml
+
+
+class TestBinary:
+    def test_size_is_34_bytes(self):
+        # Figure 17's message-size table: "LTE CDR: 34 bytes".
+        assert len(make_cdr().to_bytes()) == BINARY_CDR_SIZE == 34
+
+    def test_roundtrip(self):
+        original = make_cdr()
+        restored = ChargingDataRecord.from_bytes(original.to_bytes())
+        assert restored.served_imsi == original.served_imsi
+        assert restored.gateway_address == original.gateway_address
+        assert restored.sequence_number == original.sequence_number
+        assert restored.uplink_bytes == original.uplink_bytes
+        assert restored.downlink_bytes == original.downlink_bytes
+        assert restored.time_usage == original.time_usage
+
+    @given(
+        up=st.integers(min_value=0, max_value=2**32 - 1),
+        down=st.integers(min_value=0, max_value=2**32 - 1),
+        seq=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_roundtrip_property(self, up, down, seq):
+        original = make_cdr(
+            uplink_bytes=up, downlink_bytes=down, sequence_number=seq
+        )
+        restored = ChargingDataRecord.from_bytes(original.to_bytes())
+        assert restored.uplink_bytes == up
+        assert restored.downlink_bytes == down
+        assert restored.sequence_number == seq
+
+    def test_bad_ipv4_rejected(self):
+        with pytest.raises(ValueError):
+            make_cdr(gateway_address="not-an-ip").to_bytes()

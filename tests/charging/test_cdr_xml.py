@@ -1,0 +1,66 @@
+"""Trace-1 XML parsing (ingesting OpenEPC-style dumps)."""
+
+import pytest
+
+from repro.charging.cdr import ChargingDataRecord
+from repro.lte.identifiers import subscriber_imsi
+
+# The paper's Trace 1, verbatim structure.
+TRACE1 = """<chargingRecord>
+  <servedIMSI>00 01 11 32 54 76 48 F5</servedIMSI>
+  <gatewayAddress>192.168.2.11</gatewayAddress>
+  <chargingID>0</chargingID>
+  <SequenceNumber>1001</SequenceNumber>
+  <timeOfFirstUsage>2019-01-07 07:13:46</timeOfFirstUsage>
+  <timeOfLastUsage>2019-01-07 08:13:46</timeOfLastUsage>
+  <timeUsage>3600</timeUsage>
+  <datavolumeUplink>274841</datavolumeUplink>
+  <datavolumeDownlink>33604032</datavolumeDownlink>
+</chargingRecord>"""
+
+
+class TestFromXml:
+    def test_parses_trace1_verbatim(self):
+        record = ChargingDataRecord.from_xml(TRACE1)
+        assert record.gateway_address == "192.168.2.11"
+        assert record.charging_id == 0
+        assert record.sequence_number == 1001
+        assert record.uplink_bytes == 274_841
+        assert record.downlink_bytes == 33_604_032
+        assert record.time_usage == 3600
+        assert record.served_imsi.digits == "001011234567845"
+
+    def test_roundtrips_with_to_xml(self):
+        original = ChargingDataRecord(
+            served_imsi=subscriber_imsi(7),
+            gateway_address="10.0.0.1",
+            charging_id=42,
+            sequence_number=9,
+            time_of_first_usage=1_546_845_226.0,
+            time_of_last_usage=1_546_848_826.0,
+            uplink_bytes=111,
+            downlink_bytes=222,
+        )
+        restored = ChargingDataRecord.from_xml(original.to_xml())
+        assert restored.served_imsi == original.served_imsi
+        assert restored.gateway_address == original.gateway_address
+        assert restored.charging_id == original.charging_id
+        assert restored.sequence_number == original.sequence_number
+        assert restored.uplink_bytes == original.uplink_bytes
+        assert restored.downlink_bytes == original.downlink_bytes
+        assert restored.time_usage == original.time_usage
+
+    def test_malformed_xml_rejected(self):
+        with pytest.raises(ValueError):
+            ChargingDataRecord.from_xml("<chargingRecord><broken")
+
+    def test_wrong_root_rejected(self):
+        with pytest.raises(ValueError):
+            ChargingDataRecord.from_xml("<notACdr></notACdr>")
+
+    def test_missing_field_rejected(self):
+        text = TRACE1.replace(
+            "  <SequenceNumber>1001</SequenceNumber>\n", ""
+        )
+        with pytest.raises(ValueError):
+            ChargingDataRecord.from_xml(text)

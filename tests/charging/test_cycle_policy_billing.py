@@ -1,0 +1,154 @@
+"""Charging cycles, policies (Equation 1), and billing."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.charging.billing import Bill, RatePlan
+from repro.charging.cycle import ChargingCycle, CycleSchedule
+from repro.charging.policy import ChargingPolicy, charged_volume
+
+
+class TestChargingCycle:
+    def test_duration(self):
+        cycle = ChargingCycle(index=0, start=10.0, end=70.0)
+        assert cycle.duration == 60.0
+
+    def test_contains_is_half_open(self):
+        cycle = ChargingCycle(index=0, start=0.0, end=60.0)
+        assert cycle.contains(0.0)
+        assert cycle.contains(59.999)
+        assert not cycle.contains(60.0)
+
+    def test_empty_cycle_rejected(self):
+        with pytest.raises(ValueError):
+            ChargingCycle(index=0, start=10.0, end=10.0)
+
+    def test_key_pair(self):
+        assert ChargingCycle(index=1, start=1.0, end=2.0).key() == (1.0, 2.0)
+
+
+class TestCycleSchedule:
+    def test_indexing(self):
+        schedule = CycleSchedule(origin=0.0, duration=3600.0)
+        second = schedule.cycle(1)
+        assert (second.start, second.end) == (3600.0, 7200.0)
+
+    def test_cycle_at(self):
+        schedule = CycleSchedule(origin=0.0, duration=60.0)
+        assert schedule.cycle_at(125.0).index == 2
+
+    def test_cycle_at_before_origin_rejected(self):
+        schedule = CycleSchedule(origin=100.0, duration=60.0)
+        with pytest.raises(ValueError):
+            schedule.cycle_at(50.0)
+
+    def test_cycles_between(self):
+        schedule = CycleSchedule(origin=0.0, duration=60.0)
+        cycles = schedule.cycles_between(30.0, 150.0)
+        assert [c.index for c in cycles] == [0, 1, 2]
+
+    def test_cycles_between_empty_range(self):
+        schedule = CycleSchedule(origin=0.0, duration=60.0)
+        assert schedule.cycles_between(100.0, 100.0) == []
+
+    @given(st.floats(min_value=0.0, max_value=1e6, allow_nan=False))
+    def test_cycle_at_contains_query_time(self, t):
+        schedule = CycleSchedule(origin=0.0, duration=97.0)
+        assert schedule.cycle_at(t).contains(t)
+
+
+class TestChargedVolume:
+    """Equation (1) / Algorithm 1 line 8."""
+
+    def test_c_zero_charges_received_only(self):
+        assert charged_volume(900, 1000, c=0.0) == 900
+
+    def test_c_one_charges_all_sent(self):
+        assert charged_volume(900, 1000, c=1.0) == 1000
+
+    def test_half_weight_splits_loss(self):
+        assert charged_volume(900, 1000, c=0.5) == 950
+
+    def test_symmetric_in_argument_order(self):
+        # Line 8's two branches mirror each other.
+        assert charged_volume(900, 1000, 0.3) == charged_volume(
+            1000, 900, 0.3
+        )
+
+    def test_invalid_c_rejected(self):
+        with pytest.raises(ValueError):
+            charged_volume(1, 2, c=1.5)
+
+    def test_negative_volume_rejected(self):
+        with pytest.raises(ValueError):
+            charged_volume(-1, 2, c=0.5)
+
+    @given(
+        received=st.floats(min_value=0, max_value=1e12, allow_nan=False),
+        sent=st.floats(min_value=0, max_value=1e12, allow_nan=False),
+        c=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    )
+    def test_result_always_between_the_claims(self, received, sent, c):
+        x = charged_volume(received, sent, c)
+        assert min(received, sent) - 1e-6 <= x <= max(received, sent) + 1e-6
+
+    @given(
+        received=st.floats(min_value=0, max_value=1e9, allow_nan=False),
+        c=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    )
+    def test_equal_claims_charge_exactly_that(self, received, c):
+        assert charged_volume(received, received, c) == pytest.approx(
+            received
+        )
+
+
+class TestChargingPolicy:
+    def test_quota_throttling(self):
+        policy = ChargingPolicy(loss_weight=0.5, quota_bytes=10_000)
+        assert not policy.should_throttle(9_999)
+        assert policy.should_throttle(10_001)
+
+    def test_no_quota_never_throttles(self):
+        assert not ChargingPolicy().should_throttle(10**15)
+
+    def test_charge_delegates_to_equation_one(self):
+        policy = ChargingPolicy(loss_weight=0.25)
+        assert policy.charge(800, 1000) == 850
+
+    def test_invalid_weight_rejected(self):
+        with pytest.raises(ValueError):
+            ChargingPolicy(loss_weight=-0.1)
+
+
+class TestBilling:
+    def test_metered_pricing(self):
+        plan = RatePlan(price_per_mb=0.01)
+        bill = plan.bill_for(500 * 1_000_000)
+        assert bill.metered_amount == pytest.approx(5.0)
+
+    def test_flat_fee_added(self):
+        plan = RatePlan(price_per_mb=0.0, monthly_fee=30.0)
+        assert plan.bill_for(0).total == 30.0
+
+    def test_quota_marks_throttled(self):
+        plan = RatePlan(
+            policy=ChargingPolicy(quota_bytes=1_000_000)
+        )
+        assert plan.bill_for(2_000_000).throttled
+
+    def test_overbilling_comparison(self):
+        plan = RatePlan(price_per_mb=0.01)
+        fair = plan.bill_for(100 * 1_000_000)
+        inflated = plan.bill_for(110 * 1_000_000)
+        assert inflated.overbilling_vs(fair) == pytest.approx(0.1)
+
+    def test_negative_volume_rejected(self):
+        with pytest.raises(ValueError):
+            RatePlan().bill_for(-1)
+
+    def test_bill_is_frozen(self):
+        bill = RatePlan().bill_for(100)
+        with pytest.raises(AttributeError):
+            bill.charged_bytes = 0
+        assert isinstance(bill, Bill)

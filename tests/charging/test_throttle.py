@@ -1,0 +1,94 @@
+"""Quota throttling enforcement."""
+
+import pytest
+
+from repro.charging.policy import ChargingPolicy
+from repro.charging.throttle import ThrottlingEnforcer
+from repro.net.packet import Direction, Packet
+from repro.sim.events import EventLoop
+
+
+def make_packet(size=1000, seq=0):
+    return Packet(size=size, flow="f", direction=Direction.DOWNLINK, seq=seq)
+
+
+def build(loop, quota=10_000, throttle_bps=8_000.0, queue_limit=64):
+    policy = ChargingPolicy(
+        loss_weight=0.5, quota_bytes=quota, throttle_bps=throttle_bps
+    )
+    return ThrottlingEnforcer(loop, policy, queue_limit=queue_limit)
+
+
+class TestBeforeQuota:
+    def test_transparent_below_quota(self):
+        loop = EventLoop()
+        enforcer = build(loop)
+        arrivals = []
+        enforcer.connect(lambda p: arrivals.append(loop.now))
+        for i in range(9):
+            enforcer.send(make_packet(seq=i))
+        assert len(arrivals) == 9
+        assert all(t == 0.0 for t in arrivals)
+        assert not enforcer.throttling
+
+    def test_policy_without_quota_rejected(self):
+        with pytest.raises(ValueError):
+            ThrottlingEnforcer(EventLoop(), ChargingPolicy())
+
+
+class TestAfterQuota:
+    def test_throttle_arms_when_quota_crossed(self):
+        loop = EventLoop()
+        enforcer = build(loop, quota=5_000)
+        enforcer.connect(lambda p: None)
+        for i in range(6):
+            enforcer.send(make_packet(seq=i))
+        assert enforcer.throttling
+        assert enforcer.throttled_packets >= 1
+
+    def test_throttled_rate_is_enforced(self):
+        loop = EventLoop()
+        # 1000-byte packets at 8000 bps -> 1 packet per second.
+        enforcer = build(loop, quota=0, throttle_bps=8_000.0)
+        arrivals = []
+        enforcer.connect(lambda p: arrivals.append(loop.now))
+        for i in range(5):
+            enforcer.send(make_packet(seq=i))
+        loop.run()
+        assert len(arrivals) == 5
+        spacing = [b - a for a, b in zip(arrivals, arrivals[1:])]
+        assert all(s == pytest.approx(1.0) for s in spacing)
+
+    def test_queue_overflow_drops(self):
+        loop = EventLoop()
+        enforcer = build(loop, quota=0, queue_limit=3)
+        enforcer.connect(lambda p: None)
+        for i in range(10):
+            enforcer.send(make_packet(seq=i))
+        assert enforcer.dropped_packets == 7
+
+    def test_order_preserved_through_shaper(self):
+        loop = EventLoop()
+        enforcer = build(loop, quota=0, throttle_bps=80_000.0)
+        arrivals = []
+        enforcer.connect(lambda p: arrivals.append(p.seq))
+        for i in range(5):
+            enforcer.send(make_packet(seq=i))
+        loop.run()
+        assert arrivals == [0, 1, 2, 3, 4]
+
+    def test_gap_advances_the_quota_clock(self):
+        # The §1 motivation: over-counted (e.g. lost-but-charged) bytes
+        # bring throttling forward even on an "unlimited" plan.
+        loop = EventLoop()
+        honest = build(loop, quota=10_000)
+        overcounted = build(loop, quota=10_000)
+        honest.connect(lambda p: None)
+        overcounted.connect(lambda p: None)
+        for i in range(8):
+            honest.send(make_packet(seq=i))
+            overcounted.send(make_packet(seq=i))
+            # The over-counting operator also bills phantom bytes.
+            overcounted.charged_bytes += 500
+        assert not honest.throttling
+        assert overcounted.throttling

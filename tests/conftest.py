@@ -1,0 +1,39 @@
+"""Shared fixtures: session-scoped RSA keys and common plan objects."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import settings
+
+from repro.charging.cycle import ChargingCycle
+
+# Deterministic, timing-tolerant property tests: no wall-clock deadline
+# (CI machines vary) and derandomized example generation so every run
+# exercises identical cases.
+settings.register_profile("repro", deadline=None, derandomize=True)
+settings.load_profile("repro")
+from repro.core.plan import DataPlan
+from repro.crypto.keys import KeyPair
+from repro.crypto.rsa import generate_keypair
+
+
+@pytest.fixture(scope="session")
+def edge_keys() -> KeyPair:
+    """RSA-1024 key pair for the edge vendor (protocol wire sizes need
+    1024-bit signatures)."""
+    return generate_keypair(1024, random.Random(0xED6E))
+
+
+@pytest.fixture(scope="session")
+def operator_keys() -> KeyPair:
+    """RSA-1024 key pair for the cellular operator."""
+    return generate_keypair(1024, random.Random(0x09E12A70))
+
+
+@pytest.fixture()
+def hour_plan() -> DataPlan:
+    """A 1-hour charging cycle at the paper's default c = 0.5."""
+    cycle = ChargingCycle(index=0, start=0.0, end=3600.0)
+    return DataPlan(cycle=cycle, loss_weight=0.5)

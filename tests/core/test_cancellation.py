@@ -1,0 +1,148 @@
+"""Algorithm 1 engine mechanics beyond the theorem properties."""
+
+import pytest
+
+from repro.charging.cycle import ChargingCycle
+from repro.core.cancellation import negotiate
+from repro.core.plan import DataPlan
+from repro.core.records import GroundTruth, UsageView
+from repro.core.strategies import (
+    HonestStrategy,
+    MisbehavingStrategy,
+    OptimalStrategy,
+    Role,
+)
+
+MB = 1_000_000
+
+
+def make_plan(c=0.5):
+    return DataPlan(
+        cycle=ChargingCycle(index=0, start=0.0, end=3600.0), loss_weight=c
+    )
+
+
+TRUTH = GroundTruth(sent=1000 * MB, received=930 * MB)
+VIEW = UsageView.exact(TRUTH)
+
+
+class TestTranscript:
+    def test_transcript_records_every_round(self):
+        result = negotiate(
+            OptimalStrategy(Role.EDGE, VIEW),
+            OptimalStrategy(Role.OPERATOR, VIEW),
+            make_plan(),
+        )
+        assert len(result.transcript) == result.rounds == 1
+        record = result.transcript[0]
+        assert record.edge_claim == TRUTH.received
+        assert record.operator_claim == TRUTH.sent
+        assert record.edge_accepts and record.operator_accepts
+
+    def test_final_claims_exposed(self):
+        result = negotiate(
+            OptimalStrategy(Role.EDGE, VIEW),
+            OptimalStrategy(Role.OPERATOR, VIEW),
+            make_plan(),
+        )
+        assert result.final_claims == (TRUTH.received, TRUTH.sent)
+
+    def test_final_claims_none_when_failed(self):
+        result = negotiate(
+            OptimalStrategy(Role.EDGE, VIEW),
+            MisbehavingStrategy(Role.OPERATOR, fixed_claim=5000 * MB),
+            make_plan(),
+            max_rounds=8,
+        )
+        assert not result.converged
+        assert result.final_claims is None
+
+
+class TestMisbehaviour:
+    def test_reject_all_terminates_at_cap(self):
+        wall = MisbehavingStrategy(
+            Role.OPERATOR, fixed_claim=950 * MB, reject_all=True,
+            ignore_bounds=False,
+        )
+        result = negotiate(
+            HonestStrategy(Role.EDGE, VIEW), wall, make_plan(), max_rounds=12
+        )
+        assert not result.converged
+        assert result.rounds == 12
+        assert result.volume is None
+
+    def test_bound_violations_flagged_and_rejected(self):
+        # After round 1 contracts the bounds, an escalating claim lands
+        # outside them — a visible violation the engine rejects.
+        cheat = MisbehavingStrategy(
+            Role.OPERATOR,
+            fixed_claim=5000 * MB,
+            reject_all=False,
+            ignore_bounds=True,
+            escalation=1.5,
+        )
+        result = negotiate(
+            HonestStrategy(Role.EDGE, VIEW), cheat, make_plan(), max_rounds=8
+        )
+        assert result.bound_violations > 0
+        # The edge is never bound to an out-of-range volume.
+        if result.converged:
+            assert result.volume <= TRUTH.sent * 1.01
+
+    def test_misbehaving_edge_cannot_zero_its_bill(self):
+        freeloader = MisbehavingStrategy(
+            Role.EDGE, fixed_claim=0.0, reject_all=False, ignore_bounds=True
+        )
+        result = negotiate(
+            freeloader,
+            OptimalStrategy(Role.OPERATOR, VIEW),
+            make_plan(),
+            max_rounds=8,
+        )
+        # Either no agreement (no service for the edge) or a volume no
+        # less than what the operator can prove it delivered.
+        if result.converged:
+            assert result.volume >= TRUTH.received * 0.9
+        else:
+            assert result.volume is None
+
+
+class TestBoundsMechanics:
+    def test_bounds_contract_after_rejection(self):
+        wall = MisbehavingStrategy(
+            Role.OPERATOR,
+            fixed_claim=980 * MB,
+            reject_all=True,
+            ignore_bounds=False,
+        )
+        result = negotiate(
+            HonestStrategy(Role.EDGE, VIEW), wall, make_plan(), max_rounds=4
+        )
+        first, second = result.transcript[0], result.transcript[1]
+        assert second.lower_bound >= first.lower_bound
+        assert second.upper_bound <= first.upper_bound or (
+            first.upper_bound == float("inf")
+        )
+
+    def test_round_one_bounds_are_open(self):
+        result = negotiate(
+            OptimalStrategy(Role.EDGE, VIEW),
+            OptimalStrategy(Role.OPERATOR, VIEW),
+            make_plan(),
+        )
+        first = result.transcript[0]
+        assert first.lower_bound == 0.0
+        assert first.upper_bound == float("inf")
+
+
+class TestZeroTraffic:
+    def test_no_usage_negotiates_zero(self):
+        truth = GroundTruth(sent=0.0, received=0.0)
+        view = UsageView.exact(truth)
+        result = negotiate(
+            OptimalStrategy(Role.EDGE, view),
+            OptimalStrategy(Role.OPERATOR, view),
+            make_plan(),
+        )
+        assert result.converged
+        assert result.volume == 0.0

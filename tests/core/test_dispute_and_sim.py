@@ -1,0 +1,204 @@
+"""Dispute arbitration and the event-driven negotiation runner."""
+
+import random
+
+import pytest
+
+from repro.charging.billing import RatePlan
+from repro.charging.cycle import ChargingCycle
+from repro.core.dispute import DisputeArbiter, Ruling
+from repro.core.plan import DataPlan
+from repro.core.protocol import NegotiationAgent, run_negotiation
+from repro.core.protocol_sim import run_negotiation_simulated
+from repro.core.records import UsageView
+from repro.core.strategies import (
+    OptimalStrategy,
+    RandomSelfishStrategy,
+    Role,
+)
+from repro.crypto.nonces import NonceFactory
+from repro.sim.events import EventLoop
+
+MB = 1_000_000
+
+
+def make_agents(edge_keys, operator_keys, seed=1, strategy="optimal"):
+    plan = DataPlan(
+        cycle=ChargingCycle(index=0, start=0.0, end=3600.0),
+        loss_weight=0.5,
+    )
+    view = UsageView(sent_estimate=1000 * MB, received_estimate=930 * MB)
+    nonce_factory = NonceFactory(random.Random(seed))
+
+    def build(role, salt):
+        if strategy == "optimal":
+            return OptimalStrategy(role, view)
+        return RandomSelfishStrategy(role, view, random.Random(seed + salt))
+
+    edge = NegotiationAgent(
+        role=Role.EDGE,
+        strategy=build(Role.EDGE, 0),
+        plan=plan,
+        private_key=edge_keys.private,
+        peer_public_key=operator_keys.public,
+        nonce_factory=nonce_factory,
+    )
+    operator = NegotiationAgent(
+        role=Role.OPERATOR,
+        strategy=build(Role.OPERATOR, 77),
+        plan=plan,
+        private_key=operator_keys.private,
+        peer_public_key=edge_keys.public,
+        nonce_factory=nonce_factory,
+    )
+    return edge, operator, plan
+
+
+@pytest.fixture()
+def settled(edge_keys, operator_keys):
+    edge, operator, plan = make_agents(edge_keys, operator_keys)
+    outcome = run_negotiation(operator, edge)
+    assert outcome.converged
+    return outcome.poc, plan
+
+
+class TestDisputeArbiter:
+    def _arbiter(self):
+        return DisputeArbiter(RatePlan(price_per_mb=0.01))
+
+    def test_consistent_bill(self, settled, edge_keys, operator_keys):
+        poc, plan = settled
+        arbiter = self._arbiter()
+        fair_amount = arbiter.price(poc.volume).total
+        resolution = arbiter.resolve(
+            fair_amount, poc, plan, edge_keys.public, operator_keys.public
+        )
+        assert resolution.ruling is Ruling.CONSISTENT
+        assert resolution.refund_due == 0.0
+        assert resolution.arrears_due == 0.0
+
+    def test_overbilled_gets_refund(self, settled, edge_keys, operator_keys):
+        poc, plan = settled
+        arbiter = self._arbiter()
+        fair_amount = arbiter.price(poc.volume).total
+        resolution = arbiter.resolve(
+            fair_amount + 3.0,
+            poc,
+            plan,
+            edge_keys.public,
+            operator_keys.public,
+        )
+        assert resolution.ruling is Ruling.OVERBILLED
+        assert resolution.refund_due == pytest.approx(3.0)
+
+    def test_underbilled_gets_arrears(
+        self, settled, edge_keys, operator_keys
+    ):
+        poc, plan = settled
+        arbiter = self._arbiter()
+        fair_amount = arbiter.price(poc.volume).total
+        resolution = arbiter.resolve(
+            fair_amount - 2.0,
+            poc,
+            plan,
+            edge_keys.public,
+            operator_keys.public,
+        )
+        assert resolution.ruling is Ruling.UNDERBILLED
+        assert resolution.arrears_due == pytest.approx(2.0)
+
+    def test_bad_proof_throws_the_case_out(
+        self, settled, edge_keys, operator_keys
+    ):
+        poc, plan = settled
+        wire = bytearray(poc.to_bytes())
+        wire[100] ^= 0x55
+        resolution = self._arbiter().resolve(
+            10.0, bytes(wire), plan, edge_keys.public, operator_keys.public
+        )
+        assert resolution.ruling is Ruling.PROOF_REJECTED
+        assert resolution.proven_amount is None
+        assert resolution.adjustment == 0.0
+
+    def test_negative_bill_rejected(self, settled, edge_keys, operator_keys):
+        poc, plan = settled
+        with pytest.raises(ValueError):
+            self._arbiter().resolve(
+                -1.0, poc, plan, edge_keys.public, operator_keys.public
+            )
+
+
+class TestSimulatedNegotiation:
+    def test_one_round_timing(self, edge_keys, operator_keys):
+        edge, operator, _plan = make_agents(edge_keys, operator_keys)
+        loop = EventLoop()
+        outcome = run_negotiation_simulated(
+            loop,
+            operator,
+            edge,
+            one_way_delay=0.010,
+            initiator_processing=0.002,
+            responder_processing=0.005,
+        )
+        assert outcome.converged
+        assert outcome.messages == 3
+        # 3 flights + initiator(2 proc) + responder(2 proc):
+        # 0.002 + 0.010 + 0.005 + 0.010 + 0.002 + 0.010 + 0.005
+        assert outcome.elapsed == pytest.approx(0.044)
+        assert outcome.volume == pytest.approx(965 * MB)
+
+    def test_elapsed_scales_with_link_delay(self, edge_keys, operator_keys):
+        def elapsed_for(delay, seed):
+            edge, operator, _ = make_agents(
+                edge_keys, operator_keys, seed=seed
+            )
+            loop = EventLoop()
+            return run_negotiation_simulated(
+                loop, operator, edge, one_way_delay=delay
+            ).elapsed
+
+        assert elapsed_for(0.030, 2) > elapsed_for(0.005, 3)
+
+    def test_more_messages_take_longer(self, edge_keys, operator_keys):
+        outcomes = []
+        for seed in range(12):
+            edge, operator, _ = make_agents(
+                edge_keys, operator_keys, seed=seed, strategy="random"
+            )
+            loop = EventLoop()
+            outcome = run_negotiation_simulated(
+                loop, operator, edge, one_way_delay=0.010
+            )
+            if outcome.converged:
+                outcomes.append(outcome)
+        assert len(outcomes) >= 8
+        shortest = min(outcomes, key=lambda o: o.messages)
+        longest = max(outcomes, key=lambda o: o.messages)
+        assert longest.messages > shortest.messages
+        assert longest.elapsed > shortest.elapsed
+        # Elapsed time is exactly proportional to the flight count when
+        # processing delays are zero.
+        for outcome in outcomes:
+            assert outcome.elapsed == pytest.approx(
+                0.010 * outcome.messages
+            )
+
+    def test_matches_synchronous_result(self, edge_keys, operator_keys):
+        sync_edge, sync_op, _ = make_agents(
+            edge_keys, operator_keys, seed=9
+        )
+        sync = run_negotiation(sync_op, sync_edge)
+        sim_edge, sim_op, _ = make_agents(edge_keys, operator_keys, seed=9)
+        loop = EventLoop()
+        sim = run_negotiation_simulated(
+            loop, sim_op, sim_edge, one_way_delay=0.010
+        )
+        assert sim.volume == sync.volume
+        assert sim.messages == sync.messages
+
+    def test_negative_delay_rejected(self, edge_keys, operator_keys):
+        edge, operator, _ = make_agents(edge_keys, operator_keys)
+        with pytest.raises(ValueError):
+            run_negotiation_simulated(
+                EventLoop(), operator, edge, one_way_delay=-1.0
+            )

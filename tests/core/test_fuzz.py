@@ -1,0 +1,224 @@
+"""Adversarial robustness: corrupted or spliced artifacts never verify.
+
+The PoC's security claim is unforgeability: no byte-level manipulation
+of a valid proof may survive Algorithm 2.  These tests flip arbitrary
+bytes (hypothesis-chosen positions), truncate, splice fields between two
+valid proofs, and confirm the verifier rejects every mutation while
+still accepting the pristine original.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.charging.cycle import ChargingCycle
+from repro.core.messages import (
+    POC_WIRE_SIZE,
+    MessageError,
+    ProofOfCharging,
+    TlcCda,
+    TlcCdr,
+)
+from repro.core.plan import DataPlan
+from repro.core.protocol import NegotiationAgent, run_negotiation
+from repro.core.records import UsageView
+from repro.core.strategies import OptimalStrategy, Role
+from repro.core.verifier import PublicVerifier
+from repro.crypto.nonces import NonceFactory
+
+MB = 1_000_000
+
+
+@pytest.fixture(scope="module")
+def valid_poc(edge_keys, operator_keys):
+    """A pristine negotiated PoC plus its plan."""
+    cycle = ChargingCycle(index=0, start=0.0, end=3600.0)
+    plan = DataPlan(cycle=cycle, loss_weight=0.5)
+    view = UsageView(sent_estimate=1000 * MB, received_estimate=930 * MB)
+    nonce_factory = NonceFactory(random.Random(55))
+    edge = NegotiationAgent(
+        role=Role.EDGE,
+        strategy=OptimalStrategy(Role.EDGE, view),
+        plan=plan,
+        private_key=edge_keys.private,
+        peer_public_key=operator_keys.public,
+        nonce_factory=nonce_factory,
+    )
+    operator = NegotiationAgent(
+        role=Role.OPERATOR,
+        strategy=OptimalStrategy(Role.OPERATOR, view),
+        plan=plan,
+        private_key=operator_keys.private,
+        peer_public_key=edge_keys.public,
+        nonce_factory=nonce_factory,
+    )
+    outcome = run_negotiation(operator, edge)
+    assert outcome.converged
+    return outcome.poc.to_bytes(), plan
+
+
+# The PoC tail is zero padding; flipping it does not change the parsed
+# proof, so restrict mutations to the meaningful prefix.
+_MEANINGFUL_PREFIX = 597
+
+
+class TestByteFlips:
+    @given(
+        position=st.integers(min_value=0, max_value=_MEANINGFUL_PREFIX - 1),
+        mask=st.integers(min_value=1, max_value=255),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_any_flipped_byte_is_rejected(
+        self, valid_poc, edge_keys, operator_keys, position, mask
+    ):
+        wire, plan = valid_poc
+        mutated = bytearray(wire)
+        mutated[position] ^= mask
+        result = PublicVerifier().verify(
+            bytes(mutated), plan, edge_keys.public, operator_keys.public
+        )
+        assert not result.ok
+
+    def test_pristine_original_still_verifies(
+        self, valid_poc, edge_keys, operator_keys
+    ):
+        wire, plan = valid_poc
+        result = PublicVerifier().verify(
+            wire, plan, edge_keys.public, operator_keys.public
+        )
+        assert result.ok
+
+
+class TestStructuralMutations:
+    @given(cut=st.integers(min_value=1, max_value=POC_WIRE_SIZE - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_truncation_rejected(
+        self, valid_poc, edge_keys, operator_keys, cut
+    ):
+        wire, plan = valid_poc
+        result = PublicVerifier().verify(
+            wire[:cut], plan, edge_keys.public, operator_keys.public
+        )
+        assert not result.ok
+
+    def test_extension_rejected(self, valid_poc, edge_keys, operator_keys):
+        wire, plan = valid_poc
+        result = PublicVerifier().verify(
+            wire + b"\x00", plan, edge_keys.public, operator_keys.public
+        )
+        assert not result.ok
+
+    def test_random_bytes_rejected(self, valid_poc, edge_keys, operator_keys):
+        _wire, plan = valid_poc
+        rng = random.Random(77)
+        garbage = bytes(rng.getrandbits(8) for _ in range(POC_WIRE_SIZE))
+        result = PublicVerifier().verify(
+            garbage, plan, edge_keys.public, operator_keys.public
+        )
+        assert not result.ok
+
+
+class TestSplicing:
+    def _negotiate(self, edge_keys, operator_keys, seed, volume=1000 * MB):
+        cycle = ChargingCycle(index=0, start=0.0, end=3600.0)
+        plan = DataPlan(cycle=cycle, loss_weight=0.5)
+        view = UsageView(
+            sent_estimate=volume, received_estimate=volume * 0.93
+        )
+        nonce_factory = NonceFactory(random.Random(seed))
+        edge = NegotiationAgent(
+            role=Role.EDGE,
+            strategy=OptimalStrategy(Role.EDGE, view),
+            plan=plan,
+            private_key=edge_keys.private,
+            peer_public_key=operator_keys.public,
+            nonce_factory=nonce_factory,
+        )
+        operator = NegotiationAgent(
+            role=Role.OPERATOR,
+            strategy=OptimalStrategy(Role.OPERATOR, view),
+            plan=plan,
+            private_key=operator_keys.private,
+            peer_public_key=edge_keys.public,
+            nonce_factory=nonce_factory,
+        )
+        return run_negotiation(operator, edge).poc, plan
+
+    def test_cda_from_another_negotiation_rejected(
+        self, edge_keys, operator_keys
+    ):
+        # Splice the CDA of a small-volume negotiation into the PoC of a
+        # large one: signatures are individually valid, but the outer
+        # PoC signature no longer covers the spliced body.
+        big, plan = self._negotiate(edge_keys, operator_keys, seed=1)
+        small, _ = self._negotiate(
+            edge_keys, operator_keys, seed=2, volume=10 * MB
+        )
+        spliced = ProofOfCharging(
+            party=big.party,
+            cycle_start=big.cycle_start,
+            cycle_end=big.cycle_end,
+            c=big.c,
+            volume=big.volume,
+            cda=small.cda,
+            edge_nonce=big.edge_nonce,
+            operator_nonce=big.operator_nonce,
+            signature=big.signature,
+        )
+        result = PublicVerifier().verify(
+            spliced, plan, edge_keys.public, operator_keys.public
+        )
+        assert not result.ok
+
+    def test_resigned_splice_caught_by_nonce_check(
+        self, edge_keys, operator_keys
+    ):
+        # Even if the operator RE-SIGNS the spliced PoC with its own key,
+        # the nonces inside the foreign CDA disagree with the PoC's.
+        big, plan = self._negotiate(edge_keys, operator_keys, seed=3)
+        small, _ = self._negotiate(
+            edge_keys, operator_keys, seed=4, volume=10 * MB
+        )
+        spliced = ProofOfCharging(
+            party=big.party,
+            cycle_start=big.cycle_start,
+            cycle_end=big.cycle_end,
+            c=big.c,
+            volume=big.volume,
+            cda=small.cda,
+            edge_nonce=big.edge_nonce,
+            operator_nonce=big.operator_nonce,
+        ).signed(operator_keys.private)
+        result = PublicVerifier().verify(
+            spliced, plan, edge_keys.public, operator_keys.public
+        )
+        assert not result.ok
+        assert "nonce" in result.reason or "volume" in result.reason
+
+
+class TestMessageParsers:
+    @given(data=st.binary(min_size=0, max_size=1000))
+    @settings(max_examples=100, deadline=None)
+    def test_cdr_parser_never_crashes_unexpectedly(self, data):
+        try:
+            TlcCdr.from_bytes(data)
+        except (MessageError, ValueError):
+            pass  # clean rejection is the contract
+
+    @given(data=st.binary(min_size=0, max_size=1000))
+    @settings(max_examples=100, deadline=None)
+    def test_cda_parser_never_crashes_unexpectedly(self, data):
+        try:
+            TlcCda.from_bytes(data)
+        except (MessageError, ValueError):
+            pass
+
+    @given(data=st.binary(min_size=0, max_size=1000))
+    @settings(max_examples=100, deadline=None)
+    def test_poc_parser_never_crashes_unexpectedly(self, data):
+        try:
+            ProofOfCharging.from_bytes(data)
+        except (MessageError, ValueError):
+            pass

@@ -1,0 +1,97 @@
+"""Gap metrics and data-plan objects."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.charging.cycle import ChargingCycle
+from repro.core.gap import (
+    absolute_gap,
+    gap_ratio,
+    per_hour,
+    reduction_ratio,
+    to_mb,
+)
+from repro.core.plan import DataPlan
+
+
+class TestGapMetrics:
+    def test_absolute_gap(self):
+        assert absolute_gap(950, 1000) == 50
+        assert absolute_gap(1000, 950) == 50
+
+    def test_gap_ratio(self):
+        assert gap_ratio(950, 1000) == pytest.approx(0.05)
+
+    def test_gap_ratio_zero_fair_zero_charged(self):
+        assert gap_ratio(0, 0) == 0.0
+
+    def test_gap_ratio_zero_fair_nonzero_charged(self):
+        assert gap_ratio(10, 0) == float("inf")
+
+    def test_reduction_ratio(self):
+        assert reduction_ratio(100, 80) == pytest.approx(0.2)
+
+    def test_reduction_ratio_zero_legacy(self):
+        assert reduction_ratio(0, 0) == 0.0
+
+    def test_negative_volumes_rejected(self):
+        with pytest.raises(ValueError):
+            absolute_gap(-1, 0)
+        with pytest.raises(ValueError):
+            reduction_ratio(-1, 0)
+
+    def test_per_hour_scaling(self):
+        assert per_hour(1000, 60) == pytest.approx(60_000)
+
+    def test_per_hour_requires_positive_time(self):
+        with pytest.raises(ValueError):
+            per_hour(1000, 0)
+
+    def test_to_mb(self):
+        assert to_mb(2_500_000) == pytest.approx(2.5)
+
+    @given(
+        charged=st.floats(min_value=0, max_value=1e12, allow_nan=False),
+        fair=st.floats(min_value=1e-3, max_value=1e12, allow_nan=False),
+    )
+    def test_ratio_consistent_with_absolute(self, charged, fair):
+        assert gap_ratio(charged, fair) == pytest.approx(
+            absolute_gap(charged, fair) / fair
+        )
+
+
+class TestDataPlan:
+    def test_c_alias(self):
+        plan = DataPlan(
+            cycle=ChargingCycle(index=0, start=0, end=60), loss_weight=0.25
+        )
+        assert plan.c == 0.25
+
+    def test_invalid_weight_rejected(self):
+        with pytest.raises(ValueError):
+            DataPlan(
+                cycle=ChargingCycle(index=0, start=0, end=60),
+                loss_weight=1.2,
+            )
+
+    def test_matches_same_plan(self):
+        cycle = ChargingCycle(index=0, start=0, end=60)
+        a = DataPlan(cycle=cycle, loss_weight=0.5)
+        b = DataPlan(cycle=cycle, loss_weight=0.5)
+        assert a.matches(b)
+
+    def test_mismatched_c_detected(self):
+        cycle = ChargingCycle(index=0, start=0, end=60)
+        a = DataPlan(cycle=cycle, loss_weight=0.5)
+        b = DataPlan(cycle=cycle, loss_weight=0.6)
+        assert not a.matches(b)
+
+    def test_mismatched_cycle_detected(self):
+        a = DataPlan(
+            cycle=ChargingCycle(index=0, start=0, end=60), loss_weight=0.5
+        )
+        b = DataPlan(
+            cycle=ChargingCycle(index=0, start=0, end=120), loss_weight=0.5
+        )
+        assert not a.matches(b)

@@ -1,0 +1,118 @@
+"""Appendix D: TLC in the generic (non-co-located) charging setting."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.generic import (
+    GenericChargingOutcome,
+    GenericPathTruth,
+    appendix_d_bound_holds,
+)
+
+MB = 1_000_000
+
+
+def make_truth(internet=1000 * MB, core=950 * MB, device=900 * MB):
+    return GenericPathTruth(
+        internet_sent=internet,
+        core_received=core,
+        device_received=device,
+    )
+
+
+class TestGenericPathTruth:
+    def test_segment_losses(self):
+        truth = make_truth()
+        assert truth.internet_loss == 50 * MB
+        assert truth.ran_loss == 50 * MB
+
+    def test_ordering_enforced(self):
+        with pytest.raises(ValueError):
+            GenericPathTruth(
+                internet_sent=900, core_received=1000, device_received=800
+            )
+        with pytest.raises(ValueError):
+            GenericPathTruth(
+                internet_sent=1000, core_received=900, device_received=950
+            )
+
+    def test_cellular_truth_extraction(self):
+        cellular = make_truth().cellular_truth()
+        assert cellular.sent == 950 * MB
+        assert cellular.received == 900 * MB
+
+    def test_ideal_vs_negotiated(self):
+        truth = make_truth()
+        assert truth.ideal_volume(0.5) == 925 * MB
+        assert truth.negotiated_volume(0.5) == 950 * MB
+        assert truth.overcharge(0.5) == 25 * MB
+
+
+class TestAppendixDBound:
+    def test_overcharge_equals_weighted_internet_loss(self):
+        truth = make_truth()
+        assert truth.overcharge(0.5) == truth.overcharge_bound(0.5)
+
+    def test_c_zero_means_no_overcharge(self):
+        # Only received data is charged: the extra segment is irrelevant.
+        truth = make_truth()
+        assert truth.overcharge(0.0) == 0.0
+
+    def test_c_one_overcharge_is_full_internet_loss(self):
+        truth = make_truth()
+        assert truth.overcharge(1.0) == truth.internet_loss
+
+    @given(
+        internet=st.floats(min_value=1.0, max_value=1e12, allow_nan=False),
+        core_frac=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        device_frac=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        c=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    )
+    @settings(max_examples=200)
+    def test_bound_holds_for_all_paths(
+        self, internet, core_frac, device_frac, c
+    ):
+        truth = GenericPathTruth(
+            internet_sent=internet,
+            core_received=internet * core_frac,
+            device_received=internet * core_frac * device_frac,
+        )
+        assert appendix_d_bound_holds(truth, c)
+
+    @given(
+        internet=st.floats(min_value=1.0, max_value=1e12, allow_nan=False),
+        core_frac=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        device_frac=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        c=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    )
+    @settings(max_examples=200)
+    def test_overcharge_never_negative_or_above_internet_loss(
+        self, internet, core_frac, device_frac, c
+    ):
+        truth = GenericPathTruth(
+            internet_sent=internet,
+            core_received=internet * core_frac,
+            device_received=internet * core_frac * device_frac,
+        )
+        assert -1e-6 <= truth.overcharge(c)
+        assert truth.overcharge(c) <= truth.internet_loss + 1e-6
+
+
+class TestGenericChargingOutcome:
+    def test_legacy_charges_core_count(self):
+        outcome = GenericChargingOutcome(truth=make_truth(), c=0.5)
+        assert outcome.legacy_charged == 950 * MB
+
+    def test_tlc_overcharge_below_legacy_when_ran_loss_dominates(self):
+        # Heavy RAN loss, light Internet loss: TLC wins clearly.
+        truth = make_truth(internet=1000 * MB, core=990 * MB, device=800 * MB)
+        outcome = GenericChargingOutcome(truth=truth, c=0.5)
+        assert outcome.tlc_overcharge < outcome.legacy_overcharge
+
+    def test_tlc_overcharge_still_bounded_when_internet_loss_dominates(
+        self,
+    ):
+        truth = make_truth(internet=1000 * MB, core=800 * MB, device=790 * MB)
+        outcome = GenericChargingOutcome(truth=truth, c=0.5)
+        assert outcome.tlc_overcharge <= 0.5 * truth.internet_loss + 1e-6

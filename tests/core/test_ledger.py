@@ -1,0 +1,162 @@
+"""PoC ledger and verification service."""
+
+import random
+
+import pytest
+
+from repro.charging.cycle import ChargingCycle
+from repro.core.ledger import PocLedger, VerificationService
+from repro.core.plan import DataPlan
+from repro.core.protocol import NegotiationAgent, run_negotiation
+from repro.core.records import UsageView
+from repro.core.strategies import OptimalStrategy, Role
+from repro.crypto.nonces import NonceFactory
+
+MB = 1_000_000
+
+
+def negotiate_poc(edge_keys, operator_keys, cycle_index=0, seed=1):
+    cycle = ChargingCycle(
+        index=cycle_index,
+        start=cycle_index * 3600.0,
+        end=(cycle_index + 1) * 3600.0,
+    )
+    plan = DataPlan(cycle=cycle, loss_weight=0.5)
+    view = UsageView(sent_estimate=1000 * MB, received_estimate=930 * MB)
+    nonce_factory = NonceFactory(random.Random(seed))
+    edge = NegotiationAgent(
+        role=Role.EDGE,
+        strategy=OptimalStrategy(Role.EDGE, view),
+        plan=plan,
+        private_key=edge_keys.private,
+        peer_public_key=operator_keys.public,
+        nonce_factory=nonce_factory,
+        app_id="ledger-app",
+    )
+    operator = NegotiationAgent(
+        role=Role.OPERATOR,
+        strategy=OptimalStrategy(Role.OPERATOR, view),
+        plan=plan,
+        private_key=operator_keys.private,
+        peer_public_key=edge_keys.public,
+        nonce_factory=nonce_factory,
+        app_id="ledger-app",
+    )
+    outcome = run_negotiation(operator, edge)
+    assert outcome.converged
+    return outcome.poc, plan
+
+
+class TestLedger:
+    def test_append_and_query(self, edge_keys, operator_keys):
+        ledger = PocLedger()
+        poc, _plan = negotiate_poc(edge_keys, operator_keys)
+        entry = ledger.append("ledger-app", poc)
+        assert len(ledger) == 1
+        assert entry.volume == pytest.approx(965 * MB)
+        assert ledger.entries_for("ledger-app") == [entry]
+        assert ledger.entries_for("other-app") == []
+
+    def test_entries_between_cycles(self, edge_keys, operator_keys):
+        ledger = PocLedger()
+        for index in range(3):
+            poc, _ = negotiate_poc(
+                edge_keys, operator_keys, cycle_index=index, seed=index + 1
+            )
+            ledger.append("ledger-app", poc)
+        middle = ledger.entries_between(3600.0, 7200.0)
+        assert len(middle) == 1
+        assert middle[0].cycle_start == 3600.0
+
+    def test_total_volume_accumulates(self, edge_keys, operator_keys):
+        ledger = PocLedger()
+        for index in range(2):
+            poc, _ = negotiate_poc(
+                edge_keys, operator_keys, cycle_index=index, seed=index + 7
+            )
+            ledger.append("ledger-app", poc)
+        assert ledger.total_volume("ledger-app") == pytest.approx(
+            2 * 965 * MB
+        )
+
+    def test_save_load_roundtrip(self, tmp_path, edge_keys, operator_keys):
+        ledger = PocLedger()
+        poc, _ = negotiate_poc(edge_keys, operator_keys)
+        ledger.append("ledger-app", poc)
+        path = tmp_path / "ledger.jsonl"
+        ledger.save(path)
+        loaded = PocLedger.load(path)
+        assert len(loaded) == 1
+        restored = loaded.entries_for("ledger-app")[0]
+        assert restored.poc_bytes == poc.to_bytes()
+        assert restored.poc().volume == poc.volume
+
+    def test_corrupt_file_detected_on_load(
+        self, tmp_path, edge_keys, operator_keys
+    ):
+        ledger = PocLedger()
+        poc, _ = negotiate_poc(edge_keys, operator_keys)
+        ledger.append("ledger-app", poc)
+        path = tmp_path / "ledger.jsonl"
+        ledger.save(path)
+        text = path.read_text()
+        path.write_text(text.replace('"poc": "', '"poc": "00', 1))
+        with pytest.raises(ValueError):
+            PocLedger.load(path)
+
+
+class TestVerificationService:
+    def test_audit_accepts_valid_batch(self, edge_keys, operator_keys):
+        ledger = PocLedger()
+        plans = []
+        for index in range(3):
+            poc, plan = negotiate_poc(
+                edge_keys, operator_keys, cycle_index=index, seed=index + 3
+            )
+            ledger.append("ledger-app", poc)
+            plans.append(plan)
+        service = VerificationService()
+        # Register per-cycle: the registry holds the latest plan; verify
+        # each cycle against its own plan by re-registering.
+        report_total = 0
+        accepted = 0
+        for entry, plan in zip(ledger.entries_for("ledger-app"), plans):
+            service.register(
+                "ledger-app", plan, edge_keys.public, operator_keys.public
+            )
+            result = service.verify_entry(entry)
+            report_total += 1
+            accepted += result.ok
+        assert accepted == report_total == 3
+
+    def test_unregistered_app_rejected(self, edge_keys, operator_keys):
+        ledger = PocLedger()
+        poc, _ = negotiate_poc(edge_keys, operator_keys)
+        entry = ledger.append("ledger-app", poc)
+        service = VerificationService()
+        result = service.verify_entry(entry)
+        assert not result.ok
+        assert "registration" in result.reason
+
+    def test_audit_report_statistics(self, edge_keys, operator_keys):
+        ledger = PocLedger()
+        poc, plan = negotiate_poc(edge_keys, operator_keys)
+        good = ledger.append("ledger-app", poc)
+        service = VerificationService()
+        service.register(
+            "ledger-app", plan, edge_keys.public, operator_keys.public
+        )
+        # Presenting the same receipt twice: the second is a replay.
+        report = service.audit([good, good])
+        assert report.total == 2
+        assert report.accepted == 1
+        assert report.rejected == 1
+        assert report.acceptance_rate == pytest.approx(0.5)
+        assert any(
+            "replay" in reason for reason in report.rejection_reasons
+        )
+
+    def test_empty_audit(self):
+        report = VerificationService().audit([])
+        assert report.total == 0
+        assert report.acceptance_rate == 0.0

@@ -1,0 +1,185 @@
+"""Signed CDR/CDA/PoC wire messages: sizes, roundtrips, signatures."""
+
+import random
+
+import pytest
+
+from repro.core.messages import (
+    CDA_WIRE_SIZE,
+    CDR_WIRE_SIZE,
+    POC_WIRE_SIZE,
+    MessageError,
+    ProofOfCharging,
+    TlcCda,
+    TlcCdr,
+)
+from repro.core.strategies import Role
+
+NONCE_E = bytes(range(16))
+NONCE_O = bytes(range(16, 32))
+
+
+def make_cdr(keys, party=Role.OPERATOR, volume=1000.0, seq=0):
+    return TlcCdr(
+        party=party,
+        app_id="test-app",
+        cycle_start=0.0,
+        cycle_end=3600.0,
+        c=0.5,
+        sequence=seq,
+        nonce=NONCE_O if party is Role.OPERATOR else NONCE_E,
+        volume=volume,
+    ).signed(keys.private)
+
+
+def make_cda(edge_keys, peer_cdr, volume=900.0, seq=0):
+    return TlcCda(
+        party=Role.EDGE,
+        app_id="test-app",
+        cycle_start=0.0,
+        cycle_end=3600.0,
+        c=0.5,
+        sequence=seq,
+        nonce=NONCE_E,
+        volume=volume,
+        peer_cdr=peer_cdr,
+    ).signed(edge_keys.private)
+
+
+def make_poc(operator_keys, cda, volume=950.0):
+    return ProofOfCharging(
+        party=Role.OPERATOR,
+        cycle_start=0.0,
+        cycle_end=3600.0,
+        c=0.5,
+        volume=volume,
+        cda=cda,
+        edge_nonce=NONCE_E,
+        operator_nonce=NONCE_O,
+    ).signed(operator_keys.private)
+
+
+class TestWireSizes:
+    """The Figure 17 message-size table."""
+
+    def test_cdr_is_199_bytes(self, operator_keys):
+        assert len(make_cdr(operator_keys).to_bytes()) == CDR_WIRE_SIZE == 199
+
+    def test_cda_is_398_bytes(self, edge_keys, operator_keys):
+        cda = make_cda(edge_keys, make_cdr(operator_keys))
+        assert len(cda.to_bytes()) == CDA_WIRE_SIZE == 398
+
+    def test_poc_is_796_bytes(self, edge_keys, operator_keys):
+        cda = make_cda(edge_keys, make_cdr(operator_keys))
+        poc = make_poc(operator_keys, cda)
+        assert len(poc.to_bytes()) == POC_WIRE_SIZE == 796
+
+    def test_total_signaling_is_1393_bytes(self, edge_keys, operator_keys):
+        cdr = make_cdr(operator_keys)
+        cda = make_cda(edge_keys, cdr)
+        poc = make_poc(operator_keys, cda)
+        total = sum(len(m.to_bytes()) for m in (cdr, cda, poc))
+        assert total == 1393  # the paper's "total signaling overhead"
+
+
+class TestCdrRoundtrip:
+    def test_fields_survive(self, operator_keys):
+        original = make_cdr(operator_keys, volume=12345.5, seq=7)
+        restored = TlcCdr.from_bytes(original.to_bytes())
+        assert restored.party is Role.OPERATOR
+        assert restored.app_id == "test-app"
+        assert restored.volume == 12345.5
+        assert restored.sequence == 7
+        assert restored.nonce == NONCE_O
+        assert restored.signature == original.signature
+
+    def test_signature_survives_roundtrip(self, operator_keys):
+        restored = TlcCdr.from_bytes(make_cdr(operator_keys).to_bytes())
+        assert restored.verify_signature(operator_keys.public)
+
+    def test_unsigned_cdr_cannot_serialize(self, operator_keys):
+        unsigned = TlcCdr(
+            party=Role.OPERATOR,
+            app_id="a",
+            cycle_start=0.0,
+            cycle_end=1.0,
+            c=0.5,
+            sequence=0,
+            nonce=NONCE_O,
+            volume=1.0,
+        )
+        with pytest.raises(MessageError):
+            unsigned.to_bytes()
+
+    def test_wrong_size_rejected(self):
+        with pytest.raises(MessageError):
+            TlcCdr.from_bytes(b"\x00" * 100)
+
+    def test_bad_magic_rejected(self, operator_keys):
+        wire = bytearray(make_cdr(operator_keys).to_bytes())
+        wire[0] = 0xFF
+        with pytest.raises(MessageError):
+            TlcCdr.from_bytes(bytes(wire))
+
+    def test_overlong_app_id_rejected(self, operator_keys):
+        cdr = TlcCdr(
+            party=Role.OPERATOR,
+            app_id="x" * 13,
+            cycle_start=0.0,
+            cycle_end=1.0,
+            c=0.5,
+            sequence=0,
+            nonce=NONCE_O,
+            volume=1.0,
+        )
+        with pytest.raises(MessageError):
+            cdr.payload_bytes()
+
+
+class TestCdaRoundtrip:
+    def test_embedded_cdr_survives(self, edge_keys, operator_keys):
+        cdr = make_cdr(operator_keys, volume=777.0)
+        cda = make_cda(edge_keys, cdr, volume=700.0)
+        restored = TlcCda.from_bytes(cda.to_bytes())
+        assert restored.volume == 700.0
+        assert restored.peer_cdr.volume == 777.0
+        assert restored.peer_cdr.verify_signature(operator_keys.public)
+        assert restored.verify_signature(edge_keys.public)
+
+    def test_tampering_with_embedded_cdr_breaks_outer_signature(
+        self, edge_keys, operator_keys
+    ):
+        cda = make_cda(edge_keys, make_cdr(operator_keys))
+        wire = bytearray(cda.to_bytes())
+        # Flip a byte inside the embedded CDR's volume field.
+        wire[150] ^= 0x01
+        tampered = TlcCda.from_bytes(bytes(wire))
+        assert not tampered.verify_signature(edge_keys.public)
+
+
+class TestPocRoundtrip:
+    def test_full_roundtrip(self, edge_keys, operator_keys):
+        cda = make_cda(edge_keys, make_cdr(operator_keys))
+        poc = make_poc(operator_keys, cda, volume=850.0)
+        restored = ProofOfCharging.from_bytes(poc.to_bytes())
+        assert restored.volume == 850.0
+        assert restored.edge_nonce == NONCE_E
+        assert restored.operator_nonce == NONCE_O
+        assert restored.verify_signature(operator_keys.public)
+        assert restored.cda.verify_signature(edge_keys.public)
+        assert restored.cda.peer_cdr.verify_signature(operator_keys.public)
+
+    def test_padding_is_zero_and_stripped(self, edge_keys, operator_keys):
+        cda = make_cda(edge_keys, make_cdr(operator_keys))
+        poc = make_poc(operator_keys, cda)
+        wire = poc.to_bytes()
+        payload_and_sig = len(poc.payload_bytes()) + len(poc.signature)
+        assert set(wire[payload_and_sig:]) <= {0}
+
+    def test_volume_tamper_breaks_signature(self, edge_keys, operator_keys):
+        cda = make_cda(edge_keys, make_cdr(operator_keys))
+        poc = make_poc(operator_keys, cda, volume=850.0)
+        wire = bytearray(poc.to_bytes())
+        wire[20] ^= 0xFF  # inside the volume field
+        tampered = ProofOfCharging.from_bytes(bytes(wire))
+        assert not tampered.verify_signature(operator_keys.public)

@@ -1,0 +1,252 @@
+"""The Figure 7a negotiation protocol over signed messages."""
+
+import random
+
+import pytest
+
+from repro.charging.cycle import ChargingCycle
+from repro.core.messages import ProofOfCharging, TlcCda, TlcCdr
+from repro.core.plan import DataPlan
+from repro.core.protocol import (
+    NegotiationAgent,
+    ProtocolError,
+    ProtocolState,
+    run_negotiation,
+)
+from repro.core.records import UsageView
+from repro.core.strategies import (
+    HonestStrategy,
+    OptimalStrategy,
+    RandomSelfishStrategy,
+    Role,
+)
+from repro.crypto.nonces import NonceFactory
+
+MB = 1_000_000
+
+
+def make_plan(c=0.5):
+    return DataPlan(
+        cycle=ChargingCycle(index=0, start=0.0, end=3600.0), loss_weight=c
+    )
+
+
+def make_agents(
+    edge_keys,
+    operator_keys,
+    edge_strategy=None,
+    operator_strategy=None,
+    plan=None,
+    seed=1,
+):
+    plan = plan or make_plan()
+    view = UsageView(sent_estimate=1000 * MB, received_estimate=930 * MB)
+    nonce_factory = NonceFactory(random.Random(seed))
+    edge = NegotiationAgent(
+        role=Role.EDGE,
+        strategy=edge_strategy or OptimalStrategy(Role.EDGE, view),
+        plan=plan,
+        private_key=edge_keys.private,
+        peer_public_key=operator_keys.public,
+        nonce_factory=nonce_factory,
+    )
+    operator = NegotiationAgent(
+        role=Role.OPERATOR,
+        strategy=operator_strategy or OptimalStrategy(Role.OPERATOR, view),
+        plan=plan,
+        private_key=operator_keys.private,
+        peer_public_key=edge_keys.public,
+        nonce_factory=nonce_factory,
+    )
+    return edge, operator
+
+
+class TestOptimalNegotiation:
+    def test_operator_initiated_one_round(self, edge_keys, operator_keys):
+        edge, operator = make_agents(edge_keys, operator_keys)
+        outcome = run_negotiation(operator, edge)
+        assert outcome.converged
+        assert outcome.rounds == 1
+        assert outcome.messages == 3  # CDR -> CDA -> PoC
+        assert outcome.volume == pytest.approx(965 * MB)
+
+    def test_edge_initiated_also_converges(self, edge_keys, operator_keys):
+        edge, operator = make_agents(edge_keys, operator_keys)
+        outcome = run_negotiation(edge, operator)
+        assert outcome.converged
+        assert outcome.volume == pytest.approx(965 * MB)
+
+    def test_both_parties_store_identical_poc(
+        self, edge_keys, operator_keys
+    ):
+        edge, operator = make_agents(edge_keys, operator_keys)
+        run_negotiation(operator, edge)
+        assert edge.poc is not None and operator.poc is not None
+        assert edge.poc.to_bytes() == operator.poc.to_bytes()
+
+    def test_wire_bytes_match_paper_total(self, edge_keys, operator_keys):
+        edge, operator = make_agents(edge_keys, operator_keys)
+        outcome = run_negotiation(operator, edge)
+        assert outcome.bytes_on_wire == 1393
+
+    def test_final_states(self, edge_keys, operator_keys):
+        edge, operator = make_agents(edge_keys, operator_keys)
+        run_negotiation(operator, edge)
+        assert edge.state is ProtocolState.POC
+        assert operator.state is ProtocolState.POC
+
+
+class TestHonestNegotiation:
+    def test_honest_parties_converge_to_their_claims(
+        self, edge_keys, operator_keys
+    ):
+        view = UsageView(sent_estimate=1000 * MB, received_estimate=930 * MB)
+        edge, operator = make_agents(
+            edge_keys,
+            operator_keys,
+            edge_strategy=HonestStrategy(Role.EDGE, view),
+            operator_strategy=HonestStrategy(Role.OPERATOR, view),
+        )
+        outcome = run_negotiation(operator, edge)
+        assert outcome.converged
+        # Honest claims are (xe=sent, xo=received): same x as optimal.
+        assert outcome.volume == pytest.approx(965 * MB)
+
+
+class TestRandomNegotiation:
+    def test_converges_within_cap(self, edge_keys, operator_keys):
+        view = UsageView(sent_estimate=1000 * MB, received_estimate=930 * MB)
+        converged = 0
+        for seed in range(8):
+            edge, operator = make_agents(
+                edge_keys,
+                operator_keys,
+                edge_strategy=RandomSelfishStrategy(
+                    Role.EDGE, view, random.Random(seed)
+                ),
+                operator_strategy=RandomSelfishStrategy(
+                    Role.OPERATOR, view, random.Random(seed + 100)
+                ),
+                seed=seed,
+            )
+            outcome = run_negotiation(operator, edge)
+            if outcome.converged:
+                converged += 1
+                assert 900 * MB <= outcome.volume <= 1050 * MB
+        assert converged >= 6  # the vast majority settle
+
+    def test_multi_round_produces_more_messages(
+        self, edge_keys, operator_keys
+    ):
+        view = UsageView(sent_estimate=1000 * MB, received_estimate=930 * MB)
+        seen_multi = False
+        for seed in range(10):
+            edge, operator = make_agents(
+                edge_keys,
+                operator_keys,
+                edge_strategy=RandomSelfishStrategy(
+                    Role.EDGE, view, random.Random(seed)
+                ),
+                operator_strategy=RandomSelfishStrategy(
+                    Role.OPERATOR, view, random.Random(seed + 100)
+                ),
+                seed=seed,
+            )
+            outcome = run_negotiation(operator, edge)
+            if outcome.converged and outcome.rounds > 1:
+                seen_multi = True
+                assert outcome.messages > 3
+        assert seen_multi
+
+
+class TestProtocolValidation:
+    def test_plan_mismatch_rejected(self, edge_keys, operator_keys):
+        edge, _ = make_agents(edge_keys, operator_keys)
+        _, other_operator = make_agents(
+            edge_keys, operator_keys, plan=make_plan(c=0.75), seed=2
+        )
+        first = other_operator.start()
+        with pytest.raises(ProtocolError):
+            edge.handle(first)
+
+    def test_bad_signature_rejected(self, edge_keys, operator_keys):
+        edge, operator = make_agents(edge_keys, operator_keys)
+        cdr = operator.start()
+        forged = TlcCdr.from_bytes(cdr.to_bytes())
+        forged = type(forged)(
+            **{**forged.__dict__, "volume": forged.volume * 2}
+        )
+        with pytest.raises(ProtocolError):
+            edge.handle(forged)
+
+    def test_start_twice_rejected(self, edge_keys, operator_keys):
+        _, operator = make_agents(edge_keys, operator_keys)
+        operator.start()
+        with pytest.raises(ProtocolError):
+            operator.start()
+
+    def test_poc_in_wrong_state_rejected(self, edge_keys, operator_keys):
+        edge, operator = make_agents(edge_keys, operator_keys)
+        outcome_agents = make_agents(edge_keys, operator_keys, seed=3)
+        outcome = run_negotiation(outcome_agents[1], outcome_agents[0])
+        with pytest.raises(ProtocolError):
+            edge.handle(outcome.poc)  # edge is still in NULL state
+        del operator
+
+    def test_cda_must_embed_our_actual_claim(
+        self, edge_keys, operator_keys
+    ):
+        edge, operator = make_agents(edge_keys, operator_keys)
+        cdr_o = operator.start()
+        cda_e = edge.handle(cdr_o)
+        assert isinstance(cda_e, TlcCda)
+        # Rebuild the CDA around a forged copy of the operator's CDR.
+        forged_inner = TlcCdr(
+            party=cdr_o.party,
+            app_id=cdr_o.app_id,
+            cycle_start=cdr_o.cycle_start,
+            cycle_end=cdr_o.cycle_end,
+            c=cdr_o.c,
+            sequence=cdr_o.sequence,
+            nonce=cdr_o.nonce,
+            volume=cdr_o.volume * 2,
+        ).signed(operator_keys.private)
+        forged_cda = TlcCda(
+            party=cda_e.party,
+            app_id=cda_e.app_id,
+            cycle_start=cda_e.cycle_start,
+            cycle_end=cda_e.cycle_end,
+            c=cda_e.c,
+            sequence=cda_e.sequence,
+            nonce=cda_e.nonce,
+            volume=cda_e.volume,
+            peer_cdr=forged_inner,
+        ).signed(edge_keys.private)
+        with pytest.raises(ProtocolError):
+            operator.handle(forged_cda)
+
+
+class TestPocContents:
+    def test_poc_volume_matches_line8(self, edge_keys, operator_keys):
+        edge, operator = make_agents(edge_keys, operator_keys)
+        outcome = run_negotiation(operator, edge)
+        poc = outcome.poc
+        assert isinstance(poc, ProofOfCharging)
+        xe = poc.cda.volume if poc.cda.party is Role.EDGE else None
+        xo = poc.cda.peer_cdr.volume
+        expected = min(xe, xo) + 0.5 * abs(xe - xo)
+        assert poc.volume == pytest.approx(expected)
+
+    def test_poc_carries_both_nonces(self, edge_keys, operator_keys):
+        edge, operator = make_agents(edge_keys, operator_keys)
+        outcome = run_negotiation(operator, edge)
+        assert outcome.poc.edge_nonce == edge.nonce
+        assert outcome.poc.operator_nonce == operator.nonce
+
+    def test_sequence_numbers_agree_in_one_round(
+        self, edge_keys, operator_keys
+    ):
+        edge, operator = make_agents(edge_keys, operator_keys)
+        outcome = run_negotiation(operator, edge)
+        cda = outcome.poc.cda
+        assert cda.sequence == cda.peer_cdr.sequence

@@ -1,0 +1,192 @@
+"""Figure 7b's three workflow cases, driven by scripted strategies."""
+
+import random
+
+import pytest
+
+from repro.charging.cycle import ChargingCycle
+from repro.core.messages import ProofOfCharging, TlcCda, TlcCdr
+from repro.core.plan import DataPlan
+from repro.core.protocol import NegotiationAgent, run_negotiation
+from repro.core.strategies import Role
+from repro.crypto.nonces import NonceFactory
+
+MB = 1_000_000
+
+
+class ScriptedStrategy:
+    """Plays back fixed claims and accept/reject decisions."""
+
+    def __init__(self, role, claims, decisions):
+        self.role = role
+        self._claims = list(claims)
+        self._decisions = list(decisions)
+        self.claim_calls = 0
+        self.decide_calls = 0
+
+    def claim(self, lower_bound, upper_bound, round_index):
+        value = self._claims[
+            min(self.claim_calls, len(self._claims) - 1)
+        ]
+        self.claim_calls += 1
+        return value
+
+    def decide(self, own_claim, peer_claim, round_index):
+        decision = self._decisions[
+            min(self.decide_calls, len(self._decisions) - 1)
+        ]
+        self.decide_calls += 1
+        return decision
+
+
+def make_agents(edge_keys, operator_keys, edge_strategy, operator_strategy):
+    plan = DataPlan(
+        cycle=ChargingCycle(index=0, start=0.0, end=3600.0),
+        loss_weight=0.5,
+    )
+    nonce_factory = NonceFactory(random.Random(5))
+    edge = NegotiationAgent(
+        role=Role.EDGE,
+        strategy=edge_strategy,
+        plan=plan,
+        private_key=edge_keys.private,
+        peer_public_key=operator_keys.public,
+        nonce_factory=nonce_factory,
+    )
+    operator = NegotiationAgent(
+        role=Role.OPERATOR,
+        strategy=operator_strategy,
+        plan=plan,
+        private_key=operator_keys.private,
+        peer_public_key=edge_keys.public,
+        nonce_factory=nonce_factory,
+    )
+    return edge, operator
+
+
+def message_types(transcript):
+    names = []
+    for message in transcript:
+        if isinstance(message, TlcCdr):
+            names.append("CDR")
+        elif isinstance(message, TlcCda):
+            names.append("CDA")
+        elif isinstance(message, ProofOfCharging):
+            names.append("PoC")
+    return names
+
+
+class TestCase1BothAccept:
+    def test_three_message_flow(self, edge_keys, operator_keys):
+        edge, operator = make_agents(
+            edge_keys,
+            operator_keys,
+            ScriptedStrategy(Role.EDGE, claims=[930 * MB], decisions=[True]),
+            ScriptedStrategy(
+                Role.OPERATOR, claims=[1000 * MB], decisions=[True]
+            ),
+        )
+        outcome = run_negotiation(operator, edge)
+        assert message_types(outcome.transcript) == ["CDR", "CDA", "PoC"]
+        assert outcome.converged
+        assert outcome.volume == pytest.approx(965 * MB)
+
+
+class TestCase2OperatorRejects:
+    def test_operator_reclaims_with_new_cdr(self, edge_keys, operator_keys):
+        # Operator rejects the first CDA, re-claims a lower volume, then
+        # accepts: CDR -> CDA -> CDR -> CDA -> PoC (Figure 7b case 2).
+        edge, operator = make_agents(
+            edge_keys,
+            operator_keys,
+            ScriptedStrategy(
+                Role.EDGE,
+                claims=[930 * MB, 940 * MB],
+                decisions=[True, True],
+            ),
+            ScriptedStrategy(
+                Role.OPERATOR,
+                claims=[1000 * MB, 990 * MB],
+                decisions=[False, True],
+            ),
+        )
+        outcome = run_negotiation(operator, edge)
+        assert message_types(outcome.transcript) == [
+            "CDR",
+            "CDA",
+            "CDR",
+            "CDA",
+            "PoC",
+        ]
+        assert outcome.converged
+        assert outcome.rounds == 2
+        # The final pair is (edge 940, operator 990) -> x = 965.
+        assert outcome.volume == pytest.approx(965 * MB)
+
+
+class TestCase3EdgeRejects:
+    def test_edge_counterclaims_with_cdr(self, edge_keys, operator_keys):
+        # Edge rejects the operator's CDR and counter-claims with its
+        # own CDR; the operator then accepts the counter-claim via CDA
+        # and the edge finishes with the PoC (Figure 7b case 3 mirrored).
+        edge, operator = make_agents(
+            edge_keys,
+            operator_keys,
+            ScriptedStrategy(
+                Role.EDGE,
+                claims=[930 * MB, 935 * MB],
+                decisions=[False, True],
+            ),
+            ScriptedStrategy(
+                Role.OPERATOR,
+                claims=[1000 * MB, 998 * MB],
+                decisions=[True, True],
+            ),
+        )
+        outcome = run_negotiation(operator, edge)
+        types = message_types(outcome.transcript)
+        assert types[0] == "CDR"
+        assert types[1] == "CDR"  # the edge's rejection / counter-claim
+        assert types[-1] == "PoC"
+        assert outcome.converged
+
+    def test_rejection_contracts_the_bounds(self, edge_keys, operator_keys):
+        edge, operator = make_agents(
+            edge_keys,
+            operator_keys,
+            ScriptedStrategy(
+                Role.EDGE,
+                claims=[930 * MB, 940 * MB],
+                decisions=[False, True],
+            ),
+            ScriptedStrategy(
+                Role.OPERATOR,
+                claims=[1000 * MB, 995 * MB],
+                decisions=[True, True],
+            ),
+        )
+        run_negotiation(operator, edge)
+        # After the first rejected exchange, the edge's window is the
+        # span of the round-1 claims.
+        assert edge.lower_bound >= 930 * MB - 1
+        assert edge.upper_bound <= 1000 * MB + 1
+
+
+class TestStonewalling:
+    def test_never_accepting_parties_hit_the_message_cap(
+        self, edge_keys, operator_keys
+    ):
+        edge, operator = make_agents(
+            edge_keys,
+            operator_keys,
+            ScriptedStrategy(
+                Role.EDGE, claims=[930 * MB], decisions=[False]
+            ),
+            ScriptedStrategy(
+                Role.OPERATOR, claims=[1000 * MB], decisions=[False]
+            ),
+        )
+        outcome = run_negotiation(operator, edge, max_messages=20)
+        assert not outcome.converged
+        assert outcome.poc is None
+        assert outcome.messages == 20

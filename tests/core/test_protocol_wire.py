@@ -1,0 +1,159 @@
+"""Wire-level interop: agents talking through serialized bytes only.
+
+``run_negotiation`` passes message objects directly; a real deployment
+ships bytes.  This harness serializes every message to its wire form and
+re-parses it at the receiver, proving the encodings are sufficient for
+the whole negotiation (nothing rides along in Python object state).
+"""
+
+import random
+
+import pytest
+
+from repro.charging.cycle import ChargingCycle
+from repro.core.messages import (
+    CDA_WIRE_SIZE,
+    CDR_WIRE_SIZE,
+    POC_WIRE_SIZE,
+    ProofOfCharging,
+    TlcCda,
+    TlcCdr,
+)
+from repro.core.plan import DataPlan
+from repro.core.protocol import NegotiationAgent
+from repro.core.records import UsageView
+from repro.core.strategies import (
+    OptimalStrategy,
+    RandomSelfishStrategy,
+    Role,
+)
+from repro.core.verifier import PublicVerifier
+from repro.crypto.nonces import NonceFactory
+
+MB = 1_000_000
+
+
+def decode(wire: bytes):
+    """Dispatch a received frame by its length (sizes are distinct)."""
+    if len(wire) == CDR_WIRE_SIZE:
+        return TlcCdr.from_bytes(wire)
+    if len(wire) == CDA_WIRE_SIZE:
+        return TlcCda.from_bytes(wire)
+    if len(wire) == POC_WIRE_SIZE:
+        return ProofOfCharging.from_bytes(wire)
+    raise ValueError(f"unrecognized frame length: {len(wire)}")
+
+
+def run_over_wire(initiator, responder, max_frames=100):
+    """Ping-pong serialized frames between two agents."""
+    frames = []
+    wire = initiator.start().to_bytes()
+    frames.append(wire)
+    current, other = responder, initiator
+    while len(frames) < max_frames:
+        reply = current.handle(decode(wire))
+        if reply is None:
+            break
+        wire = reply.to_bytes()
+        frames.append(wire)
+        current, other = other, current
+    return frames
+
+
+def make_agents(edge_keys, operator_keys, strategy_factory, seed=1):
+    plan = DataPlan(
+        cycle=ChargingCycle(index=0, start=0.0, end=3600.0),
+        loss_weight=0.5,
+    )
+    view = UsageView(sent_estimate=1000 * MB, received_estimate=930 * MB)
+    nonce_factory = NonceFactory(random.Random(seed))
+    edge = NegotiationAgent(
+        role=Role.EDGE,
+        strategy=strategy_factory(Role.EDGE, view, seed),
+        plan=plan,
+        private_key=edge_keys.private,
+        peer_public_key=operator_keys.public,
+        nonce_factory=nonce_factory,
+    )
+    operator = NegotiationAgent(
+        role=Role.OPERATOR,
+        strategy=strategy_factory(Role.OPERATOR, view, seed + 50),
+        plan=plan,
+        private_key=operator_keys.private,
+        peer_public_key=edge_keys.public,
+        nonce_factory=nonce_factory,
+    )
+    return edge, operator, plan
+
+
+class TestWireInterop:
+    def test_optimal_negotiation_over_bytes(self, edge_keys, operator_keys):
+        edge, operator, plan = make_agents(
+            edge_keys,
+            operator_keys,
+            lambda role, view, seed: OptimalStrategy(role, view),
+        )
+        frames = run_over_wire(operator, edge)
+        assert [len(f) for f in frames] == [
+            CDR_WIRE_SIZE,
+            CDA_WIRE_SIZE,
+            POC_WIRE_SIZE,
+        ]
+        assert operator.poc is not None and edge.poc is not None
+        assert operator.poc.to_bytes() == edge.poc.to_bytes()
+
+    def test_wire_poc_passes_public_verification(
+        self, edge_keys, operator_keys
+    ):
+        edge, operator, plan = make_agents(
+            edge_keys,
+            operator_keys,
+            lambda role, view, seed: OptimalStrategy(role, view),
+        )
+        frames = run_over_wire(operator, edge)
+        result = PublicVerifier().verify(
+            frames[-1], plan, edge_keys.public, operator_keys.public
+        )
+        assert result.ok
+        assert result.volume == pytest.approx(965 * MB)
+
+    def test_multi_round_random_negotiation_over_bytes(
+        self, edge_keys, operator_keys
+    ):
+        settled = 0
+        for seed in range(6):
+            edge, operator, plan = make_agents(
+                edge_keys,
+                operator_keys,
+                lambda role, view, s: RandomSelfishStrategy(
+                    role, view, random.Random(s)
+                ),
+                seed=seed,
+            )
+            frames = run_over_wire(operator, edge)
+            if edge.poc is not None:
+                settled += 1
+                # Every exchanged frame had a canonical wire size.
+                assert all(
+                    len(f)
+                    in (CDR_WIRE_SIZE, CDA_WIRE_SIZE, POC_WIRE_SIZE)
+                    for f in frames
+                )
+                result = PublicVerifier().verify(
+                    edge.poc.to_bytes(),
+                    plan,
+                    edge_keys.public,
+                    operator_keys.public,
+                )
+                assert result.ok
+        assert settled >= 4
+
+    def test_edge_initiated_over_bytes(self, edge_keys, operator_keys):
+        edge, operator, plan = make_agents(
+            edge_keys,
+            operator_keys,
+            lambda role, view, seed: OptimalStrategy(role, view),
+        )
+        frames = run_over_wire(edge, operator)
+        assert len(frames) == 3
+        assert edge.poc is not None

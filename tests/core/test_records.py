@@ -1,0 +1,66 @@
+"""Ground truth and usage views."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.records import GroundTruth, UsageView
+
+
+class TestGroundTruth:
+    def test_loss_is_difference(self):
+        truth = GroundTruth(sent=1000, received=900)
+        assert truth.loss == 100
+
+    def test_received_cannot_exceed_sent(self):
+        with pytest.raises(ValueError):
+            GroundTruth(sent=900, received=1000)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            GroundTruth(sent=-1, received=0)
+
+    def test_fair_volume_endpoints(self):
+        truth = GroundTruth(sent=1000, received=900)
+        assert truth.fair_volume(0.0) == 900
+        assert truth.fair_volume(1.0) == 1000
+        assert truth.fair_volume(0.5) == 950
+
+    @given(
+        sent=st.floats(min_value=0, max_value=1e12, allow_nan=False),
+        loss_fraction=st.floats(min_value=0, max_value=1, allow_nan=False),
+        c=st.floats(min_value=0, max_value=1, allow_nan=False),
+    )
+    def test_fair_volume_bounded_by_truth(self, sent, loss_fraction, c):
+        truth = GroundTruth(sent=sent, received=sent * (1 - loss_fraction))
+        fair = truth.fair_volume(c)
+        assert truth.received - 1e-6 <= fair <= truth.sent + 1e-6
+
+
+class TestUsageView:
+    def test_exact_view_matches_truth(self):
+        truth = GroundTruth(sent=1000, received=900)
+        view = UsageView.exact(truth)
+        assert view.sent_estimate == 1000
+        assert view.received_estimate == 900
+
+    def test_with_errors_scales(self):
+        truth = GroundTruth(sent=1000, received=900)
+        view = UsageView.with_errors(
+            truth, sent_error=0.02, received_error=-0.01
+        )
+        assert view.sent_estimate == pytest.approx(1020)
+        assert view.received_estimate == pytest.approx(891)
+
+    def test_clamped_fixes_inverted_estimates(self):
+        view = UsageView(sent_estimate=900, received_estimate=950)
+        clamped = view.clamped()
+        assert clamped.received_estimate <= clamped.sent_estimate
+
+    def test_clamped_noop_when_consistent(self):
+        view = UsageView(sent_estimate=1000, received_estimate=900)
+        assert view.clamped() is view
+
+    def test_negative_estimate_rejected(self):
+        with pytest.raises(ValueError):
+            UsageView(sent_estimate=-1, received_estimate=0)

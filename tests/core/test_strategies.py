@@ -1,0 +1,156 @@
+"""Strategy behaviours in isolation."""
+
+import random
+
+import pytest
+
+from repro.core.records import UsageView
+from repro.core.strategies import (
+    HonestStrategy,
+    MisbehavingStrategy,
+    OptimalStrategy,
+    RandomSelfishStrategy,
+    Role,
+)
+
+MB = 1_000_000
+VIEW = UsageView(sent_estimate=1000 * MB, received_estimate=930 * MB)
+
+
+class TestHonestStrategy:
+    def test_edge_claims_its_sent_volume(self):
+        edge = HonestStrategy(Role.EDGE, VIEW)
+        assert edge.claim(0, float("inf"), 1) == VIEW.sent_estimate
+
+    def test_operator_claims_its_received_volume(self):
+        operator = HonestStrategy(Role.OPERATOR, VIEW)
+        assert operator.claim(0, float("inf"), 1) == VIEW.received_estimate
+
+    def test_claims_clamped_to_bounds(self):
+        edge = HonestStrategy(Role.EDGE, VIEW)
+        assert edge.claim(0, 900 * MB, 2) == 900 * MB
+
+    def test_edge_rejects_operator_overclaim(self):
+        edge = HonestStrategy(Role.EDGE, VIEW)
+        too_much = VIEW.sent_estimate * 1.2
+        assert not edge.decide(
+            own_claim=VIEW.sent_estimate, peer_claim=too_much, round_index=1
+        )
+
+    def test_operator_rejects_edge_underclaim(self):
+        operator = HonestStrategy(Role.OPERATOR, VIEW)
+        too_little = VIEW.received_estimate * 0.5
+        assert not operator.decide(
+            own_claim=VIEW.received_estimate,
+            peer_claim=too_little,
+            round_index=1,
+        )
+
+    def test_cross_check_tolerance_admits_record_error(self):
+        edge = HonestStrategy(Role.EDGE, VIEW, cross_check_tolerance=0.08)
+        slightly_over = VIEW.sent_estimate * 1.02  # peer measured 2% more
+        assert edge.decide(
+            own_claim=VIEW.sent_estimate,
+            peer_claim=slightly_over,
+            round_index=1,
+        )
+
+
+class TestOptimalStrategy:
+    def test_edge_plays_minimax_claiming_received(self):
+        edge = OptimalStrategy(Role.EDGE, VIEW)
+        assert edge.claim(0, float("inf"), 1) == VIEW.received_estimate
+
+    def test_operator_plays_maximin_claiming_sent(self):
+        operator = OptimalStrategy(Role.OPERATOR, VIEW)
+        assert operator.claim(0, float("inf"), 1) == VIEW.sent_estimate
+
+    def test_strategy_role_mismatch_is_visible(self):
+        edge = OptimalStrategy(Role.EDGE, VIEW)
+        assert edge.role is Role.EDGE
+
+    def test_inverted_view_is_clamped(self):
+        inverted = UsageView(
+            sent_estimate=900 * MB, received_estimate=950 * MB
+        )
+        edge = OptimalStrategy(Role.EDGE, inverted)
+        claim = edge.claim(0, float("inf"), 1)
+        assert claim <= edge.view.sent_estimate
+
+
+class TestRandomSelfishStrategy:
+    def _pair(self, seed=1, **kwargs):
+        edge = RandomSelfishStrategy(
+            Role.EDGE, VIEW, random.Random(seed), **kwargs
+        )
+        operator = RandomSelfishStrategy(
+            Role.OPERATOR, VIEW, random.Random(seed + 1), **kwargs
+        )
+        return edge, operator
+
+    def test_edge_draws_at_or_below_sent(self):
+        edge, _ = self._pair()
+        for _ in range(100):
+            claim = edge.claim(0, float("inf"), 1)
+            assert claim <= VIEW.sent_estimate * 1.0001
+
+    def test_operator_draws_at_or_above_received(self):
+        _, operator = self._pair()
+        for _ in range(100):
+            claim = operator.claim(0, float("inf"), 1)
+            assert claim >= VIEW.received_estimate * (1 - operator.overshoot) * 0.999
+
+    def test_claims_respect_bounds(self):
+        edge, _ = self._pair()
+        for _ in range(100):
+            claim = edge.claim(940 * MB, 960 * MB, 2)
+            assert 940 * MB <= claim <= 960 * MB
+
+    def test_acceptance_probability_rises_with_rounds(self):
+        edge, _ = self._pair(seed=42)
+        early = sum(
+            edge.decide(1, VIEW.received_estimate, round_index=1)
+            for _ in range(500)
+        )
+        late = sum(
+            edge.decide(1, VIEW.received_estimate, round_index=5)
+            for _ in range(500)
+        )
+        assert late > early
+
+    def test_patience_forces_acceptance(self):
+        edge, _ = self._pair()
+        assert edge.decide(
+            own_claim=1,
+            peer_claim=VIEW.received_estimate,
+            round_index=edge.patience_rounds,
+        )
+
+    def test_cross_check_still_enforced_at_patience(self):
+        edge, _ = self._pair()
+        assert not edge.decide(
+            own_claim=1,
+            peer_claim=VIEW.sent_estimate * 2,
+            round_index=edge.patience_rounds + 5,
+        )
+
+    def test_deterministic_given_seed(self):
+        a, _ = self._pair(seed=7)
+        b, _ = self._pair(seed=7)
+        assert a.claim(0, float("inf"), 1) == b.claim(0, float("inf"), 1)
+
+
+class TestMisbehavingStrategy:
+    def test_ignores_bounds_when_told(self):
+        cheat = MisbehavingStrategy(Role.OPERATOR, fixed_claim=999.0)
+        assert cheat.claim(0.0, 10.0, 1) == 999.0
+
+    def test_respects_bounds_when_told(self):
+        cheat = MisbehavingStrategy(
+            Role.OPERATOR, fixed_claim=999.0, ignore_bounds=False
+        )
+        assert cheat.claim(0.0, 10.0, 1) == 10.0
+
+    def test_reject_all(self):
+        wall = MisbehavingStrategy(Role.EDGE, fixed_claim=1.0)
+        assert not wall.decide(1.0, 1.0, round_index=50)

@@ -1,0 +1,167 @@
+"""Property-based validation of the paper's Theorems 2, 3, and 4.
+
+These run Algorithm 1 (:func:`repro.core.cancellation.negotiate`) over
+hypothesis-generated ground truths and verify the provable guarantees:
+
+- **Theorem 2 (charging bound)**: with rational or honest parties the
+  negotiation stops with x̂o <= x <= x̂e;
+- **Theorem 3 (correctness)**: with both parties rational (optimal
+  strategies) and accurate records, x = x̂ = x̂o + c (x̂e − x̂o);
+- **Theorem 4 (latency friendliness)**: honest-honest and
+  rational-rational negotiations converge in exactly one round.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.charging.cycle import ChargingCycle
+from repro.core.cancellation import negotiate
+from repro.core.plan import DataPlan
+from repro.core.records import GroundTruth, UsageView
+from repro.core.strategies import (
+    HonestStrategy,
+    OptimalStrategy,
+    RandomSelfishStrategy,
+    Role,
+)
+
+
+def make_plan(c: float) -> DataPlan:
+    return DataPlan(
+        cycle=ChargingCycle(index=0, start=0.0, end=3600.0), loss_weight=c
+    )
+
+
+truths = st.tuples(
+    st.floats(min_value=1.0, max_value=1e12, allow_nan=False),
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+).map(
+    lambda pair: GroundTruth(
+        sent=pair[0], received=pair[0] * (1.0 - pair[1])
+    )
+)
+
+weights = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+class TestTheorem2Bounds:
+    @given(truth=truths, c=weights)
+    @settings(max_examples=200)
+    def test_optimal_vs_optimal_bounded(self, truth, c):
+        view = UsageView.exact(truth)
+        result = negotiate(
+            OptimalStrategy(Role.EDGE, view),
+            OptimalStrategy(Role.OPERATOR, view),
+            make_plan(c),
+        )
+        assert result.converged
+        tol = 1e-9 * max(1.0, truth.sent)
+        assert (
+            truth.received - tol <= result.volume <= truth.sent + tol
+        )
+
+    @given(truth=truths, c=weights)
+    @settings(max_examples=200)
+    def test_honest_vs_honest_bounded(self, truth, c):
+        view = UsageView.exact(truth)
+        result = negotiate(
+            HonestStrategy(Role.EDGE, view),
+            HonestStrategy(Role.OPERATOR, view),
+            make_plan(c),
+        )
+        assert result.converged
+        tol = 1e-9 * max(1.0, truth.sent)
+        assert (
+            truth.received - tol <= result.volume <= truth.sent + tol
+        )
+
+    @given(truth=truths, c=weights, seed=st.integers(0, 1000))
+    @settings(max_examples=100)
+    def test_random_selfish_bounded_within_overshoot(self, truth, c, seed):
+        view = UsageView.exact(truth)
+        edge = RandomSelfishStrategy(
+            Role.EDGE, view, random.Random(seed)
+        )
+        operator = RandomSelfishStrategy(
+            Role.OPERATOR, view, random.Random(seed + 1)
+        )
+        result = negotiate(edge, operator, make_plan(c))
+        if result.converged:
+            # Claims may overshoot the truth by at most the configured
+            # fraction, so the bound holds up to that slack.
+            low = truth.received * (1.0 - edge.overshoot) - 1e-6
+            high = truth.sent * (1.0 + operator.overshoot) + 1e-6
+            assert low <= result.volume <= high
+
+    @given(truth=truths, c=weights)
+    @settings(max_examples=100)
+    def test_mixed_honest_and_rational_still_bounded(self, truth, c):
+        # Theorem 4's caveat: one honest + one rational may miss x̂, but
+        # Theorem 2's bound must still hold.
+        view = UsageView.exact(truth)
+        result = negotiate(
+            HonestStrategy(Role.EDGE, view),
+            OptimalStrategy(Role.OPERATOR, view),
+            make_plan(c),
+        )
+        assert result.converged
+        tol = 1e-9 * max(1.0, truth.sent)
+        assert (
+            truth.received - tol <= result.volume <= truth.sent + tol
+        )
+
+
+class TestTheorem3Correctness:
+    @given(truth=truths, c=weights)
+    @settings(max_examples=200)
+    def test_rational_parties_reach_fair_volume(self, truth, c):
+        view = UsageView.exact(truth)
+        result = negotiate(
+            OptimalStrategy(Role.EDGE, view),
+            OptimalStrategy(Role.OPERATOR, view),
+            make_plan(c),
+        )
+        assert result.converged
+        fair = truth.fair_volume(c)
+        assert result.volume == pytest.approx(fair, rel=1e-9, abs=1e-6)
+
+    @given(truth=truths, c=weights)
+    @settings(max_examples=100)
+    def test_honest_parties_also_reach_fair_volume(self, truth, c):
+        view = UsageView.exact(truth)
+        result = negotiate(
+            HonestStrategy(Role.EDGE, view),
+            HonestStrategy(Role.OPERATOR, view),
+            make_plan(c),
+        )
+        assert result.converged
+        assert result.volume == pytest.approx(
+            truth.fair_volume(c), rel=1e-9, abs=1e-6
+        )
+
+
+class TestTheorem4OneRound:
+    @given(truth=truths, c=weights)
+    @settings(max_examples=200)
+    def test_optimal_converges_in_one_round(self, truth, c):
+        view = UsageView.exact(truth)
+        result = negotiate(
+            OptimalStrategy(Role.EDGE, view),
+            OptimalStrategy(Role.OPERATOR, view),
+            make_plan(c),
+        )
+        assert result.rounds == 1
+
+    @given(truth=truths, c=weights)
+    @settings(max_examples=100)
+    def test_honest_converges_in_one_round(self, truth, c):
+        view = UsageView.exact(truth)
+        result = negotiate(
+            HonestStrategy(Role.EDGE, view),
+            HonestStrategy(Role.OPERATOR, view),
+            make_plan(c),
+        )
+        assert result.rounds == 1

@@ -1,0 +1,291 @@
+"""Algorithm 2: public verification, including every rejection path."""
+
+import random
+
+import pytest
+
+from repro.charging.cycle import ChargingCycle
+from repro.core.messages import ProofOfCharging
+from repro.core.plan import DataPlan
+from repro.core.protocol import NegotiationAgent, run_negotiation
+from repro.core.records import UsageView
+from repro.core.strategies import OptimalStrategy, Role
+from repro.core.verifier import PublicVerifier
+from repro.crypto.nonces import NonceFactory
+from repro.crypto.rsa import generate_keypair
+
+MB = 1_000_000
+
+
+def make_plan(c=0.5):
+    return DataPlan(
+        cycle=ChargingCycle(index=0, start=0.0, end=3600.0), loss_weight=c
+    )
+
+
+@pytest.fixture()
+def negotiated(edge_keys, operator_keys):
+    plan = make_plan()
+    view = UsageView(sent_estimate=1000 * MB, received_estimate=930 * MB)
+    nonce_factory = NonceFactory(random.Random(7))
+    edge = NegotiationAgent(
+        role=Role.EDGE,
+        strategy=OptimalStrategy(Role.EDGE, view),
+        plan=plan,
+        private_key=edge_keys.private,
+        peer_public_key=operator_keys.public,
+        nonce_factory=nonce_factory,
+    )
+    operator = NegotiationAgent(
+        role=Role.OPERATOR,
+        strategy=OptimalStrategy(Role.OPERATOR, view),
+        plan=plan,
+        private_key=operator_keys.private,
+        peer_public_key=edge_keys.public,
+        nonce_factory=nonce_factory,
+    )
+    outcome = run_negotiation(operator, edge)
+    assert outcome.converged
+    return outcome.poc, plan
+
+
+class TestAcceptance:
+    def test_valid_poc_verifies(self, negotiated, edge_keys, operator_keys):
+        poc, plan = negotiated
+        verifier = PublicVerifier()
+        result = verifier.verify(
+            poc, plan, edge_keys.public, operator_keys.public
+        )
+        assert result.ok, result.reason
+        assert result.volume == pytest.approx(965 * MB)
+        assert verifier.verified_count == 1
+
+    def test_serialized_poc_verifies(
+        self, negotiated, edge_keys, operator_keys
+    ):
+        poc, plan = negotiated
+        result = PublicVerifier().verify(
+            poc.to_bytes(), plan, edge_keys.public, operator_keys.public
+        )
+        assert result.ok
+
+
+class TestRejection:
+    def test_replay_rejected(self, negotiated, edge_keys, operator_keys):
+        poc, plan = negotiated
+        verifier = PublicVerifier()
+        assert verifier.verify(
+            poc, plan, edge_keys.public, operator_keys.public
+        ).ok
+        replay = verifier.verify(
+            poc, plan, edge_keys.public, operator_keys.public
+        )
+        assert not replay.ok
+        assert "replay" in replay.reason
+
+    def test_fresh_verifier_has_no_replay_memory(
+        self, negotiated, edge_keys, operator_keys
+    ):
+        poc, plan = negotiated
+        assert PublicVerifier().verify(
+            poc, plan, edge_keys.public, operator_keys.public
+        ).ok
+        assert PublicVerifier().verify(
+            poc, plan, edge_keys.public, operator_keys.public
+        ).ok
+
+    def test_wrong_plan_rejected(self, negotiated, edge_keys, operator_keys):
+        poc, _plan = negotiated
+        result = PublicVerifier().verify(
+            poc, make_plan(c=0.75), edge_keys.public, operator_keys.public
+        )
+        assert not result.ok
+        assert "plan" in result.reason
+
+    def test_inflated_volume_rejected(
+        self, negotiated, edge_keys, operator_keys
+    ):
+        poc, plan = negotiated
+        forged = ProofOfCharging(
+            party=poc.party,
+            cycle_start=poc.cycle_start,
+            cycle_end=poc.cycle_end,
+            c=poc.c,
+            volume=poc.volume * 1.5,
+            cda=poc.cda,
+            edge_nonce=poc.edge_nonce,
+            operator_nonce=poc.operator_nonce,
+            signature=poc.signature,
+        )
+        result = PublicVerifier().verify(
+            forged, plan, edge_keys.public, operator_keys.public
+        )
+        assert not result.ok  # dies at the signature layer
+
+    def test_resigned_inflated_volume_rejected_by_recompute(
+        self, negotiated, edge_keys, operator_keys
+    ):
+        # Even if the constructor RE-SIGNS an inflated volume, the
+        # recomputation from the embedded (still-signed) claims catches it.
+        poc, plan = negotiated
+        resigned = ProofOfCharging(
+            party=poc.party,
+            cycle_start=poc.cycle_start,
+            cycle_end=poc.cycle_end,
+            c=poc.c,
+            volume=poc.volume * 1.5,
+            cda=poc.cda,
+            edge_nonce=poc.edge_nonce,
+            operator_nonce=poc.operator_nonce,
+        ).signed(operator_keys.private)
+        result = PublicVerifier().verify(
+            resigned, plan, edge_keys.public, operator_keys.public
+        )
+        assert not result.ok
+        assert "recomputed" in result.reason
+
+    def test_swapped_keys_rejected(
+        self, negotiated, edge_keys, operator_keys
+    ):
+        poc, plan = negotiated
+        result = PublicVerifier().verify(
+            poc, plan, operator_keys.public, edge_keys.public
+        )
+        assert not result.ok
+
+    def test_nonce_mismatch_rejected(
+        self, negotiated, edge_keys, operator_keys
+    ):
+        poc, plan = negotiated
+        tampered = ProofOfCharging(
+            party=poc.party,
+            cycle_start=poc.cycle_start,
+            cycle_end=poc.cycle_end,
+            c=poc.c,
+            volume=poc.volume,
+            cda=poc.cda,
+            edge_nonce=bytes(16),  # wrong nonce
+            operator_nonce=poc.operator_nonce,
+        ).signed(operator_keys.private)
+        result = PublicVerifier().verify(
+            tampered, plan, edge_keys.public, operator_keys.public
+        )
+        assert not result.ok
+        assert "nonce" in result.reason
+
+    def test_unrelated_key_rejected(self, negotiated, operator_keys):
+        poc, plan = negotiated
+        stranger = generate_keypair(1024, random.Random(404))
+        result = PublicVerifier().verify(
+            poc, plan, stranger.public, operator_keys.public
+        )
+        assert not result.ok
+
+    def test_malformed_bytes_rejected(self, edge_keys, operator_keys):
+        result = PublicVerifier().verify(
+            b"\x00" * 796, make_plan(), edge_keys.public, operator_keys.public
+        )
+        assert not result.ok
+        assert "malformed" in result.reason
+
+    def test_stale_round_splice_rejected(
+        self, negotiated, edge_keys, operator_keys
+    ):
+        # Rebuild the proof with the inner CDR's round index pushed two
+        # rounds back (both layers re-signed): the adjacency rule
+        # catches the stale splice even though every signature is valid.
+        from repro.core.messages import TlcCda, TlcCdr
+
+        poc, plan = negotiated
+        cda = poc.cda
+        stale_cdr = TlcCdr(
+            party=cda.peer_cdr.party,
+            app_id=cda.peer_cdr.app_id,
+            cycle_start=cda.peer_cdr.cycle_start,
+            cycle_end=cda.peer_cdr.cycle_end,
+            c=cda.peer_cdr.c,
+            sequence=cda.sequence + 2,
+            nonce=cda.peer_cdr.nonce,
+            volume=cda.peer_cdr.volume,
+        ).signed(operator_keys.private)
+        spliced_cda = TlcCda(
+            party=cda.party,
+            app_id=cda.app_id,
+            cycle_start=cda.cycle_start,
+            cycle_end=cda.cycle_end,
+            c=cda.c,
+            sequence=cda.sequence,
+            nonce=cda.nonce,
+            volume=cda.volume,
+            peer_cdr=stale_cdr,
+        ).signed(edge_keys.private)
+        spliced_poc = ProofOfCharging(
+            party=poc.party,
+            cycle_start=poc.cycle_start,
+            cycle_end=poc.cycle_end,
+            c=poc.c,
+            volume=poc.volume,
+            cda=spliced_cda,
+            edge_nonce=poc.edge_nonce,
+            operator_nonce=poc.operator_nonce,
+        ).signed(operator_keys.private)
+        result = PublicVerifier().verify(
+            spliced_poc, plan, edge_keys.public, operator_keys.public
+        )
+        assert not result.ok
+        assert "sequence" in result.reason
+
+    def test_adjacent_round_pair_accepted(
+        self, edge_keys, operator_keys
+    ):
+        # Legitimate multi-round outcomes pair claims one round apart;
+        # the verifier must accept them (regression for the strict
+        # equality check that rejected real negotiations).
+        import random as random_module
+
+        from repro.core.strategies import RandomSelfishStrategy
+
+        plan = make_plan()
+        view = UsageView(
+            sent_estimate=1000 * MB, received_estimate=930 * MB
+        )
+        accepted_multiround = 0
+        for seed in range(12):
+            nonce_factory = NonceFactory(random_module.Random(seed + 500))
+            edge = NegotiationAgent(
+                role=Role.EDGE,
+                strategy=RandomSelfishStrategy(
+                    Role.EDGE, view, random_module.Random(seed)
+                ),
+                plan=plan,
+                private_key=edge_keys.private,
+                peer_public_key=operator_keys.public,
+                nonce_factory=nonce_factory,
+            )
+            operator = NegotiationAgent(
+                role=Role.OPERATOR,
+                strategy=RandomSelfishStrategy(
+                    Role.OPERATOR, view, random_module.Random(seed + 99)
+                ),
+                plan=plan,
+                private_key=operator_keys.private,
+                peer_public_key=edge_keys.public,
+                nonce_factory=nonce_factory,
+            )
+            outcome = run_negotiation(operator, edge)
+            if outcome.converged and outcome.rounds > 1:
+                result = PublicVerifier().verify(
+                    outcome.poc,
+                    plan,
+                    edge_keys.public,
+                    operator_keys.public,
+                )
+                assert result.ok, result.reason
+                accepted_multiround += 1
+        assert accepted_multiround >= 3
+
+    def test_rejections_counted(self, negotiated, edge_keys, operator_keys):
+        poc, plan = negotiated
+        verifier = PublicVerifier()
+        verifier.verify(poc, make_plan(0.9), edge_keys.public, operator_keys.public)
+        assert verifier.rejected_count == 1

@@ -1,0 +1,55 @@
+"""Key objects and serialization."""
+
+import random
+
+import pytest
+
+from repro.crypto.keys import PrivateKey, PublicKey
+from repro.crypto.rsa import generate_keypair
+
+
+@pytest.fixture(scope="module")
+def keys():
+    return generate_keypair(512, random.Random(41))
+
+
+class TestPublicKey:
+    def test_json_roundtrip(self, keys):
+        restored = PublicKey.from_json(keys.public.to_json())
+        assert restored == keys.public
+
+    def test_json_is_deterministic(self, keys):
+        assert keys.public.to_json() == keys.public.to_json()
+
+    def test_bits_and_byte_length(self, keys):
+        assert keys.public.bits == 512
+        assert keys.public.byte_length == 64
+
+    def test_fingerprint_is_stable_and_short(self, keys):
+        fp = keys.public.fingerprint()
+        assert fp == keys.public.fingerprint()
+        assert len(fp) == 16
+
+    def test_fingerprints_differ_between_keys(self, keys):
+        other = generate_keypair(512, random.Random(42))
+        assert keys.public.fingerprint() != other.public.fingerprint()
+
+    def test_wrong_kty_rejected(self):
+        with pytest.raises(ValueError):
+            PublicKey.from_json('{"kty": "EC", "n": "0x1", "e": "0x3"}')
+
+
+class TestPrivateKey:
+    def test_json_roundtrip(self, keys):
+        restored = PrivateKey.from_json(keys.private.to_json())
+        assert restored == keys.private
+
+    def test_public_property_matches(self, keys):
+        assert keys.private.public == keys.public
+
+    def test_wrong_kty_rejected(self):
+        with pytest.raises(ValueError):
+            PrivateKey.from_json(
+                '{"kty": "EC", "n": "0x1", "e": "0x3", "d": "0x5",'
+                ' "p": "0x7", "q": "0xb"}'
+            )

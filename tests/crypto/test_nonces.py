@@ -1,0 +1,51 @@
+"""Nonce and sequence-number primitives."""
+
+import random
+
+import pytest
+
+from repro.crypto.nonces import NonceFactory, SequenceCounter
+
+
+class TestNonceFactory:
+    def test_nonces_have_requested_width(self):
+        factory = NonceFactory(random.Random(1), width_bytes=16)
+        assert len(factory.fresh()) == 16
+
+    def test_nonces_never_repeat(self):
+        factory = NonceFactory(random.Random(1))
+        seen = {factory.fresh() for _ in range(500)}
+        assert len(seen) == 500
+
+    def test_deterministic_for_seed(self):
+        a = NonceFactory(random.Random(5)).fresh()
+        b = NonceFactory(random.Random(5)).fresh()
+        assert a == b
+
+    def test_too_short_width_rejected(self):
+        with pytest.raises(ValueError):
+            NonceFactory(random.Random(1), width_bytes=4)
+
+
+class TestSequenceCounter:
+    def test_starts_at_zero(self):
+        counter = SequenceCounter()
+        assert counter.next() == 0
+
+    def test_increments(self):
+        counter = SequenceCounter()
+        assert [counter.next() for _ in range(4)] == [0, 1, 2, 3]
+
+    def test_current_tracks_last_issued(self):
+        counter = SequenceCounter()
+        assert counter.current == -1
+        counter.next()
+        counter.next()
+        assert counter.current == 1
+
+    def test_custom_start(self):
+        assert SequenceCounter(start=100).next() == 100
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            SequenceCounter(start=-1)

@@ -1,0 +1,89 @@
+"""Miller-Rabin primality and prime generation."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.primes import generate_prime, is_probable_prime
+
+KNOWN_PRIMES = [
+    2, 3, 5, 7, 11, 13, 101, 7919, 104_729,
+    2_147_483_647,          # Mersenne prime 2^31 - 1
+    67_280_421_310_721,     # factor of 2^128 + 1
+]
+
+KNOWN_COMPOSITES = [
+    1, 4, 6, 9, 15, 100, 7917, 104_730,
+    561, 1105, 1729, 2465, 6601,  # Carmichael numbers
+    2_147_483_647 * 3,
+    7919 * 104_729,
+]
+
+
+class TestIsProbablePrime:
+    @pytest.mark.parametrize("n", KNOWN_PRIMES)
+    def test_known_primes(self, n):
+        assert is_probable_prime(n)
+
+    @pytest.mark.parametrize("n", KNOWN_COMPOSITES)
+    def test_known_composites(self, n):
+        assert not is_probable_prime(n)
+
+    def test_zero_and_negatives(self):
+        assert not is_probable_prime(0)
+        assert not is_probable_prime(-7)
+
+    def test_agrees_with_trial_division_up_to_2000(self):
+        def trial(n):
+            if n < 2:
+                return False
+            return all(n % d for d in range(2, int(n**0.5) + 1))
+
+        for n in range(2000):
+            assert is_probable_prime(n) == trial(n), n
+
+    def test_large_prime_product_detected_composite(self):
+        rng = random.Random(5)
+        p = generate_prime(128, rng)
+        q = generate_prime(128, rng)
+        assert not is_probable_prime(p * q, rng)
+
+    @given(st.integers(min_value=2, max_value=10**6))
+    @settings(max_examples=200)
+    def test_composite_has_nontrivial_factor(self, n):
+        if not is_probable_prime(n):
+            # Every composite (or 1) must have a factor <= sqrt(n) or be 1.
+            if n > 1:
+                assert any(
+                    n % d == 0 for d in range(2, int(n**0.5) + 1)
+                ), f"{n} flagged composite but no factor found"
+
+
+class TestGeneratePrime:
+    @pytest.mark.parametrize("bits", [16, 64, 128, 256])
+    def test_exact_bit_length(self, bits):
+        prime = generate_prime(bits, random.Random(1))
+        assert prime.bit_length() == bits
+
+    def test_result_is_odd(self):
+        assert generate_prime(64, random.Random(2)) % 2 == 1
+
+    def test_result_is_prime(self):
+        prime = generate_prime(96, random.Random(3))
+        assert is_probable_prime(prime)
+
+    def test_deterministic_for_seed(self):
+        assert generate_prime(64, random.Random(9)) == generate_prime(
+            64, random.Random(9)
+        )
+
+    def test_too_small_raises(self):
+        with pytest.raises(ValueError):
+            generate_prime(4, random.Random(1))
+
+    def test_top_two_bits_set(self):
+        # Guarantees products of two b-bit primes have exactly 2b bits.
+        prime = generate_prime(64, random.Random(7))
+        assert prime >> 62 == 0b11

@@ -1,0 +1,83 @@
+"""RSA key generation and raw permutation."""
+
+import random
+
+import pytest
+
+from repro.crypto.rsa import (
+    generate_keypair,
+    rsa_private_op,
+    rsa_public_op,
+)
+
+
+@pytest.fixture(scope="module")
+def keys512():
+    return generate_keypair(512, random.Random(11))
+
+
+class TestKeyGeneration:
+    def test_modulus_has_requested_bits(self, keys512):
+        assert keys512.public.n.bit_length() == 512
+
+    def test_modulus_is_product_of_stored_primes(self, keys512):
+        private = keys512.private
+        assert private.p * private.q == private.n
+
+    def test_exponents_are_inverses_mod_phi(self, keys512):
+        private = keys512.private
+        phi = (private.p - 1) * (private.q - 1)
+        assert (private.d * private.e) % phi == 1
+
+    def test_default_public_exponent(self, keys512):
+        assert keys512.public.e == 65537
+
+    def test_distinct_primes(self, keys512):
+        assert keys512.private.p != keys512.private.q
+
+    def test_deterministic_for_seed(self):
+        a = generate_keypair(256, random.Random(3))
+        b = generate_keypair(256, random.Random(3))
+        assert a.public.n == b.public.n
+
+    def test_different_seeds_differ(self):
+        a = generate_keypair(256, random.Random(3))
+        b = generate_keypair(256, random.Random(4))
+        assert a.public.n != b.public.n
+
+    def test_odd_bit_size_rejected(self):
+        with pytest.raises(ValueError):
+            generate_keypair(513, random.Random(1))
+
+    def test_tiny_key_rejected(self):
+        with pytest.raises(ValueError):
+            generate_keypair(128, random.Random(1))
+
+
+class TestRawOps:
+    def test_private_then_public_roundtrips(self, keys512):
+        message = 0x123456789ABCDEF
+        signature = rsa_private_op(keys512.private, message)
+        assert rsa_public_op(keys512.public, signature) == message
+
+    def test_public_then_private_roundtrips(self, keys512):
+        message = 0xCAFEBABE
+        cipher = rsa_public_op(keys512.public, message)
+        assert rsa_private_op(keys512.private, cipher) == message
+
+    def test_crt_matches_plain_exponentiation(self, keys512):
+        private = keys512.private
+        message = 0xDEADBEEF
+        assert rsa_private_op(private, message) == pow(
+            message, private.d, private.n
+        )
+
+    def test_out_of_range_message_rejected(self, keys512):
+        with pytest.raises(ValueError):
+            rsa_private_op(keys512.private, keys512.private.n)
+        with pytest.raises(ValueError):
+            rsa_public_op(keys512.public, -1)
+
+    def test_zero_and_one_are_fixed_points(self, keys512):
+        assert rsa_private_op(keys512.private, 0) == 0
+        assert rsa_private_op(keys512.private, 1) == 1

@@ -1,0 +1,88 @@
+"""PKCS#1 v1.5 / SHA-256 signatures."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.rsa import generate_keypair
+from repro.crypto.signing import (
+    SignatureError,
+    require_valid,
+    sign,
+    verify,
+)
+
+
+@pytest.fixture(scope="module")
+def keys():
+    return generate_keypair(512, random.Random(21))
+
+
+@pytest.fixture(scope="module")
+def other_keys():
+    return generate_keypair(512, random.Random(22))
+
+
+class TestRoundtrip:
+    def test_sign_verify(self, keys):
+        message = b"charging record"
+        assert verify(keys.public, message, sign(keys.private, message))
+
+    def test_signature_length_is_modulus_length(self, keys):
+        assert len(sign(keys.private, b"x")) == keys.private.byte_length
+
+    def test_empty_message_signable(self, keys):
+        assert verify(keys.public, b"", sign(keys.private, b""))
+
+    def test_large_message_signable(self, keys):
+        message = b"\xab" * 100_000
+        assert verify(keys.public, message, sign(keys.private, message))
+
+    def test_deterministic(self, keys):
+        assert sign(keys.private, b"m") == sign(keys.private, b"m")
+
+    @given(st.binary(max_size=512))
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_property(self, message):
+        keys = generate_keypair(512, random.Random(99))
+        assert verify(keys.public, message, sign(keys.private, message))
+
+
+class TestRejection:
+    def test_modified_message_rejected(self, keys):
+        signature = sign(keys.private, b"original")
+        assert not verify(keys.public, b"originaX", signature)
+
+    def test_modified_signature_rejected(self, keys):
+        signature = bytearray(sign(keys.private, b"m"))
+        signature[10] ^= 0x01
+        assert not verify(keys.public, b"m", bytes(signature))
+
+    def test_wrong_key_rejected(self, keys, other_keys):
+        signature = sign(keys.private, b"m")
+        assert not verify(other_keys.public, b"m", signature)
+
+    def test_wrong_length_signature_rejected(self, keys):
+        assert not verify(keys.public, b"m", b"\x00" * 10)
+
+    def test_signature_ge_modulus_rejected(self, keys):
+        too_big = (keys.public.n).to_bytes(keys.public.byte_length, "big")
+        assert not verify(keys.public, b"m", too_big)
+
+    def test_all_zero_signature_rejected(self, keys):
+        zeros = b"\x00" * keys.public.byte_length
+        assert not verify(keys.public, b"m", zeros)
+
+    def test_require_valid_raises(self, keys):
+        with pytest.raises(SignatureError):
+            require_valid(keys.public, b"m", b"\x00" * keys.public.byte_length)
+
+    def test_require_valid_passes_good_signature(self, keys):
+        require_valid(keys.public, b"m", sign(keys.private, b"m"))
+
+    def test_key_too_small_for_sha256_raises(self):
+        tiny = generate_keypair(256, random.Random(31))
+        with pytest.raises(SignatureError):
+            sign(tiny.private, b"m")

@@ -1,0 +1,134 @@
+"""Deployment-incentive market dynamics (§8)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.economics.adoption import (
+    AdoptionModel,
+    MarketState,
+    OperatorProfile,
+)
+
+
+def two_operator_model(
+    tlc_error=0.02, legacy_gap=0.10, churn=0.25, sensitivity=4.0
+):
+    return AdoptionModel(
+        [
+            OperatorProfile("with-tlc", True, tlc_error),
+            OperatorProfile("legacy", False, legacy_gap),
+        ],
+        churn_propensity=churn,
+        billing_sensitivity=sensitivity,
+    )
+
+
+class TestValidation:
+    def test_empty_market_rejected(self):
+        with pytest.raises(ValueError):
+            AdoptionModel([])
+
+    def test_duplicate_names_rejected(self):
+        ops = [
+            OperatorProfile("a", True, 0.0),
+            OperatorProfile("a", False, 0.1),
+        ]
+        with pytest.raises(ValueError):
+            AdoptionModel(ops)
+
+    def test_invalid_shares_rejected(self):
+        with pytest.raises(ValueError):
+            MarketState({"a": 0.7, "b": 0.7})
+        with pytest.raises(ValueError):
+            MarketState({"a": 1.5, "b": -0.5})
+
+    def test_negative_overbilling_rejected(self):
+        with pytest.raises(ValueError):
+            OperatorProfile("a", True, -0.1)
+
+
+class TestDynamics:
+    def test_shares_always_sum_to_one(self):
+        model = two_operator_model()
+        state = model.run(36)
+        assert sum(state.shares.values()) == pytest.approx(1.0)
+
+    def test_tlc_operator_gains_share(self):
+        model = two_operator_model()
+        state = model.run(24)
+        assert state.share_of("with-tlc") > 0.5
+        assert state.share_of("legacy") < 0.5
+
+    def test_gain_is_monotone_over_months(self):
+        model = two_operator_model()
+        shares = []
+        state = model.uniform_start()
+        for _ in range(12):
+            state = model.step(state)
+            shares.append(state.share_of("with-tlc"))
+        assert shares == sorted(shares)
+
+    def test_symmetric_market_stays_split(self):
+        model = AdoptionModel(
+            [
+                OperatorProfile("a", True, 0.02),
+                OperatorProfile("b", True, 0.02),
+            ]
+        )
+        state = model.run(50)
+        assert state.share_of("a") == pytest.approx(0.5)
+
+    def test_no_churn_freezes_the_market(self):
+        model = two_operator_model(churn=0.0)
+        state = model.run(50)
+        assert state.share_of("legacy") == pytest.approx(0.5)
+
+    def test_worse_overbilling_loses_faster(self):
+        mild = two_operator_model(legacy_gap=0.05).run(12)
+        severe = two_operator_model(legacy_gap=0.25).run(12)
+        assert (
+            severe.share_of("legacy") < mild.share_of("legacy")
+        )
+
+    def test_steady_state_converges(self):
+        model = two_operator_model()
+        steady = model.steady_state()
+        after = model.step(steady)
+        assert after.share_of("with-tlc") == pytest.approx(
+            steady.share_of("with-tlc"), abs=1e-6
+        )
+
+    def test_three_way_market_ordering(self):
+        model = AdoptionModel(
+            [
+                OperatorProfile("tlc", True, 0.02),
+                OperatorProfile("legacy", False, 0.10),
+                OperatorProfile("greedy", False, 0.30),
+            ]
+        )
+        state = model.run(36)
+        assert (
+            state.share_of("tlc")
+            > state.share_of("legacy")
+            > state.share_of("greedy")
+        )
+
+    @given(
+        gap=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        churn=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        months=st.integers(min_value=0, max_value=60),
+    )
+    @settings(max_examples=100)
+    def test_shares_stay_valid_for_any_parameters(self, gap, churn, months):
+        model = two_operator_model(legacy_gap=gap, churn=churn)
+        state = model.run(months)
+        assert sum(state.shares.values()) == pytest.approx(1.0)
+        assert all(0.0 <= s <= 1.0 for s in state.shares.values())
+
+    @given(gap=st.floats(min_value=0.03, max_value=0.5, allow_nan=False))
+    @settings(max_examples=50)
+    def test_tlc_never_loses_to_a_worse_biller(self, gap):
+        model = two_operator_model(tlc_error=0.02, legacy_gap=gap)
+        state = model.run(24)
+        assert state.share_of("with-tlc") >= 0.5 - 1e-9

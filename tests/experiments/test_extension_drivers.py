@@ -1,0 +1,107 @@
+"""Extension experiment drivers: mobility, transport, multiop, quota."""
+
+import pytest
+
+from repro.experiments.mobility import mobility_sweep, run_mobility_point
+from repro.experiments.multiop_settlement import (
+    run_settlement_point,
+    settlement_sweep,
+)
+from repro.experiments.quota import compare_quota_accounting, run_quota_cycle
+from repro.experiments.rss_sweep import rss_sweep
+from repro.experiments.transport_comparison import (
+    compare_transports,
+    run_tcp_like,
+    run_udp,
+)
+
+
+class TestMobilityDriver:
+    def test_point_reports_handovers(self):
+        point = run_mobility_point(
+            5.0, seeds=(1,), duration=20.0, interruption=0.15
+        )
+        assert point.handovers_per_cycle > 0
+        assert point.tlc_gap_ratio < point.legacy_gap_ratio + 0.01
+
+    def test_sweep_orders_by_interval(self):
+        points = mobility_sweep(
+            intervals=(20.0, 2.0), seeds=(1,), duration=20.0
+        )
+        assert (
+            points[1].handovers_per_cycle > points[0].handovers_per_cycle
+        )
+
+
+class TestTransportDriver:
+    def test_udp_run_never_retransmits(self):
+        outcome = run_udp(seed=2, loss_rate=0.1, duration=10.0)
+        assert outcome.retransmitted_bytes == 0
+        assert outcome.delivery_ratio < 1.0
+
+    def test_tcp_run_recovers(self):
+        outcome = run_tcp_like(seed=2, loss_rate=0.1, duration=10.0)
+        assert outcome.delivery_ratio > 0.95
+        assert outcome.retransmitted_bytes > 0
+
+    def test_comparison_same_offered_bytes(self):
+        udp, tcp = compare_transports(seed=2, loss_rate=0.1, duration=10.0)
+        assert udp.app_bytes_offered == tcp.app_bytes_offered
+
+
+class TestMultiopDriver:
+    def test_settlement_point_shapes(self):
+        point = run_settlement_point(0.15, seeds=(1,), duration=10.0)
+        assert point.lossy_fair_mb < point.clean_fair_mb
+        assert point.rounds_total == 2.0
+        assert point.lossy_tlc_mb == pytest.approx(point.lossy_fair_mb)
+
+    def test_sweep_monotone_in_loss(self):
+        points = settlement_sweep(
+            lossy_rates=(0.02, 0.25), seeds=(1,), duration=10.0
+        )
+        assert points[1].lossy_tlc_mb < points[0].lossy_tlc_mb
+
+
+class TestRssDriver:
+    def test_weak_signal_raises_loss_and_gap(self):
+        points = rss_sweep(
+            rss_values_dbm=(-95.0, -110.0),
+            seeds=(1,),
+            cycle_duration=20.0,
+        )
+        assert points[1].loss_fraction > points[0].loss_fraction
+        assert points[1].legacy_gap_ratio > points[0].legacy_gap_ratio
+
+    def test_tlc_flat_across_rss(self):
+        points = rss_sweep(
+            rss_values_dbm=(-95.0, -110.0),
+            seeds=(1,),
+            cycle_duration=20.0,
+        )
+        for p in points:
+            assert p.tlc_optimal_gap_ratio < 0.06
+
+
+class TestQuotaDriver:
+    def test_quota_cycle_throttles(self):
+        outcome = run_quota_cycle(
+            quota_bytes=2_000_000,
+            seed=2,
+            duration=20.0,
+            bitrate_bps=2e6,
+        )
+        assert outcome.throttled_packets > 0
+
+    def test_generous_quota_never_throttles(self):
+        outcome = run_quota_cycle(
+            quota_bytes=10**12, seed=2, duration=10.0, bitrate_bps=2e6
+        )
+        assert outcome.throttled_packets == 0
+        assert outcome.dropped_at_shaper == 0
+
+    def test_fair_accounting_delivers_more(self):
+        legacy, tlc = compare_quota_accounting(
+            quota_bytes=4_000_000, seed=2, duration=30.0, loss_rate=0.12
+        )
+        assert tlc.delivered_bytes > legacy.delivered_bytes

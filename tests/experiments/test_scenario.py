@@ -1,0 +1,146 @@
+"""Scenario runner: end-to-end charging cycles and scheme application."""
+
+import pytest
+
+from repro.experiments.scenario import (
+    APP_BUILDERS,
+    ChargingScheme,
+    ScenarioConfig,
+    charge_with_scheme,
+    run_scenario,
+)
+from repro.net.packet import Direction
+
+FAST = dict(cycle_duration=20.0)
+
+
+class TestConfig:
+    def test_unknown_app_rejected(self):
+        with pytest.raises(ValueError):
+            ScenarioConfig(app="nonexistent")
+
+    def test_direction_mapping(self):
+        assert ScenarioConfig(app="webcam-udp").direction is Direction.UPLINK
+        assert ScenarioConfig(app="vridge").direction is Direction.DOWNLINK
+
+    def test_all_apps_buildable(self):
+        assert set(APP_BUILDERS) == {
+            "webcam-rtsp",
+            "webcam-udp",
+            "vridge",
+            "gaming",
+        }
+
+
+class TestRunScenario:
+    def test_deterministic_for_seed(self):
+        a = run_scenario(ScenarioConfig(app="webcam-udp", seed=5, **FAST))
+        b = run_scenario(ScenarioConfig(app="webcam-udp", seed=5, **FAST))
+        assert a.truth.sent == b.truth.sent
+        assert a.legacy_charged == b.legacy_charged
+        assert a.edge_view == b.edge_view
+
+    def test_different_seeds_differ(self):
+        a = run_scenario(ScenarioConfig(app="webcam-udp", seed=5, **FAST))
+        b = run_scenario(ScenarioConfig(app="webcam-udp", seed=6, **FAST))
+        assert a.truth.sent != b.truth.sent
+
+    def test_truth_invariant_received_leq_sent(self):
+        for app in ("webcam-udp", "vridge", "gaming"):
+            result = run_scenario(ScenarioConfig(app=app, seed=2, **FAST))
+            assert result.truth.received <= result.truth.sent
+
+    def test_uplink_legacy_is_network_received(self):
+        result = run_scenario(
+            ScenarioConfig(app="webcam-udp", seed=3, **FAST)
+        )
+        assert result.legacy_charged == pytest.approx(
+            result.truth.received, rel=0.02
+        )
+
+    def test_downlink_legacy_is_sender_side(self):
+        result = run_scenario(ScenarioConfig(app="vridge", seed=3, **FAST))
+        assert result.legacy_charged == pytest.approx(
+            result.truth.sent, rel=0.02
+        )
+
+    def test_views_are_close_to_truth(self):
+        result = run_scenario(
+            ScenarioConfig(app="webcam-udp", seed=4, **FAST)
+        )
+        assert result.edge_view.sent_estimate == pytest.approx(
+            result.truth.sent, rel=0.15
+        )
+        assert result.operator_view.received_estimate == pytest.approx(
+            result.truth.received, rel=0.15
+        )
+
+    def test_congestion_increases_loss(self):
+        calm = run_scenario(
+            ScenarioConfig(app="vridge", seed=7, **FAST)
+        )
+        congested = run_scenario(
+            ScenarioConfig(
+                app="vridge", seed=7, background_bps=160e6, **FAST
+            )
+        )
+        assert (
+            congested.truth.loss / congested.truth.sent
+            > calm.truth.loss / calm.truth.sent
+        )
+
+    def test_intermittency_increases_loss(self):
+        steady = run_scenario(
+            ScenarioConfig(app="webcam-udp", seed=8, cycle_duration=60.0)
+        )
+        flaky = run_scenario(
+            ScenarioConfig(
+                app="webcam-udp",
+                seed=8,
+                cycle_duration=60.0,
+                disconnectivity_ratio=0.15,
+            )
+        )
+        assert flaky.truth.loss > steady.truth.loss
+        assert flaky.outage_time > 0
+
+
+class TestChargeWithScheme:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_scenario(
+            ScenarioConfig(app="webcam-udp", seed=9, cycle_duration=30.0)
+        )
+
+    def test_legacy_charges_gateway_volume(self, result):
+        outcome = charge_with_scheme(result, ChargingScheme.LEGACY)
+        assert outcome.charged == result.legacy_charged
+        assert outcome.rounds == 0
+
+    def test_optimal_beats_legacy(self, result):
+        legacy = charge_with_scheme(result, ChargingScheme.LEGACY)
+        optimal = charge_with_scheme(result, ChargingScheme.TLC_OPTIMAL)
+        assert optimal.absolute_gap < legacy.absolute_gap
+
+    def test_optimal_single_round(self, result):
+        outcome = charge_with_scheme(result, ChargingScheme.TLC_OPTIMAL)
+        assert outcome.rounds == 1
+        assert outcome.converged
+
+    def test_random_converges_with_bounded_gap(self, result):
+        outcome = charge_with_scheme(
+            result, ChargingScheme.TLC_RANDOM, seed=3
+        )
+        assert outcome.converged
+        assert outcome.gap_ratio < 0.25
+
+    def test_honest_matches_optimal_closely(self, result):
+        honest = charge_with_scheme(result, ChargingScheme.TLC_HONEST)
+        optimal = charge_with_scheme(result, ChargingScheme.TLC_OPTIMAL)
+        assert honest.charged == pytest.approx(optimal.charged, rel=0.01)
+
+    def test_gap_ratio_definition(self, result):
+        outcome = charge_with_scheme(result, ChargingScheme.TLC_OPTIMAL)
+        assert outcome.gap_ratio == pytest.approx(
+            outcome.absolute_gap / outcome.fair
+        )

@@ -1,0 +1,128 @@
+"""Full-stack integration: workload -> LTE -> monitors -> protocol ->
+verifier, with real crypto end to end."""
+
+import random
+
+import pytest
+
+from repro.charging.cycle import ChargingCycle
+from repro.core.plan import DataPlan
+from repro.core.protocol import NegotiationAgent, run_negotiation
+from repro.core.records import UsageView
+from repro.core.strategies import OptimalStrategy, Role
+from repro.core.verifier import PublicVerifier
+from repro.crypto.nonces import NonceFactory
+from repro.experiments.scenario import ScenarioConfig, run_scenario
+
+
+class TestFullPipeline:
+    @pytest.fixture(scope="class")
+    def cycle_result(self):
+        return run_scenario(
+            ScenarioConfig(
+                app="vridge",
+                seed=13,
+                cycle_duration=30.0,
+                background_bps=120e6,
+                disconnectivity_ratio=0.05,
+            )
+        )
+
+    def test_scenario_to_signed_poc_to_public_verification(
+        self, cycle_result, edge_keys, operator_keys
+    ):
+        """The paper's full loop: measure -> negotiate -> prove -> verify."""
+        plan = DataPlan(
+            cycle=ChargingCycle(
+                index=0, start=0.0, end=cycle_result.duration
+            ),
+            loss_weight=cycle_result.config.loss_weight,
+        )
+        nonce_factory = NonceFactory(random.Random(99))
+        edge = NegotiationAgent(
+            role=Role.EDGE,
+            strategy=OptimalStrategy(Role.EDGE, cycle_result.edge_view),
+            plan=plan,
+            private_key=edge_keys.private,
+            peer_public_key=operator_keys.public,
+            nonce_factory=nonce_factory,
+        )
+        operator = NegotiationAgent(
+            role=Role.OPERATOR,
+            strategy=OptimalStrategy(
+                Role.OPERATOR, cycle_result.operator_view
+            ),
+            plan=plan,
+            private_key=operator_keys.private,
+            peer_public_key=edge_keys.public,
+            nonce_factory=nonce_factory,
+        )
+        outcome = run_negotiation(operator, edge)
+        assert outcome.converged
+        assert outcome.rounds == 1
+
+        # The negotiated volume lands within the truth bounds (Theorem 2,
+        # up to monitor error) and near the fair volume (Theorem 3).
+        truth = cycle_result.truth
+        assert outcome.volume <= truth.sent * 1.05
+        assert outcome.volume >= truth.received * 0.93
+        assert outcome.volume == pytest.approx(
+            cycle_result.fair_volume, rel=0.10
+        )
+
+        # And the PoC convinces an independent verifier.
+        verifier = PublicVerifier()
+        result = verifier.verify(
+            outcome.poc.to_bytes(),
+            plan,
+            edge_keys.public,
+            operator_keys.public,
+        )
+        assert result.ok, result.reason
+
+    def test_tlc_beats_legacy_on_this_cycle(self, cycle_result):
+        from repro.experiments.scenario import (
+            ChargingScheme,
+            charge_with_scheme,
+        )
+
+        legacy = charge_with_scheme(cycle_result, ChargingScheme.LEGACY)
+        optimal = charge_with_scheme(
+            cycle_result, ChargingScheme.TLC_OPTIMAL
+        )
+        assert optimal.absolute_gap < legacy.absolute_gap
+
+
+class TestUsageViewsFeedProtocol:
+    def test_view_estimates_round_trip_through_wire_messages(
+        self, edge_keys, operator_keys
+    ):
+        view = UsageView(
+            sent_estimate=123_456_789.0, received_estimate=120_000_000.0
+        )
+        plan = DataPlan(
+            cycle=ChargingCycle(index=0, start=0.0, end=60.0),
+            loss_weight=0.25,
+        )
+        nonce_factory = NonceFactory(random.Random(1))
+        edge = NegotiationAgent(
+            role=Role.EDGE,
+            strategy=OptimalStrategy(Role.EDGE, view),
+            plan=plan,
+            private_key=edge_keys.private,
+            peer_public_key=operator_keys.public,
+            nonce_factory=nonce_factory,
+        )
+        operator = NegotiationAgent(
+            role=Role.OPERATOR,
+            strategy=OptimalStrategy(Role.OPERATOR, view),
+            plan=plan,
+            private_key=operator_keys.private,
+            peer_public_key=edge_keys.public,
+            nonce_factory=nonce_factory,
+        )
+        outcome = run_negotiation(edge, operator)
+        expected = view.received_estimate + 0.25 * (
+            view.sent_estimate - view.received_estimate
+        )
+        assert outcome.volume == pytest.approx(expected)

@@ -1,0 +1,132 @@
+"""Statistical soundness and scale tests for the substrates."""
+
+import random
+import statistics
+
+import pytest
+
+from repro.charging.cycle import CycleSchedule
+from repro.lte.gateway import ChargingGateway
+from repro.lte.identifiers import subscriber_imsi
+from repro.lte.ofcs import OfflineChargingSystem
+from repro.net.channel import ChannelConfig, WirelessChannel
+from repro.net.packet import Direction, Packet
+from repro.sim.events import EventLoop
+
+
+class TestChannelStatistics:
+    def test_outage_durations_match_configured_mean(self):
+        loop = EventLoop()
+        config = ChannelConfig.for_disconnectivity_ratio(
+            0.2, mean_outage=2.0, rss_dbm=-85.0, base_loss_rate=0.0
+        )
+        channel = WirelessChannel(loop, config, random.Random(11))
+        outages = []
+        started = {"t": None}
+
+        def on_state(connected):
+            if not connected:
+                started["t"] = loop.now
+            elif started["t"] is not None:
+                outages.append(loop.now - started["t"])
+                started["t"] = None
+
+        channel.on_state_change(on_state)
+        loop.run(until=5000.0)
+        assert len(outages) > 100
+        assert statistics.mean(outages) == pytest.approx(2.0, rel=0.2)
+
+    def test_loss_rate_statistically_matches_configuration(self):
+        loop = EventLoop()
+        config = ChannelConfig(
+            rss_dbm=-85.0, base_loss_rate=0.15, mean_uptime=float("inf")
+        )
+        channel = WirelessChannel(loop, config, random.Random(13))
+        n = 20_000
+        delivered = 0
+        channel.connect(lambda p: None)
+        for i in range(n):
+            if channel.send(
+                Packet(
+                    size=100, flow="f", direction=Direction.DOWNLINK, seq=i
+                )
+            ):
+                delivered += 1
+        observed_loss = 1 - delivered / n
+        assert observed_loss == pytest.approx(0.15, abs=0.01)
+
+
+class TestEventLoopScale:
+    def test_hundred_thousand_events_stay_ordered(self):
+        loop = EventLoop()
+        rng = random.Random(7)
+        times = sorted(rng.uniform(0, 1000) for _ in range(100_000))
+        seen = []
+        for t in rng.sample(times, len(times)):  # schedule out of order
+            loop.schedule_at(t, lambda t=t: seen.append(t))
+        loop.run()
+        assert seen == sorted(seen)
+        assert len(seen) == 100_000
+
+    def test_cascading_event_chains(self):
+        loop = EventLoop()
+        counter = {"n": 0}
+
+        def chain(remaining):
+            counter["n"] += 1
+            if remaining > 0:
+                loop.schedule_in(0.001, lambda: chain(remaining - 1))
+
+        loop.schedule_at(0.0, lambda: chain(9_999))
+        loop.run()
+        assert counter["n"] == 10_000
+
+
+class TestOfcsMultiCycle:
+    def test_usage_attributed_to_the_right_cycles(self):
+        loop = EventLoop()
+        gateway = ChargingGateway(
+            loop, subscriber_imsi(1), cdr_period=10.0
+        )
+        ofcs = OfflineChargingSystem()
+        gateway.on_cdr(ofcs.ingest)
+        schedule = CycleSchedule(origin=0.0, duration=60.0)
+
+        # 1 packet/s for 3 minutes: 60 KB per 60-s cycle.
+        for i in range(180):
+            loop.schedule_at(
+                i * 1.0,
+                lambda s=i: gateway.forward_downlink(
+                    Packet(
+                        size=1000,
+                        flow="f",
+                        direction=Direction.DOWNLINK,
+                        seq=s,
+                    )
+                ),
+            )
+        loop.run(until=200.0)
+
+        imsi = subscriber_imsi(1).digits
+        for index in range(3):
+            usage = ofcs.usage_in_cycle(imsi, schedule.cycle(index))
+            assert usage.downlink_bytes == pytest.approx(60_000, abs=11_000)
+        total = ofcs.usage_for(imsi)
+        assert total.downlink_bytes <= 180_000
+        assert ofcs.received_cdrs >= 15
+
+    def test_subscriber_listing(self):
+        loop = EventLoop()
+        ofcs = OfflineChargingSystem()
+        for index in (3, 1, 2):
+            gateway = ChargingGateway(
+                loop, subscriber_imsi(index), cdr_period=0.0
+            )
+            gateway.on_cdr(ofcs.ingest)
+            gateway.forward_downlink(
+                Packet(size=100, flow="f", direction=Direction.DOWNLINK)
+            )
+            gateway.flush_cdr()
+        assert ofcs.subscribers() == sorted(
+            subscriber_imsi(i).digits for i in (1, 2, 3)
+        )

@@ -1,0 +1,91 @@
+"""Bearers, QCI semantics, and the RRC connection state machine."""
+
+import pytest
+
+from repro.lte.bearer import QCI_DELAY_BUDGET, Bearer
+from repro.lte.identifiers import subscriber_imsi
+from repro.lte.rrc import (
+    BearerCount,
+    CounterCheckRequest,
+    CounterCheckResponse,
+    RrcConnection,
+    RrcState,
+)
+
+
+class TestBearer:
+    def test_default_bearer_is_qci9(self):
+        bearer = Bearer(imsi=subscriber_imsi(1))
+        assert bearer.qci == 9
+        assert bearer.is_default
+        assert not bearer.is_gbr
+
+    def test_gaming_bearer_qci7(self):
+        bearer = Bearer(imsi=subscriber_imsi(1), qci=7)
+        assert bearer.delay_budget == pytest.approx(0.100)
+        assert not bearer.is_gbr
+
+    def test_gbr_classes(self):
+        for qci in (1, 2, 3, 4):
+            assert Bearer(imsi=subscriber_imsi(1), qci=qci).is_gbr
+
+    def test_unknown_qci_rejected(self):
+        with pytest.raises(ValueError):
+            Bearer(imsi=subscriber_imsi(1), qci=10)
+
+    def test_bearer_ids_unique_and_start_at_5(self):
+        a = Bearer(imsi=subscriber_imsi(1))
+        b = Bearer(imsi=subscriber_imsi(1))
+        assert a.bearer_id != b.bearer_id
+        assert a.bearer_id >= 5
+
+    def test_qci_table_covers_standard_classes(self):
+        assert set(QCI_DELAY_BUDGET) == set(range(1, 10))
+
+
+class TestCounterCheckMessages:
+    def test_response_totals(self):
+        response = CounterCheckResponse(
+            transaction_id=1,
+            counts=(
+                BearerCount(bearer_id=5, uplink_bytes=100, downlink_bytes=200),
+                BearerCount(bearer_id=6, uplink_bytes=10, downlink_bytes=20),
+            ),
+        )
+        assert response.uplink_total() == 110
+        assert response.downlink_total() == 220
+
+    def test_request_carries_bearers(self):
+        request = CounterCheckRequest(transaction_id=3, bearer_ids=(5, 6))
+        assert request.bearer_ids == (5, 6)
+
+
+class TestRrcConnection:
+    def test_new_connection_is_connected(self):
+        conn = RrcConnection(imsi_digits="001", established_at=0.0)
+        assert conn.state is RrcState.CONNECTED
+
+    def test_touch_defers_release(self):
+        conn = RrcConnection(
+            imsi_digits="001", established_at=0.0, inactivity_timeout=10.0
+        )
+        conn.touch(8.0)
+        assert not conn.should_release(12.0)
+        assert conn.should_release(18.0)
+
+    def test_release_transitions_to_idle(self):
+        conn = RrcConnection(imsi_digits="001", established_at=0.0)
+        conn.release(5.0)
+        assert conn.state is RrcState.IDLE
+        assert conn.released_at == 5.0
+
+    def test_touch_after_release_raises(self):
+        conn = RrcConnection(imsi_digits="001", established_at=0.0)
+        conn.release(5.0)
+        with pytest.raises(ValueError):
+            conn.touch(6.0)
+
+    def test_idle_for(self):
+        conn = RrcConnection(imsi_digits="001", established_at=0.0)
+        conn.touch(3.0)
+        assert conn.idle_for(7.5) == pytest.approx(4.5)

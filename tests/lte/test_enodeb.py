@@ -1,0 +1,166 @@
+"""eNodeB: forwarding, RRC lifecycle, COUNTER CHECK, RLF detection."""
+
+import random
+
+import pytest
+
+from repro.lte.bearer import Bearer
+from repro.lte.enodeb import ENodeB
+from repro.lte.identifiers import subscriber_imsi
+from repro.lte.rrc import RrcState
+from repro.lte.ue import UserEquipment
+from repro.net.channel import ChannelConfig, WirelessChannel
+from repro.net.packet import Direction, Packet
+from repro.sim.events import EventLoop
+
+
+def build(loop, counter_check=True, inactivity=5.0, rlf=5.0, channel_kwargs=None):
+    imsi = subscriber_imsi(1)
+    ue = UserEquipment(imsi, Bearer(imsi=imsi))
+    kwargs = dict(
+        rss_dbm=-85.0,
+        base_loss_rate=0.0,
+        mean_uptime=float("inf"),
+        delay=0.001,
+    )
+    kwargs.update(channel_kwargs or {})
+    channel = WirelessChannel(
+        loop, ChannelConfig(**kwargs), random.Random(1)
+    )
+    enodeb = ENodeB(
+        loop,
+        ue,
+        channel,
+        inactivity_timeout=inactivity,
+        rlf_timeout=rlf,
+        counter_check_enabled=counter_check,
+    )
+    return ue, channel, enodeb
+
+
+def dl_packet(size=100, seq=0):
+    return Packet(size=size, flow="f", direction=Direction.DOWNLINK, seq=seq)
+
+
+def ul_packet(size=100, seq=0):
+    return Packet(size=size, flow="f", direction=Direction.UPLINK, seq=seq)
+
+
+class TestForwarding:
+    def test_downlink_reaches_ue(self):
+        loop = EventLoop()
+        ue, _channel, enodeb = build(loop)
+        enodeb.send_downlink(dl_packet(500))
+        loop.run(until=1.0)
+        assert ue.app_received_bytes == 500
+
+    def test_uplink_reaches_core_side(self):
+        loop = EventLoop()
+        ue, channel, enodeb = build(loop)
+        received = []
+        enodeb.connect_uplink(received.append)
+        ue.prepare_uplink(ul_packet(300))
+        channel.send(ul_packet(300))
+        loop.run(until=1.0)
+        assert len(received) == 1
+
+    def test_traffic_establishes_rrc_connection(self):
+        loop = EventLoop()
+        _ue, _channel, enodeb = build(loop)
+        assert enodeb.rrc_state is RrcState.IDLE
+        enodeb.send_downlink(dl_packet())
+        assert enodeb.rrc_state is RrcState.CONNECTED
+
+
+class TestRrcLifecycle:
+    def test_inactivity_releases_connection(self):
+        loop = EventLoop()
+        _ue, _channel, enodeb = build(loop, inactivity=3.0)
+        enodeb.send_downlink(dl_packet())
+        loop.run(until=10.0)
+        assert enodeb.rrc_state is RrcState.IDLE
+        assert enodeb.releases == 1
+
+    def test_counter_check_runs_before_release(self):
+        loop = EventLoop()
+        ue, _channel, enodeb = build(loop, inactivity=3.0)
+        reports = []
+        enodeb.on_counter_report(lambda imsi, r: reports.append(r))
+        enodeb.send_downlink(dl_packet(400))
+        loop.run(until=10.0)
+        assert len(reports) == 1
+        assert reports[0].downlink_total() == 400
+        del ue
+
+    def test_counter_check_disabled_skips_reports(self):
+        loop = EventLoop()
+        _ue, _channel, enodeb = build(loop, counter_check=False, inactivity=3.0)
+        reports = []
+        enodeb.on_counter_report(lambda imsi, r: reports.append(r))
+        enodeb.send_downlink(dl_packet())
+        loop.run(until=10.0)
+        assert enodeb.rrc_state is RrcState.IDLE
+        assert reports == []
+
+    def test_counter_check_messages_bounded_by_releases(self):
+        # §5.4: "the additional RRC COUNTER CHECK messages invoked by TLC
+        # will be bounded by the number of RRC connection releases".
+        loop = EventLoop()
+        _ue, _channel, enodeb = build(loop, inactivity=2.0)
+        for i in range(3):
+            loop.schedule_at(
+                i * 10.0, lambda s=i: enodeb.send_downlink(dl_packet(seq=s))
+            )
+        loop.run(until=40.0)
+        assert enodeb.releases == 3
+        assert enodeb.counter_check_messages == enodeb.releases
+
+    def test_activity_keeps_connection_alive(self):
+        loop = EventLoop()
+        _ue, _channel, enodeb = build(loop, inactivity=5.0)
+        for i in range(20):
+            loop.schedule_at(
+                i * 1.0, lambda s=i: enodeb.send_downlink(dl_packet(seq=s))
+            )
+        loop.run(until=19.5)
+        assert enodeb.rrc_state is RrcState.CONNECTED
+        assert enodeb.releases == 0
+
+
+class TestRadioLinkFailure:
+    def test_long_outage_reports_rlf(self):
+        loop = EventLoop()
+        _ue, channel, enodeb = build(
+            loop, rlf=5.0, channel_kwargs={"mean_outage": 10_000.0}
+        )
+        failures = []
+        enodeb.on_radio_link_failure(failures.append)
+        channel._go_down()
+        loop.run(until=8.0)
+        assert failures, "RLF should fire after 5 s of outage"
+        assert enodeb.rlf_events >= 1
+
+    def test_short_outage_is_invisible(self):
+        # §3.2: the core "cannot tackle the gaps from the <5s
+        # disconnectivity" — no RLF below the threshold.
+        loop = EventLoop()
+        _ue, channel, enodeb = build(
+            loop, rlf=5.0, channel_kwargs={"mean_outage": 10_000.0}
+        )
+        failures = []
+        enodeb.on_radio_link_failure(failures.append)
+        channel._go_down()
+        loop.schedule_at(3.0, channel._go_up)
+        loop.run(until=10.0)
+        assert failures == []
+
+    def test_release_during_outage_skips_counter_check(self):
+        loop = EventLoop()
+        _ue, channel, enodeb = build(
+            loop, inactivity=2.0, channel_kwargs={"mean_outage": 10_000.0}
+        )
+        enodeb.send_downlink(dl_packet())
+        channel._go_down()
+        loop.run(until=6.0)
+        assert enodeb.rrc_state is RrcState.IDLE
+        assert enodeb.counter_check_messages == 0

@@ -1,0 +1,137 @@
+"""Charging gateway: metering points, detach behaviour, CDR emission."""
+
+import pytest
+
+from repro.lte.gateway import ChargingGateway
+from repro.lte.identifiers import subscriber_imsi
+from repro.lte.ofcs import OfflineChargingSystem
+from repro.net.packet import Direction, Packet
+from repro.sim.events import EventLoop
+
+
+def dl_packet(size=100, seq=0):
+    return Packet(size=size, flow="f", direction=Direction.DOWNLINK, seq=seq)
+
+
+def ul_packet(size=100, seq=0):
+    return Packet(size=size, flow="f", direction=Direction.UPLINK, seq=seq)
+
+
+def build(loop, cdr_period=0.0):
+    return ChargingGateway(loop, subscriber_imsi(1), cdr_period=cdr_period)
+
+
+class TestMetering:
+    def test_downlink_charged_on_forward(self):
+        loop = EventLoop()
+        gw = build(loop)
+        gw.forward_downlink(dl_packet(500))
+        assert gw.charged_downlink_bytes == 500
+        assert gw.charged_uplink_bytes == 0
+
+    def test_uplink_charged_on_arrival(self):
+        loop = EventLoop()
+        gw = build(loop)
+        gw.forward_uplink(ul_packet(300))
+        assert gw.charged_uplink_bytes == 300
+
+    def test_downlink_charged_even_if_dropped_later(self):
+        # The structural root of the gap: the gateway meters BEFORE the
+        # RAN; what happens downstream cannot un-charge the bytes.
+        loop = EventLoop()
+        gw = build(loop)
+        dropped = []
+        gw.connect_downlink(lambda p: dropped.append(p))  # "the RAN"
+        gw.forward_downlink(dl_packet(1000))
+        dropped.clear()  # the RAN lost it
+        assert gw.charged_downlink_bytes == 1000
+
+    def test_direction_mismatch_rejected(self):
+        loop = EventLoop()
+        gw = build(loop)
+        with pytest.raises(ValueError):
+            gw.forward_downlink(ul_packet())
+        with pytest.raises(ValueError):
+            gw.forward_uplink(dl_packet())
+
+
+class TestDetach:
+    def test_detached_gateway_blocks_and_does_not_charge(self):
+        loop = EventLoop()
+        gw = build(loop)
+        gw.detach()
+        forwarded = []
+        gw.connect_downlink(forwarded.append)
+        assert gw.forward_downlink(dl_packet(1000)) is False
+        assert gw.charged_downlink_bytes == 0
+        assert gw.blocked_packets == 1
+        assert forwarded == []
+
+    def test_reattach_resumes_charging(self):
+        loop = EventLoop()
+        gw = build(loop)
+        gw.detach()
+        gw.forward_downlink(dl_packet(1000))
+        gw.attach()
+        gw.forward_downlink(dl_packet(1000))
+        assert gw.charged_downlink_bytes == 1000
+
+
+class TestCdrEmission:
+    def test_flush_emits_interval_usage(self):
+        loop = EventLoop()
+        gw = build(loop)
+        records = []
+        gw.on_cdr(records.append)
+        gw.forward_downlink(dl_packet(700))
+        gw.forward_uplink(ul_packet(50))
+        cdr = gw.flush_cdr()
+        assert cdr is not None
+        assert cdr.downlink_bytes == 700
+        assert cdr.uplink_bytes == 50
+        assert records == [cdr]
+
+    def test_flush_without_usage_emits_nothing(self):
+        loop = EventLoop()
+        gw = build(loop)
+        assert gw.flush_cdr() is None
+
+    def test_interval_resets_after_flush(self):
+        loop = EventLoop()
+        gw = build(loop)
+        gw.forward_downlink(dl_packet(700))
+        gw.flush_cdr()
+        gw.forward_downlink(dl_packet(100))
+        cdr = gw.flush_cdr()
+        assert cdr.downlink_bytes == 100
+
+    def test_sequence_numbers_increase(self):
+        loop = EventLoop()
+        gw = build(loop)
+        gw.forward_downlink(dl_packet())
+        first = gw.flush_cdr()
+        gw.forward_downlink(dl_packet())
+        second = gw.flush_cdr()
+        assert second.sequence_number == first.sequence_number + 1
+
+    def test_periodic_emission(self):
+        loop = EventLoop()
+        gw = ChargingGateway(loop, subscriber_imsi(1), cdr_period=10.0)
+        ofcs = OfflineChargingSystem()
+        gw.on_cdr(ofcs.ingest)
+        for i in range(5):
+            loop.schedule_at(
+                i * 5.0, lambda s=i: gw.forward_downlink(dl_packet(seq=s))
+            )
+        loop.run(until=60.0)
+        assert ofcs.received_cdrs >= 2
+        usage = ofcs.usage_for(subscriber_imsi(1).digits)
+        assert usage.downlink_bytes == 500
+
+    def test_cumulative_totals_survive_flushes(self):
+        loop = EventLoop()
+        gw = build(loop)
+        gw.forward_downlink(dl_packet(700))
+        gw.flush_cdr()
+        gw.forward_downlink(dl_packet(300))
+        assert gw.charged_downlink_bytes == 1000

@@ -1,0 +1,163 @@
+"""Handover machinery and its charging semantics."""
+
+import random
+
+import pytest
+
+from repro.lte.bearer import Bearer
+from repro.lte.enodeb import ENodeB
+from repro.lte.handover import HandoverConfig, HandoverManager
+from repro.lte.identifiers import subscriber_imsi
+from repro.lte.ue import UserEquipment
+from repro.net.channel import ChannelConfig, WirelessChannel
+from repro.net.packet import Direction, Packet
+from repro.sim.events import EventLoop
+
+
+def build(loop, buffer_packets=4):
+    imsi = subscriber_imsi(1)
+    ue = UserEquipment(imsi, Bearer(imsi=imsi))
+    channel = WirelessChannel(
+        loop,
+        ChannelConfig(
+            rss_dbm=-85.0,
+            base_loss_rate=0.0,
+            mean_uptime=float("inf"),
+            buffer_packets=buffer_packets,
+            delay=0.001,
+        ),
+        random.Random(1),
+    )
+    enodeb = ENodeB(loop, ue, channel, inactivity_timeout=1000.0)
+    return ue, channel, enodeb
+
+
+def dl_packet(seq=0, size=1000):
+    return Packet(size=size, flow="f", direction=Direction.DOWNLINK, seq=seq)
+
+
+class TestChannelInterrupt:
+    def test_interrupt_takes_channel_down_then_up(self):
+        loop = EventLoop()
+        _ue, channel, _enb = build(loop)
+        channel.interrupt(0.5)
+        assert not channel.connected
+        loop.run(until=1.0)
+        assert channel.connected
+        assert channel.total_outage_time == pytest.approx(0.5)
+
+    def test_interrupt_while_down_is_noop(self):
+        loop = EventLoop()
+        _ue, channel, _enb = build(loop)
+        channel.interrupt(1.0)
+        channel.interrupt(1.0)  # second one ignored
+        loop.run(until=2.0)
+        assert channel.connected
+        assert channel.total_outage_time == pytest.approx(1.0)
+
+    def test_invalid_duration_rejected(self):
+        loop = EventLoop()
+        _ue, channel, _enb = build(loop)
+        with pytest.raises(ValueError):
+            channel.interrupt(0.0)
+
+    def test_packets_beyond_buffer_lost_during_interrupt(self):
+        loop = EventLoop()
+        ue, channel, enodeb = build(loop, buffer_packets=2)
+        channel.interrupt(1.0)
+        for i in range(10):
+            enodeb.send_downlink(dl_packet(seq=i))
+        loop.run(until=2.0)
+        # 2 buffered + flushed on reconnect; 8 lost over the air.
+        assert ue.app_received_bytes == 2000
+        assert channel.dropped_packets == 8
+
+
+class TestHandoverConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HandoverConfig(mean_interval=0.0)
+        with pytest.raises(ValueError):
+            HandoverConfig(interruption=0.0)
+
+
+class TestHandoverManager:
+    def test_handovers_occur_at_configured_rate(self):
+        loop = EventLoop()
+        _ue, _channel, enodeb = build(loop)
+        manager = HandoverManager(
+            loop,
+            enodeb,
+            HandoverConfig(mean_interval=2.0, interruption=0.05),
+            random.Random(3),
+        )
+        loop.run(until=60.0)
+        assert 15 <= manager.handover_count <= 50
+
+    def test_each_handover_runs_counter_check(self):
+        # §5.4's bound: one COUNTER CHECK per connection release; every
+        # handover is a release.
+        loop = EventLoop()
+        _ue, _channel, enodeb = build(loop)
+        enodeb.send_downlink(dl_packet())  # establish the connection
+        manager = HandoverManager(
+            loop,
+            enodeb,
+            HandoverConfig(mean_interval=2.0, interruption=0.05),
+            random.Random(3),
+        )
+
+        # Keep the connection active between handovers.
+        def keep_alive(i=0):
+            enodeb.send_downlink(dl_packet(seq=i))
+            loop.schedule_in(0.5, lambda: keep_alive(i + 1))
+
+        keep_alive()
+        loop.run(until=20.0)
+        assert enodeb.counter_check_messages >= manager.handover_count * 0.8
+
+    def test_stop_halts_handovers(self):
+        loop = EventLoop()
+        _ue, _channel, enodeb = build(loop)
+        manager = HandoverManager(
+            loop,
+            enodeb,
+            HandoverConfig(mean_interval=1.0, interruption=0.05),
+            random.Random(3),
+        )
+        loop.run(until=5.0)
+        manager.stop()
+        count = manager.handover_count
+        loop.run(until=20.0)
+        assert manager.handover_count == count
+
+    def test_inactive_manager_never_fires(self):
+        loop = EventLoop()
+        _ue, _channel, enodeb = build(loop)
+        manager = HandoverManager(
+            loop,
+            enodeb,
+            HandoverConfig(mean_interval=1.0, interruption=0.05),
+            random.Random(3),
+            active=False,
+        )
+        loop.run(until=10.0)
+        assert manager.handover_count == 0
+
+    def test_handover_loses_inflight_downlink_bytes(self):
+        loop = EventLoop()
+        ue, channel, enodeb = build(loop, buffer_packets=1)
+        manager = HandoverManager(
+            loop,
+            enodeb,
+            HandoverConfig(mean_interval=1.0, interruption=0.200),
+            random.Random(3),
+        )
+        for i in range(600):
+            loop.schedule_at(
+                i * 0.05, lambda s=i: enodeb.send_downlink(dl_packet(seq=s))
+            )
+        loop.run(until=31.0)
+        assert manager.handover_count > 10
+        assert ue.app_received_bytes < 600_000
+        assert channel.dropped_packets > 0

@@ -1,0 +1,62 @@
+"""IMSI encoding."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.lte.identifiers import Imsi, subscriber_imsi
+
+
+class TestImsi:
+    def test_valid_imsi(self):
+        imsi = Imsi("001011234567895")
+        assert imsi.mcc == "001"
+        assert imsi.mnc == "01"
+
+    def test_non_digits_rejected(self):
+        with pytest.raises(ValueError):
+            Imsi("00101123456789X")
+
+    def test_too_long_rejected(self):
+        with pytest.raises(ValueError):
+            Imsi("0" * 16)
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            Imsi("12345")
+
+    def test_tbcd_nibble_swap(self):
+        # "001011..." encodes pairwise-swapped: 00 -> 0x00, 10 -> 0x01 ...
+        imsi = Imsi("001011")
+        assert imsi.to_tbcd() == bytes([0x00, 0x01, 0x11])
+
+    def test_tbcd_odd_length_padded_with_f(self):
+        imsi = Imsi("0010112345678")  # 13 digits
+        encoded = imsi.to_tbcd()
+        assert encoded[-1] >> 4 == 0xF
+
+    def test_tbcd_roundtrip(self):
+        imsi = Imsi("001011234567895")
+        assert Imsi.from_tbcd(imsi.to_tbcd()) == imsi
+
+    @given(st.text(alphabet="0123456789", min_size=6, max_size=15))
+    def test_tbcd_roundtrip_property(self, digits):
+        imsi = Imsi(digits)
+        assert Imsi.from_tbcd(imsi.to_tbcd()).digits == digits
+
+    def test_str(self):
+        assert str(Imsi("001011234567895")) == "001011234567895"
+
+
+class TestTestImsi:
+    def test_is_fifteen_digits_in_test_network(self):
+        imsi = subscriber_imsi(42)
+        assert len(imsi.digits) == 15
+        assert imsi.mcc == "001"
+
+    def test_distinct_indices_distinct_imsis(self):
+        assert subscriber_imsi(1) != subscriber_imsi(2)
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            subscriber_imsi(-1)

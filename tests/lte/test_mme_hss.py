@@ -1,0 +1,124 @@
+"""MME attach/detach and HSS provisioning."""
+
+import random
+
+import pytest
+
+from repro.charging.policy import ChargingPolicy
+from repro.lte.gateway import ChargingGateway
+from repro.lte.hss import (
+    HomeSubscriberServer,
+    SubscriberNotProvisioned,
+    SubscriptionProfile,
+)
+from repro.lte.identifiers import subscriber_imsi
+from repro.lte.mme import AttachState, MobilityManagementEntity
+from repro.net.channel import ChannelConfig, WirelessChannel
+from repro.sim.events import EventLoop
+
+
+def build(loop, provisioned=True):
+    imsi = subscriber_imsi(1)
+    hss = HomeSubscriberServer()
+    if provisioned:
+        hss.provision(
+            SubscriptionProfile(imsi=imsi, policy=ChargingPolicy())
+        )
+    gateway = ChargingGateway(loop, imsi, cdr_period=0.0)
+    channel = WirelessChannel(
+        loop,
+        ChannelConfig(
+            rss_dbm=-85.0,
+            base_loss_rate=0.0,
+            mean_uptime=float("inf"),
+            mean_outage=10_000.0,
+        ),
+        random.Random(1),
+    )
+    mme = MobilityManagementEntity(
+        loop, hss, gateway, channel, reattach_delay=0.5
+    )
+    return imsi, hss, gateway, channel, mme
+
+
+class TestHss:
+    def test_lookup_returns_profile(self):
+        loop = EventLoop()
+        imsi, hss, *_ = build(loop)
+        assert hss.lookup(imsi).imsi == imsi
+
+    def test_lookup_unknown_raises(self):
+        hss = HomeSubscriberServer()
+        with pytest.raises(SubscriberNotProvisioned):
+            hss.lookup("001019999999999")
+
+    def test_is_provisioned(self):
+        loop = EventLoop()
+        imsi, hss, *_ = build(loop)
+        assert hss.is_provisioned(imsi)
+        assert not hss.is_provisioned("001010000000099")
+
+    def test_len_counts_profiles(self):
+        loop = EventLoop()
+        _, hss, *_ = build(loop)
+        assert len(hss) == 1
+
+
+class TestMme:
+    def test_attach_activates_gateway(self):
+        loop = EventLoop()
+        imsi, _hss, gateway, _channel, mme = build(loop)
+        gateway.detach()
+        mme.attach(imsi.digits)
+        assert mme.state is AttachState.ATTACHED
+        assert gateway.attached
+
+    def test_attach_unprovisioned_raises(self):
+        loop = EventLoop()
+        imsi, _hss, _gateway, _channel, mme = build(loop, provisioned=False)
+        with pytest.raises(SubscriberNotProvisioned):
+            mme.attach(imsi.digits)
+
+    def test_detach_deactivates_gateway(self):
+        loop = EventLoop()
+        imsi, _hss, gateway, _channel, mme = build(loop)
+        mme.attach(imsi.digits)
+        mme.detach(imsi.digits)
+        assert mme.state is AttachState.DETACHED
+        assert not gateway.attached
+
+    def test_rlf_triggers_detach(self):
+        loop = EventLoop()
+        imsi, _hss, gateway, _channel, mme = build(loop)
+        mme.attach(imsi.digits)
+        mme.handle_radio_link_failure(imsi.digits)
+        assert mme.state is AttachState.DETACHED
+        assert not gateway.attached
+
+    def test_reattach_after_coverage_returns(self):
+        loop = EventLoop()
+        imsi, _hss, gateway, channel, mme = build(loop)
+        mme.attach(imsi.digits)
+        channel._go_down()
+        mme.handle_radio_link_failure(imsi.digits)
+        assert mme.state is AttachState.DETACHED
+        channel._go_up()
+        loop.run(until=2.0)
+        assert mme.state is AttachState.ATTACHED
+        assert gateway.attached
+
+    def test_attach_is_idempotent(self):
+        loop = EventLoop()
+        imsi, _hss, _gateway, _channel, mme = build(loop)
+        mme.attach(imsi.digits)
+        mme.attach(imsi.digits)
+        assert mme.attach_count == 1
+
+    def test_state_change_listeners_fire(self):
+        loop = EventLoop()
+        imsi, _hss, _gateway, _channel, mme = build(loop)
+        states = []
+        mme.on_state_change(states.append)
+        mme.attach(imsi.digits)
+        mme.detach(imsi.digits)
+        assert states == [AttachState.ATTACHED, AttachState.DETACHED]

@@ -1,0 +1,174 @@
+"""The assembled LTE network: end-to-end metering semantics."""
+
+import random
+
+import pytest
+
+from repro.lte.network import LteNetwork, LteNetworkConfig
+from repro.net.channel import ChannelConfig
+from repro.net.congestion import CongestionConfig
+from repro.net.packet import Direction, Packet
+from repro.sim.events import EventLoop
+from repro.sim.rng import RngStreams
+
+
+def build(loop, seed=1, **config_kwargs):
+    defaults = dict(
+        channel=ChannelConfig(
+            rss_dbm=-85.0,
+            base_loss_rate=0.0,
+            mean_uptime=float("inf"),
+            delay=0.005,
+        ),
+        congestion=CongestionConfig(background_bps=0.0),
+    )
+    defaults.update(config_kwargs)
+    return LteNetwork(loop, LteNetworkConfig(**defaults), RngStreams(seed))
+
+
+def dl_packet(size=1000, seq=0):
+    return Packet(size=size, flow="vr", direction=Direction.DOWNLINK, seq=seq)
+
+
+def ul_packet(size=1000, seq=0):
+    return Packet(size=size, flow="cam", direction=Direction.UPLINK, seq=seq)
+
+
+class TestLosslessPath:
+    def test_downlink_end_to_end(self):
+        loop = EventLoop()
+        network = build(loop)
+        received = []
+        network.connect_device_app(received.append)
+        for i in range(10):
+            network.send_downlink(dl_packet(seq=i))
+        loop.run(until=2.0)
+        assert len(received) == 10
+        assert network.true_downlink_sent() == 10_000
+        assert network.true_downlink_received() == 10_000
+        assert network.legacy_charged(Direction.DOWNLINK) == 10_000
+
+    def test_uplink_end_to_end(self):
+        loop = EventLoop()
+        network = build(loop)
+        received = []
+        network.connect_server_app(received.append)
+        for i in range(10):
+            network.send_uplink(ul_packet(seq=i))
+        loop.run(until=2.0)
+        assert len(received) == 10
+        assert network.true_uplink_sent() == 10_000
+        assert network.true_uplink_received() == 10_000
+
+    def test_direction_validation(self):
+        loop = EventLoop()
+        network = build(loop)
+        with pytest.raises(ValueError):
+            network.send_downlink(ul_packet())
+        with pytest.raises(ValueError):
+            network.send_uplink(dl_packet())
+
+
+class TestMeteringAsymmetry:
+    """The structural cause of the charging gap (§3.1)."""
+
+    def test_downlink_loss_is_still_charged(self):
+        loop = EventLoop()
+        network = build(
+            loop,
+            channel=ChannelConfig(
+                rss_dbm=-85.0,
+                base_loss_rate=0.5,
+                mean_uptime=float("inf"),
+            ),
+        )
+        for i in range(500):
+            network.send_downlink(dl_packet(seq=i))
+        loop.run(until=5.0)
+        charged = network.legacy_charged(Direction.DOWNLINK)
+        delivered = network.true_downlink_received()
+        assert charged == 500_000  # all of it: metered before the air
+        assert delivered < charged  # but much was never delivered
+
+    def test_uplink_loss_is_not_charged(self):
+        loop = EventLoop()
+        network = build(
+            loop,
+            channel=ChannelConfig(
+                rss_dbm=-85.0,
+                base_loss_rate=0.5,
+                mean_uptime=float("inf"),
+            ),
+        )
+        for i in range(500):
+            network.send_uplink(ul_packet(seq=i))
+        loop.run(until=5.0)
+        charged = network.legacy_charged(Direction.UPLINK)
+        sent = network.true_uplink_sent()
+        assert sent == 500_000
+        assert charged < sent  # lost over the air before the gateway
+
+    def test_sent_always_geq_received(self):
+        loop = EventLoop()
+        network = build(
+            loop,
+            channel=ChannelConfig(
+                rss_dbm=-100.0,
+                base_loss_rate=0.1,
+                mean_uptime=float("inf"),
+            ),
+        )
+        for i in range(300):
+            network.send_downlink(dl_packet(seq=i))
+            network.send_uplink(ul_packet(seq=i))
+        loop.run(until=5.0)
+        assert (
+            network.true_downlink_received()
+            <= network.true_downlink_sent()
+        )
+        assert network.true_uplink_received() <= network.true_uplink_sent()
+
+
+class TestModemCountersMatchDelivery:
+    def test_rrc_counter_equals_device_received(self):
+        loop = EventLoop()
+        network = build(
+            loop,
+            channel=ChannelConfig(
+                rss_dbm=-85.0,
+                base_loss_rate=0.3,
+                mean_uptime=float("inf"),
+            ),
+        )
+        for i in range(300):
+            network.send_downlink(dl_packet(seq=i))
+        loop.run(until=5.0)
+        response = network.enodeb.run_counter_check()
+        assert response.downlink_total() == network.true_downlink_received()
+
+
+class TestDetachPath:
+    def test_rlf_detach_stops_charging(self):
+        loop = EventLoop()
+        network = build(
+            loop,
+            channel=ChannelConfig(
+                rss_dbm=-85.0,
+                base_loss_rate=0.0,
+                mean_uptime=float("inf"),
+                mean_outage=10_000.0,
+            ),
+            rlf_timeout=3.0,
+        )
+        network.channel._go_down()
+        # Traffic keeps arriving at the gateway throughout the outage.
+        for i in range(200):
+            loop.schedule_at(
+                i * 0.05, lambda s=i: network.send_downlink(dl_packet(seq=s))
+            )
+        loop.run(until=10.0)
+        charged = network.legacy_charged(Direction.DOWNLINK)
+        # Only the pre-RLF traffic (~4 s worth) is charged, not all 10 s.
+        assert charged < 200_000
+        assert network.gateway.blocked_packets > 0
+        assert network.enodeb.rlf_events >= 1

@@ -1,0 +1,97 @@
+"""SLA middlebox integrated into the downlink chain (§3.1 cause 5)."""
+
+import pytest
+
+from repro.lte.network import LteNetwork, LteNetworkConfig
+from repro.net.channel import ChannelConfig
+from repro.net.congestion import CongestionConfig
+from repro.net.packet import Direction, Packet
+from repro.sim.events import EventLoop
+from repro.sim.rng import RngStreams
+
+
+def build(loop, sla_budget=None, background_bps=0.0, seed=1):
+    return LteNetwork(
+        loop,
+        LteNetworkConfig(
+            channel=ChannelConfig(
+                rss_dbm=-85.0,
+                base_loss_rate=0.0,
+                mean_uptime=float("inf"),
+                delay=0.005,
+            ),
+            congestion=CongestionConfig(background_bps=background_bps),
+            sla_budget=sla_budget,
+        ),
+        RngStreams(seed),
+    )
+
+
+def dl_packet(loop, seq=0, size=1000):
+    return Packet(
+        size=size,
+        flow="vr",
+        direction=Direction.DOWNLINK,
+        seq=seq,
+        created_at=loop.now,
+    )
+
+
+class TestSlaIntegration:
+    def test_disabled_by_default(self):
+        loop = EventLoop()
+        network = build(loop)
+        assert network.sla is None
+
+    def test_fresh_traffic_passes(self):
+        loop = EventLoop()
+        network = build(loop, sla_budget=0.100)
+        received = []
+        network.connect_device_app(received.append)
+        for i in range(50):
+            loop.schedule_at(
+                i * 0.01,
+                lambda s=i: network.send_downlink(dl_packet(loop, seq=s)),
+            )
+        loop.run(until=2.0)
+        assert len(received) == 50
+        assert network.sla.dropped_packets == 0
+
+    def test_congested_queue_delay_triggers_sla_drops(self):
+        loop = EventLoop()
+        # Saturated cell: ~0.2 s queueing, against a 50 ms budget.
+        network = build(
+            loop, sla_budget=0.050, background_bps=160e6, seed=4
+        )
+        received = []
+        network.connect_device_app(received.append)
+        n = 400
+        for i in range(n):
+            loop.schedule_at(
+                i * 0.01,
+                lambda s=i: network.send_downlink(dl_packet(loop, seq=s)),
+            )
+        loop.run(until=10.0)
+        assert network.sla.dropped_packets > 0
+        assert len(received) < n
+
+    def test_sla_drops_are_still_charged(self):
+        # The charging-gap point: shed frames were metered upstream.
+        loop = EventLoop()
+        network = build(
+            loop, sla_budget=0.050, background_bps=160e6, seed=4
+        )
+        n = 400
+        for i in range(n):
+            loop.schedule_at(
+                i * 0.01,
+                lambda s=i: network.send_downlink(dl_packet(loop, seq=s)),
+            )
+        loop.run(until=10.0)
+        charged = network.legacy_charged(Direction.DOWNLINK)
+        delivered = network.true_downlink_received()
+        assert charged > delivered
+        assert (
+            charged - delivered
+            >= network.sla.dropped_bytes
+        )

@@ -1,0 +1,183 @@
+"""Online charging: prepaid credit control."""
+
+import pytest
+
+from repro.lte.gateway import ChargingGateway
+from repro.lte.identifiers import subscriber_imsi
+from repro.lte.ocs import (
+    CreditError,
+    CreditSessionState,
+    OnlineChargingSystem,
+    PrepaidEnforcer,
+)
+from repro.net.packet import Direction, Packet
+from repro.sim.events import EventLoop
+
+IMSI = "001010000000001"
+MB = 1_000_000
+
+
+def make_ocs(balance=10 * MB, chunk=1 * MB):
+    ocs = OnlineChargingSystem(default_grant_bytes=chunk)
+    ocs.provision_balance(IMSI, balance)
+    return ocs
+
+
+class TestProvisioning:
+    def test_balance_query(self):
+        ocs = make_ocs(balance=5 * MB)
+        assert ocs.balance_of(IMSI) == 5 * MB
+
+    def test_unknown_subscriber_has_zero_balance(self):
+        assert OnlineChargingSystem().balance_of("001019999999999") == 0
+
+    def test_negative_balance_rejected(self):
+        with pytest.raises(ValueError):
+            OnlineChargingSystem().provision_balance(IMSI, -1)
+
+    def test_invalid_chunk_rejected(self):
+        with pytest.raises(ValueError):
+            OnlineChargingSystem(default_grant_bytes=0)
+
+
+class TestSessionLifecycle:
+    def test_open_grants_first_chunk(self):
+        ocs = make_ocs()
+        session = ocs.open_session(IMSI)
+        assert session.granted_bytes == 1 * MB
+        assert ocs.balance_of(IMSI) == 9 * MB
+        assert session.state is CreditSessionState.OPEN
+
+    def test_double_open_rejected(self):
+        ocs = make_ocs()
+        ocs.open_session(IMSI)
+        with pytest.raises(CreditError):
+            ocs.open_session(IMSI)
+
+    def test_open_without_balance_rejected(self):
+        ocs = OnlineChargingSystem()
+        with pytest.raises(CreditError):
+            ocs.open_session(IMSI)
+
+    def test_close_refunds_unused_grant(self):
+        ocs = make_ocs()
+        session = ocs.open_session(IMSI)
+        ocs.report_usage(session, 300_000)
+        refund = ocs.close_session(session)
+        assert refund == 700_000
+        assert ocs.balance_of(IMSI) == 9 * MB + 700_000
+        assert session.state is CreditSessionState.CLOSED
+
+    def test_operations_on_closed_session_rejected(self):
+        ocs = make_ocs()
+        session = ocs.open_session(IMSI)
+        ocs.close_session(session)
+        with pytest.raises(CreditError):
+            ocs.report_usage(session, 1)
+        with pytest.raises(CreditError):
+            ocs.close_session(session)
+
+
+class TestCreditDrawdown:
+    def test_usage_within_grant_is_fine(self):
+        ocs = make_ocs()
+        session = ocs.open_session(IMSI)
+        assert ocs.report_usage(session, 900_000) is True
+        assert session.remaining_grant == 100_000
+
+    def test_exceeding_grant_fetches_more(self):
+        ocs = make_ocs()
+        session = ocs.open_session(IMSI)
+        assert ocs.report_usage(session, 1_500_000) is True
+        assert session.granted_bytes == 2 * MB
+        assert ocs.balance_of(IMSI) == 8 * MB
+
+    def test_exhausted_balance_denies_service(self):
+        ocs = make_ocs(balance=2 * MB)
+        session = ocs.open_session(IMSI)
+        assert ocs.report_usage(session, 1_500_000) is True  # second grant
+        assert ocs.report_usage(session, 1_000_000) is False  # dry
+        assert session.state is CreditSessionState.EXHAUSTED
+        assert ocs.denied_requests >= 1
+
+    def test_partial_final_grant(self):
+        # Balance smaller than a chunk: the grant shrinks to fit.
+        ocs = make_ocs(balance=400_000, chunk=1 * MB)
+        session = ocs.open_session(IMSI)
+        assert session.granted_bytes == 400_000
+        assert ocs.balance_of(IMSI) == 0
+
+    def test_negative_usage_rejected(self):
+        ocs = make_ocs()
+        session = ocs.open_session(IMSI)
+        with pytest.raises(ValueError):
+            ocs.report_usage(session, -1)
+
+    def test_gap_drains_prepaid_balance(self):
+        # The online-charging face of the charging gap: the gateway
+        # draws credit for every forwarded byte, delivered or not, so a
+        # lossy leg burns the prepaid balance faster than the user's
+        # own accounting suggests.
+        ocs_honest = make_ocs(balance=5 * MB)
+        ocs_gapped = make_ocs(balance=5 * MB)
+        honest = ocs_honest.open_session(IMSI)
+        gapped = ocs_gapped.open_session(IMSI)
+        delivered = 3 * MB
+        loss = 600_000  # charged-but-lost bytes
+        ocs_honest.report_usage(honest, delivered)
+        ocs_gapped.report_usage(gapped, delivered + loss)
+        ocs_honest.close_session(honest)
+        ocs_gapped.close_session(gapped)
+        assert (
+            ocs_honest.balance_of(IMSI) - ocs_gapped.balance_of(IMSI)
+            == loss
+        )
+
+
+class TestPrepaidEnforcer:
+    def _build(self, balance):
+        loop = EventLoop()
+        gateway = ChargingGateway(loop, subscriber_imsi(1), cdr_period=5.0)
+        ocs = OnlineChargingSystem(default_grant_bytes=200_000)
+        ocs.provision_balance(subscriber_imsi(1).digits, balance)
+        enforcer = PrepaidEnforcer(ocs, gateway)
+        return loop, gateway, ocs, enforcer
+
+    def _stream(self, loop, gateway, packets=200, size=1000):
+        for i in range(packets):
+            loop.schedule_at(
+                i * 0.1,
+                lambda s=i: gateway.forward_downlink(
+                    Packet(
+                        size=size,
+                        flow="f",
+                        direction=Direction.DOWNLINK,
+                        seq=s,
+                    )
+                ),
+            )
+
+    def test_sufficient_balance_never_cuts_off(self):
+        loop, gateway, ocs, enforcer = self._build(balance=10 * MB)
+        self._stream(loop, gateway)
+        loop.run(until=30.0)
+        assert not enforcer.cut_off
+        assert gateway.attached
+        assert enforcer.session.used_bytes == 200_000
+
+    def test_dry_balance_detaches_the_gateway(self):
+        loop, gateway, ocs, enforcer = self._build(balance=100_000)
+        self._stream(loop, gateway)
+        loop.run(until=30.0)
+        assert enforcer.cut_off
+        assert not gateway.attached
+        assert gateway.blocked_packets > 0
+
+    def test_settle_refunds_the_remainder(self):
+        loop, gateway, ocs, enforcer = self._build(balance=10 * MB)
+        self._stream(loop, gateway, packets=50)
+        loop.run(until=30.0)
+        enforcer.settle()
+        # 50 KB used; everything else back on the balance.
+        digits = subscriber_imsi(1).digits
+        assert ocs.balance_of(digits) == 10 * MB - 50_000

@@ -1,0 +1,156 @@
+"""PCRF: policy rules, dedicated gaming bearers, QoS-aware pricing."""
+
+import pytest
+
+from repro.lte.network import LteNetwork, LteNetworkConfig
+from repro.lte.pcrf import (
+    DEFAULT_PRICE_MULTIPLIERS,
+    PolicyChargingRulesFunction,
+    PolicyError,
+)
+from repro.net.channel import ChannelConfig
+from repro.net.congestion import CongestionConfig
+from repro.net.packet import Direction, Packet
+from repro.sim.events import EventLoop
+from repro.sim.rng import RngStreams
+
+
+def dl_packet(flow="game", qci=9, seq=0):
+    return Packet(
+        size=200, flow=flow, direction=Direction.DOWNLINK, qci=qci, seq=seq
+    )
+
+
+class TestRules:
+    def test_default_qci_without_rule(self):
+        pcrf = PolicyChargingRulesFunction()
+        assert pcrf.qci_for_flow("anything") == 9
+
+    def test_install_and_classify(self):
+        pcrf = PolicyChargingRulesFunction()
+        pcrf.install_rule("game", qci=7)
+        packet = dl_packet(qci=9)
+        pcrf.classify(packet)
+        assert packet.qci == 7
+
+    def test_self_asserted_qci_is_reset(self):
+        # The network decides the class, not the app's packet header.
+        pcrf = PolicyChargingRulesFunction()
+        packet = dl_packet(flow="cheater", qci=1)
+        pcrf.classify(packet)
+        assert packet.qci == 9
+
+    def test_deactivation_reverts_to_default(self):
+        pcrf = PolicyChargingRulesFunction()
+        pcrf.install_rule("game", qci=7)
+        pcrf.deactivate("game")
+        assert pcrf.qci_for_flow("game") == 9
+
+    def test_deactivate_unknown_flow_raises(self):
+        with pytest.raises(PolicyError):
+            PolicyChargingRulesFunction().deactivate("ghost")
+
+    def test_invalid_qci_rejected(self):
+        pcrf = PolicyChargingRulesFunction()
+        with pytest.raises(PolicyError):
+            pcrf.install_rule("f", qci=42)
+
+    def test_rule_replacement(self):
+        pcrf = PolicyChargingRulesFunction()
+        pcrf.install_rule("f", qci=7)
+        pcrf.install_rule("f", qci=3)
+        assert pcrf.qci_for_flow("f") == 3
+        assert pcrf.activation_requests == 2
+
+
+class TestGamingApi:
+    def test_gaming_session_allows_qci_3_and_7(self):
+        pcrf = PolicyChargingRulesFunction()
+        assert pcrf.request_gaming_session("g1", qci=7).qci == 7
+        assert pcrf.request_gaming_session("g2", qci=3).qci == 3
+
+    def test_gaming_session_rejects_other_qcis(self):
+        pcrf = PolicyChargingRulesFunction()
+        with pytest.raises(PolicyError):
+            pcrf.request_gaming_session("g", qci=1)
+
+    def test_requester_recorded(self):
+        pcrf = PolicyChargingRulesFunction()
+        rule = pcrf.request_gaming_session("g", requested_by="tencent-sdk")
+        assert rule.requested_by == "tencent-sdk"
+
+
+class TestPricing:
+    def test_best_effort_is_unit_price(self):
+        pcrf = PolicyChargingRulesFunction()
+        assert pcrf.price_multiplier(9) == 1.0
+
+    def test_high_qos_costs_more(self):
+        pcrf = PolicyChargingRulesFunction()
+        assert pcrf.price_multiplier(7) > pcrf.price_multiplier(9)
+
+    def test_weighted_volume(self):
+        pcrf = PolicyChargingRulesFunction(
+            price_multipliers={7: 1.5, 9: 1.0}
+        )
+        total = pcrf.weighted_volume({7: 100.0, 9: 200.0})
+        assert total == pytest.approx(350.0)
+
+    def test_unknown_qci_price_raises(self):
+        pcrf = PolicyChargingRulesFunction(price_multipliers={9: 1.0})
+        with pytest.raises(PolicyError):
+            pcrf.price_multiplier(7)
+
+    def test_defaults_cover_all_qcis(self):
+        assert set(DEFAULT_PRICE_MULTIPLIERS) == set(range(1, 10))
+
+
+class TestNetworkIntegration:
+    def _network(self):
+        loop = EventLoop()
+        network = LteNetwork(
+            loop,
+            LteNetworkConfig(
+                channel=ChannelConfig(
+                    rss_dbm=-85.0,
+                    base_loss_rate=0.0,
+                    mean_uptime=float("inf"),
+                ),
+                congestion=CongestionConfig(background_bps=160e6),
+                use_pcrf=True,
+            ),
+            RngStreams(3),
+        )
+        return loop, network
+
+    def test_pcrf_grants_protection_only_with_rule(self):
+        loop, network = self._network()
+        network.pcrf.request_gaming_session("game", qci=7)
+        received = {"game": 0, "bulk": 0}
+        network.connect_device_app(
+            lambda p: received.__setitem__(p.flow, received[p.flow] + 1)
+        )
+        n = 1500
+        for i in range(n):
+            # Both flows *claim* QCI 7; only "game" has a PCRF rule.
+            network.send_downlink(dl_packet(flow="game", qci=7, seq=i))
+            network.send_downlink(dl_packet(flow="bulk", qci=7, seq=i))
+        loop.run(until=10.0)
+        assert received["game"] > received["bulk"]
+        assert received["game"] > 0.97 * n
+
+    def test_no_pcrf_network_trusts_packet_qci(self):
+        loop = EventLoop()
+        network = LteNetwork(
+            loop,
+            LteNetworkConfig(
+                channel=ChannelConfig(
+                    rss_dbm=-85.0,
+                    base_loss_rate=0.0,
+                    mean_uptime=float("inf"),
+                ),
+                use_pcrf=False,
+            ),
+            RngStreams(3),
+        )
+        assert network.pcrf is None

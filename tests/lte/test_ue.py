@@ -1,0 +1,122 @@
+"""UE counters: trusted modem vs tamperable OS stats."""
+
+import pytest
+
+from repro.lte.bearer import Bearer
+from repro.lte.identifiers import subscriber_imsi
+from repro.lte.rrc import CounterCheckRequest
+from repro.lte.ue import (
+    DEVICE_PROFILES,
+    HardwareModem,
+    OsTrafficStats,
+    UserEquipment,
+)
+from repro.net.packet import Direction, Packet
+
+
+def make_ue():
+    imsi = subscriber_imsi(1)
+    return UserEquipment(imsi, Bearer(imsi=imsi, qci=9))
+
+
+def dl_packet(size=100):
+    return Packet(size=size, flow="f", direction=Direction.DOWNLINK)
+
+
+def ul_packet(size=100):
+    return Packet(size=size, flow="f", direction=Direction.UPLINK)
+
+
+class TestHardwareModem:
+    def test_counts_per_bearer(self):
+        modem = HardwareModem(subscriber_imsi(1))
+        modem.count_downlink(5, 100)
+        modem.count_downlink(5, 50)
+        modem.count_uplink(5, 30)
+        response = modem.counter_check(
+            CounterCheckRequest(transaction_id=1, bearer_ids=(5,))
+        )
+        assert response.downlink_total() == 150
+        assert response.uplink_total() == 30
+
+    def test_unknown_bearer_reports_zero(self):
+        modem = HardwareModem(subscriber_imsi(1))
+        response = modem.counter_check(
+            CounterCheckRequest(transaction_id=1, bearer_ids=(99,))
+        )
+        assert response.downlink_total() == 0
+
+    def test_totals_span_bearers(self):
+        modem = HardwareModem(subscriber_imsi(1))
+        modem.count_uplink(5, 10)
+        modem.count_uplink(6, 20)
+        ul, dl = modem.totals()
+        assert (ul, dl) == (30, 0)
+
+
+class TestOsTrafficStats:
+    def test_counts_by_direction(self):
+        stats = OsTrafficStats()
+        stats.count(ul_packet(100))
+        stats.count(dl_packet(200))
+        assert stats.uplink_bytes == 100
+        assert stats.downlink_bytes == 200
+
+    def test_tamper_rewrites_reports_not_truth(self):
+        stats = OsTrafficStats()
+        stats.count(dl_packet(1000))
+        stats.install_tamper(downlink=lambda b: b // 2)
+        assert stats.downlink_bytes == 500
+        assert stats.true_downlink_bytes == 1000
+
+    def test_uplink_tamper_independent_of_downlink(self):
+        stats = OsTrafficStats()
+        stats.count(ul_packet(1000))
+        stats.count(dl_packet(1000))
+        stats.install_tamper(uplink=lambda b: 0)
+        assert stats.uplink_bytes == 0
+        assert stats.downlink_bytes == 1000
+
+
+class TestUserEquipment:
+    def test_downlink_path_updates_all_counters(self):
+        ue = make_ue()
+        app_packets = []
+        ue.connect_app(app_packets.append)
+        ue.receive_from_air(dl_packet(300))
+        assert len(app_packets) == 1
+        assert ue.app_received_bytes == 300
+        assert ue.os_stats.downlink_bytes == 300
+        _, dl = ue.modem.totals()
+        assert dl == 300
+
+    def test_uplink_path_updates_os_and_modem(self):
+        ue = make_ue()
+        ue.prepare_uplink(ul_packet(250))
+        assert ue.os_stats.uplink_bytes == 250
+        ul, _ = ue.modem.totals()
+        assert ul == 250
+
+    def test_prepare_uplink_rejects_downlink_packet(self):
+        ue = make_ue()
+        with pytest.raises(ValueError):
+            ue.prepare_uplink(dl_packet())
+
+    def test_tampered_os_does_not_touch_modem(self):
+        ue = make_ue()
+        ue.os_stats.install_tamper(downlink=lambda b: 0)
+        ue.receive_from_air(dl_packet(300))
+        assert ue.os_stats.downlink_bytes == 0
+        _, dl = ue.modem.totals()
+        assert dl == 300  # §5.4: hardware counters resist tampering
+
+
+class TestDeviceProfiles:
+    def test_paper_devices_present(self):
+        assert {"EL20", "Pixel2XL", "S7Edge", "Z840"} <= set(DEVICE_PROFILES)
+
+    def test_workstation_faster_than_phones(self):
+        z840 = DEVICE_PROFILES["Z840"]
+        for name in ("EL20", "Pixel2XL", "S7Edge"):
+            profile = DEVICE_PROFILES[name]
+            assert z840.crypto_ms_per_verify < profile.crypto_ms_per_verify

@@ -1,0 +1,185 @@
+"""Monitors: the four §5.4 record-collection mechanisms."""
+
+import random
+
+import pytest
+
+from repro.lte.network import LteNetwork, LteNetworkConfig
+from repro.monitors.base import CycleSampler
+from repro.monitors.device import DeviceApiMonitor
+from repro.monitors.gateway import GatewayMonitor
+from repro.monitors.rrc_counter import RrcCounterMonitor
+from repro.monitors.server import ServerMonitor
+from repro.net.channel import ChannelConfig
+from repro.net.packet import Direction, Packet
+from repro.sim.events import EventLoop
+from repro.sim.rng import RngStreams
+
+
+def build_network(loop, base_loss=0.0, seed=1):
+    config = LteNetworkConfig(
+        channel=ChannelConfig(
+            rss_dbm=-85.0,
+            base_loss_rate=base_loss,
+            mean_uptime=float("inf"),
+            delay=0.002,
+        ),
+    )
+    return LteNetwork(loop, config, RngStreams(seed))
+
+
+def run_downlink(loop, network, packets=100, size=1000):
+    for i in range(packets):
+        loop.schedule_at(
+            i * 0.01,
+            lambda s=i: network.send_downlink(
+                Packet(
+                    size=size,
+                    flow="dl",
+                    direction=Direction.DOWNLINK,
+                    seq=s,
+                )
+            ),
+        )
+    loop.run(until=packets * 0.01 + 1.0)
+
+
+class TestDeviceApiMonitor:
+    def test_reads_os_counters(self):
+        loop = EventLoop()
+        network = build_network(loop)
+        run_downlink(loop, network, packets=50)
+        monitor = DeviceApiMonitor(network.ue, Direction.DOWNLINK)
+        assert monitor.read_bytes() == 50_000
+
+    def test_reflects_tampering(self):
+        loop = EventLoop()
+        network = build_network(loop)
+        network.ue.os_stats.install_tamper(downlink=lambda b: b // 10)
+        run_downlink(loop, network, packets=50)
+        monitor = DeviceApiMonitor(network.ue, Direction.DOWNLINK)
+        assert monitor.read_bytes() == 5_000
+        assert monitor.read_true_bytes() == 50_000
+
+
+class TestServerMonitor:
+    def test_downlink_counts_sent(self):
+        loop = EventLoop()
+        network = build_network(loop)
+        run_downlink(loop, network, packets=20)
+        monitor = ServerMonitor(network, Direction.DOWNLINK)
+        assert monitor.read_bytes() == 20_000
+
+    def test_uplink_counts_received(self):
+        loop = EventLoop()
+        network = build_network(loop)
+        for i in range(20):
+            network.send_uplink(
+                Packet(
+                    size=500, flow="ul", direction=Direction.UPLINK, seq=i
+                )
+            )
+        loop.run(until=2.0)
+        monitor = ServerMonitor(network, Direction.UPLINK)
+        assert monitor.read_bytes() == 10_000
+
+
+class TestGatewayMonitor:
+    def test_reads_charged_bytes(self):
+        loop = EventLoop()
+        network = build_network(loop)
+        run_downlink(loop, network, packets=30)
+        monitor = GatewayMonitor(network.gateway, Direction.DOWNLINK)
+        assert monitor.read_bytes() == 30_000
+
+    def test_inflation_models_selfish_operator(self):
+        loop = EventLoop()
+        network = build_network(loop)
+        run_downlink(loop, network, packets=30)
+        monitor = GatewayMonitor(network.gateway, Direction.DOWNLINK)
+        monitor.install_inflation(1.5)
+        assert monitor.read_bytes() == 45_000
+        assert monitor.read_true_bytes() == 30_000
+
+    def test_negative_inflation_rejected(self):
+        loop = EventLoop()
+        network = build_network(loop)
+        monitor = GatewayMonitor(network.gateway, Direction.DOWNLINK)
+        with pytest.raises(ValueError):
+            monitor.install_inflation(-1.0)
+
+
+class TestRrcCounterMonitor:
+    def test_stale_until_counter_check(self):
+        loop = EventLoop()
+        network = build_network(loop)
+        monitor = RrcCounterMonitor(network.enodeb, Direction.DOWNLINK)
+        run_downlink(loop, network, packets=40)
+        assert monitor.read_bytes() == 0  # no check has run yet
+
+    def test_refresh_captures_delivery(self):
+        loop = EventLoop()
+        network = build_network(loop)
+        monitor = RrcCounterMonitor(network.enodeb, Direction.DOWNLINK)
+        run_downlink(loop, network, packets=40)
+        monitor.refresh()
+        assert monitor.read_bytes() == 40_000
+        assert monitor.reports_received == 1
+
+    def test_immune_to_os_tampering(self):
+        loop = EventLoop()
+        network = build_network(loop)
+        network.ue.os_stats.install_tamper(downlink=lambda b: 0)
+        monitor = RrcCounterMonitor(network.enodeb, Direction.DOWNLINK)
+        run_downlink(loop, network, packets=40)
+        monitor.refresh()
+        assert monitor.read_bytes() == 40_000  # hardware counters intact
+
+    def test_refresh_noop_when_disconnected(self):
+        loop = EventLoop()
+        network = build_network(loop)
+        run_downlink(loop, network, packets=10)
+        monitor = RrcCounterMonitor(network.enodeb, Direction.DOWNLINK)
+        network.channel._go_down()
+        monitor.refresh()
+        assert monitor.read_bytes() == 0  # check cannot run over no radio
+
+    def test_counts_only_delivered_bytes(self):
+        loop = EventLoop()
+        network = build_network(loop, base_loss=0.4, seed=5)
+        monitor = RrcCounterMonitor(network.enodeb, Direction.DOWNLINK)
+        run_downlink(loop, network, packets=200)
+        monitor.refresh()
+        assert monitor.read_bytes() == network.true_downlink_received()
+        assert monitor.read_bytes() < 200_000
+
+
+class TestCycleSampler:
+    def test_usage_between_snapshots(self):
+        counter = {"bytes": 0}
+        sampler = CycleSampler(lambda: counter["bytes"])
+        sampler.snapshot(0.0, 0.0)
+        counter["bytes"] = 500
+        sampler.snapshot(60.0, 60.1)
+        assert sampler.last_cycle_usage() == 500
+
+    def test_usage_between_arbitrary_indices(self):
+        counter = {"bytes": 0}
+        sampler = CycleSampler(lambda: counter["bytes"])
+        for total in (0, 100, 300, 600):
+            counter["bytes"] = total
+            sampler.snapshot(0.0, 0.0)
+        assert sampler.usage_between(1, 3) == 500
+
+    def test_needs_two_snapshots(self):
+        sampler = CycleSampler(lambda: 0)
+        sampler.snapshot(0.0, 0.0)
+        with pytest.raises(ValueError):
+            sampler.last_cycle_usage()
+
+    def test_bad_indices_rejected(self):
+        sampler = CycleSampler(lambda: 0)
+        sampler.snapshot(0.0, 0.0)
+        sampler.snapshot(1.0, 1.0)
+        with pytest.raises(IndexError):
+            sampler.usage_between(1, 0)

@@ -1,0 +1,61 @@
+"""Tamper models."""
+
+import pytest
+
+from repro.monitors.tamper import (
+    ResetTamper,
+    UnderReportTamper,
+    tamper_fraction,
+)
+
+
+class TestUnderReportTamper:
+    def test_scales_down(self):
+        tamper = UnderReportTamper(0.7)
+        assert tamper(1000) == 700
+
+    def test_zero_fraction_hides_everything(self):
+        assert UnderReportTamper(0.0)(12345) == 0
+
+    def test_one_is_honest(self):
+        assert UnderReportTamper(1.0)(12345) == 12345
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            UnderReportTamper(1.5)
+
+
+class TestResetTamper:
+    def test_unarmed_is_honest(self):
+        tamper = ResetTamper()
+        assert tamper(500) == 500
+
+    def test_reset_zeroes_history(self):
+        tamper = ResetTamper()
+        tamper.arm(current_true_bytes=400)
+        assert tamper(400) == 0
+        assert tamper(650) == 250
+
+    def test_rearm_moves_baseline(self):
+        tamper = ResetTamper()
+        tamper.arm(100)
+        tamper.arm(300)
+        assert tamper(350) == 50
+
+    def test_negative_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            ResetTamper().arm(-1)
+
+
+class TestTamperFraction:
+    def test_honest_is_zero(self):
+        assert tamper_fraction(1000, 1000) == 0.0
+
+    def test_half_hidden(self):
+        assert tamper_fraction(1000, 500) == pytest.approx(0.5)
+
+    def test_zero_truth_is_zero(self):
+        assert tamper_fraction(0, 0) == 0.0
+
+    def test_overreport_clamps_to_zero(self):
+        assert tamper_fraction(1000, 1200) == 0.0

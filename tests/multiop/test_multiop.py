@@ -1,0 +1,173 @@
+"""Multi-access edge: per-operator classification and settlement (§8)."""
+
+import pytest
+
+from repro.charging.policy import ChargingPolicy
+from repro.lte.network import LteNetworkConfig
+from repro.multiop.classifier import OperatorTrafficClassifier
+from repro.multiop.coordinator import MultiAccessEdge, RoutingPolicy
+from repro.net.channel import ChannelConfig
+from repro.net.packet import Direction, Packet
+from repro.sim.events import EventLoop
+
+
+def ul_packet(flow="f", size=1000, seq=0):
+    return Packet(size=size, flow=flow, direction=Direction.UPLINK, seq=seq)
+
+
+def make_config(rss=-85.0, base_loss=0.0):
+    return LteNetworkConfig(
+        channel=ChannelConfig(
+            rss_dbm=rss,
+            base_loss_rate=base_loss,
+            mean_uptime=float("inf"),
+        ),
+        policy=ChargingPolicy(),
+    )
+
+
+class TestClassifier:
+    def test_assign_and_record(self):
+        classifier = OperatorTrafficClassifier(["att", "verizon"])
+        classifier.assign_flow("cam", "att")
+        classifier.record(ul_packet("cam", 500))
+        assert classifier.bytes_for("att", Direction.UPLINK) == 500
+        assert classifier.bytes_for("verizon", Direction.UPLINK) == 0
+
+    def test_unassigned_flow_rejected(self):
+        classifier = OperatorTrafficClassifier(["att"])
+        with pytest.raises(ValueError):
+            classifier.record(ul_packet("mystery"))
+
+    def test_unknown_operator_rejected(self):
+        classifier = OperatorTrafficClassifier(["att"])
+        with pytest.raises(ValueError):
+            classifier.assign_flow("cam", "tmobile")
+        with pytest.raises(ValueError):
+            classifier.record(ul_packet("cam"), operator="tmobile")
+
+    def test_duplicate_operators_rejected(self):
+        with pytest.raises(ValueError):
+            OperatorTrafficClassifier(["att", "att"])
+
+    def test_empty_operator_list_rejected(self):
+        with pytest.raises(ValueError):
+            OperatorTrafficClassifier([])
+
+    def test_shares_sum_to_one(self):
+        classifier = OperatorTrafficClassifier(["a", "b"])
+        classifier.assign_flow("x", "a")
+        classifier.assign_flow("y", "b")
+        classifier.record(ul_packet("x", 300))
+        classifier.record(ul_packet("y", 700))
+        assert classifier.share_of("a", Direction.UPLINK) == pytest.approx(
+            0.3
+        )
+        assert classifier.share_of("b", Direction.UPLINK) == pytest.approx(
+            0.7
+        )
+
+    def test_zero_traffic_share_is_zero(self):
+        classifier = OperatorTrafficClassifier(["a"])
+        assert classifier.share_of("a", Direction.UPLINK) == 0.0
+
+
+class TestRouting:
+    def test_round_robin_alternates_flows(self):
+        loop = EventLoop()
+        edge = MultiAccessEdge(
+            loop,
+            {"a": make_config(), "b": make_config()},
+            routing=RoutingPolicy.ROUND_ROBIN,
+        )
+        assert edge.route_flow("f1") == "a"
+        assert edge.route_flow("f2") == "b"
+        assert edge.route_flow("f3") == "a"
+
+    def test_best_signal_prefers_strongest_rss(self):
+        loop = EventLoop()
+        edge = MultiAccessEdge(
+            loop,
+            {"weak": make_config(rss=-110.0), "strong": make_config(rss=-80.0)},
+            routing=RoutingPolicy.BEST_SIGNAL,
+        )
+        assert edge.route_flow("f1") == "strong"
+
+    def test_sticky_first_uses_operator_zero(self):
+        loop = EventLoop()
+        edge = MultiAccessEdge(
+            loop,
+            {"a": make_config(), "b": make_config()},
+            routing=RoutingPolicy.STICKY_FIRST,
+        )
+        assert edge.route_flow("f1") == "a"
+        assert edge.route_flow("f2") == "a"
+
+    def test_send_auto_routes_new_flows(self):
+        loop = EventLoop()
+        edge = MultiAccessEdge(
+            loop, {"a": make_config(), "b": make_config()}
+        )
+        for i in range(10):
+            edge.send(ul_packet(flow=f"flow-{i % 2}", seq=i))
+        loop.run(until=2.0)
+        assert edge.classifier.bytes_for("a", Direction.UPLINK) == 5000
+        assert edge.classifier.bytes_for("b", Direction.UPLINK) == 5000
+
+
+class TestSettlement:
+    def test_per_operator_negotiation(self):
+        loop = EventLoop()
+        edge = MultiAccessEdge(
+            loop,
+            {
+                "clean": make_config(base_loss=0.0),
+                "lossy": make_config(base_loss=0.3),
+            },
+            routing=RoutingPolicy.ROUND_ROBIN,
+            seed=5,
+        )
+        for i in range(400):
+            loop.schedule_at(
+                i * 0.01,
+                lambda s=i: edge.send(
+                    ul_packet(flow=f"flow-{s % 2}", seq=s)
+                ),
+            )
+        loop.run(until=10.0)
+        outcomes = edge.settle_cycle(10.0, Direction.UPLINK)
+        assert len(outcomes) == 2
+        by_name = {o.operator: o for o in outcomes}
+
+        clean, lossy = by_name["clean"], by_name["lossy"]
+        # Per-operator TLC: each charge equals that operator's x̂,
+        # converged in one round.
+        for outcome in outcomes:
+            assert outcome.rounds == 1
+            assert outcome.negotiated == pytest.approx(
+                outcome.fair_volume
+            )
+        # The lossy operator delivered less, so its x̂ is lower even
+        # though both carried the same offered load.
+        assert lossy.truth.received < clean.truth.received
+        assert lossy.negotiated < clean.negotiated
+
+    def test_total_bill_aggregates_operators(self):
+        loop = EventLoop()
+        edge = MultiAccessEdge(
+            loop, {"a": make_config(), "b": make_config()}, seed=6
+        )
+        for i in range(100):
+            edge.send(ul_packet(flow=f"flow-{i % 2}", seq=i))
+        loop.run(until=5.0)
+        outcomes = edge.settle_cycle(5.0, Direction.UPLINK)
+        assert edge.total_negotiated(outcomes) == pytest.approx(
+            sum(o.negotiated for o in outcomes)
+        )
+        assert edge.total_negotiated(outcomes) == pytest.approx(
+            100_000, rel=0.01
+        )
+
+    def test_empty_operator_map_rejected(self):
+        with pytest.raises(ValueError):
+            MultiAccessEdge(EventLoop(), {})

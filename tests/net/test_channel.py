@@ -1,0 +1,186 @@
+"""Wireless channel: RSS loss, intermittency, buffering."""
+
+import random
+
+import pytest
+
+from repro.net.channel import ChannelConfig, WirelessChannel, rss_loss_rate
+from repro.net.packet import Direction, Packet
+from repro.sim.events import EventLoop
+
+
+def make_packet(seq=0, size=100):
+    return Packet(size=size, flow="f", direction=Direction.DOWNLINK, seq=seq)
+
+
+class TestRssLossCurve:
+    def test_good_signal_is_near_base_rate(self):
+        assert rss_loss_rate(-85.0, base_loss_rate=0.01) < 0.012
+
+    def test_monotone_in_weakening_signal(self):
+        rates = [rss_loss_rate(rss) for rss in range(-85, -126, -5)]
+        assert rates == sorted(rates)
+
+    def test_dead_zone_loses_nearly_everything(self):
+        assert rss_loss_rate(-125.0) > 0.95
+
+    def test_paper_sweep_region_spans_small_to_large(self):
+        # The paper sweeps [-95, -120]: loss should go from "small" to
+        # "dominant" across that range.
+        assert rss_loss_rate(-95.0) < 0.05
+        assert rss_loss_rate(-120.0) > 0.80
+
+
+class TestChannelConfig:
+    def test_disconnectivity_ratio_zero_when_always_up(self):
+        config = ChannelConfig(mean_uptime=float("inf"))
+        assert config.disconnectivity_ratio == 0.0
+
+    def test_disconnectivity_ratio_formula(self):
+        config = ChannelConfig(mean_outage=1.0, mean_uptime=9.0)
+        assert config.disconnectivity_ratio == pytest.approx(0.1)
+
+    def test_for_disconnectivity_ratio_roundtrips(self):
+        for eta in (0.05, 0.10, 0.15):
+            config = ChannelConfig.for_disconnectivity_ratio(eta)
+            assert config.disconnectivity_ratio == pytest.approx(eta)
+
+    def test_eta_zero_disables_intermittency(self):
+        config = ChannelConfig.for_disconnectivity_ratio(0.0)
+        assert config.mean_uptime == float("inf")
+
+    def test_invalid_eta_rejected(self):
+        with pytest.raises(ValueError):
+            ChannelConfig.for_disconnectivity_ratio(1.0)
+
+
+class TestSteadyChannel:
+    def _channel(self, loop, **kwargs):
+        defaults = dict(
+            rss_dbm=-85.0,
+            mean_uptime=float("inf"),
+            base_loss_rate=0.0,
+            delay=0.01,
+        )
+        defaults.update(kwargs)
+        return WirelessChannel(
+            loop, ChannelConfig(**defaults), random.Random(3)
+        )
+
+    def test_delivers_with_air_delay(self):
+        loop = EventLoop()
+        channel = self._channel(loop)
+        arrivals = []
+        channel.connect(lambda p: arrivals.append(loop.now))
+        channel.send(make_packet())
+        loop.run()
+        assert arrivals == [pytest.approx(0.01)]
+
+    def test_stays_connected_without_intermittency(self):
+        loop = EventLoop()
+        channel = self._channel(loop)
+        for i in range(100):
+            channel.send(make_packet(seq=i))
+        loop.run()
+        assert channel.connected
+        assert channel.delivered_packets == 100
+
+    def test_rss_loss_applies(self):
+        loop = EventLoop()
+        channel = self._channel(loop, rss_dbm=-112.0)  # ~50% loss point
+        delivered = []
+        channel.connect(delivered.append)
+        for i in range(2000):
+            channel.send(make_packet(seq=i))
+        loop.run()
+        loss = 1 - len(delivered) / 2000
+        assert 0.40 < loss < 0.60
+
+    def test_counters_balance(self):
+        loop = EventLoop()
+        channel = self._channel(loop, base_loss_rate=0.2)
+        channel.connect(lambda p: None)
+        for i in range(500):
+            channel.send(make_packet(seq=i))
+        loop.run()
+        assert (
+            channel.delivered_packets + channel.dropped_packets
+            == channel.sent_packets
+        )
+
+
+class TestIntermittency:
+    def _channel(self, loop, eta=0.3, buffer_packets=8, seed=7):
+        config = ChannelConfig.for_disconnectivity_ratio(
+            eta,
+            mean_outage=0.5,
+            rss_dbm=-85.0,
+            base_loss_rate=0.0,
+            buffer_packets=buffer_packets,
+        )
+        return WirelessChannel(loop, config, random.Random(seed))
+
+    def test_outages_occur_and_are_tracked(self):
+        loop = EventLoop()
+        channel = self._channel(loop)
+        transitions = []
+        channel.on_state_change(transitions.append)
+        loop.run(until=60.0)
+        assert transitions, "expected at least one outage in 60 s"
+        assert channel.total_outage_time > 0
+
+    def test_outage_fraction_near_target(self):
+        loop = EventLoop()
+        channel = self._channel(loop, eta=0.3)
+        loop.run(until=600.0)
+        observed = channel.total_outage_time / 600.0
+        assert 0.2 < observed < 0.4
+
+    def test_buffered_packets_flush_on_reconnect(self):
+        loop = EventLoop()
+        config = ChannelConfig(
+            rss_dbm=-85.0,
+            base_loss_rate=0.0,
+            mean_uptime=float("inf"),
+            buffer_packets=4,
+        )
+        channel = WirelessChannel(loop, config, random.Random(1))
+        delivered = []
+        channel.connect(lambda p: delivered.append(p.seq))
+        channel._go_down()
+        for i in range(3):
+            assert channel.send(make_packet(seq=i)) is True
+        assert delivered == []
+        channel._go_up()
+        loop.run()
+        assert delivered == [0, 1, 2]
+
+    def test_buffer_overflow_drops(self):
+        loop = EventLoop()
+        config = ChannelConfig(
+            rss_dbm=-85.0,
+            base_loss_rate=0.0,
+            mean_uptime=float("inf"),
+            buffer_packets=2,
+        )
+        channel = WirelessChannel(loop, config, random.Random(1))
+        channel._go_down()
+        assert channel.send(make_packet(seq=0)) is True
+        assert channel.send(make_packet(seq=1)) is True
+        assert channel.send(make_packet(seq=2)) is False
+        assert channel.dropped_packets == 1
+
+    def test_current_outage_duration(self):
+        loop = EventLoop()
+        config = ChannelConfig(
+            rss_dbm=-85.0,
+            mean_uptime=float("inf"),
+            base_loss_rate=0.0,
+            mean_outage=10_000.0,  # reconnect far beyond the test horizon
+        )
+        channel = WirelessChannel(loop, config, random.Random(1))
+        assert channel.current_outage_duration() == 0.0
+        channel._go_down()
+        loop.schedule_at(3.0, lambda: None)
+        loop.run(until=3.0)
+        assert channel.current_outage_duration() == pytest.approx(3.0)

@@ -1,0 +1,146 @@
+"""Congestion queue: load-dependent drops with QCI awareness."""
+
+import random
+
+import pytest
+
+from repro.net.congestion import (
+    CongestedQueue,
+    CongestionConfig,
+    congestion_drop_rate,
+)
+from repro.net.packet import Direction, Packet
+from repro.sim.events import EventLoop
+
+
+def make_packet(qci=9, seq=0):
+    return Packet(
+        size=1000, flow="f", direction=Direction.DOWNLINK, qci=qci, seq=seq
+    )
+
+
+class TestDropCurve:
+    def test_no_background_no_drops(self):
+        assert congestion_drop_rate(CongestionConfig(background_bps=0)) == 0.0
+
+    def test_monotone_in_load(self):
+        rates = [
+            congestion_drop_rate(CongestionConfig(background_bps=bg))
+            for bg in (0, 40e6, 80e6, 100e6, 120e6, 140e6, 160e6)
+        ]
+        assert rates == sorted(rates)
+
+    def test_light_load_region_is_small(self):
+        rate = congestion_drop_rate(CongestionConfig(background_bps=100e6))
+        assert rate < 0.03
+
+    def test_saturation_region_is_large(self):
+        rate = congestion_drop_rate(CongestionConfig(background_bps=160e6))
+        assert 0.10 < rate < 0.40
+
+    def test_never_exceeds_one(self):
+        rate = congestion_drop_rate(CongestionConfig(background_bps=10e9))
+        assert rate <= 1.0
+
+    def test_utilization_property(self):
+        config = CongestionConfig(capacity_bps=100e6, background_bps=50e6)
+        assert config.utilization == pytest.approx(0.5)
+
+
+class TestQciAwareness:
+    def test_qci7_sees_far_fewer_drops_than_qci9(self):
+        loop = EventLoop()
+        queue = CongestedQueue(
+            loop,
+            CongestionConfig(background_bps=160e6),
+            random.Random(1),
+        )
+        assert queue.drop_rate_for(7) < queue.drop_rate_for(9) * 0.2
+
+    def test_unknown_qci_treated_as_best_effort(self):
+        loop = EventLoop()
+        queue = CongestedQueue(
+            loop,
+            CongestionConfig(background_bps=160e6),
+            random.Random(1),
+        )
+        assert queue.drop_rate_for(42) == queue.drop_rate_for(9)
+
+
+class TestQueueBehaviour:
+    def test_uncongested_queue_is_transparent(self):
+        loop = EventLoop()
+        queue = CongestedQueue(
+            loop, CongestionConfig(background_bps=0), random.Random(1)
+        )
+        delivered = []
+        queue.connect(delivered.append)
+        for i in range(200):
+            queue.send(make_packet(seq=i))
+        loop.run()
+        assert len(delivered) == 200
+        assert queue.dropped_packets == 0
+
+    def test_saturated_queue_drops_statistically(self):
+        loop = EventLoop()
+        config = CongestionConfig(background_bps=160e6)
+        queue = CongestedQueue(loop, config, random.Random(2))
+        delivered = []
+        queue.connect(delivered.append)
+        n = 3000
+        for i in range(n):
+            queue.send(make_packet(seq=i))
+        loop.run()
+        expected = congestion_drop_rate(config)
+        observed = 1 - len(delivered) / n
+        assert observed == pytest.approx(expected, abs=0.03)
+
+    def test_queueing_delay_grows_with_load(self):
+        def first_arrival(background):
+            loop = EventLoop()
+            queue = CongestedQueue(
+                loop,
+                CongestionConfig(background_bps=background),
+                random.Random(3),
+            )
+            times = []
+            queue.connect(lambda p: times.append(loop.now))
+            while not times:
+                queue.send(make_packet())
+                loop.run()
+            return times[0]
+
+        assert first_arrival(140e6) > first_arrival(0)
+
+    def test_gaming_survives_congestion_better(self):
+        loop = EventLoop()
+        queue = CongestedQueue(
+            loop,
+            CongestionConfig(background_bps=160e6),
+            random.Random(4),
+        )
+        received = {"game": 0, "bulk": 0}
+        queue.connect(lambda p: received.__setitem__(p.flow, received[p.flow] + 1))
+        n = 2000
+        for i in range(n):
+            queue.send(
+                Packet(
+                    size=200,
+                    flow="game",
+                    direction=Direction.DOWNLINK,
+                    qci=7,
+                    seq=i,
+                )
+            )
+            queue.send(
+                Packet(
+                    size=200,
+                    flow="bulk",
+                    direction=Direction.DOWNLINK,
+                    qci=9,
+                    seq=i,
+                )
+            )
+        loop.run()
+        assert received["game"] > received["bulk"]
+        assert received["game"] > 0.97 * n

@@ -1,0 +1,116 @@
+"""Point-to-point link behaviour."""
+
+import random
+
+import pytest
+
+from repro.net.link import Link
+from repro.net.packet import Direction, Packet
+from repro.sim.events import EventLoop
+
+
+def make_packet(size=100, seq=0):
+    return Packet(size=size, flow="f", direction=Direction.UPLINK, seq=seq)
+
+
+class TestDelivery:
+    def test_delivers_after_delay(self):
+        loop = EventLoop()
+        link = Link(loop, delay=0.05)
+        arrivals = []
+        link.connect(lambda p: arrivals.append((loop.now, p)))
+        link.send(make_packet())
+        loop.run()
+        assert len(arrivals) == 1
+        assert arrivals[0][0] == pytest.approx(0.05)
+
+    def test_order_preserved(self):
+        loop = EventLoop()
+        link = Link(loop, delay=0.01)
+        arrivals = []
+        link.connect(lambda p: arrivals.append(p.seq))
+        for i in range(5):
+            loop.schedule_at(
+                i * 0.001, lambda s=i: link.send(make_packet(seq=s))
+            )
+        loop.run()
+        assert arrivals == [0, 1, 2, 3, 4]
+
+    def test_multiple_receivers_each_get_packet(self):
+        loop = EventLoop()
+        link = Link(loop, delay=0.0)
+        a, b = [], []
+        link.connect(a.append)
+        link.connect(b.append)
+        link.send(make_packet())
+        loop.run()
+        assert len(a) == len(b) == 1
+
+    def test_counters(self):
+        loop = EventLoop()
+        link = Link(loop, delay=0.0)
+        link.connect(lambda p: None)
+        link.send(make_packet(size=100))
+        link.send(make_packet(size=200))
+        assert link.sent_packets == 2
+        assert link.sent_bytes == 300
+
+
+class TestLoss:
+    def test_lossless_by_default(self):
+        loop = EventLoop()
+        link = Link(loop, delay=0.0)
+        received = []
+        link.connect(received.append)
+        for i in range(100):
+            link.send(make_packet(seq=i))
+        loop.run()
+        assert len(received) == 100
+
+    def test_full_loss_drops_everything(self):
+        loop = EventLoop()
+        link = Link(loop, delay=0.0, loss_rate=1.0, rng=random.Random(1))
+        received = []
+        link.connect(received.append)
+        for i in range(50):
+            assert link.send(make_packet(seq=i)) is False
+        loop.run()
+        assert received == []
+        assert link.dropped_packets == 50
+
+    def test_partial_loss_statistics(self):
+        loop = EventLoop()
+        link = Link(loop, delay=0.0, loss_rate=0.3, rng=random.Random(2))
+        received = []
+        link.connect(received.append)
+        for i in range(2000):
+            link.send(make_packet(seq=i))
+        loop.run()
+        loss = 1 - len(received) / 2000
+        assert 0.25 < loss < 0.35
+
+    def test_lossy_link_requires_rng(self):
+        with pytest.raises(ValueError):
+            Link(EventLoop(), delay=0.0, loss_rate=0.5)
+
+    def test_invalid_loss_rate_rejected(self):
+        with pytest.raises(ValueError):
+            Link(EventLoop(), delay=0.0, loss_rate=1.5, rng=random.Random(1))
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Link(EventLoop(), delay=-0.1)
+
+
+class TestBandwidth:
+    def test_serialization_delay_spaces_packets(self):
+        loop = EventLoop()
+        # 1000 bytes at 8000 bps = 1 second per packet.
+        link = Link(loop, delay=0.0, bandwidth_bps=8000)
+        arrivals = []
+        link.connect(lambda p: arrivals.append(loop.now))
+        link.send(make_packet(size=1000))
+        link.send(make_packet(size=1000))
+        loop.run()
+        assert arrivals[0] == pytest.approx(1.0)
+        assert arrivals[1] == pytest.approx(2.0)

@@ -1,0 +1,94 @@
+"""SLA middlebox: latency-budget drops (§3.1 cause 5)."""
+
+import pytest
+
+from repro.net.packet import Direction, Packet
+from repro.net.sla import SlaMiddlebox
+from repro.sim.events import EventLoop
+
+
+def aged_packet(created_at, qci=9, flow="vr", size=1000):
+    return Packet(
+        size=size,
+        flow=flow,
+        direction=Direction.DOWNLINK,
+        qci=qci,
+        created_at=created_at,
+    )
+
+
+class TestBudgets:
+    def test_qci_default_budget(self):
+        loop = EventLoop()
+        box = SlaMiddlebox(loop)
+        assert box.budget_for(aged_packet(0.0, qci=7)) == pytest.approx(
+            0.100
+        )
+        assert box.budget_for(aged_packet(0.0, qci=9)) == pytest.approx(
+            0.300
+        )
+
+    def test_flow_override_beats_qci(self):
+        loop = EventLoop()
+        box = SlaMiddlebox(loop)
+        box.set_flow_budget("vr", 0.020)
+        assert box.budget_for(aged_packet(0.0, qci=9)) == pytest.approx(
+            0.020
+        )
+
+    def test_global_default_beats_qci(self):
+        loop = EventLoop()
+        box = SlaMiddlebox(loop, default_budget=0.050)
+        assert box.budget_for(aged_packet(0.0, qci=9)) == pytest.approx(
+            0.050
+        )
+
+    def test_invalid_budgets_rejected(self):
+        with pytest.raises(ValueError):
+            SlaMiddlebox(EventLoop(), default_budget=0.0)
+        with pytest.raises(ValueError):
+            SlaMiddlebox(EventLoop()).set_flow_budget("f", -1.0)
+
+
+class TestDropBehaviour:
+    def test_fresh_packet_passes(self):
+        loop = EventLoop()
+        box = SlaMiddlebox(loop)
+        delivered = []
+        box.connect(delivered.append)
+        assert box.send(aged_packet(created_at=0.0)) is True
+        assert len(delivered) == 1
+
+    def test_stale_packet_dropped(self):
+        loop = EventLoop()
+        loop.schedule_at(1.0, lambda: None)
+        loop.run()
+        box = SlaMiddlebox(loop)
+        delivered = []
+        box.connect(delivered.append)
+        # Created at t=0, arriving at t=1.0: way past any budget.
+        assert box.send(aged_packet(created_at=0.0)) is False
+        assert delivered == []
+        assert box.dropped_packets == 1
+
+    def test_counters_split_passed_and_dropped(self):
+        loop = EventLoop()
+        loop.schedule_at(0.2, lambda: None)
+        loop.run()
+        box = SlaMiddlebox(loop)  # QCI 9 budget: 0.3 s
+        box.connect(lambda p: None)
+        box.send(aged_packet(created_at=0.1))   # age 0.1 -> pass
+        box.send(aged_packet(created_at=-0.2))  # age 0.4 -> drop
+        assert box.passed_packets == 1
+        assert box.dropped_packets == 1
+        assert box.passed_bytes == box.dropped_bytes == 1000
+
+    def test_gaming_budget_is_tighter(self):
+        loop = EventLoop()
+        loop.schedule_at(0.15, lambda: None)
+        loop.run()
+        box = SlaMiddlebox(loop)
+        box.connect(lambda p: None)
+        # Age 0.15 s: fine for QCI 9 (0.3 s), late for QCI 7 (0.1 s).
+        assert box.send(aged_packet(created_at=0.0, qci=9)) is True
+        assert box.send(aged_packet(created_at=0.0, qci=7)) is False

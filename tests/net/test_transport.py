@@ -1,0 +1,184 @@
+"""Pipelines, UDP-like and TCP-like transports."""
+
+import random
+
+import pytest
+
+from repro.net.link import Link
+from repro.net.packet import Direction, Packet
+from repro.net.transport import (
+    ACK_SIZE,
+    AckingReceiver,
+    Pipeline,
+    TcpLikeSender,
+    UdpSender,
+)
+from repro.sim.events import EventLoop
+
+
+class TestPipeline:
+    def test_chains_elements_in_order(self):
+        loop = EventLoop()
+        first = Link(loop, delay=0.01, name="a")
+        second = Link(loop, delay=0.02, name="b")
+        pipeline = Pipeline([first, second])
+        arrivals = []
+        pipeline.connect(lambda p: arrivals.append(loop.now))
+        pipeline.send(Packet(size=10, flow="f", direction=Direction.UPLINK))
+        loop.run()
+        assert arrivals == [pytest.approx(0.03)]
+
+    def test_empty_pipeline_delivers_directly(self):
+        pipeline = Pipeline([])
+        got = []
+        pipeline.connect(got.append)
+        pipeline.send(Packet(size=10, flow="f", direction=Direction.UPLINK))
+        assert len(got) == 1
+
+
+class TestUdpSender:
+    def test_sends_and_counts(self):
+        loop = EventLoop()
+        path = Pipeline([Link(loop, delay=0.0)])
+        received = []
+        path.connect(received.append)
+        sender = UdpSender(loop, path, "cam", Direction.UPLINK)
+        sender.send(500)
+        sender.send(700)
+        loop.run()
+        assert sender.sent_packets == 2
+        assert sender.sent_bytes == 1200
+        assert [p.size for p in received] == [500, 700]
+
+    def test_sequence_numbers_increment(self):
+        loop = EventLoop()
+        path = Pipeline([Link(loop, delay=0.0)])
+        received = []
+        path.connect(received.append)
+        sender = UdpSender(loop, path, "cam", Direction.UPLINK)
+        for _ in range(3):
+            sender.send(100)
+        loop.run()
+        assert [p.seq for p in received] == [0, 1, 2]
+
+    def test_no_recovery_on_loss(self):
+        loop = EventLoop()
+        path = Pipeline(
+            [Link(loop, delay=0.0, loss_rate=1.0, rng=random.Random(1))]
+        )
+        received = []
+        path.connect(received.append)
+        sender = UdpSender(loop, path, "cam", Direction.UPLINK)
+        sender.send(100)
+        loop.run(until=5.0)
+        assert received == []  # UDP never retransmits
+        assert sender.sent_packets == 1
+
+
+def _tcp_setup(loop, data_loss=0.0, ack_loss=0.0, seed=1, rto=0.2):
+    data_path = Pipeline(
+        [
+            Link(
+                loop,
+                delay=0.01,
+                loss_rate=data_loss,
+                rng=random.Random(seed) if data_loss else None,
+            )
+        ]
+    )
+    ack_path = Pipeline(
+        [
+            Link(
+                loop,
+                delay=0.01,
+                loss_rate=ack_loss,
+                rng=random.Random(seed + 1) if ack_loss else None,
+            )
+        ]
+    )
+    sender = TcpLikeSender(
+        loop,
+        data_path,
+        ack_path,
+        flow="tcp",
+        direction=Direction.UPLINK,
+        rto=rto,
+    )
+    receiver = AckingReceiver(loop, ack_path)
+    data_path.connect(receiver.receive)
+    return sender, receiver
+
+
+class TestTcpLikeSender:
+    def test_lossless_delivery_no_retransmissions(self):
+        loop = EventLoop()
+        sender, receiver = _tcp_setup(loop)
+        for _ in range(10):
+            sender.send(1000)
+        loop.run(until=5.0)
+        assert receiver.received_packets == 10
+        assert sender.retransmitted_packets == 0
+
+    def test_lost_data_is_retransmitted_and_recovered(self):
+        loop = EventLoop()
+        sender, receiver = _tcp_setup(loop, data_loss=0.4, seed=3)
+        for _ in range(30):
+            sender.send(1000)
+        loop.run(until=30.0)
+        assert receiver.received_packets == 30
+        assert sender.retransmitted_packets > 0
+
+    def test_retransmitted_bytes_inflate_wire_count(self):
+        # §3.1 cause 4: the network charges retransmissions even though
+        # the app-level volume is unchanged.
+        loop = EventLoop()
+        sender, receiver = _tcp_setup(loop, data_loss=0.4, seed=5)
+        for _ in range(30):
+            sender.send(1000)
+        loop.run(until=30.0)
+        assert sender.sent_bytes > receiver.received_bytes
+
+    def test_delayed_acks_cause_spurious_retransmissions(self):
+        # §3.1 cause 4's spurious-retransmission path: when the ACK takes
+        # longer than the RTO, the sender re-sends data that had already
+        # arrived — the duplicate is metered by the network.
+        loop = EventLoop()
+        data_path = Pipeline([Link(loop, delay=0.01)])
+        ack_path = Pipeline([Link(loop, delay=0.1)])  # slower than RTO
+        sender = TcpLikeSender(
+            loop,
+            data_path,
+            ack_path,
+            flow="tcp",
+            direction=Direction.UPLINK,
+            rto=0.05,
+        )
+        receiver = AckingReceiver(loop, ack_path)
+        data_path.connect(receiver.receive)
+        for _ in range(10):
+            sender.send(1000)
+        loop.run(until=10.0)
+        assert receiver.received_packets == 10
+        assert receiver.duplicate_packets > 0
+        assert sender.spurious_retransmissions > 0
+
+    def test_gives_up_after_max_retries(self):
+        loop = EventLoop()
+        sender, _receiver = _tcp_setup(loop, data_loss=1.0, seed=9, rto=0.05)
+        sender.send(1000)
+        loop.run(until=10.0)
+        assert sender.abandoned_packets == 1
+
+    def test_ack_size_constant(self):
+        loop = EventLoop()
+        ack_sizes = []
+        data_path = Pipeline([Link(loop, delay=0.0)])
+        ack_path = Pipeline([Link(loop, delay=0.0)])
+        ack_path.connect(lambda p: ack_sizes.append(p.size))
+        receiver = AckingReceiver(loop, ack_path)
+        data_path.connect(receiver.receive)
+        data_path.send(
+            Packet(size=1000, flow="tcp", direction=Direction.UPLINK)
+        )
+        loop.run()
+        assert ack_sizes == [ACK_SIZE]

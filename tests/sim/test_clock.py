@@ -1,0 +1,71 @@
+"""Clock and SkewedClock behaviour."""
+
+import pytest
+
+from repro.sim.clock import Clock, SkewedClock
+
+
+class TestClock:
+    def test_starts_at_given_time(self):
+        assert Clock(5.0).now == 5.0
+
+    def test_default_start_is_zero(self):
+        assert Clock().now == 0.0
+
+    def test_advance_to_moves_forward(self):
+        clock = Clock()
+        clock.advance_to(3.5)
+        assert clock.now == 3.5
+
+    def test_advance_to_same_time_is_allowed(self):
+        clock = Clock(2.0)
+        clock.advance_to(2.0)
+        assert clock.now == 2.0
+
+    def test_advance_backwards_raises(self):
+        clock = Clock(10.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(9.999)
+
+    def test_advance_by_accumulates(self):
+        clock = Clock()
+        clock.advance_by(1.0)
+        clock.advance_by(2.5)
+        assert clock.now == pytest.approx(3.5)
+
+    def test_advance_by_negative_raises(self):
+        with pytest.raises(ValueError):
+            Clock().advance_by(-0.1)
+
+
+class TestSkewedClock:
+    def test_zero_offset_matches_reference(self):
+        ref = Clock(100.0)
+        skewed = SkewedClock(ref)
+        assert skewed.now == pytest.approx(100.0)
+
+    def test_positive_offset_runs_ahead(self):
+        ref = Clock(100.0)
+        skewed = SkewedClock(ref, offset=2.0)
+        assert skewed.now == pytest.approx(102.0)
+
+    def test_drift_accumulates_with_reference_time(self):
+        ref = Clock(0.0)
+        skewed = SkewedClock(ref, drift_ppm=100.0)  # 100 us per second
+        ref.advance_to(10_000.0)
+        assert skewed.now == pytest.approx(10_001.0)
+
+    def test_to_local_and_to_reference_are_inverses(self):
+        ref = Clock()
+        skewed = SkewedClock(ref, offset=-1.5, drift_ppm=40.0)
+        for t in (0.0, 1.0, 3600.0, 86_400.0):
+            assert skewed.to_reference(skewed.to_local(t)) == pytest.approx(
+                t, abs=1e-6
+            )
+
+    def test_synchronize_resets_offset(self):
+        ref = Clock(50.0)
+        skewed = SkewedClock(ref, offset=3.0)
+        skewed.synchronize(residual_offset=0.002)
+        assert skewed.offset == pytest.approx(0.002)
+        assert skewed.now == pytest.approx(50.002)

@@ -1,0 +1,121 @@
+"""EventLoop scheduling semantics."""
+
+import pytest
+
+from repro.sim.events import EventLoop, SimulationError
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule_at(2.0, lambda: fired.append("b"))
+        loop.schedule_at(1.0, lambda: fired.append("a"))
+        loop.schedule_at(3.0, lambda: fired.append("c"))
+        loop.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_same_time_events_fire_fifo(self):
+        loop = EventLoop()
+        fired = []
+        for name in "abcde":
+            loop.schedule_at(1.0, lambda n=name: fired.append(n))
+        loop.run()
+        assert fired == list("abcde")
+
+    def test_clock_advances_to_event_time(self):
+        loop = EventLoop()
+        seen = []
+        loop.schedule_at(4.2, lambda: seen.append(loop.now))
+        loop.run()
+        assert seen == [4.2]
+
+    def test_schedule_in_is_relative(self):
+        loop = EventLoop(start=10.0)
+        seen = []
+        loop.schedule_in(2.0, lambda: seen.append(loop.now))
+        loop.run()
+        assert seen == [12.0]
+
+    def test_scheduling_in_the_past_raises(self):
+        loop = EventLoop(start=5.0)
+        with pytest.raises(SimulationError):
+            loop.schedule_at(4.0, lambda: None)
+
+    def test_negative_delay_raises(self):
+        with pytest.raises(SimulationError):
+            EventLoop().schedule_in(-1.0, lambda: None)
+
+    def test_events_can_schedule_events(self):
+        loop = EventLoop()
+        fired = []
+
+        def first():
+            fired.append(loop.now)
+            loop.schedule_in(1.0, lambda: fired.append(loop.now))
+
+        loop.schedule_at(1.0, first)
+        loop.run()
+        assert fired == [1.0, 2.0]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        loop = EventLoop()
+        fired = []
+        event = loop.schedule_at(1.0, lambda: fired.append("x"))
+        event.cancel()
+        loop.run()
+        assert fired == []
+
+    def test_pending_ignores_cancelled(self):
+        loop = EventLoop()
+        keep = loop.schedule_at(1.0, lambda: None)
+        drop = loop.schedule_at(2.0, lambda: None)
+        drop.cancel()
+        assert loop.pending() == 1
+        del keep
+
+
+class TestRunUntil:
+    def test_run_until_stops_before_later_events(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule_at(1.0, lambda: fired.append(1))
+        loop.schedule_at(5.0, lambda: fired.append(5))
+        loop.run(until=3.0)
+        assert fired == [1]
+        assert loop.now == 3.0
+
+    def test_run_until_advances_clock_even_with_no_events(self):
+        loop = EventLoop()
+        loop.run(until=7.0)
+        assert loop.now == 7.0
+
+    def test_remaining_events_fire_on_next_run(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule_at(5.0, lambda: fired.append(5))
+        loop.run(until=3.0)
+        loop.run()
+        assert fired == [5]
+
+    def test_event_budget_guards_infinite_loops(self):
+        loop = EventLoop()
+
+        def reschedule():
+            loop.schedule_in(0.001, reschedule)
+
+        loop.schedule_in(0.001, reschedule)
+        with pytest.raises(SimulationError):
+            loop.run(max_events=1000)
+
+    def test_step_returns_false_when_empty(self):
+        assert EventLoop().step() is False
+
+    def test_processed_events_counts(self):
+        loop = EventLoop()
+        for i in range(5):
+            loop.schedule_at(float(i + 1), lambda: None)
+        loop.run()
+        assert loop.processed_events == 5

@@ -1,0 +1,58 @@
+"""Seeded random-stream derivation."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.rng import RngStreams, derive_seed
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(1, "a", "b") == derive_seed(1, "a", "b")
+
+    def test_different_names_differ(self):
+        assert derive_seed(1, "channel") != derive_seed(1, "workload")
+
+    def test_different_roots_differ(self):
+        assert derive_seed(1, "x") != derive_seed(2, "x")
+
+    def test_path_order_matters(self):
+        assert derive_seed(1, "a", "b") != derive_seed(1, "b", "a")
+
+    @given(st.integers(min_value=0, max_value=2**31), st.text(max_size=20))
+    def test_always_in_64_bit_range(self, root, name):
+        seed = derive_seed(root, name)
+        assert 0 <= seed < 2**64
+
+
+class TestRngStreams:
+    def test_same_name_returns_same_stream(self):
+        streams = RngStreams(7)
+        assert streams.stream("a") is streams.stream("a")
+
+    def test_streams_are_independent_of_creation_order(self):
+        first = RngStreams(7)
+        a1 = first.stream("a").random()
+        second = RngStreams(7)
+        second.stream("zzz")  # extra stream created first
+        a2 = second.stream("a").random()
+        assert a1 == a2
+
+    def test_fork_namespaces_children(self):
+        root = RngStreams(7)
+        child = root.fork("lte")
+        # The child's stream differs from the root's same-named stream.
+        assert child.stream("x").random() != root.stream("x").random()
+
+    def test_fork_is_deterministic(self):
+        a = RngStreams(7).fork("lte").stream("ch").random()
+        b = RngStreams(7).fork("lte").stream("ch").random()
+        assert a == b
+
+    def test_integer_names_allowed(self):
+        streams = RngStreams(7)
+        assert streams.stream("ue", 1) is streams.stream("ue", 1)
+        assert (
+            streams.stream("ue", 1).random()
+            != streams.stream("ue", 2).random()
+        )

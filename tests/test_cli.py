@@ -1,0 +1,43 @@
+"""CLI: experiment listing and fast runs."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_unknown_experiment_fails(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestFastRuns:
+    @pytest.mark.parametrize(
+        "experiment", ["fig18", "transport", "mobility", "fig15"]
+    )
+    def test_fast_run_produces_output(self, experiment, capsys):
+        assert main(["run", experiment, "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert f"===== {experiment}:" in out
+        assert len(out.splitlines()) > 3
+
+    def test_fig17_fast_reports_sizes(self, capsys):
+        assert main(["run", "fig17", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "tlc-poc" in out
+        assert "796" in out
+
+    def test_fig04_fast_timeseries(self, capsys):
+        assert main(["run", "fig04", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "final gap" in out

@@ -1,0 +1,61 @@
+"""Package-level hygiene: every module imports, metadata is sane."""
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+ALL_MODULES = sorted(
+    name
+    for _finder, name, _ispkg in pkgutil.walk_packages(
+        repro.__path__, prefix="repro."
+    )
+)
+
+
+class TestImports:
+    @pytest.mark.parametrize("module_name", ALL_MODULES)
+    def test_module_imports(self, module_name):
+        importlib.import_module(module_name)
+
+    def test_module_inventory_is_complete(self):
+        # Guard against packaging mistakes silently dropping subpackages.
+        packages = {name.split(".")[1] for name in ALL_MODULES}
+        assert {
+            "apps",
+            "charging",
+            "cli",
+            "core",
+            "crypto",
+            "economics",
+            "experiments",
+            "lte",
+            "monitors",
+            "multiop",
+            "net",
+            "sim",
+            "timesync",
+        } <= packages
+
+    def test_every_module_has_a_docstring(self):
+        missing = []
+        for name in ALL_MODULES:
+            module = importlib.import_module(name)
+            if not (module.__doc__ or "").strip():
+                missing.append(name)
+        assert not missing, f"undocumented modules: {missing}"
+
+
+class TestMetadata:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_lazy_lte_exports_resolve(self):
+        from repro import lte
+
+        assert lte.LteNetwork is not None
+        assert lte.LteNetworkConfig is not None
+        with pytest.raises(AttributeError):
+            lte.DoesNotExist

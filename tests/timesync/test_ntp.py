@@ -1,0 +1,55 @@
+"""NTP model and skewed-party boundary behaviour."""
+
+import random
+import statistics
+
+import pytest
+
+from repro.sim.clock import Clock, SkewedClock
+from repro.timesync.ntp import NtpModel, SyncedParty
+
+
+class TestNtpModel:
+    def test_residuals_have_requested_spread(self):
+        model = NtpModel(random.Random(1), residual_std=0.02)
+        offsets = [model.residual_offset() for _ in range(2000)]
+        assert abs(statistics.mean(offsets)) < 0.005
+        assert statistics.pstdev(offsets) == pytest.approx(0.02, rel=0.15)
+
+    def test_zero_std_is_perfect_sync(self):
+        model = NtpModel(random.Random(1), residual_std=0.0)
+        assert model.residual_offset() == 0.0
+
+    def test_negative_std_rejected(self):
+        with pytest.raises(ValueError):
+            NtpModel(random.Random(1), residual_std=-1.0)
+
+    def test_synced_party_factory(self):
+        reference = Clock()
+        model = NtpModel(random.Random(2), residual_std=0.5)
+        party = model.synced_party("edge", reference)
+        assert party.name == "edge"
+        assert isinstance(party.clock, SkewedClock)
+
+
+class TestSyncedParty:
+    def test_ahead_clock_acts_early(self):
+        reference = Clock()
+        party = SyncedParty(
+            "edge", SkewedClock(reference, offset=2.0)
+        )
+        # Clock runs 2 s ahead: local time 60 happens at reference 58.
+        assert party.local_boundary_in_reference_time(60.0) == pytest.approx(
+            58.0
+        )
+        assert party.snapshot_error(60.0) == pytest.approx(-2.0)
+
+    def test_behind_clock_acts_late(self):
+        reference = Clock()
+        party = SyncedParty("op", SkewedClock(reference, offset=-1.0))
+        assert party.snapshot_error(60.0) == pytest.approx(1.0)
+
+    def test_perfect_clock_has_zero_error(self):
+        reference = Clock()
+        party = SyncedParty("verifier", SkewedClock(reference))
+        assert party.snapshot_error(3600.0) == 0.0
