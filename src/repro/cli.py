@@ -4,11 +4,15 @@ Usage::
 
     python -m repro list
     python -m repro run fig03 [--fast]
-    python -m repro run table2
-    python -m repro run all --fast
+    python -m repro run table2 --workers 4
+    python -m repro run all --fast --cache-dir ~/.cache/tlc-campaigns
 
 Each experiment id maps to the same driver the benchmark suite uses;
 ``--fast`` shrinks seeds and cycle lengths for a quick look.
+``--workers N`` fans the scenario grids out over N processes through the
+campaign engine, and ``--cache-dir`` reuses previously computed scenario
+results — both are numerically transparent: any worker count and any
+cache state produce identical tables.
 """
 
 from __future__ import annotations
@@ -17,6 +21,10 @@ import argparse
 import sys
 from typing import Callable
 
+from repro.experiments.campaign import (
+    CampaignEngine,
+    set_default_engine,
+)
 from repro.experiments.cdr_error import record_error_samples
 from repro.experiments.congestion import (
     ALL_APPS,
@@ -351,6 +359,20 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="smaller seeds/cycles for a quick look",
     )
+    run.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fan scenario grids out over N worker processes (default 1)",
+    )
+    run.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="content-addressed scenario result cache directory "
+        "(default: no caching)",
+    )
     return parser
 
 
@@ -373,11 +395,28 @@ def main(argv: list[str] | None = None) -> int:
         )
         return 2
 
-    for name in targets:
-        description, fn = EXPERIMENTS[name]
-        print(f"===== {name}: {description} =====")
-        print(fn(args.fast))
-        print()
+    workers = getattr(args, "workers", 1)
+    cache_dir = getattr(args, "cache_dir", None)
+    engine = CampaignEngine(workers=workers, cache_dir=cache_dir)
+    set_default_engine(engine)
+    try:
+        for name in targets:
+            description, fn = EXPERIMENTS[name]
+            print(f"===== {name}: {description} =====")
+            print(fn(args.fast))
+            print()
+    finally:
+        set_default_engine(None)
+
+    if workers > 1 or cache_dir is not None:
+        totals = engine.snapshot_totals()
+        print(
+            f"[campaign] {totals.total} scenario runs: "
+            f"{totals.executed} executed, {totals.cache_hits} cached, "
+            f"{totals.tasks_per_second:.2f} runs/s "
+            f"({totals.compute_seconds:.1f}s compute in "
+            f"{totals.wall_seconds:.1f}s wall)"
+        )
     return 0
 
 

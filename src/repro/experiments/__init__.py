@@ -15,6 +15,12 @@ drivers sweep it:
 - :mod:`repro.experiments.report` — plain-text table/series rendering.
 """
 
+from repro.experiments.campaign import (
+    CampaignEngine,
+    CampaignTask,
+    run_scenarios,
+    set_default_engine,
+)
 from repro.experiments.scenario import (
     ChargingScheme,
     ScenarioConfig,
@@ -24,9 +30,13 @@ from repro.experiments.scenario import (
 )
 
 __all__ = [
+    "CampaignEngine",
+    "CampaignTask",
     "ChargingScheme",
     "ScenarioConfig",
     "ScenarioResult",
     "charge_with_scheme",
     "run_scenario",
+    "run_scenarios",
+    "set_default_engine",
 ]

@@ -19,8 +19,9 @@ from __future__ import annotations
 import statistics
 from dataclasses import dataclass
 
+from repro.experiments.campaign import CampaignEngine, resolve_engine
 from repro.experiments.report import percentile
-from repro.experiments.scenario import ScenarioConfig, run_scenario
+from repro.experiments.scenario import ScenarioConfig
 
 
 @dataclass(frozen=True)
@@ -56,12 +57,11 @@ def record_error_samples(
     disconnectivity_ratio: float = 0.03,
     edge_clock_std: float | None = None,
     operator_clock_std: float | None = None,
+    engine: CampaignEngine | None = None,
 ) -> RecordErrorSamples:
     """Run downlink cycles and collect γo / γe per cycle."""
-    operator_errors = []
-    edge_errors = []
-    for seed in seeds:
-        config = ScenarioConfig(
+    grid = [
+        ScenarioConfig(
             app=app,
             seed=seed,
             cycle_duration=cycle_duration,
@@ -69,7 +69,12 @@ def record_error_samples(
             edge_clock_std=edge_clock_std,
             operator_clock_std=operator_clock_std,
         )
-        result = run_scenario(config)
+        for seed in seeds
+    ]
+    results = resolve_engine(engine).run_scenarios(grid)
+    operator_errors = []
+    edge_errors = []
+    for result in results:
         truth_received = result.truth.received
         truth_sent = result.truth.sent
         if truth_received <= 0 or truth_sent <= 0:

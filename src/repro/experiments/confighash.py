@@ -1,0 +1,82 @@
+"""Stable serialization and hashing of experiment configs.
+
+The campaign result cache (:mod:`repro.experiments.campaign`) keys each
+run by its config.  Those keys must survive process boundaries and code
+reorderings, so they cannot depend on dict insertion order, ``repr``
+quirks, or platform float formatting.  The canonical form is:
+
+- dataclass instances -> ``{field name: canonical value}``,
+- floats -> ``{"__float__": value.hex()}`` (exact round-trip, explicit,
+  and safe for ``inf``/``nan``),
+- enums -> ``{"__enum__": [class name, canonical value]}``,
+- tuples and lists -> JSON arrays,
+- dicts -> string-keyed objects,
+- ``int`` / ``str`` / ``bool`` / ``None`` -> as-is,
+
+dumped with ``json.dumps(..., sort_keys=True, separators=(",", ":"))``
+so the same logical config always produces byte-identical JSON, no
+matter how its dicts were built.  Anything else (functions, open files,
+live network objects) is rejected loudly rather than hashed by ``repr``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+from typing import Any
+
+
+def stable_form(value: Any) -> Any:
+    """Return the canonical JSON-able form of ``value``.
+
+    Raises ``TypeError`` for values with no stable representation.
+    """
+    # bool must be tested before int: True is an int.
+    if isinstance(value, bool) or value is None:
+        return value
+    if isinstance(value, (int, str)):
+        return value
+    if isinstance(value, float):
+        return {"__float__": value.hex()}
+    if isinstance(value, enum.Enum):
+        return {"__enum__": [type(value).__name__, stable_form(value.value)]}
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: stable_form(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, (list, tuple)):
+        return [stable_form(item) for item in value]
+    if isinstance(value, dict):
+        out = {}
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise TypeError(
+                    f"config dict keys must be strings, got {key!r}"
+                )
+            out[key] = stable_form(item)
+        return out
+    raise TypeError(
+        f"cannot canonicalize a {type(value).__name__} for hashing: "
+        f"{value!r}"
+    )
+
+
+def canonical_json(value: Any) -> str:
+    """Byte-stable JSON text for ``value`` (sorted keys, no whitespace)."""
+    return json.dumps(
+        stable_form(value), sort_keys=True, separators=(",", ":")
+    )
+
+
+def config_key(runner_id: str, config: Any, version: str) -> str:
+    """The cache key for one (runner, config) pair under ``version``.
+
+    The key is the SHA-256 hex digest of ``version \\n runner_id \\n
+    canonical_json(config)`` — bump ``version`` to invalidate every
+    cached result at once (e.g. when simulation semantics change).
+    """
+    payload = "\n".join([version, runner_id, canonical_json(config)])
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()

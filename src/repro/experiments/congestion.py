@@ -18,11 +18,12 @@ import statistics
 from dataclasses import dataclass
 
 from repro.core.gap import per_hour, to_mb
+from repro.experiments.campaign import CampaignEngine, resolve_engine
 from repro.experiments.scenario import (
     ChargingScheme,
     ScenarioConfig,
+    ScenarioResult,
     charge_with_scheme,
-    run_scenario,
 )
 
 PAPER_BACKGROUND_SWEEP_BPS = (0.0, 100e6, 120e6, 140e6, 160e6)
@@ -43,28 +44,37 @@ class CongestionPoint:
     loss_fraction: float
 
 
-def run_congestion_point(
+def _cell_configs(
     app: str,
     background_bps: float,
-    seeds: tuple[int, ...] = (1, 2, 3),
-    cycle_duration: float = 60.0,
-    loss_weight: float = 0.5,
-) -> CongestionPoint:
-    """Average one sweep cell over several seeded cycles."""
-    record_gaps = []
-    ratios: dict[ChargingScheme, list[float]] = {
-        s: [] for s in ChargingScheme
-    }
-    losses = []
-    for seed in seeds:
-        config = ScenarioConfig(
+    seeds: tuple[int, ...],
+    cycle_duration: float,
+    loss_weight: float,
+) -> list[ScenarioConfig]:
+    return [
+        ScenarioConfig(
             app=app,
             seed=seed,
             cycle_duration=cycle_duration,
             background_bps=background_bps,
             loss_weight=loss_weight,
         )
-        result = run_scenario(config)
+        for seed in seeds
+    ]
+
+
+def _point_from_results(
+    app: str,
+    background_bps: float,
+    cell: list[tuple[ScenarioConfig, ScenarioResult]],
+) -> CongestionPoint:
+    """Aggregate one sweep cell's seeded runs into a point."""
+    record_gaps = []
+    ratios: dict[ChargingScheme, list[float]] = {
+        s: [] for s in ChargingScheme
+    }
+    losses = []
+    for config, result in cell:
         record_gaps.append(
             to_mb(per_hour(result.truth.loss, result.duration))
         )
@@ -75,7 +85,7 @@ def run_congestion_point(
             ChargingScheme.TLC_RANDOM,
             ChargingScheme.TLC_OPTIMAL,
         ):
-            outcome = charge_with_scheme(result, scheme, seed=seed)
+            outcome = charge_with_scheme(result, scheme, seed=config.seed)
             ratios[scheme].append(outcome.gap_ratio)
 
     return CongestionPoint(
@@ -93,32 +103,68 @@ def run_congestion_point(
     )
 
 
+def run_congestion_point(
+    app: str,
+    background_bps: float,
+    seeds: tuple[int, ...] = (1, 2, 3),
+    cycle_duration: float = 60.0,
+    loss_weight: float = 0.5,
+    engine: CampaignEngine | None = None,
+) -> CongestionPoint:
+    """Average one sweep cell over several seeded cycles."""
+    configs = _cell_configs(
+        app, background_bps, seeds, cycle_duration, loss_weight
+    )
+    results = resolve_engine(engine).run_scenarios(configs)
+    return _point_from_results(
+        app, background_bps, list(zip(configs, results))
+    )
+
+
 def congestion_sweep(
     apps: tuple[str, ...] = ALL_APPS,
     backgrounds_bps: tuple[float, ...] = PAPER_BACKGROUND_SWEEP_BPS,
     seeds: tuple[int, ...] = (1, 2, 3),
     cycle_duration: float = 60.0,
     loss_weight: float = 0.5,
+    engine: CampaignEngine | None = None,
 ) -> list[CongestionPoint]:
-    """The full Figure 3 / Figure 13 grid."""
-    return [
-        run_congestion_point(
+    """The full Figure 3 / Figure 13 grid, submitted as one campaign."""
+    cells = [
+        (app, bg) for app in apps for bg in backgrounds_bps
+    ]
+    configs = [
+        config
+        for app, bg in cells
+        for config in _cell_configs(
             app, bg, seeds, cycle_duration, loss_weight
         )
-        for app in apps
-        for bg in backgrounds_bps
     ]
+    results = resolve_engine(engine).run_scenarios(configs)
+    points = []
+    per_cell = len(seeds)
+    for index, (app, bg) in enumerate(cells):
+        chunk = list(
+            zip(
+                configs[index * per_cell : (index + 1) * per_cell],
+                results[index * per_cell : (index + 1) * per_cell],
+            )
+        )
+        points.append(_point_from_results(app, bg, chunk))
+    return points
 
 
 def baseline_record_gaps(
     seeds: tuple[int, ...] = (1, 2, 3, 4, 5),
     cycle_duration: float = 60.0,
+    engine: CampaignEngine | None = None,
 ) -> dict[str, float]:
     """§3.2's good-radio, no-congestion record gaps (MB/hr) per app."""
-    out = {}
-    for app in FIG3_APPS:
-        point = run_congestion_point(
-            app, 0.0, seeds=seeds, cycle_duration=cycle_duration
-        )
-        out[app] = point.record_gap_mb_per_hr
-    return out
+    points = congestion_sweep(
+        apps=FIG3_APPS,
+        backgrounds_bps=(0.0,),
+        seeds=seeds,
+        cycle_duration=cycle_duration,
+        engine=engine,
+    )
+    return {p.app: p.record_gap_mb_per_hr for p in points}

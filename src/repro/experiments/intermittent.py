@@ -17,11 +17,15 @@ from dataclasses import dataclass, field
 
 from repro.apps.base import FrameModel, Workload
 from repro.charging.policy import ChargingPolicy
+from repro.experiments.campaign import (
+    CampaignEngine,
+    CampaignTask,
+    resolve_engine,
+)
 from repro.experiments.scenario import (
     ChargingScheme,
     ScenarioConfig,
     charge_with_scheme,
-    run_scenario,
 )
 from repro.lte.network import LteNetwork, LteNetworkConfig
 from repro.net.channel import ChannelConfig
@@ -54,15 +58,27 @@ class TimeseriesResult:
     rlf_events: int = 0
 
 
-def intermittent_timeseries(
-    duration: float = 300.0,
-    seed: int = 4,
-    mean_outage: float = 1.93,
-    disconnectivity_ratio: float = 0.10,
-    rss_dbm: float = -95.0,
-    sample_period: float = 1.0,
-) -> TimeseriesResult:
-    """Reproduce Figure 4: DL UDP webcam through intermittent coverage."""
+@dataclass(frozen=True)
+class TimeseriesConfig:
+    """Parameters of one Figure 4 time-series run (a pure function of
+    these fields, so campaign-cacheable)."""
+
+    duration: float = 300.0
+    seed: int = 4
+    mean_outage: float = 1.93
+    disconnectivity_ratio: float = 0.10
+    rss_dbm: float = -95.0
+    sample_period: float = 1.0
+
+
+def run_timeseries_cell(config: TimeseriesConfig) -> TimeseriesResult:
+    """Campaign runner for one Figure 4 trace."""
+    duration = config.duration
+    seed = config.seed
+    mean_outage = config.mean_outage
+    disconnectivity_ratio = config.disconnectivity_ratio
+    rss_dbm = config.rss_dbm
+    sample_period = config.sample_period
     loop = EventLoop()
     rngs = RngStreams(seed)
     channel = ChannelConfig.for_disconnectivity_ratio(
@@ -150,6 +166,28 @@ def intermittent_timeseries(
     return result
 
 
+def intermittent_timeseries(
+    duration: float = 300.0,
+    seed: int = 4,
+    mean_outage: float = 1.93,
+    disconnectivity_ratio: float = 0.10,
+    rss_dbm: float = -95.0,
+    sample_period: float = 1.0,
+    engine: CampaignEngine | None = None,
+) -> TimeseriesResult:
+    """Reproduce Figure 4: DL UDP webcam through intermittent coverage."""
+    config = TimeseriesConfig(
+        duration=duration,
+        seed=seed,
+        mean_outage=mean_outage,
+        disconnectivity_ratio=disconnectivity_ratio,
+        rss_dbm=rss_dbm,
+        sample_period=sample_period,
+    )
+    task = CampaignTask(fn=run_timeseries_cell, config=config)
+    return resolve_engine(engine).run_tasks([task])[0]
+
+
 @dataclass(frozen=True)
 class IntermittentPoint:
     """One η cell of the Figure 14 sweep, averaged over seeds."""
@@ -166,28 +204,43 @@ def intermittent_sweep(
     app: str = "webcam-udp",
     cycle_duration: float = 120.0,
     loss_weight: float = 0.5,
+    engine: CampaignEngine | None = None,
 ) -> list[IntermittentPoint]:
     """Reproduce Figure 14: gap ratio vs disconnectivity ratio η."""
+    grid = [
+        ScenarioConfig(
+            app=app,
+            seed=seed,
+            cycle_duration=cycle_duration,
+            disconnectivity_ratio=eta,
+            loss_weight=loss_weight,
+        )
+        for eta in etas
+        for seed in seeds
+    ]
+    results = resolve_engine(engine).run_scenarios(grid)
     points = []
-    for eta in etas:
+    for eta_index, eta in enumerate(etas):
         ratios: dict[ChargingScheme, list[float]] = {
             s: [] for s in ChargingScheme
         }
-        for seed in seeds:
-            config = ScenarioConfig(
-                app=app,
-                seed=seed,
-                cycle_duration=cycle_duration,
-                disconnectivity_ratio=eta,
-                loss_weight=loss_weight,
+        cell = list(
+            zip(
+                grid[eta_index * len(seeds) : (eta_index + 1) * len(seeds)],
+                results[
+                    eta_index * len(seeds) : (eta_index + 1) * len(seeds)
+                ],
             )
-            result = run_scenario(config)
+        )
+        for config, result in cell:
             for scheme in (
                 ChargingScheme.LEGACY,
                 ChargingScheme.TLC_RANDOM,
                 ChargingScheme.TLC_OPTIMAL,
             ):
-                outcome = charge_with_scheme(result, scheme, seed=seed)
+                outcome = charge_with_scheme(
+                    result, scheme, seed=config.seed
+                )
                 ratios[scheme].append(outcome.gap_ratio)
         points.append(
             IntermittentPoint(

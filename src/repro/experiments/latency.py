@@ -17,11 +17,15 @@ import statistics
 from dataclasses import dataclass
 
 from repro.charging.policy import ChargingPolicy
+from repro.experiments.campaign import (
+    CampaignEngine,
+    CampaignTask,
+    resolve_engine,
+)
 from repro.experiments.scenario import (
     ChargingScheme,
     ScenarioConfig,
     charge_with_scheme,
-    run_scenario,
 )
 from repro.lte.network import LteNetwork, LteNetworkConfig
 from repro.lte.ue import DEVICE_PROFILES
@@ -47,6 +51,28 @@ class RttMeasurement:
     def overhead_ms(self) -> float:
         """TLC-induced RTT change (expected ~0)."""
         return self.rtt_ms_with_tlc - self.rtt_ms_without_tlc
+
+
+@dataclass(frozen=True)
+class RttCellConfig:
+    """One RTT measurement cell: a device with TLC on or off."""
+
+    device: str
+    with_tlc: bool
+    probes: int
+    seed: int
+
+
+def run_rtt_cell(config: RttCellConfig) -> tuple[float, ...]:
+    """Campaign runner: per-probe RTTs (s) for one measurement cell."""
+    return tuple(
+        _measure_rtt(
+            config.device,
+            with_tlc=config.with_tlc,
+            probes=config.probes,
+            seed=config.seed,
+        )
+    )
 
 
 def _measure_rtt(
@@ -123,12 +149,24 @@ def rtt_comparison(
     devices: tuple[str, ...] = ("EL20", "Pixel2XL", "S7Edge"),
     probes: int = 200,
     seed: int = 9,
+    engine: CampaignEngine | None = None,
 ) -> list[RttMeasurement]:
     """Figure 16a: mean RTT per device, TLC off vs on (200 pings each)."""
+    tasks = [
+        CampaignTask(
+            fn=run_rtt_cell,
+            config=RttCellConfig(
+                device=device, with_tlc=with_tlc, probes=probes, seed=seed
+            ),
+        )
+        for device in devices
+        for with_tlc in (False, True)
+    ]
+    rtts = resolve_engine(engine).run_tasks(tasks)
     out = []
-    for device in devices:
-        without = _measure_rtt(device, with_tlc=False, probes=probes, seed=seed)
-        with_tlc = _measure_rtt(device, with_tlc=True, probes=probes, seed=seed)
+    for index, device in enumerate(devices):
+        without = rtts[2 * index]
+        with_tlc = rtts[2 * index + 1]
         out.append(
             RttMeasurement(
                 device=device,
@@ -158,17 +196,23 @@ def negotiation_rounds(
     ),
     seeds: tuple[int, ...] = tuple(range(1, 21)),
     cycle_duration: float = 30.0,
+    engine: CampaignEngine | None = None,
 ) -> list[RoundsMeasurement]:
     """Figure 16b: rounds to converge, TLC-optimal vs TLC-random."""
+    grid = [
+        ScenarioConfig(app=app, seed=seed, cycle_duration=cycle_duration)
+        for app in apps
+        for seed in seeds
+    ]
+    results = resolve_engine(engine).run_scenarios(grid)
     out = []
     for app_index, app in enumerate(apps):
         optimal_rounds = []
         random_rounds = []
-        for seed in seeds:
-            config = ScenarioConfig(
-                app=app, seed=seed, cycle_duration=cycle_duration
-            )
-            result = run_scenario(config)
+        cell = results[
+            app_index * len(seeds) : (app_index + 1) * len(seeds)
+        ]
+        for seed, result in zip(seeds, cell):
             # Salt the negotiation seed per app so the random strategy's
             # accept/reject draws differ across apps, as they would in
             # independent experiment rounds.

@@ -19,6 +19,11 @@ from repro.core.cancellation import negotiate
 from repro.core.plan import DataPlan
 from repro.core.records import GroundTruth, UsageView
 from repro.core.strategies import OptimalStrategy, Role
+from repro.experiments.campaign import (
+    CampaignEngine,
+    CampaignTask,
+    resolve_engine,
+)
 from repro.lte.handover import HandoverConfig, HandoverManager
 from repro.lte.network import LteNetwork, LteNetworkConfig
 from repro.net.channel import ChannelConfig
@@ -38,79 +43,147 @@ class MobilityPoint:
     tlc_gap_ratio: float
 
 
+@dataclass(frozen=True)
+class MobilityCellConfig:
+    """One seeded run of the mobility experiment."""
+
+    mean_interval: float
+    seed: int
+    duration: float = 60.0
+    interruption: float = 0.050
+    bitrate_bps: float = 9.0e6
+
+
+@dataclass(frozen=True)
+class MobilityCellOutcome:
+    """What one seeded mobility run measured."""
+
+    handovers: int
+    counter_checks: int
+    legacy_gap_ratio: float | None  # None when the cycle carried no data
+    tlc_gap_ratio: float | None
+
+
+def run_mobility_cell(config: MobilityCellConfig) -> MobilityCellOutcome:
+    """Campaign runner for one seeded mobility cycle."""
+    loop = EventLoop()
+    rngs = RngStreams(config.seed)
+    network = LteNetwork(
+        loop,
+        LteNetworkConfig(
+            channel=ChannelConfig(
+                rss_dbm=-90.0,
+                base_loss_rate=0.01,
+                mean_uptime=float("inf"),
+                buffer_packets=32,
+            ),
+        ),
+        rngs.fork("lte"),
+    )
+    manager = HandoverManager(
+        loop,
+        network.enodeb,
+        HandoverConfig(
+            mean_interval=config.mean_interval,
+            interruption=config.interruption,
+        ),
+        rngs.stream("mobility"),
+    )
+    workload = Workload(
+        loop=loop,
+        send=network.send_downlink,
+        model=FrameModel(bitrate_bps=config.bitrate_bps, fps=60.0),
+        rng=rngs.stream("workload"),
+        flow="vr-mobile",
+        direction=Direction.DOWNLINK,
+    )
+    workload.start()
+    loop.schedule_at(config.duration, workload.stop, label="stop")
+    loop.run(until=config.duration + 1.0)
+
+    truth = GroundTruth(
+        sent=float(network.true_downlink_sent()),
+        received=float(network.true_downlink_received()),
+    )
+    fair = truth.fair_volume(0.5)
+    legacy = float(network.legacy_charged(Direction.DOWNLINK))
+    plan = DataPlan(
+        cycle=ChargingCycle(index=0, start=0.0, end=config.duration),
+        loss_weight=0.5,
+    )
+    view = UsageView.exact(truth)
+    result = negotiate(
+        OptimalStrategy(Role.EDGE, view),
+        OptimalStrategy(Role.OPERATOR, view),
+        plan,
+    )
+    legacy_ratio = tlc_ratio = None
+    if fair > 0:
+        legacy_ratio = abs(legacy - fair) / fair
+        tlc_ratio = abs((result.volume or 0.0) - fair) / fair
+    return MobilityCellOutcome(
+        handovers=manager.handover_count,
+        counter_checks=network.enodeb.counter_check_messages,
+        legacy_gap_ratio=legacy_ratio,
+        tlc_gap_ratio=tlc_ratio,
+    )
+
+
+def _point_from_cells(
+    mean_interval: float, cells: list[MobilityCellOutcome]
+) -> MobilityPoint:
+    return MobilityPoint(
+        mean_handover_interval=mean_interval,
+        handovers_per_cycle=statistics.mean(c.handovers for c in cells),
+        counter_checks_per_cycle=statistics.mean(
+            c.counter_checks for c in cells
+        ),
+        legacy_gap_ratio=statistics.mean(
+            c.legacy_gap_ratio
+            for c in cells
+            if c.legacy_gap_ratio is not None
+        ),
+        tlc_gap_ratio=statistics.mean(
+            c.tlc_gap_ratio for c in cells if c.tlc_gap_ratio is not None
+        ),
+    )
+
+
+def _cell_tasks(
+    mean_interval: float,
+    seeds: tuple[int, ...],
+    duration: float,
+    interruption: float,
+    bitrate_bps: float,
+) -> list[CampaignTask]:
+    return [
+        CampaignTask(
+            fn=run_mobility_cell,
+            config=MobilityCellConfig(
+                mean_interval=mean_interval,
+                seed=seed,
+                duration=duration,
+                interruption=interruption,
+                bitrate_bps=bitrate_bps,
+            ),
+        )
+        for seed in seeds
+    ]
+
+
 def run_mobility_point(
     mean_interval: float,
     seeds: tuple[int, ...] = (1, 2, 3),
     duration: float = 60.0,
     interruption: float = 0.050,
     bitrate_bps: float = 9.0e6,
+    engine: CampaignEngine | None = None,
 ) -> MobilityPoint:
     """One (handover rate) cell of the mobility sweep."""
-    handovers, checks, legacy_ratios, tlc_ratios = [], [], [], []
-    for seed in seeds:
-        loop = EventLoop()
-        rngs = RngStreams(seed)
-        network = LteNetwork(
-            loop,
-            LteNetworkConfig(
-                channel=ChannelConfig(
-                    rss_dbm=-90.0,
-                    base_loss_rate=0.01,
-                    mean_uptime=float("inf"),
-                    buffer_packets=32,
-                ),
-            ),
-            rngs.fork("lte"),
-        )
-        manager = HandoverManager(
-            loop,
-            network.enodeb,
-            HandoverConfig(
-                mean_interval=mean_interval, interruption=interruption
-            ),
-            rngs.stream("mobility"),
-        )
-        workload = Workload(
-            loop=loop,
-            send=network.send_downlink,
-            model=FrameModel(bitrate_bps=bitrate_bps, fps=60.0),
-            rng=rngs.stream("workload"),
-            flow="vr-mobile",
-            direction=Direction.DOWNLINK,
-        )
-        workload.start()
-        loop.schedule_at(duration, workload.stop, label="stop")
-        loop.run(until=duration + 1.0)
-
-        truth = GroundTruth(
-            sent=float(network.true_downlink_sent()),
-            received=float(network.true_downlink_received()),
-        )
-        fair = truth.fair_volume(0.5)
-        legacy = float(network.legacy_charged(Direction.DOWNLINK))
-        plan = DataPlan(
-            cycle=ChargingCycle(index=0, start=0.0, end=duration),
-            loss_weight=0.5,
-        )
-        view = UsageView.exact(truth)
-        result = negotiate(
-            OptimalStrategy(Role.EDGE, view),
-            OptimalStrategy(Role.OPERATOR, view),
-            plan,
-        )
-        handovers.append(manager.handover_count)
-        checks.append(network.enodeb.counter_check_messages)
-        if fair > 0:
-            legacy_ratios.append(abs(legacy - fair) / fair)
-            tlc_ratios.append(abs((result.volume or 0.0) - fair) / fair)
-
-    return MobilityPoint(
-        mean_handover_interval=mean_interval,
-        handovers_per_cycle=statistics.mean(handovers),
-        counter_checks_per_cycle=statistics.mean(checks),
-        legacy_gap_ratio=statistics.mean(legacy_ratios),
-        tlc_gap_ratio=statistics.mean(tlc_ratios),
+    cells = resolve_engine(engine).run_tasks(
+        _cell_tasks(mean_interval, seeds, duration, interruption, bitrate_bps)
     )
+    return _point_from_cells(mean_interval, cells)
 
 
 def mobility_sweep(
@@ -118,15 +191,23 @@ def mobility_sweep(
     seeds: tuple[int, ...] = (1, 2, 3),
     duration: float = 60.0,
     interruption: float = 0.150,
+    engine: CampaignEngine | None = None,
 ) -> list[MobilityPoint]:
     """Handover-rate sweep from stationary-ish (largest interval) to
-    highway-speed cell-crossing (smallest)."""
-    return [
-        run_mobility_point(
-            interval,
-            seeds=seeds,
-            duration=duration,
-            interruption=interruption,
-        )
+    highway-speed cell-crossing (smallest), as one campaign."""
+    tasks = [
+        task
         for interval in intervals
+        for task in _cell_tasks(
+            interval, seeds, duration, interruption, 9.0e6
+        )
+    ]
+    cells = resolve_engine(engine).run_tasks(tasks)
+    per_cell = len(seeds)
+    return [
+        _point_from_cells(
+            interval,
+            cells[index * per_cell : (index + 1) * per_cell],
+        )
+        for index, interval in enumerate(intervals)
     ]

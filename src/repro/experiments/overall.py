@@ -13,11 +13,11 @@ import statistics
 from dataclasses import dataclass
 
 from repro.core.gap import per_hour, to_mb
+from repro.experiments.campaign import CampaignEngine, resolve_engine
 from repro.experiments.scenario import (
     ChargingScheme,
     ScenarioConfig,
     charge_with_scheme,
-    run_scenario,
 )
 
 ALL_APPS = ("webcam-rtsp", "webcam-udp", "vridge", "gaming")
@@ -71,59 +71,78 @@ class AppSummary:
         )
 
 
+def overall_grid(
+    apps: tuple[str, ...] = ALL_APPS,
+    conditions: tuple[tuple[float, float], ...] = DEFAULT_CONDITIONS,
+    seeds: tuple[int, ...] = (1, 2, 3),
+    cycle_duration: float = 60.0,
+    loss_weight: float = 0.5,
+) -> list[ScenarioConfig]:
+    """The Figure 12 / Table 2 condition x seed grid, in dataset order."""
+    return [
+        ScenarioConfig(
+            app=app,
+            seed=seed,
+            cycle_duration=cycle_duration,
+            background_bps=background_bps,
+            disconnectivity_ratio=eta,
+            loss_weight=loss_weight,
+        )
+        for app in apps
+        for background_bps, eta in conditions
+        for seed in seeds
+    ]
+
+
 def overall_dataset(
     apps: tuple[str, ...] = ALL_APPS,
     conditions: tuple[tuple[float, float], ...] = DEFAULT_CONDITIONS,
     seeds: tuple[int, ...] = (1, 2, 3),
     cycle_duration: float = 60.0,
     loss_weight: float = 0.5,
+    engine: CampaignEngine | None = None,
 ) -> list[CycleOutcome]:
-    """Run the mixed-condition grid and collect per-cycle outcomes."""
-    outcomes = []
+    """Run the mixed-condition grid and collect per-cycle outcomes.
+
+    The grid goes through the campaign ``engine`` (parallelizable and
+    cacheable); the per-result charging post-processing is deterministic
+    given each result, so the dataset is identical at any worker count.
+    """
     schemes = (
         ChargingScheme.LEGACY,
         ChargingScheme.TLC_OPTIMAL,
         ChargingScheme.TLC_RANDOM,
     )
-    for app in apps:
-        for background_bps, eta in conditions:
-            for seed in seeds:
-                config = ScenarioConfig(
-                    app=app,
-                    seed=seed,
-                    cycle_duration=cycle_duration,
-                    background_bps=background_bps,
-                    disconnectivity_ratio=eta,
-                    loss_weight=loss_weight,
-                )
-                result = run_scenario(config)
-                gap_mb = {}
-                ratio = {}
-                rounds = {}
-                for scheme in schemes:
-                    outcome = charge_with_scheme(result, scheme, seed=seed)
-                    gap_mb[scheme] = to_mb(
-                        per_hour(outcome.absolute_gap, result.duration)
-                    )
-                    ratio[scheme] = outcome.gap_ratio
-                    rounds[scheme] = outcome.rounds
-                outcomes.append(
-                    CycleOutcome(
-                        app=app,
-                        seed=seed,
-                        background_bps=background_bps,
-                        disconnectivity_ratio=eta,
-                        bitrate_mbps=(
-                            result.truth.sent
-                            * 8
-                            / result.duration
-                            / 1e6
-                        ),
-                        gap_mb_per_hr=gap_mb,
-                        gap_ratio=ratio,
-                        rounds=rounds,
-                    )
-                )
+    grid = overall_grid(
+        apps, conditions, seeds, cycle_duration, loss_weight
+    )
+    results = resolve_engine(engine).run_scenarios(grid)
+    outcomes = []
+    for config, result in zip(grid, results):
+        gap_mb = {}
+        ratio = {}
+        rounds = {}
+        for scheme in schemes:
+            outcome = charge_with_scheme(result, scheme, seed=config.seed)
+            gap_mb[scheme] = to_mb(
+                per_hour(outcome.absolute_gap, result.duration)
+            )
+            ratio[scheme] = outcome.gap_ratio
+            rounds[scheme] = outcome.rounds
+        outcomes.append(
+            CycleOutcome(
+                app=config.app,
+                seed=config.seed,
+                background_bps=config.background_bps,
+                disconnectivity_ratio=config.disconnectivity_ratio,
+                bitrate_mbps=(
+                    result.truth.sent * 8 / result.duration / 1e6
+                ),
+                gap_mb_per_hr=gap_mb,
+                gap_ratio=ratio,
+                rounds=rounds,
+            )
+        )
     return outcomes
 
 

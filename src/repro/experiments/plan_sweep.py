@@ -17,11 +17,11 @@ import statistics
 from dataclasses import dataclass
 
 from repro.core.gap import reduction_ratio
+from repro.experiments.campaign import CampaignEngine, resolve_engine
 from repro.experiments.scenario import (
     ChargingScheme,
     ScenarioConfig,
     charge_with_scheme,
-    run_scenario,
 )
 
 PAPER_C_VALUES = (0.0, 0.25, 0.5, 0.75, 1.0)
@@ -46,28 +46,35 @@ def plan_sweep(
     seeds: tuple[int, ...] = (1, 2, 3, 4, 5, 6),
     backgrounds_bps: tuple[float, ...] = (0.0, 120e6, 160e6),
     cycle_duration: float = 60.0,
+    engine: CampaignEngine | None = None,
 ) -> list[PlanSweepResult]:
     """Reproduce Figure 15's µ CDFs across plan weights."""
+    grid = [
+        ScenarioConfig(
+            app=app,
+            seed=seed,
+            cycle_duration=cycle_duration,
+            background_bps=background,
+            loss_weight=c,
+        )
+        for c in c_values
+        for background in backgrounds_bps
+        for seed in seeds
+    ]
+    scenario_results = resolve_engine(engine).run_scenarios(grid)
+    per_c = len(backgrounds_bps) * len(seeds)
     results = []
-    for c in c_values:
+    for c_index, c in enumerate(c_values):
         reductions = []
-        for background in backgrounds_bps:
-            for seed in seeds:
-                config = ScenarioConfig(
-                    app=app,
-                    seed=seed,
-                    cycle_duration=cycle_duration,
-                    background_bps=background,
-                    loss_weight=c,
-                )
-                result = run_scenario(config)
-                legacy = charge_with_scheme(
-                    result, ChargingScheme.LEGACY
-                ).charged
-                tlc = charge_with_scheme(
-                    result, ChargingScheme.TLC_OPTIMAL
-                ).charged
-                reductions.append(reduction_ratio(legacy, tlc))
+        cell = scenario_results[c_index * per_c : (c_index + 1) * per_c]
+        for result in cell:
+            legacy = charge_with_scheme(
+                result, ChargingScheme.LEGACY
+            ).charged
+            tlc = charge_with_scheme(
+                result, ChargingScheme.TLC_OPTIMAL
+            ).charged
+            reductions.append(reduction_ratio(legacy, tlc))
         results.append(
             PlanSweepResult(c=c, reductions=tuple(reductions))
         )

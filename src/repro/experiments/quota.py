@@ -16,6 +16,11 @@ from dataclasses import dataclass
 
 from repro.apps.base import FrameModel, Workload
 from repro.charging.policy import ChargingPolicy
+from repro.experiments.campaign import (
+    CampaignEngine,
+    CampaignTask,
+    resolve_engine,
+)
 from repro.lte.network import LteNetwork, LteNetworkConfig
 from repro.net.channel import ChannelConfig
 from repro.net.packet import Direction
@@ -36,22 +41,33 @@ class QuotaOutcome:
     loss_fraction: float
 
 
-def run_quota_cycle(
-    quota_bytes: int,
-    effective_quota_bytes: int | None = None,
-    label: str = "legacy",
-    seed: int = 3,
-    duration: float = 60.0,
-    bitrate_bps: float = 4.0e6,
-    loss_rate: float = 0.10,
-    throttle_bps: float = 128_000.0,
-) -> QuotaOutcome:
-    """Stream against a quota; ``effective_quota_bytes`` models a fairer
-    accounting (e.g. TLC's x̂ instead of the raw gateway count)."""
+@dataclass(frozen=True)
+class QuotaCellConfig:
+    """One quota-limited cycle (a pure function of these fields)."""
+
+    quota_bytes: int
+    effective_quota_bytes: int | None = None
+    label: str = "legacy"
+    seed: int = 3
+    duration: float = 60.0
+    bitrate_bps: float = 4.0e6
+    loss_rate: float = 0.10
+    throttle_bps: float = 128_000.0
+
+
+def run_quota_cell(config: QuotaCellConfig) -> QuotaOutcome:
+    """Campaign runner for one quota-limited cycle."""
+    quota_bytes = config.quota_bytes
+    label = config.label
+    seed = config.seed
+    duration = config.duration
+    bitrate_bps = config.bitrate_bps
+    loss_rate = config.loss_rate
+    throttle_bps = config.throttle_bps
     loop = EventLoop()
     effective = (
-        effective_quota_bytes
-        if effective_quota_bytes is not None
+        config.effective_quota_bytes
+        if config.effective_quota_bytes is not None
         else quota_bytes
     )
     network = LteNetwork(
@@ -97,11 +113,39 @@ def run_quota_cycle(
     )
 
 
+def run_quota_cycle(
+    quota_bytes: int,
+    effective_quota_bytes: int | None = None,
+    label: str = "legacy",
+    seed: int = 3,
+    duration: float = 60.0,
+    bitrate_bps: float = 4.0e6,
+    loss_rate: float = 0.10,
+    throttle_bps: float = 128_000.0,
+    engine: CampaignEngine | None = None,
+) -> QuotaOutcome:
+    """Stream against a quota; ``effective_quota_bytes`` models a fairer
+    accounting (e.g. TLC's x̂ instead of the raw gateway count)."""
+    config = QuotaCellConfig(
+        quota_bytes=quota_bytes,
+        effective_quota_bytes=effective_quota_bytes,
+        label=label,
+        seed=seed,
+        duration=duration,
+        bitrate_bps=bitrate_bps,
+        loss_rate=loss_rate,
+        throttle_bps=throttle_bps,
+    )
+    task = CampaignTask(fn=run_quota_cell, config=config)
+    return resolve_engine(engine).run_tasks([task])[0]
+
+
 def compare_quota_accounting(
     quota_bytes: int = 12_000_000,
     seed: int = 3,
     duration: float = 60.0,
     loss_rate: float = 0.10,
+    engine: CampaignEngine | None = None,
 ) -> tuple[QuotaOutcome, QuotaOutcome]:
     """(legacy-accounted, TLC-accounted) quota outcomes.
 
@@ -110,24 +154,33 @@ def compare_quota_accounting(
     a quota larger by the discounted loss — modelled by inflating the
     enforced threshold accordingly.
     """
-    legacy = run_quota_cycle(
-        quota_bytes,
-        label="legacy accounting",
-        seed=seed,
-        duration=duration,
-        loss_rate=loss_rate,
-    )
     # TLC charges x̂ = gw - 0.5*(network loss); the same quota therefore
     # lasts 1 / (1 - 0.5*loss_rate) times longer in gateway-byte terms.
     # (Only the *network* loss counts — the shaper's own tail drops are
     # after the metering point in either accounting.)
     inflation = 1.0 / (1.0 - 0.5 * loss_rate)
-    tlc = run_quota_cycle(
-        quota_bytes,
-        effective_quota_bytes=int(quota_bytes * inflation),
-        label="TLC accounting",
-        seed=seed,
-        duration=duration,
-        loss_rate=loss_rate,
-    )
+    tasks = [
+        CampaignTask(
+            fn=run_quota_cell,
+            config=QuotaCellConfig(
+                quota_bytes=quota_bytes,
+                label="legacy accounting",
+                seed=seed,
+                duration=duration,
+                loss_rate=loss_rate,
+            ),
+        ),
+        CampaignTask(
+            fn=run_quota_cell,
+            config=QuotaCellConfig(
+                quota_bytes=quota_bytes,
+                effective_quota_bytes=int(quota_bytes * inflation),
+                label="TLC accounting",
+                seed=seed,
+                duration=duration,
+                loss_rate=loss_rate,
+            ),
+        ),
+    ]
+    legacy, tlc = resolve_engine(engine).run_tasks(tasks)
     return legacy, tlc

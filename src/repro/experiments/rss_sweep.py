@@ -11,11 +11,11 @@ from __future__ import annotations
 import statistics
 from dataclasses import dataclass
 
+from repro.experiments.campaign import CampaignEngine, resolve_engine
 from repro.experiments.scenario import (
     ChargingScheme,
     ScenarioConfig,
     charge_with_scheme,
-    run_scenario,
 )
 
 PAPER_RSS_SWEEP_DBM = (-95.0, -100.0, -105.0, -110.0)
@@ -36,19 +36,27 @@ def rss_sweep(
     app: str = "webcam-udp",
     seeds: tuple[int, ...] = (1, 2, 3),
     cycle_duration: float = 40.0,
+    engine: CampaignEngine | None = None,
 ) -> list[RssPoint]:
     """Legacy vs TLC gap ratios across the paper's RSS range."""
+    grid = [
+        ScenarioConfig(
+            app=app,
+            seed=seed,
+            cycle_duration=cycle_duration,
+            rss_dbm=rss,
+        )
+        for rss in rss_values_dbm
+        for seed in seeds
+    ]
+    results = resolve_engine(engine).run_scenarios(grid)
     points = []
-    for rss in rss_values_dbm:
+    for rss_index, rss in enumerate(rss_values_dbm):
         losses, legacy_ratios, optimal_ratios = [], [], []
-        for seed in seeds:
-            config = ScenarioConfig(
-                app=app,
-                seed=seed,
-                cycle_duration=cycle_duration,
-                rss_dbm=rss,
-            )
-            result = run_scenario(config)
+        cell = results[
+            rss_index * len(seeds) : (rss_index + 1) * len(seeds)
+        ]
+        for result in cell:
             if result.truth.sent > 0:
                 losses.append(result.truth.loss / result.truth.sent)
             legacy_ratios.append(

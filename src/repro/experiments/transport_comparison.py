@@ -15,6 +15,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.apps.base import FrameModel, Workload
+from repro.experiments.campaign import (
+    CampaignEngine,
+    CampaignTask,
+    resolve_engine,
+)
 from repro.lte.network import LteNetwork, LteNetworkConfig
 from repro.net.channel import ChannelConfig
 from repro.net.packet import Direction, Packet
@@ -71,11 +76,38 @@ def _build_network(seed: int, loss_rate: float) -> tuple[EventLoop, LteNetwork]:
     return loop, network
 
 
-def run_udp(
-    seed: int = 1,
-    loss_rate: float = 0.08,
-    duration: float = 30.0,
-    bitrate_bps: float = 2e6,
+@dataclass(frozen=True)
+class TransportCellConfig:
+    """One transport-ablation run (``transport`` is ``udp``/``tcp-like``)."""
+
+    transport: str
+    seed: int = 1
+    loss_rate: float = 0.08
+    duration: float = 30.0
+    bitrate_bps: float = 2e6
+
+
+def run_transport_cell(config: TransportCellConfig) -> TransportOutcome:
+    """Campaign runner dispatching to the UDP or TCP-like ablation."""
+    if config.transport == "udp":
+        runner = _run_udp_body
+    elif config.transport == "tcp-like":
+        runner = _run_tcp_like_body
+    else:
+        raise ValueError(f"unknown transport {config.transport!r}")
+    return runner(
+        seed=config.seed,
+        loss_rate=config.loss_rate,
+        duration=config.duration,
+        bitrate_bps=config.bitrate_bps,
+    )
+
+
+def _run_udp_body(
+    seed: int,
+    loss_rate: float,
+    duration: float,
+    bitrate_bps: float,
 ) -> TransportOutcome:
     """Stream the frames over plain UDP (no recovery)."""
     loop, network = _build_network(seed, loss_rate)
@@ -98,6 +130,27 @@ def run_udp(
         device_received=network.ue.app_received_bytes,
         retransmitted_bytes=0,
     )
+
+
+def run_udp(
+    seed: int = 1,
+    loss_rate: float = 0.08,
+    duration: float = 30.0,
+    bitrate_bps: float = 2e6,
+    engine: CampaignEngine | None = None,
+) -> TransportOutcome:
+    """Stream the frames over plain UDP (no recovery)."""
+    task = CampaignTask(
+        fn=run_transport_cell,
+        config=TransportCellConfig(
+            transport="udp",
+            seed=seed,
+            loss_rate=loss_rate,
+            duration=duration,
+            bitrate_bps=bitrate_bps,
+        ),
+    )
+    return resolve_engine(engine).run_tasks([task])[0]
 
 
 class _ReliableDownlink:
@@ -169,11 +222,11 @@ class _ReliableDownlink:
         self._retries.pop(packet.seq, None)
 
 
-def run_tcp_like(
-    seed: int = 1,
-    loss_rate: float = 0.08,
-    duration: float = 30.0,
-    bitrate_bps: float = 2e6,
+def _run_tcp_like_body(
+    seed: int,
+    loss_rate: float,
+    duration: float,
+    bitrate_bps: float,
 ) -> TransportOutcome:
     """Stream the same frames over a retransmitting transport."""
     loop, network = _build_network(seed, loss_rate)
@@ -199,11 +252,46 @@ def run_tcp_like(
     )
 
 
-def compare_transports(
-    seed: int = 1, loss_rate: float = 0.08, duration: float = 30.0
-) -> tuple[TransportOutcome, TransportOutcome]:
-    """(udp, tcp-like) outcomes over identical conditions."""
-    return (
-        run_udp(seed=seed, loss_rate=loss_rate, duration=duration),
-        run_tcp_like(seed=seed, loss_rate=loss_rate, duration=duration),
+def run_tcp_like(
+    seed: int = 1,
+    loss_rate: float = 0.08,
+    duration: float = 30.0,
+    bitrate_bps: float = 2e6,
+    engine: CampaignEngine | None = None,
+) -> TransportOutcome:
+    """Stream the same frames over a retransmitting transport."""
+    task = CampaignTask(
+        fn=run_transport_cell,
+        config=TransportCellConfig(
+            transport="tcp-like",
+            seed=seed,
+            loss_rate=loss_rate,
+            duration=duration,
+            bitrate_bps=bitrate_bps,
+        ),
     )
+    return resolve_engine(engine).run_tasks([task])[0]
+
+
+def compare_transports(
+    seed: int = 1,
+    loss_rate: float = 0.08,
+    duration: float = 30.0,
+    engine: CampaignEngine | None = None,
+) -> tuple[TransportOutcome, TransportOutcome]:
+    """(udp, tcp-like) outcomes over identical conditions, as one
+    two-cell campaign."""
+    tasks = [
+        CampaignTask(
+            fn=run_transport_cell,
+            config=TransportCellConfig(
+                transport=transport,
+                seed=seed,
+                loss_rate=loss_rate,
+                duration=duration,
+            ),
+        )
+        for transport in ("udp", "tcp-like")
+    ]
+    udp, tcp = resolve_engine(engine).run_tasks(tasks)
+    return udp, tcp

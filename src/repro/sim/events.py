@@ -47,6 +47,7 @@ class EventLoop:
         self._queue: list[Event] = []
         self._sequence = itertools.count()
         self._processed = 0
+        self._exhausted = False
 
     @property
     def now(self) -> float:
@@ -58,10 +59,25 @@ class EventLoop:
         """How many events have fired so far (for diagnostics)."""
         return self._processed
 
+    @property
+    def exhausted(self) -> bool:
+        """True once :meth:`run` has drained the queue to completion."""
+        return self._exhausted
+
+    def _ensure_alive(self, action: str) -> None:
+        if self._exhausted:
+            raise SimulationError(
+                f"cannot {action}: this EventLoop already ran to "
+                f"exhaustion at t={self.clock.now:.9f}; a finished "
+                f"simulation must not be driven again — build a new "
+                f"EventLoop for a new run"
+            )
+
     def schedule_at(
         self, time: float, callback: Callable[[], Any], label: str = ""
     ) -> Event:
         """Schedule ``callback`` at absolute simulated time ``time``."""
+        self._ensure_alive(f"schedule {label or callback!r}")
         if time < self.clock.now:
             raise SimulationError(
                 f"cannot schedule event in the past: {time:.9f} < "
@@ -85,6 +101,7 @@ class EventLoop:
 
     def step(self) -> bool:
         """Fire the next event.  Returns False when the queue is empty."""
+        self._ensure_alive("step")
         while self._queue:
             event = heapq.heappop(self._queue)
             if event.cancelled:
@@ -103,10 +120,12 @@ class EventLoop:
         until:
             Stop once the next event is strictly later than this time
             (the clock is advanced to ``until``).  ``None`` runs to
-            queue exhaustion.
+            queue exhaustion, after which driving the loop again
+            (run/step/schedule) raises :class:`SimulationError`.
         max_events:
             Safety valve against runaway self-scheduling loops.
         """
+        self._ensure_alive("run")
         fired = 0
         while self._queue:
             if fired >= max_events:
@@ -122,6 +141,10 @@ class EventLoop:
             fired += 1
         if until is not None and self.clock.now < until:
             self.clock.advance_to(until)
+        if until is None:
+            # An explicit run-to-exhaustion ends the simulation's life;
+            # re-driving a finished loop is a caller bug.
+            self._exhausted = True
 
     def _peek(self) -> Event | None:
         while self._queue and self._queue[0].cancelled:

@@ -1,0 +1,256 @@
+"""Randomized property tests for Algorithm 1 and Theorems 2-4.
+
+Each property is checked over a few hundred seeded-random usage pairs
+(``random.Random`` with a fixed seed — reproducible, no extra deps):
+
+- Theorem 2 (bounded charging): with both parties playing any of the
+  rational strategies over *exact* views, the negotiated volume x lands
+  in [x̂o, x̂e]; with noisy/selfish claims it stays inside the claim
+  span the bounds contract to.
+- Theorem 3 (honesty): honest play over exact views yields x = x̂.
+- Theorem 4 (fast convergence): optimal-vs-optimal converges in exactly
+  one round, to exactly x̂.
+- Misbehaviour: the engine terminates within ``max_rounds`` and refuses
+  to emit a volume when one party never accepts.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.charging.cycle import ChargingCycle
+from repro.charging.policy import charged_volume
+from repro.core.cancellation import negotiate
+from repro.core.plan import DataPlan
+from repro.core.records import GroundTruth, UsageView
+from repro.core.strategies import (
+    HonestStrategy,
+    MisbehavingStrategy,
+    OptimalStrategy,
+    RandomSelfishStrategy,
+    Role,
+)
+
+TRIALS = 200
+
+
+def random_case(rng: random.Random) -> tuple[GroundTruth, DataPlan]:
+    """One random (ground truth, plan) pair spanning the regime of
+    interest: KB..GB volumes, 0..30% loss, any loss weight c."""
+    sent = rng.uniform(1e3, 1e9)
+    received = sent * (1.0 - rng.uniform(0.0, 0.30))
+    c = rng.choice([0.0, 1.0, rng.random()])
+    plan = DataPlan(
+        cycle=ChargingCycle(index=0, start=0.0, end=60.0), loss_weight=c
+    )
+    return GroundTruth(sent=sent, received=received), plan
+
+
+def rel(value: float, reference: float) -> float:
+    return abs(value - reference) / max(1.0, abs(reference))
+
+
+class TestEquation1:
+    def test_charged_volume_lies_between_the_claims(self):
+        rng = random.Random(0xE1)
+        for _ in range(TRIALS):
+            a = rng.uniform(0.0, 1e9)
+            b = rng.uniform(0.0, 1e9)
+            c = rng.random()
+            x = charged_volume(a, b, c)
+            assert min(a, b) - 1e-6 <= x <= max(a, b) + 1e-6
+
+    def test_charged_volume_is_symmetric_in_its_claims(self):
+        # Line 8 mirrors the formula when x_o > x_e; both orders agree.
+        rng = random.Random(0xE2)
+        for _ in range(TRIALS):
+            a = rng.uniform(0.0, 1e9)
+            b = rng.uniform(0.0, 1e9)
+            c = rng.random()
+            assert charged_volume(a, b, c) == pytest.approx(
+                charged_volume(b, a, c)
+            )
+
+    def test_endpoints_recover_the_two_pure_policies(self):
+        rng = random.Random(0xE3)
+        for _ in range(TRIALS):
+            truth, _plan = random_case(rng)
+            assert truth.fair_volume(0.0) == pytest.approx(truth.received)
+            assert truth.fair_volume(1.0) == pytest.approx(truth.sent)
+
+
+class TestTheorem2Bounds:
+    def test_exact_view_play_stays_within_the_truth_band(self):
+        rng = random.Random(0x72)
+        for _ in range(TRIALS):
+            truth, plan = random_case(rng)
+            view = UsageView.exact(truth)
+            result = negotiate(
+                OptimalStrategy(Role.EDGE, view),
+                OptimalStrategy(Role.OPERATOR, view),
+                plan,
+            )
+            assert result.converged
+            assert result.volume is not None
+            # Theorem 2: x̂o <= x <= x̂e.
+            assert truth.received - 1e-6 <= result.volume
+            assert result.volume <= truth.sent + 1e-6
+
+    def test_random_selfish_without_overshoot_stays_in_band(self):
+        rng = random.Random(0x73)
+        for trial in range(TRIALS):
+            truth, plan = random_case(rng)
+            view = UsageView.exact(truth)
+            result = negotiate(
+                RandomSelfishStrategy(
+                    Role.EDGE, view, random.Random(trial), overshoot=0.0
+                ),
+                RandomSelfishStrategy(
+                    Role.OPERATOR,
+                    view,
+                    random.Random(1000 + trial),
+                    overshoot=0.0,
+                ),
+                plan,
+            )
+            assert result.converged
+            assert truth.received - 1e-6 <= result.volume
+            assert result.volume <= truth.sent + 1e-6
+
+    def test_default_overshoot_stays_within_the_tolerance_band(self):
+        # With overshoot, claims may stray up to `overshoot` beyond the
+        # band, but the cross-check tolerance caps how far a volume can
+        # land outside [x̂o, x̂e].
+        rng = random.Random(0x74)
+        overshoot = 0.06
+        for trial in range(TRIALS):
+            truth, plan = random_case(rng)
+            view = UsageView.exact(truth)
+            result = negotiate(
+                RandomSelfishStrategy(
+                    Role.EDGE,
+                    view,
+                    random.Random(trial),
+                    overshoot=overshoot,
+                ),
+                RandomSelfishStrategy(
+                    Role.OPERATOR,
+                    view,
+                    random.Random(1000 + trial),
+                    overshoot=overshoot,
+                ),
+                plan,
+            )
+            assert result.converged
+            assert result.volume >= truth.received * (1.0 - overshoot) - 1e-6
+            assert result.volume <= truth.sent * (1.0 + overshoot) + 1e-6
+
+
+class TestTheorem3Honesty:
+    def test_honest_play_charges_exactly_the_fair_volume(self):
+        rng = random.Random(0x33)
+        for _ in range(TRIALS):
+            truth, plan = random_case(rng)
+            view = UsageView.exact(truth)
+            result = negotiate(
+                HonestStrategy(Role.EDGE, view),
+                HonestStrategy(Role.OPERATOR, view),
+                plan,
+            )
+            assert result.converged
+            assert rel(result.volume, truth.fair_volume(plan.c)) < 1e-9
+
+    def test_honesty_survives_small_symmetric_monitor_error(self):
+        # Figure 18-scale record errors (~2%) keep honest volumes within
+        # the same order of error around x̂.
+        rng = random.Random(0x34)
+        for _ in range(TRIALS):
+            truth, plan = random_case(rng)
+            err = rng.uniform(-0.02, 0.02)
+            view_e = UsageView.with_errors(truth, err, err)
+            view_o = UsageView.with_errors(truth, -err, -err)
+            result = negotiate(
+                HonestStrategy(Role.EDGE, view_e),
+                HonestStrategy(Role.OPERATOR, view_o),
+                plan,
+            )
+            assert result.converged
+            assert rel(result.volume, truth.fair_volume(plan.c)) < 0.05
+
+
+class TestTheorem4Convergence:
+    def test_optimal_play_converges_in_exactly_one_round(self):
+        rng = random.Random(0x44)
+        for _ in range(TRIALS):
+            truth, plan = random_case(rng)
+            view = UsageView.exact(truth)
+            result = negotiate(
+                OptimalStrategy(Role.EDGE, view),
+                OptimalStrategy(Role.OPERATOR, view),
+                plan,
+            )
+            assert result.converged
+            assert result.rounds == 1
+            assert result.bound_violations == 0
+            # ... and to exactly x̂ (Theorem 3's value).
+            assert rel(result.volume, truth.fair_volume(plan.c)) < 1e-9
+
+    def test_optimal_claims_are_the_minimax_pair(self):
+        rng = random.Random(0x45)
+        for _ in range(TRIALS):
+            truth, plan = random_case(rng)
+            view = UsageView.exact(truth)
+            result = negotiate(
+                OptimalStrategy(Role.EDGE, view),
+                OptimalStrategy(Role.OPERATOR, view),
+                plan,
+            )
+            edge_claim, operator_claim = result.final_claims
+            assert edge_claim == pytest.approx(truth.received)
+            assert operator_claim == pytest.approx(truth.sent)
+
+
+class TestMisbehaviour:
+    def test_reject_all_terminates_without_a_volume(self):
+        rng = random.Random(0x55)
+        for _ in range(50):
+            truth, plan = random_case(rng)
+            view = UsageView.exact(truth)
+            result = negotiate(
+                OptimalStrategy(Role.EDGE, view),
+                MisbehavingStrategy(
+                    Role.OPERATOR,
+                    fixed_claim=truth.sent * 10.0,
+                    reject_all=True,
+                ),
+                plan,
+                max_rounds=16,
+            )
+            assert not result.converged
+            assert result.volume is None
+            assert result.rounds == 16
+
+    def test_bound_ignoring_claims_are_flagged(self):
+        rng = random.Random(0x56)
+        for _ in range(50):
+            truth, plan = random_case(rng)
+            view = UsageView.exact(truth)
+            result = negotiate(
+                HonestStrategy(Role.EDGE, view),
+                MisbehavingStrategy(
+                    Role.OPERATOR,
+                    fixed_claim=truth.sent * 4.0,
+                    reject_all=False,
+                    ignore_bounds=True,
+                    escalation=1.5,
+                ),
+                plan,
+                max_rounds=16,
+            )
+            assert result.bound_violations > 0
+            # An escalating out-of-bounds claimant never gets a volume
+            # above the contracted bounds accepted.
+            if result.converged:
+                assert result.volume <= truth.sent * 4.0

@@ -1,0 +1,236 @@
+"""Campaign engine: determinism, ordering, progress, and metrics.
+
+The engine's contract is that fan-out and caching are *numerically
+transparent*: any worker count and any cache state produce byte-identical
+results in task order.  These tests pin that contract, including the
+ISSUE acceptance criteria (``overall_dataset`` identical at workers=1
+and workers=4; a warm-cache rerun performs zero scenario executions).
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.experiments.campaign import (
+    CampaignEngine,
+    CampaignTask,
+    default_engine,
+    resolve_engine,
+    run_scenarios,
+    scenario_tasks,
+    set_default_engine,
+)
+from repro.experiments.overall import overall_dataset
+from repro.experiments.scenario import ScenarioConfig
+
+def dumps_each(items) -> list[bytes]:
+    """Per-item pickles for byte-identity checks.
+
+    Items are compared one by one (not as a single list pickle) because
+    pickle memoizes objects shared *across* results computed in-process
+    — an identity-graph detail, not a value difference.
+    """
+    return [pickle.dumps(item) for item in items]
+
+
+# Small but non-trivial grid: two apps, two radio conditions.
+GRID = [
+    ScenarioConfig(
+        app=app, seed=seed, cycle_duration=4.0, rss_dbm=rss
+    )
+    for app in ("webcam-udp", "gaming")
+    for rss in (-90.0, -100.0)
+    for seed in (1,)
+]
+
+
+def doubler(value: int) -> int:
+    """Module-level toy runner (picklable by reference)."""
+    return 2 * value
+
+
+def sleepy_doubler(config: tuple[int, float]) -> int:
+    """Doubles ``config[0]`` after sleeping ``config[1]`` seconds."""
+    value, delay = config
+    time.sleep(delay)
+    return 2 * value
+
+
+class TestDeterminism:
+    def test_serial_runs_are_byte_identical(self):
+        engine = CampaignEngine(workers=1)
+        first = engine.run_scenarios(GRID)
+        second = engine.run_scenarios(GRID)
+        assert dumps_each(first) == dumps_each(second)
+
+    def test_parallel_matches_serial_byte_for_byte(self):
+        serial = CampaignEngine(workers=1).run_scenarios(GRID)
+        parallel = CampaignEngine(workers=2).run_scenarios(GRID)
+        assert dumps_each(serial) == dumps_each(parallel)
+
+    def test_overall_dataset_identical_across_worker_counts(self):
+        # ISSUE acceptance criterion: the Figure 12 / Table 2 dataset is
+        # identical through the engine with workers=1 and workers=4.
+        kwargs = dict(
+            apps=("webcam-udp", "gaming"),
+            conditions=((0.0, 0.0), (160e6, 0.05)),
+            seeds=(1,),
+            cycle_duration=4.0,
+        )
+        one = overall_dataset(engine=CampaignEngine(workers=1), **kwargs)
+        four = overall_dataset(engine=CampaignEngine(workers=4), **kwargs)
+        assert dumps_each(one) == dumps_each(four)
+
+
+class TestOrdering:
+    def test_results_in_task_order_regardless_of_completion_order(self):
+        # Decreasing sleeps: the first-submitted task completes *last*,
+        # so as_completed yields results in reverse submission order.
+        tasks = [
+            CampaignTask(fn=sleepy_doubler, config=(i, 0.2 - 0.06 * i))
+            for i in range(4)
+        ]
+        engine = CampaignEngine(
+            workers=4,
+            executor_factory=lambda n: ThreadPoolExecutor(max_workers=n),
+        )
+        assert engine.run_tasks(tasks) == [0, 2, 4, 6]
+
+    def test_scenario_results_align_with_their_configs(self):
+        results = CampaignEngine(workers=2).run_scenarios(GRID)
+        for config, result in zip(GRID, results):
+            assert result.config == config
+
+
+class TestProgressAndMetrics:
+    def test_progress_callback_sees_every_task_in_order_of_landing(self):
+        seen = []
+        engine = CampaignEngine(workers=1, progress=seen.append)
+        engine.run_tasks(
+            [CampaignTask(fn=doubler, config=i) for i in range(5)]
+        )
+        assert [p.completed for p in seen] == [1, 2, 3, 4, 5]
+        assert all(p.total == 5 for p in seen)
+        assert sorted(p.index for p in seen) == [0, 1, 2, 3, 4]
+        assert all(not p.cached for p in seen)
+        assert all(
+            p.runner.endswith("test_campaign.doubler") for p in seen
+        )
+
+    def test_report_counts_and_throughput(self):
+        engine = CampaignEngine(workers=1)
+        engine.run_tasks(
+            [CampaignTask(fn=doubler, config=i) for i in range(3)]
+        )
+        report = engine.last_report
+        assert report.total == 3
+        assert report.executed == 3
+        assert report.cache_hits == 0
+        assert report.total == report.executed + report.cache_hits
+        assert report.wall_seconds > 0
+        assert report.tasks_per_second > 0
+
+    def test_totals_accumulate_across_campaigns(self):
+        engine = CampaignEngine(workers=1)
+        engine.run_tasks([CampaignTask(fn=doubler, config=1)])
+        engine.run_tasks([CampaignTask(fn=doubler, config=2)])
+        assert engine.totals.total == 2
+        snapshot = engine.snapshot_totals()
+        engine.run_tasks([CampaignTask(fn=doubler, config=3)])
+        # The snapshot is a copy, not a live view.
+        assert snapshot.total == 2
+        assert engine.totals.total == 3
+
+
+class TestCacheTransparency:
+    def test_warm_cache_rerun_executes_nothing(self, tmp_path):
+        # ISSUE acceptance criterion: a warm-cache rerun performs zero
+        # scenario executions.
+        cold = CampaignEngine(workers=1, cache_dir=tmp_path)
+        first = cold.run_scenarios(GRID)
+        assert cold.last_report.executed == len(GRID)
+
+        warm = CampaignEngine(workers=1, cache_dir=tmp_path)
+        second = warm.run_scenarios(GRID)
+        assert warm.last_report.executed == 0
+        assert warm.last_report.cache_hits == len(GRID)
+        assert warm.totals.executed == 0
+        assert dumps_each(first) == dumps_each(second)
+
+    def test_cached_results_report_as_cached_in_progress(self, tmp_path):
+        CampaignEngine(workers=1, cache_dir=tmp_path).run_scenarios(
+            GRID[:2]
+        )
+        seen = []
+        warm = CampaignEngine(
+            workers=1, cache_dir=tmp_path, progress=seen.append
+        )
+        warm.run_scenarios(GRID[:2])
+        assert [p.cached for p in seen] == [True, True]
+        assert all(p.seconds == 0.0 for p in seen)
+
+    def test_partial_cache_executes_only_the_misses(self, tmp_path):
+        CampaignEngine(workers=1, cache_dir=tmp_path).run_scenarios(
+            GRID[:2]
+        )
+        engine = CampaignEngine(workers=1, cache_dir=tmp_path)
+        engine.run_scenarios(GRID)
+        assert engine.last_report.cache_hits == 2
+        assert engine.last_report.executed == len(GRID) - 2
+
+
+class TestDefaultEngine:
+    def test_resolve_prefers_the_explicit_engine(self):
+        explicit = CampaignEngine(workers=1)
+        assert resolve_engine(explicit) is explicit
+
+    def test_default_engine_is_installed_and_reset(self):
+        engine = CampaignEngine(workers=1)
+        set_default_engine(engine)
+        try:
+            assert resolve_engine(None) is engine
+        finally:
+            set_default_engine(None)
+        assert resolve_engine(None) is not engine
+        assert default_engine().workers == 1
+
+    def test_module_level_run_scenarios_uses_the_default(self):
+        engine = CampaignEngine(workers=1)
+        set_default_engine(engine)
+        try:
+            results = run_scenarios(GRID[:1])
+        finally:
+            set_default_engine(None)
+        assert engine.totals.total == 1
+        assert results[0].config == GRID[0]
+
+
+class TestFailureSemantics:
+    def test_a_raising_task_fails_fast(self):
+        def boom(_config):
+            raise RuntimeError("scenario exploded")
+
+        # Serial path: the exception propagates to the caller.
+        with pytest.raises(RuntimeError, match="scenario exploded"):
+            CampaignEngine(workers=1).run_tasks(
+                [CampaignTask(fn=boom, config=None)]
+            )
+
+    def test_worker_count_is_clamped_to_at_least_one(self):
+        engine = CampaignEngine(workers=0)
+        assert engine.workers == 1
+        assert engine.run_tasks(
+            [CampaignTask(fn=doubler, config=21)]
+        ) == [42]
+
+    def test_scenario_tasks_wrap_run_scenario(self):
+        tasks = scenario_tasks(GRID[:2])
+        assert [t.config for t in tasks] == GRID[:2]
+        assert all(
+            t.runner_id == "repro.experiments.scenario.run_scenario"
+            for t in tasks
+        )

@@ -1,0 +1,269 @@
+"""Result cache correctness and stable config hashing.
+
+The cache key is ``sha256(version \\n runner id \\n canonical config
+JSON)``.  These tests pin the canonical serialization format (so a
+refactor that silently changes it — and thereby orphans every existing
+cache — fails loudly) and exercise the cache's correctness contract:
+hits are identical to recomputation, any config field change or version
+bump misses, and a corrupted entry recomputes without crashing.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import pickle
+
+import pytest
+
+from repro.experiments.campaign import (
+    CACHE_VERSION,
+    CampaignEngine,
+    CampaignTask,
+    ResultCache,
+)
+from repro.experiments.confighash import (
+    canonical_json,
+    config_key,
+    stable_form,
+)
+from repro.experiments.scenario import ScenarioConfig, run_scenario
+
+
+class Color(enum.Enum):
+    RED = "red"
+    BLUE = "blue"
+
+
+@dataclasses.dataclass(frozen=True)
+class ToyConfig:
+    name: str
+    scale: float
+    count: int
+
+
+def identity(value):
+    """Module-level toy runner."""
+    return value
+
+
+class TestStableForm:
+    def test_scalars_pass_through(self):
+        assert stable_form(3) == 3
+        assert stable_form("x") == "x"
+        assert stable_form(True) is True
+        assert stable_form(None) is None
+
+    def test_floats_are_hex_tagged(self):
+        assert stable_form(1.5) == {"__float__": "0x1.8000000000000p+0"}
+        assert stable_form(float("inf")) == {"__float__": "inf"}
+
+    def test_float_and_equal_int_hash_differently(self):
+        # 1 and 1.0 compare equal in Python but are different configs.
+        assert canonical_json(1) != canonical_json(1.0)
+
+    def test_enums_are_tagged_with_their_class(self):
+        assert stable_form(Color.RED) == {"__enum__": ["Color", "red"]}
+
+    def test_dataclasses_become_field_dicts(self):
+        form = stable_form(ToyConfig(name="a", scale=2.0, count=3))
+        assert form == {
+            "name": "a",
+            "scale": {"__float__": "0x1.0000000000000p+1"},
+            "count": 3,
+        }
+
+    def test_tuples_and_lists_become_arrays(self):
+        assert stable_form((1, 2)) == [1, 2]
+        assert stable_form([1, (2, 3)]) == [1, [2, 3]]
+
+    def test_dict_insertion_order_does_not_matter(self):
+        forward = {"a": 1.5, "b": 2, "c": [True, None, "x"]}
+        backward = {"c": [True, None, "x"], "b": 2, "a": 1.5}
+        assert canonical_json(forward) == canonical_json(backward)
+
+    def test_non_string_dict_keys_are_rejected(self):
+        with pytest.raises(TypeError):
+            stable_form({1: "a"})
+
+    def test_unhashable_values_are_rejected_loudly(self):
+        with pytest.raises(TypeError):
+            stable_form(object())
+        with pytest.raises(TypeError):
+            stable_form(lambda: None)
+
+
+class TestKeyFormatPin:
+    """Golden values: changing these orphans every on-disk cache."""
+
+    def test_canonical_json_of_a_plain_dict_is_pinned(self):
+        assert (
+            canonical_json({"b": 2, "a": 1.5, "c": [True, None, "x"]})
+            == '{"a":{"__float__":"0x1.8000000000000p+0"},'
+            '"b":2,"c":[true,null,"x"]}'
+        )
+
+    def test_scenario_config_canonical_json_is_pinned(self):
+        cfg = ScenarioConfig(app="webcam-udp", seed=7, cycle_duration=30.0)
+        assert canonical_json(cfg) == (
+            '{"app":"webcam-udp","app_loss_rate":null,'
+            '"background_bps":{"__float__":"0x0.0p+0"},'
+            '"counter_check_enabled":true,'
+            '"cycle_duration":{"__float__":"0x1.e000000000000p+4"},'
+            '"device_profile":"EL20",'
+            '"disconnectivity_ratio":{"__float__":"0x0.0p+0"},'
+            '"edge_clock_std":null,"edge_tamper_fraction":null,'
+            '"loss_weight":{"__float__":"0x1.0000000000000p-1"},'
+            '"mean_outage":{"__float__":"0x1.ee147ae147ae1p+0"},'
+            '"operator_clock_std":null,'
+            '"rss_dbm":{"__float__":"-0x1.6800000000000p+6"},'
+            '"seed":7}'
+        )
+
+    def test_scenario_cache_key_is_pinned(self):
+        cfg = ScenarioConfig(app="webcam-udp", seed=7, cycle_duration=30.0)
+        key = config_key(
+            "repro.experiments.scenario.run_scenario",
+            cfg,
+            "tlc-campaign-v1",
+        )
+        assert key == (
+            "cf0c40f24aab63c5b20960ed0fe0f1f1"
+            "bac54a3ef2d199a709dfb31119e07ac4"
+        )
+
+    def test_task_key_matches_config_key(self):
+        cfg = ScenarioConfig(seed=7)
+        task = CampaignTask(fn=run_scenario, config=cfg)
+        assert task.key() == config_key(
+            "repro.experiments.scenario.run_scenario", cfg, CACHE_VERSION
+        )
+
+
+class TestKeySensitivity:
+    def test_every_config_field_change_changes_the_key(self):
+        base = ScenarioConfig()
+        base_key = config_key("runner", base, CACHE_VERSION)
+        perturbations = dict(
+            app="gaming",
+            seed=2,
+            cycle_duration=61.0,
+            background_bps=1.0e6,
+            rss_dbm=-91.0,
+            disconnectivity_ratio=0.01,
+            mean_outage=2.0,
+            loss_weight=0.25,
+            device_profile="PiCam",
+            edge_clock_std=0.1,
+            operator_clock_std=0.1,
+            counter_check_enabled=False,
+            app_loss_rate=0.05,
+            edge_tamper_fraction=0.5,
+        )
+        # Cover every field, so a new field cannot silently escape the key.
+        assert set(perturbations) == {
+            f.name for f in dataclasses.fields(ScenarioConfig)
+        }
+        for name, value in perturbations.items():
+            changed = dataclasses.replace(base, **{name: value})
+            assert (
+                config_key("runner", changed, CACHE_VERSION) != base_key
+            ), f"changing {name!r} did not change the cache key"
+
+    def test_runner_identity_is_part_of_the_key(self):
+        cfg = ScenarioConfig()
+        assert config_key("runner-a", cfg, CACHE_VERSION) != config_key(
+            "runner-b", cfg, CACHE_VERSION
+        )
+
+    def test_version_bump_changes_the_key(self):
+        cfg = ScenarioConfig()
+        assert config_key("runner", cfg, "v1") != config_key(
+            "runner", cfg, "v2"
+        )
+
+
+class TestResultCache:
+    def _task(self, value=7):
+        return CampaignTask(fn=identity, config=value)
+
+    def test_hit_returns_the_stored_value(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        task = self._task()
+        assert cache.load(task) == (False, None)
+        cache.store(task, {"answer": 42})
+        assert cache.load(task) == (True, {"answer": 42})
+
+    def test_version_bump_misses_old_entries(self, tmp_path):
+        old = ResultCache(tmp_path, version="v1")
+        old.store(self._task(), "old-result")
+        new = ResultCache(tmp_path, version="v2")
+        assert new.load(self._task()) == (False, None)
+        # The old namespace is untouched.
+        assert old.load(self._task()) == (True, "old-result")
+
+    def test_corrupted_entry_is_a_miss_and_gets_unlinked(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        task = self._task()
+        cache.store(task, "good")
+        path = cache.path_for(task)
+        path.write_bytes(b"\x80garbage not a pickle")
+        assert cache.load(task) == (False, None)
+        assert not path.exists()
+
+    def test_entry_for_a_different_key_is_rejected(self, tmp_path):
+        # A valid pickle in the wrong slot (e.g. a collision-free rename
+        # gone wrong) must read as a miss, not as the wrong result.
+        cache = ResultCache(tmp_path)
+        task = self._task(1)
+        other = self._task(2)
+        cache.store(other, "other-result")
+        path = cache.path_for(task)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(cache.path_for(other).read_bytes())
+        assert cache.load(task) == (False, None)
+
+    def test_store_survives_an_unwritable_cache_root(self, tmp_path):
+        # A plain file squatting on the version directory makes every
+        # mkdir/open fail with OSError (even when running as root);
+        # caching is an optimization, so store() must swallow it.
+        cache = ResultCache(tmp_path)
+        (tmp_path / cache.version).write_text("not a directory")
+        cache.store(self._task(), "value")  # must not raise
+        assert cache.load(self._task()) == (False, None)
+
+
+class TestEngineCacheIntegration:
+    def test_corrupted_entry_recomputes_and_recaches(self, tmp_path):
+        engine = CampaignEngine(workers=1, cache_dir=tmp_path)
+        task = CampaignTask(fn=identity, config="payload")
+        engine.run_tasks([task])
+        path = engine.cache.path_for(task)
+        path.write_bytes(b"truncated")
+
+        again = CampaignEngine(workers=1, cache_dir=tmp_path)
+        assert again.run_tasks([task]) == ["payload"]
+        assert again.last_report.executed == 1  # recomputed, no crash
+        # ... and the entry is healthy again afterwards.
+        healed = CampaignEngine(workers=1, cache_dir=tmp_path)
+        assert healed.run_tasks([task]) == ["payload"]
+        assert healed.last_report.cache_hits == 1
+
+    def test_cache_hit_is_pickle_identical_to_recompute(self, tmp_path):
+        config = ScenarioConfig(app="webcam-udp", seed=3, cycle_duration=4.0)
+        fresh = CampaignEngine(workers=1).run_scenarios([config])
+        engine = CampaignEngine(workers=1, cache_dir=tmp_path)
+        engine.run_scenarios([config])
+        cached = engine.run_scenarios([config])
+        assert engine.last_report.cache_hits == 1
+        assert pickle.dumps(cached) == pickle.dumps(fresh)
+
+    def test_different_runners_do_not_share_entries(self, tmp_path):
+        # Same config, different runner functions: distinct cache slots.
+        def _unused(_):  # pragma: no cover - never executed
+            raise AssertionError
+
+        engine = CampaignEngine(workers=1, cache_dir=tmp_path)
+        engine.run_tasks([CampaignTask(fn=identity, config=5)])
+        t_scenario = CampaignTask(fn=run_scenario, config=5)
+        assert engine.cache.load(t_scenario) == (False, None)

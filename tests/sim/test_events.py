@@ -76,6 +76,107 @@ class TestCancellation:
         assert loop.pending() == 1
         del keep
 
+    def test_cancel_from_callback_skips_same_time_event(self):
+        # An event cancelled by an earlier callback *at the same
+        # timestamp* must not fire: lazy deletion has to check the flag
+        # at pop time, not only at schedule time.
+        loop = EventLoop()
+        fired = []
+        victim = loop.schedule_at(1.0, lambda: fired.append("victim"))
+
+        def assassin():
+            fired.append("assassin")
+            victim.cancel()
+
+        # Scheduled after the victim, but at an earlier timestamp.
+        loop.schedule_at(0.5, assassin)
+        loop.run()
+        assert fired == ["assassin"]
+
+    def test_cancelled_events_do_not_count_as_processed(self):
+        loop = EventLoop()
+        for i in range(4):
+            event = loop.schedule_at(float(i + 1), lambda: None)
+            if i % 2:
+                event.cancel()
+        loop.run()
+        assert loop.processed_events == 2
+
+    def test_step_skips_cancelled_head_and_fires_the_next(self):
+        loop = EventLoop()
+        fired = []
+        head = loop.schedule_at(1.0, lambda: fired.append("head"))
+        loop.schedule_at(2.0, lambda: fired.append("tail"))
+        head.cancel()
+        assert loop.step() is True
+        assert fired == ["tail"]
+        assert loop.now == 2.0
+
+
+class TestSameTimeOrdering:
+    def test_callback_scheduled_now_runs_after_queued_same_time_events(self):
+        # Insertion order is the tie-break: an event scheduled *during* a
+        # callback at the current timestamp fires after everything that
+        # was already queued for that timestamp.
+        loop = EventLoop()
+        fired = []
+
+        def first():
+            fired.append("first")
+            loop.schedule_at(1.0, lambda: fired.append("late"))
+
+        loop.schedule_at(1.0, first)
+        loop.schedule_at(1.0, lambda: fired.append("second"))
+        loop.run()
+        assert fired == ["first", "second", "late"]
+
+
+class TestExhaustion:
+    def test_fresh_loop_is_not_exhausted(self):
+        loop = EventLoop()
+        assert loop.exhausted is False
+
+    def test_run_to_exhaustion_marks_the_loop(self):
+        loop = EventLoop()
+        loop.schedule_at(1.0, lambda: None)
+        loop.run()
+        assert loop.exhausted is True
+
+    def test_run_until_does_not_exhaust(self):
+        loop = EventLoop()
+        loop.schedule_at(1.0, lambda: None)
+        loop.run(until=5.0)
+        assert loop.exhausted is False
+        loop.run(until=6.0)  # still drivable
+
+    def test_run_after_exhaustion_raises(self):
+        loop = EventLoop()
+        loop.run()
+        with pytest.raises(SimulationError, match="exhaustion"):
+            loop.run()
+
+    def test_step_after_exhaustion_raises(self):
+        loop = EventLoop()
+        loop.schedule_at(1.0, lambda: None)
+        loop.run()
+        with pytest.raises(SimulationError, match="exhaustion"):
+            loop.step()
+
+    def test_schedule_after_exhaustion_raises(self):
+        loop = EventLoop()
+        loop.run()
+        with pytest.raises(SimulationError, match="exhaustion"):
+            loop.schedule_at(1.0, lambda: None, label="too-late")
+        with pytest.raises(SimulationError, match="exhaustion"):
+            loop.schedule_in(0.5, lambda: None)
+
+    def test_exhaustion_error_names_the_finish_time(self):
+        loop = EventLoop()
+        loop.schedule_at(2.5, lambda: None)
+        loop.run()
+        with pytest.raises(SimulationError, match="t=2.5"):
+            loop.run()
+
 
 class TestRunUntil:
     def test_run_until_stops_before_later_events(self):
