@@ -1,0 +1,61 @@
+"""Telemetry overhead: the no-sink fast path must cost ~nothing.
+
+The instrumentation contract (:mod:`repro.telemetry`) is that a scenario
+run with no telemetry session active pays only an ``is not None`` check
+per counting point.  This bench times the same scenario with telemetry
+off, metrics-on, and metrics+trace, and asserts the off path shows no
+measurable slowdown (generous bound — CI machines are noisy; a real
+regression from an unguarded hot path shows up as 2x+, not 1.5x).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+
+from repro.experiments.report import render_table
+from repro.experiments.scenario import ScenarioConfig, run_scenario
+
+REPEATS = 5
+#: Allowed ratio of (telemetry off now) to (telemetry off baseline) —
+#: i.e. run-to-run noise, and of (off) to (on): off must never be slower
+#: than on beyond noise.
+NOISE_BOUND = 1.5
+
+BASE = ScenarioConfig(app="webcam-udp", seed=3, cycle_duration=20.0)
+
+
+def _median_seconds(config: ScenarioConfig) -> float:
+    samples = []
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        run_scenario(config)
+        samples.append(time.perf_counter() - start)
+    return sorted(samples)[len(samples) // 2]
+
+
+def test_no_sink_runs_show_no_measurable_slowdown(emit):
+    off = _median_seconds(BASE)
+    metrics = _median_seconds(dataclasses.replace(BASE, telemetry=True))
+    traced = _median_seconds(
+        dataclasses.replace(BASE, telemetry=True, trace=True)
+    )
+
+    rows = [
+        ["off (no sink)", f"{off * 1e3:.1f}", "1.00"],
+        ["metrics", f"{metrics * 1e3:.1f}", f"{metrics / off:.2f}"],
+        ["metrics+trace", f"{traced * 1e3:.1f}", f"{traced / off:.2f}"],
+    ]
+    emit(
+        "telemetry_overhead",
+        render_table(["mode", "median ms/run", "vs off"], rows),
+    )
+
+    # The guarded fast path: a no-sink run must not be slower than the
+    # *instrumented* run beyond noise.  (If someone removes the
+    # ``is not None`` guards, "off" still builds sessions implicitly or
+    # "on" gets dramatically slower — both trip this.)
+    assert off <= metrics * NOISE_BOUND, (
+        f"telemetry-off run ({off:.4f}s) slower than metered run "
+        f"({metrics:.4f}s) beyond noise: the no-op fast path regressed"
+    )

@@ -18,6 +18,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable
 
+from repro import telemetry
 from repro.charging.policy import ChargingPolicy
 from repro.net.packet import Packet
 from repro.sim.events import EventLoop
@@ -50,6 +51,8 @@ class ThrottlingEnforcer:
         self.charged_bytes = 0
         self.throttled_packets = 0
         self.dropped_packets = 0
+        self._telemetry = telemetry.current()
+        self._throttle_announced = False
 
     def connect(self, receiver: Deliver) -> None:
         """Attach the downstream element."""
@@ -63,13 +66,34 @@ class ThrottlingEnforcer:
     def send(self, packet: Packet) -> bool:
         """Pass a packet through the shaper."""
         self.charged_bytes += packet.size
+        tel = self._telemetry
+        if tel is not None:
+            tel.inc(
+                "bytes_in",
+                packet.size,
+                layer=self.name,
+                direction=packet.direction.value,
+            )
         if not self.throttling:
             self._deliver(packet)
             return True
 
         # Past the quota: shape to throttle_bps.
+        if tel is not None and not self._throttle_announced:
+            self._throttle_announced = True
+            tel.event(
+                self.name, "throttle_armed", charged_bytes=self.charged_bytes
+            )
         if len(self._queue) >= self.queue_limit:
             self.dropped_packets += 1
+            if tel is not None:
+                tel.inc(
+                    "bytes_dropped",
+                    packet.size,
+                    layer=self.name,
+                    direction=packet.direction.value,
+                    cause="quota_throttle",
+                )
             return False
         self.throttled_packets += 1
         self._queue.append(packet)
@@ -97,5 +121,13 @@ class ThrottlingEnforcer:
         self._drain()
 
     def _deliver(self, packet: Packet) -> None:
+        tel = self._telemetry
+        if tel is not None:
+            tel.inc(
+                "bytes_out",
+                packet.size,
+                layer=self.name,
+                direction=packet.direction.value,
+            )
         for receiver in self._receivers:
             receiver(packet)

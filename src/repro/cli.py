@@ -13,11 +13,20 @@ Each experiment id maps to the same driver the benchmark suite uses;
 campaign engine, and ``--cache-dir`` reuses previously computed scenario
 results — both are numerically transparent: any worker count and any
 cache state produce identical tables.
+
+``--metrics-out FILE`` turns on per-scenario telemetry: every scenario
+run by the experiment collects per-layer byte counters, the CLI prints a
+reconciliation summary (gateway-counted minus per-layer losses equals
+device-received, per scenario), and the full metric snapshots are
+written to ``FILE`` as JSON.  ``--trace FILE`` additionally captures
+structured trace events (simulated-clock timestamps) to ``FILE`` as
+JSON Lines.  See ``docs/api.md``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Callable
 
@@ -45,8 +54,14 @@ from repro.experiments.poc_cost import (
     modelled_poc_costs,
     modelled_verifier_throughput_per_hour,
 )
-from repro.experiments.report import cdf_summary, render_table
+from repro.experiments.report import (
+    cdf_summary,
+    render_accounting,
+    render_table,
+)
 from repro.experiments.transport_comparison import compare_transports
+from repro.telemetry.accounting import AccountingTable
+from repro.telemetry.trace import write_jsonl
 
 
 def _fig03(fast: bool) -> str:
@@ -373,7 +388,43 @@ def build_parser() -> argparse.ArgumentParser:
         help="content-addressed scenario result cache directory "
         "(default: no caching)",
     )
+    run.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="collect per-layer telemetry for every scenario, print a "
+        "byte-accounting summary, and write the metric snapshots to "
+        "FILE as JSON",
+    )
+    run.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="also capture structured trace events (simulated-clock "
+        "timestamps) to FILE as JSON Lines",
+    )
     return parser
+
+
+def _render_telemetry_summary(records: list[dict]) -> str:
+    """The per-scenario reconciliation summary ``--metrics-out`` prints."""
+    rows = []
+    for record in records:
+        table = AccountingTable.from_dict(record["telemetry"]["accounting"])
+        rows.append(
+            [
+                record["scenario"],
+                table.direction,
+                f"{table.counted:.0f}",
+                f"{table.total_losses:.0f}",
+                f"{table.received:.0f}",
+                "yes" if table.reconciles else "NO",
+            ]
+        )
+    return render_table(
+        ["scenario", "dir", "counted", "losses", "received", "reconciles"],
+        rows,
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -397,7 +448,15 @@ def main(argv: list[str] | None = None) -> int:
 
     workers = getattr(args, "workers", 1)
     cache_dir = getattr(args, "cache_dir", None)
-    engine = CampaignEngine(workers=workers, cache_dir=cache_dir)
+    metrics_out = getattr(args, "metrics_out", None)
+    trace_out = getattr(args, "trace", None)
+    collect = metrics_out is not None or trace_out is not None
+    engine = CampaignEngine(
+        workers=workers,
+        cache_dir=cache_dir,
+        telemetry=collect,
+        trace=trace_out is not None,
+    )
     set_default_engine(engine)
     try:
         for name in targets:
@@ -407,6 +466,56 @@ def main(argv: list[str] | None = None) -> int:
             print()
     finally:
         set_default_engine(None)
+
+    if collect:
+        records = engine.telemetry_records
+        if records:
+            print("===== telemetry: per-layer byte accounting =====")
+            print(_render_telemetry_summary(records))
+            for record in records:
+                if not record["telemetry"]["accounting"]["reconciles"]:
+                    table = AccountingTable.from_dict(
+                        record["telemetry"]["accounting"]
+                    )
+                    print()
+                    print(
+                        render_accounting(
+                            table, title=f"! {record['scenario']}"
+                        )
+                    )
+            print()
+        else:
+            print(
+                "[telemetry] no scenario-grid runs in this experiment; "
+                "nothing to meter"
+            )
+        if metrics_out is not None:
+            with open(metrics_out, "w", encoding="utf-8") as fh:
+                json.dump(
+                    [
+                        {
+                            "scenario": r["scenario"],
+                            "config": r["config"],
+                            "direction": r["telemetry"]["direction"],
+                            "accounting": r["telemetry"]["accounting"],
+                            "metrics": r["telemetry"]["metrics"],
+                        }
+                        for r in records
+                    ],
+                    fh,
+                    indent=2,
+                )
+                fh.write("\n")
+            print(f"[telemetry] metrics for {len(records)} scenario runs "
+                  f"written to {metrics_out}")
+        if trace_out is not None:
+            lines = 0
+            with open(trace_out, "w", encoding="utf-8") as fh:
+                for r in records:
+                    lines += write_jsonl(
+                        r["telemetry"].get("trace", ()), fh
+                    )
+            print(f"[telemetry] {lines} trace events written to {trace_out}")
 
     if workers > 1 or cache_dir is not None:
         totals = engine.snapshot_totals()

@@ -22,6 +22,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+from repro import telemetry
 from repro.charging.policy import charged_volume
 from repro.core.plan import DataPlan
 from repro.core.strategies import Strategy
@@ -88,6 +89,7 @@ def negotiate(
     max_rounds:
         Termination cap for misbehaving players.
     """
+    tel = telemetry.current()
     x_lower = 0.0
     x_upper = math.inf
     transcript: list[RoundRecord] = []
@@ -134,9 +136,26 @@ def negotiate(
                 bound_violation=violation,
             )
         )
+        if tel is not None:
+            tel.event(
+                "cancellation",
+                "claim_round",
+                round=round_index,
+                edge_claim=edge_claim,
+                operator_claim=operator_claim,
+                edge_accepts=edge_accepts,
+                operator_accepts=operator_accepts,
+                bound_violation=violation,
+            )
 
         if edge_accepts and operator_accepts:
             volume = charged_volume(operator_claim, edge_claim, plan.c)
+            if tel is not None:
+                tel.observe(
+                    "negotiation_rounds", round_index, layer="cancellation"
+                )
+                tel.inc("negotiations_converged", layer="cancellation")
+                tel.set("settled_volume", volume, layer="cancellation")
             return NegotiationResult(
                 converged=True,
                 volume=volume,
@@ -157,6 +176,8 @@ def negotiate(
         if x_upper < x_lower:
             x_lower, x_upper = x_upper, x_lower
 
+    if tel is not None:
+        tel.observe("negotiation_rounds", max_rounds, layer="cancellation")
     return NegotiationResult(
         converged=False,
         volume=None,

@@ -22,6 +22,7 @@ import enum
 import math
 from dataclasses import dataclass, field
 
+from repro import telemetry
 from repro.charging.policy import charged_volume
 from repro.core.messages import (
     MessageError,
@@ -283,6 +284,7 @@ def run_negotiation(
     Returns the outcome from the initiator's perspective (both agents end
     up storing the same PoC when the negotiation converges).
     """
+    tel = telemetry.current()
     transcript: list[Message] = []
     bytes_on_wire = 0
 
@@ -306,6 +308,31 @@ def run_negotiation(
 
     poc = initiator.poc or responder.poc
     rounds = max(initiator.round_index, responder.round_index)
+    if tel is not None:
+        tel.inc("negotiation_messages", len(transcript), layer="protocol")
+        tel.inc("negotiation_bytes_on_wire", bytes_on_wire, layer="protocol")
+        tel.observe("negotiation_rounds", rounds, layer="protocol")
+        if poc is not None:
+            tel.inc("negotiations_converged", layer="protocol")
+            tel.set("settled_volume", poc.volume, layer="protocol")
+        for msg in transcript:
+            tel.event(
+                "protocol",
+                "message",
+                kind=type(msg).__name__,
+                party=msg.party.value,
+                volume=getattr(msg, "volume", None),
+                wire_bytes=len(msg.to_bytes()),
+            )
+        tel.event(
+            "protocol",
+            "negotiation_done",
+            converged=poc is not None,
+            rounds=rounds,
+            messages=len(transcript),
+            bytes_on_wire=bytes_on_wire,
+            volume=poc.volume if poc is not None else None,
+        )
     return ProtocolOutcome(
         poc=poc,
         rounds=rounds,

@@ -35,7 +35,7 @@ from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Any, Callable, Iterable, Sequence
 
-from repro.experiments.confighash import config_key
+from repro.experiments.confighash import config_key, stable_form
 from repro.experiments.scenario import (
     ScenarioConfig,
     ScenarioResult,
@@ -43,7 +43,7 @@ from repro.experiments.scenario import (
 )
 
 #: Bump to invalidate every cached result (simulation semantics change).
-CACHE_VERSION = "tlc-campaign-v1"
+CACHE_VERSION = "tlc-campaign-v2"
 
 
 @dataclass(frozen=True)
@@ -72,6 +72,17 @@ def scenario_tasks(
 ) -> list[CampaignTask]:
     """Wrap scenario configs as campaign tasks over ``run_scenario``."""
     return [CampaignTask(fn=run_scenario, config=c) for c in configs]
+
+
+def scenario_label(config: Any) -> str:
+    """A short human-readable label for a scenario (telemetry reports)."""
+    if isinstance(config, ScenarioConfig):
+        return (
+            f"{config.app} seed={config.seed}"
+            f" bg={config.background_bps:g}"
+            f" dis={config.disconnectivity_ratio:g}"
+        )
+    return type(config).__name__
 
 
 @dataclass(frozen=True)
@@ -217,6 +228,14 @@ class CampaignEngine:
         Override the parallel executor (e.g. a thread pool in tests).
         Called with the worker count; must return a ``concurrent.futures``
         executor.  Ignored when ``workers <= 1``.
+    telemetry:
+        Enable per-scenario metrics collection: every scenario config
+        run through :meth:`run_scenarios` gets ``telemetry=True`` and
+        its snapshot lands in :attr:`telemetry_records`.  Telemetry
+        participates in the cache key, so metered and unmetered runs
+        never share cache entries.
+    trace:
+        With ``telemetry``, also capture structured trace events.
     """
 
     def __init__(
@@ -226,6 +245,8 @@ class CampaignEngine:
         cache_version: str = CACHE_VERSION,
         progress: ProgressCallback | None = None,
         executor_factory: Callable[[int], Executor] | None = None,
+        telemetry: bool = False,
+        trace: bool = False,
     ) -> None:
         self.workers = max(1, int(workers))
         self.cache: ResultCache | None = (
@@ -235,10 +256,15 @@ class CampaignEngine:
         )
         self.progress = progress
         self.executor_factory = executor_factory
+        self.telemetry = bool(telemetry)
+        self.trace = bool(trace)
         #: Metrics of the most recent :meth:`run_tasks` call.
         self.last_report = CampaignReport()
         #: Cumulative metrics across this engine's lifetime.
         self.totals = CampaignReport()
+        #: Telemetry snapshots of every metered scenario this engine ran
+        #: (cache hits included), in completion-batch order.
+        self.telemetry_records: list[dict] = []
 
     # -- public API ----------------------------------------------------
 
@@ -246,6 +272,12 @@ class CampaignEngine:
         self, configs: Iterable[ScenarioConfig]
     ) -> list[ScenarioResult]:
         """Run charging-cycle scenarios; results in config order."""
+        configs = list(configs)
+        if self.telemetry:
+            configs = [
+                replace(c, telemetry=True, trace=self.trace)
+                for c in configs
+            ]
         return self.run_tasks(scenario_tasks(configs))
 
     def run_tasks(self, tasks: Sequence[CampaignTask]) -> list[Any]:
@@ -317,11 +349,28 @@ class CampaignEngine:
         report.wall_seconds = time.perf_counter() - start
         self.last_report = report
         self.totals.merge(report)
+        self._collect_telemetry(tasks, results)
         return results
 
     def snapshot_totals(self) -> CampaignReport:
         """A copy of the cumulative counters (for delta reporting)."""
         return replace(self.totals)
+
+    def _collect_telemetry(
+        self, tasks: Sequence[CampaignTask], results: Sequence[Any]
+    ) -> None:
+        """Harvest per-scenario telemetry snapshots from landed results."""
+        for task, result in zip(tasks, results):
+            extras = getattr(result, "extras", None)
+            if not isinstance(extras, dict) or "telemetry" not in extras:
+                continue
+            self.telemetry_records.append(
+                {
+                    "scenario": scenario_label(task.config),
+                    "config": stable_form(task.config),
+                    "telemetry": extras["telemetry"],
+                }
+            )
 
     # -- internals -----------------------------------------------------
 

@@ -7,7 +7,10 @@ report; these helpers keep the formatting consistent and dependency-free.
 from __future__ import annotations
 
 import math
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+if TYPE_CHECKING:  # import cycle guard: telemetry is dependency-free
+    from repro.telemetry.accounting import AccountingTable
 
 
 def render_table(
@@ -52,6 +55,56 @@ def cdf_summary(name: str, values: Sequence[float], unit: str = "") -> str:
     for q in (50, 90, 95, 99):
         parts.append(f"p{q}={percentile(values, q):.3f}{unit}")
     return f"{name}: n={len(values)} " + " ".join(parts)
+
+
+def render_accounting(table: "AccountingTable", title: str = "") -> str:
+    """Render a per-layer byte-accounting table.
+
+    One row per path element between the sender-side and receiver-side
+    meters, with its drops broken out by cause and its in-flight residue
+    (bytes the run ended holding), so the header identity
+
+    ``counted − Σ losses_by_layer == received``
+
+    is checkable by eye: the residual column of the footer is zero when
+    the table reconciles.
+    """
+    header = [
+        f"direction={table.direction}",
+        f"counted[{table.sender_layer}]={table.counted:.0f}",
+        f"received[{table.receiver_layer}]={table.received:.0f}",
+        f"losses={table.total_losses:.0f}",
+        f"residual={table.residual:.0f}",
+        "reconciles=yes" if table.reconciles else "reconciles=NO",
+    ]
+    rows = []
+    for row in table.rows:
+        causes = (
+            ", ".join(
+                f"{cause}={val:.0f}"
+                for cause, val in sorted(row.dropped.items())
+            )
+            or "-"
+        )
+        rows.append(
+            [
+                row.layer,
+                f"{row.bytes_in:.0f}",
+                f"{row.dropped_total:.0f}",
+                causes,
+                f"{row.in_flight:.0f}",
+                f"{row.bytes_out:.0f}",
+            ]
+        )
+    body = render_table(
+        ["layer", "in", "dropped", "by cause", "in-flight", "out"], rows
+    )
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append("  ".join(header))
+    parts.append(body)
+    return "\n".join(parts)
 
 
 def cdf_points(

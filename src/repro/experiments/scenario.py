@@ -21,6 +21,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
+from repro import telemetry
 from repro.apps.gaming import GamingWorkload
 from repro.apps.vr import VrGvspWorkload
 from repro.apps.webcam import WebcamRtspWorkload, WebcamUdpWorkload
@@ -46,6 +47,7 @@ from repro.net.congestion import CongestionConfig
 from repro.net.packet import Direction
 from repro.sim.events import EventLoop
 from repro.sim.rng import RngStreams
+from repro.telemetry.accounting import build_accounting
 from repro.timesync.ntp import NtpModel
 
 APP_BUILDERS = {
@@ -116,6 +118,10 @@ class ScenarioConfig:
     # threat): the fraction of true bytes the tampered APIs report.
     # None = honest device.
     edge_tamper_fraction: float | None = None
+    # Telemetry: collect per-layer metrics (and optionally trace events)
+    # for this run.  Off by default so the hot path stays a no-op.
+    telemetry: bool = False
+    trace: bool = False
 
     EDGE_CLOCK_STD_FRACTION = 0.015
     OPERATOR_CLOCK_STD_FRACTION = 0.025
@@ -211,118 +217,138 @@ def run_scenario(config: ScenarioConfig) -> ScenarioResult:
     """Simulate one charging cycle and collect both parties' records."""
     loop = EventLoop()
     rngs = RngStreams(config.seed)
-    network = _build_network(config, loop, rngs)
-
-    direction = config.direction
-    if direction is Direction.UPLINK:
-        send = network.send_uplink
-    else:
-        send = network.send_downlink
-    workload = APP_BUILDERS[config.app](
-        loop, send, rngs.stream("workload")
-    )
-
-    if config.edge_tamper_fraction is not None:
-        network.ue.os_stats.install_tamper(
-            downlink=UnderReportTamper(config.edge_tamper_fraction)
+    session = (
+        telemetry.Telemetry(
+            clock=lambda: loop.now, capture_trace=config.trace
         )
-
-    # Monitors for each party's two estimates.
-    rrc_monitor = RrcCounterMonitor(network.enodeb, direction)
-    gateway_monitor = GatewayMonitor(network.gateway, direction)
-    device_monitor = DeviceApiMonitor(network.ue, direction)
-    if direction is Direction.UPLINK:
-        edge_sent_monitor = DeviceApiMonitor(network.ue, direction)
-        edge_recv_read = lambda: network.server_received_bytes  # noqa: E731
-    else:
-        edge_sent_monitor = ServerMonitor(network, direction)
-        edge_recv_read = (
-            lambda: network.ue.os_stats.downlink_bytes  # noqa: E731
-        )
-
-    # NTP-disciplined party clocks decide when each boundary snapshot is
-    # actually taken.
-    ntp = NtpModel(rngs.stream("ntp-edge"), config.effective_edge_clock_std)
-    edge_offset = ntp.residual_offset()
-    ntp_op = NtpModel(
-        rngs.stream("ntp-op"), config.effective_operator_clock_std
+        if config.telemetry
+        else None
     )
-    operator_offset = ntp_op.residual_offset()
+    with telemetry.activation(session):
+        network = _build_network(config, loop, rngs)
 
-    edge_snapshot: dict[str, float] = {}
-    operator_snapshot: dict[str, float] = {}
-
-    def snap_edge() -> None:
-        edge_snapshot["sent"] = float(edge_sent_monitor.read_bytes())
-        edge_snapshot["received"] = float(edge_recv_read())
-
-    def snap_operator(retries_left: int = 10) -> None:
-        # The operator triggers an on-demand COUNTER CHECK at its cycle
-        # boundary.  A disconnected radio cannot answer — the operator
-        # retries once coverage is back (nothing is delivered while the
-        # radio is down, so the late reading stays close).
-        if (
-            not network.channel.connected
-            and retries_left > 0
-            and config.counter_check_enabled
-        ):
-            loop.schedule_in(
-                0.5,
-                lambda: snap_operator(retries_left - 1),
-                label="operator-snapshot-retry",
-            )
-            return
-        rrc_monitor.refresh()
-        if config.counter_check_enabled:
-            device_side = float(rrc_monitor.read_bytes())
-        else:
-            # COUNTER CHECK not activated: the operator rolls back to
-            # the device APIs (§5.4 strawman 1) — accurate only while
-            # the edge is honest.
-            device_side = float(device_monitor.read_bytes())
+        direction = config.direction
         if direction is Direction.UPLINK:
-            operator_snapshot["sent"] = device_side
-            operator_snapshot["received"] = float(
-                gateway_monitor.read_bytes()
-            )
+            send = network.send_uplink
         else:
-            operator_snapshot["sent"] = float(gateway_monitor.read_bytes())
-            operator_snapshot["received"] = device_side
-
-    # Ground truth is what actually crossed each metering point within
-    # the reference-time cycle; the parties' snapshots happen on their
-    # own clocks while traffic keeps flowing (it is a live network).
-    truth_snapshot: dict[str, float] = {}
-
-    def snap_truth() -> None:
-        if direction is Direction.UPLINK:
-            truth_snapshot["sent"] = float(network.true_uplink_sent())
-            truth_snapshot["received"] = float(
-                network.true_uplink_received()
-            )
-        else:
-            truth_snapshot["sent"] = float(network.true_downlink_sent())
-            truth_snapshot["received"] = float(
-                network.true_downlink_received()
-            )
-        truth_snapshot["legacy"] = float(
-            network.legacy_charged(direction)
+            send = network.send_downlink
+        workload = APP_BUILDERS[config.app](
+            loop, send, rngs.stream("workload")
         )
 
-    cycle_end = config.cycle_duration
-    edge_boundary = max(0.0, cycle_end - edge_offset)
-    operator_boundary = max(0.0, cycle_end - operator_offset)
+        if config.edge_tamper_fraction is not None:
+            network.ue.os_stats.install_tamper(
+                downlink=UnderReportTamper(config.edge_tamper_fraction)
+            )
 
-    workload.start()
-    loop.schedule_at(edge_boundary, snap_edge, label="edge-snapshot")
-    loop.schedule_at(
-        operator_boundary, snap_operator, label="operator-snapshot"
-    )
-    loop.schedule_at(cycle_end, snap_truth, label="truth-snapshot")
+        # Monitors for each party's two estimates.
+        rrc_monitor = RrcCounterMonitor(network.enodeb, direction)
+        gateway_monitor = GatewayMonitor(network.gateway, direction)
+        device_monitor = DeviceApiMonitor(network.ue, direction)
+        if direction is Direction.UPLINK:
+            edge_sent_monitor = DeviceApiMonitor(network.ue, direction)
+            edge_recv_read = (
+                lambda: network.server_received_bytes  # noqa: E731
+            )
+        else:
+            edge_sent_monitor = ServerMonitor(network, direction)
+            edge_recv_read = (
+                lambda: network.ue.os_stats.downlink_bytes  # noqa: E731
+            )
 
-    horizon = max(cycle_end, edge_boundary, operator_boundary) + 8.0
-    loop.schedule_at(horizon - 0.5, workload.stop, label="workload-stop")
-    loop.run(until=horizon)
+        # NTP-disciplined party clocks decide when each boundary snapshot
+        # is actually taken.
+        ntp = NtpModel(
+            rngs.stream("ntp-edge"), config.effective_edge_clock_std
+        )
+        edge_offset = ntp.residual_offset()
+        ntp_op = NtpModel(
+            rngs.stream("ntp-op"), config.effective_operator_clock_std
+        )
+        operator_offset = ntp_op.residual_offset()
+
+        edge_snapshot: dict[str, float] = {}
+        operator_snapshot: dict[str, float] = {}
+
+        def snap_edge() -> None:
+            edge_snapshot["sent"] = float(edge_sent_monitor.read_bytes())
+            edge_snapshot["received"] = float(edge_recv_read())
+
+        def snap_operator(retries_left: int = 10) -> None:
+            # The operator triggers an on-demand COUNTER CHECK at its
+            # cycle boundary.  A disconnected radio cannot answer — the
+            # operator retries once coverage is back (nothing is
+            # delivered while the radio is down, so the late reading
+            # stays close).
+            if (
+                not network.channel.connected
+                and retries_left > 0
+                and config.counter_check_enabled
+            ):
+                loop.schedule_in(
+                    0.5,
+                    lambda: snap_operator(retries_left - 1),
+                    label="operator-snapshot-retry",
+                )
+                return
+            rrc_monitor.refresh()
+            if config.counter_check_enabled:
+                device_side = float(rrc_monitor.read_bytes())
+            else:
+                # COUNTER CHECK not activated: the operator rolls back to
+                # the device APIs (§5.4 strawman 1) — accurate only while
+                # the edge is honest.
+                device_side = float(device_monitor.read_bytes())
+            if direction is Direction.UPLINK:
+                operator_snapshot["sent"] = device_side
+                operator_snapshot["received"] = float(
+                    gateway_monitor.read_bytes()
+                )
+            else:
+                operator_snapshot["sent"] = float(
+                    gateway_monitor.read_bytes()
+                )
+                operator_snapshot["received"] = device_side
+
+        # Ground truth is what actually crossed each metering point
+        # within the reference-time cycle; the parties' snapshots happen
+        # on their own clocks while traffic keeps flowing (it is a live
+        # network).
+        truth_snapshot: dict[str, float] = {}
+
+        def snap_truth() -> None:
+            if direction is Direction.UPLINK:
+                truth_snapshot["sent"] = float(network.true_uplink_sent())
+                truth_snapshot["received"] = float(
+                    network.true_uplink_received()
+                )
+            else:
+                truth_snapshot["sent"] = float(
+                    network.true_downlink_sent()
+                )
+                truth_snapshot["received"] = float(
+                    network.true_downlink_received()
+                )
+            truth_snapshot["legacy"] = float(
+                network.legacy_charged(direction)
+            )
+
+        cycle_end = config.cycle_duration
+        edge_boundary = max(0.0, cycle_end - edge_offset)
+        operator_boundary = max(0.0, cycle_end - operator_offset)
+
+        workload.start()
+        loop.schedule_at(edge_boundary, snap_edge, label="edge-snapshot")
+        loop.schedule_at(
+            operator_boundary, snap_operator, label="operator-snapshot"
+        )
+        loop.schedule_at(cycle_end, snap_truth, label="truth-snapshot")
+
+        horizon = max(cycle_end, edge_boundary, operator_boundary) + 8.0
+        loop.schedule_at(
+            horizon - 0.5, workload.stop, label="workload-stop"
+        )
+        loop.run(until=horizon)
 
     truth = GroundTruth(
         sent=truth_snapshot.get("sent", 0.0),
@@ -338,6 +364,19 @@ def run_scenario(config: ScenarioConfig) -> ScenarioResult:
         received_estimate=operator_snapshot.get("received", 0.0),
     )
 
+    extras: dict = {"cdrs": network.ofcs.received_cdrs}
+    if session is not None:
+        metrics = session.registry.snapshot()
+        accounting = build_accounting(metrics, direction.value)
+        record: dict = {
+            "direction": direction.value,
+            "metrics": metrics,
+            "accounting": accounting.as_dict(),
+        }
+        if session.trace is not None:
+            record["trace"] = session.trace.as_dicts()
+        extras["telemetry"] = record
+
     return ScenarioResult(
         config=config,
         truth=truth,
@@ -349,7 +388,7 @@ def run_scenario(config: ScenarioConfig) -> ScenarioResult:
         rlf_events=network.enodeb.rlf_events,
         counter_checks=network.enodeb.counter_check_messages,
         generated_bytes=workload.generated_bytes,
-        extras={"cdrs": network.ofcs.received_cdrs},
+        extras=extras,
     )
 
 

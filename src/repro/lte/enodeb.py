@@ -18,6 +18,7 @@ from __future__ import annotations
 import itertools
 from typing import Callable
 
+from repro import telemetry
 from repro.lte.rrc import (
     CounterCheckRequest,
     CounterCheckResponse,
@@ -63,6 +64,10 @@ class ENodeB:
         self.counter_check_messages = 0
         self.releases = 0
         self.rlf_events = 0
+        self._telemetry = telemetry.current()
+        # Last COUNTER CHECK totals, for reporting per-check deltas.
+        self._last_reported_uplink = 0
+        self._last_reported_downlink = 0
 
         # One air interface carries both directions; demux on delivery.
         channel.connect(self._on_air_delivery)
@@ -136,6 +141,10 @@ class ENodeB:
         outage = self.channel.current_outage_duration()
         if outage >= self.rlf_timeout:
             self.rlf_events += 1
+            tel = self._telemetry
+            if tel is not None:
+                tel.inc("rlf_events", layer="enodeb")
+                tel.event("enodeb", "radio_link_failure", outage=outage)
             for sink in self._rlf_sinks:
                 sink(self.ue.imsi.digits)
 
@@ -157,6 +166,14 @@ class ENodeB:
             response = self.run_counter_check()
         conn.release(self.loop.now)
         self.releases += 1
+        tel = self._telemetry
+        if tel is not None:
+            tel.inc("rrc_releases", layer="enodeb")
+            tel.event(
+                "enodeb",
+                "rrc_release",
+                counter_check_ran=response is not None,
+            )
         return response
 
     def run_counter_check(self) -> CounterCheckResponse:
@@ -167,6 +184,36 @@ class ENodeB:
         )
         response = self.ue.modem.counter_check(request)
         self.counter_check_messages += 1
+        tel = self._telemetry
+        if tel is not None:
+            uplink = response.uplink_total()
+            downlink = response.downlink_total()
+            tel.inc("counter_checks", layer="enodeb")
+            # Per-check deltas: the bytes newly visible to the operator's
+            # tamper-resilient record since the previous COUNTER CHECK.
+            tel.inc(
+                "rrc_reported_bytes",
+                uplink - self._last_reported_uplink,
+                layer="enodeb",
+                direction="uplink",
+            )
+            tel.inc(
+                "rrc_reported_bytes",
+                downlink - self._last_reported_downlink,
+                layer="enodeb",
+                direction="downlink",
+            )
+            tel.event(
+                "enodeb",
+                "counter_check",
+                transaction_id=request.transaction_id,
+                uplink_total=uplink,
+                downlink_total=downlink,
+                uplink_delta=uplink - self._last_reported_uplink,
+                downlink_delta=downlink - self._last_reported_downlink,
+            )
+            self._last_reported_uplink = uplink
+            self._last_reported_downlink = downlink
         for sink in self._counter_sinks:
             sink(self.ue.imsi.digits, response)
         return response

@@ -21,6 +21,7 @@ from __future__ import annotations
 import itertools
 from typing import Callable
 
+from repro import telemetry
 from repro.charging.cdr import ChargingDataRecord
 from repro.lte.identifiers import Imsi
 from repro.net.packet import Direction, Packet
@@ -65,6 +66,7 @@ class ChargingGateway:
         # Traffic refused while detached (never charged).
         self.blocked_packets = 0
         self.blocked_bytes = 0
+        self._telemetry = telemetry.current()
 
         if self.cdr_period > 0:
             self.loop.schedule_in(
@@ -104,9 +106,7 @@ class ChargingGateway:
         """Meter then forward a server->device packet toward the RAN."""
         if packet.direction is not Direction.DOWNLINK:
             raise ValueError("forward_downlink needs a downlink packet")
-        if not self.attached:
-            self.blocked_packets += 1
-            self.blocked_bytes += packet.size
+        if not self._admit(packet):
             return False
         self._meter(packet)
         for receiver in self._downlink_receivers:
@@ -117,14 +117,36 @@ class ChargingGateway:
         """Meter then forward a device->server packet toward the server."""
         if packet.direction is not Direction.UPLINK:
             raise ValueError("forward_uplink needs an uplink packet")
-        if not self.attached:
-            self.blocked_packets += 1
-            self.blocked_bytes += packet.size
+        if not self._admit(packet):
             return False
         self._meter(packet)
         for receiver in self._uplink_receivers:
             receiver(packet)
         return True
+
+    def _admit(self, packet: Packet) -> bool:
+        """Account arrival; False (and counted as blocked) when detached."""
+        tel = self._telemetry
+        if tel is not None:
+            tel.inc(
+                "bytes_in",
+                packet.size,
+                layer="gateway",
+                direction=packet.direction.value,
+            )
+        if self.attached:
+            return True
+        self.blocked_packets += 1
+        self.blocked_bytes += packet.size
+        if tel is not None:
+            tel.inc(
+                "bytes_dropped",
+                packet.size,
+                layer="gateway",
+                direction=packet.direction.value,
+                cause="detached",
+            )
+        return False
 
     def _meter(self, packet: Packet) -> None:
         if packet.direction is Direction.UPLINK:
@@ -136,6 +158,18 @@ class ChargingGateway:
         if self._interval_first_usage is None:
             self._interval_first_usage = self.loop.now
         self._interval_last_usage = self.loop.now
+        tel = self._telemetry
+        if tel is not None:
+            direction = packet.direction.value
+            tel.inc(
+                "bytes_counted",
+                packet.size,
+                layer="gateway",
+                direction=direction,
+            )
+            tel.inc(
+                "bytes_out", packet.size, layer="gateway", direction=direction
+            )
 
     # ------------------------------------------------------------------
     # CDR generation
@@ -165,6 +199,21 @@ class ChargingGateway:
         self._interval_downlink = 0
         self._interval_first_usage = None
         self._interval_last_usage = None
+        tel = self._telemetry
+        if tel is not None:
+            tel.inc("cdrs_emitted", layer="gateway")
+            tel.observe(
+                "cdr_interval_bytes",
+                record.uplink_bytes + record.downlink_bytes,
+                layer="gateway",
+            )
+            tel.event(
+                "gateway",
+                "cdr_emitted",
+                sequence=record.sequence_number,
+                uplink_bytes=record.uplink_bytes,
+                downlink_bytes=record.downlink_bytes,
+            )
         for sink in self._cdr_sinks:
             sink(record)
         return record

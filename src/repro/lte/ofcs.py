@@ -12,6 +12,7 @@ from __future__ import annotations
 from collections import defaultdict
 from dataclasses import dataclass, field
 
+from repro import telemetry
 from repro.charging.cdr import ChargingDataRecord
 from repro.charging.cycle import ChargingCycle
 
@@ -36,6 +37,7 @@ class OfflineChargingSystem:
     def __init__(self) -> None:
         self._usage: dict[str, SubscriberUsage] = defaultdict(SubscriberUsage)
         self.received_cdrs = 0
+        self._telemetry = telemetry.current()
 
     def ingest(self, record: ChargingDataRecord) -> None:
         """Accept one CDR from a gateway."""
@@ -44,6 +46,21 @@ class OfflineChargingSystem:
         usage.downlink_bytes += record.downlink_bytes
         usage.records.append(record)
         self.received_cdrs += 1
+        tel = self._telemetry
+        if tel is not None:
+            tel.inc("cdrs_ingested", layer="ofcs")
+            tel.inc(
+                "bytes_counted",
+                record.uplink_bytes,
+                layer="ofcs",
+                direction="uplink",
+            )
+            tel.inc(
+                "bytes_counted",
+                record.downlink_bytes,
+                layer="ofcs",
+                direction="downlink",
+            )
 
     def usage_for(self, imsi_digits: str) -> SubscriberUsage:
         """Cumulative usage for one subscriber."""

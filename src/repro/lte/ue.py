@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
+from repro import telemetry
 from repro.lte.bearer import Bearer
 from repro.lte.identifiers import Imsi
 from repro.lte.rrc import (
@@ -174,6 +175,7 @@ class UserEquipment:
         self._app_receivers: list[Deliver] = []
         self.app_received_packets = 0
         self.app_received_bytes = 0
+        self._telemetry = telemetry.current()
 
     def connect_app(self, receiver: Deliver) -> None:
         """Attach an application-layer packet handler."""
@@ -187,6 +189,27 @@ class UserEquipment:
         self.os_stats.count(packet)
         self.app_received_packets += 1
         self.app_received_bytes += packet.size
+        tel = self._telemetry
+        if tel is not None:
+            tel.inc(
+                "bytes_counted",
+                packet.size,
+                layer="ue_modem",
+                direction="downlink",
+                qci=self.bearer.qci,
+            )
+            tel.inc(
+                "bytes_counted",
+                packet.size,
+                layer="ue_os",
+                direction="downlink",
+            )
+            tel.inc(
+                "bytes_counted",
+                packet.size,
+                layer="ue_app",
+                direction="downlink",
+            )
         for receiver in self._app_receivers:
             receiver(packet)
 
@@ -202,4 +225,19 @@ class UserEquipment:
             raise ValueError("prepare_uplink needs an uplink packet")
         self.os_stats.count(packet)
         self.modem.count_uplink(self.bearer.bearer_id, packet.size)
+        tel = self._telemetry
+        if tel is not None:
+            tel.inc(
+                "bytes_counted",
+                packet.size,
+                layer="ue_os",
+                direction="uplink",
+            )
+            tel.inc(
+                "bytes_counted",
+                packet.size,
+                layer="ue_modem",
+                direction="uplink",
+                qci=self.bearer.qci,
+            )
         return packet

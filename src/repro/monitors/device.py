@@ -8,6 +8,7 @@ flows straight through to these readings.
 
 from __future__ import annotations
 
+from repro import telemetry
 from repro.lte.ue import UserEquipment
 from repro.net.packet import Direction
 
@@ -18,12 +19,30 @@ class DeviceApiMonitor:
     def __init__(self, ue: UserEquipment, direction: Direction) -> None:
         self.ue = ue
         self.direction = direction
+        self._telemetry = telemetry.current()
+        self._tamper_reported = False
 
     def read_bytes(self) -> int:
         """Cumulative bytes as the OS APIs report them (tamper included)."""
         if self.direction is Direction.UPLINK:
-            return self.ue.os_stats.uplink_bytes
-        return self.ue.os_stats.downlink_bytes
+            reported = self.ue.os_stats.uplink_bytes
+        else:
+            reported = self.ue.os_stats.downlink_bytes
+        tel = self._telemetry
+        if tel is not None and not self._tamper_reported:
+            true = self.read_true_bytes()
+            if reported != true:
+                self._tamper_reported = True
+                tel.inc("tamper_detections", layer="ue_os")
+                tel.event(
+                    "ue_os",
+                    "tamper_detected",
+                    direction=self.direction.value,
+                    reported_bytes=reported,
+                    true_bytes=true,
+                    hidden_bytes=true - reported,
+                )
+        return reported
 
     def read_true_bytes(self) -> int:
         """Ground truth (simulation-only; no real party can call this)."""

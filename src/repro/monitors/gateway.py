@@ -13,6 +13,7 @@ over-billing").
 
 from __future__ import annotations
 
+from repro import telemetry
 from repro.lte.gateway import ChargingGateway
 from repro.net.packet import Direction
 
@@ -24,6 +25,8 @@ class GatewayMonitor:
         self.gateway = gateway
         self.direction = direction
         self._inflation = 1.0
+        self._telemetry = telemetry.current()
+        self._tamper_reported = False
 
     def install_inflation(self, factor: float) -> None:
         """Selfish operator: report ``factor`` times the true count."""
@@ -33,7 +36,26 @@ class GatewayMonitor:
 
     def read_bytes(self) -> int:
         """Cumulative charged bytes (inflation applied, if installed)."""
-        return int(self.read_true_bytes() * self._inflation)
+        true = self.read_true_bytes()
+        reported = int(true * self._inflation)
+        tel = self._telemetry
+        if (
+            tel is not None
+            and not self._tamper_reported
+            and self._inflation != 1.0
+            and reported != true
+        ):
+            self._tamper_reported = True
+            tel.inc("tamper_detections", layer="gateway")
+            tel.event(
+                "gateway",
+                "tamper_detected",
+                direction=self.direction.value,
+                reported_bytes=reported,
+                true_bytes=true,
+                inflation=self._inflation,
+            )
+        return reported
 
     def read_true_bytes(self) -> int:
         """Ground-truth gateway count (simulation-only view)."""

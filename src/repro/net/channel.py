@@ -23,6 +23,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Callable
 
+from repro import telemetry
 from repro.net.packet import Packet
 from repro.sim.events import EventLoop
 
@@ -111,6 +112,7 @@ class WirelessChannel:
         self._state_listeners: list[StateListener] = []
         self._buffer: deque[Packet] = deque()
         self._outage_started_at: float | None = None
+        self._telemetry = telemetry.current()
 
         self.sent_packets = 0
         self.sent_bytes = 0
@@ -150,6 +152,10 @@ class WirelessChannel:
             return
         self.connected = False
         self._outage_started_at = self.loop.now
+        tel = self._telemetry
+        if tel is not None:
+            tel.inc("outages", layer=self.name)
+            tel.event("air", "outage_start", buffered=len(self._buffer))
         for listener in self._state_listeners:
             listener(False)
         if schedule_reconnect:
@@ -159,9 +165,19 @@ class WirelessChannel:
         if self.connected:
             return
         self.connected = True
+        outage_duration = 0.0
         if self._outage_started_at is not None:
-            self.total_outage_time += self.loop.now - self._outage_started_at
+            outage_duration = self.loop.now - self._outage_started_at
+            self.total_outage_time += outage_duration
             self._outage_started_at = None
+        tel = self._telemetry
+        if tel is not None:
+            tel.event(
+                "air",
+                "outage_end",
+                duration=outage_duration,
+                flushing=len(self._buffer),
+            )
         for listener in self._state_listeners:
             listener(True)
         self._flush_buffer()
@@ -199,6 +215,14 @@ class WirelessChannel:
         """
         self.sent_packets += 1
         self.sent_bytes += packet.size
+        tel = self._telemetry
+        if tel is not None:
+            tel.inc(
+                "bytes_in",
+                packet.size,
+                layer=self.name,
+                direction=packet.direction.value,
+            )
 
         if not self.connected:
             if len(self._buffer) < self.config.buffer_packets:
@@ -206,12 +230,28 @@ class WirelessChannel:
                 return True
             self.dropped_packets += 1
             self.dropped_bytes += packet.size
+            if tel is not None:
+                tel.inc(
+                    "bytes_dropped",
+                    packet.size,
+                    layer=self.name,
+                    direction=packet.direction.value,
+                    cause="buffer_overflow",
+                )
             return False
 
         loss = rss_loss_rate(self.config.rss_dbm, self.config.base_loss_rate)
         if self.rng.random() < loss:
             self.dropped_packets += 1
             self.dropped_bytes += packet.size
+            if tel is not None:
+                tel.inc(
+                    "bytes_dropped",
+                    packet.size,
+                    layer=self.name,
+                    direction=packet.direction.value,
+                    cause="rss_loss",
+                )
             return False
 
         self._schedule_delivery(packet)
@@ -232,5 +272,13 @@ class WirelessChannel:
     def _deliver(self, packet: Packet) -> None:
         self.delivered_packets += 1
         self.delivered_bytes += packet.size
+        tel = self._telemetry
+        if tel is not None:
+            tel.inc(
+                "bytes_out",
+                packet.size,
+                layer=self.name,
+                direction=packet.direction.value,
+            )
         for receiver in self._receivers:
             receiver(packet)

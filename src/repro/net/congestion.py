@@ -21,6 +21,7 @@ import random
 from dataclasses import dataclass
 from typing import Callable
 
+from repro import telemetry
 from repro.net.packet import Packet
 from repro.sim.events import EventLoop
 
@@ -105,6 +106,7 @@ class CongestedQueue:
         self.sent_bytes = 0
         self.dropped_packets = 0
         self.dropped_bytes = 0
+        self._telemetry = telemetry.current()
 
     def connect(self, receiver: Deliver) -> None:
         """Attach the downstream element."""
@@ -119,9 +121,25 @@ class CongestedQueue:
         """Pass a packet through the bottleneck; False when dropped."""
         self.sent_packets += 1
         self.sent_bytes += packet.size
+        tel = self._telemetry
+        if tel is not None:
+            tel.inc(
+                "bytes_in",
+                packet.size,
+                layer=self.name,
+                direction=packet.direction.value,
+            )
         if self.rng.random() < self.drop_rate_for(packet.qci):
             self.dropped_packets += 1
             self.dropped_bytes += packet.size
+            if tel is not None:
+                tel.inc(
+                    "bytes_dropped",
+                    packet.size,
+                    layer=self.name,
+                    direction=packet.direction.value,
+                    cause="congestion",
+                )
             return False
 
         rho = min(self.config.utilization, 0.99)
@@ -133,5 +151,13 @@ class CongestedQueue:
         return True
 
     def _deliver(self, packet: Packet) -> None:
+        tel = self._telemetry
+        if tel is not None:
+            tel.inc(
+                "bytes_out",
+                packet.size,
+                layer=self.name,
+                direction=packet.direction.value,
+            )
         for receiver in self._receivers:
             receiver(packet)

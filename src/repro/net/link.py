@@ -10,6 +10,7 @@ from __future__ import annotations
 import random
 from typing import Callable
 
+from repro import telemetry
 from repro.net.packet import Packet
 from repro.sim.events import EventLoop
 
@@ -61,6 +62,7 @@ class Link:
         self.sent_bytes = 0
         self.dropped_packets = 0
         self.dropped_bytes = 0
+        self._telemetry = telemetry.current()
 
     def connect(self, receiver: Deliver) -> None:
         """Attach a delivery callback (multiple receivers all get a copy)."""
@@ -70,9 +72,25 @@ class Link:
         """Inject a packet; returns False if the loss draw dropped it."""
         self.sent_packets += 1
         self.sent_bytes += packet.size
+        tel = self._telemetry
+        if tel is not None:
+            tel.inc(
+                "bytes_in",
+                packet.size,
+                layer=self.name,
+                direction=packet.direction.value,
+            )
         if self.loss_rate > 0 and self.rng.random() < self.loss_rate:
             self.dropped_packets += 1
             self.dropped_bytes += packet.size
+            if tel is not None:
+                tel.inc(
+                    "bytes_dropped",
+                    packet.size,
+                    layer=self.name,
+                    direction=packet.direction.value,
+                    cause="link_loss",
+                )
             return False
 
         depart = self.loop.now
@@ -88,5 +106,13 @@ class Link:
         return True
 
     def _deliver(self, packet: Packet) -> None:
+        tel = self._telemetry
+        if tel is not None:
+            tel.inc(
+                "bytes_out",
+                packet.size,
+                layer=self.name,
+                direction=packet.direction.value,
+            )
         for receiver in self._receivers:
             receiver(packet)

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Callable
 
+from repro import telemetry
 from repro.lte.bearer import QCI_DELAY_BUDGET
 from repro.net.packet import Packet
 from repro.sim.events import EventLoop
@@ -44,6 +45,7 @@ class SlaMiddlebox:
         self.passed_bytes = 0
         self.dropped_packets = 0
         self.dropped_bytes = 0
+        self._telemetry = telemetry.current()
 
     def connect(self, receiver: Deliver) -> None:
         """Attach the downstream element."""
@@ -65,13 +67,43 @@ class SlaMiddlebox:
 
     def send(self, packet: Packet) -> bool:
         """Forward the packet unless it has aged past its budget."""
+        tel = self._telemetry
+        if tel is not None:
+            tel.inc(
+                "bytes_in",
+                packet.size,
+                layer=self.name,
+                direction=packet.direction.value,
+            )
         age = self.loop.now - packet.created_at
         if age > self.budget_for(packet):
             self.dropped_packets += 1
             self.dropped_bytes += packet.size
+            if tel is not None:
+                tel.inc(
+                    "bytes_dropped",
+                    packet.size,
+                    layer=self.name,
+                    direction=packet.direction.value,
+                    cause="sla_expired",
+                )
+                tel.event(
+                    self.name,
+                    "sla_drop",
+                    flow=packet.flow,
+                    age=age,
+                    budget=self.budget_for(packet),
+                )
             return False
         self.passed_packets += 1
         self.passed_bytes += packet.size
+        if tel is not None:
+            tel.inc(
+                "bytes_out",
+                packet.size,
+                layer=self.name,
+                direction=packet.direction.value,
+            )
         for receiver in self._receivers:
             receiver(packet)
         return True

@@ -1,0 +1,155 @@
+"""Per-layer charging telemetry: metrics, tracing, byte accounting.
+
+The paper's argument is about *where* bytes are counted versus where
+they are lost (§3 gateway CDRs vs. device receipts, §5.4 RRC COUNTER
+CHECK).  This package makes those counting points observable: every
+metering/loss element publishes counters into a
+:class:`~repro.telemetry.metrics.MetricsRegistry` and structured events
+into a :class:`~repro.telemetry.trace.TraceBuffer`, both scoped to one
+:class:`Telemetry` session, and
+:mod:`repro.telemetry.accounting` folds a session's metrics into a
+per-layer byte-accounting table that must reconcile exactly:
+``counted_at_sender − Σ losses_by_layer == counted_at_receiver``.
+
+Activation model
+----------------
+
+Telemetry is *opt-in per scenario* and **free when off**:
+
+- :func:`current` returns the active session or ``None``.  Instrumented
+  components capture it once at construction time; their hot paths guard
+  every telemetry call with ``if self._telemetry is not None`` — a single
+  attribute load and identity check, so a run with no sink attached pays
+  no measurable overhead (``benchmarks/test_telemetry_overhead.py``).
+- :func:`activation` scopes a session to a ``with`` block; everything
+  constructed inside it (networks, channels, monitors, agents) publishes
+  into that session.  Scenario runs do this when
+  ``ScenarioConfig.telemetry`` is set — which is what the CLI's
+  ``--metrics-out``/``--trace`` flags and the campaign engine's
+  ``telemetry=True`` turn on.
+
+>>> from repro import telemetry
+>>> print(telemetry.current())
+None
+>>> session = telemetry.Telemetry()
+>>> with telemetry.activation(session):
+...     telemetry.current() is session
+True
+>>> session.inc("bytes_counted", 42, layer="gateway", direction="downlink")
+>>> session.registry.value("bytes_counted", layer="gateway", direction="downlink")
+42
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator
+
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.telemetry.trace import (
+    TraceBuffer,
+    TraceEvent,
+    read_jsonl,
+    write_jsonl,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Telemetry",
+    "TraceBuffer",
+    "TraceEvent",
+    "activation",
+    "current",
+    "read_jsonl",
+    "write_jsonl",
+]
+
+
+class Telemetry:
+    """One telemetry session: a metrics registry plus a trace sink.
+
+    Parameters
+    ----------
+    clock:
+        Zero-argument callable returning the current *simulated* time;
+        scenario runs bind it to their event loop.  Defaults to a clock
+        stuck at 0.0 (metrics don't need time; traces do).
+    capture_trace:
+        When False (the default), :meth:`event` is a no-op and no trace
+        buffer is kept — metrics-only sessions stay lean.
+    """
+
+    def __init__(
+        self,
+        clock: Callable[[], float] | None = None,
+        capture_trace: bool = False,
+    ) -> None:
+        self.registry = MetricsRegistry()
+        self.trace: TraceBuffer | None = (
+            TraceBuffer(clock) if capture_trace else None
+        )
+
+    # -- metrics write path (delegates to the registry) ----------------
+
+    def inc(self, name: str, amount: int | float = 1, **labels: Any) -> None:
+        """Increment the counter for (name, labels)."""
+        self.registry.inc(name, amount, **labels)
+
+    def set(self, name: str, value: float, **labels: Any) -> None:
+        """Set the gauge for (name, labels)."""
+        self.registry.set(name, value, **labels)
+
+    def observe(self, name: str, value: float, **labels: Any) -> None:
+        """Record a histogram sample for (name, labels)."""
+        self.registry.observe(name, value, **labels)
+
+    # -- tracing --------------------------------------------------------
+
+    def event(self, layer: str, event: str, **fields: Any) -> None:
+        """Emit a structured trace event (no-op unless capturing)."""
+        if self.trace is not None:
+            self.trace.emit(layer, event, **fields)
+
+    # -- export ---------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-able dump: all metrics, plus trace events if captured."""
+        out: dict[str, Any] = {"metrics": self.registry.snapshot()}
+        if self.trace is not None:
+            out["trace"] = self.trace.as_dicts()
+        return out
+
+
+# The active session. ``None`` means telemetry is off and every
+# instrumented component constructed now will skip its hooks entirely.
+_current: Telemetry | None = None
+
+
+def current() -> Telemetry | None:
+    """The active telemetry session, or ``None`` when telemetry is off."""
+    return _current
+
+
+@contextmanager
+def activation(session: Telemetry | None) -> Iterator[Telemetry | None]:
+    """Scope ``session`` as the active one for the ``with`` block.
+
+    Passing ``None`` is allowed and leaves telemetry off — callers can
+    wrap unconditionally.  The previous session is restored on exit even
+    if the block raises.
+    """
+    global _current
+    previous = _current
+    _current = session
+    try:
+        yield session
+    finally:
+        _current = previous

@@ -1,0 +1,223 @@
+"""Per-layer byte accounting: the gap, reconciled layer by layer.
+
+Legacy charging disagrees with the device because the gateway meters
+downlink *before* the loss processes and uplink *after* them (§2.1,
+§3.1).  This module folds a telemetry session's counters into a table
+with one row per packet-path element, and checks the identity the whole
+reproduction rests on — every byte the sender-side meter counted is
+either dropped by a named layer (with a cause), still in flight/buffered
+at snapshot time, or counted by the receiver-side meter:
+
+``counted_at_sender − Σ losses_by_layer == counted_at_receiver``
+
+Counting-point conventions (all counters, all in bytes):
+
+- ``bytes_in{layer, direction}`` — entering a pipeline element,
+- ``bytes_out{layer, direction}`` — delivered downstream by the element,
+- ``bytes_dropped{layer, direction, cause}`` — dropped, with the cause
+  (``congestion``, ``rss_loss``, ``buffer_overflow``, ``sla_expired``,
+  ``quota_throttle``, ``detached``, ``link_loss``),
+- ``bytes_counted{layer, direction, ...}`` — at the metering points
+  (``gateway``, ``ue_modem``, ``ue_os``, ``ue_app``, ``ofcs``).
+
+A layer's loss contribution is its dropped bytes plus its in-flight
+residue ``bytes_in − bytes_out − dropped`` (bytes scheduled for delivery
+or parked in a link-layer buffer when the run ended).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+#: Loss layers between the two meters, in packet-path order.
+DOWNLINK_PATH = ("throttle", "dl-queue", "sla", "air")
+UPLINK_PATH = ("air", "ul-queue", "gateway")
+
+#: The metering anchors per direction: (sender-side, receiver-side).
+METERS = {
+    "downlink": ("gateway", "ue_modem"),
+    "uplink": ("ue_modem", "gateway"),
+}
+
+
+class _CounterIndex:
+    """Label-filtered sums over a metrics snapshot's counter list."""
+
+    def __init__(self, counters: list[dict[str, Any]]) -> None:
+        self._counters = counters
+
+    def total(self, name: str, **label_filter: Any) -> float:
+        wanted = label_filter.items()
+        total = 0.0
+        for entry in self._counters:
+            if entry["name"] != name:
+                continue
+            labels = entry.get("labels", {})
+            if all(labels.get(k) == v for k, v in wanted):
+                total += entry["value"]
+        return total
+
+    def causes(self, layer: str, direction: str) -> dict[str, float]:
+        """Dropped bytes by cause for one (layer, direction)."""
+        out: dict[str, float] = {}
+        for entry in self._counters:
+            if entry["name"] != "bytes_dropped":
+                continue
+            labels = entry.get("labels", {})
+            if labels.get("layer") != layer:
+                continue
+            if labels.get("direction") != direction:
+                continue
+            cause = labels.get("cause", "unspecified")
+            out[cause] = out.get(cause, 0.0) + entry["value"]
+        return out
+
+
+@dataclass
+class LayerAccount:
+    """One packet-path element's byte balance for one direction."""
+
+    layer: str
+    bytes_in: float
+    bytes_out: float
+    dropped: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def dropped_total(self) -> float:
+        """All bytes this layer dropped, across causes."""
+        return sum(self.dropped.values())
+
+    @property
+    def in_flight(self) -> float:
+        """Bytes inside the element (buffered or scheduled) at snapshot."""
+        return self.bytes_in - self.bytes_out - self.dropped_total
+
+    @property
+    def lost(self) -> float:
+        """This layer's contribution to the charging gap."""
+        return self.dropped_total + self.in_flight
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-able form."""
+        return {
+            "layer": self.layer,
+            "bytes_in": self.bytes_in,
+            "bytes_out": self.bytes_out,
+            "dropped": dict(self.dropped),
+            "in_flight": self.in_flight,
+        }
+
+
+@dataclass
+class AccountingTable:
+    """The reconciled per-layer byte-accounting of one scenario run."""
+
+    direction: str
+    sender_layer: str
+    receiver_layer: str
+    counted: float
+    received: float
+    rows: list[LayerAccount] = field(default_factory=list)
+
+    @property
+    def losses_by_layer(self) -> dict[str, float]:
+        """Each loss layer's total contribution (drops + in flight)."""
+        return {row.layer: row.lost for row in self.rows}
+
+    @property
+    def total_losses(self) -> float:
+        """Σ losses_by_layer."""
+        return sum(self.losses_by_layer.values())
+
+    @property
+    def residual(self) -> float:
+        """``counted − Σ losses − received``; 0 when fully reconciled."""
+        return self.counted - self.total_losses - self.received
+
+    @property
+    def reconciles(self) -> bool:
+        """True when every counted byte is accounted for exactly."""
+        return self.residual == 0
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-able form (what campaign results persist)."""
+        return {
+            "direction": self.direction,
+            "sender_layer": self.sender_layer,
+            "receiver_layer": self.receiver_layer,
+            "counted": self.counted,
+            "received": self.received,
+            "rows": [row.as_dict() for row in self.rows],
+            "total_losses": self.total_losses,
+            "residual": self.residual,
+            "reconciles": self.reconciles,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "AccountingTable":
+        """Rebuild a table from :meth:`as_dict` output."""
+        return cls(
+            direction=data["direction"],
+            sender_layer=data["sender_layer"],
+            receiver_layer=data["receiver_layer"],
+            counted=data["counted"],
+            received=data["received"],
+            rows=[
+                LayerAccount(
+                    layer=row["layer"],
+                    bytes_in=row["bytes_in"],
+                    bytes_out=row["bytes_out"],
+                    dropped=dict(row["dropped"]),
+                )
+                for row in data["rows"]
+            ],
+        )
+
+
+def build_accounting(
+    metrics_snapshot: Mapping[str, Any], direction: str
+) -> AccountingTable:
+    """Fold a metrics snapshot into the per-layer table for one direction.
+
+    ``metrics_snapshot`` is :meth:`repro.telemetry.metrics.MetricsRegistry.snapshot`
+    output (or the ``"metrics"`` entry of a scenario's telemetry extras);
+    ``direction`` is ``"downlink"`` or ``"uplink"``.
+    """
+    if direction not in METERS:
+        raise ValueError(
+            f"direction must be one of {sorted(METERS)}: {direction!r}"
+        )
+    index = _CounterIndex(list(metrics_snapshot.get("counters", [])))
+    sender_layer, receiver_layer = METERS[direction]
+    path = DOWNLINK_PATH if direction == "downlink" else UPLINK_PATH
+
+    rows: list[LayerAccount] = []
+    for layer in path:
+        bytes_in = index.total("bytes_in", layer=layer, direction=direction)
+        dropped = index.causes(layer, direction)
+        if bytes_in == 0 and not dropped:
+            continue  # element not present in this topology
+        rows.append(
+            LayerAccount(
+                layer=layer,
+                bytes_in=bytes_in,
+                bytes_out=index.total(
+                    "bytes_out", layer=layer, direction=direction
+                ),
+                dropped=dropped,
+            )
+        )
+
+    return AccountingTable(
+        direction=direction,
+        sender_layer=sender_layer,
+        receiver_layer=receiver_layer,
+        counted=index.total(
+            "bytes_counted", layer=sender_layer, direction=direction
+        ),
+        received=index.total(
+            "bytes_counted", layer=receiver_layer, direction=direction
+        ),
+        rows=rows,
+    )

@@ -1,0 +1,220 @@
+"""Metric instruments: counters, gauges, histograms with label sets.
+
+Every counting point in the simulated stack publishes into a
+:class:`MetricsRegistry` keyed by free-form labels — by convention
+``layer`` (where on the packet path), ``direction`` (uplink/downlink),
+``bearer`` (EPS bearer id) and ``cause`` (for drops).  The registry is
+deliberately tiny and dependency-free: instruments are plain objects,
+snapshots are plain JSON-able dicts, and nothing here touches the wall
+clock (trace timestamps come from the simulated clock, see
+:mod:`repro.telemetry.trace`).
+
+The performance contract lives one level up: when no telemetry session
+is active, instrumented components hold ``None`` and never call into
+this module (see :mod:`repro.telemetry`), so the no-sink fast path is a
+single ``is not None`` check.
+
+>>> registry = MetricsRegistry()
+>>> registry.inc("bytes_counted", 1500, layer="gateway", direction="downlink")
+>>> registry.value("bytes_counted", layer="gateway", direction="downlink")
+1500
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterator
+
+Labels = tuple[tuple[str, Any], ...]
+
+
+def _labels_key(labels: dict[str, Any]) -> Labels:
+    """Canonical (sorted) tuple form of a label dict."""
+    return tuple(sorted(labels.items()))
+
+
+class Counter:
+    """A monotonically increasing count (bytes, packets, events)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: Labels) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counter increments are non-negative: {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can move both ways (buffer depth, settled volume)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: Labels) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Overwrite the gauge with the latest observation."""
+        self.value = value
+
+    def add(self, delta: float) -> None:
+        """Move the gauge by ``delta`` (either sign)."""
+        self.value += delta
+
+
+class Histogram:
+    """A power-of-two bucketed distribution of observed values.
+
+    Buckets are ``value <= 2**i`` for ``i`` in a fixed range, which is
+    plenty for the quantities we histogram (packet sizes, CDR interval
+    volumes, negotiation rounds) without any configuration surface.
+    """
+
+    __slots__ = ("name", "labels", "count", "total", "min", "max", "buckets")
+
+    #: Upper bucket exponent: values above 2**30 land in the overflow.
+    MAX_EXP = 30
+
+    def __init__(self, name: str, labels: Labels) -> None:
+        self.name = name
+        self.labels = labels
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.buckets = [0] * (self.MAX_EXP + 2)
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if value <= 0:
+            index = 0
+        else:
+            index = min(self.MAX_EXP + 1, max(0, math.ceil(math.log2(value))))
+        self.buckets[index] += 1
+
+    @property
+    def mean(self) -> float:
+        """Average of all samples (0.0 before the first)."""
+        return self.total / self.count if self.count else 0.0
+
+
+Instrument = Counter | Gauge | Histogram
+
+_KIND_FACTORY = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricsRegistry:
+    """Get-or-create store of instruments keyed by (name, labels).
+
+    The registry is what a telemetry session hands to every counting
+    point; its :meth:`snapshot` is what campaign results persist next to
+    their cached values.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: dict[tuple[str, str, Labels], Instrument] = {}
+
+    # -- instrument accessors ------------------------------------------
+
+    def _get(self, kind: str, name: str, labels: dict[str, Any]) -> Instrument:
+        key = (kind, name, _labels_key(labels))
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = _KIND_FACTORY[kind](name, key[2])
+            self._instruments[key] = instrument
+        return instrument
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        """The counter for (name, labels), created on first use."""
+        return self._get("counter", name, labels)  # type: ignore[return-value]
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        """The gauge for (name, labels), created on first use."""
+        return self._get("gauge", name, labels)  # type: ignore[return-value]
+
+    def histogram(self, name: str, **labels: Any) -> Histogram:
+        """The histogram for (name, labels), created on first use."""
+        return self._get("histogram", name, labels)  # type: ignore[return-value]
+
+    # -- convenience write paths ---------------------------------------
+
+    def inc(self, name: str, amount: int | float = 1, **labels: Any) -> None:
+        """Increment the counter for (name, labels)."""
+        self.counter(name, **labels).inc(amount)
+
+    def set(self, name: str, value: float, **labels: Any) -> None:
+        """Set the gauge for (name, labels)."""
+        self.gauge(name, **labels).set(value)
+
+    def observe(self, name: str, value: float, **labels: Any) -> None:
+        """Record a histogram sample for (name, labels)."""
+        self.histogram(name, **labels).observe(value)
+
+    # -- read side ------------------------------------------------------
+
+    def value(self, name: str, **labels: Any) -> int | float:
+        """Current counter value (0 if never incremented)."""
+        key = ("counter", name, _labels_key(labels))
+        instrument = self._instruments.get(key)
+        return instrument.value if instrument is not None else 0  # type: ignore[union-attr]
+
+    def total(self, name: str, **label_filter: Any) -> int | float:
+        """Sum of all counters named ``name`` matching the label filter.
+
+        A filter key constrains that label to the given value; labels
+        not named in the filter may take any value.
+        """
+        total: int | float = 0
+        for counter in self.iter_counters(name, **label_filter):
+            total += counter.value
+        return total
+
+    def iter_counters(
+        self, name: str, **label_filter: Any
+    ) -> Iterator[Counter]:
+        """All counters named ``name`` whose labels match the filter."""
+        wanted = label_filter.items()
+        for (kind, iname, labels), instrument in self._instruments.items():
+            if kind != "counter" or iname != name:
+                continue
+            have = dict(labels)
+            if all(have.get(k) == v for k, v in wanted):
+                yield instrument  # type: ignore[misc]
+
+    def snapshot(self) -> dict[str, list[dict[str, Any]]]:
+        """A plain-dict, JSON-able dump of every instrument."""
+        out: dict[str, list[dict[str, Any]]] = {
+            "counters": [],
+            "gauges": [],
+            "histograms": [],
+        }
+        for (kind, name, labels), inst in sorted(
+            self._instruments.items(), key=lambda item: (item[0][0], item[0][1], item[0][2])
+        ):
+            entry: dict[str, Any] = {"name": name, "labels": dict(labels)}
+            if kind == "histogram":
+                hist = inst  # type: Histogram  # noqa: F841
+                entry.update(
+                    count=inst.count,  # type: ignore[union-attr]
+                    total=inst.total,  # type: ignore[union-attr]
+                    min=None if inst.count == 0 else inst.min,  # type: ignore[union-attr]
+                    max=None if inst.count == 0 else inst.max,  # type: ignore[union-attr]
+                    mean=inst.mean,  # type: ignore[union-attr]
+                )
+            else:
+                entry["value"] = inst.value  # type: ignore[union-attr]
+            out[kind + "s"].append(entry)
+        return out

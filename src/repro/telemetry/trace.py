@@ -1,0 +1,86 @@
+"""Structured trace events on the simulated clock.
+
+A trace event is one timestamped fact about the packet path — an outage
+starting, a CDR flushing, a COUNTER CHECK answering, a negotiation
+settling.  Timestamps always come from the *simulated* clock (the event
+loop's ``now``), never the wall clock, so traces are deterministic and
+diffable across runs and worker processes.
+
+Events serialize to JSON Lines (one JSON object per line), the format
+the CLI's ``--trace`` flag writes:
+
+>>> buffer = TraceBuffer(clock=lambda: 12.5)
+>>> event = buffer.emit("gateway", "cdr_emitted", uplink_bytes=100)
+>>> event.as_dict()
+{'t': 12.5, 'layer': 'gateway', 'event': 'cdr_emitted', 'uplink_bytes': 100}
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import IO, Any, Callable, Iterable
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One timestamped, structured occurrence on the packet path."""
+
+    time: float
+    layer: str
+    event: str
+    fields: dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-able form: flat dict with ``t``/``layer``/``event`` first."""
+        out: dict[str, Any] = {
+            "t": self.time,
+            "layer": self.layer,
+            "event": self.event,
+        }
+        out.update(self.fields)
+        return out
+
+
+class TraceBuffer:
+    """An in-memory, append-only sink of trace events.
+
+    ``clock`` supplies the simulated time for each event; scenario runs
+    bind it to their event loop, so a buffer never needs the loop itself.
+    """
+
+    def __init__(self, clock: Callable[[], float] | None = None) -> None:
+        self._clock = clock or (lambda: 0.0)
+        self.events: list[TraceEvent] = []
+
+    def emit(self, layer: str, event: str, **fields: Any) -> TraceEvent:
+        """Append one event stamped with the current simulated time."""
+        record = TraceEvent(
+            time=self._clock(), layer=layer, event=event, fields=fields
+        )
+        self.events.append(record)
+        return record
+
+    def as_dicts(self) -> list[dict[str, Any]]:
+        """All events as JSON-able dicts (what campaign results store)."""
+        return [event.as_dict() for event in self.events]
+
+
+def write_jsonl(events: Iterable[dict[str, Any] | TraceEvent], fh: IO[str]) -> int:
+    """Write events to ``fh`` as JSON Lines; returns the line count."""
+    count = 0
+    for event in events:
+        record = event.as_dict() if isinstance(event, TraceEvent) else event
+        fh.write(json.dumps(record, sort_keys=False) + "\n")
+        count += 1
+    return count
+
+
+def read_jsonl(fh: IO[str]) -> list[dict[str, Any]]:
+    """Parse a JSON Lines trace back into dicts (blank lines skipped)."""
+    out = []
+    for line in fh:
+        line = line.strip()
+        if line:
+            out.append(json.loads(line))
+    return out

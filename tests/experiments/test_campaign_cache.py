@@ -117,7 +117,7 @@ class TestKeyFormatPin:
             '"mean_outage":{"__float__":"0x1.ee147ae147ae1p+0"},'
             '"operator_clock_std":null,'
             '"rss_dbm":{"__float__":"-0x1.6800000000000p+6"},'
-            '"seed":7}'
+            '"seed":7,"telemetry":false,"trace":false}'
         )
 
     def test_scenario_cache_key_is_pinned(self):
@@ -125,11 +125,11 @@ class TestKeyFormatPin:
         key = config_key(
             "repro.experiments.scenario.run_scenario",
             cfg,
-            "tlc-campaign-v1",
+            "tlc-campaign-v2",
         )
         assert key == (
-            "cf0c40f24aab63c5b20960ed0fe0f1f1"
-            "bac54a3ef2d199a709dfb31119e07ac4"
+            "48e8e8acf52e82684f2e8af17dcd7317"
+            "a17125e4d7bda9adafed3b3cad59d800"
         )
 
     def test_task_key_matches_config_key(self):
@@ -159,6 +159,8 @@ class TestKeySensitivity:
             counter_check_enabled=False,
             app_loss_rate=0.05,
             edge_tamper_fraction=0.5,
+            telemetry=True,
+            trace=True,
         )
         # Cover every field, so a new field cannot silently escape the key.
         assert set(perturbations) == {

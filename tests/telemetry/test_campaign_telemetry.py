@@ -1,0 +1,109 @@
+"""Telemetry through the campaign engine: collection, caching, rendering."""
+
+from __future__ import annotations
+
+from repro.experiments.campaign import CampaignEngine, scenario_label
+from repro.experiments.report import render_accounting
+from repro.experiments.scenario import ScenarioConfig
+from repro.telemetry.accounting import AccountingTable
+
+
+def _configs():
+    return [
+        ScenarioConfig(app="webcam-udp", seed=s, cycle_duration=10.0)
+        for s in (1, 2)
+    ]
+
+
+class TestEngineCollection:
+    def test_metered_engine_collects_one_record_per_scenario(self):
+        engine = CampaignEngine(telemetry=True)
+        results = engine.run_scenarios(_configs())
+        assert len(engine.telemetry_records) == 2
+        for result, record in zip(results, engine.telemetry_records):
+            assert "telemetry" in result.extras
+            table = AccountingTable.from_dict(
+                record["telemetry"]["accounting"]
+            )
+            assert table.reconciles
+
+    def test_unmetered_engine_collects_nothing(self):
+        engine = CampaignEngine()
+        engine.run_scenarios(_configs())
+        assert engine.telemetry_records == []
+
+    def test_records_carry_labels_and_configs(self):
+        engine = CampaignEngine(telemetry=True)
+        engine.run_scenarios(_configs()[:1])
+        [record] = engine.telemetry_records
+        assert record["scenario"] == "webcam-udp seed=1 bg=0 dis=0"
+        assert record["config"]["app"] == "webcam-udp"
+
+    def test_trace_flag_flows_into_records(self):
+        engine = CampaignEngine(telemetry=True, trace=True)
+        engine.run_scenarios(_configs()[:1])
+        [record] = engine.telemetry_records
+        assert isinstance(record["telemetry"]["trace"], list)
+        assert record["telemetry"]["trace"], "expected at least one event"
+
+    def test_records_are_execution_mode_transparent(self):
+        """Serial and worker-pool runs must emit identical telemetry.
+
+        Guards against process-local state (e.g. the module-global EPS
+        bearer-id counter) leaking into metric labels: fresh worker
+        processes restart such counters, so any leak shows up as a
+        serial-vs-parallel diff.
+        """
+        serial = CampaignEngine(telemetry=True)
+        serial.run_scenarios(_configs())
+        # Run a second campaign in the same process first, so process-wide
+        # counters have advanced well past what fresh workers would see.
+        serial.run_scenarios(_configs())
+        parallel = CampaignEngine(workers=2, telemetry=True)
+        parallel.run_scenarios(_configs())
+        assert serial.telemetry_records[2:] == parallel.telemetry_records
+
+
+class TestCacheInteraction:
+    def test_metered_and_unmetered_runs_use_distinct_cache_keys(
+        self, tmp_path
+    ):
+        plain = CampaignEngine(cache_dir=tmp_path)
+        plain.run_scenarios(_configs())
+        assert plain.last_report.executed == 2
+
+        metered = CampaignEngine(cache_dir=tmp_path, telemetry=True)
+        metered.run_scenarios(_configs())
+        # telemetry=True changes the config hash: no cross-contamination.
+        assert metered.last_report.cache_hits == 0
+        assert metered.last_report.executed == 2
+
+    def test_cache_hits_still_feed_telemetry_records(self, tmp_path):
+        first = CampaignEngine(cache_dir=tmp_path, telemetry=True)
+        first.run_scenarios(_configs())
+
+        second = CampaignEngine(cache_dir=tmp_path, telemetry=True)
+        second.run_scenarios(_configs())
+        assert second.last_report.cache_hits == 2
+        assert len(second.telemetry_records) == 2
+        for record in second.telemetry_records:
+            table = AccountingTable.from_dict(
+                record["telemetry"]["accounting"]
+            )
+            assert table.reconciles
+
+
+class TestRendering:
+    def test_render_accounting_contains_every_layer_and_the_identity(self):
+        engine = CampaignEngine(telemetry=True)
+        engine.run_scenarios(_configs()[:1])
+        [record] = engine.telemetry_records
+        table = AccountingTable.from_dict(record["telemetry"]["accounting"])
+        text = render_accounting(table, title="baseline")
+        assert "baseline" in text
+        assert "reconciles=yes" in text
+        for row in table.rows:
+            assert row.layer in text
+
+    def test_scenario_label_falls_back_to_type_name(self):
+        assert scenario_label(object()) == "object"

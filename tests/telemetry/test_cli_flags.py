@@ -1,0 +1,65 @@
+"""CLI telemetry flags: --metrics-out and --trace."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+from repro.telemetry.accounting import AccountingTable
+from repro.telemetry.trace import read_jsonl
+
+
+class TestMetricsOut:
+    def test_metrics_out_writes_json_and_prints_summary(
+        self, tmp_path, capsys
+    ):
+        out_file = tmp_path / "metrics.json"
+        assert main(
+            ["run", "fig18", "--fast", "--metrics-out", str(out_file)]
+        ) == 0
+        printed = capsys.readouterr().out
+        assert "per-layer byte accounting" in printed
+        assert "reconciles" in printed
+
+        records = json.loads(out_file.read_text())
+        assert records, "expected at least one metered scenario"
+        for record in records:
+            assert record["scenario"]
+            table = AccountingTable.from_dict(record["accounting"])
+            assert table.reconciles
+            counter_names = {
+                c["name"] for c in record["metrics"]["counters"]
+            }
+            assert "bytes_counted" in counter_names
+
+    def test_trace_writes_jsonl(self, tmp_path, capsys):
+        metrics = tmp_path / "metrics.json"
+        trace = tmp_path / "trace.jsonl"
+        assert main(
+            [
+                "run",
+                "fig18",
+                "--fast",
+                "--metrics-out",
+                str(metrics),
+                "--trace",
+                str(trace),
+            ]
+        ) == 0
+        with open(trace, encoding="utf-8") as fh:
+            events = read_jsonl(fh)
+        assert events, "expected trace events"
+        for event in events:
+            assert {"t", "layer", "event"} <= set(event)
+
+    def test_trace_alone_enables_collection(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        assert main(
+            ["run", "fig18", "--fast", "--trace", str(trace)]
+        ) == 0
+        assert trace.exists()
+        assert "per-layer byte accounting" in capsys.readouterr().out
+
+    def test_no_flags_no_telemetry_output(self, capsys):
+        assert main(["run", "fig18", "--fast"]) == 0
+        assert "telemetry" not in capsys.readouterr().out

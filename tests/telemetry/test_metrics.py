@@ -1,0 +1,134 @@
+"""Unit tests for the metrics registry and instruments."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry import (
+    MetricsRegistry,
+    Telemetry,
+    activation,
+    current,
+)
+
+
+class TestCounters:
+    def test_counter_starts_at_zero_and_accumulates(self):
+        reg = MetricsRegistry()
+        assert reg.value("bytes_in", layer="air") == 0
+        reg.inc("bytes_in", 100, layer="air")
+        reg.inc("bytes_in", 50, layer="air")
+        assert reg.value("bytes_in", layer="air") == 150
+
+    def test_labels_distinguish_series(self):
+        reg = MetricsRegistry()
+        reg.inc("bytes_in", 10, layer="air", direction="uplink")
+        reg.inc("bytes_in", 20, layer="air", direction="downlink")
+        reg.inc("bytes_in", 40, layer="sla", direction="downlink")
+        assert reg.value("bytes_in", layer="air", direction="uplink") == 10
+        assert (
+            reg.value("bytes_in", layer="air", direction="downlink") == 20
+        )
+
+    def test_label_order_does_not_matter(self):
+        reg = MetricsRegistry()
+        reg.inc("x", 1, a="1", b="2")
+        reg.inc("x", 1, b="2", a="1")
+        assert reg.value("x", a="1", b="2") == 2
+
+    def test_total_sums_over_a_label_subset(self):
+        reg = MetricsRegistry()
+        reg.inc("bytes_dropped", 5, layer="air", cause="rss_loss")
+        reg.inc("bytes_dropped", 7, layer="air", cause="buffer_overflow")
+        reg.inc("bytes_dropped", 11, layer="sla", cause="sla_expired")
+        assert reg.total("bytes_dropped", layer="air") == 12
+        assert reg.total("bytes_dropped") == 23
+        assert reg.total("bytes_dropped", cause="sla_expired") == 11
+
+    def test_negative_increment_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.inc("x", -1)
+
+
+class TestGaugesAndHistograms:
+    def test_gauge_tracks_last_set(self):
+        reg = MetricsRegistry()
+        reg.set("settled_volume", 100.0, layer="protocol")
+        reg.set("settled_volume", 80.0, layer="protocol")
+        snap = reg.snapshot()
+        gauges = {
+            (g["name"], tuple(sorted(g["labels"].items()))): g["value"]
+            for g in snap["gauges"]
+        }
+        assert gauges[("settled_volume", (("layer", "protocol"),))] == 80.0
+
+    def test_histogram_summary_stats(self):
+        reg = MetricsRegistry()
+        for v in (1, 2, 3, 4):
+            reg.observe("rounds", v, layer="protocol")
+        snap = reg.snapshot()
+        [h] = snap["histograms"]
+        assert h["count"] == 4
+        assert h["total"] == 10
+        assert h["min"] == 1
+        assert h["max"] == 4
+        assert h["mean"] == pytest.approx(2.5)
+
+
+class TestSnapshot:
+    def test_snapshot_is_deterministically_sorted(self):
+        reg = MetricsRegistry()
+        reg.inc("b_metric", 1, layer="z")
+        reg.inc("a_metric", 1, layer="a")
+        reg.inc("a_metric", 1, layer="b")
+        names = [c["name"] for c in reg.snapshot()["counters"]]
+        assert names == sorted(names)
+
+    def test_snapshot_roundtrips_through_json(self):
+        import json
+
+        reg = MetricsRegistry()
+        reg.inc("bytes_in", 10, layer="air", direction="uplink")
+        reg.set("g", 1.5)
+        reg.observe("h", 3.0)
+        snap = reg.snapshot()
+        assert json.loads(json.dumps(snap)) == snap
+
+
+class TestActivation:
+    def test_no_session_by_default(self):
+        assert current() is None
+
+    def test_activation_scopes_the_session(self):
+        session = Telemetry()
+        with activation(session):
+            assert current() is session
+            current().inc("x", 5, layer="test")
+        assert current() is None
+        assert session.registry.value("x", layer="test") == 5
+
+    def test_activation_restores_previous_session_on_nesting(self):
+        outer, inner = Telemetry(), Telemetry()
+        with activation(outer):
+            with activation(inner):
+                assert current() is inner
+            assert current() is outer
+
+    def test_activation_accepts_none(self):
+        with activation(None):
+            assert current() is None
+
+    def test_event_is_noop_without_trace_capture(self):
+        session = Telemetry(capture_trace=False)
+        session.event("air", "outage_start")
+        assert session.trace is None
+
+    def test_snapshot_includes_trace_when_captured(self):
+        session = Telemetry(clock=lambda: 2.0, capture_trace=True)
+        session.event("air", "outage_start", buffered=3)
+        snap = session.snapshot()
+        assert snap["trace"] == [
+            {"t": 2.0, "layer": "air", "event": "outage_start",
+             "buffered": 3}
+        ]

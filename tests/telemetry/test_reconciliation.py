@@ -1,0 +1,145 @@
+"""The tentpole invariant: counted − losses_by_layer == received, exactly.
+
+Every byte the sender-side meter counts must be accounted for: dropped by
+a named layer with a cause, parked in flight when the run ended, or
+counted by the receiver-side meter.  The test sweeps the Gilbert–Elliott
+intermittency model, congestion levels, seeds and all four apps — both
+uplink-metered (webcam) and downlink-metered (vridge, gaming) — and
+requires the residual to be *exactly* zero (all counters are integer
+byte counts; no tolerance needed).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.scenario import ScenarioConfig, run_scenario
+from repro.telemetry.accounting import AccountingTable, build_accounting
+
+
+def _run(config: ScenarioConfig) -> AccountingTable:
+    result = run_scenario(config)
+    record = result.extras["telemetry"]
+    return AccountingTable.from_dict(record["accounting"])
+
+
+class TestReconciliationInvariant:
+    @pytest.mark.parametrize("app", ["webcam-udp", "vridge", "gaming"])
+    @pytest.mark.parametrize("disconnectivity", [0.0, 0.1, 0.25])
+    def test_reconciles_across_the_disconnectivity_sweep(
+        self, app, disconnectivity
+    ):
+        table = _run(
+            ScenarioConfig(
+                app=app,
+                seed=3,
+                cycle_duration=20.0,
+                disconnectivity_ratio=disconnectivity,
+                telemetry=True,
+            )
+        )
+        assert table.reconciles, (
+            f"residual {table.residual} for {app} "
+            f"at η={disconnectivity}: {table.as_dict()}"
+        )
+
+    @pytest.mark.parametrize("seed", [1, 2, 5])
+    def test_reconciles_under_congestion(self, seed):
+        table = _run(
+            ScenarioConfig(
+                app="vridge",
+                seed=seed,
+                cycle_duration=20.0,
+                background_bps=160e6,
+                telemetry=True,
+            )
+        )
+        assert table.reconciles
+        # Congestion must show up as a named loss, not vanish.
+        assert table.total_losses > 0
+
+    def test_uplink_anchors_modem_to_gateway(self):
+        table = _run(
+            ScenarioConfig(
+                app="webcam-udp", seed=2, cycle_duration=15.0,
+                telemetry=True,
+            )
+        )
+        assert table.direction == "uplink"
+        assert table.sender_layer == "ue_modem"
+        assert table.receiver_layer == "gateway"
+        assert table.reconciles
+
+    def test_downlink_anchors_gateway_to_modem(self):
+        table = _run(
+            ScenarioConfig(
+                app="gaming", seed=2, cycle_duration=15.0, telemetry=True
+            )
+        )
+        assert table.direction == "downlink"
+        assert table.sender_layer == "gateway"
+        assert table.receiver_layer == "ue_modem"
+        assert table.reconciles
+
+    def test_losses_carry_causes(self):
+        table = _run(
+            ScenarioConfig(
+                app="vridge",
+                seed=4,
+                cycle_duration=20.0,
+                disconnectivity_ratio=0.15,
+                telemetry=True,
+            )
+        )
+        causes = {
+            cause for row in table.rows for cause in row.dropped
+        }
+        # The air interface must attribute its drops.
+        assert causes & {"rss_loss", "buffer_overflow"}
+
+    def test_counted_exceeds_received_under_loss(self):
+        # The paper's charging gap: the downlink gateway meter counts
+        # before the loss processes, so counted > received whenever
+        # anything was lost.
+        table = _run(
+            ScenarioConfig(
+                app="vridge",
+                seed=3,
+                cycle_duration=20.0,
+                disconnectivity_ratio=0.2,
+                telemetry=True,
+            )
+        )
+        assert table.counted > table.received
+        assert table.counted - table.received == table.total_losses
+
+
+class TestTelemetryOff:
+    def test_no_telemetry_extras_without_the_flag(self):
+        result = run_scenario(
+            ScenarioConfig(app="gaming", seed=1, cycle_duration=10.0)
+        )
+        assert "telemetry" not in result.extras
+
+    def test_results_identical_with_and_without_telemetry(self):
+        # Metering must never perturb the simulation itself.
+        base = ScenarioConfig(app="webcam-udp", seed=7, cycle_duration=15.0)
+        import dataclasses
+
+        plain = run_scenario(base)
+        metered = run_scenario(dataclasses.replace(base, telemetry=True))
+        assert plain.truth == metered.truth
+        assert plain.legacy_charged == metered.legacy_charged
+        assert plain.generated_bytes == metered.generated_bytes
+        assert plain.counter_checks == metered.counter_checks
+
+    def test_trace_only_captured_when_asked(self):
+        cfg = ScenarioConfig(
+            app="gaming", seed=1, cycle_duration=10.0, telemetry=True
+        )
+        without = run_scenario(cfg)
+        assert "trace" not in without.extras["telemetry"]
+        import dataclasses
+
+        with_trace = run_scenario(dataclasses.replace(cfg, trace=True))
+        assert isinstance(with_trace.extras["telemetry"]["trace"], list)

@@ -1,0 +1,71 @@
+"""Unit tests for the trace-event sink and JSONL round-trip."""
+
+from __future__ import annotations
+
+import io
+
+from repro.telemetry.trace import (
+    TraceBuffer,
+    TraceEvent,
+    read_jsonl,
+    write_jsonl,
+)
+
+
+class TestTraceBuffer:
+    def test_events_are_stamped_with_the_bound_clock(self):
+        now = {"t": 0.0}
+        buffer = TraceBuffer(clock=lambda: now["t"])
+        buffer.emit("air", "outage_start")
+        now["t"] = 3.5
+        buffer.emit("air", "outage_end", duration=3.5)
+        assert [e.time for e in buffer.events] == [0.0, 3.5]
+
+    def test_fields_flatten_into_the_dict_form(self):
+        buffer = TraceBuffer(clock=lambda: 1.0)
+        buffer.emit("gateway", "cdr_emitted", sequence=1000, bytes=42)
+        assert buffer.as_dicts() == [
+            {
+                "t": 1.0,
+                "layer": "gateway",
+                "event": "cdr_emitted",
+                "sequence": 1000,
+                "bytes": 42,
+            }
+        ]
+
+    def test_default_clock_is_zero(self):
+        buffer = TraceBuffer()
+        event = buffer.emit("x", "y")
+        assert event.time == 0.0
+
+
+class TestJsonl:
+    def test_write_read_roundtrip(self):
+        events = [
+            TraceEvent(time=0.5, layer="air", event="outage_start"),
+            TraceEvent(
+                time=1.5,
+                layer="air",
+                event="outage_end",
+                fields={"duration": 1.0},
+            ),
+        ]
+        sink = io.StringIO()
+        assert write_jsonl(events, sink) == 2
+        sink.seek(0)
+        parsed = read_jsonl(sink)
+        assert parsed == [e.as_dict() for e in events]
+
+    def test_write_accepts_plain_dicts(self):
+        sink = io.StringIO()
+        count = write_jsonl(
+            [{"t": 0.0, "layer": "x", "event": "y"}], sink
+        )
+        assert count == 1
+        sink.seek(0)
+        assert read_jsonl(sink) == [{"t": 0.0, "layer": "x", "event": "y"}]
+
+    def test_read_skips_blank_lines(self):
+        source = io.StringIO('{"t": 0.0}\n\n{"t": 1.0}\n')
+        assert read_jsonl(source) == [{"t": 0.0}, {"t": 1.0}]
