@@ -1,0 +1,5 @@
+"""Performance-regression harness for the simulator hot paths.
+
+See :mod:`benchmarks.perf.workloads` for the representative workloads and
+:mod:`benchmarks.perf.compare` for the baseline gate.
+"""

@@ -1,0 +1,115 @@
+"""Compare a perf report against the committed baseline.
+
+Usage::
+
+    python benchmarks/perf/compare.py BENCH_perf.json \
+        [--baseline benchmarks/perf/baseline.json] \
+        [--max-regression 0.20] [--report-only] [--update-baseline]
+
+A workload *regresses* when its ``events_per_sec`` drops more than
+``--max-regression`` (default 20%) below the baseline.  Regressions exit
+non-zero unless ``--report-only`` is set (used for PRs from forks, whose
+runners we neither control nor trust for timing).  Workloads present in
+only one of the two reports are reported but never fail the gate, so
+adding a workload does not require a lock-step baseline update.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+_PERF_DIR = Path(__file__).resolve().parent
+if __package__ in (None, ""):  # script execution: make package imports work
+    sys.path.insert(0, str(_PERF_DIR.parents[1]))
+
+from benchmarks.perf.harness import BASELINE_PATH, load_report  # noqa: E402
+
+DEFAULT_MAX_REGRESSION = 0.20
+
+
+def compare_reports(
+    current: dict, baseline: dict, max_regression: float
+) -> tuple[list[str], list[str]]:
+    """Return (human-readable rows, regression messages)."""
+    rows: list[str] = []
+    regressions: list[str] = []
+    cur = current["workloads"]
+    base = baseline["workloads"]
+    for name in sorted(set(cur) | set(base)):
+        if name not in base:
+            rows.append(f"{name:>14}: new workload (no baseline)")
+            continue
+        if name not in cur:
+            rows.append(f"{name:>14}: missing from current report")
+            continue
+        b = base[name]["events_per_sec"]
+        c = cur[name]["events_per_sec"]
+        if b <= 0:
+            rows.append(f"{name:>14}: baseline rate is zero; skipped")
+            continue
+        ratio = c / b
+        rows.append(
+            f"{name:>14}: {c:>12,.0f} ev/s vs baseline {b:>12,.0f} "
+            f"({ratio:5.2f}x)"
+        )
+        if ratio < 1.0 - max_regression:
+            regressions.append(
+                f"{name}: {c:,.0f} events/s is "
+                f"{(1.0 - ratio) * 100:.1f}% below baseline {b:,.0f} "
+                f"(allowed {max_regression * 100:.0f}%)"
+            )
+    return rows, regressions
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("report", help="freshly produced BENCH_perf.json")
+    parser.add_argument(
+        "--baseline", default=str(BASELINE_PATH), help="baseline report"
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=DEFAULT_MAX_REGRESSION,
+        help="allowed fractional events/sec drop (default 0.20)",
+    )
+    parser.add_argument(
+        "--report-only",
+        action="store_true",
+        help="print the comparison but always exit 0",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="copy the report over the baseline file and exit",
+    )
+    args = parser.parse_args(argv)
+
+    current = load_report(Path(args.report))
+    if args.update_baseline:
+        Path(args.baseline).write_text(Path(args.report).read_text())
+        print(f"baseline refreshed from {args.report}")
+        return 0
+
+    baseline = load_report(Path(args.baseline))
+    rows, regressions = compare_reports(
+        current, baseline, args.max_regression
+    )
+    for row in rows:
+        print(row)
+    if regressions:
+        print()
+        for message in regressions:
+            print(f"REGRESSION: {message}")
+        if args.report_only:
+            print("(report-only mode: not failing the gate)")
+            return 0
+        return 1
+    print("\nperf gate: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,123 @@
+"""Timing driver: run the perf workloads and emit ``BENCH_perf.json``.
+
+The report schema (version 1)::
+
+    {
+      "version": 1,
+      "workloads": {
+        "<name>": {
+          "wall_s": <best-repetition wall clock, seconds>,
+          "events": <work units in one execution>,
+          "events_per_sec": <events / wall_s>,
+          "repeats": <repetitions timed>
+        },
+        ...
+      }
+    }
+
+``wall_s`` is the *best* of ``repeats`` executions: the minimum is the
+least-interference estimate of the code's intrinsic cost, which is what
+a regression gate should compare (means absorb machine noise and drift).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Callable, Iterable, Mapping
+
+from benchmarks.perf.workloads import WORKLOADS, WorkloadSample
+
+REPORT_VERSION = 1
+
+#: The canonical report location: the repository root.
+REPORT_PATH = Path(__file__).resolve().parents[2] / "BENCH_perf.json"
+
+#: The committed baseline the CI gate compares against.
+BASELINE_PATH = Path(__file__).resolve().parent / "baseline.json"
+
+
+def time_workload(
+    fn: Callable[[], WorkloadSample], repeats: int = 3
+) -> dict:
+    """Best-of-``repeats`` wall clock for one workload."""
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1: {repeats}")
+    best = float("inf")
+    events = 0
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        sample = fn()
+        elapsed = time.perf_counter() - t0
+        best = min(best, elapsed)
+        events = sample.events
+    return {
+        "wall_s": best,
+        "events": events,
+        "events_per_sec": events / best if best > 0 else 0.0,
+        "repeats": repeats,
+    }
+
+
+def run_harness(
+    names: Iterable[str] | None = None, repeats: int = 3
+) -> dict:
+    """Time the selected workloads (all by default)."""
+    selected = list(names) if names is not None else sorted(WORKLOADS)
+    unknown = [n for n in selected if n not in WORKLOADS]
+    if unknown:
+        raise KeyError(
+            f"unknown workloads {unknown}; available: {sorted(WORKLOADS)}"
+        )
+    report = {"version": REPORT_VERSION, "workloads": {}}
+    for name in selected:
+        report["workloads"][name] = time_workload(
+            WORKLOADS[name], repeats=repeats
+        )
+    return report
+
+
+def write_report(report: Mapping, path: Path | None = None) -> Path:
+    """Persist a harness report as pretty JSON; returns the path."""
+    target = Path(path) if path is not None else REPORT_PATH
+    target.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return target
+
+
+def load_report(path: Path) -> dict:
+    """Read a harness report, validating the schema version."""
+    data = json.loads(Path(path).read_text())
+    if data.get("version") != REPORT_VERSION:
+        raise ValueError(
+            f"unsupported report version {data.get('version')!r} in {path}"
+        )
+    if "workloads" not in data:
+        raise ValueError(f"no workloads section in {path}")
+    return data
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI: ``python -m benchmarks.perf.harness [workload ...]``."""
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("workloads", nargs="*", help="subset to run")
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--out", default=None, help=f"report path (default {REPORT_PATH})"
+    )
+    args = parser.parse_args(argv)
+    report = run_harness(args.workloads or None, repeats=args.repeats)
+    path = write_report(report, args.out)
+    for name, row in sorted(report["workloads"].items()):
+        print(
+            f"{name:>14}: {row['wall_s'] * 1e3:8.1f} ms  "
+            f"{row['events_per_sec']:>12,.0f} events/s"
+        )
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

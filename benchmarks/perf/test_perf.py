@@ -1,0 +1,84 @@
+"""Pytest entry for the perf harness.
+
+``pytest benchmarks/perf`` times every workload, writes ``BENCH_perf.json``
+at the repository root, and compares against the committed baseline in
+``benchmarks/perf/baseline.json``.
+
+The gate mode comes from the ``PERF_GATE`` environment variable:
+
+- ``report`` (default) — print the comparison, never fail.  Timing on
+  shared runners and laptops is noisy; local runs should inform, not
+  block.
+- ``enforce`` — fail the test when any workload's events/sec drops more
+  than 20% below baseline (trusted CI runners on main).
+- ``off`` — skip the comparison entirely (still writes the report).
+
+``PERF_WORKLOADS`` (comma-separated) restricts the set, e.g. the CI
+smoke job runs ``PERF_WORKLOADS=congestion,negotiation``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from benchmarks.perf.compare import (
+    DEFAULT_MAX_REGRESSION,
+    compare_reports,
+)
+from benchmarks.perf.harness import (
+    BASELINE_PATH,
+    load_report,
+    run_harness,
+    write_report,
+)
+
+
+def _selected_workloads() -> list[str] | None:
+    raw = os.environ.get("PERF_WORKLOADS", "").strip()
+    if not raw:
+        return None
+    return [name.strip() for name in raw.split(",") if name.strip()]
+
+
+@pytest.fixture(scope="module")
+def perf_report():
+    """Time the workloads once for the whole module and persist."""
+    repeats = int(os.environ.get("PERF_REPEATS", "3"))
+    report = run_harness(_selected_workloads(), repeats=repeats)
+    path = write_report(report)
+    print(f"\nwrote {path}")
+    return report
+
+
+def test_report_is_written_and_well_formed(perf_report):
+    from benchmarks.perf.harness import REPORT_PATH
+
+    persisted = load_report(REPORT_PATH)
+    assert persisted["workloads"].keys() == perf_report["workloads"].keys()
+    for name, row in persisted["workloads"].items():
+        assert row["wall_s"] > 0, name
+        assert row["events"] > 0, name
+        assert row["events_per_sec"] > 0, name
+
+
+def test_no_regression_against_baseline(perf_report):
+    mode = os.environ.get("PERF_GATE", "report").lower()
+    if mode == "off":
+        pytest.skip("PERF_GATE=off")
+    if not BASELINE_PATH.exists():
+        pytest.skip(f"no committed baseline at {BASELINE_PATH}")
+    baseline = load_report(BASELINE_PATH)
+    rows, regressions = compare_reports(
+        perf_report, baseline, DEFAULT_MAX_REGRESSION
+    )
+    print()
+    for row in rows:
+        print(row)
+    if regressions and mode == "enforce":
+        pytest.fail("; ".join(regressions))
+    elif regressions:
+        print("PERF_GATE=report: regressions reported, not enforced:")
+        for message in regressions:
+            print(f"  {message}")

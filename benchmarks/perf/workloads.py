@@ -1,0 +1,128 @@
+"""Representative hot-path workloads for the perf-regression harness.
+
+Each workload is a module-level zero-argument function returning a
+``WorkloadSample``: how long one execution took and how many simulator
+"events" it pushed through (event-loop callbacks for scenario workloads,
+protocol messages + signature checks for the negotiation workload).
+
+The harness (:mod:`benchmarks.perf.test_perf`) runs every workload
+several times, keeps the best repetition (least interference), and
+writes ``BENCH_perf.json`` at the repository root.  The committed
+baseline lives in ``benchmarks/perf/baseline.json``; the comparison gate
+is :mod:`benchmarks.perf.compare`.
+
+Workload selection mirrors the paper's evaluation surface:
+
+- ``congestion`` — Figure 3/13 territory: a loaded bottleneck, every
+  packet paying the queue + channel + gateway path.
+- ``intermittent`` — Figure 4/14 territory: Gilbert–Elliott outages,
+  buffer flushes, RLF detach/reattach.
+- ``negotiation`` — Figure 16/17 territory: RSA-signed CDR/CDA/PoC
+  exchanges plus Algorithm 2 verification.
+- ``telemetry_on`` / ``telemetry_off`` — the metered vs. unmetered
+  fast path of the same scenario.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.protocol import run_negotiation
+from repro.core.verifier import PublicVerifier
+from repro.experiments.poc_cost import _build_agents
+from repro.experiments.scenario import ScenarioConfig, run_scenario
+from repro.crypto import keypair_for_seed
+
+#: Seeds are fixed so every run times the identical instruction stream.
+_SEED = 17
+
+
+@dataclass(frozen=True)
+class WorkloadSample:
+    """One timed execution: simulator work units for the rate metric."""
+
+    events: int
+
+
+def _scenario_events(config: ScenarioConfig) -> WorkloadSample:
+    result = run_scenario(config)
+    return WorkloadSample(events=result.extras["processed_events"])
+
+
+def congestion() -> WorkloadSample:
+    """A loaded uplink cycle: the Figure 3 hot path."""
+    return _scenario_events(
+        ScenarioConfig(
+            app="webcam-udp",
+            seed=_SEED,
+            cycle_duration=30.0,
+            background_bps=120e6,
+        )
+    )
+
+
+def intermittent() -> WorkloadSample:
+    """Gilbert–Elliott outages with buffer flushes and RLF events."""
+    return _scenario_events(
+        ScenarioConfig(
+            app="webcam-udp",
+            seed=_SEED,
+            cycle_duration=30.0,
+            disconnectivity_ratio=0.2,
+        )
+    )
+
+
+def telemetry_off() -> WorkloadSample:
+    """Downlink VR cycle with the telemetry fast path (no sink)."""
+    return _scenario_events(
+        ScenarioConfig(app="vridge", seed=_SEED, cycle_duration=20.0)
+    )
+
+
+def telemetry_on() -> WorkloadSample:
+    """The same VR cycle with per-layer metrics collection enabled."""
+    return _scenario_events(
+        ScenarioConfig(
+            app="vridge", seed=_SEED, cycle_duration=20.0, telemetry=True
+        )
+    )
+
+
+def negotiation() -> WorkloadSample:
+    """Signed negotiations plus Algorithm 2 verification.
+
+    Keys come from :func:`repro.crypto.keypair_for_seed` — the canonical
+    way a scenario obtains its RSA material — so the workload times
+    exactly what a campaign cell pays per negotiation round-trip.
+    """
+    rounds = 4
+    edge_keys = keypair_for_seed(_SEED, bits=1024)
+    operator_keys = keypair_for_seed(_SEED + 1, bits=1024)
+    verifier = PublicVerifier()
+    events = 0
+    for i in range(rounds):
+        edge, operator, plan = _build_agents(
+            edge_keys, operator_keys, seed=_SEED + i
+        )
+        outcome = run_negotiation(operator, edge)
+        assert outcome.poc is not None
+        events += outcome.messages
+        result = verifier.verify(
+            outcome.poc, plan, edge_keys.public, operator_keys.public
+        )
+        assert result.ok, result.reason
+        events += 3  # three signature layers checked by Algorithm 2
+    return WorkloadSample(events=events)
+
+
+WORKLOADS = {
+    "congestion": congestion,
+    "intermittent": intermittent,
+    "negotiation": negotiation,
+    "telemetry_off": telemetry_off,
+    "telemetry_on": telemetry_on,
+}
+
+#: The two workloads the smoke CI job runs (fast but representative).
+SMOKE_WORKLOADS = ("congestion", "negotiation")

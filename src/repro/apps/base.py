@@ -114,6 +114,9 @@ class Workload:
         self._running = False
         self._frame_index = 0
         self._seq = 0
+        # Per-tick constants, hoisted off the frame cadence hot path.
+        self._frame_period = 1.0 / model.fps
+        self._frame_label = f"{flow}-frame"
         self.generated_frames = 0
         self.generated_packets = 0
         self.generated_bytes = 0
@@ -124,9 +127,9 @@ class Workload:
             return
         self._running = True
         self.loop.schedule_in(
-            self.rng.uniform(0, 1.0 / self.model.fps),
+            self.rng.uniform(0, self._frame_period),
             self._tick,
-            label=f"{self.flow}-frame",
+            label=self._frame_label,
         )
 
     def stop(self) -> None:
@@ -137,27 +140,40 @@ class Workload:
         if not self._running:
             return
         self._emit_frame()
-        self.loop.schedule_in(
-            1.0 / self.model.fps, self._tick, label=f"{self.flow}-frame"
-        )
+        # The cadence tick is never cancelled (stop() flips _running and
+        # the next tick no-ops), so use the fire-and-forget fast path.
+        self.loop.call_in(self._frame_period, self._tick)
 
     def _emit_frame(self) -> None:
         size = self.model.frame_size(self._frame_index, self.rng)
         self._frame_index += 1
         self.generated_frames += 1
+        # All packets of a frame share the emission instant; hoist the
+        # clock read and the send callable out of the packetization loop.
+        now = self.loop.now
+        send = self.send
+        flow = self.flow
+        direction = self.direction
+        qci = self.qci
+        seq = self._seq
+        packets = 0
+        frame_bytes = 0
         for packet_size in packetize(size):
             packet = Packet(
                 size=packet_size,
-                flow=self.flow,
-                direction=self.direction,
-                qci=self.qci,
-                created_at=self.loop.now,
-                seq=self._seq,
+                flow=flow,
+                direction=direction,
+                qci=qci,
+                created_at=now,
+                seq=seq,
             )
-            self._seq += 1
-            self.generated_packets += 1
-            self.generated_bytes += packet_size
-            self.send(packet)
+            seq += 1
+            packets += 1
+            frame_bytes += packet_size
+            send(packet)
+        self._seq = seq
+        self.generated_packets += packets
+        self.generated_bytes += frame_bytes
 
     @property
     def average_bitrate(self) -> float:

@@ -21,6 +21,7 @@ from __future__ import annotations
 import enum
 import math
 from dataclasses import dataclass, field
+from typing import Sequence
 
 from repro import telemetry
 from repro.charging.policy import charged_volume
@@ -33,6 +34,7 @@ from repro.core.messages import (
 from repro.core.plan import DataPlan
 from repro.core.strategies import Role, Strategy
 from repro.crypto.keys import PrivateKey, PublicKey
+from repro.crypto.merkle import BatchSignature, sign_batch
 from repro.crypto.nonces import NonceFactory
 
 
@@ -50,6 +52,38 @@ class ProtocolError(RuntimeError):
 
 
 Message = TlcCdr | TlcCda | ProofOfCharging
+
+
+@dataclass(frozen=True)
+class BatchSigningConfig:
+    """Amortized Merkle-batch attestation of CDR claims.
+
+    **Off by default** — the interactive Figure-7 exchange is unchanged
+    (each message is individually signed, because the peer verifies it
+    on receipt).  When enabled, an agent additionally retains every CDR
+    claim it emits so the full claim stream can be attested afterwards
+    with ONE Merkle-root RSA signature (:func:`sign_cdr_batch`), which
+    Algorithm 2 checks with one RSA public op via
+    :meth:`repro.core.verifier.PublicVerifier.verify_cdr_batch` instead
+    of N independent signature verifications.
+    """
+
+    enabled: bool = False
+    #: Safety bound on how many claims one batch may attest.
+    max_batch: int = 4096
+
+
+def sign_cdr_batch(
+    key: PrivateKey, cdrs: Sequence[TlcCdr]
+) -> BatchSignature:
+    """Attest a stream of CDR claims with one Merkle-root signature.
+
+    The claims may be unsigned (bulk, non-interactive submission — one
+    RSA private op covers N records) or carry their interactive
+    signatures; the batch covers the signature-free payload bytes either
+    way, so both forms attest the same claim content.
+    """
+    return sign_batch(key, [cdr.payload_bytes() for cdr in cdrs])
 
 
 @dataclass
@@ -81,6 +115,7 @@ class NegotiationAgent:
         peer_public_key: PublicKey,
         nonce_factory: NonceFactory,
         app_id: str = "tlc-app",
+        batch_config: BatchSigningConfig | None = None,
     ) -> None:
         if strategy.role is not role:
             raise ValueError(
@@ -101,6 +136,9 @@ class NegotiationAgent:
         self.upper_bound = math.inf
         self.round_index = 0
         self._last_own_claim: float | None = None
+        self.batch_config = batch_config or BatchSigningConfig()
+        #: CDR claims retained for batch attestation (batching only).
+        self.batched_cdrs: list[TlcCdr] = []
 
     # ------------------------------------------------------------------
     # message construction
@@ -117,7 +155,7 @@ class NegotiationAgent:
         # The sequence number is the claim's round index: both parties'
         # claim counts never diverge by more than one, which is what
         # Algorithm 2's sequence check enforces against stale splices.
-        return TlcCdr(
+        cdr = TlcCdr(
             party=self.role,
             app_id=self.app_id,
             cycle_start=self.plan.cycle.start,
@@ -127,6 +165,13 @@ class NegotiationAgent:
             nonce=self.nonce,
             volume=volume,
         ).signed(self.private_key)
+        if self.batch_config.enabled:
+            if len(self.batched_cdrs) >= self.batch_config.max_batch:
+                raise ProtocolError(
+                    f"CDR batch overflow (> {self.batch_config.max_batch})"
+                )
+            self.batched_cdrs.append(cdr)
+        return cdr
 
     def _make_cda(self, volume: float, peer_cdr: TlcCdr) -> TlcCda:
         return TlcCda(
@@ -161,6 +206,17 @@ class NegotiationAgent:
             edge_nonce=edge_nonce,
             operator_nonce=operator_nonce,
         ).signed(self.private_key)
+
+    def attest_batched_cdrs(self) -> BatchSignature | None:
+        """One Merkle-root signature over every CDR claim this agent made.
+
+        Returns ``None`` unless batching is enabled and at least one CDR
+        was emitted.  The result is what a third party feeds to
+        :meth:`repro.core.verifier.PublicVerifier.verify_cdr_batch`.
+        """
+        if not self.batch_config.enabled or not self.batched_cdrs:
+            return None
+        return sign_cdr_batch(self.private_key, self.batched_cdrs)
 
     # ------------------------------------------------------------------
     # validation

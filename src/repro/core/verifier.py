@@ -17,12 +17,15 @@ ever seeing the data transfer — that:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.charging.policy import charged_volume
-from repro.core.messages import MessageError, ProofOfCharging
+from repro.core.messages import MessageError, ProofOfCharging, TlcCdr
 from repro.core.plan import DataPlan
 from repro.core.strategies import Role
 from repro.crypto.keys import PublicKey
+from repro.crypto.merkle import BatchSignature, verify_batch
+from repro.crypto.signing import cached_verify
 
 
 @dataclass(frozen=True)
@@ -83,22 +86,31 @@ class PublicVerifier:
 
         # (1) signature layers: PoC outer, CDA by the other party, inner
         # CDR by the PoC constructor (it is the constructor's own CDR that
-        # the peer's CDA embeds).
-        if not poc.verify_signature(constructor_key):
+        # the peer's CDA embeds).  Signature checks go through the
+        # memoized verifier: PoCs embedding already-seen CDR/CDA layers
+        # (and re-verified proofs across campaign grid points) skip the
+        # RSA public op entirely.
+        if not cached_verify(
+            constructor_key, poc.payload_bytes(), poc.signature
+        ):
             return VerificationResult(False, "invalid PoC signature")
         cda = poc.cda
         if cda.party is poc.party:
             return VerificationResult(
                 False, "CDA and PoC signed by the same party"
             )
-        if not cda.verify_signature(accepter_key):
+        if not cached_verify(
+            accepter_key, cda.payload_bytes(), cda.signature
+        ):
             return VerificationResult(False, "invalid CDA signature")
         cdr = cda.peer_cdr
         if cdr.party is not poc.party:
             return VerificationResult(
                 False, "inner CDR not from the PoC constructor"
             )
-        if not cdr.verify_signature(constructor_key):
+        if not cached_verify(
+            constructor_key, cdr.payload_bytes(), cdr.signature
+        ):
             return VerificationResult(False, "invalid inner CDR signature")
 
         # (2) plan consistency across layers and with the verifier's copy.
@@ -141,3 +153,40 @@ class PublicVerifier:
                 f"recomputed {expected}",
             )
         return VerificationResult(True, volume=poc.volume)
+
+    def verify_cdr_batch(
+        self,
+        cdrs: Sequence[TlcCdr],
+        batch: BatchSignature,
+        signer_key: PublicKey,
+        plan: DataPlan,
+    ) -> VerificationResult:
+        """Verify a Merkle-batched stream of one party's CDR claims.
+
+        The amortized variant of the layer-1 check: instead of N
+        independent RSA verifications, the submitting party signed the
+        Merkle root of its CDR payloads once
+        (:func:`repro.core.protocol.sign_cdr_batch`), and this check
+        costs one RSA public op plus N SHA-256 leaf recomputations.
+        The per-CDR plan-consistency checks (Algorithm 2 lines 2-4)
+        still run individually.
+        """
+        if not cdrs:
+            return VerificationResult(False, "empty CDR batch")
+        parties = {cdr.party for cdr in cdrs}
+        if len(parties) != 1:
+            return VerificationResult(
+                False, "CDR batch mixes parties; one signer per batch"
+            )
+        payloads = [cdr.payload_bytes() for cdr in cdrs]
+        if not verify_batch(signer_key, payloads, batch):
+            return VerificationResult(False, "invalid batch signature")
+        for cdr in cdrs:
+            if (cdr.cycle_start, cdr.cycle_end) != plan.cycle.key() or abs(
+                cdr.c - plan.c
+            ) > 1e-9:
+                return VerificationResult(
+                    False, "inconsistent data plan in batched CDR"
+                )
+        self.verified_count += len(cdrs)
+        return VerificationResult(True)

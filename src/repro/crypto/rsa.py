@@ -9,6 +9,7 @@ hundreds of thousands of PoCs.
 from __future__ import annotations
 
 import random
+from functools import lru_cache
 
 from repro.crypto.keys import KeyPair, PrivateKey, PublicKey
 from repro.crypto.primes import generate_prime
@@ -58,13 +59,44 @@ def generate_keypair(
         return KeyPair(private=private, public=private.public)
 
 
+@lru_cache(maxsize=64)
+def keypair_for_seed(
+    seed: int,
+    bits: int = DEFAULT_KEY_BITS,
+    public_exponent: int = DEFAULT_PUBLIC_EXPONENT,
+) -> KeyPair:
+    """The deterministic key pair for ``(seed, bits)``.
+
+    The canonical way a scenario obtains its RSA material: the key is a
+    pure function of the seed, so repeated calls return identical keys.
+    The result is cached process-wide — campaigns re-running scenarios
+    with the same seeds pay for key generation once, not per scenario
+    (keygen dominates small negotiation runs otherwise).
+    """
+    return generate_keypair(
+        bits, random.Random(seed), public_exponent=public_exponent
+    )
+
+
+@lru_cache(maxsize=128)
+def _crt_params(key: PrivateKey) -> tuple[int, int, int]:
+    """CRT exponents and coefficient ``(dp, dq, q_inv)`` for ``key``.
+
+    Pure functions of the (frozen, hashable) key; deriving them per
+    signature wastes a modular inversion on every sign.
+    """
+    return (
+        key.d % (key.p - 1),
+        key.d % (key.q - 1),
+        pow(key.q, -1, key.p),
+    )
+
+
 def rsa_private_op(key: PrivateKey, message: int) -> int:
     """Apply the private-key permutation ``m^d mod n`` using CRT."""
     if not 0 <= message < key.n:
         raise ValueError("message representative out of range [0, n)")
-    dp = key.d % (key.p - 1)
-    dq = key.d % (key.q - 1)
-    q_inv = pow(key.q, -1, key.p)
+    dp, dq, q_inv = _crt_params(key)
     m1 = pow(message, dp, key.p)
     m2 = pow(message, dq, key.q)
     h = (q_inv * (m1 - m2)) % key.p

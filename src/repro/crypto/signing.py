@@ -9,6 +9,7 @@ produces, so signature sizes match the paper's message-size table.
 from __future__ import annotations
 
 import hashlib
+from functools import lru_cache
 
 from repro.crypto.keys import PrivateKey, PublicKey
 from repro.crypto.rsa import rsa_private_op, rsa_public_op
@@ -21,8 +22,15 @@ class SignatureError(ValueError):
     """Raised when a signature fails verification or cannot be produced."""
 
 
+@lru_cache(maxsize=4096)
 def _emsa_pkcs1_v15_encode(message: bytes, em_len: int) -> bytes:
-    """EMSA-PKCS1-v1_5 encoding of SHA-256(message) into ``em_len`` bytes."""
+    """EMSA-PKCS1-v1_5 encoding of SHA-256(message) into ``em_len`` bytes.
+
+    Cached: the protocol signs a payload and the peer immediately
+    verifies the identical bytes, so the common sign-then-verify pattern
+    hashes and pads each message once.  The encoding is a pure function
+    of its arguments, so caching cannot change any signature.
+    """
     digest = hashlib.sha256(message).digest()
     t = _SHA256_DER_PREFIX + digest
     if em_len < len(t) + 11:
@@ -61,6 +69,19 @@ def verify(key: PublicKey, message: bytes, signature: bytes) -> bool:
     except SignatureError:
         return False
     return recovered == expected
+
+
+@lru_cache(maxsize=4096)
+def cached_verify(key: PublicKey, message: bytes, signature: bytes) -> bool:
+    """Memoized :func:`verify` for repeated ``(key, message, signature)``.
+
+    The public verifier re-checks the same embedded CDR/CDA layers when
+    many PoCs share transcript prefixes (and campaign grids re-verify
+    identical proofs across parameter points); the RSA public op for an
+    already-seen triple is pure, so its verdict can be served from cache.
+    Use plain :func:`verify` when inputs are unbounded or adversarial.
+    """
+    return verify(key, message, signature)
 
 
 def require_valid(key: PublicKey, message: bytes, signature: bytes) -> None:

@@ -364,7 +364,10 @@ def run_scenario(config: ScenarioConfig) -> ScenarioResult:
         received_estimate=operator_snapshot.get("received", 0.0),
     )
 
-    extras: dict = {"cdrs": network.ofcs.received_cdrs}
+    extras: dict = {
+        "cdrs": network.ofcs.received_cdrs,
+        "processed_events": loop.processed_events,
+    }
     if session is not None:
         metrics = session.registry.snapshot()
         accounting = build_accounting(metrics, direction.value)

@@ -34,6 +34,9 @@ CounterReportSink = Callable[[str, CounterCheckResponse], None]
 RlfSink = Callable[[str], None]
 Deliver = Callable[[Packet], None]
 
+# Hoisted enum member: the demux test runs once per packet.
+_DOWNLINK = Direction.DOWNLINK
+
 
 class ENodeB:
     """A small cell serving one UE (matching the paper's testbed scale)."""
@@ -105,7 +108,7 @@ class ENodeB:
             receiver(packet)
 
     def _on_air_delivery(self, packet: Packet) -> None:
-        if packet.direction is Direction.DOWNLINK:
+        if packet.direction is _DOWNLINK:
             self.ue.receive_from_air(packet)
         else:
             self.receive_uplink(packet)
@@ -121,16 +124,14 @@ class ENodeB:
         return self._connection.state
 
     def _ensure_connection(self) -> None:
-        if (
-            self._connection is None
-            or self._connection.state is not RrcState.CONNECTED
-        ):
-            self._connection = RrcConnection(
+        conn = self._connection
+        if conn is None or conn.state is not RrcState.CONNECTED:
+            conn = self._connection = RrcConnection(
                 imsi_digits=self.ue.imsi.digits,
                 established_at=self.loop.now,
                 inactivity_timeout=self.inactivity_timeout,
             )
-        self._connection.touch(self.loop.now)
+        conn.touch(self.loop.now)
 
     def _supervise(self) -> None:
         """Periodic timer: inactivity release + RLF detection."""

@@ -32,6 +32,10 @@ CdrSink = Callable[[ChargingDataRecord], None]
 
 _charging_ids = itertools.count(0)
 
+# Hoisted enum members: the direction tests run once per packet.
+_UPLINK = Direction.UPLINK
+_DOWNLINK = Direction.DOWNLINK
+
 
 class ChargingGateway:
     """An S/P-GW serving one subscriber session."""
@@ -104,7 +108,7 @@ class ChargingGateway:
 
     def forward_downlink(self, packet: Packet) -> bool:
         """Meter then forward a server->device packet toward the RAN."""
-        if packet.direction is not Direction.DOWNLINK:
+        if packet.direction is not _DOWNLINK:
             raise ValueError("forward_downlink needs a downlink packet")
         if not self._admit(packet):
             return False
@@ -115,7 +119,7 @@ class ChargingGateway:
 
     def forward_uplink(self, packet: Packet) -> bool:
         """Meter then forward a device->server packet toward the server."""
-        if packet.direction is not Direction.UPLINK:
+        if packet.direction is not _UPLINK:
             raise ValueError("forward_uplink needs an uplink packet")
         if not self._admit(packet):
             return False
@@ -149,15 +153,16 @@ class ChargingGateway:
         return False
 
     def _meter(self, packet: Packet) -> None:
-        if packet.direction is Direction.UPLINK:
+        if packet.direction is _UPLINK:
             self.charged_uplink_bytes += packet.size
             self._interval_uplink += packet.size
         else:
             self.charged_downlink_bytes += packet.size
             self._interval_downlink += packet.size
+        now = self.loop.now
         if self._interval_first_usage is None:
-            self._interval_first_usage = self.loop.now
-        self._interval_last_usage = self.loop.now
+            self._interval_first_usage = now
+        self._interval_last_usage = now
         tel = self._telemetry
         if tel is not None:
             direction = packet.direction.value

@@ -46,6 +46,10 @@ from repro.sim.rng import RngStreams
 
 Deliver = Callable[[Packet], None]
 
+# Hoisted enum members: the direction tests run once per packet.
+_UPLINK = Direction.UPLINK
+_DOWNLINK = Direction.DOWNLINK
+
 
 @dataclass
 class LteNetworkConfig:
@@ -183,23 +187,23 @@ class LteNetwork:
 
     def send_downlink(self, packet: Packet) -> bool:
         """Edge server sends a packet toward the device."""
-        if packet.direction is not Direction.DOWNLINK:
+        if packet.direction is not _DOWNLINK:
             raise ValueError("send_downlink needs a downlink packet")
         if self.pcrf is not None:
             self.pcrf.classify(packet)
         self.server_sent_bytes += packet.size
         self.server_sent_packets += 1
         # Wired hop server -> gateway: lossless, small delay.
-        self.loop.schedule_in(
-            self.config.core_delay,
-            lambda p=packet: self.gateway.forward_downlink(p),
-            label="core-dl",
+        # Fire-and-forget fast path: core-hop deliveries are never
+        # cancelled, so skip the Event handle and per-packet closure.
+        self.loop.call_in(
+            self.config.core_delay, self.gateway.forward_downlink, packet
         )
         return True
 
     def send_uplink(self, packet: Packet) -> bool:
         """Edge device app sends a packet toward the server."""
-        if packet.direction is not Direction.UPLINK:
+        if packet.direction is not _UPLINK:
             raise ValueError("send_uplink needs an uplink packet")
         if self.pcrf is not None:
             self.pcrf.classify(packet)
@@ -207,10 +211,8 @@ class LteNetwork:
         return self.channel.send(packet)
 
     def _deliver_to_server(self, packet: Packet) -> None:
-        self.loop.schedule_in(
-            self.config.core_delay,
-            lambda p=packet: self._server_app_receive(p),
-            label="core-ul",
+        self.loop.call_in(
+            self.config.core_delay, self._server_app_receive, packet
         )
 
     def _server_app_receive(self, packet: Packet) -> None:

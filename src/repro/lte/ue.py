@@ -34,8 +34,11 @@ from repro.net.packet import Direction, Packet
 TamperFn = Callable[[int], int]
 Deliver = Callable[[Packet], None]
 
+# Hoisted enum members: the direction tests run once per packet.
+_UPLINK = Direction.UPLINK
 
-@dataclass
+
+@dataclass(slots=True)
 class _BearerCounters:
     uplink_bytes: int = 0
     downlink_bytes: int = 0
@@ -49,7 +52,12 @@ class HardwareModem:
         self._counters: dict[int, _BearerCounters] = {}
 
     def _bearer(self, bearer_id: int) -> _BearerCounters:
-        return self._counters.setdefault(bearer_id, _BearerCounters())
+        # Called per packet: avoid setdefault, which constructs a fresh
+        # (immediately discarded) counters object on every hit.
+        counters = self._counters.get(bearer_id)
+        if counters is None:
+            counters = self._counters[bearer_id] = _BearerCounters()
+        return counters
 
     def count_downlink(self, bearer_id: int, size: int) -> None:
         """Record ``size`` bytes delivered to the device on a bearer."""
@@ -96,7 +104,7 @@ class OsTrafficStats:
 
     def count(self, packet: Packet) -> None:
         """Account a packet passing through the OS network stack."""
-        if packet.direction is Direction.UPLINK:
+        if packet.direction is _UPLINK:
             self._uplink_bytes += packet.size
         else:
             self._downlink_bytes += packet.size
@@ -221,7 +229,7 @@ class UserEquipment:
         The caller (the network assembly) then pushes the packet onto the
         air interface.
         """
-        if packet.direction is not Direction.UPLINK:
+        if packet.direction is not _UPLINK:
             raise ValueError("prepare_uplink needs an uplink packet")
         self.os_stats.count(packet)
         self.modem.count_uplink(self.bearer.bearer_id, packet.size)

@@ -26,6 +26,7 @@ from typing import Callable
 from repro import telemetry
 from repro.net.packet import Packet
 from repro.sim.events import EventLoop
+from repro.sim.sampling import DEFAULT_BLOCK_SIZE, ChunkedRandom
 
 Deliver = Callable[[Packet], None]
 StateListener = Callable[[bool], None]
@@ -102,11 +103,23 @@ class WirelessChannel:
         config: ChannelConfig,
         rng: random.Random,
         name: str = "air",
+        chunk_block: int = DEFAULT_BLOCK_SIZE,
     ) -> None:
         self.loop = loop
         self.config = config
-        self.rng = rng
+        # The channel owns its named stream exclusively, so loss and
+        # outage draws can be served from prefetched blocks without
+        # changing the draw sequence (see repro.sim.sampling).
+        self.rng = ChunkedRandom(rng, chunk_block)
         self.name = name
+        # The air delay is fixed per run; cache it off the config chain.
+        self._delay = float(config.delay)
+        # The per-packet residual loss rate is a pure function of the
+        # immutable radio config; computing the logistic once instead of
+        # per packet keeps math.exp off the hot path.
+        self._loss_rate = rss_loss_rate(
+            config.rss_dbm, config.base_loss_rate
+        )
         self.connected = True
         self._receivers: list[Deliver] = []
         self._state_listeners: list[StateListener] = []
@@ -240,8 +253,7 @@ class WirelessChannel:
                 )
             return False
 
-        loss = rss_loss_rate(self.config.rss_dbm, self.config.base_loss_rate)
-        if self.rng.random() < loss:
+        if self.rng.random() < self._loss_rate:
             self.dropped_packets += 1
             self.dropped_bytes += packet.size
             if tel is not None:
@@ -263,11 +275,9 @@ class WirelessChannel:
             self._schedule_delivery(packet)
 
     def _schedule_delivery(self, packet: Packet) -> None:
-        self.loop.schedule_in(
-            self.config.delay,
-            lambda p=packet: self._deliver(p),
-            label=f"{self.name}-rx",
-        )
+        # Fire-and-forget fast path: deliveries are never cancelled, so
+        # skip the Event handle and the per-packet closure.
+        self.loop.call_in(self._delay, self._deliver, packet)
 
     def _deliver(self, packet: Packet) -> None:
         self.delivered_packets += 1

@@ -24,6 +24,7 @@ from typing import Callable
 from repro import telemetry
 from repro.net.packet import Packet
 from repro.sim.events import EventLoop
+from repro.sim.sampling import DEFAULT_BLOCK_SIZE, ChunkedRandom
 
 Deliver = Callable[[Packet], None]
 
@@ -96,10 +97,13 @@ class CongestedQueue:
         config: CongestionConfig,
         rng: random.Random,
         name: str = "bottleneck",
+        chunk_block: int = DEFAULT_BLOCK_SIZE,
     ) -> None:
         self.loop = loop
         self.config = config
-        self.rng = rng
+        # Drop draws are this stream's only consumer, so block-prefetched
+        # uniforms preserve the exact per-packet draw sequence.
+        self.rng = ChunkedRandom(rng, chunk_block)
         self.name = name
         self._receivers: list[Deliver] = []
         self.sent_packets = 0
@@ -107,6 +111,17 @@ class CongestedQueue:
         self.dropped_packets = 0
         self.dropped_bytes = 0
         self._telemetry = telemetry.current()
+        # The bottleneck load is fixed for a run: precompute the baseline
+        # drop probability, the per-QCI effective rates, and the queueing
+        # delay instead of re-deriving the logistic per packet.
+        self._base_drop_rate = congestion_drop_rate(config)
+        self._drop_rate_by_qci: dict[int, float] = {
+            qci: min(1.0, self._base_drop_rate * exposure)
+            for qci, exposure in QCI_DROP_EXPOSURE.items()
+        }
+        rho = min(config.utilization, 0.99)
+        delay = config.queue_delay * rho / (1.0 - rho + 1e-9)
+        self._queue_delay = min(delay, 0.200)  # bounded by queue size/AQM
 
     def connect(self, receiver: Deliver) -> None:
         """Attach the downstream element."""
@@ -114,8 +129,10 @@ class CongestedQueue:
 
     def drop_rate_for(self, qci: int) -> float:
         """Effective drop probability for a bearer of the given QCI."""
-        exposure = QCI_DROP_EXPOSURE.get(qci, 1.0)
-        return min(1.0, congestion_drop_rate(self.config) * exposure)
+        rate = self._drop_rate_by_qci.get(qci)
+        if rate is None:
+            rate = min(1.0, self._base_drop_rate * 1.0)
+        return rate
 
     def send(self, packet: Packet) -> bool:
         """Pass a packet through the bottleneck; False when dropped."""
@@ -129,7 +146,8 @@ class CongestedQueue:
                 layer=self.name,
                 direction=packet.direction.value,
             )
-        if self.rng.random() < self.drop_rate_for(packet.qci):
+        rate = self._drop_rate_by_qci.get(packet.qci, self._base_drop_rate)
+        if rate and self.rng.random() < rate:
             self.dropped_packets += 1
             self.dropped_bytes += packet.size
             if tel is not None:
@@ -142,12 +160,8 @@ class CongestedQueue:
                 )
             return False
 
-        rho = min(self.config.utilization, 0.99)
-        delay = self.config.queue_delay * rho / (1.0 - rho + 1e-9)
-        delay = min(delay, 0.200)  # bounded by queue size / AQM
-        self.loop.schedule_in(
-            delay, lambda p=packet: self._deliver(p), label=f"{self.name}-rx"
-        )
+        # Fire-and-forget fast path: queue egress is never cancelled.
+        self.loop.call_in(self._queue_delay, self._deliver, packet)
         return True
 
     def _deliver(self, packet: Packet) -> None:

@@ -13,6 +13,7 @@ from typing import Callable
 from repro import telemetry
 from repro.net.packet import Packet
 from repro.sim.events import EventLoop
+from repro.sim.sampling import DEFAULT_BLOCK_SIZE, ChunkedRandom
 
 Deliver = Callable[[Packet], None]
 
@@ -43,6 +44,7 @@ class Link:
         bandwidth_bps: float | None = None,
         rng: random.Random | None = None,
         name: str = "link",
+        chunk_block: int = DEFAULT_BLOCK_SIZE,
     ) -> None:
         if delay < 0:
             raise ValueError(f"negative link delay: {delay}")
@@ -54,7 +56,9 @@ class Link:
         self.delay = float(delay)
         self.loss_rate = float(loss_rate)
         self.bandwidth_bps = bandwidth_bps
-        self.rng = rng
+        # Loss draws are this stream's only consumer, so block-prefetched
+        # uniforms preserve the exact per-packet draw sequence.
+        self.rng = ChunkedRandom(rng, chunk_block) if rng is not None else None
         self.name = name
         self._receivers: list[Deliver] = []
         self._busy_until = 0.0
@@ -100,9 +104,8 @@ class Link:
             self._busy_until = start + serialization
             depart = self._busy_until
         arrival = depart + self.delay
-        self.loop.schedule_at(
-            arrival, lambda p=packet: self._deliver(p), label=f"{self.name}-rx"
-        )
+        # Fire-and-forget fast path: deliveries are never cancelled.
+        self.loop.call_at(arrival, self._deliver, packet)
         return True
 
     def _deliver(self, packet: Packet) -> None:

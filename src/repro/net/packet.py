@@ -25,9 +25,13 @@ class Direction(enum.Enum):
 _packet_ids = itertools.count(1)
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """A simulated IP packet.
+
+    ``slots=True`` because millions of these are created per campaign:
+    slotted instances allocate no per-object ``__dict__`` and make the
+    attribute reads on every hop of the LTE chain measurably cheaper.
 
     Attributes
     ----------

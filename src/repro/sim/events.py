@@ -4,13 +4,31 @@ Every substrate (wireless channel, LTE gateways, application workloads,
 negotiation protocol) schedules callbacks on one shared :class:`EventLoop`.
 Ties at the same timestamp are broken by insertion order, so a run is a
 pure function of (seed, scenario parameters).
+
+Hot-path layout: the heap stores plain
+``(time, sequence, event, callback, args)`` tuples, so ``heapq`` orders
+entries with C tuple comparison instead of a generated dataclass
+``__lt__`` (the single biggest per-event cost in the old layout — a
+million-packet scenario performs tens of millions of heap comparisons).
+``sequence`` is unique per loop, so comparison never reaches the later
+elements and the ``(time, sequence)`` tie-break is *exactly* the old
+ordering: seeded runs are byte-identical.
+
+Two scheduling APIs share that heap and one sequence counter:
+
+- :meth:`EventLoop.schedule_at` / :meth:`EventLoop.schedule_in` return a
+  cancellable :class:`Event` handle — use these for timers that might be
+  cancelled (retransmission timers, timeouts).
+- :meth:`EventLoop.call_at` / :meth:`EventLoop.call_in` are the
+  fire-and-forget fast path for per-packet deliveries: no handle object
+  is allocated and the callback's arguments ride in the heap entry, so
+  call sites don't build a closure per packet.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
 from typing import Any, Callable
 
 
@@ -18,23 +36,39 @@ class SimulationError(RuntimeError):
     """Raised when the simulation is driven incorrectly."""
 
 
-@dataclass(order=True)
 class Event:
     """A scheduled callback.
 
-    Ordered by ``(time, sequence)`` so same-time events fire in the order
-    they were scheduled.
+    Ordered by ``(time, sequence)`` — the heap tuple, not the object —
+    so same-time events fire in the order they were scheduled.
     """
 
-    time: float
-    sequence: int
-    callback: Callable[[], Any] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
-    label: str = field(default="", compare=False)
+    __slots__ = ("time", "sequence", "callback", "cancelled", "label")
+
+    def __init__(
+        self,
+        time: float,
+        sequence: int,
+        callback: Callable[[], Any],
+        cancelled: bool = False,
+        label: str = "",
+    ) -> None:
+        self.time = time
+        self.sequence = sequence
+        self.callback = callback
+        self.cancelled = cancelled
+        self.label = label
 
     def cancel(self) -> None:
         """Mark the event so the loop skips it (O(1) lazy deletion)."""
         self.cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = " cancelled" if self.cancelled else ""
+        return (
+            f"Event(t={self.time:.6f}, seq={self.sequence}"
+            f"{f', {self.label}' if self.label else ''}{state})"
+        )
 
 
 class EventLoop:
@@ -44,7 +78,9 @@ class EventLoop:
         from repro.sim.clock import Clock
 
         self.clock = Clock(start)
-        self._queue: list[Event] = []
+        # Entries are (time, sequence, event-or-None, callback, args);
+        # event is None for the call_at/call_in fast path.
+        self._queue: list[tuple[float, int, Event | None, Callable[..., Any], tuple]] = []
         self._sequence = itertools.count()
         self._processed = 0
         self._exhausted = False
@@ -52,11 +88,18 @@ class EventLoop:
     @property
     def now(self) -> float:
         """Current simulated time (seconds)."""
-        return self.clock.now
+        # Reads clock storage directly: this property is consulted for
+        # every packet timestamp, so the extra Clock.now property hop
+        # shows up in profiles.
+        return self.clock._now
 
     @property
     def processed_events(self) -> int:
-        """How many events have fired so far (for diagnostics)."""
+        """How many callbacks have *fired* so far (for diagnostics).
+
+        Cancelled events are skipped by lazy deletion and are never
+        counted here — the number reflects work actually done.
+        """
         return self._processed
 
     @property
@@ -77,14 +120,17 @@ class EventLoop:
         self, time: float, callback: Callable[[], Any], label: str = ""
     ) -> Event:
         """Schedule ``callback`` at absolute simulated time ``time``."""
-        self._ensure_alive(f"schedule {label or callback!r}")
-        if time < self.clock.now:
+        if self._exhausted:
+            self._ensure_alive(f"schedule {label or callback!r}")
+        time = float(time)
+        if time < self.clock._now:
             raise SimulationError(
                 f"cannot schedule event in the past: {time:.9f} < "
                 f"{self.clock.now:.9f} ({label or callback!r})"
             )
-        event = Event(time, next(self._sequence), callback, label=label)
-        heapq.heappush(self._queue, event)
+        sequence = next(self._sequence)
+        event = Event(time, sequence, callback, label=label)
+        heapq.heappush(self._queue, (time, sequence, event, callback, ()))
         return event
 
     def schedule_in(
@@ -93,22 +139,61 @@ class EventLoop:
         """Schedule ``callback`` after ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"negative delay: {delay}")
-        return self.schedule_at(self.clock.now + delay, callback, label)
+        return self.schedule_at(self.clock._now + delay, callback, label)
+
+    def call_at(self, time: float, callback: Callable[..., Any], *args: Any) -> None:
+        """Schedule a fire-and-forget callback at absolute time ``time``.
+
+        The fast path for per-packet work: no :class:`Event` handle is
+        allocated (the callback cannot be cancelled) and positional
+        ``args`` are stored in the heap entry, so hot call sites don't
+        build a per-packet closure.  Ordering is identical to
+        :meth:`schedule_at` — both draw from the same sequence counter.
+        """
+        if self._exhausted:
+            self._ensure_alive(f"schedule {callback!r}")
+        time = float(time)
+        if time < self.clock._now:
+            raise SimulationError(
+                f"cannot schedule event in the past: {time:.9f} < "
+                f"{self.clock.now:.9f} ({callback!r})"
+            )
+        heapq.heappush(
+            self._queue, (time, next(self._sequence), None, callback, args)
+        )
+
+    def call_in(self, delay: float, callback: Callable[..., Any], *args: Any) -> None:
+        """Schedule a fire-and-forget callback after ``delay`` seconds."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        if self._exhausted:
+            self._ensure_alive(f"schedule {callback!r}")
+        # now + a non-negative delay can never land in the past, so the
+        # call_at guard is skipped (this runs once per packet hop).
+        heapq.heappush(
+            self._queue,
+            (self.clock._now + delay, next(self._sequence), None, callback, args),
+        )
 
     def pending(self) -> int:
         """Number of live (non-cancelled) events still queued."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        return sum(
+            1
+            for entry in self._queue
+            if entry[2] is None or not entry[2].cancelled
+        )
 
     def step(self) -> bool:
         """Fire the next event.  Returns False when the queue is empty."""
         self._ensure_alive("step")
-        while self._queue:
-            event = heapq.heappop(self._queue)
-            if event.cancelled:
+        queue = self._queue
+        while queue:
+            time, _, event, callback, args = heapq.heappop(queue)
+            if event is not None and event.cancelled:
                 continue
-            self.clock.advance_to(event.time)
+            self.clock.advance_to(time)
             self._processed += 1
-            event.callback()
+            callback(*args)
             return True
         return False
 
@@ -126,27 +211,36 @@ class EventLoop:
             Safety valve against runaway self-scheduling loops.
         """
         self._ensure_alive("run")
+        # Local aliases: this loop body runs once per simulated event,
+        # which for campaign grids means hundreds of millions of
+        # iterations — every attribute lookup removed here is measurable.
+        queue = self._queue
+        pop = heapq.heappop
+        clock = self.clock
         fired = 0
-        while self._queue:
+        while queue:
+            time, _, event, callback, args = queue[0]
+            if event is not None and event.cancelled:
+                pop(queue)
+                continue
+            if until is not None and time > until:
+                break
             if fired >= max_events:
                 raise SimulationError(
                     f"event budget exhausted after {fired} events"
                 )
-            nxt = self._peek()
-            if nxt is None:
-                break
-            if until is not None and nxt.time > until:
-                break
-            self.step()
+            pop(queue)
+            # Heap order makes times nondecreasing, so this cannot move
+            # the clock backwards; assign directly instead of paying
+            # advance_to's monotonicity check per event.
+            clock._now = time
+            callback(*args)
             fired += 1
-        if until is not None and self.clock.now < until:
-            self.clock.advance_to(until)
+        self._processed += fired
+        if until is not None and clock._now < until:
+            clock._now = float(until)
         if until is None:
             # An explicit run-to-exhaustion ends the simulation's life;
             # re-driving a finished loop is a caller bug.
             self._exhausted = True
 
-    def _peek(self) -> Event | None:
-        while self._queue and self._queue[0].cancelled:
-            heapq.heappop(self._queue)
-        return self._queue[0] if self._queue else None

@@ -1,0 +1,85 @@
+"""Chunked draws from a deterministic RNG, preserving the draw sequence.
+
+Per-packet loss decisions are the highest-frequency consumers of
+randomness in the simulator: the wireless channel, the congested
+bottleneck queues, and lossy links each draw one uniform per packet.
+Calling ``random.Random.random()`` through an attribute lookup per
+packet is pure interpreter overhead; :class:`ChunkedRandom` instead
+prefetches uniforms in blocks (one C-level call per draw, but batched
+through a list built with the *bound* method, then served by cheap list
+indexing) and reimplements the derived draws the simulator uses
+(``expovariate``) on top of the same buffered uniform stream with
+bit-identical arithmetic to CPython's.
+
+The contract that keeps seeded runs byte-identical:
+
+- The wrapper must be the **exclusive** consumer of the wrapped
+  ``random.Random`` from construction onward (every component already
+  owns a dedicated named stream — see :mod:`repro.sim.rng`), so
+  prefetching ahead of simulated time cannot steal draws from anyone.
+- Every draw type is derived from ``random()`` exactly as CPython
+  derives it, so the n-th draw returns the same float the unwrapped
+  stream would have produced, regardless of how ``random()`` and
+  ``expovariate()`` calls interleave.
+
+``block_size=1`` degenerates to unchunked per-call behaviour, which is
+what the determinism suite compares against.
+"""
+
+from __future__ import annotations
+
+import random
+from math import log as _log
+
+#: Default prefetch depth.  Large enough to amortize the refill, small
+#: enough that an idle scenario never burns visible memory on uniforms.
+DEFAULT_BLOCK_SIZE = 512
+
+
+class ChunkedRandom:
+    """Serve a ``random.Random``'s uniform stream from prefetched blocks.
+
+    Only the draw types the packet path uses are exposed; anything else
+    would silently bypass the buffer and corrupt the sequence, so there
+    is deliberately no ``__getattr__`` passthrough.
+    """
+
+    __slots__ = ("_rng", "_block_size", "_buffer", "_next")
+
+    def __init__(
+        self,
+        rng: random.Random,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+    ) -> None:
+        if block_size < 1:
+            raise ValueError(f"block size must be >= 1: {block_size}")
+        self._rng = rng
+        self._block_size = block_size
+        self._buffer: list[float] = []
+        self._next = 0
+
+    def random(self) -> float:
+        """The next uniform in [0, 1) — identical to the wrapped stream."""
+        i = self._next
+        buffer = self._buffer
+        if i >= len(buffer):
+            draw = self._rng.random
+            buffer = [draw() for _ in range(self._block_size)]
+            self._buffer = buffer
+            i = 0
+        self._next = i + 1
+        return buffer[i]
+
+    def expovariate(self, lambd: float) -> float:
+        """Exponential draw, bit-identical to ``random.Random``'s.
+
+        CPython computes ``-log(1 - random()) / lambd``; doing the same
+        float operations on the same buffered uniform reproduces the
+        exact value the unwrapped stream would have returned.
+        """
+        return -_log(1.0 - self.random()) / lambd
+
+    @property
+    def prefetched(self) -> int:
+        """Uniforms drawn from the source but not yet served."""
+        return len(self._buffer) - self._next

@@ -1,0 +1,202 @@
+"""Merkle-batched CDR attestation through the protocol and Algorithm 2."""
+
+import pytest
+
+from repro.charging.cycle import ChargingCycle
+from repro.core.messages import TlcCdr
+from repro.core.plan import DataPlan
+from repro.core.protocol import (
+    BatchSigningConfig,
+    NegotiationAgent,
+    run_negotiation,
+    sign_cdr_batch,
+)
+from repro.core.records import UsageView
+from repro.core.strategies import OptimalStrategy, Role
+from repro.core.verifier import PublicVerifier
+from repro.crypto.nonces import NonceFactory
+from repro.crypto.rsa import keypair_for_seed
+from repro.sim.rng import RngStreams
+
+# Wire serialization mandates RSA-1024 signatures, so the full-size
+# cached keys are used (generated once per process).
+
+
+@pytest.fixture(scope="module")
+def edge_keys():
+    return keypair_for_seed(61)
+
+
+@pytest.fixture(scope="module")
+def operator_keys():
+    return keypair_for_seed(62)
+
+
+def _plan():
+    return DataPlan(
+        cycle=ChargingCycle(index=0, start=0.0, end=3600.0),
+        loss_weight=0.5,
+    )
+
+
+def _agents(edge_keys, operator_keys, batch_config=None, seed=5):
+    plan = _plan()
+    rngs = RngStreams(seed)
+    nonce_factory = NonceFactory(rngs.stream("nonces"))
+    edge = NegotiationAgent(
+        role=Role.EDGE,
+        strategy=OptimalStrategy(
+            Role.EDGE,
+            UsageView(sent_estimate=1.0e9, received_estimate=0.93e9),
+        ),
+        plan=plan,
+        private_key=edge_keys.private,
+        peer_public_key=operator_keys.public,
+        nonce_factory=nonce_factory,
+        batch_config=batch_config,
+    )
+    operator = NegotiationAgent(
+        role=Role.OPERATOR,
+        strategy=OptimalStrategy(
+            Role.OPERATOR,
+            UsageView(sent_estimate=1.01e9, received_estimate=0.94e9),
+        ),
+        plan=plan,
+        private_key=operator_keys.private,
+        peer_public_key=edge_keys.public,
+        nonce_factory=nonce_factory,
+        batch_config=batch_config,
+    )
+    return edge, operator, plan
+
+
+def _cdr_stream(keys, count, party=Role.OPERATOR, signed=False):
+    plan = _plan()
+    rngs = RngStreams(77)
+    nonces = NonceFactory(rngs.stream("nonces"))
+    cdrs = []
+    for i in range(count):
+        cdr = TlcCdr(
+            party=party,
+            app_id="tlc-app",
+            cycle_start=plan.cycle.start,
+            cycle_end=plan.cycle.end,
+            c=plan.c,
+            sequence=i + 1,
+            nonce=nonces.fresh(),
+            volume=1.0e9 + i,
+        )
+        cdrs.append(cdr.signed(keys.private) if signed else cdr)
+    return cdrs, plan
+
+
+class TestBatchConfig:
+    def test_off_by_default(self, edge_keys, operator_keys):
+        edge, operator, _ = _agents(edge_keys, operator_keys)
+        run_negotiation(operator, edge)
+        assert edge.batched_cdrs == []
+        assert operator.batched_cdrs == []
+        assert edge.attest_batched_cdrs() is None
+
+    def test_enabled_agents_retain_their_claims(
+        self, edge_keys, operator_keys
+    ):
+        config = BatchSigningConfig(enabled=True)
+        edge, operator, _ = _agents(
+            edge_keys, operator_keys, batch_config=config
+        )
+        outcome = run_negotiation(operator, edge)
+        assert outcome.converged
+        retained = len(edge.batched_cdrs) + len(operator.batched_cdrs)
+        assert retained >= 1
+        assert all(c.party is Role.EDGE for c in edge.batched_cdrs)
+
+    def test_interactive_outcome_unchanged_by_batching(
+        self, edge_keys, operator_keys
+    ):
+        plain = run_negotiation(
+            *_agents(edge_keys, operator_keys)[1::-1]
+        )
+        batched = run_negotiation(
+            *_agents(
+                edge_keys,
+                operator_keys,
+                batch_config=BatchSigningConfig(enabled=True),
+            )[1::-1]
+        )
+        assert plain.converged == batched.converged
+        assert plain.volume == batched.volume
+        assert plain.messages == batched.messages
+
+
+class TestBatchVerification:
+    def test_unsigned_bulk_stream_verifies_with_one_signature(
+        self, operator_keys
+    ):
+        cdrs, plan = _cdr_stream(operator_keys, 9)
+        batch = sign_cdr_batch(operator_keys.private, cdrs)
+        verifier = PublicVerifier()
+        result = verifier.verify_cdr_batch(
+            cdrs, batch, operator_keys.public, plan
+        )
+        assert result.ok, result.reason
+        assert verifier.verified_count == 9
+
+    def test_interactively_signed_claims_also_batch(
+        self, operator_keys
+    ):
+        cdrs, plan = _cdr_stream(operator_keys, 4, signed=True)
+        batch = sign_cdr_batch(operator_keys.private, cdrs)
+        assert PublicVerifier().verify_cdr_batch(
+            cdrs, batch, operator_keys.public, plan
+        ).ok
+
+    def test_tampered_volume_fails(self, operator_keys):
+        import dataclasses
+
+        cdrs, plan = _cdr_stream(operator_keys, 5)
+        batch = sign_cdr_batch(operator_keys.private, cdrs)
+        cdrs[2] = dataclasses.replace(cdrs[2], volume=2.0e9)
+        result = PublicVerifier().verify_cdr_batch(
+            cdrs, batch, operator_keys.public, plan
+        )
+        assert not result.ok
+        assert "batch signature" in result.reason
+
+    def test_wrong_signer_fails(self, edge_keys, operator_keys):
+        cdrs, plan = _cdr_stream(operator_keys, 3)
+        batch = sign_cdr_batch(operator_keys.private, cdrs)
+        assert not PublicVerifier().verify_cdr_batch(
+            cdrs, batch, edge_keys.public, plan
+        ).ok
+
+    def test_mixed_parties_rejected(self, edge_keys, operator_keys):
+        op_cdrs, plan = _cdr_stream(operator_keys, 2)
+        edge_cdrs, _ = _cdr_stream(edge_keys, 1, party=Role.EDGE)
+        cdrs = op_cdrs + edge_cdrs
+        batch = sign_cdr_batch(operator_keys.private, cdrs)
+        result = PublicVerifier().verify_cdr_batch(
+            cdrs, batch, operator_keys.public, plan
+        )
+        assert not result.ok
+        assert "mixes parties" in result.reason
+
+    def test_empty_batch_rejected(self, operator_keys):
+        cdrs, plan = _cdr_stream(operator_keys, 1)
+        batch = sign_cdr_batch(operator_keys.private, cdrs)
+        assert not PublicVerifier().verify_cdr_batch(
+            [], batch, operator_keys.public, plan
+        ).ok
+
+    def test_wrong_plan_rejected(self, operator_keys):
+        cdrs, plan = _cdr_stream(operator_keys, 3)
+        batch = sign_cdr_batch(operator_keys.private, cdrs)
+        other_plan = DataPlan(
+            cycle=ChargingCycle(index=1, start=3600.0, end=7200.0),
+            loss_weight=0.5,
+        )
+        result = PublicVerifier().verify_cdr_batch(
+            cdrs, batch, operator_keys.public, other_plan
+        )
+        assert not result.ok
+        assert "data plan" in result.reason

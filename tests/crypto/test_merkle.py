@@ -1,0 +1,83 @@
+"""Merkle-tree batch signatures: one RSA op attesting N payloads."""
+
+import random
+
+import pytest
+
+from repro.crypto.merkle import (
+    BatchSignature,
+    merkle_proof,
+    merkle_root,
+    sign_batch,
+    verify_batch,
+    verify_merkle_proof,
+)
+from repro.crypto.rsa import generate_keypair
+
+PAYLOADS = [f"record-{i}".encode() for i in range(7)]
+
+
+@pytest.fixture(scope="module")
+def keys():
+    return generate_keypair(512, random.Random(1234))
+
+
+class TestTree:
+    def test_root_is_deterministic(self):
+        assert merkle_root(PAYLOADS) == merkle_root(list(PAYLOADS))
+
+    def test_root_is_order_sensitive(self):
+        assert merkle_root(PAYLOADS) != merkle_root(PAYLOADS[::-1])
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError):
+            merkle_root([])
+
+    def test_single_leaf_root_is_leaf_hash(self):
+        root = merkle_root([b"only"])
+        assert verify_merkle_proof(b"only", merkle_proof([b"only"], 0), root)
+
+    @pytest.mark.parametrize("count", [1, 2, 3, 4, 5, 8, 13])
+    def test_every_leaf_proves_membership(self, count):
+        payloads = [bytes([i]) * 4 for i in range(count)]
+        root = merkle_root(payloads)
+        for i, payload in enumerate(payloads):
+            proof = merkle_proof(payloads, i)
+            assert verify_merkle_proof(payload, proof, root)
+
+    def test_wrong_leaf_fails_proof(self):
+        root = merkle_root(PAYLOADS)
+        proof = merkle_proof(PAYLOADS, 2)
+        assert not verify_merkle_proof(b"forged", proof, root)
+
+    def test_proof_index_out_of_range(self):
+        with pytest.raises(IndexError):
+            merkle_proof(PAYLOADS, len(PAYLOADS))
+
+    def test_leaf_and_node_domains_are_separated(self):
+        # An inner node's hash must not be accepted as a leaf: the
+        # two-leaf root differs from the leaf-hash of the concatenation.
+        assert merkle_root([b"a", b"b"]) != merkle_root([b"a" + b"b"])
+
+
+class TestBatchSignature:
+    def test_sign_and_verify_batch(self, keys):
+        batch = sign_batch(keys.private, PAYLOADS)
+        assert isinstance(batch, BatchSignature)
+        assert batch.count == len(PAYLOADS)
+        assert verify_batch(keys.public, PAYLOADS, batch)
+
+    def test_tampered_payload_fails(self, keys):
+        batch = sign_batch(keys.private, PAYLOADS)
+        tampered = list(PAYLOADS)
+        tampered[3] = b"record-3-evil"
+        assert not verify_batch(keys.public, tampered, batch)
+
+    def test_wrong_count_fails(self, keys):
+        batch = sign_batch(keys.private, PAYLOADS)
+        assert not verify_batch(keys.public, PAYLOADS[:-1], batch)
+
+    def test_wrong_key_fails(self, keys):
+        other = generate_keypair(512, random.Random(999))
+        batch = sign_batch(keys.private, PAYLOADS)
+        assert not verify_batch(other.public, PAYLOADS, batch)

@@ -81,3 +81,47 @@ class TestRawOps:
     def test_zero_and_one_are_fixed_points(self, keys512):
         assert rsa_private_op(keys512.private, 0) == 0
         assert rsa_private_op(keys512.private, 1) == 1
+
+
+class TestKeypairForSeed:
+    def test_deterministic_for_seed(self):
+        from repro.crypto.rsa import keypair_for_seed
+
+        a = keypair_for_seed(101, bits=512)
+        b = keypair_for_seed(101, bits=512)
+        assert a.private == b.private
+
+    def test_process_wide_cache_returns_same_object(self):
+        # The cache is the point: campaigns re-request the same seeded
+        # keys, and must not pay key generation again.
+        from repro.crypto.rsa import keypair_for_seed
+
+        assert keypair_for_seed(102, bits=512) is keypair_for_seed(
+            102, bits=512
+        )
+
+    def test_different_seeds_differ(self):
+        from repro.crypto.rsa import keypair_for_seed
+
+        assert (
+            keypair_for_seed(103, bits=512).private.n
+            != keypair_for_seed(104, bits=512).private.n
+        )
+
+    def test_matches_uncached_generation(self):
+        from repro.crypto.rsa import keypair_for_seed
+
+        assert keypair_for_seed(105, bits=512) == generate_keypair(
+            512, random.Random(105)
+        )
+
+
+class TestCrtCache:
+    def test_cached_crt_matches_plain_exponentiation(self, keys512):
+        # CRT parameters are memoized per key; repeated private ops must
+        # agree with the schoolbook m^d mod n on every call.
+        private = keys512.private
+        for message in (0x1234, 0x5678, 0x1234):
+            assert rsa_private_op(private, message) == pow(
+                message, private.d, private.n
+            )

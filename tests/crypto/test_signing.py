@@ -86,3 +86,46 @@ class TestRejection:
         tiny = generate_keypair(256, random.Random(31))
         with pytest.raises(SignatureError):
             sign(tiny.private, b"m")
+
+
+class TestEncodingCache:
+    def test_cached_encoding_produces_identical_signatures(self, keys):
+        # The EMSA-PKCS1 encoding is memoized; the signature over a
+        # message must be byte-identical to one computed through the
+        # uncached encoding path.
+        from repro.crypto.rsa import rsa_private_op
+        from repro.crypto.signing import _emsa_pkcs1_v15_encode
+
+        message = b"cache-identity-check"
+        em_len = keys.private.byte_length
+        uncached_em = _emsa_pkcs1_v15_encode.__wrapped__(message, em_len)
+        reference = rsa_private_op(
+            keys.private, int.from_bytes(uncached_em, "big")
+        ).to_bytes(em_len, "big")
+        assert sign(keys.private, message) == reference
+        # And again, now that the encoding is definitely cached.
+        assert sign(keys.private, message) == reference
+
+    def test_repeated_signing_is_deterministic(self, keys):
+        message = b"PKCS#1 v1.5 is deterministic"
+        assert sign(keys.private, message) == sign(keys.private, message)
+
+
+class TestCachedVerify:
+    def test_matches_plain_verify(self, keys):
+        from repro.crypto.signing import cached_verify
+
+        message = b"memoized verdict"
+        signature = sign(keys.private, message)
+        assert cached_verify(keys.public, message, signature) is True
+        # Second call is served from cache; verdict must be unchanged.
+        assert cached_verify(keys.public, message, signature) is True
+        assert cached_verify(keys.public, b"other", signature) is False
+
+    def test_distinguishes_keys(self, keys, other_keys):
+        from repro.crypto.signing import cached_verify
+
+        message = b"key sensitivity"
+        signature = sign(keys.private, message)
+        assert cached_verify(keys.public, message, signature)
+        assert not cached_verify(other_keys.public, message, signature)

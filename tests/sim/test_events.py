@@ -220,3 +220,97 @@ class TestRunUntil:
             loop.schedule_at(float(i + 1), lambda: None)
         loop.run()
         assert loop.processed_events == 5
+
+
+class TestFastPath:
+    """call_at/call_in: the fire-and-forget scheduling fast path."""
+
+    def test_call_at_fires_in_time_order(self):
+        loop = EventLoop()
+        fired = []
+        loop.call_at(2.0, fired.append, "b")
+        loop.call_at(1.0, fired.append, "a")
+        loop.run()
+        assert fired == ["a", "b"]
+
+    def test_call_in_is_relative(self):
+        loop = EventLoop(start=3.0)
+        seen = []
+        loop.call_in(2.0, lambda: seen.append(loop.now))
+        loop.run()
+        assert seen == [5.0]
+
+    def test_args_are_passed_through(self):
+        loop = EventLoop()
+        seen = []
+        loop.call_at(1.0, lambda a, b: seen.append((a, b)), 10, 20)
+        loop.run()
+        assert seen == [(10, 20)]
+
+    def test_interleaves_with_schedule_at_in_insertion_order(self):
+        # Both APIs share one sequence counter, so same-time ties break
+        # by overall insertion order regardless of which API scheduled.
+        loop = EventLoop()
+        fired = []
+        loop.schedule_at(1.0, lambda: fired.append("event-1"))
+        loop.call_at(1.0, fired.append, "fast-2")
+        loop.schedule_at(1.0, lambda: fired.append("event-3"))
+        loop.call_at(1.0, fired.append, "fast-4")
+        loop.run()
+        assert fired == ["event-1", "fast-2", "event-3", "fast-4"]
+
+    def test_call_at_in_the_past_raises(self):
+        loop = EventLoop(start=5.0)
+        with pytest.raises(SimulationError):
+            loop.call_at(4.0, lambda: None)
+
+    def test_call_in_negative_delay_raises(self):
+        with pytest.raises(SimulationError):
+            EventLoop().call_in(-0.1, lambda: None)
+
+    def test_call_after_exhaustion_raises(self):
+        loop = EventLoop()
+        loop.run()
+        with pytest.raises(SimulationError, match="exhaustion"):
+            loop.call_at(1.0, lambda: None)
+        with pytest.raises(SimulationError, match="exhaustion"):
+            loop.call_in(1.0, lambda: None)
+
+    def test_fast_path_counts_as_processed(self):
+        loop = EventLoop()
+        loop.call_at(1.0, lambda: None)
+        loop.call_in(2.0, lambda: None)
+        loop.run()
+        assert loop.processed_events == 2
+
+    def test_fast_path_counts_as_pending(self):
+        loop = EventLoop()
+        loop.call_at(1.0, lambda: None)
+        assert loop.pending() == 1
+
+    def test_step_fires_fast_path_entries(self):
+        loop = EventLoop()
+        seen = []
+        loop.call_at(1.5, seen.append, "x")
+        assert loop.step() is True
+        assert seen == ["x"]
+        assert loop.now == 1.5
+
+
+class TestHotPathLayout:
+    def test_event_has_slots(self):
+        loop = EventLoop()
+        event = loop.schedule_at(1.0, lambda: None)
+        assert not hasattr(event, "__dict__")
+        with pytest.raises(AttributeError):
+            event.arbitrary_attribute = 1
+
+    def test_run_until_then_fast_path_resumes(self):
+        loop = EventLoop()
+        fired = []
+        loop.call_at(1.0, fired.append, 1)
+        loop.call_at(5.0, fired.append, 5)
+        loop.run(until=3.0)
+        assert fired == [1]
+        loop.run()
+        assert fired == [1, 5]

@@ -1,0 +1,73 @@
+"""ChunkedRandom: block-prefetched draws must match the raw stream."""
+
+import random
+
+import pytest
+
+from repro.sim.sampling import DEFAULT_BLOCK_SIZE, ChunkedRandom
+
+
+class TestUniformEquivalence:
+    def test_matches_raw_stream_bit_for_bit(self):
+        raw_rng = random.Random(42)
+        raw = [raw_rng.random() for _ in range(2000)]
+        chunked = ChunkedRandom(random.Random(42))
+        assert [chunked.random() for _ in range(2000)] == raw
+
+    def test_block_size_one_degenerates_to_unchunked(self):
+        one = ChunkedRandom(random.Random(7), block_size=1)
+        big = ChunkedRandom(random.Random(7), block_size=512)
+        assert [one.random() for _ in range(300)] == [
+            big.random() for _ in range(300)
+        ]
+
+    def test_draws_spanning_block_boundaries(self):
+        raw_rng = random.Random(3)
+        raw = [raw_rng.random() for _ in range(10)]
+        chunked = ChunkedRandom(random.Random(3), block_size=3)
+        assert [chunked.random() for _ in range(10)] == raw
+
+
+class TestExpovariateEquivalence:
+    def test_matches_cpython_expovariate_bit_for_bit(self):
+        raw_rng = random.Random(11)
+        raw = [raw_rng.expovariate(0.5) for _ in range(1000)]
+        chunked = ChunkedRandom(random.Random(11))
+        assert [chunked.expovariate(0.5) for _ in range(1000)] == raw
+
+    def test_interleaved_random_and_expovariate_preserve_sequence(self):
+        # The channel interleaves loss draws (random) with outage
+        # scheduling (expovariate) on one stream; the n-th underlying
+        # uniform must serve the same call either way.
+        raw_rng = random.Random(99)
+        expected = []
+        for i in range(500):
+            if i % 3 == 0:
+                expected.append(("e", raw_rng.expovariate(1.7)))
+            else:
+                expected.append(("r", raw_rng.random()))
+        chunked = ChunkedRandom(random.Random(99), block_size=64)
+        got = []
+        for i in range(500):
+            if i % 3 == 0:
+                got.append(("e", chunked.expovariate(1.7)))
+            else:
+                got.append(("r", chunked.random()))
+        assert got == expected
+
+
+class TestApi:
+    def test_block_size_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ChunkedRandom(random.Random(1), block_size=0)
+
+    def test_prefetched_counts_unserved_draws(self):
+        chunked = ChunkedRandom(random.Random(5), block_size=8)
+        assert chunked.prefetched == 0
+        chunked.random()
+        assert chunked.prefetched == 7
+
+    def test_default_block_size_is_used(self):
+        chunked = ChunkedRandom(random.Random(5))
+        chunked.random()
+        assert chunked.prefetched == DEFAULT_BLOCK_SIZE - 1
