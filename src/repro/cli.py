@@ -35,6 +35,7 @@ from repro.experiments.campaign import (
     set_default_engine,
 )
 from repro.experiments.cdr_error import record_error_samples
+from repro.experiments import fault_tolerance
 from repro.experiments.congestion import (
     ALL_APPS,
     FIG3_APPS,
@@ -329,6 +330,15 @@ def _rss(fast: bool) -> str:
     )
 
 
+def _faults(fast: bool) -> str:
+    results = fault_tolerance.fault_campaign(
+        seeds=(1,) if fast else (1, 2),
+        cycle_duration=20.0 if fast else 30.0,
+        intensities=(0.5,) if fast else (0.2, 0.5, 0.8),
+    )
+    return fault_tolerance.render_fault_report(results)
+
+
 def _transport(fast: bool) -> str:
     udp, tcp = compare_transports(
         seed=3, loss_rate=0.10, duration=15.0 if fast else 30.0
@@ -357,6 +367,7 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[bool], str]]] = {
     "mobility": ("handover-rate ablation", _mobility),
     "transport": ("UDP vs TCP-like ablation", _transport),
     "rss": ("signal-strength ablation", _rss),
+    "faults": ("fault-injection & recovery campaign", _faults),
 }
 
 
@@ -402,6 +413,19 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="also capture structured trace events (simulated-clock "
         "timestamps) to FILE as JSON Lines",
+    )
+    run.add_argument(
+        "--faults",
+        default=None,
+        metavar="PLAN",
+        help="run the 'faults' experiment against a fault plan loaded "
+        "from PLAN (JSON) instead of the built-in grid",
+    )
+    run.add_argument(
+        "--fail-fast",
+        action="store_true",
+        help="abort the whole run on the first failing scenario "
+        "(default: record failures, report them, and exit nonzero)",
     )
     return parser
 
@@ -450,22 +474,36 @@ def main(argv: list[str] | None = None) -> int:
     cache_dir = getattr(args, "cache_dir", None)
     metrics_out = getattr(args, "metrics_out", None)
     trace_out = getattr(args, "trace", None)
+    plan_file = getattr(args, "faults", None)
+    if plan_file is not None:
+        from repro.faults.plan import FaultPlan, FaultPlanError
+
+        try:
+            fault_tolerance.set_plan_override(FaultPlan.load(plan_file))
+        except (OSError, ValueError, FaultPlanError) as exc:
+            print(f"cannot load fault plan {plan_file!r}: {exc}",
+                  file=sys.stderr)
+            return 2
     collect = metrics_out is not None or trace_out is not None
     engine = CampaignEngine(
         workers=workers,
         cache_dir=cache_dir,
         telemetry=collect,
         trace=trace_out is not None,
+        fail_fast=getattr(args, "fail_fast", False),
     )
     set_default_engine(engine)
+    failures: list = []
     try:
         for name in targets:
             description, fn = EXPERIMENTS[name]
             print(f"===== {name}: {description} =====")
             print(fn(args.fast))
             print()
+            failures.extend(engine.last_failures)
     finally:
         set_default_engine(None)
+        fault_tolerance.set_plan_override(None)
 
     if collect:
         records = engine.telemetry_records
@@ -526,6 +564,15 @@ def main(argv: list[str] | None = None) -> int:
             f"({totals.compute_seconds:.1f}s compute in "
             f"{totals.wall_seconds:.1f}s wall)"
         )
+
+    if failures:
+        print(
+            f"[campaign] {len(failures)} scenario(s) FAILED:",
+            file=sys.stderr,
+        )
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
     return 0
 
 

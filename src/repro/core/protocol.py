@@ -19,6 +19,7 @@ Algorithm 1 made concrete over authenticated messages.
 from __future__ import annotations
 
 import enum
+import hashlib
 import math
 from dataclasses import dataclass, field
 from typing import Sequence
@@ -52,6 +53,17 @@ class ProtocolError(RuntimeError):
 
 
 Message = TlcCdr | TlcCda | ProofOfCharging
+
+
+def message_key(message: Message) -> bytes:
+    """The stable wire identity of a signed protocol message.
+
+    Signed messages are immutable once emitted, so the SHA-256 of the
+    wire form identifies a message across retransmissions — the dedup
+    key the fault-tolerant transport uses to recognise duplicates and
+    replay the cached reply instead of re-driving the state machine.
+    """
+    return hashlib.sha256(message.to_bytes()).digest()
 
 
 @dataclass(frozen=True)

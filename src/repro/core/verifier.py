@@ -43,11 +43,23 @@ class VerificationResult:
 class PublicVerifier:
     """A third-party verification service with a replay cache."""
 
-    def __init__(self, volume_tolerance: float = 1e-6) -> None:
+    def __init__(
+        self,
+        volume_tolerance: float = 1e-6,
+        settlement_window: float | None = None,
+    ) -> None:
         self.volume_tolerance = float(volume_tolerance)
+        #: When set, a PoC presented more than this many seconds after
+        #: its cycle end is rejected — the operator has already settled
+        #: the cycle, and honouring late proofs would let a party replay
+        #: negotiation outcomes against closed books.
+        self.settlement_window = (
+            None if settlement_window is None else float(settlement_window)
+        )
         self._seen_nonce_pairs: set[tuple[bytes, bytes]] = set()
         self.verified_count = 0
         self.rejected_count = 0
+        self.late_rejections = 0
 
     def verify(
         self,
@@ -55,9 +67,15 @@ class PublicVerifier:
         plan: DataPlan,
         edge_key: PublicKey,
         operator_key: PublicKey,
+        presented_at: float | None = None,
     ) -> VerificationResult:
-        """Run Algorithm 2 on one PoC."""
-        result = self._verify(poc, plan, edge_key, operator_key)
+        """Run Algorithm 2 on one PoC.
+
+        ``presented_at`` is the reference time the proof reached the
+        verifier; it only matters when a :attr:`settlement_window` is
+        configured.
+        """
+        result = self._verify(poc, plan, edge_key, operator_key, presented_at)
         if result.ok:
             self.verified_count += 1
         else:
@@ -70,12 +88,28 @@ class PublicVerifier:
         plan: DataPlan,
         edge_key: PublicKey,
         operator_key: PublicKey,
+        presented_at: float | None = None,
     ) -> VerificationResult:
         if isinstance(poc, bytes):
             try:
                 poc = ProofOfCharging.from_bytes(poc)
             except (MessageError, ValueError) as exc:
                 return VerificationResult(False, f"malformed PoC: {exc}")
+
+        # (0) settlement deadline: a proof that shows up after the books
+        # closed is not accepted, however internally consistent.
+        if (
+            self.settlement_window is not None
+            and presented_at is not None
+            and presented_at > poc.cycle_end + self.settlement_window
+        ):
+            self.late_rejections += 1
+            return VerificationResult(
+                False,
+                "PoC presented after the verification deadline "
+                f"(cycle end {poc.cycle_end} + window "
+                f"{self.settlement_window} < {presented_at})",
+            )
 
         constructor_key = (
             edge_key if poc.party is Role.EDGE else operator_key

@@ -30,6 +30,7 @@ from __future__ import annotations
 import os
 import pickle
 import time
+import traceback
 from concurrent.futures import Executor, ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field, replace
 from pathlib import Path
@@ -86,6 +87,43 @@ def scenario_label(config: Any) -> str:
 
 
 @dataclass(frozen=True)
+class TaskFailure:
+    """A worker-side exception, captured in picklable form.
+
+    Worker processes cannot reliably pickle arbitrary exception objects
+    back to the parent, so :func:`_execute_task` flattens them to
+    strings; the engine re-raises (or records) them parent-side as
+    :class:`CampaignTaskError`.
+    """
+
+    error_type: str
+    message: str
+    traceback_text: str
+
+
+class CampaignTaskError(RuntimeError):
+    """One campaign cell failed; carries which cell and its config hash.
+
+    The config hash is the task's content-addressed cache key, so a
+    failing cell can be reproduced exactly (or its cache entry hunted
+    down) from the error message alone.
+    """
+
+    def __init__(
+        self, index: int, runner: str, config_hash: str, failure: TaskFailure
+    ) -> None:
+        super().__init__(
+            f"campaign task {index} ({runner}) failed "
+            f"[config {config_hash[:16]}]: "
+            f"{failure.error_type}: {failure.message}"
+        )
+        self.index = index
+        self.runner = runner
+        self.config_hash = config_hash
+        self.failure = failure
+
+
+@dataclass(frozen=True)
 class CampaignProgress:
     """One completed (or cache-served) task, reported as it lands."""
 
@@ -108,6 +146,7 @@ class CampaignReport:
     total: int = 0
     executed: int = 0
     cache_hits: int = 0
+    failed: int = 0
     wall_seconds: float = 0.0
     compute_seconds: float = 0.0
 
@@ -130,6 +169,7 @@ class CampaignReport:
         self.total += other.total
         self.executed += other.executed
         self.cache_hits += other.cache_hits
+        self.failed += other.failed
         self.wall_seconds += other.wall_seconds
         self.compute_seconds += other.compute_seconds
 
@@ -203,9 +243,22 @@ class ResultCache:
 
 
 def _execute_task(task: CampaignTask) -> tuple[Any, float]:
-    """Run one task, timing it.  Module-level so executors can pickle it."""
+    """Run one task, timing it.  Module-level so executors can pickle it.
+
+    Exceptions come back as a :class:`TaskFailure` value rather than
+    propagating: a raising worker would otherwise surface as an opaque
+    ``BrokenProcessPool`` (or an unpicklable exception), losing which
+    config exploded.  The engine decides parent-side whether to raise.
+    """
     start = time.perf_counter()
-    value = task.fn(task.config)
+    try:
+        value = task.fn(task.config)
+    except Exception as exc:
+        value = TaskFailure(
+            error_type=type(exc).__name__,
+            message=str(exc),
+            traceback_text=traceback.format_exc(),
+        )
     return value, time.perf_counter() - start
 
 
@@ -236,6 +289,13 @@ class CampaignEngine:
         never share cache entries.
     trace:
         With ``telemetry``, also capture structured trace events.
+    fail_fast:
+        ``True`` (default) re-raises the first failing task as a
+        :class:`CampaignTaskError` naming the cell and its config hash.
+        ``False`` records failures (``None`` in the results list,
+        errors in :attr:`last_failures`) and keeps the campaign
+        running, so one exploding cell cannot sink an hours-long sweep.
+        Failures are never cached either way.
     """
 
     def __init__(
@@ -247,6 +307,7 @@ class CampaignEngine:
         executor_factory: Callable[[int], Executor] | None = None,
         telemetry: bool = False,
         trace: bool = False,
+        fail_fast: bool = True,
     ) -> None:
         self.workers = max(1, int(workers))
         self.cache: ResultCache | None = (
@@ -258,6 +319,10 @@ class CampaignEngine:
         self.executor_factory = executor_factory
         self.telemetry = bool(telemetry)
         self.trace = bool(trace)
+        self.fail_fast = bool(fail_fast)
+        #: Failures of the most recent :meth:`run_tasks` call (only
+        #: populated with ``fail_fast=False``).
+        self.last_failures: list[CampaignTaskError] = []
         #: Metrics of the most recent :meth:`run_tasks` call.
         self.last_report = CampaignReport()
         #: Cumulative metrics across this engine's lifetime.
@@ -293,6 +358,25 @@ class CampaignEngine:
         results: list[Any] = [None] * len(tasks)
         report = CampaignReport(total=len(tasks))
         completed = 0
+        self.last_failures = []
+
+        def settle(index: int, value: Any, seconds: float) -> Any:
+            """Classify one executed outcome; raises under fail-fast."""
+            if isinstance(value, TaskFailure):
+                error = CampaignTaskError(
+                    index=index,
+                    runner=tasks[index].runner_id,
+                    config_hash=tasks[index].key(),
+                    failure=value,
+                )
+                if self.fail_fast:
+                    raise error
+                report.failed += 1
+                self.last_failures.append(error)
+                return None
+            if self.cache is not None:
+                self.cache.store(tasks[index], value)
+            return value
 
         def land(
             index: int, value: Any, cached: bool, seconds: float
@@ -328,9 +412,7 @@ class CampaignEngine:
                 value, seconds = _execute_task(tasks[i])
                 report.executed += 1
                 report.compute_seconds += seconds
-                if self.cache is not None:
-                    self.cache.store(tasks[i], value)
-                land(i, value, cached=False, seconds=seconds)
+                land(i, settle(i, value, seconds), cached=False, seconds=seconds)
         elif pending:
             with self._make_executor() as pool:
                 futures = {
@@ -342,9 +424,12 @@ class CampaignEngine:
                     value, seconds = future.result()
                     report.executed += 1
                     report.compute_seconds += seconds
-                    if self.cache is not None:
-                        self.cache.store(tasks[i], value)
-                    land(i, value, cached=False, seconds=seconds)
+                    land(
+                        i,
+                        settle(i, value, seconds),
+                        cached=False,
+                        seconds=seconds,
+                    )
 
         report.wall_seconds = time.perf_counter() - start
         self.last_report = report

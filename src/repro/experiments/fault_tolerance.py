@@ -1,0 +1,136 @@
+"""The fault-tolerance campaign: charging guarantees under injected faults.
+
+Sweeps a (fault kind x intensity x seed) grid of
+:class:`~repro.faults.scenario.FaultScenarioConfig` cells through the
+campaign engine — same caching, same process fan-out, same
+order-independence as every other sweep — and reports whether the
+paper's guarantees survived each cell:
+
+- **bound**: the settled charge lies between the two parties' claims;
+- **reconciled**: the per-layer byte accounting closes exactly, with
+  crash losses in the fault-ledger column;
+- **verified**: the PoC passes Algorithm 2 inside the settlement window.
+
+A baseline no-fault plan rides along in every campaign, so the report
+shows the fault-free reference behaviour next to the faulted cells.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.campaign import (
+    CampaignEngine,
+    CampaignTask,
+    resolve_engine,
+)
+from repro.experiments.report import render_table
+from repro.experiments.scenario import ScenarioConfig
+from repro.faults.plan import FaultPlan, fault_grid
+from repro.faults.scenario import (
+    FaultScenarioConfig,
+    FaultScenarioResult,
+    run_fault_scenario,
+)
+
+#: Set by the CLI's ``--faults plan.json`` to pin the campaign to one
+#: externally supplied plan instead of the built-in grid.
+_plan_override: FaultPlan | None = None
+
+
+def set_plan_override(plan: FaultPlan | None) -> None:
+    """Install (or with ``None`` clear) the CLI's plan override."""
+    global _plan_override
+    _plan_override = plan
+
+
+def default_plans(
+    intensities: Sequence[float] = (0.2, 0.5, 0.8),
+) -> list[FaultPlan]:
+    """Baseline no-fault plan plus the full (kind x intensity) grid."""
+    return [FaultPlan()] + fault_grid(intensities=intensities)
+
+
+def fault_campaign(
+    plans: Sequence[FaultPlan] | None = None,
+    app: str = "webcam-udp",
+    seeds: Sequence[int] = (1, 2),
+    cycle_duration: float = 30.0,
+    intensities: Sequence[float] = (0.2, 0.5, 0.8),
+    engine: CampaignEngine | None = None,
+) -> list[FaultScenarioResult | None]:
+    """Run the fault grid; results in (plan, seed) order.
+
+    Entries are ``None`` for cells that failed under a
+    ``fail_fast=False`` engine (the failures live on
+    ``engine.last_failures``).
+    """
+    if plans is None:
+        plans = (
+            [_plan_override]
+            if _plan_override is not None
+            else default_plans(intensities)
+        )
+    configs = [
+        FaultScenarioConfig(
+            scenario=ScenarioConfig(
+                app=app, seed=seed, cycle_duration=cycle_duration
+            ),
+            plan=plan,
+        )
+        for plan in plans
+        for seed in seeds
+    ]
+    tasks = [
+        CampaignTask(fn=run_fault_scenario, config=config)
+        for config in configs
+    ]
+    return resolve_engine(engine).run_tasks(tasks)
+
+
+def render_fault_report(
+    results: Sequence[FaultScenarioResult | None],
+) -> str:
+    """The per-cell guarantee table the CLI prints."""
+    rows = []
+    holds = reconciled = verified = failed = 0
+    for result in results:
+        if result is None:
+            failed += 1
+            continue
+        holds += result.bound_holds
+        reconciled += result.reconciles
+        verified += bool(result.verification.get("ok"))
+        rows.append(
+            [
+                result.plan_name,
+                str(result.seed),
+                "yes" if result.bound_holds else "NO",
+                "yes" if result.reconciles else "NO",
+                "yes" if result.verification.get("ok") else "NO",
+                str(result.negotiation.get("retransmissions", 0)),
+                str(result.negotiation.get("duplicates_suppressed", 0)),
+                "fallback" if result.negotiation.get("fallback_used") else "",
+            ]
+        )
+    table = render_table(
+        [
+            "fault plan",
+            "seed",
+            "bound",
+            "reconciled",
+            "verified",
+            "retx",
+            "dedup",
+            "path",
+        ],
+        rows,
+    )
+    ran = len(results) - failed
+    summary = (
+        f"{ran}/{len(results)} cells ran: bound {holds}/{ran}, "
+        f"reconciled {reconciled}/{ran}, verified {verified}/{ran}"
+    )
+    if failed:
+        summary += f", {failed} FAILED"
+    return table + "\n" + summary

@@ -213,7 +213,53 @@ def _build_network(
     return LteNetwork(loop, net_config, rngs.fork("lte"))
 
 
-def run_scenario(config: ScenarioConfig) -> ScenarioResult:
+class ScenarioHooks:
+    """Extension points :func:`run_scenario` offers to fault injectors.
+
+    The default implementation is a strict no-op: running with
+    ``hooks=None`` (or this base class) is byte-identical to the
+    pre-hook scenario path, which is what keeps fault-free campaign
+    cache entries valid and the perf gate's zero-overhead claim honest.
+    All methods are called inside the scenario's telemetry activation,
+    so anything a hook does is traced like first-class scenario work.
+    """
+
+    def on_network(
+        self,
+        config: ScenarioConfig,
+        loop: EventLoop,
+        rngs: RngStreams,
+        network: LteNetwork,
+    ) -> None:
+        """The testbed is wired; schedule fault events here."""
+
+    def on_monitors(
+        self,
+        config: ScenarioConfig,
+        loop: EventLoop,
+        network: LteNetwork,
+        monitors: dict,
+    ) -> None:
+        """Monitors are built; replace entries to wrap/corrupt them."""
+
+    def boundary(
+        self, party: str, cycle_end: float, residual_offset: float
+    ) -> float:
+        """When ``party`` ("edge"/"operator") snapshots ``cycle_end``."""
+        return max(0.0, cycle_end - residual_offset)
+
+    def finalize(
+        self,
+        config: ScenarioConfig,
+        loop: EventLoop,
+        network: LteNetwork,
+    ) -> None:
+        """The loop has drained; run end-of-cycle recovery actions."""
+
+
+def run_scenario(
+    config: ScenarioConfig, hooks: ScenarioHooks | None = None
+) -> ScenarioResult:
     """Simulate one charging cycle and collect both parties' records."""
     loop = EventLoop()
     rngs = RngStreams(config.seed)
@@ -241,6 +287,9 @@ def run_scenario(config: ScenarioConfig) -> ScenarioResult:
                 downlink=UnderReportTamper(config.edge_tamper_fraction)
             )
 
+        if hooks is not None:
+            hooks.on_network(config, loop, rngs, network)
+
         # Monitors for each party's two estimates.
         rrc_monitor = RrcCounterMonitor(network.enodeb, direction)
         gateway_monitor = GatewayMonitor(network.gateway, direction)
@@ -255,6 +304,19 @@ def run_scenario(config: ScenarioConfig) -> ScenarioResult:
             edge_recv_read = (
                 lambda: network.ue.os_stats.downlink_bytes  # noqa: E731
             )
+
+        if hooks is not None:
+            monitors = {
+                "rrc": rrc_monitor,
+                "gateway": gateway_monitor,
+                "device": device_monitor,
+                "edge_sent": edge_sent_monitor,
+            }
+            hooks.on_monitors(config, loop, network, monitors)
+            rrc_monitor = monitors["rrc"]
+            gateway_monitor = monitors["gateway"]
+            device_monitor = monitors["device"]
+            edge_sent_monitor = monitors["edge_sent"]
 
         # NTP-disciplined party clocks decide when each boundary snapshot
         # is actually taken.
@@ -334,8 +396,14 @@ def run_scenario(config: ScenarioConfig) -> ScenarioResult:
             )
 
         cycle_end = config.cycle_duration
-        edge_boundary = max(0.0, cycle_end - edge_offset)
-        operator_boundary = max(0.0, cycle_end - operator_offset)
+        if hooks is None:
+            edge_boundary = max(0.0, cycle_end - edge_offset)
+            operator_boundary = max(0.0, cycle_end - operator_offset)
+        else:
+            edge_boundary = hooks.boundary("edge", cycle_end, edge_offset)
+            operator_boundary = hooks.boundary(
+                "operator", cycle_end, operator_offset
+            )
 
         workload.start()
         loop.schedule_at(edge_boundary, snap_edge, label="edge-snapshot")
@@ -349,6 +417,8 @@ def run_scenario(config: ScenarioConfig) -> ScenarioResult:
             horizon - 0.5, workload.stop, label="workload-stop"
         )
         loop.run(until=horizon)
+        if hooks is not None:
+            hooks.finalize(config, loop, network)
 
     truth = GroundTruth(
         sent=truth_snapshot.get("sent", 0.0),

@@ -1,0 +1,67 @@
+"""Deterministic fault injection & recovery for the charging pipeline.
+
+The paper's charging guarantees are only interesting if they survive
+the failure modes a real cellular core actually has: charging-function
+crashes that wipe volatile counters, flaky signaling links under the
+negotiation, clocks that step out from under NTP, and monitors that
+lie.  This package injects exactly those faults — declaratively
+(:mod:`repro.faults.plan`), deterministically (every decision from a
+named seeded stream), and always *paired with the recovery mechanism*
+that a deployment would use (:mod:`repro.faults.recovery`,
+:mod:`repro.faults.negotiation`).
+
+The headline invariants, asserted by the fault property suite across a
+(kind x intensity) grid:
+
+- the settled charge always lies between the two parties' claims;
+- the per-layer byte accounting still reconciles exactly, with crash
+  losses carried in their own fault-ledger column;
+- two runs of the same (config, plan, seed) are byte-identical, so
+  fault campaigns cache like any other sweep.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.negotiation import (
+    ReliableOutcome,
+    run_reliable_negotiation,
+)
+from repro.faults.plan import (
+    FaultKind,
+    FaultPlan,
+    FaultPlanError,
+    FaultSpec,
+    fault_grid,
+    single_fault_plan,
+)
+from repro.faults.recovery import (
+    CounterCheckpointer,
+    DedupCache,
+    ReliableCdrDelivery,
+    RetryPolicy,
+)
+from repro.faults.scenario import (
+    FaultScenarioConfig,
+    FaultScenarioResult,
+    run_fault_scenario,
+)
+from repro.faults.signaling import FaultySignalingLink
+
+__all__ = [
+    "CounterCheckpointer",
+    "DedupCache",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "FaultPlanError",
+    "FaultScenarioConfig",
+    "FaultScenarioResult",
+    "FaultSpec",
+    "FaultySignalingLink",
+    "ReliableCdrDelivery",
+    "ReliableOutcome",
+    "RetryPolicy",
+    "fault_grid",
+    "run_fault_scenario",
+    "run_reliable_negotiation",
+    "single_fault_plan",
+]

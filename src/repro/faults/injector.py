@@ -1,0 +1,316 @@
+"""The fault injector: a :class:`FaultPlan` armed onto a live scenario.
+
+Implements :class:`repro.experiments.scenario.ScenarioHooks`: the
+scenario runner hands it the wired network, the monitor set, and the
+boundary computation, and the injector schedules the plan's fault *and
+recovery* events on the same deterministic event loop the traffic runs
+on.  All randomness comes from named streams derived from the scenario
+seed and the plan name, so (config, plan, seed) fully determines the
+run.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro import telemetry
+from repro.experiments.scenario import ScenarioConfig, ScenarioHooks
+from repro.faults.plan import FaultKind, FaultPlan, FaultSpec
+from repro.faults.recovery import CounterCheckpointer, ReliableCdrDelivery
+from repro.lte.network import LteNetwork
+from repro.monitors.byzantine import ByzantineMonitor
+from repro.sim.events import EventLoop
+from repro.sim.rng import RngStreams
+from repro.timesync.discipline import DisciplinedClock
+
+
+class FaultInjector(ScenarioHooks):
+    """Turn a fault plan into scheduled events with paired recovery."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self.timeline: list[dict[str, Any]] = []
+        self.checkpointer: CounterCheckpointer | None = None
+        self.delivery: ReliableCdrDelivery | None = None
+        self.clocks = {
+            "edge": DisciplinedClock(),
+            "operator": DisciplinedClock(),
+        }
+        self.counter_check_drops = 0
+        self._network: LteNetwork | None = None
+        self._loop: EventLoop | None = None
+
+    # -- bookkeeping ---------------------------------------------------
+
+    def _record(self, action: str, **detail: Any) -> None:
+        at = self._loop.now if self._loop is not None else 0.0
+        self.timeline.append({"at": at, "action": action, **detail})
+        tel = telemetry.current()
+        if tel is not None:
+            tel.event("faults", action, **detail)
+
+    # -- ScenarioHooks -------------------------------------------------
+
+    def on_network(
+        self,
+        config: ScenarioConfig,
+        loop: EventLoop,
+        rngs: RngStreams,
+        network: LteNetwork,
+    ) -> None:
+        """Arm every spec in the plan on the freshly wired testbed."""
+        self._loop = loop
+        self._network = network
+        for index, spec in enumerate(self.plan.faults):
+            if spec.kind is FaultKind.GATEWAY_CRASH:
+                self._arm_gateway_crash(spec, loop, network)
+            elif spec.kind is FaultKind.OFCS_OUTAGE:
+                self._arm_ofcs_outage(spec, index, loop, rngs, network)
+            elif spec.kind is FaultKind.SIGNALING:
+                self._arm_signaling(spec, index, loop, rngs, network)
+            elif spec.kind is FaultKind.CLOCK_STEP:
+                self._arm_clock_step(spec)
+            # BYZANTINE_MONITOR arms in on_monitors.
+
+    def on_monitors(
+        self,
+        config: ScenarioConfig,
+        loop: EventLoop,
+        network: LteNetwork,
+        monitors: dict,
+    ) -> None:
+        """Wrap targeted monitors with Byzantine corruption."""
+        rngs = RngStreams(config.seed)
+        for index, spec in enumerate(
+            self.plan.of_kind(FaultKind.BYZANTINE_MONITOR)
+        ):
+            target = spec.param("target", "rrc")
+            if target not in monitors:
+                raise ValueError(
+                    f"unknown byzantine target {target!r}; choose from "
+                    f"{sorted(monitors)}"
+                )
+            mode = spec.param("mode", "inflate")
+            monitors[target] = ByzantineMonitor(
+                loop,
+                monitors[target],
+                mode=mode,
+                intensity=spec.intensity,
+                armed_at=spec.at,
+                disarmed_at=spec.end,
+                rng=rngs.stream(
+                    "faults", self.plan.name, "byzantine", str(index)
+                ),
+            )
+            self._record(
+                "byzantine_armed",
+                target=target,
+                mode=mode,
+                intensity=spec.intensity,
+            )
+
+    def boundary(
+        self, party: str, cycle_end: float, residual_offset: float
+    ) -> float:
+        """Party boundary through its (possibly faulted) clock."""
+        clock = self.clocks[party]
+        clock.residual_offset = residual_offset
+        return max(0.0, clock.boundary_in_reference_time(cycle_end))
+
+    def finalize(
+        self,
+        config: ScenarioConfig,
+        loop: EventLoop,
+        network: LteNetwork,
+    ) -> None:
+        """End-of-run recovery: a still-crashed gateway restarts here.
+
+        A crash with ``duration <= 0`` persists past the horizon; the
+        restart must still happen so the fault ledger closes and billing
+        uses the restored (checkpointed) counters.
+        """
+        if not network.gateway.alive:
+            checkpoint = (
+                self.checkpointer.latest() if self.checkpointer else None
+            )
+            lost = network.gateway.restart(checkpoint)
+            self._record(
+                "gateway_restarted",
+                phase="finalize",
+                lost_uplink=lost[0],
+                lost_downlink=lost[1],
+            )
+        if not network.ofcs.available:
+            network.ofcs.restore()
+            self._record("ofcs_restored", phase="finalize")
+        if self.checkpointer is not None:
+            self.checkpointer.cancel()
+
+    # -- per-kind arming -----------------------------------------------
+
+    def _arm_gateway_crash(
+        self, spec: FaultSpec, loop: EventLoop, network: LteNetwork
+    ) -> None:
+        period = float(spec.param("checkpoint_period", 5.0))
+        if self.checkpointer is None and period > 0:
+            self.checkpointer = CounterCheckpointer(
+                loop, network.gateway, period
+            )
+
+        def crash() -> None:
+            network.gateway.crash()
+            self._record("gateway_crashed", intensity=spec.intensity)
+
+        loop.schedule_at(spec.at, crash, label="fault-gw-crash")
+        if spec.duration > 0:
+
+            def restart() -> None:
+                checkpoint = (
+                    self.checkpointer.latest()
+                    if self.checkpointer is not None
+                    else None
+                )
+                lost = network.gateway.restart(checkpoint)
+                self._record(
+                    "gateway_restarted",
+                    phase="scheduled",
+                    lost_uplink=lost[0],
+                    lost_downlink=lost[1],
+                )
+
+            loop.schedule_at(spec.end, restart, label="fault-gw-restart")
+
+    def _arm_ofcs_outage(
+        self,
+        spec: FaultSpec,
+        index: int,
+        loop: EventLoop,
+        rngs: RngStreams,
+        network: LteNetwork,
+    ) -> None:
+        if self.delivery is None:
+            # Rewire CDR delivery through the spool-and-retry channel so
+            # records emitted during the outage survive it.
+            self.delivery = ReliableCdrDelivery(
+                loop,
+                network.gateway,
+                network.ofcs,
+                rng=rngs.stream(
+                    "faults", self.plan.name, "cdr-retry", str(index)
+                ),
+            )
+
+        def go_dark() -> None:
+            network.ofcs.go_dark()
+            self._record("ofcs_dark", intensity=spec.intensity)
+
+        loop.schedule_at(spec.at, go_dark, label="fault-ofcs-dark")
+        if spec.duration > 0:
+
+            def restore() -> None:
+                network.ofcs.restore()
+                self._record("ofcs_restored", phase="scheduled")
+
+            loop.schedule_at(
+                spec.end, restore, label="fault-ofcs-restore"
+            )
+
+    def _arm_signaling(
+        self,
+        spec: FaultSpec,
+        index: int,
+        loop: EventLoop,
+        rngs: RngStreams,
+        network: LteNetwork,
+    ) -> None:
+        """Drop COUNTER CHECK responses inside the fault window.
+
+        The negotiation-phase signaling faults (CDR/CDA/PoC) are played
+        separately by :mod:`repro.faults.scenario`, which reads the same
+        spec; here the fault bites the in-cycle RRC exchange.
+        """
+        drop_rate = float(spec.param("drop_rate", spec.intensity))
+        rng = rngs.stream(
+            "faults", self.plan.name, "counter-check", str(index)
+        )
+        start, end = spec.at, spec.end
+        enodeb = network.enodeb
+
+        def filt(response: Any) -> Any:
+            now = loop.now
+            if not (start <= now < end):
+                return response
+            if rng.random() < drop_rate:
+                self.counter_check_drops += 1
+                return None
+            return response
+
+        enodeb.counter_check_filter = filt
+        self._record("signaling_armed", drop_rate=drop_rate)
+
+    def _arm_clock_step(self, spec: FaultSpec) -> None:
+        party = spec.param("party", "operator")
+        if party not in self.clocks:
+            raise ValueError(
+                f"unknown clock party {party!r}; choose from "
+                f"{sorted(self.clocks)}"
+            )
+        clock = self.clocks[party]
+        clock.step(
+            at=spec.at,
+            seconds=float(spec.param("step", spec.intensity)),
+            skew_ppm=float(spec.param("skew_ppm", 0.0)),
+        )
+        if spec.duration > 0:
+            clock.resync(spec.end)
+        self._record(
+            "clock_stepped",
+            party=party,
+            step=float(spec.param("step", spec.intensity)),
+        )
+
+    # -- result harvesting ---------------------------------------------
+
+    def recovery_stats(self) -> dict[str, Any]:
+        """Picklable recovery counters for the fault-scenario result."""
+        network = self._network
+        stats: dict[str, Any] = {
+            "checkpoints_taken": (
+                self.checkpointer.checkpoints_taken
+                if self.checkpointer is not None
+                else 0
+            ),
+            "cdr_delivery": (
+                self.delivery.stats() if self.delivery is not None else None
+            ),
+            "counter_check_drops": self.counter_check_drops,
+            "clocks": {
+                party: clock.as_dict()
+                for party, clock in self.clocks.items()
+            },
+        }
+        if network is not None:
+            stats["gateway"] = {
+                "crashes": network.gateway.crashes,
+                "fault_uncounted_uplink": network.gateway.fault_uncounted_uplink,
+                "fault_uncounted_downlink": (
+                    network.gateway.fault_uncounted_downlink
+                ),
+                "cdr_bytes_lost_in_crash": (
+                    network.gateway.cdr_bytes_lost_in_crash
+                ),
+                "crash_dropped_bytes": network.gateway.crash_dropped_bytes,
+            }
+            stats["ofcs"] = {
+                "refused_cdrs": network.ofcs.refused_cdrs,
+                "deduplicated_cdrs": network.ofcs.deduplicated_cdrs,
+            }
+            stats["enodeb"] = {
+                "counter_check_retries": (
+                    network.enodeb.counter_check_retries
+                ),
+                "counter_check_failures": (
+                    network.enodeb.counter_check_failures
+                ),
+            }
+        return stats

@@ -1,0 +1,203 @@
+"""Fault-tolerant negotiation: Figure 7 over a lossy signaling plane.
+
+:func:`repro.core.protocol_sim.run_negotiation_simulated` assumes a
+reliable link; this runner plays the same :class:`NegotiationAgent`
+state machines over a :class:`~repro.faults.signaling.FaultySignalingLink`
+with the recovery mechanics a real deployment needs:
+
+- **retransmission**: a sender re-sends its last message on an
+  exponential-backoff timer (:class:`~repro.faults.recovery.RetryPolicy`)
+  until the peer makes progress or the budget runs out;
+- **idempotent dedup**: each receiver remembers every message it has
+  processed by wire identity (:func:`repro.core.protocol.message_key`)
+  and answers redeliveries by replaying the cached reply — the state
+  machine is driven at most once per distinct message, so duplicates
+  and retransmissions cannot corrupt the bound contraction;
+- **deadline**: the run is bounded; if the exchange has not converged
+  when the deadline fires the caller falls back to an out-of-band
+  channel (see :mod:`repro.faults.scenario`).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.messages import MessageError
+from repro.core.protocol import (
+    Message,
+    NegotiationAgent,
+    ProtocolError,
+    message_key,
+)
+from repro.faults.recovery import DedupCache, RetryPolicy
+from repro.faults.signaling import FaultySignalingLink
+from repro.sim.events import Event, EventLoop
+
+
+@dataclass
+class ReliableOutcome:
+    """What a fault-tolerant negotiation run produced."""
+
+    converged: bool
+    volume: float | None
+    elapsed: float
+    messages_sent: int
+    retransmissions: int
+    duplicates_suppressed: int
+    failure: str = ""
+
+    def as_dict(self) -> dict:
+        """Picklable form for campaign results."""
+        return {
+            "converged": self.converged,
+            "volume": self.volume,
+            "elapsed": self.elapsed,
+            "messages_sent": self.messages_sent,
+            "retransmissions": self.retransmissions,
+            "duplicates_suppressed": self.duplicates_suppressed,
+            "failure": self.failure,
+        }
+
+
+class _ReliableEndpoint:
+    """One party: agent + retransmission timer + dedup cache."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        agent: NegotiationAgent,
+        link: FaultySignalingLink,
+        policy: RetryPolicy,
+        rng: random.Random,
+        name: str,
+    ) -> None:
+        self.loop = loop
+        self.agent = agent
+        self.link = link
+        self.policy = policy
+        self.rng = rng
+        self.name = name
+        self.peer: "_ReliableEndpoint | None" = None
+        self.dedup = DedupCache()
+        self.messages_sent = 0
+        self.retransmissions = 0
+        self._last_sent: Message | None = None
+        self._attempt = 0
+        self._timer: Event | None = None
+        self.failed = ""
+
+    # -- sending -------------------------------------------------------
+
+    def send(self, message: Message) -> None:
+        """Transmit a fresh message and arm its retransmission timer.
+
+        A settled endpoint (its agent holds the PoC) expects no reply,
+        so it sends without a timer: if this final message is lost, the
+        peer's own retransmission triggers a dedup replay of it.
+        """
+        self._transmit(message)
+        if self.agent.poc is not None:
+            return
+        self._last_sent = message
+        self._attempt = 0
+        self._arm_timer()
+
+    def _transmit(self, message: Message) -> None:
+        assert self.peer is not None
+        self.messages_sent += 1
+        self.link.send(message, self.peer.receive)
+
+    def _arm_timer(self) -> None:
+        self._cancel_timer()
+        self._timer = self.loop.schedule_in(
+            self.policy.delay(self._attempt, self.rng),
+            self._retransmit,
+            label=f"{self.name}-rto",
+        )
+
+    def _cancel_timer(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    def _retransmit(self) -> None:
+        self._timer = None
+        if self._last_sent is None or self.failed:
+            return
+        if self.policy.exhausted(self._attempt):
+            return  # retry budget spent; the deadline decides the outcome
+        self._attempt += 1
+        self.retransmissions += 1
+        self._transmit(self._last_sent)
+        self._arm_timer()
+
+    # -- receiving -----------------------------------------------------
+
+    def receive(self, message: Message) -> None:
+        """Handle an arrival: dedup-replay or drive the state machine."""
+        key = message_key(message)
+        if key in self.dedup:
+            cached = self.dedup.replay(key)
+            if cached is not None:
+                # Our previous reply may have been lost; re-send the
+                # exact cached message (same wire bytes, same identity)
+                # rather than re-driving the agent.
+                self._transmit(cached)
+            return
+        # Fresh message: the peer has our last message, so stop
+        # retransmitting it.
+        self._cancel_timer()
+        self._last_sent = None
+        try:
+            reply = self.agent.handle(message)
+        except (ProtocolError, MessageError) as exc:
+            self.failed = str(exc)
+            self.dedup.remember(key, None)
+            return
+        self.dedup.remember(key, reply)
+        if reply is not None:
+            self.send(reply)
+
+
+def run_reliable_negotiation(
+    loop: EventLoop,
+    initiator: NegotiationAgent,
+    responder: NegotiationAgent,
+    link: FaultySignalingLink,
+    policy: RetryPolicy | None = None,
+    rng: random.Random | None = None,
+    deadline: float = 60.0,
+) -> ReliableOutcome:
+    """Run a negotiation to convergence or deadline over a faulty link."""
+    if deadline <= 0:
+        raise ValueError(f"deadline must be > 0: {deadline}")
+    policy = policy or RetryPolicy(
+        base_delay=0.2, max_delay=3.0, max_attempts=10
+    )
+    rng = rng or random.Random(0)
+    a = _ReliableEndpoint(loop, initiator, link, policy, rng, "initiator")
+    b = _ReliableEndpoint(loop, responder, link, policy, rng, "responder")
+    a.peer, b.peer = b, a
+
+    started = loop.now
+
+    def start() -> None:
+        a.send(initiator.start())
+
+    loop.schedule_in(0.0, start, label="reliable-negotiation-start")
+    loop.run(until=started + deadline)
+
+    poc = initiator.poc or responder.poc
+    failure = a.failed or b.failed
+    if poc is None and not failure:
+        failure = "deadline reached before convergence"
+    return ReliableOutcome(
+        converged=poc is not None,
+        volume=poc.volume if poc is not None else None,
+        elapsed=loop.now - started,
+        messages_sent=a.messages_sent + b.messages_sent,
+        retransmissions=a.retransmissions + b.retransmissions,
+        duplicates_suppressed=a.dedup.hits + b.dedup.hits,
+        failure=failure,
+    )

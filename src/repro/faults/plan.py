@@ -1,0 +1,248 @@
+"""Declarative fault plans: what breaks, when, and how hard.
+
+A :class:`FaultPlan` is the *configuration* of a fault campaign cell: a
+named, frozen, JSON-round-trippable list of :class:`FaultSpec` entries.
+The :class:`~repro.faults.injector.FaultInjector` turns a plan into
+scheduled events on the scenario's event loop; because the plan is part
+of the scenario config, it participates in the campaign cache key
+(:mod:`repro.experiments.confighash`) and two runs of the same
+(plan, seed) pair are byte-identical.
+
+Intensity is a single scalar knob per fault so grids stay 2-D
+(kind x intensity); kind-specific parameters ride in ``params``.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Sequence
+
+
+class FaultKind(enum.Enum):
+    """The fault taxonomy (DESIGN.md §7)."""
+
+    #: S/P-GW process crash: volatile charging counters wiped; recovery
+    #: is restart + restore from the latest periodic checkpoint.
+    GATEWAY_CRASH = "gateway_crash"
+    #: OFCS outage: CDR ingestion refuses deliveries; recovery is
+    #: spool-and-retry with exponential backoff.
+    OFCS_OUTAGE = "ofcs_outage"
+    #: Signaling-plane faults: drop/duplicate/reorder on the COUNTER
+    #: CHECK and CDR/CDA/PoC exchanges; recovery is retransmission with
+    #: backoff plus idempotent dedup by message identity.
+    SIGNALING = "signaling"
+    #: Clock step/skew against a party's NTP discipline; recovery is a
+    #: scheduled resync.
+    CLOCK_STEP = "clock_step"
+    #: Byzantine monitor: a counter source reports corrupted values
+    #: while armed; the negotiation bound contains the damage.
+    BYZANTINE_MONITOR = "byzantine_monitor"
+
+
+class FaultPlanError(ValueError):
+    """Raised on malformed plans (bad JSON, unknown kinds, bad times)."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault: kind, onset, duration, and intensity.
+
+    ``params`` is a tuple of ``(name, value)`` pairs — a frozen mapping,
+    so specs stay hashable and canonicalize deterministically in cache
+    keys.  ``duration <= 0`` means the fault persists to the end of the
+    run (recovery still happens in the post-run finalize step).
+    """
+
+    kind: FaultKind
+    at: float
+    duration: float = 0.0
+    intensity: float = 1.0
+    params: tuple[tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise FaultPlanError(f"fault onset must be >= 0: {self.at}")
+        if self.intensity < 0:
+            raise FaultPlanError(
+                f"fault intensity must be >= 0: {self.intensity}"
+            )
+
+    @property
+    def end(self) -> float:
+        """When the fault's recovery action fires (``inf`` if never)."""
+        if self.duration <= 0:
+            return float("inf")
+        return self.at + self.duration
+
+    def param(self, name: str, default: Any = None) -> Any:
+        """Look up one kind-specific parameter."""
+        for key, value in self.params:
+            if key == name:
+                return value
+        return default
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-able form."""
+        return {
+            "kind": self.kind.value,
+            "at": self.at,
+            "duration": self.duration,
+            "intensity": self.intensity,
+            "params": dict(self.params),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultSpec":
+        """Rebuild a spec from :meth:`as_dict` output."""
+        try:
+            kind = FaultKind(data["kind"])
+        except (KeyError, ValueError) as exc:
+            raise FaultPlanError(f"bad fault kind: {exc}") from exc
+        params = data.get("params", {})
+        if not isinstance(params, Mapping):
+            raise FaultPlanError(f"params must be a mapping: {params!r}")
+        return cls(
+            kind=kind,
+            at=float(data.get("at", 0.0)),
+            duration=float(data.get("duration", 0.0)),
+            intensity=float(data.get("intensity", 1.0)),
+            params=tuple(sorted(params.items())),
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A named, ordered collection of fault specs for one run."""
+
+    name: str = "no-faults"
+    faults: tuple[FaultSpec, ...] = field(default_factory=tuple)
+
+    @property
+    def empty(self) -> bool:
+        """True when the plan injects nothing (zero-overhead path)."""
+        return not self.faults
+
+    def kinds(self) -> set[FaultKind]:
+        """The distinct fault kinds this plan injects."""
+        return {spec.kind for spec in self.faults}
+
+    def of_kind(self, kind: FaultKind) -> tuple[FaultSpec, ...]:
+        """The specs of one kind, in plan order."""
+        return tuple(s for s in self.faults if s.kind is kind)
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-able form."""
+        return {
+            "name": self.name,
+            "faults": [spec.as_dict() for spec in self.faults],
+        }
+
+    def to_json(self) -> str:
+        """Serialize for ``--faults plan.json``."""
+        return json.dumps(self.as_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultPlan":
+        """Rebuild a plan from :meth:`as_dict` output."""
+        faults = data.get("faults", [])
+        if not isinstance(faults, Sequence) or isinstance(faults, str):
+            raise FaultPlanError(f"faults must be a list: {faults!r}")
+        return cls(
+            name=str(data.get("name", "unnamed")),
+            faults=tuple(FaultSpec.from_dict(entry) for entry in faults),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        """Parse a ``--faults`` JSON document."""
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise FaultPlanError(f"invalid fault-plan JSON: {exc}") from exc
+        if not isinstance(data, Mapping):
+            raise FaultPlanError("fault plan must be a JSON object")
+        return cls.from_dict(data)
+
+    @classmethod
+    def load(cls, path: str | os.PathLike) -> "FaultPlan":
+        """Read a plan file from disk."""
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_json(fh.read())
+
+
+def single_fault_plan(
+    kind: FaultKind,
+    intensity: float,
+    at: float = 15.0,
+    duration: float | None = None,
+) -> FaultPlan:
+    """One plan with one fault, with sensible kind-specific scaling.
+
+    The intensity knob maps onto each kind's natural severity axis:
+    crash/outage *length*, signaling loss *probability*, clock step
+    *seconds*, Byzantine inflation *fraction*.
+    """
+    if kind is FaultKind.GATEWAY_CRASH:
+        spec = FaultSpec(
+            kind=kind,
+            at=at,
+            duration=duration if duration is not None else 2.0 + 8.0 * intensity,
+            intensity=intensity,
+            params=(("checkpoint_period", 5.0),),
+        )
+    elif kind is FaultKind.OFCS_OUTAGE:
+        spec = FaultSpec(
+            kind=kind,
+            at=at,
+            duration=duration if duration is not None else 5.0 + 20.0 * intensity,
+            intensity=intensity,
+        )
+    elif kind is FaultKind.SIGNALING:
+        spec = FaultSpec(
+            kind=kind,
+            at=0.0,
+            duration=duration if duration is not None else 0.0,
+            intensity=min(0.9, intensity),
+            params=(
+                ("drop_rate", min(0.9, intensity)),
+                ("duplicate_rate", min(0.5, intensity / 2.0)),
+                ("reorder_rate", min(0.5, intensity / 2.0)),
+            ),
+        )
+    elif kind is FaultKind.CLOCK_STEP:
+        spec = FaultSpec(
+            kind=kind,
+            at=at,
+            duration=duration if duration is not None else 0.0,
+            intensity=intensity,
+            params=(("party", "operator"), ("step", 2.0 * intensity)),
+        )
+    elif kind is FaultKind.BYZANTINE_MONITOR:
+        spec = FaultSpec(
+            kind=kind,
+            at=at,
+            duration=duration if duration is not None else 0.0,
+            intensity=intensity,
+            params=(("mode", "inflate"), ("target", "rrc")),
+        )
+    else:  # pragma: no cover - exhaustive enum
+        raise FaultPlanError(f"unknown fault kind: {kind}")
+    return FaultPlan(
+        name=f"{kind.value}-i{intensity:g}", faults=(spec,)
+    )
+
+
+def fault_grid(
+    kinds: Iterable[FaultKind] = tuple(FaultKind),
+    intensities: Iterable[float] = (0.2, 0.5, 0.8),
+    at: float = 15.0,
+) -> list[FaultPlan]:
+    """The (kind x intensity) grid the fault campaign sweeps."""
+    return [
+        single_fault_plan(kind, intensity, at=at)
+        for kind in kinds
+        for intensity in intensities
+    ]

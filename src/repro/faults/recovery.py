@@ -1,0 +1,222 @@
+"""Recovery machinery: retries, dedup, and counter checkpointing.
+
+Every fault in :mod:`repro.faults.plan` pairs with a recovery mechanism
+here or in :mod:`repro.faults.negotiation`:
+
+- crash-restart ← periodic :class:`CounterCheckpointer` + restore;
+- OFCS outage ← :class:`ReliableCdrDelivery` (spool, exponential
+  backoff with seeded jitter, idempotent redelivery);
+- signaling loss ← :class:`RetryPolicy`-driven retransmission plus
+  :class:`DedupCache` (duplicate suppression by message identity).
+
+All timing randomness (jitter) comes from a named seeded stream, so a
+fault run is as byte-identical as a fault-free one.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable
+
+from repro import telemetry
+from repro.charging.cdr import ChargingDataRecord
+from repro.lte.gateway import ChargingGateway, GatewayCheckpoint
+from repro.lte.ofcs import OfflineChargingSystem
+from repro.sim.events import EventLoop, PeriodicEvent
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with full-range multiplicative jitter.
+
+    ``delay(n)`` for attempt ``n`` (0-based) is
+    ``min(max_delay, base_delay * multiplier**n)``, scaled by a jitter
+    factor uniform in ``[1 - jitter, 1 + jitter]`` when an RNG is given.
+    """
+
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.1
+    max_attempts: int = 12
+
+    def __post_init__(self) -> None:
+        if self.base_delay <= 0:
+            raise ValueError(f"base delay must be > 0: {self.base_delay}")
+        if self.multiplier < 1.0:
+            raise ValueError(
+                f"backoff multiplier must be >= 1: {self.multiplier}"
+            )
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1): {self.jitter}")
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max attempts must be >= 1: {self.max_attempts}"
+            )
+
+    def delay(self, attempt: int, rng: random.Random | None = None) -> float:
+        """Backoff before retry ``attempt`` (0-based), jittered."""
+        raw = min(self.max_delay, self.base_delay * self.multiplier**attempt)
+        if rng is not None and self.jitter:
+            raw *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return raw
+
+    def exhausted(self, attempt: int) -> bool:
+        """True when ``attempt`` (0-based) has no retries left."""
+        return attempt + 1 >= self.max_attempts
+
+
+class DedupCache:
+    """Idempotent message handling: remember each key's cached reply.
+
+    A receiver processes a message once, remembers the reply under the
+    message's identity, and answers any redelivery with the *same*
+    cached reply instead of re-driving its state machine — which both
+    suppresses duplicates and un-sticks a sender whose previous reply
+    was lost in flight.
+    """
+
+    def __init__(self) -> None:
+        self._replies: dict[Hashable, Any] = {}
+        self.hits = 0
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._replies
+
+    def __len__(self) -> int:
+        return len(self._replies)
+
+    def remember(self, key: Hashable, reply: Any) -> None:
+        """Record the reply produced for ``key`` (may be ``None``)."""
+        self._replies[key] = reply
+
+    def replay(self, key: Hashable) -> Any:
+        """The cached reply for a duplicate; counts the hit."""
+        self.hits += 1
+        return self._replies[key]
+
+
+class CounterCheckpointer:
+    """Periodically snapshot a gateway's volatile charging counters.
+
+    The restore path (:meth:`repro.lte.gateway.ChargingGateway.restart`)
+    uses :meth:`latest`; everything metered after that snapshot and
+    before the crash is what the fault ledger charges to the fault.
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        gateway: ChargingGateway,
+        period: float = 5.0,
+    ) -> None:
+        self.loop = loop
+        self.gateway = gateway
+        self.period = float(period)
+        self.checkpoints_taken = 0
+        self._latest: GatewayCheckpoint | None = None
+        self._task: PeriodicEvent = loop.schedule_every(
+            self.period, self._take, label="gw-checkpoint"
+        )
+
+    def _take(self) -> None:
+        if not self.gateway.alive:
+            return  # a crashed process cannot checkpoint itself
+        self._latest = self.gateway.checkpoint()
+        self.checkpoints_taken += 1
+
+    def latest(self) -> GatewayCheckpoint | None:
+        """The most recent snapshot (None before the first period)."""
+        return self._latest
+
+    def cancel(self) -> None:
+        """Stop checkpointing (scenario teardown)."""
+        self._task.cancel()
+
+
+class ReliableCdrDelivery:
+    """At-least-once CDR delivery from a gateway to the OFCS.
+
+    Replaces the direct ``gateway -> ofcs.ingest`` wiring: every emitted
+    CDR is spooled, submitted, and — when the OFCS refuses (outage) —
+    retried on an exponential-backoff schedule until acknowledged or the
+    retry budget runs out.  The OFCS deduplicates by
+    ``(charging_id, sequence_number)``, so redelivering an
+    already-recorded CDR (a retry whose ack raced the outage) is safe.
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        gateway: ChargingGateway,
+        ofcs: OfflineChargingSystem,
+        policy: RetryPolicy | None = None,
+        rng: random.Random | None = None,
+        deliver: Callable[[ChargingDataRecord], bool] | None = None,
+    ) -> None:
+        self.loop = loop
+        self.gateway = gateway
+        self.ofcs = ofcs
+        self.policy = policy or RetryPolicy(
+            base_delay=0.5, max_delay=8.0, max_attempts=30
+        )
+        self._rng = rng
+        self._deliver = deliver if deliver is not None else ofcs.ingest
+        self.spooled = 0
+        self.delivered = 0
+        self.retries = 0
+        self.abandoned = 0
+        self.abandoned_bytes = 0
+        self._telemetry = telemetry.current()
+        gateway.disconnect_cdr(ofcs.ingest)
+        gateway.on_cdr(self.submit)
+
+    @property
+    def unacked(self) -> int:
+        """CDRs spooled but neither delivered nor abandoned yet."""
+        return self.spooled - self.delivered - self.abandoned
+
+    def submit(self, record: ChargingDataRecord) -> None:
+        """Accept one CDR from the gateway and drive it to delivery."""
+        self.spooled += 1
+        self._attempt(record, 0)
+
+    def _attempt(self, record: ChargingDataRecord, attempt: int) -> None:
+        if self._deliver(record):
+            self.delivered += 1
+            return
+        tel = self._telemetry
+        if self.policy.exhausted(attempt):
+            self.abandoned += 1
+            self.abandoned_bytes += (
+                record.uplink_bytes + record.downlink_bytes
+            )
+            if tel is not None:
+                tel.inc("cdrs_abandoned", layer="cdr-delivery")
+                tel.event(
+                    "cdr-delivery",
+                    "abandoned",
+                    sequence=record.sequence_number,
+                    attempts=attempt + 1,
+                )
+            return
+        self.retries += 1
+        if tel is not None:
+            tel.inc("cdr_delivery_retries", layer="cdr-delivery")
+        self.loop.schedule_in(
+            self.policy.delay(attempt, self._rng),
+            lambda: self._attempt(record, attempt + 1),
+            label="cdr-retry",
+        )
+
+    def stats(self) -> dict[str, int]:
+        """Picklable delivery counters for result extras."""
+        return {
+            "spooled": self.spooled,
+            "delivered": self.delivered,
+            "retries": self.retries,
+            "abandoned": self.abandoned,
+            "abandoned_bytes": self.abandoned_bytes,
+            "unacked": self.unacked,
+        }

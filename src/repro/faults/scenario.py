@@ -1,0 +1,294 @@
+"""End-to-end fault scenarios: cycle + faults + recovery + settlement.
+
+One fault scenario = one charging cycle run with a
+:class:`~repro.faults.plan.FaultPlan` armed, followed by a
+fault-tolerant settlement:
+
+1. the cycle runs through :func:`repro.experiments.scenario.run_scenario`
+   with a :class:`~repro.faults.injector.FaultInjector` as hooks;
+2. both parties negotiate honestly from their (fault-distorted) views
+   over a :class:`~repro.faults.signaling.FaultySignalingLink`, with
+   retransmission + dedup (:mod:`repro.faults.negotiation`); if the
+   deadline passes unconverged, settlement falls back to the direct
+   out-of-band channel (the paper's synchronous exchange);
+3. the PoC goes through Algorithm 2 with a settlement window;
+4. the headline invariants are evaluated and returned with the result:
+   the settled charge lies between the two parties' claims, the
+   packet-path byte accounting reconciles exactly, and the crash fault
+   ledger closes (``billed == counted − fault_uncounted``).
+
+``run_fault_scenario`` is a module-level function of one picklable
+config, so fault grids run through the campaign engine with caching and
+process fan-out exactly like fault-free sweeps — under a *separate*
+runner id, so existing cache entries stay valid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from repro.charging.policy import charged_volume
+from repro.core.protocol import (
+    NegotiationAgent,
+    run_negotiation,
+)
+from repro.core.strategies import HonestStrategy, Role
+from repro.core.verifier import PublicVerifier
+from repro.crypto.nonces import NonceFactory
+from repro.crypto.rsa import generate_keypair
+from repro.experiments.scenario import ScenarioConfig, run_scenario
+from repro.faults.injector import FaultInjector
+from repro.faults.negotiation import run_reliable_negotiation
+from repro.faults.plan import FaultKind, FaultPlan
+from repro.faults.recovery import RetryPolicy
+from repro.faults.signaling import FaultySignalingLink
+from repro.sim.events import EventLoop
+from repro.sim.rng import RngStreams
+
+#: How long after the cycle end the verifier still accepts a PoC.
+DEFAULT_SETTLEMENT_WINDOW = 120.0
+#: Simulated deadline for the fault-tolerant negotiation phase.
+DEFAULT_NEGOTIATION_DEADLINE = 60.0
+
+
+@dataclass(frozen=True)
+class FaultScenarioConfig:
+    """One fault-campaign cell: a scenario config plus a fault plan."""
+
+    scenario: ScenarioConfig
+    plan: FaultPlan = field(default_factory=FaultPlan)
+
+
+@dataclass
+class FaultScenarioResult:
+    """Everything one fault scenario produced (picklable primitives)."""
+
+    plan_name: str
+    seed: int
+    app: str
+    #: Ground truth and party views (floats).
+    truth_sent: float
+    truth_received: float
+    edge_sent_estimate: float
+    edge_received_estimate: float
+    operator_sent_estimate: float
+    operator_received_estimate: float
+    legacy_charged: float
+    fair_volume: float
+    #: Injected fault/recovery timeline and recovery counters.
+    fault_timeline: list = field(default_factory=list)
+    recovery: dict = field(default_factory=dict)
+    #: Fault-tolerant negotiation outcome.
+    negotiation: dict = field(default_factory=dict)
+    #: Algorithm 2 verdict on the settled PoC.
+    verification: dict = field(default_factory=dict)
+    #: The headline bound: claims bracket the settled charge.
+    bound: dict = field(default_factory=dict)
+    #: Byte-accounting ledger checks.
+    ledger: dict = field(default_factory=dict)
+
+    @property
+    def settled(self) -> float:
+        """The settled charging volume."""
+        return float(self.bound.get("settled", 0.0))
+
+    @property
+    def bound_holds(self) -> bool:
+        """min(claims) <= settled <= max(claims)?"""
+        return bool(self.bound.get("holds", False))
+
+    @property
+    def reconciles(self) -> bool:
+        """Did the packet-path accounting reconcile exactly?"""
+        return bool(self.ledger.get("packet_reconciles", False))
+
+
+def _signaling_rates(plan: FaultPlan) -> dict[str, float]:
+    """Fold the plan's signaling specs into link fault rates."""
+    rates = {"drop_rate": 0.0, "duplicate_rate": 0.0, "reorder_rate": 0.0}
+    for spec in plan.of_kind(FaultKind.SIGNALING):
+        rates["drop_rate"] = max(
+            rates["drop_rate"], float(spec.param("drop_rate", spec.intensity))
+        )
+        rates["duplicate_rate"] = max(
+            rates["duplicate_rate"],
+            float(spec.param("duplicate_rate", spec.intensity / 2.0)),
+        )
+        rates["reorder_rate"] = max(
+            rates["reorder_rate"],
+            float(spec.param("reorder_rate", spec.intensity / 2.0)),
+        )
+    rates["drop_rate"] = min(0.9, rates["drop_rate"])
+    return rates
+
+
+def _gateway_ledger(recovery: dict, telemetry_record: dict | None) -> dict:
+    """Close the crash fault ledger from telemetry + recovery counters.
+
+    Checks the metering-vs-billing identity per direction:
+    ``billed == counted − fault_uncounted`` where ``counted`` is the
+    observer-side metering record (survives crashes) and
+    ``fault_uncounted`` is what restarts charged to the fault ledger.
+    """
+    checks: dict[str, Any] = {"packet_reconciles": None}
+    if telemetry_record is None:
+        return checks
+    accounting = telemetry_record.get("accounting", {})
+    checks["packet_reconciles"] = bool(accounting.get("reconciles", False))
+    checks["residual"] = float(accounting.get("residual", 0.0))
+    checks["fault_uncounted"] = dict(accounting.get("fault_uncounted", {}))
+    gw = recovery.get("gateway", {})
+    direction = telemetry_record.get("direction")
+    wiped = (
+        gw.get("fault_uncounted_uplink", 0)
+        if direction == "uplink"
+        else gw.get("fault_uncounted_downlink", 0)
+    )
+    # The accounting table's fault column and the gateway's own ledger
+    # must agree byte for byte.
+    table_wiped = checks["fault_uncounted"].get("gateway", 0.0)
+    checks["fault_ledger_consistent"] = float(wiped) == float(table_wiped)
+    return checks
+
+
+def run_fault_scenario(config: FaultScenarioConfig) -> FaultScenarioResult:
+    """Run one charging cycle under a fault plan, then settle it."""
+    # Telemetry is load-bearing here: the ledger checks read the
+    # accounting table, so metering is forced on for fault runs.
+    scenario_config = replace(config.scenario, telemetry=True)
+    injector = FaultInjector(config.plan)
+    result = run_scenario(scenario_config, hooks=injector)
+    recovery = injector.recovery_stats()
+
+    # ------------------------------------------------------------------
+    # Fault-tolerant settlement: honest parties negotiate from their own
+    # (fault-distorted) views over the lossy signaling plane.
+    plan = result.plan
+    rngs = RngStreams(scenario_config.seed)
+    edge_keys = generate_keypair(1024, rngs.stream("fault-edge-key"))
+    operator_keys = generate_keypair(1024, rngs.stream("fault-op-key"))
+
+    def build_agents() -> tuple[NegotiationAgent, NegotiationAgent]:
+        nonces = NonceFactory(
+            rngs.stream("fault-nonces", config.plan.name)
+        )
+        edge = NegotiationAgent(
+            role=Role.EDGE,
+            strategy=HonestStrategy(Role.EDGE, result.edge_view),
+            plan=plan,
+            private_key=edge_keys.private,
+            peer_public_key=operator_keys.public,
+            nonce_factory=nonces,
+        )
+        operator = NegotiationAgent(
+            role=Role.OPERATOR,
+            strategy=HonestStrategy(Role.OPERATOR, result.operator_view),
+            plan=plan,
+            private_key=operator_keys.private,
+            peer_public_key=edge_keys.public,
+            nonce_factory=nonces,
+        )
+        return edge, operator
+
+    rates = _signaling_rates(config.plan)
+    edge_agent, operator_agent = build_agents()
+    loop = EventLoop(start=plan.cycle.end)
+    link = FaultySignalingLink(
+        loop,
+        rngs.stream("fault-link", config.plan.name),
+        **rates,
+    )
+    outcome = run_reliable_negotiation(
+        loop,
+        edge_agent,
+        operator_agent,
+        link,
+        policy=RetryPolicy(base_delay=0.2, max_delay=3.0, max_attempts=10),
+        rng=rngs.stream("fault-backoff", config.plan.name),
+        deadline=DEFAULT_NEGOTIATION_DEADLINE,
+    )
+    negotiation: dict[str, Any] = outcome.as_dict()
+    negotiation["link"] = link.stats()
+    negotiation["fallback_used"] = False
+
+    poc = edge_agent.poc or operator_agent.poc
+    presented_at = loop.now
+    if poc is None:
+        # Escalation path: the retry budget ran dry (e.g. near-total
+        # signaling loss), so the parties settle over the direct
+        # out-of-band channel with fresh agents.
+        edge_agent, operator_agent = build_agents()
+        fallback = run_negotiation(edge_agent, operator_agent)
+        poc = fallback.poc
+        negotiation["fallback_used"] = True
+        negotiation["converged"] = fallback.converged
+        negotiation["volume"] = fallback.volume
+
+    # ------------------------------------------------------------------
+    # Algorithm 2, with the settlement window enforced.
+    verifier = PublicVerifier(settlement_window=DEFAULT_SETTLEMENT_WINDOW)
+    if poc is not None:
+        verdict = verifier.verify(
+            poc,
+            plan,
+            edge_keys.public,
+            operator_keys.public,
+            presented_at=presented_at,
+        )
+        verification = {"ok": verdict.ok, "reason": verdict.reason}
+    else:  # pragma: no cover - fallback always converges for honest agents
+        verification = {"ok": False, "reason": "no PoC produced"}
+
+    # ------------------------------------------------------------------
+    # The headline bound: x between the claims embedded in the PoC.
+    if poc is not None:
+        edge_claim, operator_claim = sorted(
+            (poc.cda.volume, poc.cda.peer_cdr.volume)
+        )
+        settled = poc.volume
+        recomputed = charged_volume(
+            poc.cda.peer_cdr.volume, poc.cda.volume, plan.c
+        )
+        slack = 1e-9 * max(1.0, abs(settled))
+        bound = {
+            "lower": edge_claim,
+            "upper": operator_claim,
+            "settled": settled,
+            "holds": (
+                edge_claim - slack <= settled <= operator_claim + slack
+            ),
+            "matches_formula": abs(settled - recomputed) <= slack,
+        }
+    else:  # pragma: no cover - see above
+        bound = {
+            "lower": 0.0,
+            "upper": 0.0,
+            "settled": 0.0,
+            "holds": False,
+            "matches_formula": False,
+        }
+
+    ledger = _gateway_ledger(
+        recovery, result.extras.get("telemetry")
+    )
+
+    return FaultScenarioResult(
+        plan_name=config.plan.name,
+        seed=scenario_config.seed,
+        app=scenario_config.app,
+        truth_sent=result.truth.sent,
+        truth_received=result.truth.received,
+        edge_sent_estimate=result.edge_view.sent_estimate,
+        edge_received_estimate=result.edge_view.received_estimate,
+        operator_sent_estimate=result.operator_view.sent_estimate,
+        operator_received_estimate=result.operator_view.received_estimate,
+        legacy_charged=result.legacy_charged,
+        fair_volume=result.fair_volume,
+        fault_timeline=list(injector.timeline),
+        recovery=recovery,
+        negotiation=negotiation,
+        verification=verification,
+        bound=bound,
+        ledger=ledger,
+    )

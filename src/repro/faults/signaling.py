@@ -1,0 +1,115 @@
+"""A faulty signaling channel: drop, duplicate, and reorder messages.
+
+The negotiation's CDR/CDA/PoC exchange (and in principle any signaling
+RPC) runs over this link in fault scenarios.  Each transmission draws
+from the link's *own* seeded stream — one uniform per fault axis, in a
+fixed order — so the fault pattern is a pure function of (seed, message
+sequence) and fault runs stay byte-identical.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable
+
+from repro import telemetry
+from repro.sim.events import EventLoop
+
+Receive = Callable[[Any], None]
+
+
+class FaultySignalingLink:
+    """Message transport with seeded drop/duplicate/reorder faults.
+
+    Parameters
+    ----------
+    drop_rate:
+        Probability a transmission vanishes.
+    duplicate_rate:
+        Probability a delivered transmission arrives twice.
+    reorder_rate:
+        Probability a delivered transmission is held back by
+        ``reorder_delay`` extra seconds (overtaken by later messages).
+    base_delay:
+        One-way propagation delay of the healthy link.
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        rng: random.Random,
+        drop_rate: float = 0.0,
+        duplicate_rate: float = 0.0,
+        reorder_rate: float = 0.0,
+        base_delay: float = 0.02,
+        reorder_delay: float = 0.25,
+    ) -> None:
+        for name, rate in (
+            ("drop_rate", drop_rate),
+            ("duplicate_rate", duplicate_rate),
+            ("reorder_rate", reorder_rate),
+        ):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]: {rate}")
+        if base_delay < 0 or reorder_delay < 0:
+            raise ValueError("delays must be >= 0")
+        self.loop = loop
+        self._rng = rng
+        self.drop_rate = float(drop_rate)
+        self.duplicate_rate = float(duplicate_rate)
+        self.reorder_rate = float(reorder_rate)
+        self.base_delay = float(base_delay)
+        self.reorder_delay = float(reorder_delay)
+        self.sent = 0
+        self.dropped = 0
+        self.duplicated = 0
+        self.reordered = 0
+        self.delivered = 0
+        self._telemetry = telemetry.current()
+
+    def send(self, message: Any, receive: Receive) -> None:
+        """Transmit one message toward ``receive``, applying faults.
+
+        Exactly three uniforms are drawn per send (drop, reorder,
+        duplicate — in that order), whatever the outcome, so the draw
+        sequence never depends on earlier verdicts.
+        """
+        self.sent += 1
+        rng = self._rng
+        drop = rng.random() < self.drop_rate
+        reorder = rng.random() < self.reorder_rate
+        duplicate = rng.random() < self.duplicate_rate
+        tel = self._telemetry
+        if drop:
+            self.dropped += 1
+            if tel is not None:
+                tel.inc("signaling_dropped", layer="signaling")
+            return
+        delay = self.base_delay
+        if reorder:
+            self.reordered += 1
+            delay += self.reorder_delay
+            if tel is not None:
+                tel.inc("signaling_reordered", layer="signaling")
+        self._deliver(message, receive, delay)
+        if duplicate:
+            self.duplicated += 1
+            if tel is not None:
+                tel.inc("signaling_duplicated", layer="signaling")
+            self._deliver(message, receive, delay + self.base_delay)
+
+    def _deliver(self, message: Any, receive: Receive, delay: float) -> None:
+        self.delivered += 1
+        self.loop.schedule_in(
+            delay, lambda: receive(message), label="signaling-rx"
+        )
+
+    def stats(self) -> dict[str, int]:
+        """Picklable link counters for result extras."""
+        return {
+            "sent": self.sent,
+            "dropped": self.dropped,
+            "duplicated": self.duplicated,
+            "reordered": self.reordered,
+            "delivered": self.delivered,
+        }

@@ -33,6 +33,10 @@ from repro.sim.events import EventLoop
 CounterReportSink = Callable[[str, CounterCheckResponse], None]
 RlfSink = Callable[[str], None]
 Deliver = Callable[[Packet], None]
+#: Fault hook on the RRC COUNTER CHECK exchange: receives each response
+#: and returns it (possibly transformed) or ``None`` to model the
+#: signaling message being lost, which triggers a retry.
+CounterCheckFilter = Callable[[CounterCheckResponse], "CounterCheckResponse | None"]
 
 # Hoisted enum member: the demux test runs once per packet.
 _DOWNLINK = Direction.DOWNLINK
@@ -67,6 +71,13 @@ class ENodeB:
         self.counter_check_messages = 0
         self.releases = 0
         self.rlf_events = 0
+        # Fault surface: an injector installs a filter to drop/transform
+        # COUNTER CHECK responses; the eNodeB retries the check (fresh
+        # transaction id each time, per TS 36.331) up to max_attempts.
+        self.counter_check_filter: CounterCheckFilter | None = None
+        self.counter_check_max_attempts = 3
+        self.counter_check_retries = 0
+        self.counter_check_failures = 0
         self._telemetry = telemetry.current()
         # Last COUNTER CHECK totals, for reporting per-check deltas.
         self._last_reported_uplink = 0
@@ -177,15 +188,41 @@ class ENodeB:
             )
         return response
 
-    def run_counter_check(self) -> CounterCheckResponse:
-        """Query the UE modem's per-bearer counters (TS 36.331 §5.3.6)."""
-        request = CounterCheckRequest(
-            transaction_id=next(self._transaction_ids),
-            bearer_ids=(self.ue.bearer.bearer_id,),
-        )
-        response = self.ue.modem.counter_check(request)
-        self.counter_check_messages += 1
+    def run_counter_check(self) -> CounterCheckResponse | None:
+        """Query the UE modem's per-bearer counters (TS 36.331 §5.3.6).
+
+        When a :data:`counter_check_filter` is installed (fault
+        injection), a dropped response is retried with a fresh
+        transaction id, up to :attr:`counter_check_max_attempts`.
+        Returns ``None`` only when every attempt was lost — the operator
+        then simply keeps its previous (stale) counter record.
+        """
         tel = self._telemetry
+        response: CounterCheckResponse | None = None
+        for attempt in range(max(1, self.counter_check_max_attempts)):
+            request = CounterCheckRequest(
+                transaction_id=next(self._transaction_ids),
+                bearer_ids=(self.ue.bearer.bearer_id,),
+            )
+            raw = self.ue.modem.counter_check(request)
+            self.counter_check_messages += 1
+            filt = self.counter_check_filter
+            response = raw if filt is None else filt(raw)
+            if response is not None:
+                break
+            self.counter_check_retries += 1
+            if tel is not None:
+                tel.inc("counter_check_retries", layer="enodeb")
+        if response is None:
+            self.counter_check_failures += 1
+            if tel is not None:
+                tel.inc("counter_check_failures", layer="enodeb")
+                tel.event(
+                    "enodeb",
+                    "counter_check_lost",
+                    attempts=self.counter_check_max_attempts,
+                )
+            return None
         if tel is not None:
             uplink = response.uplink_total()
             downlink = response.downlink_total()

@@ -19,6 +19,7 @@ It periodically emits Trace-1-style CDRs to the OFCS.
 from __future__ import annotations
 
 import itertools
+from dataclasses import dataclass
 from typing import Callable
 
 from repro import telemetry
@@ -29,6 +30,26 @@ from repro.sim.events import EventLoop
 
 Deliver = Callable[[Packet], None]
 CdrSink = Callable[[ChargingDataRecord], None]
+
+
+@dataclass(frozen=True)
+class GatewayCheckpoint:
+    """A durable snapshot of the gateway's volatile charging counters.
+
+    What a production S/P-GW would persist to stable storage: the
+    cumulative charged volumes and the open CDR interval.  The CDR
+    sequence counter is *not* here — 3GPP gateways persist it
+    independently so post-restart CDRs never reuse sequence numbers,
+    and this reproduction follows that convention.
+    """
+
+    taken_at: float
+    charged_uplink_bytes: int
+    charged_downlink_bytes: int
+    interval_uplink: int
+    interval_downlink: int
+    interval_first_usage: float | None
+    interval_last_usage: float | None
 
 _charging_ids = itertools.count(0)
 
@@ -70,6 +91,27 @@ class ChargingGateway:
         # Traffic refused while detached (never charged).
         self.blocked_packets = 0
         self.blocked_bytes = 0
+        # Observer-side CDR ledger: bytes that left in emitted CDRs.
+        # Never wiped by a crash (it describes records already on the
+        # wire), so `counted == cdr_emitted + interval_pending +
+        # cdr_bytes_lost_in_crash` holds across restarts.
+        self.cdr_emitted_uplink_bytes = 0
+        self.cdr_emitted_downlink_bytes = 0
+        # Packets dropped on the floor while crashed.
+        self.crash_dropped_packets = 0
+        self.crash_dropped_bytes = 0
+        # Crash-fault state: a crashed gateway drops all traffic and its
+        # volatile counters are wiped; restart() optionally restores them
+        # from a GatewayCheckpoint.  The *_fault_uncounted totals track
+        # metered bytes lost from the billing record by crashes, and
+        # cdr_bytes_lost_in_crash tracks open-interval bytes that will
+        # never reach a CDR — both are the fault ledger columns the
+        # accounting layer reconciles against.
+        self.alive = True
+        self.crashes = 0
+        self.fault_uncounted_uplink = 0
+        self.fault_uncounted_downlink = 0
+        self.cdr_bytes_lost_in_crash = 0
         self._telemetry = telemetry.current()
 
         if self.cdr_period > 0:
@@ -92,6 +134,14 @@ class ChargingGateway:
         """Subscribe to emitted CDRs (the OFCS does)."""
         self._cdr_sinks.append(sink)
 
+    def disconnect_cdr(self, sink: CdrSink) -> None:
+        """Detach a CDR sink (fault scenarios rewire the OFCS through a
+        reliable-delivery channel instead of the direct call).  A sink
+        that was never wired is a no-op, so the rewiring is idempotent.
+        """
+        if sink in self._cdr_sinks:
+            self._cdr_sinks.remove(sink)
+
     # ------------------------------------------------------------------
     # session state (driven by the MME)
 
@@ -102,6 +152,114 @@ class ChargingGateway:
     def attach(self) -> None:
         """Resume forwarding and charging."""
         self.attached = True
+
+    # ------------------------------------------------------------------
+    # crash faults and recovery
+
+    def checkpoint(self) -> GatewayCheckpoint:
+        """Snapshot the volatile charging counters to stable storage."""
+        return GatewayCheckpoint(
+            taken_at=self.loop.now,
+            charged_uplink_bytes=self.charged_uplink_bytes,
+            charged_downlink_bytes=self.charged_downlink_bytes,
+            interval_uplink=self._interval_uplink,
+            interval_downlink=self._interval_downlink,
+            interval_first_usage=self._interval_first_usage,
+            interval_last_usage=self._interval_last_usage,
+        )
+
+    def crash(self) -> None:
+        """Crash the gateway process: volatile counter state is wiped.
+
+        While down, every arriving packet is dropped (fault ledger cause
+        ``crash``), no CDRs are emitted, and the charging counters read
+        zero.  :meth:`restart` brings the gateway back, optionally
+        restoring a :class:`GatewayCheckpoint`; the gap between the
+        pre-crash counters and whatever the checkpoint restores is
+        recorded as fault-uncounted bytes.
+        """
+        if not self.alive:
+            return
+        self.alive = False
+        self.crashes += 1
+        self._pre_crash = (
+            self.charged_uplink_bytes,
+            self.charged_downlink_bytes,
+            self._interval_uplink,
+            self._interval_downlink,
+        )
+        self.charged_uplink_bytes = 0
+        self.charged_downlink_bytes = 0
+        self._interval_uplink = 0
+        self._interval_downlink = 0
+        self._interval_first_usage = None
+        self._interval_last_usage = None
+        tel = self._telemetry
+        if tel is not None:
+            tel.inc("gateway_crashes", layer="gateway")
+            tel.event(
+                "gateway",
+                "crash",
+                lost_uplink=self._pre_crash[0],
+                lost_downlink=self._pre_crash[1],
+            )
+
+    def restart(
+        self, checkpoint: GatewayCheckpoint | None = None
+    ) -> tuple[int, int]:
+        """Restart a crashed gateway, restoring ``checkpoint`` if given.
+
+        Returns ``(uplink, downlink)`` bytes lost from the billing
+        record — the metered tail between the checkpoint and the crash —
+        which is also accumulated in :attr:`fault_uncounted_uplink` /
+        :attr:`fault_uncounted_downlink` and published to the telemetry
+        fault ledger (``bytes_fault_uncounted``).
+        """
+        if self.alive:
+            return (0, 0)
+        pre_up, pre_dn, pre_int_up, pre_int_dn = self._pre_crash
+        if checkpoint is not None:
+            self.charged_uplink_bytes = checkpoint.charged_uplink_bytes
+            self.charged_downlink_bytes = checkpoint.charged_downlink_bytes
+            self._interval_uplink = checkpoint.interval_uplink
+            self._interval_downlink = checkpoint.interval_downlink
+            self._interval_first_usage = checkpoint.interval_first_usage
+            self._interval_last_usage = checkpoint.interval_last_usage
+        lost_up = max(0, pre_up - self.charged_uplink_bytes)
+        lost_dn = max(0, pre_dn - self.charged_downlink_bytes)
+        lost_int = max(0, pre_int_up - self._interval_uplink) + max(
+            0, pre_int_dn - self._interval_downlink
+        )
+        self.fault_uncounted_uplink += lost_up
+        self.fault_uncounted_downlink += lost_dn
+        self.cdr_bytes_lost_in_crash += lost_int
+        self.alive = True
+        tel = self._telemetry
+        if tel is not None:
+            if lost_up:
+                tel.inc(
+                    "bytes_fault_uncounted",
+                    lost_up,
+                    layer="gateway",
+                    direction="uplink",
+                )
+            if lost_dn:
+                tel.inc(
+                    "bytes_fault_uncounted",
+                    lost_dn,
+                    layer="gateway",
+                    direction="downlink",
+                )
+            tel.inc("gateway_restarts", layer="gateway")
+            tel.event(
+                "gateway",
+                "restart",
+                restored_from_checkpoint=checkpoint is not None,
+                lost_uplink=lost_up,
+                lost_downlink=lost_dn,
+                cdr_bytes_lost=lost_int,
+            )
+        return (lost_up, lost_dn)
 
     # ------------------------------------------------------------------
     # data path
@@ -138,6 +296,18 @@ class ChargingGateway:
                 layer="gateway",
                 direction=packet.direction.value,
             )
+        if not self.alive:
+            self.crash_dropped_packets += 1
+            self.crash_dropped_bytes += packet.size
+            if tel is not None:
+                tel.inc(
+                    "bytes_dropped",
+                    packet.size,
+                    layer="gateway",
+                    direction=packet.direction.value,
+                    cause="crash",
+                )
+            return False
         if self.attached:
             return True
         self.blocked_packets += 1
@@ -186,7 +356,13 @@ class ChargingGateway:
         )
 
     def flush_cdr(self) -> ChargingDataRecord | None:
-        """Emit a CDR for the accumulated interval, if any usage occurred."""
+        """Emit a CDR for the accumulated interval, if any usage occurred.
+
+        A crashed gateway emits nothing (the periodic timer keeps
+        rescheduling, it just finds no process to flush).
+        """
+        if not self.alive:
+            return None
         if self._interval_first_usage is None:
             return None
         record = ChargingDataRecord(
@@ -204,6 +380,8 @@ class ChargingGateway:
         self._interval_downlink = 0
         self._interval_first_usage = None
         self._interval_last_usage = None
+        self.cdr_emitted_uplink_bytes += record.uplink_bytes
+        self.cdr_emitted_downlink_bytes += record.downlink_bytes
         tel = self._telemetry
         if tel is not None:
             tel.inc("cdrs_emitted", layer="gateway")

@@ -37,16 +37,64 @@ class OfflineChargingSystem:
     def __init__(self) -> None:
         self._usage: dict[str, SubscriberUsage] = defaultdict(SubscriberUsage)
         self.received_cdrs = 0
+        # Outage fault: while dark the OFCS acknowledges nothing, so a
+        # reliable delivery channel must spool and retry.
+        self.available = True
+        self.refused_cdrs = 0
+        # Idempotent ingest: a CDR is identified by (charging_id,
+        # sequence_number); redelivery (a retry whose ack was lost) is
+        # acknowledged without double-counting.
+        self.deduplicated_cdrs = 0
+        self._seen: set[tuple[int, int]] = set()
         self._telemetry = telemetry.current()
 
-    def ingest(self, record: ChargingDataRecord) -> None:
-        """Accept one CDR from a gateway."""
+    def go_dark(self) -> None:
+        """Enter an outage: refuse (and never record) incoming CDRs."""
+        self.available = False
+        tel = self._telemetry
+        if tel is not None:
+            tel.event("ofcs", "outage_start")
+
+    def restore(self) -> None:
+        """End the outage and accept CDRs again."""
+        self.available = True
+        tel = self._telemetry
+        if tel is not None:
+            tel.event("ofcs", "outage_end")
+
+    def ingest(self, record: ChargingDataRecord) -> bool:
+        """Accept one CDR from a gateway; return the delivery ack.
+
+        ``False`` means the OFCS is dark and the record was *not*
+        recorded — the sender must retry.  Duplicate deliveries of an
+        already-recorded CDR are acknowledged ``True`` without
+        re-aggregating (idempotent ingest).
+        """
+        tel = self._telemetry
+        if not self.available:
+            self.refused_cdrs += 1
+            if tel is not None:
+                tel.inc("cdrs_refused", layer="ofcs")
+                tel.inc(
+                    "bytes_dropped",
+                    record.uplink_bytes + record.downlink_bytes,
+                    layer="ofcs",
+                    direction="signaling",
+                    cause="ofcs_dark",
+                )
+            return False
+        key = (record.charging_id, record.sequence_number)
+        if key in self._seen:
+            self.deduplicated_cdrs += 1
+            if tel is not None:
+                tel.inc("cdrs_deduplicated", layer="ofcs")
+            return True
+        self._seen.add(key)
         usage = self._usage[record.served_imsi.digits]
         usage.uplink_bytes += record.uplink_bytes
         usage.downlink_bytes += record.downlink_bytes
         usage.records.append(record)
         self.received_cdrs += 1
-        tel = self._telemetry
         if tel is not None:
             tel.inc("cdrs_ingested", layer="ofcs")
             tel.inc(
@@ -61,6 +109,7 @@ class OfflineChargingSystem:
                 layer="ofcs",
                 direction="downlink",
             )
+        return True
 
     def usage_for(self, imsi_digits: str) -> SubscriberUsage:
         """Cumulative usage for one subscriber."""

@@ -1,0 +1,104 @@
+"""A Byzantine monitor: a counter source that lies while armed.
+
+Wraps any monitor exposing ``read_bytes()`` (and optionally
+``refresh()``) and corrupts its readings inside an armed window.  The
+point of injecting it is *negative*: Algorithm 1's settlement is always
+between the two parties' claims, so a Byzantine monitor shifts a claim
+but can never push the settled charge outside the claim interval — the
+property the fault suite asserts.
+
+Modes
+-----
+``inflate``  — readings scaled up by ``1 + intensity``.
+``deflate``  — readings scaled down by ``1 - intensity`` (floored at 0).
+``freeze``   — readings stuck at the value the monitor had when the
+fault armed (the counter stopped updating).
+``jitter``   — readings scaled by a seeded uniform in
+``[1 - intensity, 1 + intensity]`` per read.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Protocol
+
+from repro.sim.events import EventLoop
+
+MODES = ("inflate", "deflate", "freeze", "jitter")
+
+
+class ByteMonitor(Protocol):
+    """The minimal monitor surface the wrapper needs."""
+
+    def read_bytes(self) -> int | float: ...
+
+
+class ByzantineMonitor:
+    """Corrupt an inner monitor's readings inside an armed window."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        inner: ByteMonitor,
+        mode: str = "inflate",
+        intensity: float = 0.1,
+        armed_at: float = 0.0,
+        disarmed_at: float = float("inf"),
+        rng: random.Random | None = None,
+    ) -> None:
+        if mode not in MODES:
+            raise ValueError(f"mode must be one of {MODES}: {mode!r}")
+        if intensity < 0:
+            raise ValueError(f"intensity must be >= 0: {intensity}")
+        if mode == "jitter" and rng is None:
+            raise ValueError("jitter mode needs a seeded rng")
+        self.loop = loop
+        self.inner = inner
+        self.mode = mode
+        self.intensity = float(intensity)
+        self.armed_at = float(armed_at)
+        self.disarmed_at = float(disarmed_at)
+        self._rng = rng
+        self.corrupted_reads = 0
+        self._frozen: float | None = None
+        if mode == "freeze":
+            # Capture the stuck-at value the moment the fault arms.
+            loop.schedule_at(
+                self.armed_at, self._capture, label="byzantine-freeze"
+            )
+
+    def _capture(self) -> None:
+        self._frozen = float(self.inner.read_bytes())
+
+    @property
+    def armed(self) -> bool:
+        """Is the fault active at the loop's current time?"""
+        return self.armed_at <= self.loop.now < self.disarmed_at
+
+    def refresh(self) -> None:
+        """Delegate to the inner monitor when it supports refreshing."""
+        refresh = getattr(self.inner, "refresh", None)
+        if refresh is not None:
+            refresh()
+
+    def read_bytes(self) -> float:
+        """The (possibly corrupted) reading."""
+        value = float(self.inner.read_bytes())
+        if not self.armed:
+            return value
+        self.corrupted_reads += 1
+        if self.mode == "inflate":
+            return value * (1.0 + self.intensity)
+        if self.mode == "deflate":
+            return max(0.0, value * (1.0 - self.intensity))
+        if self.mode == "freeze":
+            return self._frozen if self._frozen is not None else value
+        # jitter
+        assert self._rng is not None
+        factor = 1.0 + self.intensity * (2.0 * self._rng.random() - 1.0)
+        return max(0.0, value * factor)
+
+    def __getattr__(self, name: str) -> Any:
+        # Monitors expose auxiliary attributes (direction, counters);
+        # pass anything we don't override through to the inner monitor.
+        return getattr(self.inner, name)

@@ -71,6 +71,46 @@ class Event:
         )
 
 
+class PeriodicEvent:
+    """A self-rescheduling timer created by :meth:`EventLoop.schedule_every`.
+
+    Each firing schedules the next one, so cancellation takes effect at
+    the next tick boundary with O(1) work (the underlying one-shot event
+    is lazily deleted like any other cancelled entry).
+    """
+
+    __slots__ = ("loop", "period", "callback", "label", "cancelled", "_event")
+
+    def __init__(
+        self,
+        loop: "EventLoop",
+        period: float,
+        callback: Callable[[], Any],
+        label: str = "",
+    ) -> None:
+        self.loop = loop
+        self.period = period
+        self.callback = callback
+        self.label = label
+        self.cancelled = False
+        self._event: Event | None = None
+
+    def _arm(self, at: float) -> None:
+        self._event = self.loop.schedule_at(at, self._fire, label=self.label)
+
+    def _fire(self) -> None:
+        if self.cancelled:
+            return
+        self._arm(self.loop.clock._now + self.period)
+        self.callback()
+
+    def cancel(self) -> None:
+        """Stop all future firings."""
+        self.cancelled = True
+        if self._event is not None:
+            self._event.cancel()
+
+
 class EventLoop:
     """A minimal priority-queue event scheduler with a simulated clock."""
 
@@ -174,6 +214,30 @@ class EventLoop:
             self._queue,
             (self.clock._now + delay, next(self._sequence), None, callback, args),
         )
+
+    def schedule_every(
+        self,
+        period: float,
+        callback: Callable[[], Any],
+        label: str = "",
+        start_after: float | None = None,
+    ) -> "PeriodicEvent":
+        """Schedule ``callback`` every ``period`` seconds, cancellable.
+
+        The scheduling hook used by periodic maintenance work — gateway
+        counter checkpointing, fault-injection supervision — that must
+        not accumulate per-tick handles at call sites.  The first firing
+        happens after ``start_after`` seconds (default: one period).
+        Cancelling the returned handle stops all future firings.
+        """
+        if period <= 0:
+            raise SimulationError(f"non-positive period: {period}")
+        handle = PeriodicEvent(self, float(period), callback, label)
+        delay = period if start_after is None else start_after
+        if delay < 0:
+            raise SimulationError(f"negative start delay: {delay}")
+        handle._arm(self.clock._now + delay)
+        return handle
 
     def pending(self) -> int:
         """Number of live (non-cancelled) events still queued."""

@@ -51,6 +51,15 @@ class ChunkedRandom:
         rng: random.Random,
         block_size: int = DEFAULT_BLOCK_SIZE,
     ) -> None:
+        # A float block size would silently truncate in the list refill
+        # and a non-positive one would make every draw refill forever, so
+        # both are rejected loudly (bool is excluded: True == 1 is a type
+        # confusion, not a usable block size).
+        if isinstance(block_size, bool) or not isinstance(block_size, int):
+            raise ValueError(
+                f"block size must be an int, got "
+                f"{type(block_size).__name__}: {block_size!r}"
+            )
         if block_size < 1:
             raise ValueError(f"block size must be >= 1: {block_size}")
         self._rng = rng

@@ -18,7 +18,15 @@ Counting-point conventions (all counters, all in bytes):
   (``congestion``, ``rss_loss``, ``buffer_overflow``, ``sla_expired``,
   ``quota_throttle``, ``detached``, ``link_loss``),
 - ``bytes_counted{layer, direction, ...}`` — at the metering points
-  (``gateway``, ``ue_modem``, ``ue_os``, ``ue_app``, ``ofcs``).
+  (``gateway``, ``ue_modem``, ``ue_os``, ``ue_app``, ``ofcs``),
+- ``bytes_fault_uncounted{layer, direction}`` — the fault ledger column:
+  bytes that crossed a metering point but vanished from the *party's*
+  billing record because a crash fault wiped volatile counter state
+  (:meth:`repro.lte.gateway.ChargingGateway.crash`).  The telemetry
+  counters themselves are observer-side and survive the crash, so the
+  packet-path identity still reconciles exactly; this column is what
+  reconciles the metering record with the billing record:
+  ``billed == counted − fault_uncounted``.
 
 A layer's loss contribution is its dropped bytes plus its in-flight
 residue ``bytes_in − bytes_out − dropped`` (bytes scheduled for delivery
@@ -119,6 +127,9 @@ class AccountingTable:
     counted: float
     received: float
     rows: list[LayerAccount] = field(default_factory=list)
+    #: Fault ledger column: per-meter bytes wiped from the billing record
+    #: by crash faults (empty when no fault plan ran).
+    fault_uncounted: dict[str, float] = field(default_factory=dict)
 
     @property
     def losses_by_layer(self) -> dict[str, float]:
@@ -140,6 +151,25 @@ class AccountingTable:
         """True when every counted byte is accounted for exactly."""
         return self.residual == 0
 
+    def billed(self, meter: str) -> float:
+        """What ``meter``'s surviving billing record holds.
+
+        The metering identity counts bytes as they cross the meter; a
+        crash fault can wipe part of that record afterwards.  The billed
+        volume is therefore the counted volume minus the meter's fault
+        ledger column.
+        """
+        if meter == self.sender_layer:
+            counted = self.counted
+        elif meter == self.receiver_layer:
+            counted = self.received
+        else:
+            raise ValueError(
+                f"{meter!r} is not a metering layer of this table "
+                f"({self.sender_layer!r}/{self.receiver_layer!r})"
+            )
+        return counted - self.fault_uncounted.get(meter, 0.0)
+
     def as_dict(self) -> dict[str, Any]:
         """JSON-able form (what campaign results persist)."""
         return {
@@ -149,6 +179,7 @@ class AccountingTable:
             "counted": self.counted,
             "received": self.received,
             "rows": [row.as_dict() for row in self.rows],
+            "fault_uncounted": dict(self.fault_uncounted),
             "total_losses": self.total_losses,
             "residual": self.residual,
             "reconciles": self.reconciles,
@@ -172,6 +203,7 @@ class AccountingTable:
                 )
                 for row in data["rows"]
             ],
+            fault_uncounted=dict(data.get("fault_uncounted", {})),
         )
 
 
@@ -209,6 +241,14 @@ def build_accounting(
             )
         )
 
+    fault_uncounted: dict[str, float] = {}
+    for meter in (sender_layer, receiver_layer):
+        wiped = index.total(
+            "bytes_fault_uncounted", layer=meter, direction=direction
+        )
+        if wiped:
+            fault_uncounted[meter] = wiped
+
     return AccountingTable(
         direction=direction,
         sender_layer=sender_layer,
@@ -220,4 +260,5 @@ def build_accounting(
             "bytes_counted", layer=receiver_layer, direction=direction
         ),
         rows=rows,
+        fault_uncounted=fault_uncounted,
     )

@@ -6,6 +6,12 @@ parties snapshot their counters at slightly different true times, which is
 the dominant source of the record errors in Figure 18.
 """
 
+from repro.timesync.discipline import ClockFaultSegment, DisciplinedClock
 from repro.timesync.ntp import NtpModel, SyncedParty
 
-__all__ = ["NtpModel", "SyncedParty"]
+__all__ = [
+    "ClockFaultSegment",
+    "DisciplinedClock",
+    "NtpModel",
+    "SyncedParty",
+]

@@ -1,0 +1,124 @@
+"""Clock discipline under step/skew faults, and its recovery.
+
+:class:`~repro.timesync.ntp.NtpModel` draws the *residual* offset of a
+well-behaved NTP client.  Production clocks also fail abruptly: a VM
+migration or a misbehaving upstream stratum *steps* the clock by whole
+seconds, and a thermal event changes the oscillator *skew* until the
+next synchronization round pulls the clock back.  :class:`DisciplinedClock`
+models both as piecewise-constant perturbations on top of the residual
+offset, with an explicit recovery action (:meth:`resync`) that the fault
+injector schedules just as it schedules the fault itself.
+
+The model is deliberately a pure function of (residual, fault segments):
+``offset_at(t)`` can be evaluated for any reference time without driving
+an event loop, which is what keeps fault scenarios byte-identical across
+runs — the charging-cycle boundary under a clock fault is simply
+``boundary - offset_at(boundary)`` (same first-order convention as the
+fault-free scenario path).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True)
+class ClockFaultSegment:
+    """One step/skew perturbation active on ``[start, end)``.
+
+    ``end`` is ``inf`` until a resync closes the segment.
+    """
+
+    start: float
+    end: float
+    step: float        # seconds added to the offset
+    skew_ppm: float    # extra drift while the segment is active
+
+    def offset_at(self, t: float) -> float:
+        """This segment's contribution to the offset at reference ``t``.
+
+        Zero after ``end``: the resync that closed the segment stepped
+        the clock back, removing the perturbation.
+        """
+        if t < self.start or t >= self.end:
+            return 0.0
+        return self.step + self.skew_ppm * 1e-6 * (t - self.start)
+
+
+class DisciplinedClock:
+    """A party clock: NTP residual offset plus injectable fault segments.
+
+    Parameters
+    ----------
+    residual_offset:
+        The post-sync offset an :class:`~repro.timesync.ntp.NtpModel`
+        drew for this party (seconds, signed).
+    """
+
+    def __init__(self, residual_offset: float = 0.0) -> None:
+        self.residual_offset = float(residual_offset)
+        self._segments: list[ClockFaultSegment] = []
+        self.steps_injected = 0
+        self.resyncs = 0
+
+    def step(
+        self, at: float, seconds: float, skew_ppm: float = 0.0
+    ) -> ClockFaultSegment:
+        """Inject a step (and optional skew) fault starting at ``at``.
+
+        The perturbation persists until :meth:`resync` closes it — an
+        unsynchronized clock does not heal itself.
+        """
+        segment = ClockFaultSegment(
+            start=float(at), end=float("inf"),
+            step=float(seconds), skew_ppm=float(skew_ppm),
+        )
+        self._segments.append(segment)
+        self.steps_injected += 1
+        return segment
+
+    def resync(self, at: float) -> float:
+        """NTP re-disciplines the clock at ``at``: close open segments.
+
+        Returns the total perturbation removed (the correction NTP
+        applied), which recovery telemetry records.
+        """
+        corrected = 0.0
+        closed: list[ClockFaultSegment] = []
+        for segment in self._segments:
+            if segment.end > at >= segment.start:
+                corrected += segment.offset_at(at)
+                closed.append(segment)
+        for segment in closed:
+            self._segments.remove(segment)
+            self._segments.append(
+                ClockFaultSegment(
+                    start=segment.start, end=float(at),
+                    step=segment.step, skew_ppm=segment.skew_ppm,
+                )
+            )
+        self.resyncs += 1
+        return corrected
+
+    def offset_at(self, t: float) -> float:
+        """Total clock offset (residual + active faults) at reference ``t``."""
+        return self.residual_offset + sum(
+            segment.offset_at(t) for segment in self._segments
+        )
+
+    def boundary_in_reference_time(self, boundary: float) -> float:
+        """When this party actually snapshots a cycle ``boundary``.
+
+        Same first-order convention as the fault-free scenario: a clock
+        running ahead by ``offset`` acts ``offset`` seconds early.
+        """
+        return boundary - self.offset_at(boundary)
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-able summary (for fault-scenario result extras)."""
+        return {
+            "residual_offset": self.residual_offset,
+            "steps_injected": self.steps_injected,
+            "resyncs": self.resyncs,
+        }

@@ -1,0 +1,208 @@
+"""Protocol edge cases under faults: duplicates, late PoCs, empty cycles.
+
+The timeout/retransmission edge cases the fault subsystem has to get
+right: a duplicated final CDA must not corrupt or double-drive the
+state machine, a PoC presented after the verifier's settlement window
+must be rejected, and a zero-byte session must still settle cleanly
+over a retrying link.
+"""
+
+import random
+
+import pytest
+
+from repro.charging.cycle import ChargingCycle
+from repro.core.plan import DataPlan
+from repro.core.protocol import (
+    NegotiationAgent,
+    ProtocolError,
+    run_negotiation,
+)
+from repro.core.records import UsageView
+from repro.core.strategies import HonestStrategy, Role
+from repro.core.verifier import PublicVerifier
+from repro.crypto.nonces import NonceFactory
+from repro.faults.negotiation import run_reliable_negotiation
+from repro.faults.recovery import RetryPolicy
+from repro.faults.signaling import FaultySignalingLink
+from repro.sim.events import EventLoop
+
+MB = 1_000_000
+
+
+def make_plan(c=0.5, end=3600.0):
+    return DataPlan(
+        cycle=ChargingCycle(index=0, start=0.0, end=end), loss_weight=c
+    )
+
+
+def make_agents(
+    edge_keys, operator_keys, sent=1000 * MB, received=930 * MB, seed=1
+):
+    plan = make_plan()
+    view = UsageView(sent_estimate=sent, received_estimate=received)
+    nonce_factory = NonceFactory(random.Random(seed))
+    edge = NegotiationAgent(
+        role=Role.EDGE,
+        strategy=HonestStrategy(Role.EDGE, view),
+        plan=plan,
+        private_key=edge_keys.private,
+        peer_public_key=operator_keys.public,
+        nonce_factory=nonce_factory,
+    )
+    operator = NegotiationAgent(
+        role=Role.OPERATOR,
+        strategy=HonestStrategy(Role.OPERATOR, view),
+        plan=plan,
+        private_key=operator_keys.private,
+        peer_public_key=edge_keys.public,
+        nonce_factory=nonce_factory,
+    )
+    return edge, operator
+
+
+class TestDuplicateCda:
+    def test_replaying_a_handled_message_raises_in_the_raw_agent(
+        self, edge_keys, operator_keys
+    ):
+        # Without dedup, a duplicated message is a protocol violation:
+        # the state machine has already advanced past it.
+        edge, operator = make_agents(edge_keys, operator_keys)
+        cdr = edge.start()
+        cda = operator.handle(cdr)
+        edge.handle(cda)
+        with pytest.raises(ProtocolError):
+            edge.handle(cda)
+
+    def test_duplicate_final_cda_is_absorbed_by_the_reliable_endpoint(
+        self, edge_keys, operator_keys
+    ):
+        # Over the reliable transport, a link that duplicates every
+        # message (including the final CDA) settles on the same volume
+        # as the duplicate-free exchange.
+        edge, operator = make_agents(edge_keys, operator_keys)
+        loop = EventLoop()
+        link = FaultySignalingLink(
+            loop, random.Random(9), duplicate_rate=1.0
+        )
+        outcome = run_reliable_negotiation(
+            loop, edge, operator, link, rng=random.Random(10)
+        )
+        assert outcome.converged
+        assert outcome.duplicates_suppressed > 0
+        ref_edge, ref_operator = make_agents(edge_keys, operator_keys)
+        reference = run_negotiation(ref_edge, ref_operator)
+        assert outcome.volume == reference.volume
+        assert edge.poc.to_bytes() == operator.poc.to_bytes()
+
+
+class TestLatePoc:
+    def make_poc(self, edge_keys, operator_keys):
+        edge, operator = make_agents(edge_keys, operator_keys)
+        run_negotiation(edge, operator)
+        return edge.poc
+
+    def test_poc_inside_the_window_verifies(
+        self, edge_keys, operator_keys
+    ):
+        poc = self.make_poc(edge_keys, operator_keys)
+        verifier = PublicVerifier(settlement_window=120.0)
+        result = verifier.verify(
+            poc,
+            make_plan(),
+            edge_keys.public,
+            operator_keys.public,
+            presented_at=3600.0 + 119.0,
+        )
+        assert result.ok
+        assert verifier.late_rejections == 0
+
+    def test_poc_after_the_window_is_rejected(
+        self, edge_keys, operator_keys
+    ):
+        poc = self.make_poc(edge_keys, operator_keys)
+        verifier = PublicVerifier(settlement_window=120.0)
+        result = verifier.verify(
+            poc,
+            make_plan(),
+            edge_keys.public,
+            operator_keys.public,
+            presented_at=3600.0 + 120.5,
+        )
+        assert not result.ok
+        assert "deadline" in result.reason
+        assert verifier.late_rejections == 1
+
+    def test_no_window_means_no_deadline(self, edge_keys, operator_keys):
+        poc = self.make_poc(edge_keys, operator_keys)
+        verifier = PublicVerifier()  # settlement_window=None
+        result = verifier.verify(
+            poc,
+            make_plan(),
+            edge_keys.public,
+            operator_keys.public,
+            presented_at=1e12,
+        )
+        assert result.ok
+
+    def test_no_presented_at_skips_the_check(
+        self, edge_keys, operator_keys
+    ):
+        poc = self.make_poc(edge_keys, operator_keys)
+        verifier = PublicVerifier(settlement_window=120.0)
+        result = verifier.verify(
+            poc, make_plan(), edge_keys.public, operator_keys.public
+        )
+        assert result.ok
+
+
+class TestZeroByteSession:
+    def test_empty_cycle_settles_to_zero_over_a_lossy_link(
+        self, edge_keys, operator_keys
+    ):
+        edge, operator = make_agents(
+            edge_keys, operator_keys, sent=0, received=0
+        )
+        loop = EventLoop()
+        link = FaultySignalingLink(
+            loop, random.Random(4), drop_rate=0.3, duplicate_rate=0.3
+        )
+        outcome = run_reliable_negotiation(
+            loop,
+            edge,
+            operator,
+            link,
+            policy=RetryPolicy(
+                base_delay=0.2, max_delay=3.0, max_attempts=10
+            ),
+            rng=random.Random(5),
+        )
+        assert outcome.converged
+        assert outcome.volume == 0
+        verifier = PublicVerifier(settlement_window=120.0)
+        # The negotiation ran after the hour-long cycle; well in window.
+        result = verifier.verify(
+            edge.poc,
+            make_plan(),
+            edge_keys.public,
+            operator_keys.public,
+            presented_at=3600.0 + loop.now,
+        )
+        assert result.ok
+
+    def test_zero_byte_retransmissions_do_not_invent_volume(
+        self, edge_keys, operator_keys
+    ):
+        edge, operator = make_agents(
+            edge_keys, operator_keys, sent=0, received=0
+        )
+        loop = EventLoop()
+        link = FaultySignalingLink(
+            loop, random.Random(11), duplicate_rate=1.0
+        )
+        outcome = run_reliable_negotiation(
+            loop, edge, operator, link, rng=random.Random(12)
+        )
+        assert outcome.converged
+        assert outcome.volume == 0
+        assert edge.poc.volume == 0

@@ -53,6 +53,11 @@ def doubler(value: int) -> int:
     return 2 * value
 
 
+def exploder(_config) -> None:
+    """Module-level always-failing runner (picklable by reference)."""
+    raise RuntimeError("worker cell died")
+
+
 def sleepy_doubler(config: tuple[int, float]) -> int:
     """Doubles ``config[0]`` after sleeping ``config[1]`` seconds."""
     value, delay = config
@@ -218,6 +223,71 @@ class TestFailureSemantics:
         with pytest.raises(RuntimeError, match="scenario exploded"):
             CampaignEngine(workers=1).run_tasks(
                 [CampaignTask(fn=boom, config=None)]
+            )
+
+    def test_failure_surfaces_runner_and_config_hash(self):
+        from repro.experiments.campaign import CampaignTaskError
+
+        def boom(_config):
+            raise RuntimeError("scenario exploded")
+
+        task = CampaignTask(fn=boom, config={"seed": 9})
+        with pytest.raises(CampaignTaskError) as excinfo:
+            CampaignEngine(workers=1).run_tasks([task])
+        error = excinfo.value
+        assert error.config_hash == task.key()
+        assert error.config_hash[:16] in str(error)
+        assert "RuntimeError" in str(error)
+        assert "scenario exploded" in str(error)
+
+    def test_fail_fast_false_records_and_continues(self):
+        def maybe_boom(value):
+            if value == 2:
+                raise ValueError("bad cell")
+            return 2 * value
+
+        engine = CampaignEngine(workers=1, fail_fast=False)
+        results = engine.run_tasks(
+            [
+                CampaignTask(fn=maybe_boom, config=v)
+                for v in (1, 2, 3)
+            ]
+        )
+        assert results == [2, None, 6]
+        assert len(engine.last_failures) == 1
+        failure = engine.last_failures[0]
+        assert failure.index == 1
+        assert "ValueError" in str(failure)
+
+    def test_failures_are_never_cached(self, tmp_path):
+        calls = []
+
+        def flaky_once(value):
+            calls.append(value)
+            if len(calls) == 1:
+                raise RuntimeError("transient")
+            return 2 * value
+
+        engine = CampaignEngine(
+            workers=1, cache_dir=tmp_path, fail_fast=False
+        )
+        assert engine.run_tasks(
+            [CampaignTask(fn=flaky_once, config=5)]
+        ) == [None]
+        # The failed attempt must not have been stored: a rerun executes
+        # the task again and succeeds.
+        assert engine.run_tasks(
+            [CampaignTask(fn=flaky_once, config=5)]
+        ) == [10]
+        assert engine.last_failures == []
+
+    def test_parallel_path_fails_fast_too(self):
+        from repro.experiments.campaign import CampaignTaskError
+
+        engine = CampaignEngine(workers=2)
+        with pytest.raises(CampaignTaskError, match="worker cell died"):
+            engine.run_tasks(
+                [CampaignTask(fn=exploder, config=i) for i in range(4)]
             )
 
     def test_worker_count_is_clamped_to_at_least_one(self):

@@ -1,0 +1,57 @@
+"""The fault-tolerance campaign driver and its report."""
+
+from repro.experiments import fault_tolerance
+from repro.experiments.campaign import CampaignEngine
+from repro.faults.plan import FaultKind, single_fault_plan
+
+
+class TestFaultCampaign:
+    def test_explicit_plans_run_per_seed(self):
+        plan = single_fault_plan(FaultKind.CLOCK_STEP, 0.5)
+        results = fault_tolerance.fault_campaign(
+            plans=[plan], seeds=(1, 2), cycle_duration=8.0
+        )
+        assert [r.plan_name for r in results] == [plan.name, plan.name]
+        assert [r.seed for r in results] == [1, 2]
+        assert all(r.bound_holds for r in results)
+
+    def test_default_plans_include_the_no_fault_baseline(self):
+        plans = fault_tolerance.default_plans(intensities=(0.5,))
+        assert plans[0].empty
+        assert len(plans) == 1 + len(FaultKind)
+
+    def test_plan_override_replaces_the_grid(self):
+        plan = single_fault_plan(FaultKind.OFCS_OUTAGE, 0.3)
+        fault_tolerance.set_plan_override(plan)
+        try:
+            results = fault_tolerance.fault_campaign(
+                seeds=(1,), cycle_duration=8.0
+            )
+        finally:
+            fault_tolerance.set_plan_override(None)
+        assert [r.plan_name for r in results] == [plan.name]
+
+    def test_engine_parameter_is_honored(self):
+        engine = CampaignEngine(workers=1)
+        plan = single_fault_plan(FaultKind.GATEWAY_CRASH, 0.2)
+        fault_tolerance.fault_campaign(
+            plans=[plan], seeds=(1,), cycle_duration=8.0, engine=engine
+        )
+        assert engine.snapshot_totals().executed == 1
+
+
+class TestReport:
+    def test_report_renders_guarantee_columns(self):
+        plan = single_fault_plan(FaultKind.SIGNALING, 0.5)
+        results = fault_tolerance.fault_campaign(
+            plans=[plan], seeds=(1,), cycle_duration=8.0
+        )
+        report = fault_tolerance.render_fault_report(results)
+        assert plan.name in report
+        assert "bound" in report and "reconciled" in report
+        assert "1/1 cells ran" in report
+
+    def test_report_counts_failed_cells(self):
+        report = fault_tolerance.render_fault_report([None])
+        assert "1 FAILED" in report
+        assert "0/1 cells ran" in report

@@ -1,0 +1,182 @@
+"""The fault injector: arming, timeline, validation, finalize recovery."""
+
+import pytest
+
+from repro.experiments.scenario import ScenarioConfig, run_scenario
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    single_fault_plan,
+)
+
+
+def run_with(plan, seed=3, cycle_duration=15.0):
+    config = ScenarioConfig(
+        app="webcam-udp",
+        seed=seed,
+        cycle_duration=cycle_duration,
+        telemetry=True,
+    )
+    injector = FaultInjector(plan)
+    result = run_scenario(config, hooks=injector)
+    return injector, result
+
+
+def actions(injector):
+    return [entry["action"] for entry in injector.timeline]
+
+
+class TestGatewayCrash:
+    def test_crash_and_scheduled_restart_are_recorded(self):
+        injector, _ = run_with(
+            single_fault_plan(FaultKind.GATEWAY_CRASH, 0.5, at=5.0)
+        )
+        seen = actions(injector)
+        assert "gateway_crashed" in seen
+        assert "gateway_restarted" in seen
+        assert injector.recovery_stats()["gateway"]["crashes"] == 1
+
+    def test_persistent_crash_restarts_in_finalize(self):
+        plan = FaultPlan(
+            name="crash-forever",
+            faults=(
+                FaultSpec(
+                    kind=FaultKind.GATEWAY_CRASH,
+                    at=5.0,
+                    duration=0.0,  # persists past the horizon
+                    params=(("checkpoint_period", 2.0),),
+                ),
+            ),
+        )
+        injector, _ = run_with(plan)
+        restart = [
+            e
+            for e in injector.timeline
+            if e["action"] == "gateway_restarted"
+        ]
+        assert restart and restart[0]["phase"] == "finalize"
+
+    def test_checkpointing_limits_the_loss(self):
+        with_cp = single_fault_plan(FaultKind.GATEWAY_CRASH, 0.5, at=10.0)
+        without_cp = FaultPlan(
+            name="crash-no-checkpoint",
+            faults=(
+                FaultSpec(
+                    kind=FaultKind.GATEWAY_CRASH,
+                    at=10.0,
+                    duration=4.0 + 2.0,
+                    params=(("checkpoint_period", 0.0),),
+                ),
+            ),
+        )
+        inj_cp, _ = run_with(with_cp)
+        inj_raw, _ = run_with(without_cp)
+        lost_cp = inj_cp.recovery_stats()["gateway"]
+        lost_raw = inj_raw.recovery_stats()["gateway"]
+        assert inj_cp.recovery_stats()["checkpoints_taken"] >= 1
+        assert (
+            lost_cp["fault_uncounted_uplink"]
+            + lost_cp["fault_uncounted_downlink"]
+            < lost_raw["fault_uncounted_uplink"]
+            + lost_raw["fault_uncounted_downlink"]
+        )
+
+
+class TestOfcsOutage:
+    def test_outage_refuses_then_redelivers(self):
+        injector, _ = run_with(
+            single_fault_plan(FaultKind.OFCS_OUTAGE, 0.5, at=2.0),
+            cycle_duration=40.0,
+        )
+        stats = injector.recovery_stats()
+        assert "ofcs_dark" in actions(injector)
+        assert "ofcs_restored" in actions(injector)
+        delivery = stats["cdr_delivery"]
+        assert delivery is not None
+        assert delivery["unacked"] == 0  # everything eventually landed
+
+
+class TestClockStep:
+    def test_clock_step_records_party(self):
+        injector, _ = run_with(
+            single_fault_plan(FaultKind.CLOCK_STEP, 0.5, at=5.0)
+        )
+        stepped = [
+            e for e in injector.timeline if e["action"] == "clock_stepped"
+        ]
+        assert stepped and stepped[0]["party"] == "operator"
+
+    def test_unknown_clock_party_rejected(self):
+        plan = FaultPlan(
+            name="bad-party",
+            faults=(
+                FaultSpec(
+                    kind=FaultKind.CLOCK_STEP,
+                    at=1.0,
+                    params=(("party", "mars"),),
+                ),
+            ),
+        )
+        with pytest.raises(ValueError):
+            run_with(plan)
+
+
+class TestByzantine:
+    def test_byzantine_monitor_inflates_a_view(self):
+        injector, faulted = run_with(
+            single_fault_plan(FaultKind.BYZANTINE_MONITOR, 0.8, at=0.0),
+            cycle_duration=20.0,
+        )
+        _, clean = run_with(FaultPlan(), cycle_duration=20.0)
+        assert "byzantine_armed" in actions(injector)
+        # The corrupted RRC counter feeds the operator's sent estimate;
+        # inflation must push it above the clean run's, while the edge's
+        # own view stays untouched.
+        assert (
+            faulted.operator_view.sent_estimate
+            > clean.operator_view.sent_estimate
+        )
+        assert faulted.edge_view == clean.edge_view
+
+    def test_unknown_byzantine_target_rejected(self):
+        plan = FaultPlan(
+            name="bad-target",
+            faults=(
+                FaultSpec(
+                    kind=FaultKind.BYZANTINE_MONITOR,
+                    at=0.0,
+                    params=(("target", "nonexistent"),),
+                ),
+            ),
+        )
+        with pytest.raises(ValueError):
+            run_with(plan)
+
+
+class TestSignaling:
+    def test_counter_check_drops_inside_window(self):
+        plan = FaultPlan(
+            name="rrc-blackout",
+            faults=(
+                FaultSpec(
+                    kind=FaultKind.SIGNALING,
+                    at=0.0,
+                    intensity=1.0,
+                    params=(("drop_rate", 1.0),),
+                ),
+            ),
+        )
+        injector, _ = run_with(plan, cycle_duration=30.0)
+        assert injector.counter_check_drops > 0
+        stats = injector.recovery_stats()["enodeb"]
+        assert stats["counter_check_retries"] > 0
+
+
+class TestZeroOverhead:
+    def test_empty_plan_runs_clean(self):
+        injector, result = run_with(FaultPlan())
+        assert injector.timeline == []
+        assert injector.recovery_stats()["gateway"]["crashes"] == 0
+        assert result.extras["telemetry"]["accounting"]["reconciles"]

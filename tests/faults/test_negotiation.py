@@ -1,0 +1,153 @@
+"""Fault-tolerant negotiation over a lossy signaling plane."""
+
+import random
+
+import pytest
+
+from repro.charging.cycle import ChargingCycle
+from repro.core.plan import DataPlan
+from repro.core.protocol import NegotiationAgent, run_negotiation
+from repro.core.records import UsageView
+from repro.core.strategies import HonestStrategy, OptimalStrategy, Role
+from repro.crypto.nonces import NonceFactory
+from repro.faults.negotiation import run_reliable_negotiation
+from repro.faults.recovery import RetryPolicy
+from repro.faults.signaling import FaultySignalingLink
+from repro.sim.events import EventLoop
+
+MB = 1_000_000
+
+
+def make_plan(c=0.5):
+    return DataPlan(
+        cycle=ChargingCycle(index=0, start=0.0, end=3600.0), loss_weight=c
+    )
+
+
+def make_agents(edge_keys, operator_keys, seed=1, honest=True):
+    plan = make_plan()
+    view = UsageView(sent_estimate=1000 * MB, received_estimate=930 * MB)
+    strategy = HonestStrategy if honest else OptimalStrategy
+    nonce_factory = NonceFactory(random.Random(seed))
+    edge = NegotiationAgent(
+        role=Role.EDGE,
+        strategy=strategy(Role.EDGE, view),
+        plan=plan,
+        private_key=edge_keys.private,
+        peer_public_key=operator_keys.public,
+        nonce_factory=nonce_factory,
+    )
+    operator = NegotiationAgent(
+        role=Role.OPERATOR,
+        strategy=strategy(Role.OPERATOR, view),
+        plan=plan,
+        private_key=operator_keys.private,
+        peer_public_key=edge_keys.public,
+        nonce_factory=nonce_factory,
+    )
+    return edge, operator
+
+
+def run_over_link(edge_keys, operator_keys, seed=1, deadline=60.0, **rates):
+    edge, operator = make_agents(edge_keys, operator_keys, seed=seed)
+    loop = EventLoop()
+    link = FaultySignalingLink(loop, random.Random(seed), **rates)
+    outcome = run_reliable_negotiation(
+        loop,
+        edge,
+        operator,
+        link,
+        policy=RetryPolicy(base_delay=0.2, max_delay=3.0, max_attempts=10),
+        rng=random.Random(seed + 1),
+        deadline=deadline,
+    )
+    return outcome, edge, operator
+
+
+class TestHealthyLink:
+    def test_converges_with_no_retransmissions(
+        self, edge_keys, operator_keys
+    ):
+        outcome, edge, operator = run_over_link(edge_keys, operator_keys)
+        assert outcome.converged
+        assert outcome.retransmissions == 0
+        assert outcome.duplicates_suppressed == 0
+        assert edge.poc is not None and operator.poc is not None
+        assert edge.poc.to_bytes() == operator.poc.to_bytes()
+
+    def test_volume_matches_synchronous_exchange(
+        self, edge_keys, operator_keys
+    ):
+        outcome, _, _ = run_over_link(edge_keys, operator_keys)
+        edge, operator = make_agents(edge_keys, operator_keys)
+        sync = run_negotiation(edge, operator)
+        assert outcome.volume == sync.volume
+
+
+class TestLossyLink:
+    def test_drops_are_recovered_by_retransmission(
+        self, edge_keys, operator_keys
+    ):
+        outcome, edge, operator = run_over_link(
+            edge_keys, operator_keys, seed=3, drop_rate=0.3
+        )
+        assert outcome.converged
+        assert edge.poc.to_bytes() == operator.poc.to_bytes()
+
+    def test_duplicates_are_suppressed_not_reprocessed(
+        self, edge_keys, operator_keys
+    ):
+        outcome, edge, operator = run_over_link(
+            edge_keys, operator_keys, seed=2, duplicate_rate=1.0
+        )
+        assert outcome.converged
+        assert outcome.duplicates_suppressed > 0
+        # The duplicate deliveries must not corrupt the agreed volume.
+        fresh_edge, fresh_operator = make_agents(edge_keys, operator_keys)
+        sync = run_negotiation(fresh_edge, fresh_operator)
+        assert outcome.volume == sync.volume
+
+    def test_reordering_does_not_break_the_state_machine(
+        self, edge_keys, operator_keys
+    ):
+        outcome, _, _ = run_over_link(
+            edge_keys, operator_keys, seed=4, reorder_rate=0.5
+        )
+        assert outcome.converged
+
+    def test_total_loss_hits_the_deadline(self, edge_keys, operator_keys):
+        outcome, edge, operator = run_over_link(
+            edge_keys, operator_keys, drop_rate=1.0, deadline=20.0
+        )
+        assert not outcome.converged
+        assert outcome.volume is None
+        assert "deadline" in outcome.failure
+        assert edge.poc is None and operator.poc is None
+
+    def test_same_seed_is_deterministic(self, edge_keys, operator_keys):
+        a, _, _ = run_over_link(
+            edge_keys,
+            operator_keys,
+            seed=7,
+            drop_rate=0.3,
+            duplicate_rate=0.2,
+        )
+        b, _, _ = run_over_link(
+            edge_keys,
+            operator_keys,
+            seed=7,
+            drop_rate=0.3,
+            duplicate_rate=0.2,
+        )
+        assert a.as_dict() == b.as_dict()
+
+
+class TestApi:
+    def test_nonpositive_deadline_rejected(self, edge_keys, operator_keys):
+        edge, operator = make_agents(edge_keys, operator_keys)
+        loop = EventLoop()
+        link = FaultySignalingLink(loop, random.Random(1))
+        with pytest.raises(ValueError):
+            run_reliable_negotiation(
+                loop, edge, operator, link, deadline=0.0
+            )

@@ -1,0 +1,119 @@
+"""Fault plans: validation, JSON round-trips, and the campaign grid."""
+
+import pytest
+
+from repro.faults.plan import (
+    FaultKind,
+    FaultPlan,
+    FaultPlanError,
+    FaultSpec,
+    fault_grid,
+    single_fault_plan,
+)
+
+
+class TestFaultSpec:
+    def test_negative_onset_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultSpec(kind=FaultKind.GATEWAY_CRASH, at=-1.0)
+
+    def test_negative_intensity_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultSpec(kind=FaultKind.SIGNALING, at=0.0, intensity=-0.1)
+
+    def test_zero_duration_persists_forever(self):
+        spec = FaultSpec(kind=FaultKind.GATEWAY_CRASH, at=10.0)
+        assert spec.end == float("inf")
+
+    def test_positive_duration_sets_recovery_time(self):
+        spec = FaultSpec(kind=FaultKind.OFCS_OUTAGE, at=10.0, duration=5.0)
+        assert spec.end == 15.0
+
+    def test_param_lookup_with_default(self):
+        spec = FaultSpec(
+            kind=FaultKind.CLOCK_STEP,
+            at=0.0,
+            params=(("party", "edge"), ("step", 3.0)),
+        )
+        assert spec.param("party") == "edge"
+        assert spec.param("step") == 3.0
+        assert spec.param("missing", 42) == 42
+
+    def test_dict_round_trip(self):
+        spec = FaultSpec(
+            kind=FaultKind.SIGNALING,
+            at=1.5,
+            duration=4.0,
+            intensity=0.3,
+            params=(("drop_rate", 0.25),),
+        )
+        assert FaultSpec.from_dict(spec.as_dict()) == spec
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultSpec.from_dict({"kind": "meteor_strike", "at": 0.0})
+
+    def test_non_mapping_params_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultSpec.from_dict(
+                {"kind": "signaling", "at": 0.0, "params": [1, 2]}
+            )
+
+
+class TestFaultPlan:
+    def test_default_plan_is_empty(self):
+        plan = FaultPlan()
+        assert plan.empty
+        assert plan.kinds() == set()
+
+    def test_json_round_trip(self):
+        plan = single_fault_plan(FaultKind.GATEWAY_CRASH, 0.5)
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_load_from_file(self, tmp_path):
+        plan = single_fault_plan(FaultKind.CLOCK_STEP, 0.8)
+        path = tmp_path / "plan.json"
+        path.write_text(plan.to_json(), encoding="utf-8")
+        assert FaultPlan.load(path) == plan
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan.from_json("{nope")
+
+    def test_non_object_json_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan.from_json("[1, 2, 3]")
+
+    def test_string_faults_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan.from_dict({"name": "x", "faults": "oops"})
+
+    def test_of_kind_filters_in_order(self):
+        a = FaultSpec(kind=FaultKind.SIGNALING, at=0.0)
+        b = FaultSpec(kind=FaultKind.CLOCK_STEP, at=1.0)
+        c = FaultSpec(kind=FaultKind.SIGNALING, at=2.0)
+        plan = FaultPlan(name="mixed", faults=(a, b, c))
+        assert plan.of_kind(FaultKind.SIGNALING) == (a, c)
+
+
+class TestGrid:
+    def test_grid_covers_all_kinds_and_intensities(self):
+        plans = fault_grid()
+        assert len(plans) == len(FaultKind) * 3
+        assert {p.faults[0].kind for p in plans} == set(FaultKind)
+
+    def test_plan_names_are_unique(self):
+        plans = fault_grid()
+        assert len({p.name for p in plans}) == len(plans)
+
+    def test_signaling_rates_capped(self):
+        plan = single_fault_plan(FaultKind.SIGNALING, 5.0)
+        spec = plan.faults[0]
+        assert spec.param("drop_rate") <= 0.9
+        assert spec.param("duplicate_rate") <= 0.5
+        assert spec.param("reorder_rate") <= 0.5
+
+    def test_intensity_scales_crash_duration(self):
+        mild = single_fault_plan(FaultKind.GATEWAY_CRASH, 0.2).faults[0]
+        harsh = single_fault_plan(FaultKind.GATEWAY_CRASH, 0.8).faults[0]
+        assert harsh.duration > mild.duration

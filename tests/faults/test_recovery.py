@@ -1,0 +1,241 @@
+"""Recovery machinery: backoff, dedup, checkpointing, CDR redelivery."""
+
+import random
+
+import pytest
+
+from repro.faults.recovery import (
+    CounterCheckpointer,
+    DedupCache,
+    ReliableCdrDelivery,
+    RetryPolicy,
+)
+from repro.lte.gateway import ChargingGateway
+from repro.lte.identifiers import subscriber_imsi
+from repro.lte.ofcs import OfflineChargingSystem
+from repro.net.packet import Direction, Packet
+from repro.sim.events import EventLoop
+
+
+def build_gateway(loop, cdr_period=0.0):
+    return ChargingGateway(loop, subscriber_imsi(1), cdr_period=cdr_period)
+
+
+def push(gw, uplink=0, downlink=0):
+    if uplink:
+        gw.forward_uplink(
+            Packet(size=uplink, flow="f", direction=Direction.UPLINK)
+        )
+    if downlink:
+        gw.forward_downlink(
+            Packet(size=downlink, flow="f", direction=Direction.DOWNLINK)
+        )
+
+
+class TestRetryPolicy:
+    def test_backoff_is_exponential_then_capped(self):
+        policy = RetryPolicy(
+            base_delay=1.0, multiplier=2.0, max_delay=5.0, jitter=0.0
+        )
+        assert policy.delay(0) == 1.0
+        assert policy.delay(1) == 2.0
+        assert policy.delay(2) == 4.0
+        assert policy.delay(3) == 5.0  # capped
+        assert policy.delay(10) == 5.0
+
+    def test_jitter_stays_in_band(self):
+        policy = RetryPolicy(
+            base_delay=1.0, multiplier=1.0, max_delay=1.0, jitter=0.2
+        )
+        rng = random.Random(3)
+        for attempt in range(50):
+            assert 0.8 <= policy.delay(attempt, rng) <= 1.2
+
+    def test_exhaustion(self):
+        policy = RetryPolicy(max_attempts=3)
+        assert not policy.exhausted(0)
+        assert not policy.exhausted(1)
+        assert policy.exhausted(2)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"base_delay": 0.0},
+            {"base_delay": -1.0},
+            {"multiplier": 0.5},
+            {"jitter": -0.1},
+            {"jitter": 1.0},
+            {"max_attempts": 0},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+
+class TestDedupCache:
+    def test_remember_and_replay(self):
+        cache = DedupCache()
+        cache.remember(b"k", "reply")
+        assert b"k" in cache
+        assert cache.replay(b"k") == "reply"
+        assert cache.hits == 1
+
+    def test_none_reply_is_remembered(self):
+        cache = DedupCache()
+        cache.remember(b"k", None)
+        assert b"k" in cache
+        assert cache.replay(b"k") is None
+
+    def test_len_counts_distinct_keys(self):
+        cache = DedupCache()
+        cache.remember(b"a", 1)
+        cache.remember(b"b", 2)
+        cache.remember(b"a", 3)
+        assert len(cache) == 2
+
+
+class TestCounterCheckpointer:
+    def test_periodic_snapshots_capture_counters(self):
+        loop = EventLoop()
+        gw = build_gateway(loop)
+        cp = CounterCheckpointer(loop, gw, period=5.0)
+        push(gw, uplink=100, downlink=200)
+        loop.run(until=6.0)
+        assert cp.checkpoints_taken == 1
+        snap = cp.latest()
+        assert snap.charged_uplink_bytes == 100
+        assert snap.charged_downlink_bytes == 200
+
+    def test_crashed_gateway_does_not_checkpoint(self):
+        loop = EventLoop()
+        gw = build_gateway(loop)
+        cp = CounterCheckpointer(loop, gw, period=5.0)
+        gw.crash()
+        loop.run(until=11.0)
+        assert cp.checkpoints_taken == 0
+        assert cp.latest() is None
+
+    def test_cancel_stops_snapshots(self):
+        loop = EventLoop()
+        gw = build_gateway(loop)
+        cp = CounterCheckpointer(loop, gw, period=5.0)
+        loop.run(until=6.0)
+        cp.cancel()
+        loop.run(until=30.0)
+        assert cp.checkpoints_taken == 1
+
+
+class TestCrashRestart:
+    def test_restart_without_checkpoint_loses_everything(self):
+        loop = EventLoop()
+        gw = build_gateway(loop)
+        push(gw, uplink=1000, downlink=2000)
+        gw.crash()
+        lost_up, lost_dn = gw.restart(None)
+        assert (lost_up, lost_dn) == (1000, 2000)
+        assert gw.charged_uplink_bytes == 0
+        assert gw.fault_uncounted_uplink == 1000
+        assert gw.fault_uncounted_downlink == 2000
+
+    def test_restart_from_checkpoint_only_loses_the_tail(self):
+        loop = EventLoop()
+        gw = build_gateway(loop)
+        push(gw, uplink=1000)
+        snap = gw.checkpoint()
+        push(gw, uplink=300)  # metered after the snapshot
+        gw.crash()
+        lost_up, lost_dn = gw.restart(snap)
+        assert (lost_up, lost_dn) == (300, 0)
+        assert gw.charged_uplink_bytes == 1000
+        assert gw.fault_uncounted_uplink == 300
+
+    def test_crashed_gateway_drops_traffic(self):
+        loop = EventLoop()
+        gw = build_gateway(loop)
+        gw.crash()
+        assert not gw.forward_uplink(
+            Packet(size=500, flow="f", direction=Direction.UPLINK)
+        )
+        assert gw.crash_dropped_packets == 1
+        assert gw.crash_dropped_bytes == 500
+        assert gw.charged_uplink_bytes == 0
+
+    def test_crashed_gateway_emits_no_cdr(self):
+        loop = EventLoop()
+        gw = build_gateway(loop)
+        push(gw, uplink=100)
+        gw.crash()
+        assert gw.flush_cdr() is None
+
+
+class TestReliableCdrDelivery:
+    def test_immediate_delivery_when_ofcs_up(self):
+        loop = EventLoop()
+        gw = build_gateway(loop)
+        ofcs = OfflineChargingSystem()
+        delivery = ReliableCdrDelivery(
+            loop, gw, ofcs, rng=random.Random(1)
+        )
+        push(gw, uplink=100)
+        gw.flush_cdr()
+        assert delivery.stats()["delivered"] == 1
+        assert delivery.unacked == 0
+        assert ofcs.usage_for(gw.imsi.digits).total_bytes == 100
+
+    def test_outage_spools_and_redelivers_after_restore(self):
+        loop = EventLoop()
+        gw = build_gateway(loop)
+        ofcs = OfflineChargingSystem()
+        delivery = ReliableCdrDelivery(
+            loop, gw, ofcs, rng=random.Random(1)
+        )
+        ofcs.go_dark()
+        push(gw, uplink=700)
+        gw.flush_cdr()
+        assert delivery.unacked == 1
+        assert ofcs.refused_cdrs >= 1
+        loop.schedule_at(3.0, ofcs.restore, label="restore")
+        loop.run(until=60.0)
+        assert delivery.unacked == 0
+        assert delivery.stats()["retries"] >= 1
+        assert ofcs.usage_for(gw.imsi.digits).total_bytes == 700
+
+    def test_retry_budget_exhaustion_abandons_with_byte_count(self):
+        loop = EventLoop()
+        gw = build_gateway(loop)
+        ofcs = OfflineChargingSystem()
+        delivery = ReliableCdrDelivery(
+            loop,
+            gw,
+            ofcs,
+            policy=RetryPolicy(
+                base_delay=0.1, max_delay=0.1, max_attempts=3, jitter=0.0
+            ),
+            rng=random.Random(1),
+        )
+        ofcs.go_dark()  # forever
+        push(gw, uplink=900)
+        gw.flush_cdr()
+        loop.run(until=10.0)
+        stats = delivery.stats()
+        assert stats["abandoned"] == 1
+        assert stats["abandoned_bytes"] == 900
+        assert delivery.unacked == 0
+
+    def test_duplicate_redelivery_is_idempotent_at_the_ofcs(self):
+        ofcs = OfflineChargingSystem()
+        loop = EventLoop()
+        gw = build_gateway(loop)
+        ReliableCdrDelivery(loop, gw, ofcs, rng=random.Random(1))
+        push(gw, uplink=100)
+        record = None
+        gw.on_cdr(lambda r: None)  # keep a second sink alive
+        record_holder = []
+        gw.on_cdr(record_holder.append)
+        gw.flush_cdr()
+        record = record_holder[0]
+        before = ofcs.usage_for(gw.imsi.digits).total_bytes
+        assert ofcs.ingest(record)  # a retry whose ack was lost
+        assert ofcs.deduplicated_cdrs == 1
+        assert ofcs.usage_for(gw.imsi.digits).total_bytes == before

@@ -1,0 +1,122 @@
+"""The faulty signaling link: seeded drop/duplicate/reorder faults."""
+
+import random
+
+import pytest
+
+from repro.faults.signaling import FaultySignalingLink
+from repro.sim.events import EventLoop
+
+
+def drain(loop, horizon=10.0):
+    loop.run(until=horizon)
+
+
+class TestHealthyLink:
+    def test_zero_rates_deliver_everything_once(self):
+        loop = EventLoop()
+        link = FaultySignalingLink(loop, random.Random(1))
+        got = []
+        for i in range(20):
+            link.send(i, got.append)
+        drain(loop)
+        assert got == list(range(20))
+        assert link.stats() == {
+            "sent": 20,
+            "dropped": 0,
+            "duplicated": 0,
+            "reordered": 0,
+            "delivered": 20,
+        }
+
+    def test_base_delay_applied(self):
+        loop = EventLoop()
+        link = FaultySignalingLink(loop, random.Random(1), base_delay=0.5)
+        arrivals = []
+        link.send("m", lambda m: arrivals.append(loop.now))
+        drain(loop)
+        assert arrivals == [0.5]
+
+
+class TestFaults:
+    def test_drop_rate_one_loses_everything(self):
+        loop = EventLoop()
+        link = FaultySignalingLink(loop, random.Random(1), drop_rate=1.0)
+        got = []
+        for i in range(10):
+            link.send(i, got.append)
+        drain(loop)
+        assert got == []
+        assert link.dropped == 10
+
+    def test_duplicate_rate_one_delivers_twice(self):
+        loop = EventLoop()
+        link = FaultySignalingLink(
+            loop, random.Random(1), duplicate_rate=1.0
+        )
+        got = []
+        link.send("m", got.append)
+        drain(loop)
+        assert got == ["m", "m"]
+        assert link.duplicated == 1
+
+    def test_reorder_delays_past_later_messages(self):
+        loop = EventLoop()
+        rng = random.Random(1)
+        link = FaultySignalingLink(loop, rng, reorder_rate=0.0)
+        # Force exactly one reordered message by toggling the rate.
+        got = []
+        link.reorder_rate = 1.0
+        link.send("late", got.append)
+        link.reorder_rate = 0.0
+        link.send("early", got.append)
+        drain(loop)
+        assert got == ["early", "late"]
+        assert link.reordered == 1
+
+    def test_fixed_draw_count_per_send(self):
+        # Three uniforms per send, whatever the verdicts: the stream
+        # position after N sends is independent of the fault outcomes.
+        outcomes = []
+        for drop_rate in (0.0, 1.0):
+            rng = random.Random(77)
+            loop = EventLoop()
+            link = FaultySignalingLink(loop, rng, drop_rate=drop_rate)
+            for i in range(5):
+                link.send(i, lambda m: None)
+            outcomes.append(rng.random())
+        assert outcomes[0] == outcomes[1]
+
+    def test_same_seed_same_fault_pattern(self):
+        def run():
+            loop = EventLoop()
+            link = FaultySignalingLink(
+                loop,
+                random.Random(5),
+                drop_rate=0.3,
+                duplicate_rate=0.2,
+                reorder_rate=0.2,
+            )
+            got = []
+            for i in range(50):
+                link.send(i, got.append)
+            drain(loop)
+            return got, link.stats()
+
+        assert run() == run()
+
+
+class TestValidation:
+    @pytest.mark.parametrize("rate", [-0.1, 1.1])
+    @pytest.mark.parametrize(
+        "name", ["drop_rate", "duplicate_rate", "reorder_rate"]
+    )
+    def test_rates_must_be_probabilities(self, name, rate):
+        with pytest.raises(ValueError):
+            FaultySignalingLink(EventLoop(), random.Random(1), **{name: rate})
+
+    def test_negative_delays_rejected(self):
+        with pytest.raises(ValueError):
+            FaultySignalingLink(
+                EventLoop(), random.Random(1), base_delay=-0.1
+            )

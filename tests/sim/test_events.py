@@ -314,3 +314,42 @@ class TestHotPathLayout:
         assert fired == [1]
         loop.run()
         assert fired == [1, 5]
+
+
+class TestScheduleEvery:
+    def test_fires_once_per_period(self):
+        loop = EventLoop()
+        ticks = []
+        loop.schedule_every(2.0, lambda: ticks.append(loop.now))
+        loop.run(until=7.0)
+        assert ticks == [2.0, 4.0, 6.0]
+
+    def test_start_after_shifts_the_first_firing(self):
+        loop = EventLoop()
+        ticks = []
+        loop.schedule_every(
+            2.0, lambda: ticks.append(loop.now), start_after=0.5
+        )
+        loop.run(until=5.0)
+        assert ticks == [0.5, 2.5, 4.5]
+
+    def test_cancel_stops_future_firings(self):
+        loop = EventLoop()
+        ticks = []
+        handle = loop.schedule_every(1.0, lambda: ticks.append(loop.now))
+        loop.run(until=2.5)
+        handle.cancel()
+        loop.run(until=10.0)
+        assert ticks == [1.0, 2.0]
+
+    def test_non_positive_period_rejected(self):
+        loop = EventLoop()
+        with pytest.raises(SimulationError):
+            loop.schedule_every(0.0, lambda: None)
+        with pytest.raises(SimulationError):
+            loop.schedule_every(-1.0, lambda: None)
+
+    def test_negative_start_after_rejected(self):
+        loop = EventLoop()
+        with pytest.raises(SimulationError):
+            loop.schedule_every(1.0, lambda: None, start_after=-0.1)

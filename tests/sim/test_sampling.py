@@ -61,6 +61,21 @@ class TestApi:
         with pytest.raises(ValueError):
             ChunkedRandom(random.Random(1), block_size=0)
 
+    def test_negative_block_size_rejected(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            ChunkedRandom(random.Random(1), block_size=-8)
+
+    @pytest.mark.parametrize("bad", [256.0, "256", None, 3.5])
+    def test_non_int_block_size_rejected(self, bad):
+        with pytest.raises(ValueError, match="must be an int"):
+            ChunkedRandom(random.Random(1), block_size=bad)
+
+    def test_bool_block_size_rejected(self):
+        # bool is an int subclass; True == 1 would "work" silently, but
+        # it is a type confusion the API refuses.
+        with pytest.raises(ValueError, match="must be an int"):
+            ChunkedRandom(random.Random(1), block_size=True)
+
     def test_prefetched_counts_unserved_draws(self):
         chunked = ChunkedRandom(random.Random(5), block_size=8)
         assert chunked.prefetched == 0

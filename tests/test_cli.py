@@ -41,3 +41,42 @@ class TestFastRuns:
         assert main(["run", "fig04", "--fast"]) == 0
         out = capsys.readouterr().out
         assert "final gap" in out
+
+
+class TestFaultCampaignCli:
+    def test_faults_experiment_listed(self, capsys):
+        main(["list"])
+        assert "faults" in capsys.readouterr().out
+
+    def test_fast_fault_run_reports_guarantees(self, capsys):
+        assert main(["run", "faults", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "no-faults" in out
+        assert "cells ran" in out
+        # Every cell upholds the bound and reconciles exactly.
+        assert "NO" not in out
+
+    def test_fault_plan_file_overrides_the_grid(self, capsys, tmp_path):
+        from repro.faults.plan import FaultKind, single_fault_plan
+
+        plan = single_fault_plan(FaultKind.GATEWAY_CRASH, 0.4)
+        path = tmp_path / "plan.json"
+        path.write_text(plan.to_json(), encoding="utf-8")
+        assert main(["run", "faults", "--fast", "--faults", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert plan.name in out
+        assert "no-faults" not in out  # the grid was replaced
+
+    def test_unreadable_plan_file_fails_cleanly(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json", encoding="utf-8")
+        assert main(["run", "faults", "--faults", str(bad)]) == 2
+        assert "cannot load fault plan" in capsys.readouterr().err
+
+    def test_fail_fast_flag_parses(self):
+        args = build_parser().parse_args(
+            ["run", "faults", "--fast", "--fail-fast"]
+        )
+        assert args.fail_fast is True
+        args = build_parser().parse_args(["run", "faults"])
+        assert args.fail_fast is False
