@@ -35,6 +35,11 @@ from benchmarks.perf.harness import (
 )
 
 
+#: Metered runs must stay within this factor of the unmetered hot path
+#: (the ISSUE 5 tentpole bound: bound handles + burst aggregation).
+TELEMETRY_OVERHEAD_BOUND = 1.5
+
+
 def _selected_workloads() -> list[str] | None:
     raw = os.environ.get("PERF_WORKLOADS", "").strip()
     if not raw:
@@ -81,4 +86,43 @@ def test_no_regression_against_baseline(perf_report):
     elif regressions:
         print("PERF_GATE=report: regressions reported, not enforced:")
         for message in regressions:
+            print(f"  {message}")
+
+
+def test_telemetry_overhead_within_bound(perf_report):
+    """Metered workloads run within 1.5x of the unmetered fast path.
+
+    Compares events/sec of ``telemetry_on`` (and, when measured,
+    ``telemetry_on_traced``) against ``telemetry_off`` from the same
+    harness run — a ratio, so machine speed cancels out.  Honors
+    ``PERF_GATE`` like the baseline comparison: ``report`` prints,
+    ``enforce`` fails.
+    """
+    mode = os.environ.get("PERF_GATE", "report").lower()
+    if mode == "off":
+        pytest.skip("PERF_GATE=off")
+    rows = perf_report["workloads"]
+    if "telemetry_off" not in rows or "telemetry_on" not in rows:
+        pytest.skip(
+            "needs telemetry_off and telemetry_on in PERF_WORKLOADS"
+        )
+    off_rate = rows["telemetry_off"]["events_per_sec"]
+    violations = []
+    print()
+    for name in ("telemetry_on", "telemetry_on_traced"):
+        if name not in rows:
+            continue
+        ratio = off_rate / rows[name]["events_per_sec"]
+        print(
+            f"{name}: {rows[name]['events_per_sec']:,.0f} events/s, "
+            f"{ratio:.2f}x of telemetry_off "
+            f"(bound {TELEMETRY_OVERHEAD_BOUND:.1f}x)"
+        )
+        if ratio > TELEMETRY_OVERHEAD_BOUND:
+            violations.append(f"{name} is {ratio:.2f}x of telemetry_off")
+    if violations and mode == "enforce":
+        pytest.fail("; ".join(violations))
+    elif violations:
+        print("PERF_GATE=report: overhead reported, not enforced:")
+        for message in violations:
             print(f"  {message}")

@@ -20,11 +20,16 @@ Workload selection mirrors the paper's evaluation surface:
 - ``negotiation`` — Figure 16/17 territory: RSA-signed CDR/CDA/PoC
   exchanges plus Algorithm 2 verification.
 - ``telemetry_on`` / ``telemetry_off`` — the metered vs. unmetered
-  fast path of the same scenario.
+  fast path of the same scenario; ``telemetry_on_traced`` adds a live
+  buffered JSONL trace sink on top.  The harness holds the metered
+  variants within 1.5x of ``telemetry_off``
+  (:data:`benchmarks.perf.test_perf.TELEMETRY_OVERHEAD_BOUND`).
 """
 
 from __future__ import annotations
 
+import os
+import tempfile
 from dataclasses import dataclass
 
 from repro.core.protocol import run_negotiation
@@ -89,6 +94,24 @@ def telemetry_on() -> WorkloadSample:
     )
 
 
+def telemetry_on_traced() -> WorkloadSample:
+    """The metered VR cycle streaming events to a live JSONL sink."""
+    fd, path = tempfile.mkstemp(suffix=".jsonl", prefix="tlc-perf-trace-")
+    os.close(fd)
+    try:
+        return _scenario_events(
+            ScenarioConfig(
+                app="vridge",
+                seed=_SEED,
+                cycle_duration=20.0,
+                telemetry=True,
+                trace_path=path,
+            )
+        )
+    finally:
+        os.unlink(path)
+
+
 def negotiation() -> WorkloadSample:
     """Signed negotiations plus Algorithm 2 verification.
 
@@ -122,7 +145,15 @@ WORKLOADS = {
     "negotiation": negotiation,
     "telemetry_off": telemetry_off,
     "telemetry_on": telemetry_on,
+    "telemetry_on_traced": telemetry_on_traced,
 }
 
-#: The two workloads the smoke CI job runs (fast but representative).
-SMOKE_WORKLOADS = ("congestion", "negotiation")
+#: The workloads the smoke CI job runs (fast but representative): the
+#: two scenario archetypes plus the telemetry-overhead trio.
+SMOKE_WORKLOADS = (
+    "congestion",
+    "negotiation",
+    "telemetry_off",
+    "telemetry_on",
+    "telemetry_on_traced",
+)

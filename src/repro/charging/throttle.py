@@ -20,7 +20,7 @@ from typing import Callable
 
 from repro import telemetry
 from repro.charging.policy import ChargingPolicy
-from repro.net.packet import Packet
+from repro.net.packet import Direction, Packet
 from repro.sim.events import EventLoop
 
 Deliver = Callable[[Packet], None]
@@ -51,8 +51,46 @@ class ThrottlingEnforcer:
         self.charged_bytes = 0
         self.throttled_packets = 0
         self.dropped_packets = 0
-        self._telemetry = telemetry.current()
+        self._telemetry = tel = telemetry.current()
         self._throttle_announced = False
+        # Bound per-direction counter handles; pass-through bytes burst-
+        # aggregate, tail drops are rare enough to count per packet.
+        self._m_in = self._m_out = self._m_drop = None
+        self._agg_in = self._agg_out = None
+        if tel is not None:
+            self._m_in = {
+                d: tel.bind_counter("bytes_in", layer=name, direction=d.value)
+                for d in Direction
+            }
+            self._m_out = {
+                d: tel.bind_counter("bytes_out", layer=name, direction=d.value)
+                for d in Direction
+            }
+            self._m_drop = {
+                d: tel.bind_counter(
+                    "bytes_dropped",
+                    layer=name,
+                    direction=d.value,
+                    cause="quota_throttle",
+                )
+                for d in Direction
+            }
+            if tel.burst_aggregation:
+                self._agg_in = {
+                    d: telemetry.RunAccumulator(h)
+                    for d, h in self._m_in.items()
+                }
+                self._agg_out = {
+                    d: telemetry.RunAccumulator(h)
+                    for d, h in self._m_out.items()
+                }
+                accumulators = (
+                    *self._agg_in.values(),
+                    *self._agg_out.values(),
+                )
+                tel.on_flush(
+                    lambda: telemetry.flush_all(accumulators)
+                )
 
     def connect(self, receiver: Deliver) -> None:
         """Attach the downstream element."""
@@ -66,19 +104,19 @@ class ThrottlingEnforcer:
     def send(self, packet: Packet) -> bool:
         """Pass a packet through the shaper."""
         self.charged_bytes += packet.size
-        tel = self._telemetry
-        if tel is not None:
-            tel.inc(
-                "bytes_in",
-                packet.size,
-                layer=self.name,
-                direction=packet.direction.value,
-            )
+        agg = self._agg_in
+        if agg is not None:
+            acc = agg[packet.direction]
+            acc.bytes += packet.size
+            acc.packets += 1
+        elif self._m_in is not None:
+            self._m_in[packet.direction].inc(packet.size)
         if not self.throttling:
             self._deliver(packet)
             return True
 
         # Past the quota: shape to throttle_bps.
+        tel = self._telemetry
         if tel is not None and not self._throttle_announced:
             self._throttle_announced = True
             tel.event(
@@ -86,14 +124,8 @@ class ThrottlingEnforcer:
             )
         if len(self._queue) >= self.queue_limit:
             self.dropped_packets += 1
-            if tel is not None:
-                tel.inc(
-                    "bytes_dropped",
-                    packet.size,
-                    layer=self.name,
-                    direction=packet.direction.value,
-                    cause="quota_throttle",
-                )
+            if self._m_drop is not None:
+                self._m_drop[packet.direction].inc(packet.size)
             return False
         self.throttled_packets += 1
         self._queue.append(packet)
@@ -121,13 +153,12 @@ class ThrottlingEnforcer:
         self._drain()
 
     def _deliver(self, packet: Packet) -> None:
-        tel = self._telemetry
-        if tel is not None:
-            tel.inc(
-                "bytes_out",
-                packet.size,
-                layer=self.name,
-                direction=packet.direction.value,
-            )
+        agg = self._agg_out
+        if agg is not None:
+            acc = agg[packet.direction]
+            acc.bytes += packet.size
+            acc.packets += 1
+        elif self._m_out is not None:
+            self._m_out[packet.direction].inc(packet.size)
         for receiver in self._receivers:
             receiver(packet)

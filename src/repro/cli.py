@@ -20,13 +20,22 @@ reconciliation summary (gateway-counted minus per-layer losses equals
 device-received, per scenario), and the full metric snapshots are
 written to ``FILE`` as JSON.  ``--trace FILE`` additionally captures
 structured trace events (simulated-clock timestamps) to ``FILE`` as
-JSON Lines.  See ``docs/api.md``.
+JSON Lines, streamed through a buffered :class:`TraceSink` that never
+leaves a truncated line behind — even when a scenario or worker fails
+mid-campaign.  See ``docs/api.md``.
+
+``--profile`` wraps the experiment loop in cProfile and prints the top
+25 functions by cumulative time on exit; ``--profile-out FILE`` dumps
+the raw stats for ``python -m pstats`` so hot-path regressions are
+diagnosable without editing code.
 """
 
 from __future__ import annotations
 
 import argparse
+import cProfile
 import json
+import pstats
 import sys
 from typing import Callable
 
@@ -62,7 +71,7 @@ from repro.experiments.report import (
 )
 from repro.experiments.transport_comparison import compare_transports
 from repro.telemetry.accounting import AccountingTable
-from repro.telemetry.trace import write_jsonl
+from repro.telemetry.trace import TraceSink
 
 
 def _fig03(fast: bool) -> str:
@@ -427,6 +436,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="abort the whole run on the first failing scenario "
         "(default: record failures, report them, and exit nonzero)",
     )
+    run.add_argument(
+        "--profile",
+        action="store_true",
+        help="run the experiments under cProfile and print the top 25 "
+        "functions by cumulative time on exit",
+    )
+    run.add_argument(
+        "--profile-out",
+        default=None,
+        metavar="FILE",
+        help="with --profile, also dump the raw cProfile stats to FILE "
+        "(inspect with python -m pstats FILE)",
+    )
     return parser
 
 
@@ -494,6 +516,29 @@ def main(argv: list[str] | None = None) -> int:
     )
     set_default_engine(engine)
     failures: list = []
+
+    # The trace sink opens before any experiment runs and closes in the
+    # finally block, so a crashing scenario (or worker) can never leave
+    # a truncated JSONL line: TraceSink serializes whole batches of
+    # complete lines before a single write, and close() flushes whatever
+    # completed scenarios already produced.
+    trace_sink = TraceSink(trace_out) if trace_out is not None else None
+    traced_records = 0
+
+    def _drain_trace() -> None:
+        """Stream newly collected per-scenario traces into the sink."""
+        nonlocal traced_records
+        if trace_sink is None:
+            return
+        records = engine.telemetry_records
+        for record in records[traced_records:]:
+            trace_sink.write(record["telemetry"].get("trace", ()))
+        traced_records = len(records)
+
+    profiler: cProfile.Profile | None = None
+    if getattr(args, "profile", False) or getattr(args, "profile_out", None):
+        profiler = cProfile.Profile()
+        profiler.enable()
     try:
         for name in targets:
             description, fn = EXPERIMENTS[name]
@@ -501,9 +546,15 @@ def main(argv: list[str] | None = None) -> int:
             print(fn(args.fast))
             print()
             failures.extend(engine.last_failures)
+            _drain_trace()
     finally:
+        if profiler is not None:
+            profiler.disable()
         set_default_engine(None)
         fault_tolerance.set_plan_override(None)
+        if trace_sink is not None:
+            _drain_trace()
+            trace_sink.close()
 
     if collect:
         records = engine.telemetry_records
@@ -546,14 +597,11 @@ def main(argv: list[str] | None = None) -> int:
                 fh.write("\n")
             print(f"[telemetry] metrics for {len(records)} scenario runs "
                   f"written to {metrics_out}")
-        if trace_out is not None:
-            lines = 0
-            with open(trace_out, "w", encoding="utf-8") as fh:
-                for r in records:
-                    lines += write_jsonl(
-                        r["telemetry"].get("trace", ()), fh
-                    )
-            print(f"[telemetry] {lines} trace events written to {trace_out}")
+        if trace_sink is not None:
+            print(
+                f"[telemetry] {trace_sink.lines_written} trace events "
+                f"written to {trace_out}"
+            )
 
     if workers > 1 or cache_dir is not None:
         totals = engine.snapshot_totals()
@@ -564,6 +612,15 @@ def main(argv: list[str] | None = None) -> int:
             f"({totals.compute_seconds:.1f}s compute in "
             f"{totals.wall_seconds:.1f}s wall)"
         )
+
+    if profiler is not None:
+        profile_out = getattr(args, "profile_out", None)
+        if profile_out is not None:
+            profiler.dump_stats(profile_out)
+            print(f"[profile] cProfile stats written to {profile_out}")
+        print("[profile] top 25 functions by cumulative time:")
+        stats = pstats.Stats(profiler, stream=sys.stdout)
+        stats.sort_stats("cumulative").print_stats(25)
 
     if failures:
         print(

@@ -18,6 +18,7 @@ returns the charged volume plus negotiation metadata.
 
 from __future__ import annotations
 
+import contextlib
 import enum
 from dataclasses import dataclass, field
 
@@ -122,6 +123,11 @@ class ScenarioConfig:
     # for this run.  Off by default so the hot path stays a no-op.
     telemetry: bool = False
     trace: bool = False
+    # Stream trace events to a live JSONL file through a buffered
+    # TraceSink as the run progresses (independent of ``trace``, which
+    # buffers events in memory for the result record).  A plain string
+    # so configs stay hashable/picklable for the campaign cache.
+    trace_path: str | None = None
 
     EDGE_CLOCK_STD_FRACTION = 0.015
     OPERATOR_CLOCK_STD_FRACTION = 0.025
@@ -263,14 +269,26 @@ def run_scenario(
     """Simulate one charging cycle and collect both parties' records."""
     loop = EventLoop()
     rngs = RngStreams(config.seed)
+    sink = (
+        telemetry.TraceSink(config.trace_path)
+        if config.telemetry and config.trace_path is not None
+        else None
+    )
     session = (
         telemetry.Telemetry(
-            clock=lambda: loop.now, capture_trace=config.trace
+            clock=lambda: loop.now,
+            capture_trace=config.trace,
+            sink=sink,
         )
         if config.telemetry
         else None
     )
-    with telemetry.activation(session):
+    # The ExitStack guarantees the live trace sink flushes complete
+    # JSONL lines and closes even when the run raises mid-cycle.
+    with contextlib.ExitStack() as stack:
+        if sink is not None:
+            stack.enter_context(sink)
+        stack.enter_context(telemetry.activation(session))
         network = _build_network(config, loop, rngs)
 
         direction = config.direction
@@ -439,6 +457,7 @@ def run_scenario(
         "processed_events": loop.processed_events,
     }
     if session is not None:
+        session.flush()
         metrics = session.registry.snapshot()
         accounting = build_accounting(metrics, direction.value)
         record: dict = {

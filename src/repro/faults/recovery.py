@@ -168,7 +168,16 @@ class ReliableCdrDelivery:
         self.retries = 0
         self.abandoned = 0
         self.abandoned_bytes = 0
-        self._telemetry = telemetry.current()
+        self._telemetry = tel = telemetry.current()
+        # Bound counter handles (fixed labels, resolved once).
+        self._m_abandoned = self._m_retries = None
+        if tel is not None:
+            self._m_abandoned = tel.bind_counter(
+                "cdrs_abandoned", layer="cdr-delivery"
+            )
+            self._m_retries = tel.bind_counter(
+                "cdr_delivery_retries", layer="cdr-delivery"
+            )
         gateway.disconnect_cdr(ofcs.ingest)
         gateway.on_cdr(self.submit)
 
@@ -193,7 +202,7 @@ class ReliableCdrDelivery:
                 record.uplink_bytes + record.downlink_bytes
             )
             if tel is not None:
-                tel.inc("cdrs_abandoned", layer="cdr-delivery")
+                self._m_abandoned.inc()
                 tel.event(
                     "cdr-delivery",
                     "abandoned",
@@ -203,7 +212,7 @@ class ReliableCdrDelivery:
             return
         self.retries += 1
         if tel is not None:
-            tel.inc("cdr_delivery_retries", layer="cdr-delivery")
+            self._m_retries.inc()
         self.loop.schedule_in(
             self.policy.delay(attempt, self._rng),
             lambda: self._attempt(record, attempt + 1),

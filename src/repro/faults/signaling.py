@@ -65,7 +65,19 @@ class FaultySignalingLink:
         self.duplicated = 0
         self.reordered = 0
         self.delivered = 0
-        self._telemetry = telemetry.current()
+        self._telemetry = tel = telemetry.current()
+        # Bound counter handles (fixed labels, resolved once).
+        self._m_dropped = self._m_reordered = self._m_duplicated = None
+        if tel is not None:
+            self._m_dropped = tel.bind_counter(
+                "signaling_dropped", layer="signaling"
+            )
+            self._m_reordered = tel.bind_counter(
+                "signaling_reordered", layer="signaling"
+            )
+            self._m_duplicated = tel.bind_counter(
+                "signaling_duplicated", layer="signaling"
+            )
 
     def send(self, message: Any, receive: Receive) -> None:
         """Transmit one message toward ``receive``, applying faults.
@@ -83,19 +95,19 @@ class FaultySignalingLink:
         if drop:
             self.dropped += 1
             if tel is not None:
-                tel.inc("signaling_dropped", layer="signaling")
+                self._m_dropped.inc()
             return
         delay = self.base_delay
         if reorder:
             self.reordered += 1
             delay += self.reorder_delay
             if tel is not None:
-                tel.inc("signaling_reordered", layer="signaling")
+                self._m_reordered.inc()
         self._deliver(message, receive, delay)
         if duplicate:
             self.duplicated += 1
             if tel is not None:
-                tel.inc("signaling_duplicated", layer="signaling")
+                self._m_duplicated.inc()
             self._deliver(message, receive, delay + self.base_delay)
 
     def _deliver(self, message: Any, receive: Receive, delay: float) -> None:

@@ -78,7 +78,28 @@ class ENodeB:
         self.counter_check_max_attempts = 3
         self.counter_check_retries = 0
         self.counter_check_failures = 0
-        self._telemetry = telemetry.current()
+        self._telemetry = tel = telemetry.current()
+        # Bound counter handles for the RRC-side counting points (all
+        # fixed labels, resolved once at construction).
+        self._m_rlf = self._m_releases = None
+        self._m_cc_retries = self._m_cc_failures = self._m_cc = None
+        self._m_rrc_up = self._m_rrc_down = None
+        if tel is not None:
+            self._m_rlf = tel.bind_counter("rlf_events", layer="enodeb")
+            self._m_releases = tel.bind_counter("rrc_releases", layer="enodeb")
+            self._m_cc_retries = tel.bind_counter(
+                "counter_check_retries", layer="enodeb"
+            )
+            self._m_cc_failures = tel.bind_counter(
+                "counter_check_failures", layer="enodeb"
+            )
+            self._m_cc = tel.bind_counter("counter_checks", layer="enodeb")
+            self._m_rrc_up = tel.bind_counter(
+                "rrc_reported_bytes", layer="enodeb", direction="uplink"
+            )
+            self._m_rrc_down = tel.bind_counter(
+                "rrc_reported_bytes", layer="enodeb", direction="downlink"
+            )
         # Last COUNTER CHECK totals, for reporting per-check deltas.
         self._last_reported_uplink = 0
         self._last_reported_downlink = 0
@@ -155,7 +176,7 @@ class ENodeB:
             self.rlf_events += 1
             tel = self._telemetry
             if tel is not None:
-                tel.inc("rlf_events", layer="enodeb")
+                self._m_rlf.inc()
                 tel.event("enodeb", "radio_link_failure", outage=outage)
             for sink in self._rlf_sinks:
                 sink(self.ue.imsi.digits)
@@ -180,7 +201,7 @@ class ENodeB:
         self.releases += 1
         tel = self._telemetry
         if tel is not None:
-            tel.inc("rrc_releases", layer="enodeb")
+            self._m_releases.inc()
             tel.event(
                 "enodeb",
                 "rrc_release",
@@ -212,11 +233,11 @@ class ENodeB:
                 break
             self.counter_check_retries += 1
             if tel is not None:
-                tel.inc("counter_check_retries", layer="enodeb")
+                self._m_cc_retries.inc()
         if response is None:
             self.counter_check_failures += 1
             if tel is not None:
-                tel.inc("counter_check_failures", layer="enodeb")
+                self._m_cc_failures.inc()
                 tel.event(
                     "enodeb",
                     "counter_check_lost",
@@ -226,21 +247,11 @@ class ENodeB:
         if tel is not None:
             uplink = response.uplink_total()
             downlink = response.downlink_total()
-            tel.inc("counter_checks", layer="enodeb")
+            self._m_cc.inc()
             # Per-check deltas: the bytes newly visible to the operator's
             # tamper-resilient record since the previous COUNTER CHECK.
-            tel.inc(
-                "rrc_reported_bytes",
-                uplink - self._last_reported_uplink,
-                layer="enodeb",
-                direction="uplink",
-            )
-            tel.inc(
-                "rrc_reported_bytes",
-                downlink - self._last_reported_downlink,
-                layer="enodeb",
-                direction="downlink",
-            )
+            self._m_rrc_up.inc(uplink - self._last_reported_uplink)
+            self._m_rrc_down.inc(downlink - self._last_reported_downlink)
             tel.event(
                 "enodeb",
                 "counter_check",

@@ -112,7 +112,92 @@ class ChargingGateway:
         self.fault_uncounted_uplink = 0
         self.fault_uncounted_downlink = 0
         self.cdr_bytes_lost_in_crash = 0
-        self._telemetry = telemetry.current()
+        self._telemetry = tel = telemetry.current()
+        # Bound per-direction counter handles; the metering path burst-
+        # aggregates (one counter update per contiguous run of admitted
+        # packets), faults and CDR instruments stay per-event.
+        self._m_in = self._m_counted = self._m_out = None
+        self._m_drop_crash = self._m_drop_detached = None
+        self._m_fault_uncounted = None
+        self._m_crashes = self._m_restarts = None
+        self._m_cdrs = self._h_cdr_interval = None
+        self._agg_in = self._agg_counted = self._agg_out = None
+        if tel is not None:
+            self._m_in = {
+                d: tel.bind_counter(
+                    "bytes_in", layer="gateway", direction=d.value
+                )
+                for d in Direction
+            }
+            self._m_counted = {
+                d: tel.bind_counter(
+                    "bytes_counted", layer="gateway", direction=d.value
+                )
+                for d in Direction
+            }
+            self._m_out = {
+                d: tel.bind_counter(
+                    "bytes_out", layer="gateway", direction=d.value
+                )
+                for d in Direction
+            }
+            self._m_drop_crash = {
+                d: tel.bind_counter(
+                    "bytes_dropped",
+                    layer="gateway",
+                    direction=d.value,
+                    cause="crash",
+                )
+                for d in Direction
+            }
+            self._m_drop_detached = {
+                d: tel.bind_counter(
+                    "bytes_dropped",
+                    layer="gateway",
+                    direction=d.value,
+                    cause="detached",
+                )
+                for d in Direction
+            }
+            self._m_fault_uncounted = {
+                d: tel.bind_counter(
+                    "bytes_fault_uncounted",
+                    layer="gateway",
+                    direction=d.value,
+                )
+                for d in Direction
+            }
+            self._m_crashes = tel.bind_counter(
+                "gateway_crashes", layer="gateway"
+            )
+            self._m_restarts = tel.bind_counter(
+                "gateway_restarts", layer="gateway"
+            )
+            self._m_cdrs = tel.bind_counter("cdrs_emitted", layer="gateway")
+            self._h_cdr_interval = tel.bind_histogram(
+                "cdr_interval_bytes", layer="gateway"
+            )
+            if tel.burst_aggregation:
+                self._agg_in = {
+                    d: telemetry.RunAccumulator(h)
+                    for d, h in self._m_in.items()
+                }
+                self._agg_counted = {
+                    d: telemetry.RunAccumulator(h)
+                    for d, h in self._m_counted.items()
+                }
+                self._agg_out = {
+                    d: telemetry.RunAccumulator(h)
+                    for d, h in self._m_out.items()
+                }
+                accumulators = (
+                    *self._agg_in.values(),
+                    *self._agg_counted.values(),
+                    *self._agg_out.values(),
+                )
+                tel.on_flush(
+                    lambda: telemetry.flush_all(accumulators)
+                )
 
         if self.cdr_period > 0:
             self.loop.schedule_in(
@@ -196,7 +281,7 @@ class ChargingGateway:
         self._interval_last_usage = None
         tel = self._telemetry
         if tel is not None:
-            tel.inc("gateway_crashes", layer="gateway")
+            self._m_crashes.inc()
             tel.event(
                 "gateway",
                 "crash",
@@ -237,20 +322,10 @@ class ChargingGateway:
         tel = self._telemetry
         if tel is not None:
             if lost_up:
-                tel.inc(
-                    "bytes_fault_uncounted",
-                    lost_up,
-                    layer="gateway",
-                    direction="uplink",
-                )
+                self._m_fault_uncounted[_UPLINK].inc(lost_up)
             if lost_dn:
-                tel.inc(
-                    "bytes_fault_uncounted",
-                    lost_dn,
-                    layer="gateway",
-                    direction="downlink",
-                )
-            tel.inc("gateway_restarts", layer="gateway")
+                self._m_fault_uncounted[_DOWNLINK].inc(lost_dn)
+            self._m_restarts.inc()
             tel.event(
                 "gateway",
                 "restart",
@@ -288,38 +363,25 @@ class ChargingGateway:
 
     def _admit(self, packet: Packet) -> bool:
         """Account arrival; False (and counted as blocked) when detached."""
-        tel = self._telemetry
-        if tel is not None:
-            tel.inc(
-                "bytes_in",
-                packet.size,
-                layer="gateway",
-                direction=packet.direction.value,
-            )
+        agg = self._agg_in
+        if agg is not None:
+            acc = agg[packet.direction]
+            acc.bytes += packet.size
+            acc.packets += 1
+        elif self._m_in is not None:
+            self._m_in[packet.direction].inc(packet.size)
         if not self.alive:
             self.crash_dropped_packets += 1
             self.crash_dropped_bytes += packet.size
-            if tel is not None:
-                tel.inc(
-                    "bytes_dropped",
-                    packet.size,
-                    layer="gateway",
-                    direction=packet.direction.value,
-                    cause="crash",
-                )
+            if self._m_drop_crash is not None:
+                self._m_drop_crash[packet.direction].inc(packet.size)
             return False
         if self.attached:
             return True
         self.blocked_packets += 1
         self.blocked_bytes += packet.size
-        if tel is not None:
-            tel.inc(
-                "bytes_dropped",
-                packet.size,
-                layer="gateway",
-                direction=packet.direction.value,
-                cause="detached",
-            )
+        if self._m_drop_detached is not None:
+            self._m_drop_detached[packet.direction].inc(packet.size)
         return False
 
     def _meter(self, packet: Packet) -> None:
@@ -333,18 +395,17 @@ class ChargingGateway:
         if self._interval_first_usage is None:
             self._interval_first_usage = now
         self._interval_last_usage = now
-        tel = self._telemetry
-        if tel is not None:
-            direction = packet.direction.value
-            tel.inc(
-                "bytes_counted",
-                packet.size,
-                layer="gateway",
-                direction=direction,
-            )
-            tel.inc(
-                "bytes_out", packet.size, layer="gateway", direction=direction
-            )
+        agg = self._agg_counted
+        if agg is not None:
+            acc = agg[packet.direction]
+            acc.bytes += packet.size
+            acc.packets += 1
+            acc = self._agg_out[packet.direction]
+            acc.bytes += packet.size
+            acc.packets += 1
+        elif self._m_counted is not None:
+            self._m_counted[packet.direction].inc(packet.size)
+            self._m_out[packet.direction].inc(packet.size)
 
     # ------------------------------------------------------------------
     # CDR generation
@@ -384,11 +445,9 @@ class ChargingGateway:
         self.cdr_emitted_downlink_bytes += record.downlink_bytes
         tel = self._telemetry
         if tel is not None:
-            tel.inc("cdrs_emitted", layer="gateway")
-            tel.observe(
-                "cdr_interval_bytes",
-                record.uplink_bytes + record.downlink_bytes,
-                layer="gateway",
+            self._m_cdrs.inc()
+            self._h_cdr_interval.observe(
+                record.uplink_bytes + record.downlink_bytes
             )
             tel.event(
                 "gateway",

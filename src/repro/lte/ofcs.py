@@ -46,7 +46,29 @@ class OfflineChargingSystem:
         # acknowledged without double-counting.
         self.deduplicated_cdrs = 0
         self._seen: set[tuple[int, int]] = set()
-        self._telemetry = telemetry.current()
+        self._telemetry = tel = telemetry.current()
+        # Bound counter handles (fixed labels, resolved once).
+        self._m_refused = self._m_refused_bytes = None
+        self._m_dedup = self._m_ingested = None
+        self._m_counted_up = self._m_counted_down = None
+        if tel is not None:
+            self._m_refused = tel.bind_counter("cdrs_refused", layer="ofcs")
+            self._m_refused_bytes = tel.bind_counter(
+                "bytes_dropped",
+                layer="ofcs",
+                direction="signaling",
+                cause="ofcs_dark",
+            )
+            self._m_dedup = tel.bind_counter(
+                "cdrs_deduplicated", layer="ofcs"
+            )
+            self._m_ingested = tel.bind_counter("cdrs_ingested", layer="ofcs")
+            self._m_counted_up = tel.bind_counter(
+                "bytes_counted", layer="ofcs", direction="uplink"
+            )
+            self._m_counted_down = tel.bind_counter(
+                "bytes_counted", layer="ofcs", direction="downlink"
+            )
 
     def go_dark(self) -> None:
         """Enter an outage: refuse (and never record) incoming CDRs."""
@@ -74,20 +96,16 @@ class OfflineChargingSystem:
         if not self.available:
             self.refused_cdrs += 1
             if tel is not None:
-                tel.inc("cdrs_refused", layer="ofcs")
-                tel.inc(
-                    "bytes_dropped",
-                    record.uplink_bytes + record.downlink_bytes,
-                    layer="ofcs",
-                    direction="signaling",
-                    cause="ofcs_dark",
+                self._m_refused.inc()
+                self._m_refused_bytes.inc(
+                    record.uplink_bytes + record.downlink_bytes
                 )
             return False
         key = (record.charging_id, record.sequence_number)
         if key in self._seen:
             self.deduplicated_cdrs += 1
             if tel is not None:
-                tel.inc("cdrs_deduplicated", layer="ofcs")
+                self._m_dedup.inc()
             return True
         self._seen.add(key)
         usage = self._usage[record.served_imsi.digits]
@@ -96,19 +114,9 @@ class OfflineChargingSystem:
         usage.records.append(record)
         self.received_cdrs += 1
         if tel is not None:
-            tel.inc("cdrs_ingested", layer="ofcs")
-            tel.inc(
-                "bytes_counted",
-                record.uplink_bytes,
-                layer="ofcs",
-                direction="uplink",
-            )
-            tel.inc(
-                "bytes_counted",
-                record.downlink_bytes,
-                layer="ofcs",
-                direction="downlink",
-            )
+            self._m_ingested.inc()
+            self._m_counted_up.inc(record.uplink_bytes)
+            self._m_counted_down.inc(record.downlink_bytes)
         return True
 
     def usage_for(self, imsi_digits: str) -> SubscriberUsage:

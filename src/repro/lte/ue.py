@@ -183,7 +183,52 @@ class UserEquipment:
         self._app_receivers: list[Deliver] = []
         self.app_received_packets = 0
         self.app_received_bytes = 0
-        self._telemetry = telemetry.current()
+        self._telemetry = tel = telemetry.current()
+        # Bound counter handles for the fixed-label device counting
+        # points; in burst-aggregation mode the accumulators shadow them
+        # and fold contiguous runs into the counters on session flush.
+        self._m_dl_modem = self._m_dl_os = self._m_dl_app = None
+        self._m_ul_os = self._m_ul_modem = None
+        self._agg_dl_modem = self._agg_dl_os = self._agg_dl_app = None
+        self._agg_ul_os = self._agg_ul_modem = None
+        if tel is not None:
+            self._m_dl_modem = tel.bind_counter(
+                "bytes_counted",
+                layer="ue_modem",
+                direction="downlink",
+                qci=self.bearer.qci,
+            )
+            self._m_dl_os = tel.bind_counter(
+                "bytes_counted", layer="ue_os", direction="downlink"
+            )
+            self._m_dl_app = tel.bind_counter(
+                "bytes_counted", layer="ue_app", direction="downlink"
+            )
+            self._m_ul_os = tel.bind_counter(
+                "bytes_counted", layer="ue_os", direction="uplink"
+            )
+            self._m_ul_modem = tel.bind_counter(
+                "bytes_counted",
+                layer="ue_modem",
+                direction="uplink",
+                qci=self.bearer.qci,
+            )
+            if tel.burst_aggregation:
+                self._agg_dl_modem = telemetry.RunAccumulator(self._m_dl_modem)
+                self._agg_dl_os = telemetry.RunAccumulator(self._m_dl_os)
+                self._agg_dl_app = telemetry.RunAccumulator(self._m_dl_app)
+                self._agg_ul_os = telemetry.RunAccumulator(self._m_ul_os)
+                self._agg_ul_modem = telemetry.RunAccumulator(self._m_ul_modem)
+                accumulators = (
+                    self._agg_dl_modem,
+                    self._agg_dl_os,
+                    self._agg_dl_app,
+                    self._agg_ul_os,
+                    self._agg_ul_modem,
+                )
+                tel.on_flush(
+                    lambda: telemetry.flush_all(accumulators)
+                )
 
     def connect_app(self, receiver: Deliver) -> None:
         """Attach an application-layer packet handler."""
@@ -197,27 +242,21 @@ class UserEquipment:
         self.os_stats.count(packet)
         self.app_received_packets += 1
         self.app_received_bytes += packet.size
-        tel = self._telemetry
-        if tel is not None:
-            tel.inc(
-                "bytes_counted",
-                packet.size,
-                layer="ue_modem",
-                direction="downlink",
-                qci=self.bearer.qci,
-            )
-            tel.inc(
-                "bytes_counted",
-                packet.size,
-                layer="ue_os",
-                direction="downlink",
-            )
-            tel.inc(
-                "bytes_counted",
-                packet.size,
-                layer="ue_app",
-                direction="downlink",
-            )
+        acc = self._agg_dl_modem
+        if acc is not None:
+            size = packet.size
+            acc.bytes += size
+            acc.packets += 1
+            acc = self._agg_dl_os
+            acc.bytes += size
+            acc.packets += 1
+            acc = self._agg_dl_app
+            acc.bytes += size
+            acc.packets += 1
+        elif self._m_dl_modem is not None:
+            self._m_dl_modem.inc(packet.size)
+            self._m_dl_os.inc(packet.size)
+            self._m_dl_app.inc(packet.size)
         for receiver in self._app_receivers:
             receiver(packet)
 
@@ -233,19 +272,15 @@ class UserEquipment:
             raise ValueError("prepare_uplink needs an uplink packet")
         self.os_stats.count(packet)
         self.modem.count_uplink(self.bearer.bearer_id, packet.size)
-        tel = self._telemetry
-        if tel is not None:
-            tel.inc(
-                "bytes_counted",
-                packet.size,
-                layer="ue_os",
-                direction="uplink",
-            )
-            tel.inc(
-                "bytes_counted",
-                packet.size,
-                layer="ue_modem",
-                direction="uplink",
-                qci=self.bearer.qci,
-            )
+        acc = self._agg_ul_os
+        if acc is not None:
+            size = packet.size
+            acc.bytes += size
+            acc.packets += 1
+            acc = self._agg_ul_modem
+            acc.bytes += size
+            acc.packets += 1
+        elif self._m_ul_os is not None:
+            self._m_ul_os.inc(packet.size)
+            self._m_ul_modem.inc(packet.size)
         return packet

@@ -19,7 +19,12 @@ class DeviceApiMonitor:
     def __init__(self, ue: UserEquipment, direction: Direction) -> None:
         self.ue = ue
         self.direction = direction
-        self._telemetry = telemetry.current()
+        self._telemetry = tel = telemetry.current()
+        self._m_tamper = (
+            tel.bind_counter("tamper_detections", layer="ue_os")
+            if tel is not None
+            else None
+        )
         self._tamper_reported = False
 
     def read_bytes(self) -> int:
@@ -33,7 +38,7 @@ class DeviceApiMonitor:
             true = self.read_true_bytes()
             if reported != true:
                 self._tamper_reported = True
-                tel.inc("tamper_detections", layer="ue_os")
+                self._m_tamper.inc()
                 tel.event(
                     "ue_os",
                     "tamper_detected",

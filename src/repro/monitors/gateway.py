@@ -25,7 +25,12 @@ class GatewayMonitor:
         self.gateway = gateway
         self.direction = direction
         self._inflation = 1.0
-        self._telemetry = telemetry.current()
+        self._telemetry = tel = telemetry.current()
+        self._m_tamper = (
+            tel.bind_counter("tamper_detections", layer="gateway")
+            if tel is not None
+            else None
+        )
         self._tamper_reported = False
 
     def install_inflation(self, factor: float) -> None:
@@ -46,7 +51,7 @@ class GatewayMonitor:
             and reported != true
         ):
             self._tamper_reported = True
-            tel.inc("tamper_detections", layer="gateway")
+            self._m_tamper.inc()
             tel.event(
                 "gateway",
                 "tamper_detected",

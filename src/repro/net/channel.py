@@ -24,7 +24,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro import telemetry
-from repro.net.packet import Packet
+from repro.net.packet import Direction, Packet
 from repro.sim.events import EventLoop
 from repro.sim.sampling import DEFAULT_BLOCK_SIZE, ChunkedRandom
 
@@ -125,7 +125,70 @@ class WirelessChannel:
         self._state_listeners: list[StateListener] = []
         self._buffer: deque[Packet] = deque()
         self._outage_started_at: float | None = None
-        self._telemetry = telemetry.current()
+        self._telemetry = tel = telemetry.current()
+        # Bound per-direction counter handles, keyed by the Direction
+        # member itself so the hot path never touches ``.value``.  In
+        # burst-aggregation mode the ``_agg_*`` accumulators shadow them
+        # and drain into the same handles on session flush.
+        self._m_outages = None
+        self._m_in = self._m_out = None
+        self._m_drop_overflow = self._m_drop_rss = None
+        self._agg_in = self._agg_out = None
+        self._agg_drop_overflow = self._agg_drop_rss = None
+        if tel is not None:
+            self._m_outages = tel.bind_counter("outages", layer=name)
+            self._m_in = {
+                d: tel.bind_counter("bytes_in", layer=name, direction=d.value)
+                for d in Direction
+            }
+            self._m_out = {
+                d: tel.bind_counter("bytes_out", layer=name, direction=d.value)
+                for d in Direction
+            }
+            self._m_drop_overflow = {
+                d: tel.bind_counter(
+                    "bytes_dropped",
+                    layer=name,
+                    direction=d.value,
+                    cause="buffer_overflow",
+                )
+                for d in Direction
+            }
+            self._m_drop_rss = {
+                d: tel.bind_counter(
+                    "bytes_dropped",
+                    layer=name,
+                    direction=d.value,
+                    cause="rss_loss",
+                )
+                for d in Direction
+            }
+            if tel.burst_aggregation:
+                self._agg_in = {
+                    d: telemetry.RunAccumulator(h)
+                    for d, h in self._m_in.items()
+                }
+                self._agg_out = {
+                    d: telemetry.RunAccumulator(h)
+                    for d, h in self._m_out.items()
+                }
+                self._agg_drop_overflow = {
+                    d: telemetry.RunAccumulator(h)
+                    for d, h in self._m_drop_overflow.items()
+                }
+                self._agg_drop_rss = {
+                    d: telemetry.RunAccumulator(h)
+                    for d, h in self._m_drop_rss.items()
+                }
+                accumulators = (
+                    *self._agg_in.values(),
+                    *self._agg_out.values(),
+                    *self._agg_drop_overflow.values(),
+                    *self._agg_drop_rss.values(),
+                )
+                tel.on_flush(
+                    lambda: telemetry.flush_all(accumulators)
+                )
 
         self.sent_packets = 0
         self.sent_bytes = 0
@@ -167,7 +230,7 @@ class WirelessChannel:
         self._outage_started_at = self.loop.now
         tel = self._telemetry
         if tel is not None:
-            tel.inc("outages", layer=self.name)
+            self._m_outages.inc()
             tel.event("air", "outage_start", buffered=len(self._buffer))
         for listener in self._state_listeners:
             listener(False)
@@ -228,14 +291,13 @@ class WirelessChannel:
         """
         self.sent_packets += 1
         self.sent_bytes += packet.size
-        tel = self._telemetry
-        if tel is not None:
-            tel.inc(
-                "bytes_in",
-                packet.size,
-                layer=self.name,
-                direction=packet.direction.value,
-            )
+        agg = self._agg_in
+        if agg is not None:
+            acc = agg[packet.direction]
+            acc.bytes += packet.size
+            acc.packets += 1
+        elif self._m_in is not None:
+            self._m_in[packet.direction].inc(packet.size)
 
         if not self.connected:
             if len(self._buffer) < self.config.buffer_packets:
@@ -243,27 +305,25 @@ class WirelessChannel:
                 return True
             self.dropped_packets += 1
             self.dropped_bytes += packet.size
-            if tel is not None:
-                tel.inc(
-                    "bytes_dropped",
-                    packet.size,
-                    layer=self.name,
-                    direction=packet.direction.value,
-                    cause="buffer_overflow",
-                )
+            agg = self._agg_drop_overflow
+            if agg is not None:
+                acc = agg[packet.direction]
+                acc.bytes += packet.size
+                acc.packets += 1
+            elif self._m_drop_overflow is not None:
+                self._m_drop_overflow[packet.direction].inc(packet.size)
             return False
 
         if self.rng.random() < self._loss_rate:
             self.dropped_packets += 1
             self.dropped_bytes += packet.size
-            if tel is not None:
-                tel.inc(
-                    "bytes_dropped",
-                    packet.size,
-                    layer=self.name,
-                    direction=packet.direction.value,
-                    cause="rss_loss",
-                )
+            agg = self._agg_drop_rss
+            if agg is not None:
+                acc = agg[packet.direction]
+                acc.bytes += packet.size
+                acc.packets += 1
+            elif self._m_drop_rss is not None:
+                self._m_drop_rss[packet.direction].inc(packet.size)
             return False
 
         self._schedule_delivery(packet)
@@ -282,13 +342,12 @@ class WirelessChannel:
     def _deliver(self, packet: Packet) -> None:
         self.delivered_packets += 1
         self.delivered_bytes += packet.size
-        tel = self._telemetry
-        if tel is not None:
-            tel.inc(
-                "bytes_out",
-                packet.size,
-                layer=self.name,
-                direction=packet.direction.value,
-            )
+        agg = self._agg_out
+        if agg is not None:
+            acc = agg[packet.direction]
+            acc.bytes += packet.size
+            acc.packets += 1
+        elif self._m_out is not None:
+            self._m_out[packet.direction].inc(packet.size)
         for receiver in self._receivers:
             receiver(packet)

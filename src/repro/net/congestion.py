@@ -22,7 +22,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro import telemetry
-from repro.net.packet import Packet
+from repro.net.packet import Direction, Packet
 from repro.sim.events import EventLoop
 from repro.sim.sampling import DEFAULT_BLOCK_SIZE, ChunkedRandom
 
@@ -110,7 +110,51 @@ class CongestedQueue:
         self.sent_bytes = 0
         self.dropped_packets = 0
         self.dropped_bytes = 0
-        self._telemetry = telemetry.current()
+        self._telemetry = tel = telemetry.current()
+        # Bound per-direction counter handles (see WirelessChannel): in
+        # burst-aggregation mode same-outcome byte runs accumulate in
+        # plain integers and fold into the counters on session flush.
+        self._m_in = self._m_out = self._m_drop = None
+        self._agg_in = self._agg_out = self._agg_drop = None
+        if tel is not None:
+            self._m_in = {
+                d: tel.bind_counter("bytes_in", layer=name, direction=d.value)
+                for d in Direction
+            }
+            self._m_out = {
+                d: tel.bind_counter("bytes_out", layer=name, direction=d.value)
+                for d in Direction
+            }
+            self._m_drop = {
+                d: tel.bind_counter(
+                    "bytes_dropped",
+                    layer=name,
+                    direction=d.value,
+                    cause="congestion",
+                )
+                for d in Direction
+            }
+            if tel.burst_aggregation:
+                self._agg_in = {
+                    d: telemetry.RunAccumulator(h)
+                    for d, h in self._m_in.items()
+                }
+                self._agg_out = {
+                    d: telemetry.RunAccumulator(h)
+                    for d, h in self._m_out.items()
+                }
+                self._agg_drop = {
+                    d: telemetry.RunAccumulator(h)
+                    for d, h in self._m_drop.items()
+                }
+                accumulators = (
+                    *self._agg_in.values(),
+                    *self._agg_out.values(),
+                    *self._agg_drop.values(),
+                )
+                tel.on_flush(
+                    lambda: telemetry.flush_all(accumulators)
+                )
         # The bottleneck load is fixed for a run: precompute the baseline
         # drop probability, the per-QCI effective rates, and the queueing
         # delay instead of re-deriving the logistic per packet.
@@ -138,26 +182,24 @@ class CongestedQueue:
         """Pass a packet through the bottleneck; False when dropped."""
         self.sent_packets += 1
         self.sent_bytes += packet.size
-        tel = self._telemetry
-        if tel is not None:
-            tel.inc(
-                "bytes_in",
-                packet.size,
-                layer=self.name,
-                direction=packet.direction.value,
-            )
+        agg = self._agg_in
+        if agg is not None:
+            acc = agg[packet.direction]
+            acc.bytes += packet.size
+            acc.packets += 1
+        elif self._m_in is not None:
+            self._m_in[packet.direction].inc(packet.size)
         rate = self._drop_rate_by_qci.get(packet.qci, self._base_drop_rate)
         if rate and self.rng.random() < rate:
             self.dropped_packets += 1
             self.dropped_bytes += packet.size
-            if tel is not None:
-                tel.inc(
-                    "bytes_dropped",
-                    packet.size,
-                    layer=self.name,
-                    direction=packet.direction.value,
-                    cause="congestion",
-                )
+            agg = self._agg_drop
+            if agg is not None:
+                acc = agg[packet.direction]
+                acc.bytes += packet.size
+                acc.packets += 1
+            elif self._m_drop is not None:
+                self._m_drop[packet.direction].inc(packet.size)
             return False
 
         # Fire-and-forget fast path: queue egress is never cancelled.
@@ -165,13 +207,12 @@ class CongestedQueue:
         return True
 
     def _deliver(self, packet: Packet) -> None:
-        tel = self._telemetry
-        if tel is not None:
-            tel.inc(
-                "bytes_out",
-                packet.size,
-                layer=self.name,
-                direction=packet.direction.value,
-            )
+        agg = self._agg_out
+        if agg is not None:
+            acc = agg[packet.direction]
+            acc.bytes += packet.size
+            acc.packets += 1
+        elif self._m_out is not None:
+            self._m_out[packet.direction].inc(packet.size)
         for receiver in self._receivers:
             receiver(packet)

@@ -11,7 +11,7 @@ import random
 from typing import Callable
 
 from repro import telemetry
-from repro.net.packet import Packet
+from repro.net.packet import Direction, Packet
 from repro.sim.events import EventLoop
 from repro.sim.sampling import DEFAULT_BLOCK_SIZE, ChunkedRandom
 
@@ -66,7 +66,50 @@ class Link:
         self.sent_bytes = 0
         self.dropped_packets = 0
         self.dropped_bytes = 0
-        self._telemetry = telemetry.current()
+        self._telemetry = tel = telemetry.current()
+        # Bound per-direction counter handles; burst accumulators fold
+        # same-outcome byte runs into them on session flush.
+        self._m_in = self._m_out = self._m_drop = None
+        self._agg_in = self._agg_out = self._agg_drop = None
+        if tel is not None:
+            self._m_in = {
+                d: tel.bind_counter("bytes_in", layer=name, direction=d.value)
+                for d in Direction
+            }
+            self._m_out = {
+                d: tel.bind_counter("bytes_out", layer=name, direction=d.value)
+                for d in Direction
+            }
+            self._m_drop = {
+                d: tel.bind_counter(
+                    "bytes_dropped",
+                    layer=name,
+                    direction=d.value,
+                    cause="link_loss",
+                )
+                for d in Direction
+            }
+            if tel.burst_aggregation:
+                self._agg_in = {
+                    d: telemetry.RunAccumulator(h)
+                    for d, h in self._m_in.items()
+                }
+                self._agg_out = {
+                    d: telemetry.RunAccumulator(h)
+                    for d, h in self._m_out.items()
+                }
+                self._agg_drop = {
+                    d: telemetry.RunAccumulator(h)
+                    for d, h in self._m_drop.items()
+                }
+                accumulators = (
+                    *self._agg_in.values(),
+                    *self._agg_out.values(),
+                    *self._agg_drop.values(),
+                )
+                tel.on_flush(
+                    lambda: telemetry.flush_all(accumulators)
+                )
 
     def connect(self, receiver: Deliver) -> None:
         """Attach a delivery callback (multiple receivers all get a copy)."""
@@ -76,25 +119,23 @@ class Link:
         """Inject a packet; returns False if the loss draw dropped it."""
         self.sent_packets += 1
         self.sent_bytes += packet.size
-        tel = self._telemetry
-        if tel is not None:
-            tel.inc(
-                "bytes_in",
-                packet.size,
-                layer=self.name,
-                direction=packet.direction.value,
-            )
+        agg = self._agg_in
+        if agg is not None:
+            acc = agg[packet.direction]
+            acc.bytes += packet.size
+            acc.packets += 1
+        elif self._m_in is not None:
+            self._m_in[packet.direction].inc(packet.size)
         if self.loss_rate > 0 and self.rng.random() < self.loss_rate:
             self.dropped_packets += 1
             self.dropped_bytes += packet.size
-            if tel is not None:
-                tel.inc(
-                    "bytes_dropped",
-                    packet.size,
-                    layer=self.name,
-                    direction=packet.direction.value,
-                    cause="link_loss",
-                )
+            agg = self._agg_drop
+            if agg is not None:
+                acc = agg[packet.direction]
+                acc.bytes += packet.size
+                acc.packets += 1
+            elif self._m_drop is not None:
+                self._m_drop[packet.direction].inc(packet.size)
             return False
 
         depart = self.loop.now
@@ -109,13 +150,12 @@ class Link:
         return True
 
     def _deliver(self, packet: Packet) -> None:
-        tel = self._telemetry
-        if tel is not None:
-            tel.inc(
-                "bytes_out",
-                packet.size,
-                layer=self.name,
-                direction=packet.direction.value,
-            )
+        agg = self._agg_out
+        if agg is not None:
+            acc = agg[packet.direction]
+            acc.bytes += packet.size
+            acc.packets += 1
+        elif self._m_out is not None:
+            self._m_out[packet.direction].inc(packet.size)
         for receiver in self._receivers:
             receiver(packet)

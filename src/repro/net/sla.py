@@ -17,7 +17,7 @@ from typing import Callable
 
 from repro import telemetry
 from repro.lte.bearer import QCI_DELAY_BUDGET
-from repro.net.packet import Packet
+from repro.net.packet import Direction, Packet
 from repro.sim.events import EventLoop
 
 Deliver = Callable[[Packet], None]
@@ -45,7 +45,46 @@ class SlaMiddlebox:
         self.passed_bytes = 0
         self.dropped_packets = 0
         self.dropped_bytes = 0
-        self._telemetry = telemetry.current()
+        self._telemetry = tel = telemetry.current()
+        # Bound per-direction counter handles; pass-through bytes burst-
+        # aggregate, while drops stay per-packet (each also emits a
+        # structured ``sla_drop`` trace event).
+        self._m_in = self._m_out = self._m_drop = None
+        self._agg_in = self._agg_out = None
+        if tel is not None:
+            self._m_in = {
+                d: tel.bind_counter("bytes_in", layer=name, direction=d.value)
+                for d in Direction
+            }
+            self._m_out = {
+                d: tel.bind_counter("bytes_out", layer=name, direction=d.value)
+                for d in Direction
+            }
+            self._m_drop = {
+                d: tel.bind_counter(
+                    "bytes_dropped",
+                    layer=name,
+                    direction=d.value,
+                    cause="sla_expired",
+                )
+                for d in Direction
+            }
+            if tel.burst_aggregation:
+                self._agg_in = {
+                    d: telemetry.RunAccumulator(h)
+                    for d, h in self._m_in.items()
+                }
+                self._agg_out = {
+                    d: telemetry.RunAccumulator(h)
+                    for d, h in self._m_out.items()
+                }
+                accumulators = (
+                    *self._agg_in.values(),
+                    *self._agg_out.values(),
+                )
+                tel.on_flush(
+                    lambda: telemetry.flush_all(accumulators)
+                )
 
     def connect(self, receiver: Deliver) -> None:
         """Attach the downstream element."""
@@ -67,27 +106,20 @@ class SlaMiddlebox:
 
     def send(self, packet: Packet) -> bool:
         """Forward the packet unless it has aged past its budget."""
-        tel = self._telemetry
-        if tel is not None:
-            tel.inc(
-                "bytes_in",
-                packet.size,
-                layer=self.name,
-                direction=packet.direction.value,
-            )
+        agg = self._agg_in
+        if agg is not None:
+            acc = agg[packet.direction]
+            acc.bytes += packet.size
+            acc.packets += 1
+        elif self._m_in is not None:
+            self._m_in[packet.direction].inc(packet.size)
         age = self.loop.now - packet.created_at
         if age > self.budget_for(packet):
             self.dropped_packets += 1
             self.dropped_bytes += packet.size
-            if tel is not None:
-                tel.inc(
-                    "bytes_dropped",
-                    packet.size,
-                    layer=self.name,
-                    direction=packet.direction.value,
-                    cause="sla_expired",
-                )
-                tel.event(
+            if self._m_drop is not None:
+                self._m_drop[packet.direction].inc(packet.size)
+                self._telemetry.event(
                     self.name,
                     "sla_drop",
                     flow=packet.flow,
@@ -97,13 +129,13 @@ class SlaMiddlebox:
             return False
         self.passed_packets += 1
         self.passed_bytes += packet.size
-        if tel is not None:
-            tel.inc(
-                "bytes_out",
-                packet.size,
-                layer=self.name,
-                direction=packet.direction.value,
-            )
+        agg = self._agg_out
+        if agg is not None:
+            acc = agg[packet.direction]
+            acc.bytes += packet.size
+            acc.packets += 1
+        elif self._m_out is not None:
+            self._m_out[packet.direction].inc(packet.size)
         for receiver in self._receivers:
             receiver(packet)
         return True

@@ -5,7 +5,8 @@ they are lost (§3 gateway CDRs vs. device receipts, §5.4 RRC COUNTER
 CHECK).  This package makes those counting points observable: every
 metering/loss element publishes counters into a
 :class:`~repro.telemetry.metrics.MetricsRegistry` and structured events
-into a :class:`~repro.telemetry.trace.TraceBuffer`, both scoped to one
+into a :class:`~repro.telemetry.trace.TraceBuffer` (or a live, buffered
+:class:`~repro.telemetry.trace.TraceSink`), both scoped to one
 :class:`Telemetry` session, and
 :mod:`repro.telemetry.accounting` folds a session's metrics into a
 per-layer byte-accounting table that must reconcile exactly:
@@ -28,6 +29,24 @@ Telemetry is *opt-in per scenario* and **free when off**:
   ``--metrics-out``/``--trace`` flags and the campaign engine's
   ``telemetry=True`` turn on.
 
+Write-path performance
+----------------------
+
+Metered runs stay on the hot path too (the perf gate holds
+``telemetry_on`` within 1.5x of ``telemetry_off``):
+
+- Components *bind* their instruments at construction time
+  (:meth:`Telemetry.bind_counter` and friends): one canonicalizing
+  lookup per site, then plain ``handle.inc(n)`` attribute increments
+  per packet.  The kwarg-style :meth:`inc`/:meth:`set`/:meth:`observe`
+  remain as a compatible slow path for cold or dynamic-label sites.
+- High-frequency packet elements additionally *burst-aggregate*: they
+  accumulate contiguous same-outcome byte runs in plain integers and
+  fold them into their bound counters on :meth:`Telemetry.flush`
+  (sums of non-negative integers, so snapshots are exactly equal to
+  per-packet instrumentation).  :attr:`Telemetry.burst_aggregation`
+  switches the mode; the equivalence suite runs both and compares.
+
 >>> from repro import telemetry
 >>> print(telemetry.current())
 None
@@ -38,6 +57,12 @@ True
 >>> session.inc("bytes_counted", 42, layer="gateway", direction="downlink")
 >>> session.registry.value("bytes_counted", layer="gateway", direction="downlink")
 42
+>>> handle = session.bind_counter(
+...     "bytes_counted", direction="downlink", layer="gateway"
+... )
+>>> handle.inc(8)
+>>> session.registry.value("bytes_counted", layer="gateway", direction="downlink")
+50
 """
 
 from __future__ import annotations
@@ -46,28 +71,40 @@ from contextlib import contextmanager
 from typing import Any, Callable, Iterator
 
 from repro.telemetry.metrics import (
+    BoundCounter,
+    BoundGauge,
+    BoundHistogram,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
+    RunAccumulator,
+    flush_all,
 )
 from repro.telemetry.trace import (
     TraceBuffer,
     TraceEvent,
+    TraceSink,
     read_jsonl,
     write_jsonl,
 )
 
 __all__ = [
+    "BoundCounter",
+    "BoundGauge",
+    "BoundHistogram",
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "RunAccumulator",
     "Telemetry",
     "TraceBuffer",
     "TraceEvent",
+    "TraceSink",
     "activation",
     "current",
+    "flush_all",
     "read_jsonl",
     "write_jsonl",
 ]
@@ -83,33 +120,90 @@ class Telemetry:
         scenario runs bind it to their event loop.  Defaults to a clock
         stuck at 0.0 (metrics don't need time; traces do).
     capture_trace:
-        When False (the default), :meth:`event` is a no-op and no trace
-        buffer is kept — metrics-only sessions stay lean.
+        When False (the default), trace events are not buffered in
+        memory — metrics-only sessions stay lean.
+    sink:
+        Optional live :class:`~repro.telemetry.trace.TraceSink`: trace
+        events stream through its buffered JSONL writer as they happen
+        (independently of ``capture_trace``).  The caller owns the
+        sink's lifecycle — use it as a context manager so it flushes
+        and closes even when the run raises.
+    burst_aggregation:
+        Whether high-frequency packet elements may fold contiguous
+        same-outcome byte runs into one counter update at flush time
+        instead of incrementing per packet.  ``None`` (default) takes
+        the class-level :attr:`BURST_AGGREGATION`; the equivalence
+        suite pins it ``False`` to compare against per-packet
+        instrumentation.
     """
+
+    #: Default burst-aggregation mode for new sessions.
+    BURST_AGGREGATION = True
 
     def __init__(
         self,
         clock: Callable[[], float] | None = None,
         capture_trace: bool = False,
+        sink: TraceSink | None = None,
+        burst_aggregation: bool | None = None,
     ) -> None:
         self.registry = MetricsRegistry()
         self.trace: TraceBuffer | None = (
             TraceBuffer(clock) if capture_trace else None
         )
+        self.sink = sink
+        if sink is not None and sink.clock is None:
+            sink.clock = clock
+        self.burst_aggregation = (
+            self.BURST_AGGREGATION
+            if burst_aggregation is None
+            else bool(burst_aggregation)
+        )
+        # Burst accumulators register a callback here; flush() folds
+        # their pending integer runs into the registry before any read.
+        self._flushers: list[Callable[[], None]] = []
 
-    # -- metrics write path (delegates to the registry) ----------------
+    # -- metrics write path --------------------------------------------
+
+    def bind_counter(self, name: str, **labels: Any) -> BoundCounter:
+        """A pre-resolved counter handle (the hot-path write API)."""
+        return self.registry.bind_counter(name, **labels)
+
+    def bind_gauge(self, name: str, **labels: Any) -> BoundGauge:
+        """A pre-resolved gauge handle."""
+        return self.registry.bind_gauge(name, **labels)
+
+    def bind_histogram(self, name: str, **labels: Any) -> BoundHistogram:
+        """A pre-resolved histogram handle."""
+        return self.registry.bind_histogram(name, **labels)
 
     def inc(self, name: str, amount: int | float = 1, **labels: Any) -> None:
-        """Increment the counter for (name, labels)."""
+        """Increment the counter for (name, labels) — kwarg slow path."""
         self.registry.inc(name, amount, **labels)
 
     def set(self, name: str, value: float, **labels: Any) -> None:
-        """Set the gauge for (name, labels)."""
+        """Set the gauge for (name, labels) — kwarg slow path."""
         self.registry.set(name, value, **labels)
 
     def observe(self, name: str, value: float, **labels: Any) -> None:
-        """Record a histogram sample for (name, labels)."""
+        """Record a histogram sample for (name, labels) — kwarg slow path."""
         self.registry.observe(name, value, **labels)
+
+    # -- burst aggregation ---------------------------------------------
+
+    def on_flush(self, callback: Callable[[], None]) -> None:
+        """Register a callback run by :meth:`flush` (burst accumulators)."""
+        self._flushers.append(callback)
+
+    def flush(self) -> None:
+        """Fold every pending burst accumulation into the registry.
+
+        Must run before reading the registry of a live run (snapshots
+        do this automatically); flushing twice is harmless — the
+        accumulators drain on flush.
+        """
+        for callback in self._flushers:
+            callback()
 
     # -- tracing --------------------------------------------------------
 
@@ -117,11 +211,14 @@ class Telemetry:
         """Emit a structured trace event (no-op unless capturing)."""
         if self.trace is not None:
             self.trace.emit(layer, event, **fields)
+        if self.sink is not None:
+            self.sink.emit(layer, event, **fields)
 
     # -- export ---------------------------------------------------------
 
     def snapshot(self) -> dict[str, Any]:
         """JSON-able dump: all metrics, plus trace events if captured."""
+        self.flush()
         out: dict[str, Any] = {"metrics": self.registry.snapshot()}
         if self.trace is not None:
             out["trace"] = self.trace.as_dicts()

@@ -9,6 +9,23 @@ snapshots are plain JSON-able dicts, and nothing here touches the wall
 clock (trace timestamps come from the simulated clock, see
 :mod:`repro.telemetry.trace`).
 
+Two write paths share one instrument namespace:
+
+- **Bound handles** (:meth:`MetricsRegistry.bind_counter` and friends) —
+  the hot path.  An instrumentation point resolves its label set once,
+  at bind time (labels are canonicalized and the lookup key interned);
+  every subsequent ``handle.inc()`` is a plain attribute increment on
+  the underlying instrument.  The instrument itself materializes on the
+  *first write*, not at bind time, so a site that binds but never fires
+  leaves no zero-valued series behind — snapshots stay identical to the
+  kwarg path's.
+- **Kwarg calls** (:meth:`MetricsRegistry.inc` / ``set`` / ``observe``)
+  — the compatible slow path for cold or dynamic-label sites.  Repeated
+  calls from the same site are served from an intern cache keyed by the
+  labels *in call order*, so the canonicalizing sort runs once per
+  distinct call shape, and ``inc(n, ue="a", bearer=1)`` and
+  ``inc(n, bearer=1, ue="a")`` always land on the same series.
+
 The performance contract lives one level up: when no telemetry session
 is active, instrumented components hold ``None`` and never call into
 this module (see :mod:`repro.telemetry`), so the no-sink fast path is a
@@ -18,6 +35,12 @@ single ``is not None`` check.
 >>> registry.inc("bytes_counted", 1500, layer="gateway", direction="downlink")
 >>> registry.value("bytes_counted", layer="gateway", direction="downlink")
 1500
+>>> handle = registry.bind_counter(
+...     "bytes_counted", layer="gateway", direction="downlink"
+... )
+>>> handle.inc(500)
+>>> registry.value("bytes_counted", direction="downlink", layer="gateway")
+2000
 """
 
 from __future__ import annotations
@@ -116,6 +139,128 @@ Instrument = Counter | Gauge | Histogram
 _KIND_FACTORY = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
 
 
+class BoundCounter:
+    """A site-resolved counter handle: labels canonicalized at bind time.
+
+    The underlying :class:`Counter` materializes in the registry on the
+    first :meth:`inc`, keeping snapshots free of never-fired series.
+    """
+
+    __slots__ = ("_registry", "_name", "_labels", "_counter")
+
+    def __init__(
+        self, registry: "MetricsRegistry", name: str, labels: Labels
+    ) -> None:
+        self._registry = registry
+        self._name = name
+        self._labels = labels
+        self._counter: Counter | None = None
+
+    def inc(self, amount: int | float = 1) -> None:
+        """Add ``amount`` (non-negative) to the bound counter."""
+        counter = self._counter
+        if counter is None:
+            counter = self._counter = self._registry._materialize(
+                "counter", self._name, self._labels
+            )  # type: ignore[assignment]
+        if amount < 0:
+            raise ValueError(f"counter increments are non-negative: {amount}")
+        counter.value += amount
+
+
+class BoundGauge:
+    """A site-resolved gauge handle (see :class:`BoundCounter`)."""
+
+    __slots__ = ("_registry", "_name", "_labels", "_gauge")
+
+    def __init__(
+        self, registry: "MetricsRegistry", name: str, labels: Labels
+    ) -> None:
+        self._registry = registry
+        self._name = name
+        self._labels = labels
+        self._gauge: Gauge | None = None
+
+    def _resolve(self) -> Gauge:
+        gauge = self._gauge
+        if gauge is None:
+            gauge = self._gauge = self._registry._materialize(
+                "gauge", self._name, self._labels
+            )  # type: ignore[assignment]
+        return gauge
+
+    def set(self, value: float) -> None:
+        """Overwrite the bound gauge with the latest observation."""
+        self._resolve().value = value
+
+    def add(self, delta: float) -> None:
+        """Move the bound gauge by ``delta`` (either sign)."""
+        self._resolve().value += delta
+
+
+class BoundHistogram:
+    """A site-resolved histogram handle (see :class:`BoundCounter`)."""
+
+    __slots__ = ("_registry", "_name", "_labels", "_histogram")
+
+    def __init__(
+        self, registry: "MetricsRegistry", name: str, labels: Labels
+    ) -> None:
+        self._registry = registry
+        self._name = name
+        self._labels = labels
+        self._histogram: Histogram | None = None
+
+    def observe(self, value: float) -> None:
+        """Record one sample on the bound histogram."""
+        histogram = self._histogram
+        if histogram is None:
+            histogram = self._histogram = self._registry._materialize(
+                "histogram", self._name, self._labels
+            )  # type: ignore[assignment]
+        histogram.observe(value)
+
+
+class RunAccumulator:
+    """A burst accumulator feeding one bound counter.
+
+    High-frequency packet elements add contiguous same-outcome byte
+    runs here with two plain attribute increments per packet
+    (``acc.bytes += size; acc.packets += 1``) and fold the run into the
+    bound counter on :meth:`flush` — one counter update per run instead
+    of one per packet.  Sums of non-negative integers commute, so the
+    flushed totals are exactly the per-packet totals, and a counter is
+    only materialized when at least one packet actually crossed the
+    site (``packets`` guards zero-byte runs), keeping snapshots
+    identical to unaggregated instrumentation.
+    """
+
+    __slots__ = ("handle", "bytes", "packets")
+
+    def __init__(self, handle: BoundCounter) -> None:
+        self.handle = handle
+        self.bytes = 0
+        self.packets = 0
+
+    def add(self, size: int) -> None:
+        """Accumulate one packet (call sites may inline the two adds)."""
+        self.bytes += size
+        self.packets += 1
+
+    def flush(self) -> None:
+        """Fold the pending run into the bound counter and drain."""
+        if self.packets:
+            self.handle.inc(self.bytes)
+            self.bytes = 0
+            self.packets = 0
+
+
+def flush_all(accumulators: Iterable[RunAccumulator]) -> None:
+    """Flush a collection of accumulators (session flush callback)."""
+    for accumulator in accumulators:
+        accumulator.flush()
+
+
 class MetricsRegistry:
     """Get-or-create store of instruments keyed by (name, labels).
 
@@ -126,15 +271,28 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._instruments: dict[tuple[str, str, Labels], Instrument] = {}
+        # Intern cache for the kwarg path: call-order label tuples mapped
+        # to their (sort-canonicalized) instrument, so the sorting cost
+        # is paid once per distinct call shape, not per call.
+        self._interned: dict[tuple[str, str, Labels], Instrument] = {}
 
     # -- instrument accessors ------------------------------------------
 
-    def _get(self, kind: str, name: str, labels: dict[str, Any]) -> Instrument:
-        key = (kind, name, _labels_key(labels))
+    def _materialize(self, kind: str, name: str, labels: Labels) -> Instrument:
+        """Get-or-create the instrument for already-canonical labels."""
+        key = (kind, name, labels)
         instrument = self._instruments.get(key)
         if instrument is None:
-            instrument = _KIND_FACTORY[kind](name, key[2])
+            instrument = _KIND_FACTORY[kind](name, labels)
             self._instruments[key] = instrument
+        return instrument
+
+    def _get(self, kind: str, name: str, labels: dict[str, Any]) -> Instrument:
+        key = (kind, name, tuple(labels.items()))
+        instrument = self._interned.get(key)
+        if instrument is None:
+            instrument = self._materialize(kind, name, _labels_key(labels))
+            self._interned[key] = instrument
         return instrument
 
     def counter(self, name: str, **labels: Any) -> Counter:
@@ -148,6 +306,25 @@ class MetricsRegistry:
     def histogram(self, name: str, **labels: Any) -> Histogram:
         """The histogram for (name, labels), created on first use."""
         return self._get("histogram", name, labels)  # type: ignore[return-value]
+
+    # -- bound handles (the hot-path write API) ------------------------
+
+    def bind_counter(self, name: str, **labels: Any) -> BoundCounter:
+        """A pre-resolved counter handle for (name, labels).
+
+        Binding canonicalizes the labels once; the returned handle's
+        ``inc`` is a plain attribute increment afterwards.  The series
+        itself is created on the first increment, not at bind time.
+        """
+        return BoundCounter(self, name, _labels_key(labels))
+
+    def bind_gauge(self, name: str, **labels: Any) -> BoundGauge:
+        """A pre-resolved gauge handle for (name, labels)."""
+        return BoundGauge(self, name, _labels_key(labels))
+
+    def bind_histogram(self, name: str, **labels: Any) -> BoundHistogram:
+        """A pre-resolved histogram handle for (name, labels)."""
+        return BoundHistogram(self, name, _labels_key(labels))
 
     # -- convenience write paths ---------------------------------------
 

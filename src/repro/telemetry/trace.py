@@ -18,8 +18,9 @@ the CLI's ``--trace`` flag writes:
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass, field
-from typing import IO, Any, Callable, Iterable
+from typing import IO, Any, Callable, Iterable, Mapping
 
 
 @dataclass(frozen=True)
@@ -64,6 +65,152 @@ class TraceBuffer:
     def as_dicts(self) -> list[dict[str, Any]]:
         """All events as JSON-able dicts (what campaign results store)."""
         return [event.as_dict() for event in self.events]
+
+
+class TraceSink:
+    """A buffered, line-atomic JSONL trace sink.
+
+    Events accumulate in a bounded in-memory buffer and are
+    batch-serialized on flush: the whole batch is rendered to complete
+    ``\\n``-terminated JSON lines *before* a single byte reaches the
+    file, and written with one ``write`` call.  A crash or worker
+    failure mid-run can therefore never leave a truncated JSONL line —
+    every event is either fully on disk or not on disk at all.
+
+    Use it as a context manager; the buffer is flushed and the file
+    closed on the way out **including exception paths**:
+
+    >>> import io
+    >>> fh = io.StringIO()
+    >>> with TraceSink(fh, clock=lambda: 1.0) as sink:
+    ...     sink.emit("gateway", "cdr_emitted", uplink_bytes=10)
+    >>> fh.getvalue()
+    '{"t": 1.0, "layer": "gateway", "event": "cdr_emitted", "uplink_bytes": 10}\\n'
+
+    Parameters
+    ----------
+    target:
+        A filesystem path (the sink opens and owns the file, closing it
+        on :meth:`close`) or an open text file object (borrowed: flushed
+        but left open for the caller).
+    clock:
+        Simulated-clock callable stamping each :meth:`emit`; a
+        :class:`~repro.telemetry.Telemetry` session binds it for you.
+    buffer_events:
+        Flush automatically once this many events are pending.
+    sample:
+        Event names subject to 1-in-N sampling — use this for
+        per-packet events whose exact counts already live in the
+        metrics registry.  Events not named here are recorded exactly
+        (byte-accounting events must be).
+    sample_every:
+        Keep one out of every N occurrences of each sampled event name
+        (the first of each N is kept; 1 keeps everything).
+    """
+
+    def __init__(
+        self,
+        target: str | os.PathLike | IO[str],
+        clock: Callable[[], float] | None = None,
+        buffer_events: int = 1024,
+        sample: Iterable[str] = (),
+        sample_every: int = 1,
+    ) -> None:
+        if buffer_events < 1:
+            raise ValueError(f"buffer_events must be >= 1: {buffer_events}")
+        if sample_every < 1:
+            raise ValueError(f"sample_every must be >= 1: {sample_every}")
+        if hasattr(target, "write"):
+            self._fh: IO[str] | None = target  # type: ignore[assignment]
+            self._owns_fh = False
+        else:
+            self._fh = open(target, "w", encoding="utf-8")
+            self._owns_fh = True
+        self.clock = clock
+        self.buffer_events = int(buffer_events)
+        self.sample_every = int(sample_every)
+        self._sampled_names = frozenset(sample)
+        self._sample_seen: dict[str, int] = {}
+        self._pending: list[dict[str, Any]] = []
+        self.events_seen = 0
+        self.events_dropped = 0
+        self.lines_written = 0
+
+    # -- write side -----------------------------------------------------
+
+    def emit(self, layer: str, event: str, **fields: Any) -> None:
+        """Buffer one event stamped with the current simulated time."""
+        self.events_seen += 1
+        if event in self._sampled_names and self.sample_every > 1:
+            seen = self._sample_seen.get(event, 0)
+            self._sample_seen[event] = seen + 1
+            if seen % self.sample_every:
+                self.events_dropped += 1
+                return
+        record: dict[str, Any] = {
+            "t": self.clock() if self.clock is not None else 0.0,
+            "layer": layer,
+            "event": event,
+        }
+        record.update(fields)
+        self._append(record)
+
+    def write(self, events: Iterable[Mapping[str, Any] | TraceEvent]) -> int:
+        """Buffer already-built events (dicts or :class:`TraceEvent`).
+
+        Sampling does not apply — this is the batch path the CLI uses
+        to persist per-scenario traces exactly.  Returns the count.
+        """
+        count = 0
+        for event in events:
+            record = (
+                event.as_dict()
+                if isinstance(event, TraceEvent)
+                else dict(event)
+            )
+            self._append(record)
+            count += 1
+        return count
+
+    def _append(self, record: dict[str, Any]) -> None:
+        if self._fh is None:
+            raise ValueError("trace sink is closed")
+        self._pending.append(record)
+        if len(self._pending) >= self.buffer_events:
+            self.flush()
+
+    # -- lifecycle ------------------------------------------------------
+
+    def flush(self) -> None:
+        """Batch-serialize pending events and write them as one block."""
+        if not self._pending or self._fh is None:
+            return
+        block = "".join(
+            json.dumps(record, sort_keys=False) + "\n"
+            for record in self._pending
+        )
+        self.lines_written += len(self._pending)
+        self._pending.clear()
+        self._fh.write(block)
+        self._fh.flush()
+
+    def close(self) -> None:
+        """Flush and (when the sink opened the file) close it."""
+        if self._fh is None:
+            return
+        try:
+            self.flush()
+        finally:
+            fh, owns = self._fh, self._owns_fh
+            self._fh = None
+            if owns:
+                fh.close()
+
+    def __enter__(self) -> "TraceSink":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
 
 
 def write_jsonl(events: Iterable[dict[str, Any] | TraceEvent], fh: IO[str]) -> int:

@@ -117,7 +117,7 @@ class TestKeyFormatPin:
             '"mean_outage":{"__float__":"0x1.ee147ae147ae1p+0"},'
             '"operator_clock_std":null,'
             '"rss_dbm":{"__float__":"-0x1.6800000000000p+6"},'
-            '"seed":7,"telemetry":false,"trace":false}'
+            '"seed":7,"telemetry":false,"trace":false,"trace_path":null}'
         )
 
     def test_scenario_cache_key_is_pinned(self):
@@ -125,11 +125,11 @@ class TestKeyFormatPin:
         key = config_key(
             "repro.experiments.scenario.run_scenario",
             cfg,
-            "tlc-campaign-v2",
+            "tlc-campaign-v3",
         )
         assert key == (
-            "48e8e8acf52e82684f2e8af17dcd7317"
-            "a17125e4d7bda9adafed3b3cad59d800"
+            "9879868a431a439a7653a9a34a36b54e"
+            "a49c742f2a0343f83a7831aa5491156d"
         )
 
     def test_task_key_matches_config_key(self):
@@ -161,6 +161,7 @@ class TestKeySensitivity:
             edge_tamper_fraction=0.5,
             telemetry=True,
             trace=True,
+            trace_path="/tmp/trace.jsonl",
         )
         # Cover every field, so a new field cannot silently escape the key.
         assert set(perturbations) == {

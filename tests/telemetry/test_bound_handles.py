@@ -1,0 +1,187 @@
+"""Bound instrument handles, kwarg canonicalization, burst accumulators.
+
+The hot-path write API (PR 5 tentpole): sites resolve their label set
+once via ``bind_*`` and then increment through plain handles; the
+kwarg-style ``inc``/``set``/``observe`` calls stay behind as a
+compatible slow path.  Both paths must land on the same series, in any
+kwarg order, and never leave phantom zero-valued series behind.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.telemetry import (
+    MetricsRegistry,
+    RunAccumulator,
+    Telemetry,
+    flush_all,
+)
+
+
+def _snapshot_json(registry: MetricsRegistry) -> str:
+    return json.dumps(registry.snapshot(), sort_keys=True)
+
+
+class TestKwargOrderCanonicalization:
+    def test_inc_kwarg_order_is_canonicalized(self):
+        # The ISSUE 5 regression: inc(name, ue="a", bearer=1) and
+        # inc(name, bearer=1, ue="a") must be the same series.
+        reg = MetricsRegistry()
+        reg.inc("bytes_counted", 10, ue="a", bearer=1)
+        reg.inc("bytes_counted", 5, bearer=1, ue="a")
+        assert reg.value("bytes_counted", ue="a", bearer=1) == 15
+        assert reg.value("bytes_counted", bearer=1, ue="a") == 15
+        [counter] = reg.snapshot()["counters"]
+        assert counter["value"] == 15
+
+    def test_snapshots_identical_across_kwarg_orders(self):
+        forward, backward = MetricsRegistry(), MetricsRegistry()
+        forward.inc("x", 1, a="1", b="2", c="3")
+        forward.set("g", 2.0, layer="z", direction="up")
+        forward.observe("h", 7.0, layer="z", qci=9)
+        backward.inc("x", 1, c="3", b="2", a="1")
+        backward.set("g", 2.0, direction="up", layer="z")
+        backward.observe("h", 7.0, qci=9, layer="z")
+        assert _snapshot_json(forward) == _snapshot_json(backward)
+
+    def test_bound_and_kwarg_paths_share_one_series(self):
+        reg = MetricsRegistry()
+        handle = reg.bind_counter("bytes_in", layer="air", direction="up")
+        handle.inc(100)
+        reg.inc("bytes_in", 50, direction="up", layer="air")
+        handle.inc(25)
+        assert reg.value("bytes_in", layer="air", direction="up") == 175
+        assert len(reg.snapshot()["counters"]) == 1
+
+    def test_bind_kwarg_order_does_not_matter(self):
+        reg = MetricsRegistry()
+        first = reg.bind_counter("x", a="1", b="2")
+        second = reg.bind_counter("x", b="2", a="1")
+        first.inc(3)
+        second.inc(4)
+        assert reg.value("x", a="1", b="2") == 7
+
+
+class TestBoundHandles:
+    def test_unfired_bind_leaves_no_series(self):
+        # Materialization happens on first write, so a site that binds
+        # but never fires keeps the snapshot identical to the kwarg
+        # path (which also only creates series on first write).
+        reg = MetricsRegistry()
+        reg.bind_counter("never", layer="x")
+        reg.bind_gauge("never_g", layer="x")
+        reg.bind_histogram("never_h", layer="x")
+        snap = reg.snapshot()
+        assert snap == {"counters": [], "gauges": [], "histograms": []}
+
+    def test_bound_counter_rejects_negative(self):
+        reg = MetricsRegistry()
+        handle = reg.bind_counter("x")
+        handle.inc(1)
+        with pytest.raises(ValueError):
+            handle.inc(-1)
+
+    def test_bound_gauge_set_and_add(self):
+        reg = MetricsRegistry()
+        gauge = reg.bind_gauge("depth", layer="queue")
+        gauge.set(10.0)
+        gauge.add(-3.0)
+        [entry] = reg.snapshot()["gauges"]
+        assert entry["value"] == 7.0
+
+    def test_bound_histogram_observe(self):
+        reg = MetricsRegistry()
+        hist = reg.bind_histogram("sizes", layer="air")
+        for v in (1, 2, 3):
+            hist.observe(v)
+        [entry] = reg.snapshot()["histograms"]
+        assert entry["count"] == 3
+        assert entry["total"] == 6
+
+    def test_telemetry_session_exposes_bind_api(self):
+        session = Telemetry()
+        session.bind_counter("c", layer="x").inc(2)
+        session.bind_gauge("g", layer="x").set(1.5)
+        session.bind_histogram("h", layer="x").observe(4.0)
+        snap = session.registry.snapshot()
+        assert snap["counters"][0]["value"] == 2
+        assert snap["gauges"][0]["value"] == 1.5
+        assert snap["histograms"][0]["count"] == 1
+
+
+class TestRunAccumulator:
+    def test_flush_folds_the_exact_sum(self):
+        reg = MetricsRegistry()
+        acc = RunAccumulator(reg.bind_counter("bytes_in", layer="air"))
+        for size in (100, 200, 300):
+            acc.add(size)
+        assert reg.value("bytes_in", layer="air") == 0  # not yet folded
+        acc.flush()
+        assert reg.value("bytes_in", layer="air") == 600
+
+    def test_flush_drains_and_is_idempotent(self):
+        reg = MetricsRegistry()
+        acc = RunAccumulator(reg.bind_counter("x"))
+        acc.add(5)
+        acc.flush()
+        acc.flush()
+        acc.flush()
+        assert reg.value("x") == 5
+        assert acc.bytes == 0
+        assert acc.packets == 0
+
+    def test_empty_accumulator_materializes_nothing(self):
+        # A zero-packet run must not create a zero-valued series —
+        # snapshots stay byte-identical to per-packet instrumentation.
+        reg = MetricsRegistry()
+        acc = RunAccumulator(reg.bind_counter("x", layer="quiet"))
+        acc.flush()
+        assert reg.snapshot()["counters"] == []
+
+    def test_inlined_adds_match_the_add_method(self):
+        # Hot sites inline the two attribute increments; the totals
+        # must match RunAccumulator.add exactly.
+        reg = MetricsRegistry()
+        via_method = RunAccumulator(reg.bind_counter("a"))
+        via_inline = RunAccumulator(reg.bind_counter("b"))
+        for size in (10, 20, 30):
+            via_method.add(size)
+            via_inline.bytes += size
+            via_inline.packets += 1
+        flush_all([via_method, via_inline])
+        assert reg.value("a") == reg.value("b") == 60
+
+    def test_session_flush_runs_registered_callbacks(self):
+        session = Telemetry()
+        acc = RunAccumulator(session.bind_counter("bytes_in", layer="l"))
+        session.on_flush(lambda: flush_all([acc]))
+        acc.add(42)
+        session.flush()
+        assert session.registry.value("bytes_in", layer="l") == 42
+
+    def test_snapshot_flushes_pending_runs(self):
+        session = Telemetry()
+        acc = RunAccumulator(session.bind_counter("bytes_in", layer="l"))
+        session.on_flush(acc.flush)
+        acc.add(7)
+        snap = session.snapshot()
+        [counter] = snap["metrics"]["counters"]
+        assert counter["value"] == 7
+
+
+class TestBurstAggregationFlag:
+    def test_class_default_is_on(self):
+        assert Telemetry.BURST_AGGREGATION is True
+        assert Telemetry().burst_aggregation is True
+
+    def test_constructor_pin_overrides_the_default(self):
+        assert Telemetry(burst_aggregation=False).burst_aggregation is False
+        assert Telemetry(burst_aggregation=True).burst_aggregation is True
+
+    def test_none_takes_the_class_default(self, monkeypatch):
+        monkeypatch.setattr(Telemetry, "BURST_AGGREGATION", False)
+        assert Telemetry().burst_aggregation is False
+        assert Telemetry(burst_aggregation=None).burst_aggregation is False

@@ -1,0 +1,114 @@
+"""Burst-aggregated instrumentation is exactly per-packet equivalent.
+
+The tentpole's correctness contract: folding contiguous same-outcome
+byte runs into one counter update at flush time (``burst_aggregation``)
+must produce metrics snapshots and byte-accounting tables **exactly**
+equal — not approximately — to incrementing per packet, across every
+loss model the simulator exercises.  Sums of non-negative integers
+commute, so any divergence is a bug (a missed flush, a dropped run, a
+site double-counting).
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+
+import pytest
+
+from repro.telemetry import Telemetry
+from repro.telemetry.accounting import AccountingTable
+from repro.experiments.scenario import ScenarioConfig, run_scenario
+
+# Loss model x scenario grid: every distinct drop path the per-layer
+# instrumentation counts (clean, RSS/GE channel loss, queue overflow
+# under congestion, intermittent outages, app-level loss), over both
+# the uplink webcam and downlink VR archetypes.
+GRID = [
+    ScenarioConfig(app="webcam-udp", seed=11, cycle_duration=8.0),
+    ScenarioConfig(
+        app="webcam-udp",
+        seed=12,
+        cycle_duration=8.0,
+        background_bps=120e6,
+    ),
+    ScenarioConfig(
+        app="webcam-udp",
+        seed=13,
+        cycle_duration=8.0,
+        disconnectivity_ratio=0.2,
+    ),
+    ScenarioConfig(
+        app="webcam-udp", seed=14, cycle_duration=8.0, rss_dbm=-101.0
+    ),
+    ScenarioConfig(app="vridge", seed=15, cycle_duration=6.0),
+    ScenarioConfig(
+        app="vridge", seed=16, cycle_duration=6.0, app_loss_rate=0.08
+    ),
+]
+
+
+def _metered(config: ScenarioConfig) -> ScenarioConfig:
+    import dataclasses
+
+    return dataclasses.replace(config, telemetry=True, trace=True)
+
+
+def _run_with_mode(config, monkeypatch, aggregated: bool) -> dict:
+    monkeypatch.setattr(Telemetry, "BURST_AGGREGATION", aggregated)
+    return run_scenario(_metered(config)).extras["telemetry"]
+
+
+@pytest.mark.parametrize(
+    "config", GRID, ids=lambda c: f"{c.app}-seed{c.seed}"
+)
+class TestAggregatedEqualsPerPacket:
+    def test_snapshots_and_accounting_exactly_equal(
+        self, config, monkeypatch
+    ):
+        per_packet = _run_with_mode(config, monkeypatch, aggregated=False)
+        aggregated = _run_with_mode(config, monkeypatch, aggregated=True)
+        # Exact equality of the full record: every counter value, every
+        # accounting row, every trace event.
+        assert json.dumps(per_packet, sort_keys=True) == json.dumps(
+            aggregated, sort_keys=True
+        )
+
+    def test_tables_reconcile_in_both_modes(self, config, monkeypatch):
+        for aggregated in (False, True):
+            record = _run_with_mode(config, monkeypatch, aggregated)
+            table = AccountingTable.from_dict(record["accounting"])
+            assert table.reconciles, (
+                f"aggregated={aggregated}: residual {table.residual}"
+            )
+
+
+class TestSeededByteIdentity:
+    def test_metered_runs_are_deterministic(self):
+        config = _metered(
+            ScenarioConfig(
+                app="webcam-udp",
+                seed=21,
+                cycle_duration=8.0,
+                disconnectivity_ratio=0.1,
+            )
+        )
+        first = run_scenario(config)
+        second = run_scenario(config)
+        assert pickle.dumps(first) == pickle.dumps(second)
+
+    def test_metering_does_not_perturb_the_simulation(self):
+        # Telemetry observes; it must never steer.  The ground truth
+        # and both parties' views are identical with telemetry on/off.
+        base = ScenarioConfig(
+            app="webcam-udp",
+            seed=22,
+            cycle_duration=8.0,
+            background_bps=120e6,
+        )
+        bare = run_scenario(base)
+        metered = run_scenario(_metered(base))
+        assert bare.truth == metered.truth
+        assert bare.edge_view == metered.edge_view
+        assert bare.operator_view == metered.operator_view
+        assert bare.legacy_charged == metered.legacy_charged

@@ -3,10 +3,14 @@
 from __future__ import annotations
 
 import io
+import json
+
+import pytest
 
 from repro.telemetry.trace import (
     TraceBuffer,
     TraceEvent,
+    TraceSink,
     read_jsonl,
     write_jsonl,
 )
@@ -69,3 +73,135 @@ class TestJsonl:
     def test_read_skips_blank_lines(self):
         source = io.StringIO('{"t": 0.0}\n\n{"t": 1.0}\n')
         assert read_jsonl(source) == [{"t": 0.0}, {"t": 1.0}]
+
+
+class _RecordingFile(io.StringIO):
+    """A StringIO that remembers every individual ``write`` payload."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.writes: list[str] = []
+
+    def write(self, block: str) -> int:  # type: ignore[override]
+        self.writes.append(block)
+        return super().write(block)
+
+
+class TestTraceSink:
+    def test_emit_buffers_until_flush(self):
+        fh = io.StringIO()
+        sink = TraceSink(fh, clock=lambda: 2.0)
+        sink.emit("air", "outage_start")
+        assert fh.getvalue() == ""
+        sink.flush()
+        assert read_jsonl(io.StringIO(fh.getvalue())) == [
+            {"t": 2.0, "layer": "air", "event": "outage_start"}
+        ]
+
+    def test_auto_flush_at_buffer_threshold(self):
+        fh = _RecordingFile()
+        sink = TraceSink(fh, buffer_events=3)
+        for i in range(7):
+            sink.emit("x", "tick", n=i)
+        # Two full batches auto-flushed, one event still pending.
+        assert len(fh.writes) == 2
+        assert sink.lines_written == 6
+        sink.close()
+        assert sink.lines_written == 7
+
+    def test_every_write_is_a_block_of_complete_lines(self):
+        # The no-truncation guarantee: each write() call hands the file
+        # a fully rendered, newline-terminated batch, so a crash
+        # between writes can never leave a partial JSON line.
+        fh = _RecordingFile()
+        with TraceSink(fh, buffer_events=2) as sink:
+            for i in range(5):
+                sink.emit("x", "tick", n=i)
+        assert fh.writes  # at least one batch landed
+        for block in fh.writes:
+            assert block.endswith("\n")
+            for line in block.splitlines():
+                json.loads(line)
+
+    def test_context_manager_flushes_on_exception(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with pytest.raises(RuntimeError):
+            with TraceSink(path, clock=lambda: 1.0) as sink:
+                sink.emit("gateway", "cdr_emitted", bytes=10)
+                raise RuntimeError("mid-run crash")
+        with open(path, encoding="utf-8") as fh:
+            events = read_jsonl(fh)
+        assert events == [
+            {"t": 1.0, "layer": "gateway", "event": "cdr_emitted",
+             "bytes": 10}
+        ]
+
+    def test_owned_file_is_closed_borrowed_is_not(self, tmp_path):
+        path = tmp_path / "owned.jsonl"
+        owned = TraceSink(path)
+        owned.emit("x", "y")
+        owned.close()
+        assert owned._fh is None  # closed and detached
+
+        borrowed_fh = io.StringIO()
+        borrowed = TraceSink(borrowed_fh)
+        borrowed.emit("x", "y")
+        borrowed.close()
+        assert not borrowed_fh.closed  # caller still owns it
+        assert read_jsonl(io.StringIO(borrowed_fh.getvalue()))
+
+    def test_closed_sink_rejects_writes(self):
+        sink = TraceSink(io.StringIO())
+        sink.close()
+        with pytest.raises(ValueError):
+            sink.emit("x", "y")
+        with pytest.raises(ValueError):
+            sink.write([{"t": 0.0, "layer": "x", "event": "y"}])
+        sink.close()  # double close is harmless
+
+    def test_sampling_keeps_one_in_n_of_named_events(self):
+        fh = io.StringIO()
+        with TraceSink(
+            fh, sample=("packet_seen",), sample_every=4
+        ) as sink:
+            for i in range(12):
+                sink.emit("air", "packet_seen", n=i)
+            sink.emit("gateway", "cdr_emitted")  # exact: not sampled
+        events = read_jsonl(io.StringIO(fh.getvalue()))
+        sampled = [e for e in events if e["event"] == "packet_seen"]
+        assert [e["n"] for e in sampled] == [0, 4, 8]
+        assert sink.events_seen == 13
+        assert sink.events_dropped == 9
+        assert sink.lines_written == 4
+        # Byte-accounting events must always be exact.
+        assert sum(e["event"] == "cdr_emitted" for e in events) == 1
+
+    def test_batch_write_bypasses_sampling(self):
+        fh = io.StringIO()
+        with TraceSink(
+            fh, sample=("packet_seen",), sample_every=10
+        ) as sink:
+            count = sink.write(
+                [{"t": 0.0, "layer": "a", "event": "packet_seen", "n": i}
+                 for i in range(5)]
+            )
+        assert count == 5
+        assert len(read_jsonl(io.StringIO(fh.getvalue()))) == 5
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            TraceSink(io.StringIO(), buffer_events=0)
+        with pytest.raises(ValueError):
+            TraceSink(io.StringIO(), sample_every=0)
+
+    def test_accepts_trace_events_and_dicts(self):
+        fh = io.StringIO()
+        with TraceSink(fh) as sink:
+            sink.write(
+                [
+                    TraceEvent(time=0.5, layer="air", event="e1"),
+                    {"t": 1.0, "layer": "air", "event": "e2"},
+                ]
+            )
+        assert [e["event"] for e in read_jsonl(io.StringIO(fh.getvalue()))] \
+            == ["e1", "e2"]

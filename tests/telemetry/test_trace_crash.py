@@ -1,0 +1,157 @@
+"""No truncated JSONL traces, even when a run dies mid-flight.
+
+Two layers of the guarantee:
+
+- :func:`repro.experiments.scenario.run_scenario` enters its live
+  :class:`~repro.telemetry.trace.TraceSink` through an ``ExitStack``,
+  so a scenario that raises mid-cycle (here: a fault-injected gateway
+  crash followed by a scheduled worker death) still flushes complete
+  lines and closes the file.
+- The CLI drains campaign trace records into one sink incrementally
+  and closes it in a ``finally`` block, so a failing cell in a
+  ``fail_fast=False`` sweep cannot corrupt the trace of the cells that
+  finished.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.campaign import CampaignEngine, CampaignTask
+from repro.experiments.scenario import (
+    ScenarioConfig,
+    run_scenario,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultKind, FaultPlan, FaultSpec
+from repro.telemetry.trace import TraceSink, read_jsonl
+
+
+class _CrashingInjector(FaultInjector):
+    """A fault injector whose host worker dies mid-run.
+
+    Arms the plan's faults normally (their trace events stream to the
+    live sink), then schedules an unhandled exception — the simulated
+    equivalent of a campaign worker crashing while a scenario is hot.
+    """
+
+    def __init__(self, plan: FaultPlan, die_at: float) -> None:
+        super().__init__(plan)
+        self.die_at = die_at
+
+    def on_network(self, config, loop, rngs, network) -> None:
+        super().on_network(config, loop, rngs, network)
+
+        def die() -> None:
+            raise RuntimeError("worker died mid-scenario")
+
+        loop.schedule_at(self.die_at, die, label="worker-death")
+
+
+def _gateway_crash_plan(at: float) -> FaultPlan:
+    return FaultPlan(
+        faults=(
+            FaultSpec(kind=FaultKind.GATEWAY_CRASH, at=at, duration=1.0),
+        )
+    )
+
+
+class TestMidRunCrash:
+    def test_live_sink_has_no_truncated_lines(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        config = ScenarioConfig(
+            app="webcam-udp",
+            seed=31,
+            cycle_duration=30.0,
+            telemetry=True,
+            trace=True,
+            trace_path=str(trace),
+        )
+        hooks = _CrashingInjector(_gateway_crash_plan(at=3.0), die_at=6.0)
+        with pytest.raises(RuntimeError, match="worker died"):
+            run_scenario(config, hooks=hooks)
+
+        # The sink closed on the exception path: every line on disk is
+        # complete, parseable JSON, and the fault events that fired
+        # before the death made it out.
+        raw = trace.read_text(encoding="utf-8")
+        assert raw.endswith("\n")
+        with open(trace, encoding="utf-8") as fh:
+            events = read_jsonl(fh)
+        assert events, "expected events flushed before the crash"
+        for event in events:
+            assert {"t", "layer", "event"} <= set(event)
+        assert any(
+            e["layer"] == "faults" and e["event"] == "gateway_crashed"
+            for e in events
+        )
+
+    def test_clean_run_with_same_plan_traces_recovery(self, tmp_path):
+        # Control: without the scheduled death the same fault plan runs
+        # to completion and the restart event lands in the trace too.
+        trace = tmp_path / "trace.jsonl"
+        config = ScenarioConfig(
+            app="webcam-udp",
+            seed=31,
+            cycle_duration=30.0,
+            telemetry=True,
+            trace=True,
+            trace_path=str(trace),
+        )
+        run_scenario(config, hooks=FaultInjector(_gateway_crash_plan(3.0)))
+        with open(trace, encoding="utf-8") as fh:
+            events = read_jsonl(fh)
+        names = {e["event"] for e in events if e["layer"] == "faults"}
+        assert {"gateway_crashed", "gateway_restarted"} <= names
+
+
+def _metered_cell(config: ScenarioConfig):
+    """Module-level campaign runner (picklable across workers)."""
+    return run_scenario(config)
+
+
+def _exploding_cell(config: ScenarioConfig):
+    """Module-level runner that dies like a crashing worker."""
+    raise RuntimeError("cell exploded")
+
+
+class TestCampaignTraceDrain:
+    def test_failing_cell_cannot_corrupt_the_combined_trace(self, tmp_path):
+        # Mirrors the CLI --trace path: drain each completed batch of
+        # telemetry records into one sink, close in finally, and a
+        # fail_fast=False failure leaves only complete lines behind.
+        configs = [
+            ScenarioConfig(
+                app="webcam-udp",
+                seed=seed,
+                cycle_duration=6.0,
+                telemetry=True,
+                trace=True,
+            )
+            for seed in (41, 42)
+        ]
+        tasks = [
+            CampaignTask(fn=_metered_cell, config=configs[0]),
+            CampaignTask(fn=_exploding_cell, config=configs[1]),
+            CampaignTask(fn=_metered_cell, config=configs[1]),
+        ]
+        engine = CampaignEngine(workers=1, fail_fast=False)
+        trace = tmp_path / "campaign-trace.jsonl"
+        sink = TraceSink(trace)
+        try:
+            results = engine.run_tasks(tasks)
+        finally:
+            for record in engine.telemetry_records:
+                sink.write(record["telemetry"].get("trace", ()))
+            sink.close()
+
+        assert results[1] is None
+        assert len(engine.last_failures) == 1
+        # Both surviving cells' traces are on disk, fully parseable.
+        with open(trace, encoding="utf-8") as fh:
+            events = read_jsonl(fh)
+        assert events
+        for line in trace.read_text(encoding="utf-8").splitlines():
+            json.loads(line)

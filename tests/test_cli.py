@@ -80,3 +80,42 @@ class TestFaultCampaignCli:
         assert args.fail_fast is True
         args = build_parser().parse_args(["run", "faults"])
         assert args.fail_fast is False
+
+
+class TestProfileFlag:
+    def test_profile_prints_top_functions(self, capsys):
+        assert main(["run", "fig18", "--fast", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "[profile] top 25 functions by cumulative time:" in out
+        assert "cumulative" in out  # the pstats table header
+
+    def test_profile_out_writes_loadable_stats(self, capsys, tmp_path):
+        import pstats
+
+        stats_file = tmp_path / "run.prof"
+        assert main(
+            [
+                "run",
+                "fig18",
+                "--fast",
+                "--profile",
+                "--profile-out",
+                str(stats_file),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert f"cProfile stats written to {stats_file}" in out
+        stats = pstats.Stats(str(stats_file))
+        assert stats.total_calls > 0
+
+    def test_profile_out_alone_enables_profiling(self, capsys, tmp_path):
+        stats_file = tmp_path / "run.prof"
+        assert main(
+            ["run", "fig18", "--fast", "--profile-out", str(stats_file)]
+        ) == 0
+        assert stats_file.exists()
+        assert "[profile]" in capsys.readouterr().out
+
+    def test_no_profiling_by_default(self, capsys):
+        assert main(["run", "fig18", "--fast"]) == 0
+        assert "[profile]" not in capsys.readouterr().out
