@@ -1,35 +1,64 @@
 """Timing driver: run the perf workloads and emit ``BENCH_perf.json``.
 
-The report schema (version 1)::
+The report schema (version 2)::
 
     {
-      "version": 1,
+      "version": 2,
       "workloads": {
         "<name>": {
-          "wall_s": <best-repetition wall clock, seconds>,
+          "wall_s": <median-repetition wall clock, seconds>,
           "events": <work units in one execution>,
           "events_per_sec": <events / wall_s>,
-          "repeats": <repetitions timed>
+          "bytes": <simulated app bytes in one execution>,
+          "bytes_per_sec": <bytes / wall_s>,
+          "repeats": <repetitions timed>,
+          "timings_s": [<per-round wall clocks, in round order>]
         },
         ...
       }
     }
 
-``wall_s`` is the *best* of ``repeats`` executions: the minimum is the
-least-interference estimate of the code's intrinsic cost, which is what
-a regression gate should compare (means absorb machine noise and drift).
+``wall_s`` is the **median** of ``repeats`` executions after one
+untimed warmup.  The warmup absorbs one-time costs (imports, allocator
+growth, cached key material) that used to land in whichever repetition
+ran first; the median is robust to a single interference spike in
+either direction, where the previous best-of-N systematically rewarded
+the one lucky repetition and the mean let one descheduled run poison
+the number.  Version 2 also records simulated bytes, so fluid-vs-packet
+workloads (which process the same bytes through different event counts)
+compare on bytes-per-wall-second instead of the mode-dependent
+events/sec.
+
+:func:`run_harness` times repetitions **round-robin** across the
+selected workloads (A B C, A B C, ...) rather than exhausting one
+workload before starting the next.  Consecutive repeats made every
+ratio gate (telemetry overhead, fluid speedup) sensitive to load
+*drift*: a spike during one workload's window skewed its median while
+leaving its comparator untouched.  Interleaving spreads each
+workload's sample across the whole harness run, so paired medians see
+the same machine conditions and their ratio tracks the structural
+difference, not the scheduler's mood.
+
+The per-round wall clocks are preserved in ``timings_s`` (round order,
+so index *i* of two workloads came from the same round).  Ratio gates
+use them to take the **median of per-round ratios**: on virtualized
+runners, host CPU steal arrives in multi-ms bursts that can poison
+more than half the repeats of one workload; a per-round ratio pairs
+measurements taken milliseconds apart, so a stolen round inflates both
+sides together and the ratio stays near the structural value.
 """
 
 from __future__ import annotations
 
 import json
+import statistics
 import time
 from pathlib import Path
 from typing import Callable, Iterable, Mapping
 
 from benchmarks.perf.workloads import WORKLOADS, WorkloadSample
 
-REPORT_VERSION = 1
+REPORT_VERSION = 2
 
 #: The canonical report location: the repository root.
 REPORT_PATH = Path(__file__).resolve().parents[2] / "BENCH_perf.json"
@@ -41,21 +70,22 @@ BASELINE_PATH = Path(__file__).resolve().parent / "baseline.json"
 def time_workload(
     fn: Callable[[], WorkloadSample], repeats: int = 3
 ) -> dict:
-    """Best-of-``repeats`` wall clock for one workload."""
+    """Median-of-``repeats`` wall clock after one untimed warmup."""
     if repeats < 1:
         raise ValueError(f"repeats must be >= 1: {repeats}")
-    best = float("inf")
-    events = 0
+    sample = fn()  # warmup: one-time costs never pollute a timed run
+    timings = []
     for _ in range(repeats):
         t0 = time.perf_counter()
         sample = fn()
-        elapsed = time.perf_counter() - t0
-        best = min(best, elapsed)
-        events = sample.events
+        timings.append(time.perf_counter() - t0)
+    wall = statistics.median(timings)
     return {
-        "wall_s": best,
-        "events": events,
-        "events_per_sec": events / best if best > 0 else 0.0,
+        "wall_s": wall,
+        "events": sample.events,
+        "events_per_sec": sample.events / wall if wall > 0 else 0.0,
+        "bytes": sample.bytes,
+        "bytes_per_sec": sample.bytes / wall if wall > 0 else 0.0,
         "repeats": repeats,
     }
 
@@ -63,19 +93,66 @@ def time_workload(
 def run_harness(
     names: Iterable[str] | None = None, repeats: int = 3
 ) -> dict:
-    """Time the selected workloads (all by default)."""
+    """Time the selected workloads (all by default).
+
+    Repetitions are interleaved round-robin across workloads (see the
+    module docstring) so paired medians sample the same load windows.
+    """
     selected = list(names) if names is not None else sorted(WORKLOADS)
     unknown = [n for n in selected if n not in WORKLOADS]
     if unknown:
         raise KeyError(
             f"unknown workloads {unknown}; available: {sorted(WORKLOADS)}"
         )
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1: {repeats}")
+    samples: dict[str, WorkloadSample] = {}
+    timings: dict[str, list[float]] = {name: [] for name in selected}
+    for name in selected:  # warmup pass, untimed
+        samples[name] = WORKLOADS[name]()
+    for _ in range(repeats):
+        for name in selected:
+            fn = WORKLOADS[name]
+            t0 = time.perf_counter()
+            samples[name] = fn()
+            timings[name].append(time.perf_counter() - t0)
     report = {"version": REPORT_VERSION, "workloads": {}}
     for name in selected:
-        report["workloads"][name] = time_workload(
-            WORKLOADS[name], repeats=repeats
-        )
+        wall = statistics.median(timings[name])
+        sample = samples[name]
+        report["workloads"][name] = {
+            "wall_s": wall,
+            "events": sample.events,
+            "events_per_sec": sample.events / wall if wall > 0 else 0.0,
+            "bytes": sample.bytes,
+            "bytes_per_sec": sample.bytes / wall if wall > 0 else 0.0,
+            "repeats": repeats,
+            "timings_s": timings[name],
+        }
     return report
+
+
+def paired_rate_ratio(
+    num_row: Mapping, den_row: Mapping, field: str = "bytes"
+) -> float:
+    """Rate ratio ``num/den`` as the median of per-round ratios.
+
+    Each round times both workloads back to back, so dividing their
+    per-round rates cancels whatever the machine was doing during that
+    round (host CPU steal on virtualized runners arrives in bursts long
+    enough to poison an unpaired median).  Falls back to the ratio of
+    the aggregate ``<field>_per_sec`` rates when either row lacks
+    per-round walls or the round counts differ (reports written by an
+    older harness).
+    """
+    num_walls = num_row.get("timings_s")
+    den_walls = den_row.get("timings_s")
+    if not num_walls or not den_walls or len(num_walls) != len(den_walls):
+        return num_row[f"{field}_per_sec"] / den_row[f"{field}_per_sec"]
+    scale = num_row[field] / den_row[field]
+    return statistics.median(
+        scale * dt / nt for nt, dt in zip(num_walls, den_walls)
+    )
 
 
 def write_report(report: Mapping, path: Path | None = None) -> Path:

@@ -30,6 +30,7 @@ from benchmarks.perf.compare import (
 from benchmarks.perf.harness import (
     BASELINE_PATH,
     load_report,
+    paired_rate_ratio,
     run_harness,
     write_report,
 )
@@ -38,6 +39,10 @@ from benchmarks.perf.harness import (
 #: Metered runs must stay within this factor of the unmetered hot path
 #: (the ISSUE 5 tentpole bound: bound handles + burst aggregation).
 TELEMETRY_OVERHEAD_BOUND = 1.5
+
+#: The fluid fast path must push at least this many times the
+#: ``congestion`` workload's simulated bytes per wall second.
+FLUID_SPEEDUP_BOUND = 5.0
 
 
 def _selected_workloads() -> list[str] | None:
@@ -89,14 +94,54 @@ def test_no_regression_against_baseline(perf_report):
             print(f"  {message}")
 
 
+def test_fluid_mode_speedup(perf_report):
+    """``fluid_congestion`` sustains >= 5x ``congestion`` bytes/sec.
+
+    Bytes-per-wall-second, not events/sec: both workloads simulate a
+    congested cycle, but fluid advancement moves the same bytes through
+    ~10x fewer events, so the byte rate is the mode-independent
+    throughput measure.  The ratio is the median of per-round rate
+    ratios (:func:`paired_rate_ratio`): both workloads are timed back
+    to back every round, so machine speed — and burst interference on
+    shared runners — cancels out.  Honors ``PERF_GATE``.
+    """
+    mode = os.environ.get("PERF_GATE", "report").lower()
+    if mode == "off":
+        pytest.skip("PERF_GATE=off")
+    rows = perf_report["workloads"]
+    if "congestion" not in rows or "fluid_congestion" not in rows:
+        pytest.skip(
+            "needs congestion and fluid_congestion in PERF_WORKLOADS"
+        )
+    packet_rate = rows["congestion"]["bytes_per_sec"]
+    fluid_rate = rows["fluid_congestion"]["bytes_per_sec"]
+    assert packet_rate > 0
+    ratio = paired_rate_ratio(
+        rows["fluid_congestion"], rows["congestion"], field="bytes"
+    )
+    print(
+        f"\nfluid_congestion: {fluid_rate / 1e6:,.1f} MB/s vs "
+        f"congestion {packet_rate / 1e6:,.1f} MB/s "
+        f"(paired {ratio:.2f}x, bound {FLUID_SPEEDUP_BOUND:.1f}x)"
+    )
+    if ratio < FLUID_SPEEDUP_BOUND:
+        message = (
+            f"fluid_congestion is only {ratio:.2f}x of congestion "
+            f"(required {FLUID_SPEEDUP_BOUND:.1f}x)"
+        )
+        if mode == "enforce":
+            pytest.fail(message)
+        print(f"PERF_GATE=report: {message}")
+
+
 def test_telemetry_overhead_within_bound(perf_report):
     """Metered workloads run within 1.5x of the unmetered fast path.
 
     Compares events/sec of ``telemetry_on`` (and, when measured,
     ``telemetry_on_traced``) against ``telemetry_off`` from the same
-    harness run — a ratio, so machine speed cancels out.  Honors
-    ``PERF_GATE`` like the baseline comparison: ``report`` prints,
-    ``enforce`` fails.
+    harness run — the median of per-round ratios, so machine speed and
+    burst interference cancel out.  Honors ``PERF_GATE`` like the
+    baseline comparison: ``report`` prints, ``enforce`` fails.
     """
     mode = os.environ.get("PERF_GATE", "report").lower()
     if mode == "off":
@@ -106,13 +151,14 @@ def test_telemetry_overhead_within_bound(perf_report):
         pytest.skip(
             "needs telemetry_off and telemetry_on in PERF_WORKLOADS"
         )
-    off_rate = rows["telemetry_off"]["events_per_sec"]
     violations = []
     print()
     for name in ("telemetry_on", "telemetry_on_traced"):
         if name not in rows:
             continue
-        ratio = off_rate / rows[name]["events_per_sec"]
+        ratio = paired_rate_ratio(
+            rows["telemetry_off"], rows[name], field="events"
+        )
         print(
             f"{name}: {rows[name]['events_per_sec']:,.0f} events/s, "
             f"{ratio:.2f}x of telemetry_off "

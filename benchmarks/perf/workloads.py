@@ -5,16 +5,20 @@ Each workload is a module-level zero-argument function returning a
 "events" it pushed through (event-loop callbacks for scenario workloads,
 protocol messages + signature checks for the negotiation workload).
 
-The harness (:mod:`benchmarks.perf.test_perf`) runs every workload
-several times, keeps the best repetition (least interference), and
-writes ``BENCH_perf.json`` at the repository root.  The committed
-baseline lives in ``benchmarks/perf/baseline.json``; the comparison gate
-is :mod:`benchmarks.perf.compare`.
+The harness (:mod:`benchmarks.perf.test_perf`) warms each workload up
+once, times several repetitions, keeps the median, and writes
+``BENCH_perf.json`` at the repository root.  The committed baseline
+lives in ``benchmarks/perf/baseline.json``; the comparison gate is
+:mod:`benchmarks.perf.compare`.
 
 Workload selection mirrors the paper's evaluation surface:
 
 - ``congestion`` — Figure 3/13 territory: a loaded bottleneck, every
   packet paying the queue + channel + gateway path.
+- ``fluid_congestion`` / ``fluid_intermittent`` — the same territory
+  under ``mode="fluid"`` block advancement on the downlink VR
+  archetype; the harness holds ``fluid_congestion`` at or above 5x the
+  ``congestion`` bytes-per-wall-second.
 - ``intermittent`` — Figure 4/14 territory: Gilbert–Elliott outages,
   buffer flushes, RLF detach/reattach.
 - ``negotiation`` — Figure 16/17 territory: RSA-signed CDR/CDA/PoC
@@ -44,14 +48,24 @@ _SEED = 17
 
 @dataclass(frozen=True)
 class WorkloadSample:
-    """One timed execution: simulator work units for the rate metric."""
+    """One timed execution: simulator work units for the rate metrics.
+
+    ``events`` feeds events/sec (the regression gate's rate); ``bytes``
+    feeds bytes/sec, the mode-independent throughput measure — a fluid
+    run pushes the same simulated bytes through ~10x fewer events, so
+    events/sec would undercount its speedup.
+    """
 
     events: int
+    bytes: int = 0
 
 
 def _scenario_events(config: ScenarioConfig) -> WorkloadSample:
     result = run_scenario(config)
-    return WorkloadSample(events=result.extras["processed_events"])
+    return WorkloadSample(
+        events=result.extras["processed_events"],
+        bytes=result.generated_bytes,
+    )
 
 
 def congestion() -> WorkloadSample:
@@ -74,6 +88,41 @@ def intermittent() -> WorkloadSample:
             seed=_SEED,
             cycle_duration=30.0,
             disconnectivity_ratio=0.2,
+        )
+    )
+
+
+def fluid_congestion() -> WorkloadSample:
+    """The congested downlink VR cycle under fluid advancement.
+
+    Same Figure 3 bottleneck territory as ``congestion``, on the
+    archetype the block fast path exists for: ~20-packet VR frames that
+    collapse into one block per hop (webcam frames are 1–2 packets —
+    nothing to batch).  Compared against ``congestion`` on
+    bytes-per-wall-second (:data:`benchmarks.perf.test_perf.FLUID_SPEEDUP_BOUND`).
+    """
+    return _scenario_events(
+        ScenarioConfig(
+            app="vridge",
+            seed=_SEED,
+            cycle_duration=30.0,
+            background_bps=120e6,
+            mode="fluid",
+        )
+    )
+
+
+def fluid_intermittent() -> WorkloadSample:
+    """Gilbert–Elliott outages under fluid advancement: the block
+    buffer/flush path (whole frames parked during outages) plus RLF
+    detach/reattach at block granularity."""
+    return _scenario_events(
+        ScenarioConfig(
+            app="vridge",
+            seed=_SEED,
+            cycle_duration=30.0,
+            disconnectivity_ratio=0.2,
+            mode="fluid",
         )
     )
 
@@ -141,6 +190,8 @@ def negotiation() -> WorkloadSample:
 
 WORKLOADS = {
     "congestion": congestion,
+    "fluid_congestion": fluid_congestion,
+    "fluid_intermittent": fluid_intermittent,
     "intermittent": intermittent,
     "negotiation": negotiation,
     "telemetry_off": telemetry_off,
@@ -149,9 +200,11 @@ WORKLOADS = {
 }
 
 #: The workloads the smoke CI job runs (fast but representative): the
-#: two scenario archetypes plus the telemetry-overhead trio.
+#: two scenario archetypes, the fluid fast path, and the
+#: telemetry-overhead trio.
 SMOKE_WORKLOADS = (
     "congestion",
+    "fluid_congestion",
     "negotiation",
     "telemetry_off",
     "telemetry_on",

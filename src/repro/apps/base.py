@@ -15,6 +15,9 @@ import random
 from dataclasses import dataclass
 from typing import Callable
 
+import numpy as np
+
+from repro.net.block import PacketBlock
 from repro.net.packet import Direction, Packet
 from repro.sim.events import EventLoop
 
@@ -53,6 +56,22 @@ class FrameModel:
             raise ValueError("bitrate and fps must be positive")
         if self.iframe_interval < 0:
             raise ValueError("iframe interval must be >= 0")
+        # The lognormal location depends only on model constants, so the
+        # two possible values (I-frame / P-frame) are computed once here
+        # instead of re-deriving scale and log per frame on the cadence
+        # hot path.  P-frames are scaled down so the GOP average stays
+        # on budget.
+        mean = self.mean_frame_bytes
+        if self.iframe_interval > 0:
+            n = self.iframe_interval
+            p_scale = (n - self.iframe_scale) / (n - 1) if n > 1 else 1.0
+            p_scale = max(p_scale, 0.1)
+            mu_iframe = math.log(max(mean * self.iframe_scale, 1.0))
+            mu_pframe = math.log(max(mean * p_scale, 1.0))
+        else:
+            mu_iframe = mu_pframe = math.log(max(mean, 1.0))
+        object.__setattr__(self, "_mu_iframe", mu_iframe)
+        object.__setattr__(self, "_mu_pframe", mu_pframe)
 
     @property
     def mean_frame_bytes(self) -> float:
@@ -61,19 +80,12 @@ class FrameModel:
 
     def frame_size(self, frame_index: int, rng: random.Random) -> int:
         """Draw one frame's size in bytes."""
-        # Scale P-frames down so the GOP average stays on budget.
-        if self.iframe_interval > 0:
-            n = self.iframe_interval
-            p_scale = (n - self.iframe_scale) / (n - 1) if n > 1 else 1.0
-            p_scale = max(p_scale, 0.1)
-            scale = (
-                self.iframe_scale
-                if frame_index % n == 0
-                else p_scale
-            )
-        else:
-            scale = 1.0
-        mu = math.log(max(self.mean_frame_bytes * scale, 1.0))
+        interval = self.iframe_interval
+        mu = (
+            self._mu_iframe
+            if interval > 0 and frame_index % interval == 0
+            else self._mu_pframe
+        )
         size = rng.lognormvariate(mu, self.jitter_sigma)
         return max(1, int(size))
 
@@ -88,6 +100,25 @@ def packetize(frame_bytes: int, mtu_payload: int = MTU_PAYLOAD) -> list[int]:
         payload = min(remaining, mtu_payload)
         sizes.append(payload + PACKET_OVERHEAD)
         remaining -= payload
+    return sizes
+
+
+def packetize_array(
+    frame_bytes: int, mtu_payload: int = MTU_PAYLOAD
+) -> np.ndarray:
+    """Vectorized :func:`packetize`: the same sizes as an ``int64`` array.
+
+    ``k`` full-MTU packets followed by one carrying the remainder —
+    element-for-element identical to the scalar loop, built without a
+    per-packet Python iteration (the fluid emit path's hot spot).
+    """
+    if frame_bytes <= 0:
+        raise ValueError(f"frame must have positive size: {frame_bytes}")
+    full, tail = divmod(frame_bytes, mtu_payload)
+    sizes = np.empty(full + (1 if tail else 0), dtype=np.int64)
+    sizes[:] = mtu_payload + PACKET_OVERHEAD
+    if tail:
+        sizes[-1] = tail + PACKET_OVERHEAD
     return sizes
 
 
@@ -114,9 +145,16 @@ class Workload:
         self._running = False
         self._frame_index = 0
         self._seq = 0
+        # Fluid mode: emit each frame as one PacketBlock instead of
+        # per-packet sends.  The scenario runner flips this and rebinds
+        # ``send`` to the network's block entry point.
+        self.emit_blocks = False
         # Per-tick constants, hoisted off the frame cadence hot path.
         self._frame_period = 1.0 / model.fps
         self._frame_label = f"{flow}-frame"
+        # The clock object itself: reading ``_clock._now`` per frame
+        # skips the EventLoop.now property hop (see DESIGN.md §8).
+        self._clock = loop.clock
         self.generated_frames = 0
         self.generated_packets = 0
         self.generated_bytes = 0
@@ -150,7 +188,28 @@ class Workload:
         self.generated_frames += 1
         # All packets of a frame share the emission instant; hoist the
         # clock read and the send callable out of the packetization loop.
-        now = self.loop.now
+        now = self._clock._now
+        if self.emit_blocks:
+            sizes = packetize_array(size)
+            count = int(sizes.size)
+            # Wire bytes = payload + per-packet overhead; no need to
+            # re-sum the array the packetizer just built.
+            wire_bytes = size + count * PACKET_OVERHEAD
+            block = PacketBlock._raw(
+                sizes,
+                self.flow,
+                self.direction,
+                self.qci,
+                now,
+                self._seq,
+                wire_bytes,
+                count,
+            )
+            self._seq += count
+            self.generated_packets += count
+            self.generated_bytes += wire_bytes
+            self.send(block)
+            return
         send = self.send
         flow = self.flow
         direction = self.direction

@@ -20,10 +20,12 @@ from typing import Callable
 
 from repro import telemetry
 from repro.charging.policy import ChargingPolicy
+from repro.net.block import PacketBlock
 from repro.net.packet import Direction, Packet
 from repro.sim.events import EventLoop
 
 Deliver = Callable[[Packet], None]
+DeliverBlock = Callable[[PacketBlock], None]
 
 
 class ThrottlingEnforcer:
@@ -45,6 +47,7 @@ class ThrottlingEnforcer:
         self.queue_limit = int(queue_limit)
         self.name = name
         self._receivers: list[Deliver] = []
+        self._block_receivers: list[DeliverBlock] = []
         self._queue: deque[Packet] = deque()
         self._next_release = 0.0
         self._draining = False
@@ -96,6 +99,10 @@ class ThrottlingEnforcer:
         """Attach the downstream element."""
         self._receivers.append(receiver)
 
+    def connect_block(self, receiver: DeliverBlock) -> None:
+        """Attach a downstream element accepting whole packet blocks."""
+        self._block_receivers.append(receiver)
+
     @property
     def throttling(self) -> bool:
         """True once the quota has been exceeded."""
@@ -132,6 +139,34 @@ class ThrottlingEnforcer:
         self._drain()
         return True
 
+    def send_block(self, block: PacketBlock) -> int:
+        """Pass a whole frame through the shaper (fluid mode).
+
+        If charging the entire block still leaves the plan under quota,
+        no prefix of it could have armed the throttle either (quota
+        checks are monotone in charged bytes), so the block passes
+        through in one step.  Anywhere near or past the quota boundary
+        the block drops back to per-packet :meth:`send` calls, which
+        replicates packet mode's shaping, tail-drop, and trace events
+        exactly.
+        """
+        if not self.policy.should_throttle(self.charged_bytes + block.size):
+            self.charged_bytes += block.size
+            agg = self._agg_in
+            if agg is not None:
+                acc = agg[block.direction]
+                acc.bytes += block.size
+                acc.packets += block.count
+            elif self._m_in is not None:
+                self._m_in[block.direction].inc(block.size)
+            self._deliver_block(block)
+            return block.count
+        accepted = 0
+        for packet in block.packets():
+            if self.send(packet):
+                accepted += 1
+        return accepted
+
     def _drain(self) -> None:
         if self._draining or not self._queue:
             return
@@ -162,3 +197,20 @@ class ThrottlingEnforcer:
             self._m_out[packet.direction].inc(packet.size)
         for receiver in self._receivers:
             receiver(packet)
+
+    def _deliver_block(self, block: PacketBlock) -> None:
+        agg = self._agg_out
+        if agg is not None:
+            acc = agg[block.direction]
+            acc.bytes += block.size
+            acc.packets += block.count
+        elif self._m_out is not None:
+            self._m_out[block.direction].inc(block.size)
+        receivers = self._block_receivers
+        if receivers:
+            for receiver in receivers:
+                receiver(block)
+        else:
+            for packet in block.packets():
+                for receiver in self._receivers:
+                    receiver(packet)

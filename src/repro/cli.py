@@ -409,6 +409,15 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: no caching)",
     )
     run.add_argument(
+        "--mode",
+        choices=("packet", "fluid"),
+        default=None,
+        help="data-plane granularity: 'packet' pays one event chain per "
+        "packet, 'fluid' moves one block per video frame through the "
+        "same elements with bit-identical byte totals "
+        "(default: each experiment's own setting)",
+    )
+    run.add_argument(
         "--metrics-out",
         default=None,
         metavar="FILE",
@@ -512,6 +521,7 @@ def main(argv: list[str] | None = None) -> int:
         cache_dir=cache_dir,
         telemetry=collect,
         trace=trace_out is not None,
+        mode=getattr(args, "mode", None),
         fail_fast=getattr(args, "fail_fast", False),
     )
     set_default_engine(engine)

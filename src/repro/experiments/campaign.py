@@ -44,7 +44,7 @@ from repro.experiments.scenario import (
 )
 
 #: Bump to invalidate every cached result (simulation semantics change).
-CACHE_VERSION = "tlc-campaign-v3"
+CACHE_VERSION = "tlc-campaign-v4"
 
 
 @dataclass(frozen=True)
@@ -289,6 +289,12 @@ class CampaignEngine:
         never share cache entries.
     trace:
         With ``telemetry``, also capture structured trace events.
+    mode:
+        Force a data-plane granularity (``"packet"`` / ``"fluid"``) on
+        every scenario config run through :meth:`run_scenarios`;
+        ``None`` keeps each config's own mode.  Mode is part of the
+        config, hence of the cache key, so packet and fluid runs never
+        share cache entries.
     fail_fast:
         ``True`` (default) re-raises the first failing task as a
         :class:`CampaignTaskError` naming the cell and its config hash.
@@ -307,6 +313,7 @@ class CampaignEngine:
         executor_factory: Callable[[int], Executor] | None = None,
         telemetry: bool = False,
         trace: bool = False,
+        mode: str | None = None,
         fail_fast: bool = True,
     ) -> None:
         self.workers = max(1, int(workers))
@@ -319,6 +326,7 @@ class CampaignEngine:
         self.executor_factory = executor_factory
         self.telemetry = bool(telemetry)
         self.trace = bool(trace)
+        self.mode = mode
         self.fail_fast = bool(fail_fast)
         #: Failures of the most recent :meth:`run_tasks` call (only
         #: populated with ``fail_fast=False``).
@@ -343,6 +351,8 @@ class CampaignEngine:
                 replace(c, telemetry=True, trace=self.trace)
                 for c in configs
             ]
+        if self.mode is not None:
+            configs = [replace(c, mode=self.mode) for c in configs]
         return self.run_tasks(scenario_tasks(configs))
 
     def run_tasks(self, tasks: Sequence[CampaignTask]) -> list[Any]:

@@ -1,0 +1,315 @@
+"""Differential packet-vs-fluid equivalence harness.
+
+The fluid fast path (``ScenarioConfig(mode="fluid")``) claims more than
+"approximately the same results": because every component owns its RNG
+stream, all packets of a frame are emitted in one simulated instant, and
+:meth:`~repro.sim.sampling.ChunkedRandom.random_block` consumes the
+uniform stream in plain call order, a fluid run is **bit-identical** to
+the packet run of the same seeded scenario at every byte-counting point.
+This module is the proof harness for that claim:
+
+- :class:`DualRunner` executes one :class:`ScenarioConfig` in both modes
+  and compares everything the paper's results are built from — the
+  ground-truth pair (x̂e, x̂o), both parties' usage views, the legacy
+  gateway-charged volume, the Algorithm 1 settlement ``x`` under the TLC
+  schemes, and (when telemetry is on) the full per-layer metric snapshot
+  and accounting table.
+- :class:`EquivalenceReport` records every divergence with its byte
+  delta.  ``exact`` demands zero divergences; ``agrees`` allows byte
+  deltas up to the runner's ``tolerance_bytes`` (0 by default — the
+  tolerance knob exists for future analytic advancement modes, see
+  DESIGN.md §8, not because the current block path needs it).
+- :meth:`DualRunner.run_fault` replays a
+  :class:`~repro.faults.scenario.FaultScenarioConfig` in both modes:
+  fault injection is purely component-level (crashes, outages, clock
+  steps, signaling filters), so even the fault grid must agree exactly.
+
+Byte accounting is additionally checked *within* each mode: the
+telemetry accounting identity ``counted − Σ losses_by_layer ==
+received`` must reconcile in packet mode and in fluid mode
+independently, so the harness cannot be satisfied by two runs that are
+equal but both wrong.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.experiments.scenario import (
+    ChargingScheme,
+    ScenarioConfig,
+    ScenarioResult,
+    charge_with_scheme,
+    run_scenario,
+)
+from repro.telemetry.accounting import AccountingTable
+
+#: Settlement schemes compared by default: the deterministic ones.  The
+#: random-selfish scheme draws from a seeded stream *outside* the
+#: scenario, so it is equal across modes trivially and adds nothing.
+DEFAULT_SCHEMES = (ChargingScheme.TLC_OPTIMAL, ChargingScheme.TLC_HONEST)
+
+
+@dataclass(frozen=True)
+class ModeDivergence:
+    """One quantity that differed between packet and fluid mode."""
+
+    metric: str
+    packet: float
+    fluid: float
+
+    @property
+    def delta(self) -> float:
+        """Absolute packet-vs-fluid difference."""
+        return abs(self.packet - self.fluid)
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{self.metric}: packet={self.packet!r} fluid={self.fluid!r} "
+            f"(delta={self.delta})"
+        )
+
+
+@dataclass
+class EquivalenceReport:
+    """The outcome of one dual-mode differential run."""
+
+    config: ScenarioConfig
+    #: Quantities that differed, with both values.
+    divergences: list[ModeDivergence] = field(default_factory=list)
+    #: Non-numeric structures (metric snapshots, trace) that differed.
+    structural_mismatches: list[str] = field(default_factory=list)
+    #: Byte tolerance the runner was configured with.
+    tolerance_bytes: float = 0.0
+    #: True when the packet run lost no bytes end to end — the regime
+    #: where the ISSUE demands *exact* agreement unconditionally.
+    loss_free: bool = False
+    #: Per-mode accounting identity (counted − Σ losses == received);
+    #: ``None`` when the run collected no telemetry.
+    packet_reconciles: bool | None = None
+    fluid_reconciles: bool | None = None
+    #: Events processed by each mode's loop (the speedup numerator).
+    packet_events: int = 0
+    fluid_events: int = 0
+
+    @property
+    def exact(self) -> bool:
+        """Bit-identical across modes: nothing diverged at all."""
+        return not self.divergences and not self.structural_mismatches
+
+    @property
+    def agrees(self) -> bool:
+        """Within tolerance: every numeric delta <= tolerance_bytes and
+        no structural mismatch.  With the default tolerance of 0 this
+        collapses to :attr:`exact`.
+        """
+        if self.structural_mismatches:
+            return False
+        return all(
+            d.delta <= self.tolerance_bytes for d in self.divergences
+        )
+
+    @property
+    def accounting_exact(self) -> bool:
+        """Did the byte-accounting identity hold in *both* modes?"""
+        return bool(self.packet_reconciles) and bool(self.fluid_reconciles)
+
+    def summary(self) -> str:
+        """One line per divergence (empty string when exact)."""
+        lines = [str(d) for d in self.divergences]
+        lines += [f"structural: {m}" for m in self.structural_mismatches]
+        return "\n".join(lines)
+
+
+class DualRunner:
+    """Run one seeded scenario in packet and fluid mode and diff them.
+
+    Parameters
+    ----------
+    tolerance_bytes:
+        Numeric divergences up to this many bytes still count as
+        agreement (:attr:`EquivalenceReport.agrees`).  The default 0
+        asserts bit-identity, which the current block data path
+        achieves; an analytic advancement mode would document and use a
+        nonzero tolerance here.
+    schemes:
+        Charging schemes whose Algorithm 1 settlement ``x`` is compared.
+    compare_telemetry:
+        Force telemetry on for both runs and require the full metric
+        snapshot and accounting table to match key for key.
+    """
+
+    def __init__(
+        self,
+        tolerance_bytes: float = 0.0,
+        schemes: tuple[ChargingScheme, ...] = DEFAULT_SCHEMES,
+        compare_telemetry: bool = True,
+    ) -> None:
+        if tolerance_bytes < 0:
+            raise ValueError(
+                f"tolerance must be >= 0 bytes: {tolerance_bytes}"
+            )
+        self.tolerance_bytes = float(tolerance_bytes)
+        self.schemes = tuple(schemes)
+        self.compare_telemetry = bool(compare_telemetry)
+
+    # ------------------------------------------------------------------
+
+    def run(self, config: ScenarioConfig) -> EquivalenceReport:
+        """Execute ``config`` in both modes and report every divergence."""
+        packet_config = replace(config, mode="packet")
+        fluid_config = replace(config, mode="fluid")
+        if self.compare_telemetry:
+            packet_config = replace(packet_config, telemetry=True)
+            fluid_config = replace(fluid_config, telemetry=True)
+        packet = run_scenario(packet_config)
+        fluid = run_scenario(fluid_config)
+        return self._diff(config, packet, fluid)
+
+    def run_fault(self, fault_config) -> EquivalenceReport:
+        """Like :meth:`run` for a fault-plan cell.
+
+        Accepts a :class:`~repro.faults.scenario.FaultScenarioConfig`;
+        the full fault pipeline (injection, reliable negotiation,
+        Algorithm 2 verification, ledger closure) runs per mode and the
+        settled outcomes are compared.
+        """
+        from repro.faults.scenario import run_fault_scenario
+
+        packet = run_fault_scenario(
+            replace(
+                fault_config,
+                scenario=replace(fault_config.scenario, mode="packet"),
+            )
+        )
+        fluid = run_fault_scenario(
+            replace(
+                fault_config,
+                scenario=replace(fault_config.scenario, mode="fluid"),
+            )
+        )
+        report = EquivalenceReport(
+            config=fault_config.scenario,
+            tolerance_bytes=self.tolerance_bytes,
+            loss_free=packet.truth_sent == packet.truth_received,
+            packet_reconciles=packet.reconciles,
+            fluid_reconciles=fluid.reconciles,
+        )
+        diffs = report.divergences
+        for metric in (
+            "truth_sent",
+            "truth_received",
+            "edge_sent_estimate",
+            "edge_received_estimate",
+            "operator_sent_estimate",
+            "operator_received_estimate",
+            "legacy_charged",
+            "fair_volume",
+            "settled",
+        ):
+            p = float(getattr(packet, metric))
+            f = float(getattr(fluid, metric))
+            if p != f:
+                diffs.append(ModeDivergence(metric, p, f))
+        if packet.bound_holds != fluid.bound_holds:
+            report.structural_mismatches.append(
+                f"bound_holds: packet={packet.bound_holds} "
+                f"fluid={fluid.bound_holds}"
+            )
+        if packet.fault_timeline != fluid.fault_timeline:
+            report.structural_mismatches.append("fault_timeline")
+        if packet.recovery != fluid.recovery:
+            report.structural_mismatches.append("recovery")
+        return report
+
+    # ------------------------------------------------------------------
+
+    def _diff(
+        self,
+        config: ScenarioConfig,
+        packet: ScenarioResult,
+        fluid: ScenarioResult,
+    ) -> EquivalenceReport:
+        report = EquivalenceReport(
+            config=config,
+            tolerance_bytes=self.tolerance_bytes,
+            loss_free=packet.truth.sent == packet.truth.received,
+            packet_events=int(packet.extras.get("processed_events", 0)),
+            fluid_events=int(fluid.extras.get("processed_events", 0)),
+        )
+        diffs = report.divergences
+
+        def compare(metric: str, p: float, f: float) -> None:
+            if p != f:
+                diffs.append(ModeDivergence(metric, float(p), float(f)))
+
+        compare("truth.sent", packet.truth.sent, fluid.truth.sent)
+        compare(
+            "truth.received", packet.truth.received, fluid.truth.received
+        )
+        compare(
+            "edge_view.sent",
+            packet.edge_view.sent_estimate,
+            fluid.edge_view.sent_estimate,
+        )
+        compare(
+            "edge_view.received",
+            packet.edge_view.received_estimate,
+            fluid.edge_view.received_estimate,
+        )
+        compare(
+            "operator_view.sent",
+            packet.operator_view.sent_estimate,
+            fluid.operator_view.sent_estimate,
+        )
+        compare(
+            "operator_view.received",
+            packet.operator_view.received_estimate,
+            fluid.operator_view.received_estimate,
+        )
+        compare("legacy_charged", packet.legacy_charged, fluid.legacy_charged)
+        compare(
+            "generated_bytes", packet.generated_bytes, fluid.generated_bytes
+        )
+        compare("outage_time", packet.outage_time, fluid.outage_time)
+        compare("rlf_events", packet.rlf_events, fluid.rlf_events)
+        compare(
+            "counter_checks", packet.counter_checks, fluid.counter_checks
+        )
+
+        # Algorithm 1 settlement per scheme: identical views must
+        # negotiate to the identical charged volume x.
+        for scheme in self.schemes:
+            p_out = charge_with_scheme(packet, scheme, seed=config.seed)
+            f_out = charge_with_scheme(fluid, scheme, seed=config.seed)
+            compare(f"settlement[{scheme.value}]", p_out.charged, f_out.charged)
+            if p_out.converged != f_out.converged:
+                report.structural_mismatches.append(
+                    f"settlement[{scheme.value}].converged"
+                )
+
+        p_tel = packet.extras.get("telemetry")
+        f_tel = fluid.extras.get("telemetry")
+        if p_tel is not None and f_tel is not None:
+            p_table = AccountingTable.from_dict(p_tel["accounting"])
+            f_table = AccountingTable.from_dict(f_tel["accounting"])
+            report.packet_reconciles = p_table.reconciles
+            report.fluid_reconciles = f_table.reconciles
+            compare("accounting.counted", p_table.counted, f_table.counted)
+            compare(
+                "accounting.losses", p_table.total_losses, f_table.total_losses
+            )
+            compare("accounting.received", p_table.received, f_table.received)
+            if p_tel["metrics"] != f_tel["metrics"]:
+                p_metrics = p_tel["metrics"]
+                f_metrics = f_tel["metrics"]
+                for key in sorted(set(p_metrics) | set(f_metrics)):
+                    if p_metrics.get(key) != f_metrics.get(key):
+                        report.structural_mismatches.append(
+                            f"metrics[{key}]"
+                        )
+            if p_tel.get("trace") != f_tel.get("trace"):
+                report.structural_mismatches.append("trace")
+        elif (p_tel is None) != (f_tel is None):  # pragma: no cover
+            report.structural_mismatches.append("telemetry presence")
+        return report

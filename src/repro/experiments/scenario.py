@@ -128,6 +128,13 @@ class ScenarioConfig:
     # buffers events in memory for the result record).  A plain string
     # so configs stay hashable/picklable for the campaign cache.
     trace_path: str | None = None
+    # Data-plane granularity: "packet" pays one event chain per packet;
+    # "fluid" moves one PacketBlock per video frame through the same
+    # elements, falling back to packet granularity wherever an element
+    # needs true packet semantics (see DESIGN.md §8).  Byte totals are
+    # bit-identical across modes under one seed — enforced by
+    # tests/equivalence.
+    mode: str = "packet"
 
     EDGE_CLOCK_STD_FRACTION = 0.015
     OPERATOR_CLOCK_STD_FRACTION = 0.025
@@ -154,6 +161,10 @@ class ScenarioConfig:
             )
         if self.cycle_duration <= 0:
             raise ValueError("cycle duration must be positive")
+        if self.mode not in ("packet", "fluid"):
+            raise ValueError(
+                f"unknown mode {self.mode!r}; choose 'packet' or 'fluid'"
+            )
 
     @property
     def direction(self) -> Direction:
@@ -292,13 +303,19 @@ def run_scenario(
         network = _build_network(config, loop, rngs)
 
         direction = config.direction
+        fluid = config.mode == "fluid"
         if direction is Direction.UPLINK:
-            send = network.send_uplink
+            send = network.send_uplink_block if fluid else network.send_uplink
         else:
-            send = network.send_downlink
+            send = (
+                network.send_downlink_block if fluid
+                else network.send_downlink
+            )
         workload = APP_BUILDERS[config.app](
             loop, send, rngs.stream("workload")
         )
+        if fluid:
+            workload.emit_blocks = True
 
         if config.edge_tamper_fraction is not None:
             network.ue.os_stats.install_tamper(

@@ -26,6 +26,7 @@ from repro.lte.rrc import (
     RrcState,
 )
 from repro.lte.ue import UserEquipment
+from repro.net.block import PacketBlock
 from repro.net.channel import WirelessChannel
 from repro.net.packet import Direction, Packet
 from repro.sim.events import EventLoop
@@ -33,6 +34,7 @@ from repro.sim.events import EventLoop
 CounterReportSink = Callable[[str, CounterCheckResponse], None]
 RlfSink = Callable[[str], None]
 Deliver = Callable[[Packet], None]
+DeliverBlock = Callable[[PacketBlock], None]
 #: Fault hook on the RRC COUNTER CHECK exchange: receives each response
 #: and returns it (possibly transformed) or ``None`` to model the
 #: signaling message being lost, which triggers a retry.
@@ -66,6 +68,7 @@ class ENodeB:
         self._transaction_ids = itertools.count(1)
         self._connection: RrcConnection | None = None
         self._uplink_receivers: list[Deliver] = []
+        self._uplink_block_receivers: list[DeliverBlock] = []
         self._counter_sinks: list[CounterReportSink] = []
         self._rlf_sinks: list[RlfSink] = []
         self.counter_check_messages = 0
@@ -106,6 +109,7 @@ class ENodeB:
 
         # One air interface carries both directions; demux on delivery.
         channel.connect(self._on_air_delivery)
+        channel.connect_block(self._on_air_delivery_block)
         self.loop.schedule_in(
             self.supervision_period, self._supervise, label="enb-supervise"
         )
@@ -116,6 +120,10 @@ class ENodeB:
     def connect_uplink(self, receiver: Deliver) -> None:
         """Attach the core-network side for uplink packets."""
         self._uplink_receivers.append(receiver)
+
+    def connect_uplink_block(self, receiver: DeliverBlock) -> None:
+        """Attach a core-network receiver accepting whole packet blocks."""
+        self._uplink_block_receivers.append(receiver)
 
     def on_counter_report(self, sink: CounterReportSink) -> None:
         """Subscribe to COUNTER CHECK responses (the operator's app does)."""
@@ -144,6 +152,29 @@ class ENodeB:
             self.ue.receive_from_air(packet)
         else:
             self.receive_uplink(packet)
+
+    def send_downlink_block(self, block: PacketBlock) -> int:
+        """Forward a whole core-network frame over the air (fluid mode)."""
+        self._ensure_connection()
+        return self.channel.send_block(block)
+
+    def receive_uplink_block(self, block: PacketBlock) -> None:
+        """Handle a whole frame arriving over the air from the UE."""
+        self._ensure_connection()
+        receivers = self._uplink_block_receivers
+        if receivers:
+            for receiver in receivers:
+                receiver(block)
+        else:
+            for packet in block.packets():
+                for receiver in self._uplink_receivers:
+                    receiver(packet)
+
+    def _on_air_delivery_block(self, block: PacketBlock) -> None:
+        if block.direction is _DOWNLINK:
+            self.ue.receive_from_air_block(block)
+        else:
+            self.receive_uplink_block(block)
 
     # ------------------------------------------------------------------
     # RRC lifecycle

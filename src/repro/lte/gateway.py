@@ -25,10 +25,12 @@ from typing import Callable
 from repro import telemetry
 from repro.charging.cdr import ChargingDataRecord
 from repro.lte.identifiers import Imsi
+from repro.net.block import PacketBlock
 from repro.net.packet import Direction, Packet
 from repro.sim.events import EventLoop
 
 Deliver = Callable[[Packet], None]
+DeliverBlock = Callable[[PacketBlock], None]
 CdrSink = Callable[[ChargingDataRecord], None]
 
 
@@ -77,6 +79,8 @@ class ChargingGateway:
 
         self._downlink_receivers: list[Deliver] = []
         self._uplink_receivers: list[Deliver] = []
+        self._downlink_block_receivers: list[DeliverBlock] = []
+        self._uplink_block_receivers: list[DeliverBlock] = []
         self._cdr_sinks: list[CdrSink] = []
         self._sequence = itertools.count(1000)
 
@@ -214,6 +218,14 @@ class ChargingGateway:
     def connect_uplink(self, receiver: Deliver) -> None:
         """Attach the server-facing side for uplink forwarding."""
         self._uplink_receivers.append(receiver)
+
+    def connect_downlink_block(self, receiver: DeliverBlock) -> None:
+        """Attach a RAN-facing receiver accepting whole packet blocks."""
+        self._downlink_block_receivers.append(receiver)
+
+    def connect_uplink_block(self, receiver: DeliverBlock) -> None:
+        """Attach a server-facing receiver accepting whole packet blocks."""
+        self._uplink_block_receivers.append(receiver)
 
     def on_cdr(self, sink: CdrSink) -> None:
         """Subscribe to emitted CDRs (the OFCS does)."""
@@ -361,6 +373,40 @@ class ChargingGateway:
             receiver(packet)
         return True
 
+    def forward_downlink_block(self, block: PacketBlock) -> bool:
+        """Meter then forward a whole downlink frame (fluid mode)."""
+        if block.direction is not _DOWNLINK:
+            raise ValueError("forward_downlink_block needs a downlink block")
+        if not self._admit_block(block):
+            return False
+        self._meter_block(block)
+        receivers = self._downlink_block_receivers
+        if receivers:
+            for receiver in receivers:
+                receiver(block)
+        else:
+            for packet in block.packets():
+                for receiver in self._downlink_receivers:
+                    receiver(packet)
+        return True
+
+    def forward_uplink_block(self, block: PacketBlock) -> bool:
+        """Meter then forward a whole uplink frame (fluid mode)."""
+        if block.direction is not _UPLINK:
+            raise ValueError("forward_uplink_block needs an uplink block")
+        if not self._admit_block(block):
+            return False
+        self._meter_block(block)
+        receivers = self._uplink_block_receivers
+        if receivers:
+            for receiver in receivers:
+                receiver(block)
+        else:
+            for packet in block.packets():
+                for receiver in self._uplink_receivers:
+                    receiver(packet)
+        return True
+
     def _admit(self, packet: Packet) -> bool:
         """Account arrival; False (and counted as blocked) when detached."""
         agg = self._agg_in
@@ -406,6 +452,57 @@ class ChargingGateway:
         elif self._m_counted is not None:
             self._m_counted[packet.direction].inc(packet.size)
             self._m_out[packet.direction].inc(packet.size)
+
+    def _admit_block(self, block: PacketBlock) -> bool:
+        """Block-granular :meth:`_admit`: one outcome for the frame.
+
+        Admission depends only on gateway state (alive/attached), never
+        on the packet, so all packets of a block share one verdict and
+        every per-packet counter update collapses into a single add.
+        """
+        agg = self._agg_in
+        if agg is not None:
+            acc = agg[block.direction]
+            acc.bytes += block.size
+            acc.packets += block.count
+        elif self._m_in is not None:
+            self._m_in[block.direction].inc(block.size)
+        if not self.alive:
+            self.crash_dropped_packets += block.count
+            self.crash_dropped_bytes += block.size
+            if self._m_drop_crash is not None:
+                self._m_drop_crash[block.direction].inc(block.size)
+            return False
+        if self.attached:
+            return True
+        self.blocked_packets += block.count
+        self.blocked_bytes += block.size
+        if self._m_drop_detached is not None:
+            self._m_drop_detached[block.direction].inc(block.size)
+        return False
+
+    def _meter_block(self, block: PacketBlock) -> None:
+        if block.direction is _UPLINK:
+            self.charged_uplink_bytes += block.size
+            self._interval_uplink += block.size
+        else:
+            self.charged_downlink_bytes += block.size
+            self._interval_downlink += block.size
+        now = self.loop.now
+        if self._interval_first_usage is None:
+            self._interval_first_usage = now
+        self._interval_last_usage = now
+        agg = self._agg_counted
+        if agg is not None:
+            acc = agg[block.direction]
+            acc.bytes += block.size
+            acc.packets += block.count
+            acc = self._agg_out[block.direction]
+            acc.bytes += block.size
+            acc.packets += block.count
+        elif self._m_counted is not None:
+            self._m_counted[block.direction].inc(block.size)
+            self._m_out[block.direction].inc(block.size)
 
     # ------------------------------------------------------------------
     # CDR generation

@@ -37,6 +37,7 @@ from repro.lte.mme import MobilityManagementEntity
 from repro.lte.ofcs import OfflineChargingSystem
 from repro.lte.pcrf import PolicyChargingRulesFunction
 from repro.lte.ue import DEVICE_PROFILES, DeviceProfile, UserEquipment
+from repro.net.block import PacketBlock
 from repro.net.channel import ChannelConfig, WirelessChannel
 from repro.net.congestion import CongestedQueue, CongestionConfig
 from repro.net.packet import Direction, Packet
@@ -163,6 +164,23 @@ class LteNetwork:
         self._server_receivers: list[Deliver] = []
         self.gateway.connect_uplink(self._deliver_to_server)
 
+        # Fluid-mode block wiring mirrors the scalar chains hop for hop.
+        # Always installed: blocks only flow when a workload emits them,
+        # so packet-mode runs never touch these paths.
+        if self.throttle is not None:
+            self.gateway.connect_downlink_block(self.throttle.send_block)
+            self.throttle.connect_block(self.dl_queue.send_block)
+        else:
+            self.gateway.connect_downlink_block(self.dl_queue.send_block)
+        if self.sla is not None:
+            self.dl_queue.connect_block(self.sla.send_block)
+            self.sla.connect_block(self.enodeb.send_downlink_block)
+        else:
+            self.dl_queue.connect_block(self.enodeb.send_downlink_block)
+        self.enodeb.connect_uplink_block(self.ul_queue.send_block)
+        self.ul_queue.connect_block(self.gateway.forward_uplink_block)
+        self.gateway.connect_uplink_block(self._deliver_to_server_block)
+
         # Edge-vendor ground-truth counters at the metering endpoints.
         self.server_sent_bytes = 0
         self.server_sent_packets = 0
@@ -210,6 +228,37 @@ class LteNetwork:
         self.ue.prepare_uplink(packet)
         return self.channel.send(packet)
 
+    def send_downlink_block(self, block: PacketBlock) -> bool:
+        """Edge server sends a whole frame toward the device (fluid mode).
+
+        A PCRF classifies per packet, so its presence drops the frame
+        back to packet granularity at the network edge — exactness over
+        speed whenever an element genuinely needs packet semantics.
+        """
+        if block.direction is not _DOWNLINK:
+            raise ValueError("send_downlink_block needs a downlink block")
+        if self.pcrf is not None:
+            for packet in block.packets():
+                self.send_downlink(packet)
+            return True
+        self.server_sent_bytes += block.size
+        self.server_sent_packets += block.count
+        self.loop.call_in(
+            self.config.core_delay, self.gateway.forward_downlink_block, block
+        )
+        return True
+
+    def send_uplink_block(self, block: PacketBlock) -> bool:
+        """Edge device app sends a whole frame toward the server."""
+        if block.direction is not _UPLINK:
+            raise ValueError("send_uplink_block needs an uplink block")
+        if self.pcrf is not None:
+            for packet in block.packets():
+                self.send_uplink(packet)
+            return True
+        self.ue.prepare_uplink_block(block)
+        return self.channel.send_block(block) > 0
+
     def _deliver_to_server(self, packet: Packet) -> None:
         self.loop.call_in(
             self.config.core_delay, self._server_app_receive, packet
@@ -220,6 +269,19 @@ class LteNetwork:
         self.server_received_packets += 1
         for receiver in self._server_receivers:
             receiver(packet)
+
+    def _deliver_to_server_block(self, block: PacketBlock) -> None:
+        self.loop.call_in(
+            self.config.core_delay, self._server_app_receive_block, block
+        )
+
+    def _server_app_receive_block(self, block: PacketBlock) -> None:
+        self.server_received_bytes += block.size
+        self.server_received_packets += block.count
+        if self._server_receivers:
+            for packet in block.packets():
+                for receiver in self._server_receivers:
+                    receiver(packet)
 
     # ------------------------------------------------------------------
     # ground-truth views (simulation-only; parties see monitors instead)

@@ -29,6 +29,7 @@ from repro.lte.rrc import (
     CounterCheckRequest,
     CounterCheckResponse,
 )
+from repro.net.block import PacketBlock
 from repro.net.packet import Direction, Packet
 
 TamperFn = Callable[[int], int]
@@ -108,6 +109,13 @@ class OsTrafficStats:
             self._uplink_bytes += packet.size
         else:
             self._downlink_bytes += packet.size
+
+    def count_bytes(self, direction: Direction, size: int) -> None:
+        """Account an aggregate byte volume (fluid-mode block path)."""
+        if direction is _UPLINK:
+            self._uplink_bytes += size
+        else:
+            self._downlink_bytes += size
 
     def install_tamper(
         self,
@@ -260,6 +268,33 @@ class UserEquipment:
         for receiver in self._app_receivers:
             receiver(packet)
 
+    def receive_from_air_block(self, block: PacketBlock) -> None:
+        """Block-granular :meth:`receive_from_air` (fluid mode)."""
+        size = block.size
+        n = block.count
+        self.modem.count_downlink(self.bearer.bearer_id, size)
+        self.os_stats.count_bytes(block.direction, size)
+        self.app_received_packets += n
+        self.app_received_bytes += size
+        acc = self._agg_dl_modem
+        if acc is not None:
+            acc.bytes += size
+            acc.packets += n
+            acc = self._agg_dl_os
+            acc.bytes += size
+            acc.packets += n
+            acc = self._agg_dl_app
+            acc.bytes += size
+            acc.packets += n
+        elif self._m_dl_modem is not None:
+            self._m_dl_modem.inc(size)
+            self._m_dl_os.inc(size)
+            self._m_dl_app.inc(size)
+        if self._app_receivers:
+            for packet in block.packets():
+                for receiver in self._app_receivers:
+                    receiver(packet)
+
     # -- uplink path: app -> OS -> modem -> air --------------------------
 
     def prepare_uplink(self, packet: Packet) -> Packet:
@@ -284,3 +319,23 @@ class UserEquipment:
             self._m_ul_os.inc(packet.size)
             self._m_ul_modem.inc(packet.size)
         return packet
+
+    def prepare_uplink_block(self, block: PacketBlock) -> PacketBlock:
+        """Block-granular :meth:`prepare_uplink` (fluid mode)."""
+        if block.direction is not _UPLINK:
+            raise ValueError("prepare_uplink_block needs an uplink block")
+        size = block.size
+        n = block.count
+        self.os_stats.count_bytes(block.direction, size)
+        self.modem.count_uplink(self.bearer.bearer_id, size)
+        acc = self._agg_ul_os
+        if acc is not None:
+            acc.bytes += size
+            acc.packets += n
+            acc = self._agg_ul_modem
+            acc.bytes += size
+            acc.packets += n
+        elif self._m_ul_os is not None:
+            self._m_ul_os.inc(size)
+            self._m_ul_modem.inc(size)
+        return block

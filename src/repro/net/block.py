@@ -1,0 +1,208 @@
+"""Frame-granular packet blocks: the fluid-mode unit of work.
+
+The paper's charging results are statements about *byte totals per
+layer*, never about packet identity, so the fluid fast path moves one
+:class:`PacketBlock` per video frame through the same LTE elements that
+normally see per-packet calls.  A block is the column-store view of the
+frame's packets: one metadata tuple (flow, direction, QCI, emission
+instant) shared by all of them plus a numpy array of on-the-wire sizes.
+Loss processes act on the array (a vectorized threshold compare against
+a block of uniforms from :class:`~repro.sim.sampling.ChunkedRandom`),
+and every counting point adds ``block.size`` / ``block.count`` where it
+would have added ``packet.size`` / ``1`` — which is why the totals land
+bit-identical to packet mode under the same seed.
+
+Blocks deliberately do not carry per-packet sequence numbers past a
+loss point (:meth:`compress` keeps only ``seq_start``); elements that
+need true packet semantics — the quota shaper mid-transition, a PCRF
+classifying per packet, any scalar-only receiver — call
+:meth:`packets` to drop the block back to packet granularity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.net.packet import Direction, Packet
+
+
+@dataclass(slots=True)
+class PacketBlock:
+    """All packets of one frame emission, as arrays plus shared metadata.
+
+    Attributes
+    ----------
+    sizes:
+        Per-packet on-the-wire byte counts (``int64``), in emission
+        order.  Must be one-dimensional, non-empty, and positive.
+    flow / direction / qci / created_at:
+        Shared by every packet of the frame (all packets of a frame are
+        emitted at one simulated instant, see ``Workload._emit_frame``).
+    seq_start:
+        Sequence number of the first packet; the frame occupies
+        ``[seq_start, seq_start + count)``.
+    size / count:
+        Cached totals (``sizes.sum()`` / ``len(sizes)``) — the two
+        numbers every counting point on the LTE chain reads.
+    """
+
+    sizes: np.ndarray
+    flow: str
+    direction: Direction
+    qci: int = 9
+    created_at: float = 0.0
+    seq_start: int = 0
+    size: int = field(init=False)
+    count: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        sizes = np.asarray(self.sizes, dtype=np.int64)
+        if sizes.ndim != 1 or sizes.size == 0:
+            raise ValueError(
+                f"a packet block needs a 1-D non-empty size array, got "
+                f"shape {sizes.shape}"
+            )
+        if (sizes <= 0).any():
+            raise ValueError("packet sizes must be positive")
+        self.sizes = sizes
+        self.count = int(sizes.size)
+        self.size = int(sizes.sum())
+
+    @classmethod
+    def _raw(
+        cls,
+        sizes: np.ndarray,
+        flow: str,
+        direction: Direction,
+        qci: int,
+        created_at: float,
+        seq_start: int,
+        size: int,
+        count: int,
+    ) -> "PacketBlock":
+        """Trusted constructor: no validation, totals supplied by the
+        caller.  Every block creation on the fluid hot path already
+        knows its byte total (a loss draw computes the lost bytes, so
+        the survivor total is a subtraction), and re-deriving it via
+        ``sizes.sum()`` in ``__post_init__`` was the single largest
+        per-frame numpy cost.  Internal use only — sizes must already
+        be a validated 1-D positive ``int64`` array.
+        """
+        block = cls.__new__(cls)
+        block.sizes = sizes
+        block.flow = flow
+        block.direction = direction
+        block.qci = qci
+        block.created_at = created_at
+        block.seq_start = seq_start
+        block.size = size
+        block.count = count
+        return block
+
+    def _with_sizes(
+        self, sizes: np.ndarray, seq_start: int, size: int, count: int
+    ) -> "PacketBlock":
+        return PacketBlock._raw(
+            sizes,
+            self.flow,
+            self.direction,
+            self.qci,
+            self.created_at,
+            seq_start,
+            size,
+            count,
+        )
+
+    def split(
+        self, head_count: int
+    ) -> tuple["PacketBlock | None", "PacketBlock | None"]:
+        """(first ``head_count`` packets, the rest) — either side may be
+        ``None`` when empty.  Used by the channel's outage buffer, which
+        admits packets up to capacity and overflows the tail.
+        """
+        if head_count <= 0:
+            return None, self
+        if head_count >= self.count:
+            return self, None
+        head_size = int(self.sizes[:head_count].sum())
+        return (
+            self._with_sizes(
+                self.sizes[:head_count],
+                self.seq_start,
+                head_size,
+                head_count,
+            ),
+            self._with_sizes(
+                self.sizes[head_count:],
+                self.seq_start + head_count,
+                self.size - head_size,
+                self.count - head_count,
+            ),
+        )
+
+    def compress(
+        self,
+        keep: np.ndarray,
+        size: int | None = None,
+        count: int | None = None,
+    ) -> "PacketBlock":
+        """The surviving sub-block after a loss draw (``keep`` is a
+        boolean mask over :attr:`sizes` with at least one True).
+        Survivor sequence numbers are *not* preserved individually —
+        volume accounting never reads them.  Callers that already know
+        the survivor totals (hot paths subtract the lost bytes they
+        just accounted) pass ``size``/``count`` to skip re-summing.
+        """
+        survivors = self.sizes[keep]
+        if count is None:
+            count = int(survivors.size)
+        if size is None:
+            size = int(survivors.sum())
+        return self._with_sizes(survivors, self.seq_start, size, count)
+
+    def packets(self) -> list[Packet]:
+        """Materialize the block as per-packet objects (fallback path)."""
+        flow = self.flow
+        direction = self.direction
+        qci = self.qci
+        created_at = self.created_at
+        seq = self.seq_start
+        return [
+            Packet(
+                size=int(size),
+                flow=flow,
+                direction=direction,
+                qci=qci,
+                created_at=created_at,
+                seq=seq + i,
+            )
+            for i, size in enumerate(self.sizes)
+        ]
+
+    @classmethod
+    def from_packets(cls, packets: "list[Packet]") -> "PacketBlock":
+        """Build a block from uniform-metadata packets (test helper)."""
+        if not packets:
+            raise ValueError("cannot build a block from zero packets")
+        first = packets[0]
+        for p in packets[1:]:
+            if (
+                p.flow != first.flow
+                or p.direction is not first.direction
+                or p.qci != first.qci
+                or p.created_at != first.created_at
+            ):
+                raise ValueError(
+                    "packets of one block must share flow, direction, "
+                    "qci, and created_at"
+                )
+        return cls(
+            sizes=np.array([p.size for p in packets], dtype=np.int64),
+            flow=first.flow,
+            direction=first.direction,
+            qci=first.qci,
+            created_at=first.created_at,
+            seq_start=first.seq,
+        )

@@ -24,11 +24,13 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro import telemetry
+from repro.net.block import PacketBlock
 from repro.net.packet import Direction, Packet
 from repro.sim.events import EventLoop
 from repro.sim.sampling import DEFAULT_BLOCK_SIZE, ChunkedRandom
 
 Deliver = Callable[[Packet], None]
+DeliverBlock = Callable[[PacketBlock], None]
 StateListener = Callable[[bool], None]
 
 
@@ -120,10 +122,17 @@ class WirelessChannel:
         self._loss_rate = rss_loss_rate(
             config.rss_dbm, config.base_loss_rate
         )
+        # Bound once: the block path pays these lookups per frame.
+        self._random_block = self.rng.random_block
+        self._call_in = loop.call_in
         self.connected = True
         self._receivers: list[Deliver] = []
+        self._block_receivers: list[DeliverBlock] = []
         self._state_listeners: list[StateListener] = []
-        self._buffer: deque[Packet] = deque()
+        # The outage buffer holds Packets and/or PacketBlocks; capacity
+        # is in *packets*, so a separate count tracks block contents.
+        self._buffer: deque[Packet | PacketBlock] = deque()
+        self._buffered_packets = 0
         self._outage_started_at: float | None = None
         self._telemetry = tel = telemetry.current()
         # Bound per-direction counter handles, keyed by the Direction
@@ -208,6 +217,14 @@ class WirelessChannel:
         """Attach the receiving endpoint (device or base station side)."""
         self._receivers.append(receiver)
 
+    def connect_block(self, receiver: DeliverBlock) -> None:
+        """Attach a block-granular receiver (the fluid fast path).
+
+        Without one, delivered blocks fall back to per-packet calls on
+        the scalar receivers.
+        """
+        self._block_receivers.append(receiver)
+
     def on_state_change(self, listener: StateListener) -> None:
         """Subscribe to connectivity transitions (True = connected)."""
         self._state_listeners.append(listener)
@@ -231,7 +248,9 @@ class WirelessChannel:
         tel = self._telemetry
         if tel is not None:
             self._m_outages.inc()
-            tel.event("air", "outage_start", buffered=len(self._buffer))
+            tel.event(
+                "air", "outage_start", buffered=self._buffered_packets
+            )
         for listener in self._state_listeners:
             listener(False)
         if schedule_reconnect:
@@ -252,7 +271,7 @@ class WirelessChannel:
                 "air",
                 "outage_end",
                 duration=outage_duration,
-                flushing=len(self._buffer),
+                flushing=self._buffered_packets,
             )
         for listener in self._state_listeners:
             listener(True)
@@ -300,8 +319,9 @@ class WirelessChannel:
             self._m_in[packet.direction].inc(packet.size)
 
         if not self.connected:
-            if len(self._buffer) < self.config.buffer_packets:
+            if self._buffered_packets < self.config.buffer_packets:
                 self._buffer.append(packet)
+                self._buffered_packets += 1
                 return True
             self.dropped_packets += 1
             self.dropped_bytes += packet.size
@@ -329,10 +349,92 @@ class WirelessChannel:
         self._schedule_delivery(packet)
         return True
 
+    def send_block(self, block: PacketBlock) -> int:
+        """Transmit a whole frame's packets in one call (fluid mode).
+
+        Returns how many of the block's packets were delivered or
+        buffered.  The RNG consumption is identical to ``count``
+        sequential :meth:`send` calls — all packets of a frame are
+        emitted in one simulated instant in packet mode too, so drawing
+        the block's uniforms at once preserves the stream's draw order
+        exactly (outage ``expovariate`` draws on the same stream cannot
+        interleave mid-frame).
+        """
+        n = block.count
+        size = block.size
+        self.sent_packets += n
+        self.sent_bytes += size
+        agg = self._agg_in
+        if agg is not None:
+            acc = agg[block.direction]
+            acc.bytes += size
+            acc.packets += n
+        elif self._m_in is not None:
+            self._m_in[block.direction].inc(size)
+
+        if not self.connected:
+            # Same admission rule as the scalar path: packets fit the
+            # buffer up to capacity, the tail overflows — no loss draws
+            # are consumed while disconnected.
+            space = self.config.buffer_packets - self._buffered_packets
+            kept, overflow = block.split(min(space, n))
+            if kept is not None:
+                self._buffer.append(kept)
+                self._buffered_packets += kept.count
+            if overflow is not None:
+                self.dropped_packets += overflow.count
+                self.dropped_bytes += overflow.size
+                agg = self._agg_drop_overflow
+                if agg is not None:
+                    acc = agg[overflow.direction]
+                    acc.bytes += overflow.size
+                    acc.packets += overflow.count
+                elif self._m_drop_overflow is not None:
+                    self._m_drop_overflow[overflow.direction].inc(
+                        overflow.size
+                    )
+            return kept.count if kept is not None else 0
+
+        draws = self._random_block(n)
+        # min() short-circuits the common all-survive frame with one
+        # reduce; the mask is only materialized when something dropped.
+        if n and draws.min() < self._loss_rate:
+            survivors = block.sizes[draws >= self._loss_rate]
+            kept = int(survivors.size)
+            if kept:
+                kept_bytes = int(survivors.sum())
+            else:
+                survivors = None
+                kept_bytes = 0
+            lost = n - kept
+            lost_bytes = size - kept_bytes
+            self.dropped_packets += lost
+            self.dropped_bytes += lost_bytes
+            agg = self._agg_drop_rss
+            if agg is not None:
+                acc = agg[block.direction]
+                acc.bytes += lost_bytes
+                acc.packets += lost
+            elif self._m_drop_rss is not None:
+                self._m_drop_rss[block.direction].inc(lost_bytes)
+            if survivors is None:
+                return 0
+            block = block._with_sizes(
+                survivors, block.seq_start, kept_bytes, kept
+            )
+
+        self._call_in(self._delay, self._deliver_block, block)
+        return block.count
+
     def _flush_buffer(self) -> None:
         while self._buffer:
-            packet = self._buffer.popleft()
-            self._schedule_delivery(packet)
+            item = self._buffer.popleft()
+            if isinstance(item, PacketBlock):
+                self._buffered_packets -= item.count
+                self.loop.call_in(self._delay, self._deliver_block, item)
+            else:
+                self._buffered_packets -= 1
+                self._schedule_delivery(item)
 
     def _schedule_delivery(self, packet: Packet) -> None:
         # Fire-and-forget fast path: deliveries are never cancelled, so
@@ -351,3 +453,22 @@ class WirelessChannel:
             self._m_out[packet.direction].inc(packet.size)
         for receiver in self._receivers:
             receiver(packet)
+
+    def _deliver_block(self, block: PacketBlock) -> None:
+        self.delivered_packets += block.count
+        self.delivered_bytes += block.size
+        agg = self._agg_out
+        if agg is not None:
+            acc = agg[block.direction]
+            acc.bytes += block.size
+            acc.packets += block.count
+        elif self._m_out is not None:
+            self._m_out[block.direction].inc(block.size)
+        receivers = self._block_receivers
+        if receivers:
+            for receiver in receivers:
+                receiver(block)
+        else:
+            for packet in block.packets():
+                for receiver in self._receivers:
+                    receiver(packet)

@@ -22,11 +22,13 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro import telemetry
+from repro.net.block import PacketBlock
 from repro.net.packet import Direction, Packet
 from repro.sim.events import EventLoop
 from repro.sim.sampling import DEFAULT_BLOCK_SIZE, ChunkedRandom
 
 Deliver = Callable[[Packet], None]
+DeliverBlock = Callable[[PacketBlock], None]
 
 # Priority weight per QCI: fraction of congestion drops a bearer is exposed
 # to, relative to best effort.  QCI 3/7 are the paper's gaming classes with
@@ -106,6 +108,7 @@ class CongestedQueue:
         self.rng = ChunkedRandom(rng, chunk_block)
         self.name = name
         self._receivers: list[Deliver] = []
+        self._block_receivers: list[DeliverBlock] = []
         self.sent_packets = 0
         self.sent_bytes = 0
         self.dropped_packets = 0
@@ -166,10 +169,17 @@ class CongestedQueue:
         rho = min(config.utilization, 0.99)
         delay = config.queue_delay * rho / (1.0 - rho + 1e-9)
         self._queue_delay = min(delay, 0.200)  # bounded by queue size/AQM
+        # Bound once: the block path pays these lookups per frame.
+        self._random_block = self.rng.random_block
+        self._call_in = loop.call_in
 
     def connect(self, receiver: Deliver) -> None:
         """Attach the downstream element."""
         self._receivers.append(receiver)
+
+    def connect_block(self, receiver: DeliverBlock) -> None:
+        """Attach a downstream element accepting whole packet blocks."""
+        self._block_receivers.append(receiver)
 
     def drop_rate_for(self, qci: int) -> float:
         """Effective drop probability for a bearer of the given QCI."""
@@ -206,6 +216,56 @@ class CongestedQueue:
         self.loop.call_in(self._queue_delay, self._deliver, packet)
         return True
 
+    def send_block(self, block: PacketBlock) -> int:
+        """Pass a whole frame through the bottleneck (fluid mode).
+
+        Draw parity with the scalar path: one uniform per packet when
+        the bearer's effective rate is non-zero, none at all otherwise
+        — so the stream stays aligned with ``count`` scalar sends.
+        """
+        n = block.count
+        size = block.size
+        self.sent_packets += n
+        self.sent_bytes += size
+        agg = self._agg_in
+        if agg is not None:
+            acc = agg[block.direction]
+            acc.bytes += size
+            acc.packets += n
+        elif self._m_in is not None:
+            self._m_in[block.direction].inc(size)
+        rate = self._drop_rate_by_qci.get(block.qci, self._base_drop_rate)
+        if rate:
+            draws = self._random_block(n)
+            # min() short-circuits the all-survive frame with one
+            # reduce; the mask is only built when something dropped.
+            if n and draws.min() < rate:
+                survivors = block.sizes[draws >= rate]
+                kept = int(survivors.size)
+                if kept:
+                    kept_bytes = int(survivors.sum())
+                else:
+                    survivors = None
+                    kept_bytes = 0
+                dropped = n - kept
+                dropped_bytes = size - kept_bytes
+                self.dropped_packets += dropped
+                self.dropped_bytes += dropped_bytes
+                agg = self._agg_drop
+                if agg is not None:
+                    acc = agg[block.direction]
+                    acc.bytes += dropped_bytes
+                    acc.packets += dropped
+                elif self._m_drop is not None:
+                    self._m_drop[block.direction].inc(dropped_bytes)
+                if survivors is None:
+                    return 0
+                block = block._with_sizes(
+                    survivors, block.seq_start, kept_bytes, kept
+                )
+        self._call_in(self._queue_delay, self._deliver_block, block)
+        return block.count
+
     def _deliver(self, packet: Packet) -> None:
         agg = self._agg_out
         if agg is not None:
@@ -216,3 +276,20 @@ class CongestedQueue:
             self._m_out[packet.direction].inc(packet.size)
         for receiver in self._receivers:
             receiver(packet)
+
+    def _deliver_block(self, block: PacketBlock) -> None:
+        agg = self._agg_out
+        if agg is not None:
+            acc = agg[block.direction]
+            acc.bytes += block.size
+            acc.packets += block.count
+        elif self._m_out is not None:
+            self._m_out[block.direction].inc(block.size)
+        receivers = self._block_receivers
+        if receivers:
+            for receiver in receivers:
+                receiver(block)
+        else:
+            for packet in block.packets():
+                for receiver in self._receivers:
+                    receiver(packet)

@@ -17,10 +17,12 @@ from typing import Callable
 
 from repro import telemetry
 from repro.lte.bearer import QCI_DELAY_BUDGET
+from repro.net.block import PacketBlock
 from repro.net.packet import Direction, Packet
 from repro.sim.events import EventLoop
 
 Deliver = Callable[[Packet], None]
+DeliverBlock = Callable[[PacketBlock], None]
 
 
 class SlaMiddlebox:
@@ -41,6 +43,7 @@ class SlaMiddlebox:
         self.name = name
         self._flow_budgets: dict[str, float] = {}
         self._receivers: list[Deliver] = []
+        self._block_receivers: list[DeliverBlock] = []
         self.passed_packets = 0
         self.passed_bytes = 0
         self.dropped_packets = 0
@@ -89,6 +92,10 @@ class SlaMiddlebox:
     def connect(self, receiver: Deliver) -> None:
         """Attach the downstream element."""
         self._receivers.append(receiver)
+
+    def connect_block(self, receiver: DeliverBlock) -> None:
+        """Attach a downstream element accepting whole packet blocks."""
+        self._block_receivers.append(receiver)
 
     def set_flow_budget(self, flow: str, budget: float) -> None:
         """Install a per-flow SLA tighter/looser than the QCI default."""
@@ -139,3 +146,57 @@ class SlaMiddlebox:
         for receiver in self._receivers:
             receiver(packet)
         return True
+
+    def send_block(self, block: PacketBlock) -> int:
+        """Age-check a whole frame at once (fluid mode).
+
+        Every packet of a block shares ``created_at`` and arrives in the
+        same simulated instant, so the age test is one comparison for
+        the frame.  ``budget_for`` reads only flow/qci, which the block
+        carries.  On a drop the scalar path emits one counter update and
+        one trace event per packet, so the block path mirrors that
+        exactly to keep telemetry records byte-identical across modes.
+        """
+        agg = self._agg_in
+        if agg is not None:
+            acc = agg[block.direction]
+            acc.bytes += block.size
+            acc.packets += block.count
+        elif self._m_in is not None:
+            self._m_in[block.direction].inc(block.size)
+        age = self.loop.now - block.created_at
+        budget = self.budget_for(block)
+        if age > budget:
+            self.dropped_packets += block.count
+            self.dropped_bytes += block.size
+            if self._m_drop is not None:
+                handle = self._m_drop[block.direction]
+                event = self._telemetry.event
+                for size in block.sizes:
+                    handle.inc(int(size))
+                    event(
+                        self.name,
+                        "sla_drop",
+                        flow=block.flow,
+                        age=age,
+                        budget=budget,
+                    )
+            return 0
+        self.passed_packets += block.count
+        self.passed_bytes += block.size
+        agg = self._agg_out
+        if agg is not None:
+            acc = agg[block.direction]
+            acc.bytes += block.size
+            acc.packets += block.count
+        elif self._m_out is not None:
+            self._m_out[block.direction].inc(block.size)
+        receivers = self._block_receivers
+        if receivers:
+            for receiver in receivers:
+                receiver(block)
+        else:
+            for packet in block.packets():
+                for receiver in self._receivers:
+                    receiver(packet)
+        return block.count

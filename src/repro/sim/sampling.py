@@ -11,6 +11,14 @@ indexing) and reimplements the derived draws the simulator uses
 (``expovariate``) on top of the same buffered uniform stream with
 bit-identical arithmetic to CPython's.
 
+:meth:`ChunkedRandom.random_block` is the fluid-mode entry point: the
+next ``n`` uniforms of the same stream as one numpy array, so a whole
+frame's loss decisions become a single vectorized threshold compare.
+The array holds float-for-float the values ``n`` successive
+``random()`` calls would have returned (Mersenne doubles pass through
+``np.float64`` unchanged), which is what keeps packet and fluid mode
+byte-identical under one seed.
+
 The contract that keeps seeded runs byte-identical:
 
 - The wrapper must be the **exclusive** consumer of the wrapped
@@ -31,6 +39,8 @@ from __future__ import annotations
 import random
 from math import log as _log
 
+import numpy as np
+
 #: Default prefetch depth.  Large enough to amortize the refill, small
 #: enough that an idle scenario never burns visible memory on uniforms.
 DEFAULT_BLOCK_SIZE = 512
@@ -44,7 +54,7 @@ class ChunkedRandom:
     is deliberately no ``__getattr__`` passthrough.
     """
 
-    __slots__ = ("_rng", "_block_size", "_buffer", "_next")
+    __slots__ = ("_rng", "_block_size", "_buffer", "_next", "_np_buffer")
 
     def __init__(
         self,
@@ -66,6 +76,10 @@ class ChunkedRandom:
         self._block_size = block_size
         self._buffer: list[float] = []
         self._next = 0
+        # Lazy float64 mirror of ``_buffer``: built at most once per
+        # refill, so steady block consumption serves cheap array views
+        # instead of converting a fresh list per call.
+        self._np_buffer: np.ndarray | None = None
 
     def random(self) -> float:
         """The next uniform in [0, 1) — identical to the wrapped stream."""
@@ -75,9 +89,45 @@ class ChunkedRandom:
             draw = self._rng.random
             buffer = [draw() for _ in range(self._block_size)]
             self._buffer = buffer
+            self._np_buffer = None
             i = 0
         self._next = i + 1
         return buffer[i]
+
+    def random_block(self, n: int) -> np.ndarray:
+        """The next ``n`` uniforms as one float64 array (a read-only
+        view of the prefetch buffer — consume it before the next draw).
+
+        Serves already-prefetched values first; when the buffer runs
+        short it is refilled like :meth:`random` refills (at least
+        ``block_size`` fresh source draws), so interleaving
+        ``random()``, ``expovariate()``, and ``random_block()`` calls
+        always consumes the wrapped stream in plain call order — the
+        k-th uniform served is the k-th uniform the unwrapped
+        ``random.Random`` would have produced.  The float64 mirror of
+        the buffer is built once per refill, so steady block traffic
+        pays one cheap slice per call instead of a list-to-array
+        conversion.
+        """
+        if n < 0:
+            raise ValueError(f"block length must be >= 0: {n}")
+        i = self._next
+        buffer = self._buffer
+        if len(buffer) - i < n:
+            draw = self._rng.random
+            refill = n - (len(buffer) - i)
+            if refill < self._block_size:
+                refill = self._block_size
+            tail = buffer[i:]
+            tail += [draw() for _ in range(refill)]
+            self._buffer = buffer = tail
+            self._np_buffer = None
+            i = 0
+        mirror = self._np_buffer
+        if mirror is None:
+            self._np_buffer = mirror = np.array(buffer, dtype=np.float64)
+        self._next = i + n
+        return mirror[i : i + n]
 
     def expovariate(self, lambd: float) -> float:
         """Exponential draw, bit-identical to ``random.Random``'s.

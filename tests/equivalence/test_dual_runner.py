@@ -1,0 +1,191 @@
+"""The packet↔fluid differential grid: the fluid fast path's proof.
+
+The ISSUE's acceptance bar: charged volume, per-layer accounting, and
+Algorithm 1 settlement must agree *exactly* on loss-free intervals and
+within the documented tolerance everywhere else, across a (channel ×
+congestion × fault-plan) grid — and the byte-accounting identity
+``counted − Σ losses_by_layer == received`` must hold in both modes.
+
+The documented tolerance for the block data path is **zero bytes**
+(DESIGN.md §8): every cell below asserts bit-identity, loss or no loss.
+The nonzero-tolerance machinery is exercised separately on synthetic
+reports so the contract stays tested even while nothing diverges.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.equivalence import (
+    DualRunner,
+    EquivalenceReport,
+    ModeDivergence,
+)
+from repro.experiments.scenario import ScenarioConfig
+from repro.faults.plan import fault_grid
+from repro.faults.scenario import FaultScenarioConfig
+
+# ---------------------------------------------------------------------------
+# The (channel × congestion) grid.  Channel conditions sweep the §3.1
+# loss causes the radio knobs model (residual app loss, RSS, coverage
+# intermittency); congestion sweeps the Figure 3 background-load axis.
+
+CHANNEL_CELLS = {
+    # No loss process active anywhere: the regime where agreement must
+    # be exact by the ISSUE's own wording (it is exact everywhere, but
+    # this cell also proves sent == received so the claim is non-vacuous).
+    "loss-free": dict(
+        app_loss_rate=0.0, rss_dbm=-60.0, disconnectivity_ratio=0.0
+    ),
+    "good-radio": dict(),
+    "weak-rss": dict(rss_dbm=-100.0),
+    "intermittent": dict(disconnectivity_ratio=0.2),
+}
+
+CONGESTION_CELLS = {
+    "idle": dict(background_bps=0.0),
+    "loaded": dict(background_bps=120e6),
+    "saturated": dict(background_bps=160e6),
+}
+
+APPS = ("webcam-udp", "vridge", "gaming")
+
+GRID = [
+    pytest.param(app, chan, cong, id=f"{app}-{chan}-{cong}")
+    for app in APPS
+    for chan in CHANNEL_CELLS
+    for cong in CONGESTION_CELLS
+]
+
+
+def make_config(app: str, chan: str, cong: str, seed: int = 11):
+    return ScenarioConfig(
+        app=app,
+        seed=seed,
+        cycle_duration=10.0,
+        **CHANNEL_CELLS[chan],
+        **CONGESTION_CELLS[cong],
+    )
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return DualRunner(tolerance_bytes=0.0)
+
+
+class TestChannelCongestionGrid:
+    @pytest.mark.parametrize("app,chan,cong", GRID)
+    def test_cell_is_bit_identical_and_accounting_exact(
+        self, runner, app, chan, cong
+    ):
+        report = runner.run(make_config(app, chan, cong))
+        assert report.exact, report.summary()
+        # Exactness must not come from two equally-broken ledgers: the
+        # identity counted − Σ losses == received closes per mode.
+        assert report.packet_reconciles is True
+        assert report.fluid_reconciles is True
+        assert report.accounting_exact
+
+    @pytest.mark.parametrize("app", APPS)
+    def test_loss_free_cell_really_is_loss_free(self, runner, app):
+        report = runner.run(make_config(app, "loss-free", "idle"))
+        assert report.loss_free, (
+            "the loss-free channel cell lost bytes; the grid's exact-on-"
+            "loss-free claim would be vacuous"
+        )
+        assert report.exact, report.summary()
+
+    def test_fluid_mode_processes_fewer_events(self, runner):
+        # The speedup mechanism: multi-packet frames collapse into one
+        # event chain per hop (vridge frames are ~20 packets).
+        report = runner.run(make_config("vridge", "good-radio", "idle"))
+        assert report.fluid_events < report.packet_events / 3
+
+
+class TestFaultGrid:
+    @pytest.mark.parametrize(
+        "plan",
+        fault_grid(intensities=(0.5,)),
+        ids=lambda plan: plan.name,
+    )
+    def test_fault_cell_agrees_exactly(self, runner, plan):
+        config = FaultScenarioConfig(
+            scenario=ScenarioConfig(
+                app="webcam-udp", seed=5, cycle_duration=12.0
+            ),
+            plan=plan,
+        )
+        report = runner.run_fault(config)
+        assert report.exact, report.summary()
+        # The fault ledger (billed == counted − fault_uncounted) closes
+        # in both modes, not just one.
+        assert report.packet_reconciles is True
+        assert report.fluid_reconciles is True
+
+    def test_fault_cell_on_downlink_app(self, runner):
+        [plan] = fault_grid(intensities=(0.8,))[:1]
+        config = FaultScenarioConfig(
+            scenario=ScenarioConfig(
+                app="vridge", seed=3, cycle_duration=12.0
+            ),
+            plan=plan,
+        )
+        report = runner.run_fault(config)
+        assert report.exact, report.summary()
+
+
+class TestToleranceContract:
+    """The tolerance knob's semantics, on synthetic reports.
+
+    Nothing in the current block path diverges, so the nonzero-tolerance
+    branch is pinned down synthetically: ``agrees`` admits deltas up to
+    the bound, ``exact`` never does.
+    """
+
+    def test_zero_tolerance_collapses_agrees_to_exact(self):
+        report = EquivalenceReport(config=ScenarioConfig())
+        report.divergences.append(ModeDivergence("truth.sent", 100.0, 101.0))
+        assert not report.exact
+        assert not report.agrees
+
+    def test_within_tolerance_agrees_but_is_not_exact(self):
+        report = EquivalenceReport(
+            config=ScenarioConfig(), tolerance_bytes=2.0
+        )
+        report.divergences.append(ModeDivergence("truth.sent", 100.0, 101.0))
+        assert report.agrees
+        assert not report.exact
+
+    def test_structural_mismatch_never_agrees(self):
+        report = EquivalenceReport(
+            config=ScenarioConfig(), tolerance_bytes=1e9
+        )
+        report.structural_mismatches.append("metrics[bytes_in]")
+        assert not report.agrees
+
+    def test_negative_tolerance_is_rejected(self):
+        with pytest.raises(ValueError):
+            DualRunner(tolerance_bytes=-1.0)
+
+    def test_divergence_delta_is_absolute(self):
+        assert ModeDivergence("m", 5.0, 9.0).delta == 4.0
+        assert ModeDivergence("m", 9.0, 5.0).delta == 4.0
+
+
+class TestSettlementComparison:
+    def test_report_carries_settlement_metrics_when_diverging(self):
+        # charge_with_scheme is deterministic in the views, so identical
+        # views settle identically — verified here through a real run
+        # with trace comparison on (the strictest structural check).
+        runner = DualRunner()
+        report = runner.run(
+            ScenarioConfig(
+                app="webcam-udp",
+                seed=2,
+                cycle_duration=8.0,
+                background_bps=120e6,
+                disconnectivity_ratio=0.1,
+                trace=True,
+            )
+        )
+        assert report.exact, report.summary()

@@ -115,6 +115,7 @@ class TestKeyFormatPin:
             '"edge_clock_std":null,"edge_tamper_fraction":null,'
             '"loss_weight":{"__float__":"0x1.0000000000000p-1"},'
             '"mean_outage":{"__float__":"0x1.ee147ae147ae1p+0"},'
+            '"mode":"packet",'
             '"operator_clock_std":null,'
             '"rss_dbm":{"__float__":"-0x1.6800000000000p+6"},'
             '"seed":7,"telemetry":false,"trace":false,"trace_path":null}'
@@ -125,11 +126,11 @@ class TestKeyFormatPin:
         key = config_key(
             "repro.experiments.scenario.run_scenario",
             cfg,
-            "tlc-campaign-v3",
+            "tlc-campaign-v4",
         )
         assert key == (
-            "9879868a431a439a7653a9a34a36b54e"
-            "a49c742f2a0343f83a7831aa5491156d"
+            "8347eb45301ddfbb34b19a6dab5d117b"
+            "25e3d47bd3e9a19ad8568ede7e5b1d7f"
         )
 
     def test_task_key_matches_config_key(self):
@@ -162,6 +163,7 @@ class TestKeySensitivity:
             telemetry=True,
             trace=True,
             trace_path="/tmp/trace.jsonl",
+            mode="fluid",
         )
         # Cover every field, so a new field cannot silently escape the key.
         assert set(perturbations) == {

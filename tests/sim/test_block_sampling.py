@@ -1,0 +1,188 @@
+"""random_block: the fluid path's draws ARE the scalar stream.
+
+The fluid fast path's bit-exactness rests on one invariant: however
+``random()``, ``expovariate()``, and ``random_block(n)`` calls
+interleave, the k-th uniform served equals the k-th uniform the
+unwrapped ``random.Random`` would have produced.  A hypothesis property
+drives arbitrary interleavings against the raw stream, and a pinned
+seed corpus (``data/chunked_random_corpus.json``) freezes the exact
+float values so a refactor cannot silently shift the stream even if it
+shifts it *consistently* on both sides of a differential test.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.sampling import ChunkedRandom
+
+CORPUS_PATH = Path(__file__).parent / "data" / "chunked_random_corpus.json"
+
+# An op is ("random", None), ("expovariate", lambd) or ("block", n).
+# Sizes cross the DEFAULT_BLOCK_SIZE=512 prefetch boundary on purpose.
+_ops = st.one_of(
+    st.just(("random", None)),
+    st.tuples(st.just("expovariate"), st.floats(0.1, 10.0)),
+    st.tuples(st.just("block"), st.integers(0, 700)),
+)
+
+
+def _run_program(chunked: ChunkedRandom, program) -> list[float]:
+    served: list[float] = []
+    for op, arg in program:
+        if op == "random":
+            served.append(chunked.random())
+        elif op == "expovariate":
+            served.append(chunked.expovariate(arg))
+        else:
+            block = chunked.random_block(arg)
+            assert block.dtype == np.float64
+            assert block.shape == (arg,)
+            served.extend(block.tolist())
+    return served
+
+
+def _reference(seed: int, program) -> list[float]:
+    raw = random.Random(seed)
+    expected: list[float] = []
+    for op, arg in program:
+        if op == "random":
+            expected.append(raw.random())
+        elif op == "expovariate":
+            expected.append(raw.expovariate(arg))
+        else:
+            expected.extend(raw.random() for _ in range(arg))
+    return expected
+
+
+class TestBlockStreamProperty:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        block_size=st.integers(1, 600),
+        program=st.lists(_ops, min_size=1, max_size=30),
+    )
+    def test_any_interleaving_matches_raw_stream_bit_for_bit(
+        self, seed, block_size, program
+    ):
+        chunked = ChunkedRandom(random.Random(seed), block_size=block_size)
+        assert _run_program(chunked, program) == _reference(seed, program)
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1), n=st.integers(0, 2000))
+    def test_one_block_equals_n_scalar_draws(self, seed, n):
+        raw = random.Random(seed)
+        expected = [raw.random() for _ in range(n)]
+        chunked = ChunkedRandom(random.Random(seed))
+        assert chunked.random_block(n).tolist() == expected
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        prefill=st.integers(0, 40),
+        n=st.integers(0, 1200),
+    )
+    def test_block_drains_prefetch_buffer_before_drawing_fresh(
+        self, seed, prefill, n
+    ):
+        # Scalar draws leave a partially-consumed prefetch buffer; the
+        # block must serve those leftovers first, then continue the
+        # stream — exactly what the channel does when a frame follows
+        # an outage-scheduling draw on the same stream.
+        raw = random.Random(seed)
+        for _ in range(prefill):
+            raw.random()
+        expected = [raw.random() for _ in range(n)]
+        chunked = ChunkedRandom(random.Random(seed), block_size=32)
+        for _ in range(prefill):
+            chunked.random()
+        assert chunked.random_block(n).tolist() == expected
+
+
+class TestBlockApi:
+    def test_zero_length_block_is_an_empty_float64_array(self):
+        block = ChunkedRandom(random.Random(1)).random_block(0)
+        assert block.shape == (0,)
+        assert block.dtype == np.float64
+
+    def test_zero_length_block_does_not_advance_the_stream(self):
+        chunked = ChunkedRandom(random.Random(9))
+        chunked.random_block(0)
+        assert chunked.random() == random.Random(9).random()
+
+    def test_negative_length_is_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            ChunkedRandom(random.Random(1)).random_block(-1)
+
+    def test_scalar_draws_continue_exactly_after_a_block(self):
+        raw = random.Random(21)
+        expected_block = [raw.random() for _ in range(100)]
+        expected_after = [raw.random() for _ in range(10)]
+        chunked = ChunkedRandom(random.Random(21), block_size=16)
+        assert chunked.random_block(100).tolist() == expected_block
+        assert [chunked.random() for _ in range(10)] == expected_after
+
+
+class TestSeedCorpus:
+    """Frozen stream values: a shifted stream fails here even when both
+    modes shift together (a differential test alone cannot see that)."""
+
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        with CORPUS_PATH.open() as fh:
+            data = json.load(fh)
+        assert data["format"] == "chunked-random-corpus-v1"
+        return data["entries"]
+
+    def test_corpus_covers_seeds_patterns_and_block_sizes(self, corpus):
+        assert {e["seed"] for e in corpus} == {1, 7, 42, 1234, 987654321}
+        assert {e["block_size"] for e in corpus} == {1, 16, 512}
+        assert len(corpus) == 45
+
+    def test_every_entry_replays_bit_for_bit(self, corpus):
+        for entry in corpus:
+            chunked = ChunkedRandom(
+                random.Random(entry["seed"]),
+                block_size=entry["block_size"],
+            )
+            served = []
+            for op, arg in entry["ops"]:
+                if op == "random":
+                    served.append(chunked.random().hex())
+                elif op == "expovariate":
+                    served.append(chunked.expovariate(arg).hex())
+                else:
+                    served.extend(
+                        v.hex() for v in chunked.random_block(arg)
+                    )
+            assert served == entry["values"], (
+                f"stream shifted for seed={entry['seed']} "
+                f"pattern={entry['pattern']} "
+                f"block_size={entry['block_size']}"
+            )
+
+    def test_corpus_values_still_match_cpython_reference(self, corpus):
+        # The corpus pins ChunkedRandom's output; this closes the loop
+        # back to the ground truth it is supposed to equal.
+        for entry in corpus:
+            if entry["block_size"] != 1:
+                continue
+            raw = random.Random(entry["seed"])
+            expected = []
+            for op, arg in entry["ops"]:
+                if op == "random":
+                    expected.append(raw.random().hex())
+                elif op == "expovariate":
+                    expected.append(raw.expovariate(arg).hex())
+                else:
+                    expected.extend(
+                        raw.random().hex() for _ in range(arg)
+                    )
+            assert expected == entry["values"]

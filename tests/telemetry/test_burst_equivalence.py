@@ -11,6 +11,7 @@ site double-counting).
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import pickle
 
@@ -60,7 +61,13 @@ def _run_with_mode(config, monkeypatch, aggregated: bool) -> dict:
 
 
 @pytest.mark.parametrize(
-    "config", GRID, ids=lambda c: f"{c.app}-seed{c.seed}"
+    "config",
+    [
+        dataclasses.replace(c, mode=mode)
+        for c in GRID
+        for mode in ("packet", "fluid")
+    ],
+    ids=lambda c: f"{c.app}-seed{c.seed}-{c.mode}",
 )
 class TestAggregatedEqualsPerPacket:
     def test_snapshots_and_accounting_exactly_equal(
@@ -81,6 +88,25 @@ class TestAggregatedEqualsPerPacket:
             assert table.reconciles, (
                 f"aggregated={aggregated}: residual {table.residual}"
             )
+
+
+@pytest.mark.parametrize(
+    "config", GRID, ids=lambda c: f"{c.app}-seed{c.seed}"
+)
+class TestPacketFluidCrossCheck:
+    def test_full_telemetry_record_identical_across_modes(self, config):
+        # The orthogonal axis to burst aggregation: the fluid fast path
+        # must leave the same telemetry fingerprint — counters,
+        # accounting rows, trace events — as per-packet advancement.
+        packet = run_scenario(
+            _metered(dataclasses.replace(config, mode="packet"))
+        ).extras["telemetry"]
+        fluid = run_scenario(
+            _metered(dataclasses.replace(config, mode="fluid"))
+        ).extras["telemetry"]
+        assert json.dumps(packet, sort_keys=True) == json.dumps(
+            fluid, sort_keys=True
+        )
 
 
 class TestSeededByteIdentity:
