@@ -1,9 +1,9 @@
 """Timing driver: run the perf workloads and emit ``BENCH_perf.json``.
 
-The report schema (version 2)::
+The report schema (version 3)::
 
     {
-      "version": 2,
+      "version": 3,
       "workloads": {
         "<name>": {
           "wall_s": <median-repetition wall clock, seconds>,
@@ -15,8 +15,28 @@ The report schema (version 2)::
           "timings_s": [<per-round wall clocks, in round order>]
         },
         ...
+      },
+      "scaling": {              # optional: --scaling / run_scaling()
+        "workload": "million_ue",
+        "n_ues": <population size per point>,
+        "points": [             # one per shard count, same seed
+          {"shards": N, "wall_s": ..., "events": ...,
+           "events_per_sec": ..., "bytes": ..., "bytes_per_sec": ...,
+           "rss_max_bytes": <peak worker RSS>,
+           "reconciles": true, "settled": <Algorithm 1 bytes>,
+           "matches_first": true},
+          ...
+        ],
+        "invariant": <all points reconcile and match point 0>
       }
     }
+
+Version 3 adds the optional ``scaling`` section: the ``million_ue``
+population cell measured at several shard counts through
+:func:`repro.experiments.sharding.scaling_curve`.  ``invariant`` is the
+merge contract — every shard count must produce the byte-identical
+merged accounting table and Algorithm 1 settlement — so a report with
+``"invariant": false`` is a correctness failure, not a perf number.
 
 ``wall_s`` is the **median** of ``repeats`` executions after one
 untimed warmup.  The warmup absorbs one-time costs (imports, allocator
@@ -51,6 +71,7 @@ sides together and the ratio stays near the structural value.
 from __future__ import annotations
 
 import json
+import os
 import statistics
 import time
 from pathlib import Path
@@ -58,7 +79,12 @@ from typing import Callable, Iterable, Mapping
 
 from benchmarks.perf.workloads import WORKLOADS, WorkloadSample
 
-REPORT_VERSION = 2
+REPORT_VERSION = 3
+
+#: Older reports the loader still accepts (v2 lacks the scaling section
+#: but is otherwise schema-compatible, so a committed v2 baseline keeps
+#: gating until regenerated).
+COMPATIBLE_VERSIONS = (2, 3)
 
 #: The canonical report location: the repository root.
 REPORT_PATH = Path(__file__).resolve().parents[2] / "BENCH_perf.json"
@@ -155,6 +181,54 @@ def paired_rate_ratio(
     )
 
 
+#: Default grid of the scaling section: population size and shard
+#: counts, overridable via the environment (CI's ``shard-smoke`` job
+#: runs a reduced grid; the committed BENCH_perf.json records a
+#: campaign-scale one).
+DEFAULT_SCALING_UES = 2000
+DEFAULT_SCALING_SHARDS = (1, 2, 4, 8)
+
+
+def run_scaling(
+    ues: int | None = None, shard_counts: Iterable[int] | None = None
+) -> dict:
+    """Measure the ``million_ue`` cell across shard counts.
+
+    Each point re-runs the same population (same seed) through
+    :func:`repro.experiments.sharding.run_sharded_scenario` on a fresh
+    uncached engine with one worker process per shard, recording wall
+    clock, event/byte rates, peak worker RSS, the merged accounting
+    identity, and whether the merged state is byte-identical to the
+    first point's (``matches_first`` — the shard-count invariance).
+    ``MILLION_UE_SCALING_UES`` / ``MILLION_UE_SHARDS`` override the
+    grid (distinct from ``MILLION_UE_UES``, which sizes the small
+    timed ``million_ue`` workload of the regression gate).
+    """
+    from benchmarks.perf.workloads import million_ue_config
+    from repro.experiments.sharding import scaling_curve
+
+    if ues is None:
+        ues = int(
+            os.environ.get("MILLION_UE_SCALING_UES", DEFAULT_SCALING_UES)
+        )
+    if shard_counts is None:
+        raw = os.environ.get("MILLION_UE_SHARDS")
+        shard_counts = (
+            tuple(int(part) for part in raw.split(",") if part)
+            if raw
+            else DEFAULT_SCALING_SHARDS
+        )
+    points = scaling_curve(million_ue_config(ues), shard_counts)
+    return {
+        "workload": "million_ue",
+        "n_ues": ues,
+        "points": [point.as_dict() for point in points],
+        "invariant": all(
+            point.matches_first and point.reconciles for point in points
+        ),
+    }
+
+
 def write_report(report: Mapping, path: Path | None = None) -> Path:
     """Persist a harness report as pretty JSON; returns the path."""
     target = Path(path) if path is not None else REPORT_PATH
@@ -165,7 +239,7 @@ def write_report(report: Mapping, path: Path | None = None) -> Path:
 def load_report(path: Path) -> dict:
     """Read a harness report, validating the schema version."""
     data = json.loads(Path(path).read_text())
-    if data.get("version") != REPORT_VERSION:
+    if data.get("version") not in COMPATIBLE_VERSIONS:
         raise ValueError(
             f"unsupported report version {data.get('version')!r} in {path}"
         )
@@ -184,13 +258,35 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--out", default=None, help=f"report path (default {REPORT_PATH})"
     )
+    parser.add_argument(
+        "--scaling",
+        action="store_true",
+        help="also run the million_ue shard-count scaling curve "
+        "(MILLION_UE_SCALING_UES / MILLION_UE_SHARDS set the grid)",
+    )
     args = parser.parse_args(argv)
     report = run_harness(args.workloads or None, repeats=args.repeats)
+    if args.scaling:
+        report["scaling"] = run_scaling()
     path = write_report(report, args.out)
     for name, row in sorted(report["workloads"].items()):
         print(
             f"{name:>14}: {row['wall_s'] * 1e3:8.1f} ms  "
             f"{row['events_per_sec']:>12,.0f} events/s"
+        )
+    scaling = report.get("scaling")
+    if scaling:
+        print(f"scaling ({scaling['n_ues']:,} UEs per point):")
+        for point in scaling["points"]:
+            print(
+                f"  shards={point['shards']:>2}: "
+                f"{point['wall_s']:7.2f} s  "
+                f"{point['events_per_sec']:>12,.0f} events/s  "
+                f"peak RSS {point['rss_max_bytes'] / 1e6:7.1f} MB"
+            )
+        print(
+            "  merge invariant: "
+            + ("holds" if scaling["invariant"] else "VIOLATED")
         )
     print(f"wrote {path}")
     return 0

@@ -15,6 +15,14 @@ The gate mode comes from the ``PERF_GATE`` environment variable:
 
 ``PERF_WORKLOADS`` (comma-separated) restricts the set, e.g. the CI
 smoke job runs ``PERF_WORKLOADS=congestion,negotiation``.
+
+``PERF_SCALING=1`` additionally runs the ``million_ue`` shard-count
+scaling curve (grid from ``MILLION_UE_SCALING_UES`` /
+``MILLION_UE_SHARDS``)
+and records it in the report's ``scaling`` section.  Unlike the timing
+gates, the scaling test's *correctness* half — merged accounting
+reconciles and is byte-identical at every shard count — always
+enforces: a broken merge is a wrong answer, not a slow one.
 """
 
 from __future__ import annotations
@@ -32,6 +40,7 @@ from benchmarks.perf.harness import (
     load_report,
     paired_rate_ratio,
     run_harness,
+    run_scaling,
     write_report,
 )
 
@@ -57,6 +66,8 @@ def perf_report():
     """Time the workloads once for the whole module and persist."""
     repeats = int(os.environ.get("PERF_REPEATS", "3"))
     report = run_harness(_selected_workloads(), repeats=repeats)
+    if os.environ.get("PERF_SCALING", "").strip() in ("1", "true", "yes"):
+        report["scaling"] = run_scaling()
     path = write_report(report)
     print(f"\nwrote {path}")
     return report
@@ -172,3 +183,35 @@ def test_telemetry_overhead_within_bound(perf_report):
         print("PERF_GATE=report: overhead reported, not enforced:")
         for message in violations:
             print(f"  {message}")
+
+
+def test_million_ue_scaling_curve(perf_report):
+    """The sharded population cell: exact at every shard count.
+
+    Runs only when ``PERF_SCALING`` is set (CI's ``shard-smoke`` job;
+    full-scale BENCH regenerations).  The correctness half enforces
+    regardless of ``PERF_GATE``: every point must reconcile its merged
+    byte accounting (``counted − Σ losses == received``) and match the
+    first point's merged charging state and Algorithm 1 settlement
+    byte for byte — shard count must never change an answer.
+    """
+    scaling = perf_report.get("scaling")
+    if scaling is None:
+        pytest.skip("PERF_SCALING not set")
+    print(f"\nmillion_ue: {scaling['n_ues']:,} UEs per point")
+    for point in scaling["points"]:
+        print(
+            f"  shards={point['shards']:>2}: {point['wall_s']:7.2f} s  "
+            f"{point['events_per_sec']:>12,.0f} events/s  "
+            f"peak RSS {point['rss_max_bytes'] / 1e6:7.1f} MB"
+        )
+        assert point["events"] > 0
+        assert point["reconciles"], (
+            f"merged accounting does not reconcile at "
+            f"shards={point['shards']}"
+        )
+        assert point["matches_first"], (
+            f"merged state diverges from the 1st point at "
+            f"shards={point['shards']}: shard count changed the answer"
+        )
+    assert scaling["invariant"]

@@ -28,6 +28,14 @@ Workload selection mirrors the paper's evaluation surface:
   buffered JSONL trace sink on top.  The harness holds the metered
   variants within 1.5x of ``telemetry_off``
   (:data:`benchmarks.perf.test_perf.TELEMETRY_OVERHEAD_BOUND`).
+- ``million_ue`` — the population-cell class: many short metered UE
+  cycles folded through the streaming shard merge
+  (:mod:`repro.experiments.sharding`).  The timed unit is a small cell
+  (``MILLION_UE_UES`` env, default 64 UEs) so the regression gate stays
+  fast; the harness's separate **scaling** section
+  (:func:`benchmarks.perf.harness.run_scaling`) runs the same class at
+  campaign scale across shard counts and records events/s and peak
+  shard RSS per count.
 """
 
 from __future__ import annotations
@@ -161,6 +169,34 @@ def telemetry_on_traced() -> WorkloadSample:
         os.unlink(path)
 
 
+#: The population-cell scenario every ``million_ue`` measurement uses:
+#: short metered webcam cycles under fluid advancement — the per-UE
+#: shape a campaign-scale cell is made of.
+def million_ue_config(n_ues: int) -> ScenarioConfig:
+    return ScenarioConfig(
+        app="webcam-udp",
+        seed=_SEED,
+        cycle_duration=2.0,
+        mode="fluid",
+        telemetry=True,
+        n_ues=n_ues,
+    )
+
+
+def million_ue() -> WorkloadSample:
+    """A population cell folded in-process through the shard merge.
+
+    ``run_scenario`` on an ``n_ues > 1`` config delegates to
+    :func:`repro.experiments.sharding.run_population`: per-UE
+    sub-simulations seeded from the cell seed, telemetry snapshots and
+    charging state merged streaming.  This times the per-UE cost of
+    that class; scale-out across processes is measured by the scaling
+    section, not the regression gate.
+    """
+    n_ues = int(os.environ.get("MILLION_UE_UES", "64"))
+    return _scenario_events(million_ue_config(n_ues))
+
+
 def negotiation() -> WorkloadSample:
     """Signed negotiations plus Algorithm 2 verification.
 
@@ -193,6 +229,7 @@ WORKLOADS = {
     "fluid_congestion": fluid_congestion,
     "fluid_intermittent": fluid_intermittent,
     "intermittent": intermittent,
+    "million_ue": million_ue,
     "negotiation": negotiation,
     "telemetry_off": telemetry_off,
     "telemetry_on": telemetry_on,

@@ -1,0 +1,111 @@
+"""Mergeable charging state across the gateway/OFCS boundary.
+
+A sharded population run (:mod:`repro.experiments.sharding`) simulates
+disjoint slices of one cell's UE population in separate processes, but
+the paper's charging pipeline has a single administrative boundary: one
+charging gateway metering every bearer, one OFCS collecting every CDR,
+one Algorithm 1 negotiation per cycle.  :class:`ChargingAggregate` is
+the state that crosses that boundary in mergeable form — everything a
+settlement needs, as a **commutative monoid**:
+
+- the ground-truth pair ``(x̂e, x̂o)`` summed over UEs,
+- both parties' monitor views summed over UEs (each party's belief
+  about a population is the sum of its per-session beliefs),
+- the legacy gateway-charged volume summed,
+- the OFCS CDR count summed.
+
+All quantities are integer byte counts carried as floats, so merges
+are exact, associative, and order-independent below 2**53 bytes
+(≈ 9 petabytes — comfortably above any cell), which is what makes the
+merged settlement shard-count invariant: Algorithm 1 over the merged
+views of an N-shard run equals Algorithm 1 over the single-shard run,
+byte for byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.records import GroundTruth, UsageView
+
+
+@dataclass(frozen=True)
+class ChargingAggregate:
+    """Additive charging state of a UE sub-population.
+
+    The identity element is the default instance (all zeros);
+    :meth:`merge` is the monoid operation.  Use :meth:`truth`,
+    :meth:`edge_view`, and :meth:`operator_view` to hand the merged
+    state to :func:`repro.experiments.scenario.charge_with_scheme` (via
+    a merged :class:`~repro.experiments.scenario.ScenarioResult`) or
+    directly to the negotiation strategies.
+    """
+
+    truth_sent: float = 0.0
+    truth_received: float = 0.0
+    edge_sent: float = 0.0
+    edge_received: float = 0.0
+    operator_sent: float = 0.0
+    operator_received: float = 0.0
+    legacy_charged: float = 0.0
+    cdr_count: int = 0
+    ue_count: int = 0
+
+    def merge(self, other: "ChargingAggregate") -> "ChargingAggregate":
+        """The monoid operation: fieldwise sums."""
+        return ChargingAggregate(
+            truth_sent=self.truth_sent + other.truth_sent,
+            truth_received=self.truth_received + other.truth_received,
+            edge_sent=self.edge_sent + other.edge_sent,
+            edge_received=self.edge_received + other.edge_received,
+            operator_sent=self.operator_sent + other.operator_sent,
+            operator_received=(
+                self.operator_received + other.operator_received
+            ),
+            legacy_charged=self.legacy_charged + other.legacy_charged,
+            cdr_count=self.cdr_count + other.cdr_count,
+            ue_count=self.ue_count + other.ue_count,
+        )
+
+    @classmethod
+    def of_views(
+        cls,
+        truth: GroundTruth,
+        edge_view: UsageView,
+        operator_view: UsageView,
+        legacy_charged: float,
+        cdr_count: int = 0,
+        ue_count: int = 1,
+    ) -> "ChargingAggregate":
+        """One UE session's (or sub-population's) charging state."""
+        return cls(
+            truth_sent=truth.sent,
+            truth_received=truth.received,
+            edge_sent=edge_view.sent_estimate,
+            edge_received=edge_view.received_estimate,
+            operator_sent=operator_view.sent_estimate,
+            operator_received=operator_view.received_estimate,
+            legacy_charged=legacy_charged,
+            cdr_count=cdr_count,
+            ue_count=ue_count,
+        )
+
+    def truth(self) -> GroundTruth:
+        """The merged ground-truth pair."""
+        return GroundTruth(
+            sent=self.truth_sent, received=self.truth_received
+        )
+
+    def edge_view(self) -> UsageView:
+        """The edge party's merged monitor view."""
+        return UsageView(
+            sent_estimate=self.edge_sent,
+            received_estimate=self.edge_received,
+        )
+
+    def operator_view(self) -> UsageView:
+        """The operator's merged monitor view."""
+        return UsageView(
+            sent_estimate=self.operator_sent,
+            received_estimate=self.operator_received,
+        )

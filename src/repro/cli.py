@@ -69,6 +69,7 @@ from repro.experiments.report import (
     render_accounting,
     render_table,
 )
+from repro.experiments.scenario import ScenarioConfig
 from repro.experiments.transport_comparison import compare_transports
 from repro.telemetry.accounting import AccountingTable
 from repro.telemetry.trace import TraceSink
@@ -348,6 +349,74 @@ def _faults(fast: bool) -> str:
     return fault_tolerance.render_fault_report(results)
 
 
+# ``run scale --ues N --shards A,B,C`` overrides, set by main() and
+# cleared in its finally block (same pattern as the fault-plan override).
+_scale_ues: int | None = None
+_scale_shards: tuple[int, ...] | None = None
+
+
+def set_scale_override(
+    ues: int | None, shards: tuple[int, ...] | None
+) -> None:
+    """Override the ``scale`` experiment's population / shard grid."""
+    global _scale_ues, _scale_shards
+    _scale_ues = ues
+    _scale_shards = shards
+
+
+def _scale(fast: bool) -> str:
+    """Scaling campaign: one population cell at several shard counts.
+
+    Regenerates the ``million_ue`` scaling curve (events/s and peak
+    shard RSS vs shard count) and checks the merge-invariant contract:
+    every shard count must produce the byte-identical merged accounting
+    table and Algorithm 1 settlement.  ``--ues``/``--shards`` set the
+    population and the shard-count grid; merged totals depend only on
+    the seed and the population, never on the shard count.
+    """
+    from repro.experiments.sharding import scaling_curve
+
+    ues = _scale_ues if _scale_ues is not None else (200 if fast else 2000)
+    shard_counts = (
+        _scale_shards
+        if _scale_shards is not None
+        else ((1, 2, 4) if fast else (1, 2, 4, 8))
+    )
+    config = ScenarioConfig(
+        app="webcam-udp",
+        seed=42,
+        cycle_duration=2.0,
+        mode="fluid",
+        telemetry=True,
+        n_ues=ues,
+    )
+    points = scaling_curve(config, shard_counts)
+    table = render_table(
+        ["shards", "wall s", "events/s", "app MB/s", "peak RSS MB",
+         "reconciles", "settled B", "invariant"],
+        [
+            [
+                p.shards,
+                f"{p.wall_s:.2f}",
+                f"{p.events_per_sec:,.0f}",
+                f"{p.bytes_per_sec / 1e6:.1f}",
+                f"{p.rss_max_bytes / 1e6:.1f}",
+                "yes" if p.reconciles else "NO",
+                f"{p.settled:.0f}",
+                "yes" if p.matches_first else "NO",
+            ]
+            for p in points
+        ],
+    )
+    ok = all(p.matches_first and p.reconciles for p in points)
+    verdict = (
+        "merged accounting and settlement are shard-count invariant"
+        if ok
+        else "MERGE INVARIANT VIOLATED — shard counts disagree"
+    )
+    return f"{ues:,} UEs per point\n{table}\n{verdict}"
+
+
 def _transport(fast: bool) -> str:
     udp, tcp = compare_transports(
         seed=3, loss_rate=0.10, duration=15.0 if fast else 30.0
@@ -377,6 +446,7 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[bool], str]]] = {
     "transport": ("UDP vs TCP-like ablation", _transport),
     "rss": ("signal-strength ablation", _rss),
     "faults": ("fault-injection & recovery campaign", _faults),
+    "scale": ("sharded population scaling curve", _scale),
 }
 
 
@@ -438,6 +508,20 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PLAN",
         help="run the 'faults' experiment against a fault plan loaded "
         "from PLAN (JSON) instead of the built-in grid",
+    )
+    run.add_argument(
+        "--ues",
+        type=int,
+        default=None,
+        metavar="N",
+        help="population size for the 'scale' experiment (UEs per cell)",
+    )
+    run.add_argument(
+        "--shards",
+        default=None,
+        metavar="N[,N...]",
+        help="shard counts for the 'scale' experiment, e.g. '8' or "
+        "'1,2,4,8'; merged results are byte-identical for every count",
     )
     run.add_argument(
         "--fail-fast",
@@ -515,6 +599,24 @@ def main(argv: list[str] | None = None) -> int:
             print(f"cannot load fault plan {plan_file!r}: {exc}",
                   file=sys.stderr)
             return 2
+    shards_arg = getattr(args, "shards", None)
+    if shards_arg is not None:
+        try:
+            shard_counts = tuple(
+                int(part) for part in str(shards_arg).split(",") if part
+            )
+            if not shard_counts or any(s < 1 for s in shard_counts):
+                raise ValueError(shards_arg)
+        except ValueError:
+            print(
+                f"--shards must be positive integers like '8' or "
+                f"'1,2,4,8', got {shards_arg!r}",
+                file=sys.stderr,
+            )
+            return 2
+    else:
+        shard_counts = None
+    set_scale_override(getattr(args, "ues", None), shard_counts)
     collect = metrics_out is not None or trace_out is not None
     engine = CampaignEngine(
         workers=workers,
@@ -562,6 +664,7 @@ def main(argv: list[str] | None = None) -> int:
             profiler.disable()
         set_default_engine(None)
         fault_tolerance.set_plan_override(None)
+        set_scale_override(None, None)
         if trace_sink is not None:
             _drain_trace()
             trace_sink.close()

@@ -16,6 +16,7 @@ the measurement error Figure 18 quantifies.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable
 
 from repro.charging.policy import charged_volume
 
@@ -45,6 +46,23 @@ class GroundTruth:
         """The plan-prescribed charging volume x̂ (Equation 1)."""
         return charged_volume(self.received, self.sent, c)
 
+    @classmethod
+    def merged(cls, truths: Iterable["GroundTruth"]) -> "GroundTruth":
+        """The population ground truth: per-UE pairs summed.
+
+        Usage volumes are additive across independent UE sessions, so
+        the merged pair is the exact population truth whatever the
+        grouping — the charging-state half of the shard-merge contract
+        (see :mod:`repro.experiments.sharding`).  An empty iterable is
+        the identity (0, 0).
+        """
+        sent = 0.0
+        received = 0.0
+        for truth in truths:
+            sent += truth.sent
+            received += truth.received
+        return cls(sent=sent, received=received)
+
 
 @dataclass(frozen=True)
 class UsageView:
@@ -72,6 +90,24 @@ class UsageView:
             sent_estimate=self.received_estimate,
             received_estimate=self.received_estimate,
         )
+
+    @classmethod
+    def merged(cls, views: Iterable["UsageView"]) -> "UsageView":
+        """The population view: per-UE monitor estimates summed.
+
+        Each party's monitors read per-session byte counters, so its
+        belief about a UE population is the sum of its per-UE beliefs.
+        Algorithm 1 settlement over a sharded population negotiates
+        once, from the merged views (never per shard) — see
+        :mod:`repro.experiments.sharding`.  An empty iterable is the
+        identity (0, 0).
+        """
+        sent = 0.0
+        received = 0.0
+        for view in views:
+            sent += view.sent_estimate
+            received += view.received_estimate
+        return cls(sent_estimate=sent, received_estimate=received)
 
     @classmethod
     def exact(cls, truth: GroundTruth) -> "UsageView":

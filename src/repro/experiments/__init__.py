@@ -13,6 +13,12 @@ drivers sweep it:
 - :mod:`repro.experiments.poc_cost` — Figure 17,
 - :mod:`repro.experiments.cdr_error` — Figure 18,
 - :mod:`repro.experiments.report` — plain-text table/series rendering.
+
+Population scale-out lives in :mod:`repro.experiments.sharding`: a
+``ScenarioConfig`` with ``n_ues > 1`` describes a whole cell, and
+:func:`~repro.experiments.sharding.run_sharded_scenario` splits it into
+seeded shards on the campaign engine's process pool and merges the
+results exactly (see ``docs/architecture.md``).
 """
 
 from repro.experiments.campaign import (
@@ -28,15 +34,33 @@ from repro.experiments.scenario import (
     charge_with_scheme,
     run_scenario,
 )
+from repro.experiments.sharding import (
+    ScalingPoint,
+    ShardResult,
+    ShardSpec,
+    partition_population,
+    run_population,
+    run_shard,
+    run_sharded_scenario,
+    scaling_curve,
+)
 
 __all__ = [
     "CampaignEngine",
     "CampaignTask",
     "ChargingScheme",
+    "ScalingPoint",
     "ScenarioConfig",
     "ScenarioResult",
+    "ShardResult",
+    "ShardSpec",
     "charge_with_scheme",
+    "partition_population",
+    "run_population",
     "run_scenario",
     "run_scenarios",
+    "run_sharded_scenario",
+    "run_shard",
+    "scaling_curve",
     "set_default_engine",
 ]

@@ -44,7 +44,7 @@ from repro.experiments.scenario import (
 )
 
 #: Bump to invalidate every cached result (simulation semantics change).
-CACHE_VERSION = "tlc-campaign-v4"
+CACHE_VERSION = "tlc-campaign-v5"
 
 
 @dataclass(frozen=True)

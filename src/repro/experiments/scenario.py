@@ -135,6 +135,15 @@ class ScenarioConfig:
     # bit-identical across modes under one seed — enforced by
     # tests/equivalence.
     mode: str = "packet"
+    # UE population of this cell.  1 is the classic single-session
+    # scenario.  n_ues > 1 models a population of independent UE
+    # sessions behind one gateway/OFCS boundary: each UE runs as its
+    # own sub-simulation seeded from ``derive_seed(seed, "ue", index)``
+    # and the results merge exactly (telemetry snapshots, accounting
+    # tables, charging state) — see ``repro.experiments.sharding`` and
+    # docs/architecture.md.  Merged totals depend only on (seed,
+    # n_ues), never on how the population is sharded.
+    n_ues: int = 1
 
     EDGE_CLOCK_STD_FRACTION = 0.015
     OPERATOR_CLOCK_STD_FRACTION = 0.025
@@ -164,6 +173,14 @@ class ScenarioConfig:
         if self.mode not in ("packet", "fluid"):
             raise ValueError(
                 f"unknown mode {self.mode!r}; choose 'packet' or 'fluid'"
+            )
+        if (
+            isinstance(self.n_ues, bool)
+            or not isinstance(self.n_ues, int)
+            or self.n_ues < 1
+        ):
+            raise ValueError(
+                f"n_ues must be an int >= 1: {self.n_ues!r}"
             )
 
     @property
@@ -277,7 +294,25 @@ class ScenarioHooks:
 def run_scenario(
     config: ScenarioConfig, hooks: ScenarioHooks | None = None
 ) -> ScenarioResult:
-    """Simulate one charging cycle and collect both parties' records."""
+    """Simulate one charging cycle and collect both parties' records.
+
+    A population config (``n_ues > 1``) delegates to the sharding
+    module's in-process population runner: every UE runs as its own
+    seeded sub-simulation and the results merge exactly, so a campaign
+    worker can execute a population cell like any other task.  Use
+    :func:`repro.experiments.sharding.run_sharded_scenario` to fan the
+    population out over worker processes instead.
+    """
+    if config.n_ues != 1:
+        if hooks is not None:
+            raise ValueError(
+                "fault hooks require a single-UE scenario; run the "
+                "population through repro.experiments.sharding and "
+                "inject faults per shard instead"
+            )
+        from repro.experiments.sharding import run_population
+
+        return run_population(config)
     loop = EventLoop()
     rngs = RngStreams(config.seed)
     sink = (

@@ -1,0 +1,545 @@
+"""Sharded million-UE campaigns: population cells over worker processes.
+
+One :class:`~repro.experiments.scenario.ScenarioConfig` with
+``n_ues > 1`` models a cell-scale UE population behind a single
+gateway/OFCS boundary.  This module splits that population into N
+**shards** — contiguous UE ranges, each a seeded sub-simulation — runs
+them on the campaign engine's process pool, and merges the results
+*exactly*:
+
+- every UE ``u`` runs as its own sub-simulation whose root seed is
+  ``derive_seed(config.seed, "ue", u)`` (the same SHA-256 substream
+  derivation :class:`~repro.sim.rng.RngStreams` uses internally, so
+  each UE's channel/congestion/workload streams — including the
+  fluid-mode :class:`~repro.sim.sampling.ChunkedRandom` block draws —
+  are independent of every other UE's);
+- a shard folds its UEs **streaming**: each finished UE's telemetry
+  snapshot and charging state are merged into the shard accumulator
+  and the per-UE result is dropped, so shard memory stays bounded by
+  one live scenario (use ``mode="fluid"`` to bound the live scenario's
+  event count too) plus one accumulated snapshot, whatever the
+  population size;
+- shard results merge through commutative monoids
+  (:func:`repro.telemetry.merge.merge_snapshots`,
+  :meth:`repro.telemetry.accounting.AccountingTable.merged`,
+  :class:`repro.charging.merge.ChargingAggregate`), so the merged
+  byte-accounting identity ``counted − Σ losses_by_layer == received``
+  holds whenever the per-UE identities hold, and Algorithm 1
+  settlement runs once, over the merged views.
+
+**The merge-invariant contract** (locked down by
+``tests/experiments/test_sharding.py`` and the ``shard-smoke`` CI
+job): per-UE seeds depend only on ``(config.seed, ue index)``, never
+on the shard layout, so for a fixed seed the merged result —
+ground-truth pair, both parties' views, legacy charged volume, metric
+snapshot, accounting table, and Algorithm 1 settlement — is
+**byte-identical for every shard count**, including ``shards=1`` and
+the in-process :func:`run_population` path that
+:func:`~repro.experiments.scenario.run_scenario` delegates to.
+
+Shards ride the existing campaign plumbing: :func:`run_shard` is a
+module-level pure function of a picklable :class:`ShardSpec`, so the
+:class:`~repro.experiments.campaign.CampaignEngine` gives fan-out
+(``ProcessPoolExecutor``), content-addressed shard-result caching, and
+:class:`~repro.experiments.campaign.CampaignTaskError` attribution for
+free.  Note the cache keys a shard by its UE *range*: re-running the
+same population at the same shard count is all cache hits, while a
+different shard count recomputes (the merged result is identical
+either way).
+
+Entry points::
+
+    # fan a 100k-UE cell out over 8 worker processes
+    result = run_sharded_scenario(
+        ScenarioConfig(app="vridge", n_ues=100_000, mode="fluid",
+                       telemetry=True),
+        shards=8,
+        engine=CampaignEngine(workers=8),
+    )
+
+    # CLI equivalent (the scaling-curve experiment):
+    #   python -m repro run scale --ues 100000 --shards 8
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Any, Iterable, Sequence
+
+from repro.charging.merge import ChargingAggregate
+from repro.experiments.campaign import (
+    CampaignEngine,
+    CampaignTask,
+    resolve_engine,
+)
+from repro.experiments.scenario import (
+    ChargingScheme,
+    ScenarioConfig,
+    ScenarioResult,
+    charge_with_scheme,
+    run_scenario,
+)
+from repro.sim.rng import derive_seed
+from repro.telemetry.accounting import build_accounting
+from repro.telemetry.merge import SnapshotAccumulator
+
+
+def max_rss_bytes() -> int:
+    """This process's peak resident set size in bytes (0 if unknown)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platform
+        return 0
+    usage = resource.getrusage(resource.RUSAGE_SELF)
+    # ru_maxrss is kilobytes on Linux, bytes on macOS.
+    import sys
+
+    if sys.platform == "darwin":  # pragma: no cover
+        return int(usage.ru_maxrss)
+    return int(usage.ru_maxrss) * 1024
+
+
+def per_ue_config(scenario: ScenarioConfig, index: int) -> ScenarioConfig:
+    """UE ``index``'s sub-simulation config.
+
+    The UE's root seed depends only on ``(scenario.seed, index)`` — not
+    on the shard layout — which is the whole merge-invariant contract.
+    Live trace sinks are stripped: per-UE JSONL streams from many
+    worker processes cannot interleave into one meaningful file (the
+    in-memory metric snapshots are what merge).
+    """
+    return replace(
+        scenario,
+        seed=derive_seed(scenario.seed, "ue", index),
+        n_ues=1,
+        trace=False,
+        trace_path=None,
+    )
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One shard: a contiguous UE range ``[ue_start, ue_stop)`` of a
+    population scenario.  Picklable and content-addressable, so it can
+    ride the campaign cache like any other task config."""
+
+    scenario: ScenarioConfig
+    ue_start: int
+    ue_stop: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.ue_start < self.ue_stop:
+            raise ValueError(
+                f"empty or negative UE range: "
+                f"[{self.ue_start}, {self.ue_stop})"
+            )
+        if self.ue_stop > self.scenario.n_ues:
+            raise ValueError(
+                f"UE range [{self.ue_start}, {self.ue_stop}) exceeds "
+                f"the population ({self.scenario.n_ues} UEs)"
+            )
+
+    @property
+    def ue_count(self) -> int:
+        """How many UEs this shard simulates."""
+        return self.ue_stop - self.ue_start
+
+
+@dataclass
+class ShardResult:
+    """One shard's merged state — everything the parent needs, bounded.
+
+    All numeric fields are monoidal sums over the shard's UEs (the
+    same fold the parent then applies across shards), so a shard
+    result's size is independent of how many UEs it covered.
+    """
+
+    ue_start: int
+    ue_stop: int
+    charging: ChargingAggregate
+    duration: float
+    outage_time: float = 0.0
+    rlf_events: int = 0
+    counter_checks: int = 0
+    generated_bytes: int = 0
+    processed_events: int = 0
+    direction: str = "downlink"
+    #: Merged per-UE metric snapshot (None when telemetry was off).
+    metrics: dict | None = None
+    #: Shard compute wall-clock (seconds) and worker peak RSS (bytes).
+    wall_s: float = 0.0
+    rss_max_bytes: int = 0
+
+    def merge(self, other: "ShardResult") -> "ShardResult":
+        """Fold ``other`` into a combined result (associative)."""
+        if self.direction != other.direction:
+            raise ValueError(
+                "cannot merge shards across directions: "
+                f"{self.direction!r} vs {other.direction!r}"
+            )
+        acc = None
+        if self.metrics is not None or other.metrics is not None:
+            folder = SnapshotAccumulator()
+            for metrics in (self.metrics, other.metrics):
+                if metrics is not None:
+                    folder.add(metrics)
+            acc = folder.snapshot()
+        return ShardResult(
+            ue_start=min(self.ue_start, other.ue_start),
+            ue_stop=max(self.ue_stop, other.ue_stop),
+            charging=self.charging.merge(other.charging),
+            duration=max(self.duration, other.duration),
+            outage_time=self.outage_time + other.outage_time,
+            rlf_events=self.rlf_events + other.rlf_events,
+            counter_checks=self.counter_checks + other.counter_checks,
+            generated_bytes=self.generated_bytes + other.generated_bytes,
+            processed_events=(
+                self.processed_events + other.processed_events
+            ),
+            direction=self.direction,
+            metrics=acc,
+            wall_s=self.wall_s + other.wall_s,
+            rss_max_bytes=max(self.rss_max_bytes, other.rss_max_bytes),
+        )
+
+
+def _fold_ues(
+    scenario: ScenarioConfig, ue_start: int, ue_stop: int
+) -> ShardResult:
+    """Run UEs ``[ue_start, ue_stop)`` serially, folding as they finish.
+
+    The streaming fold is the memory bound: after each UE the scenario
+    result (and its telemetry snapshot) is merged into plain-dict
+    accumulators and dropped, so peak memory is one live simulation
+    plus one accumulated snapshot regardless of the range size.
+    """
+    start = time.perf_counter()
+    charging = ChargingAggregate()
+    snapshots = SnapshotAccumulator()
+    metered = False
+    direction = scenario.direction.value
+    outage_time = 0.0
+    rlf_events = 0
+    counter_checks = 0
+    generated_bytes = 0
+    processed_events = 0
+    for index in range(ue_start, ue_stop):
+        result = run_scenario(per_ue_config(scenario, index))
+        charging = charging.merge(
+            ChargingAggregate.of_views(
+                truth=result.truth,
+                edge_view=result.edge_view,
+                operator_view=result.operator_view,
+                legacy_charged=result.legacy_charged,
+                cdr_count=int(result.extras.get("cdrs", 0)),
+                ue_count=1,
+            )
+        )
+        outage_time += result.outage_time
+        rlf_events += result.rlf_events
+        counter_checks += result.counter_checks
+        generated_bytes += result.generated_bytes
+        processed_events += int(result.extras.get("processed_events", 0))
+        telemetry = result.extras.get("telemetry")
+        if telemetry is not None:
+            metered = True
+            snapshots.add(telemetry["metrics"])
+    return ShardResult(
+        ue_start=ue_start,
+        ue_stop=ue_stop,
+        charging=charging,
+        duration=scenario.cycle_duration,
+        outage_time=outage_time,
+        rlf_events=rlf_events,
+        counter_checks=counter_checks,
+        generated_bytes=generated_bytes,
+        processed_events=processed_events,
+        direction=direction,
+        metrics=snapshots.snapshot() if metered else None,
+        wall_s=time.perf_counter() - start,
+        rss_max_bytes=max_rss_bytes(),
+    )
+
+
+def run_shard(spec: ShardSpec) -> ShardResult:
+    """Execute one shard (module-level: picklable, cacheable)."""
+    return _fold_ues(spec.scenario, spec.ue_start, spec.ue_stop)
+
+
+def partition_population(n_ues: int, shards: int) -> list[tuple[int, int]]:
+    """Contiguous, balanced UE ranges covering ``[0, n_ues)``.
+
+    Range sizes differ by at most one; the shard count is clamped to
+    the population (an empty shard would be pure overhead).
+    """
+    if n_ues < 1:
+        raise ValueError(f"population must be >= 1 UE: {n_ues}")
+    if shards < 1:
+        raise ValueError(f"shard count must be >= 1: {shards}")
+    shards = min(shards, n_ues)
+    base, extra = divmod(n_ues, shards)
+    ranges = []
+    start = 0
+    for i in range(shards):
+        stop = start + base + (1 if i < extra else 0)
+        ranges.append((start, stop))
+        start = stop
+    return ranges
+
+
+def shard_tasks(
+    config: ScenarioConfig, shards: int
+) -> list[CampaignTask]:
+    """The campaign tasks of a sharded population run."""
+    return [
+        CampaignTask(
+            fn=run_shard,
+            config=ShardSpec(
+                scenario=config, ue_start=start, ue_stop=stop
+            ),
+        )
+        for start, stop in partition_population(config.n_ues, shards)
+    ]
+
+
+def _merged_scenario_result(
+    config: ScenarioConfig,
+    merged: ShardResult,
+    per_shard: list[dict[str, Any]] | None = None,
+    shards: int = 1,
+) -> ScenarioResult:
+    """Assemble the population-level :class:`ScenarioResult`."""
+    extras: dict[str, Any] = {
+        "cdrs": merged.charging.cdr_count,
+        "processed_events": merged.processed_events,
+        "sharding": {
+            "shards": shards,
+            "n_ues": config.n_ues,
+            "rss_max_bytes": merged.rss_max_bytes,
+            "compute_seconds": merged.wall_s,
+            "per_shard": per_shard or [],
+        },
+    }
+    if merged.metrics is not None:
+        extras["telemetry"] = {
+            "direction": merged.direction,
+            "metrics": merged.metrics,
+            "accounting": build_accounting(
+                merged.metrics, merged.direction
+            ).as_dict(),
+        }
+    return ScenarioResult(
+        config=config,
+        truth=merged.charging.truth(),
+        edge_view=merged.charging.edge_view(),
+        operator_view=merged.charging.operator_view(),
+        legacy_charged=merged.charging.legacy_charged,
+        duration=merged.duration,
+        outage_time=merged.outage_time,
+        rlf_events=merged.rlf_events,
+        counter_checks=merged.counter_checks,
+        generated_bytes=merged.generated_bytes,
+        extras=extras,
+    )
+
+
+def run_population(config: ScenarioConfig) -> ScenarioResult:
+    """Run a population cell in-process (the one-shard fold).
+
+    This is what :func:`repro.experiments.scenario.run_scenario`
+    delegates to for ``n_ues > 1``, so a population config behaves
+    like any other scenario inside a campaign worker.  By the
+    merge-invariant contract its result is byte-identical to
+    :func:`run_sharded_scenario` at any shard count.
+    """
+    if config.trace or config.trace_path is not None:
+        raise ValueError(
+            "population runs merge metric snapshots, not trace streams; "
+            "run with trace off (or trace a single-UE scenario)"
+        )
+    merged = _fold_ues(config, 0, config.n_ues)
+    return _merged_scenario_result(config, merged)
+
+
+def run_sharded_scenario(
+    config: ScenarioConfig,
+    shards: int,
+    engine: CampaignEngine | None = None,
+) -> ScenarioResult:
+    """Run a population cell as ``shards`` sub-simulations and merge.
+
+    The shards execute through ``engine`` (default: the process-wide
+    campaign engine), so ``CampaignEngine(workers=N)`` fans them out
+    over N processes and a configured cache serves repeated shard
+    ranges without recomputing.  A failing shard surfaces as the
+    engine's :class:`~repro.experiments.campaign.CampaignTaskError`
+    naming the shard's config hash; a partial population is never
+    silently merged.
+    """
+    if config.trace or config.trace_path is not None:
+        raise ValueError(
+            "population runs merge metric snapshots, not trace streams; "
+            "run with trace off (or trace a single-UE scenario)"
+        )
+    tasks = shard_tasks(config, shards)
+    engine = resolve_engine(engine)
+    results: Sequence[ShardResult | None] = engine.run_tasks(tasks)
+    missing = [i for i, r in enumerate(results) if r is None]
+    if missing:
+        if engine.last_failures:
+            raise engine.last_failures[0]
+        raise RuntimeError(
+            f"shards {missing} produced no result; cannot merge a "
+            f"partial population"
+        )
+    merged = results[0]
+    for result in results[1:]:
+        merged = merged.merge(result)
+    per_shard = [
+        {
+            "ue_start": r.ue_start,
+            "ue_stop": r.ue_stop,
+            "events": r.processed_events,
+            "wall_s": r.wall_s,
+            "rss_max_bytes": r.rss_max_bytes,
+        }
+        for r in results
+    ]
+    return _merged_scenario_result(
+        config, merged, per_shard=per_shard, shards=len(tasks)
+    )
+
+
+# -- the scaling-curve experiment ---------------------------------------
+
+
+@dataclass
+class ScalingPoint:
+    """One shard count's measurement of the same population cell."""
+
+    shards: int
+    n_ues: int
+    wall_s: float
+    events: int
+    bytes: int
+    rss_max_bytes: int
+    reconciles: bool
+    counted: float
+    received: float
+    total_losses: float
+    settled: float
+    legacy_charged: float
+    #: Does this point's merged state equal the first point's?  (The
+    #: shard-count-invariance check; always True for a correct build.)
+    matches_first: bool = True
+
+    @property
+    def events_per_sec(self) -> float:
+        """Simulator event throughput at this shard count."""
+        return self.events / self.wall_s if self.wall_s > 0 else 0.0
+
+    @property
+    def bytes_per_sec(self) -> float:
+        """Simulated app bytes per wall second at this shard count."""
+        return self.bytes / self.wall_s if self.wall_s > 0 else 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-able form (what BENCH_perf.json records)."""
+        return {
+            "shards": self.shards,
+            "n_ues": self.n_ues,
+            "wall_s": self.wall_s,
+            "events": self.events,
+            "events_per_sec": self.events_per_sec,
+            "bytes": self.bytes,
+            "bytes_per_sec": self.bytes_per_sec,
+            "rss_max_bytes": self.rss_max_bytes,
+            "reconciles": self.reconciles,
+            "settled": self.settled,
+            "matches_first": self.matches_first,
+        }
+
+
+def _scaling_state(result: ScenarioResult) -> tuple:
+    """The merged quantities that must be shard-count invariant."""
+    telemetry = result.extras.get("telemetry") or {}
+    return (
+        result.truth.sent,
+        result.truth.received,
+        result.edge_view.sent_estimate,
+        result.edge_view.received_estimate,
+        result.operator_view.sent_estimate,
+        result.operator_view.received_estimate,
+        result.legacy_charged,
+        result.generated_bytes,
+        result.extras.get("cdrs"),
+        telemetry.get("metrics"),
+        telemetry.get("accounting"),
+    )
+
+
+def scaling_curve(
+    config: ScenarioConfig,
+    shard_counts: Iterable[int],
+    engine_factory=None,
+) -> list[ScalingPoint]:
+    """Measure the same population cell at several shard counts.
+
+    Each point runs through a fresh uncached engine with as many
+    workers as shards (``engine_factory(shards)`` to override), times
+    the whole sharded run, and records peak shard RSS plus the merged
+    accounting identity.  Every point's merged charging state, metric
+    snapshot, and Algorithm 1 settlement are compared byte-for-byte
+    against the first point's (``matches_first``) — the shard-count
+    invariance the ``shard-smoke`` CI job gates on.
+    """
+    points: list[ScalingPoint] = []
+    reference: tuple | None = None
+    reference_settled: float | None = None
+    for shards in shard_counts:
+        engine = (
+            engine_factory(shards)
+            if engine_factory is not None
+            else CampaignEngine(workers=shards)
+        )
+        t0 = time.perf_counter()
+        result = run_sharded_scenario(config, shards, engine=engine)
+        wall = time.perf_counter() - t0
+        settled = charge_with_scheme(
+            result, ChargingScheme.TLC_OPTIMAL, seed=config.seed
+        ).charged
+        state = _scaling_state(result)
+        if reference is None:
+            reference = state
+            reference_settled = settled
+        telemetry = result.extras.get("telemetry")
+        if telemetry is not None:
+            reconciles = bool(telemetry["accounting"]["reconciles"])
+            counted = telemetry["accounting"]["counted"]
+            received = telemetry["accounting"]["received"]
+            losses = telemetry["accounting"]["total_losses"]
+        else:
+            reconciles = False
+            counted = received = losses = 0.0
+        sharding = result.extras["sharding"]
+        points.append(
+            ScalingPoint(
+                shards=sharding["shards"],
+                n_ues=config.n_ues,
+                wall_s=wall,
+                events=int(result.extras.get("processed_events", 0)),
+                bytes=result.generated_bytes,
+                rss_max_bytes=sharding["rss_max_bytes"],
+                reconciles=reconciles,
+                counted=counted,
+                received=received,
+                total_losses=losses,
+                settled=settled,
+                legacy_charged=result.legacy_charged,
+                matches_first=(
+                    state == reference and settled == reference_settled
+                ),
+            )
+        )
+    return points

@@ -81,6 +81,11 @@ from repro.telemetry.metrics import (
     RunAccumulator,
     flush_all,
 )
+from repro.telemetry.merge import (
+    SnapshotAccumulator,
+    empty_snapshot,
+    merge_snapshots,
+)
 from repro.telemetry.trace import (
     TraceBuffer,
     TraceEvent,
@@ -98,13 +103,16 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "RunAccumulator",
+    "SnapshotAccumulator",
     "Telemetry",
     "TraceBuffer",
     "TraceEvent",
     "TraceSink",
     "activation",
     "current",
+    "empty_snapshot",
     "flush_all",
+    "merge_snapshots",
     "read_jsonl",
     "write_jsonl",
 ]

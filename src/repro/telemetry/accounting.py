@@ -36,7 +36,7 @@ or parked in a link-layer buffer when the run ended).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Mapping
+from typing import Any, Iterable, Mapping
 
 #: Loss layers between the two meters, in packet-path order.
 DOWNLINK_PATH = ("throttle", "dl-queue", "sla", "air")
@@ -204,6 +204,82 @@ class AccountingTable:
                 for row in data["rows"]
             ],
             fault_uncounted=dict(data.get("fault_uncounted", {})),
+        )
+
+    @classmethod
+    def merged(cls, tables: "Iterable[AccountingTable]") -> "AccountingTable":
+        """Fold per-shard (or per-UE) tables into the population table.
+
+        Accounting tables form a **commutative monoid** under this
+        merge: ``counted``/``received`` and every row's
+        ``bytes_in``/``bytes_out``/``dropped`` cause are summed per
+        layer, and ``fault_uncounted`` is summed per meter.  All of
+        those are integer byte quantities, so the merge is exact,
+        associative, and order-independent, and the merged residual is
+        the sum of the input residuals — tables that reconcile
+        individually reconcile merged, whatever the shard count
+        (see :mod:`repro.experiments.sharding`).
+
+        Rows come out in packet-path order (the order
+        :func:`build_accounting` emits).  All inputs must agree on
+        ``direction``; an empty iterable raises ``ValueError`` because
+        a table needs a direction to be well-formed.
+        """
+        tables = list(tables)
+        if not tables:
+            raise ValueError("cannot merge zero accounting tables")
+        first = tables[0]
+        counted: float = 0
+        received: float = 0
+        by_layer: dict[str, LayerAccount] = {}
+        fault_uncounted: dict[str, float] = {}
+        for table in tables:
+            if table.direction != first.direction:
+                raise ValueError(
+                    "cannot merge accounting tables across directions: "
+                    f"{first.direction!r} vs {table.direction!r}"
+                )
+            counted += table.counted
+            received += table.received
+            for row in table.rows:
+                merged_row = by_layer.get(row.layer)
+                if merged_row is None:
+                    by_layer[row.layer] = LayerAccount(
+                        layer=row.layer,
+                        bytes_in=row.bytes_in,
+                        bytes_out=row.bytes_out,
+                        dropped=dict(row.dropped),
+                    )
+                else:
+                    merged_row.bytes_in += row.bytes_in
+                    merged_row.bytes_out += row.bytes_out
+                    for cause, amount in row.dropped.items():
+                        merged_row.dropped[cause] = (
+                            merged_row.dropped.get(cause, 0) + amount
+                        )
+            for meter, wiped in table.fault_uncounted.items():
+                fault_uncounted[meter] = (
+                    fault_uncounted.get(meter, 0) + wiped
+                )
+        path = (
+            DOWNLINK_PATH if first.direction == "downlink" else UPLINK_PATH
+        )
+        rows = [by_layer[layer] for layer in path if layer in by_layer]
+        # A layer outside the canonical path (a future topology) still
+        # merges; it sorts after the path rows deterministically.
+        rows += [
+            row
+            for layer, row in sorted(by_layer.items())
+            if layer not in path
+        ]
+        return cls(
+            direction=first.direction,
+            sender_layer=first.sender_layer,
+            receiver_layer=first.receiver_layer,
+            counted=counted,
+            received=received,
+            rows=rows,
+            fault_uncounted=fault_uncounted,
         )
 
 

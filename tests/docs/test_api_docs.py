@@ -1,9 +1,10 @@
-"""docs/api.md must not drift from the code.
+"""docs/api.md and docs/architecture.md must not drift from the code.
 
-Every dotted ``repro.*`` symbol the API reference names is imported and
-resolved; a rename or removal that orphans the docs fails here.  The
-telemetry package's docstring examples run as doctests for the same
-reason.
+Every dotted ``repro.*`` symbol the API reference and the architecture
+map name is imported and resolved; a rename or removal that orphans
+the docs fails here.  The telemetry package's docstring examples run
+as doctests for the same reason, and the README must keep linking to
+the architecture document.
 """
 
 from __future__ import annotations
@@ -15,14 +16,17 @@ from pathlib import Path
 
 import pytest
 
-API_DOC = Path(__file__).resolve().parents[2] / "docs" / "api.md"
+REPO_ROOT = Path(__file__).resolve().parents[2]
+API_DOC = REPO_ROOT / "docs" / "api.md"
+ARCHITECTURE_DOC = REPO_ROOT / "docs" / "architecture.md"
+README = REPO_ROOT / "README.md"
 
 #: Dotted references: repro.<pkg>[.<mod>...].Symbol or a module path.
 _SYMBOL_RE = re.compile(r"`(repro(?:\.\w+)+)`")
 
 
-def documented_symbols() -> list[str]:
-    text = API_DOC.read_text(encoding="utf-8")
+def documented_symbols(doc: Path = API_DOC) -> list[str]:
+    text = doc.read_text(encoding="utf-8")
     return sorted(set(_SYMBOL_RE.findall(text)))
 
 
@@ -63,12 +67,49 @@ class TestApiDocs:
             assert required in symbols, f"{required} missing from docs/api.md"
 
 
+class TestArchitectureDoc:
+    def test_the_map_names_a_useful_number_of_symbols(self):
+        assert len(documented_symbols(ARCHITECTURE_DOC)) >= 15
+
+    @pytest.mark.parametrize(
+        "dotted", documented_symbols(ARCHITECTURE_DOC)
+    )
+    def test_documented_symbol_resolves(self, dotted):
+        _resolve(dotted)
+
+    def test_shard_surface_is_documented(self):
+        symbols = set(documented_symbols(ARCHITECTURE_DOC))
+        for required in (
+            "repro.experiments.sharding",
+            "repro.experiments.sharding.run_sharded_scenario",
+            "repro.telemetry.merge.merge_snapshots",
+            "repro.telemetry.accounting.AccountingTable.merged",
+            "repro.charging.merge.ChargingAggregate",
+        ):
+            assert required in symbols, (
+                f"{required} missing from docs/architecture.md"
+            )
+
+    def test_readme_links_to_the_architecture_map(self):
+        text = README.read_text(encoding="utf-8")
+        assert "docs/architecture.md" in text, (
+            "README.md lost its link to docs/architecture.md"
+        )
+
+    def test_api_doc_links_to_the_architecture_map(self):
+        text = API_DOC.read_text(encoding="utf-8")
+        assert "architecture.md" in text, (
+            "docs/api.md lost its cross-link to architecture.md"
+        )
+
+
 class TestDoctests:
     @pytest.mark.parametrize(
         "module_name",
         [
             "repro.telemetry",
             "repro.telemetry.metrics",
+            "repro.telemetry.merge",
             "repro.telemetry.trace",
         ],
     )

@@ -115,7 +115,7 @@ class TestKeyFormatPin:
             '"edge_clock_std":null,"edge_tamper_fraction":null,'
             '"loss_weight":{"__float__":"0x1.0000000000000p-1"},'
             '"mean_outage":{"__float__":"0x1.ee147ae147ae1p+0"},'
-            '"mode":"packet",'
+            '"mode":"packet","n_ues":1,'
             '"operator_clock_std":null,'
             '"rss_dbm":{"__float__":"-0x1.6800000000000p+6"},'
             '"seed":7,"telemetry":false,"trace":false,"trace_path":null}'
@@ -126,11 +126,11 @@ class TestKeyFormatPin:
         key = config_key(
             "repro.experiments.scenario.run_scenario",
             cfg,
-            "tlc-campaign-v4",
+            "tlc-campaign-v5",
         )
         assert key == (
-            "8347eb45301ddfbb34b19a6dab5d117b"
-            "25e3d47bd3e9a19ad8568ede7e5b1d7f"
+            "17859c44999a7acc6189d2c87e76f14e"
+            "9284c01523017118fb5bd9bc772b4f43"
         )
 
     def test_task_key_matches_config_key(self):
@@ -164,6 +164,7 @@ class TestKeySensitivity:
             trace=True,
             trace_path="/tmp/trace.jsonl",
             mode="fluid",
+            n_ues=2,
         )
         # Cover every field, so a new field cannot silently escape the key.
         assert set(perturbations) == {

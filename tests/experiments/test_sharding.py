@@ -1,0 +1,269 @@
+"""Sharded population runs: the merge-invariant contract.
+
+The contract (:mod:`repro.experiments.sharding`): a population cell's
+merged result — ground truth, both parties' views, legacy volume,
+metric snapshot, accounting table, Algorithm 1 settlement — depends
+only on ``(seed, n_ues)``, never on how the population is partitioned
+into shards.  These tests pin that down on a DualRunner-style grid
+(packet and fluid modes, uplink and downlink apps, both negotiation
+schemes) plus the campaign plumbing around it (caching, failure
+attribution, trace rejection).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments.campaign import (
+    CampaignEngine,
+    CampaignTaskError,
+    TaskFailure,
+)
+from repro.experiments.scenario import (
+    ChargingScheme,
+    ScenarioConfig,
+    ScenarioResult,
+    charge_with_scheme,
+    run_scenario,
+)
+from repro.experiments.sharding import (
+    ShardSpec,
+    partition_population,
+    per_ue_config,
+    run_population,
+    run_shard,
+    run_sharded_scenario,
+    scaling_curve,
+)
+from repro.sim.rng import derive_seed
+
+#: Both modes and both traffic directions, telemetry on — the same
+#: coverage axes the packet-vs-fluid equivalence suite sweeps.
+GRID = [
+    ScenarioConfig(
+        app="webcam-udp", seed=11, cycle_duration=2.0, mode="packet",
+        telemetry=True, n_ues=6,
+    ),
+    ScenarioConfig(
+        app="vridge", seed=23, cycle_duration=2.0, mode="fluid",
+        telemetry=True, n_ues=6,
+    ),
+]
+
+SCHEMES = (ChargingScheme.TLC_OPTIMAL, ChargingScheme.TLC_HONEST)
+
+
+def merged_state(result: ScenarioResult) -> tuple:
+    """Everything the contract says must be shard-count invariant."""
+    telemetry = result.extras.get("telemetry") or {}
+    return (
+        result.truth,
+        result.edge_view,
+        result.operator_view,
+        result.legacy_charged,
+        result.generated_bytes,
+        result.outage_time,
+        result.rlf_events,
+        result.counter_checks,
+        result.extras["cdrs"],
+        result.extras["processed_events"],
+        telemetry.get("metrics"),
+        telemetry.get("accounting"),
+    )
+
+
+# -- partitioning -------------------------------------------------------
+
+
+def test_partition_covers_population_contiguously():
+    for n_ues, shards in [(10, 3), (7, 7), (100, 8), (5, 1)]:
+        ranges = partition_population(n_ues, shards)
+        assert ranges[0][0] == 0
+        assert ranges[-1][1] == n_ues
+        for (_, stop), (start, _) in zip(ranges, ranges[1:]):
+            assert stop == start
+        sizes = [stop - start for start, stop in ranges]
+        assert max(sizes) - min(sizes) <= 1
+
+
+def test_partition_clamps_shards_to_population():
+    assert partition_population(3, 10) == [(0, 1), (1, 2), (2, 3)]
+
+
+def test_partition_rejects_bad_inputs():
+    with pytest.raises(ValueError):
+        partition_population(0, 4)
+    with pytest.raises(ValueError):
+        partition_population(10, 0)
+
+
+def test_shard_spec_validates_range():
+    scenario = replace(GRID[0], n_ues=4)
+    with pytest.raises(ValueError):
+        ShardSpec(scenario=scenario, ue_start=2, ue_stop=2)
+    with pytest.raises(ValueError):
+        ShardSpec(scenario=scenario, ue_start=0, ue_stop=5)
+    assert ShardSpec(scenario, 1, 4).ue_count == 3
+
+
+# -- seeding ------------------------------------------------------------
+
+
+def test_per_ue_seed_ignores_shard_layout():
+    """UE seeds derive from (cell seed, UE index) alone."""
+    scenario = GRID[0]
+    config = per_ue_config(scenario, 4)
+    assert config.seed == derive_seed(scenario.seed, "ue", 4)
+    assert config.n_ues == 1
+    assert per_ue_config(replace(scenario, n_ues=100), 4).seed == config.seed
+
+
+def test_population_equals_fold_of_individual_ue_runs():
+    scenario = GRID[0]
+    population = run_scenario(scenario)  # delegates to run_population
+    truth_sent = truth_received = legacy = 0.0
+    for index in range(scenario.n_ues):
+        ue = run_scenario(per_ue_config(scenario, index))
+        truth_sent += ue.truth.sent
+        truth_received += ue.truth.received
+        legacy += ue.legacy_charged
+    assert population.truth.sent == truth_sent
+    assert population.truth.received == truth_received
+    assert population.legacy_charged == legacy
+
+
+# -- the merge-invariant contract ---------------------------------------
+
+
+@pytest.mark.parametrize(
+    "scenario", GRID, ids=[c.app + "-" + c.mode for c in GRID]
+)
+def test_merged_state_is_shard_count_invariant(scenario):
+    """1-, 2-, and 4-shard runs merge to the byte-identical cell."""
+    engine = CampaignEngine(workers=1)
+    reference = run_population(scenario)
+    assert reference.extras["telemetry"]["accounting"]["reconciles"]
+    settlements = {
+        scheme: charge_with_scheme(
+            reference, scheme, seed=scenario.seed
+        ).charged
+        for scheme in SCHEMES
+    }
+    for shards in (1, 2, 4):
+        sharded = run_sharded_scenario(scenario, shards, engine=engine)
+        assert merged_state(sharded) == merged_state(reference), shards
+        for scheme in SCHEMES:
+            settled = charge_with_scheme(
+                sharded, scheme, seed=scenario.seed
+            ).charged
+            assert settled == settlements[scheme], (shards, scheme)
+
+
+def test_population_run_is_deterministic():
+    scenario = GRID[1]
+    assert merged_state(run_population(scenario)) == merged_state(
+        run_population(scenario)
+    )
+
+
+def test_run_shard_matches_population_slice():
+    """A shard is exactly the fold of its UE range."""
+    scenario = GRID[0]
+    whole = run_shard(ShardSpec(scenario, 0, scenario.n_ues))
+    left = run_shard(ShardSpec(scenario, 0, 2))
+    right = run_shard(ShardSpec(scenario, 2, scenario.n_ues))
+    rejoined = left.merge(right)
+    assert rejoined.charging == whole.charging
+    assert rejoined.generated_bytes == whole.generated_bytes
+    assert rejoined.processed_events == whole.processed_events
+    assert rejoined.metrics == whole.metrics
+
+
+# -- campaign plumbing --------------------------------------------------
+
+
+def test_shard_results_ride_the_campaign_cache(tmp_path):
+    scenario = GRID[0]
+    engine = CampaignEngine(workers=1, cache_dir=tmp_path)
+    first = run_sharded_scenario(scenario, 3, engine=engine)
+    executed = engine.totals.executed
+    assert executed == 3
+    second = run_sharded_scenario(scenario, 3, engine=engine)
+    assert engine.totals.executed == executed  # all hits, no recompute
+    assert engine.totals.cache_hits == 3
+    assert merged_state(second) == merged_state(first)
+
+
+def test_failing_shard_raises_campaign_task_error():
+    scenario = GRID[0]
+
+    class Exploding(CampaignEngine):
+        def run_tasks(self, tasks):
+            raise CampaignTaskError(
+                index=0,
+                runner=tasks[0].runner_id,
+                config_hash=tasks[0].key(),
+                failure=TaskFailure(
+                    error_type="RuntimeError",
+                    message="shard exploded",
+                    traceback_text="",
+                ),
+            )
+
+    with pytest.raises(CampaignTaskError):
+        run_sharded_scenario(scenario, 2, engine=Exploding())
+
+
+def test_partial_population_is_never_merged():
+    scenario = GRID[0]
+
+    class Lossy(CampaignEngine):
+        def run_tasks(self, tasks):
+            return [None] * len(tasks)
+
+    with pytest.raises(RuntimeError, match="partial population"):
+        run_sharded_scenario(scenario, 2, engine=Lossy())
+
+
+def test_population_rejects_trace_sinks():
+    traced = replace(GRID[0], trace=True)
+    with pytest.raises(ValueError, match="trace"):
+        run_scenario(traced)
+    with pytest.raises(ValueError, match="trace"):
+        run_sharded_scenario(traced, 2)
+
+
+def test_population_rejects_fault_hooks():
+    with pytest.raises(ValueError, match="fault hooks"):
+        run_scenario(GRID[0], hooks=object())
+
+
+def test_n_ues_validation():
+    with pytest.raises(ValueError, match="n_ues"):
+        ScenarioConfig(n_ues=0)
+    with pytest.raises(ValueError, match="n_ues"):
+        ScenarioConfig(n_ues=True)
+    with pytest.raises(ValueError, match="n_ues"):
+        ScenarioConfig(n_ues=2.0)
+
+
+# -- scaling curve ------------------------------------------------------
+
+
+def test_scaling_curve_reports_invariant_points():
+    scenario = replace(GRID[0], n_ues=5)
+    points = scaling_curve(
+        scenario, (1, 2), engine_factory=lambda s: CampaignEngine(workers=1)
+    )
+    assert [p.shards for p in points] == [1, 2]
+    for point in points:
+        assert point.matches_first
+        assert point.reconciles
+        assert point.events > 0
+        assert point.settled == points[0].settled
+        d = point.as_dict()
+        assert d["events_per_sec"] == pytest.approx(
+            point.events / point.wall_s
+        )

@@ -1,0 +1,137 @@
+"""Merge algebra of telemetry snapshots and accounting tables.
+
+The shard merge (:mod:`repro.experiments.sharding`) is only correct if
+the underlying merges are genuine commutative monoids on the data that
+actually flows through them: integer byte counts.  These tests lock
+down associativity, commutativity (order independence), and identity
+for :func:`repro.telemetry.merge.merge_snapshots` /
+:class:`~repro.telemetry.merge.SnapshotAccumulator`, and check that
+:meth:`repro.telemetry.accounting.AccountingTable.merged` agrees with
+building one table from the merged metric snapshot — the two paths a
+population's accounting can take.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.experiments.scenario import ScenarioConfig, run_scenario
+from repro.telemetry.accounting import AccountingTable, build_accounting
+from repro.telemetry.merge import (
+    SnapshotAccumulator,
+    empty_snapshot,
+    merge_snapshots,
+)
+
+
+def _ue_snapshots(n: int, app: str = "webcam-udp") -> list[dict]:
+    """Metric snapshots of ``n`` independent metered UE cycles."""
+    snapshots = []
+    for seed in range(1, n + 1):
+        result = run_scenario(
+            ScenarioConfig(
+                app=app, seed=seed, cycle_duration=2.0, telemetry=True
+            )
+        )
+        snapshots.append(result.extras["telemetry"]["metrics"])
+    return snapshots
+
+
+@pytest.fixture(scope="module")
+def snapshots() -> list[dict]:
+    return _ue_snapshots(3)
+
+
+def test_empty_snapshot_is_identity(snapshots):
+    one = snapshots[0]
+    assert merge_snapshots([one, empty_snapshot()]) == merge_snapshots(
+        [one]
+    )
+    assert merge_snapshots([empty_snapshot(), one]) == merge_snapshots(
+        [one]
+    )
+
+
+def test_merge_is_order_independent(snapshots):
+    reference = merge_snapshots(snapshots)
+    for permutation in itertools.permutations(snapshots):
+        assert merge_snapshots(permutation) == reference
+
+
+def test_merge_is_associative(snapshots):
+    a, b, c = snapshots
+    left = merge_snapshots([merge_snapshots([a, b]), c])
+    right = merge_snapshots([a, merge_snapshots([b, c])])
+    assert left == right == merge_snapshots([a, b, c])
+
+
+def test_accumulator_equals_nary_merge(snapshots):
+    accumulator = SnapshotAccumulator()
+    for snapshot in snapshots:
+        accumulator.add(snapshot)
+    assert accumulator.folded == len(snapshots)
+    assert accumulator.snapshot() == merge_snapshots(snapshots)
+
+
+def test_merged_output_is_canonically_sorted(snapshots):
+    merged = merge_snapshots(snapshots)
+    for kind in ("counters", "gauges", "histograms"):
+        keys = [
+            (entry["name"], sorted(entry["labels"].items()))
+            for entry in merged[kind]
+        ]
+        assert keys == sorted(keys)
+
+
+def test_histogram_merge_tracks_extremes_and_mean(snapshots):
+    merged = merge_snapshots(snapshots)
+    per_key = {}
+    for snapshot in snapshots:
+        for entry in snapshot["histograms"]:
+            key = (entry["name"], tuple(sorted(entry["labels"].items())))
+            per_key.setdefault(key, []).append(entry)
+    assert per_key, "metered scenarios should publish histograms"
+    for entry in merged["histograms"]:
+        key = (entry["name"], tuple(sorted(entry["labels"].items())))
+        parts = per_key[key]
+        assert entry["count"] == sum(p["count"] for p in parts)
+        assert entry["total"] == sum(p["total"] for p in parts)
+        assert entry["min"] == min(p["min"] for p in parts)
+        assert entry["max"] == max(p["max"] for p in parts)
+        assert entry["mean"] == pytest.approx(
+            entry["total"] / entry["count"]
+        )
+
+
+def test_accounting_merge_agrees_with_merged_snapshot(snapshots):
+    """Merging tables == building one table from merged metrics."""
+    direction = "uplink"
+    tables = [build_accounting(s, direction) for s in snapshots]
+    merged_table = AccountingTable.merged(tables)
+    from_merged_metrics = build_accounting(
+        merge_snapshots(snapshots), direction
+    )
+    assert merged_table.as_dict() == from_merged_metrics.as_dict()
+    assert merged_table.reconciles
+
+
+def test_accounting_merge_is_order_independent(snapshots):
+    direction = "uplink"
+    tables = [build_accounting(s, direction) for s in snapshots]
+    reference = AccountingTable.merged(tables).as_dict()
+    for permutation in itertools.permutations(tables):
+        assert AccountingTable.merged(permutation).as_dict() == reference
+
+
+def test_accounting_merge_rejects_mixed_directions(snapshots):
+    up = build_accounting(snapshots[0], "uplink")
+    down = build_accounting(snapshots[0], "downlink")
+    with pytest.raises(ValueError, match="direction"):
+        AccountingTable.merged([up, down])
+
+
+def test_accounting_merge_rejects_empty():
+    with pytest.raises(ValueError, match="zero accounting tables"):
+        AccountingTable.merged([])
