@@ -1,9 +1,9 @@
 """Timing driver: run the perf workloads and emit ``BENCH_perf.json``.
 
-The report schema (version 3)::
+The report schema (version 4)::
 
     {
-      "version": 3,
+      "version": 4,
       "workloads": {
         "<name>": {
           "wall_s": <median-repetition wall clock, seconds>,
@@ -18,25 +18,38 @@ The report schema (version 3)::
       },
       "scaling": {              # optional: --scaling / run_scaling()
         "workload": "million_ue",
-        "n_ues": <population size per point>,
+        "n_ues": <population size of the shard-count grid>,
         "points": [             # one per shard count, same seed
-          {"shards": N, "wall_s": ..., "events": ...,
+          {"shards": N, "n_ues": ..., "wall_s": ..., "events": ...,
            "events_per_sec": ..., "bytes": ..., "bytes_per_sec": ...,
+           "per_ue_ms": <wall_s × shards ÷ n_ues, in ms>,
            "rss_max_bytes": <peak worker RSS>,
            "reconciles": true, "settled": <Algorithm 1 bytes>,
            "matches_first": true},
-          ...
+          ...,
+          # with MILLION_UE_HEADLINE=<n>: one analytic-mode point at
+          # that population, shards=1, tagged "mode": "analytic"
         ],
-        "invariant": <all points reconcile and match point 0>
+        "invariant": <all points reconcile and match their curve's
+                      first point>
       }
     }
 
-Version 3 adds the optional ``scaling`` section: the ``million_ue``
+Version 3 added the optional ``scaling`` section: the ``million_ue``
 population cell measured at several shard counts through
 :func:`repro.experiments.sharding.scaling_curve`.  ``invariant`` is the
 merge contract — every shard count must produce the byte-identical
 merged accounting table and Algorithm 1 settlement — so a report with
 ``"invariant": false`` is a correctness failure, not a perf number.
+
+Version 4 adds ``per_ue_ms`` (normalized per-UE compute cost) and
+``n_ues`` to every scaling point, and the optional **headline point**:
+setting ``MILLION_UE_HEADLINE=<n_ues>`` appends one analytic-mode
+population run at that size on a single shard — the paper-scale
+million-UE measurement (``MILLION_UE_HEADLINE=1000000``).  The
+headline point must still reconcile exactly; it is its own curve, so
+``matches_first`` is trivially true and ``invariant`` still means
+"every curve is internally consistent".
 
 ``wall_s`` is the **median** of ``repeats`` executions after one
 untimed warmup.  The warmup absorbs one-time costs (imports, allocator
@@ -79,12 +92,13 @@ from typing import Callable, Iterable, Mapping
 
 from benchmarks.perf.workloads import WORKLOADS, WorkloadSample
 
-REPORT_VERSION = 3
+REPORT_VERSION = 4
 
-#: Older reports the loader still accepts (v2 lacks the scaling section
-#: but is otherwise schema-compatible, so a committed v2 baseline keeps
+#: Older reports the loader still accepts (v2 lacks the scaling
+#: section, v3 lacks per-point ``per_ue_ms``/``n_ues``, but both are
+#: otherwise schema-compatible, so a committed older baseline keeps
 #: gating until regenerated).
-COMPATIBLE_VERSIONS = (2, 3)
+COMPATIBLE_VERSIONS = (2, 3, 4)
 
 #: The canonical report location: the repository root.
 REPORT_PATH = Path(__file__).resolve().parents[2] / "BENCH_perf.json"
@@ -190,7 +204,9 @@ DEFAULT_SCALING_SHARDS = (1, 2, 4, 8)
 
 
 def run_scaling(
-    ues: int | None = None, shard_counts: Iterable[int] | None = None
+    ues: int | None = None,
+    shard_counts: Iterable[int] | None = None,
+    headline_ues: int | None = None,
 ) -> dict:
     """Measure the ``million_ue`` cell across shard counts.
 
@@ -203,7 +219,18 @@ def run_scaling(
     ``MILLION_UE_SCALING_UES`` / ``MILLION_UE_SHARDS`` override the
     grid (distinct from ``MILLION_UE_UES``, which sizes the small
     timed ``million_ue`` workload of the regression gate).
+
+    ``MILLION_UE_HEADLINE=<n_ues>`` (``headline_ues`` here) appends
+    the paper-scale point: the same cell at that population under
+    ``mode="analytic"`` on a single shard.  It forms its own one-point
+    curve — closed-form advancement produces statistically equivalent
+    (not byte-identical) totals, so comparing it against the fluid
+    grid's reference would be a category error — but it must still
+    reconcile exactly, and its flat ``per_ue_ms`` / worker RSS are
+    what make the million-UE headline honest.
     """
+    from dataclasses import replace
+
     from benchmarks.perf.workloads import million_ue_config
     from repro.experiments.sharding import scaling_curve
 
@@ -218,14 +245,27 @@ def run_scaling(
             if raw
             else DEFAULT_SCALING_SHARDS
         )
+    if headline_ues is None:
+        headline_ues = int(os.environ.get("MILLION_UE_HEADLINE", "0"))
     points = scaling_curve(million_ue_config(ues), shard_counts)
+    rows = [point.as_dict() for point in points]
+    invariant = all(
+        point.matches_first and point.reconciles for point in points
+    )
+    if headline_ues:
+        config = replace(
+            million_ue_config(headline_ues), mode="analytic"
+        )
+        headline = scaling_curve(config, (1,))[0]
+        row = headline.as_dict()
+        row["mode"] = "analytic"
+        rows.append(row)
+        invariant = invariant and headline.reconciles
     return {
         "workload": "million_ue",
         "n_ues": ues,
-        "points": [point.as_dict() for point in points],
-        "invariant": all(
-            point.matches_first and point.reconciles for point in points
-        ),
+        "points": rows,
+        "invariant": invariant,
     }
 
 
@@ -276,13 +316,23 @@ def main(argv: list[str] | None = None) -> int:
         )
     scaling = report.get("scaling")
     if scaling:
-        print(f"scaling ({scaling['n_ues']:,} UEs per point):")
+        print(f"scaling ({scaling['n_ues']:,} UEs per grid point):")
         for point in scaling["points"]:
+            n_ues = point.get("n_ues", scaling["n_ues"])
+            mode = point.get("mode")
+            tag = f" [{mode}]" if mode else ""
+            per_ue = point.get("per_ue_ms")
+            per_ue_col = (
+                f"{per_ue:8.3f} ms/UE  " if per_ue is not None else ""
+            )
             print(
-                f"  shards={point['shards']:>2}: "
-                f"{point['wall_s']:7.2f} s  "
+                f"  shards={point['shards']:>2} "
+                f"ues={n_ues:>9,}: "
+                f"{point['wall_s']:8.2f} s  "
+                f"{per_ue_col}"
                 f"{point['events_per_sec']:>12,.0f} events/s  "
                 f"peak RSS {point['rss_max_bytes'] / 1e6:7.1f} MB"
+                f"{tag}"
             )
         print(
             "  merge invariant: "

@@ -53,6 +53,11 @@ TELEMETRY_OVERHEAD_BOUND = 1.5
 #: ``congestion`` workload's simulated bytes per wall second.
 FLUID_SPEEDUP_BOUND = 5.0
 
+#: The analytic fast path must push at least this many times the
+#: ``congestion`` workload's simulated bytes per wall second (the
+#: ISSUE 8 tentpole bound: closed-form interval advancement).
+ANALYTIC_SPEEDUP_BOUND = 20.0
+
 
 def _selected_workloads() -> list[str] | None:
     raw = os.environ.get("PERF_WORKLOADS", "").strip()
@@ -145,6 +150,44 @@ def test_fluid_mode_speedup(perf_report):
         print(f"PERF_GATE=report: {message}")
 
 
+def test_analytic_mode_speedup(perf_report):
+    """``analytic_congestion`` sustains >= 20x ``congestion`` bytes/sec.
+
+    The same paired bytes-per-wall-second comparison as the fluid gate,
+    with the tentpole bound: closed-form interval advancement settles a
+    whole stable interval per layer in O(1), so the congested VR cycle
+    must clear at least 20x the packet-mode byte rate.  Honors
+    ``PERF_GATE``.
+    """
+    mode = os.environ.get("PERF_GATE", "report").lower()
+    if mode == "off":
+        pytest.skip("PERF_GATE=off")
+    rows = perf_report["workloads"]
+    if "congestion" not in rows or "analytic_congestion" not in rows:
+        pytest.skip(
+            "needs congestion and analytic_congestion in PERF_WORKLOADS"
+        )
+    packet_rate = rows["congestion"]["bytes_per_sec"]
+    analytic_rate = rows["analytic_congestion"]["bytes_per_sec"]
+    assert packet_rate > 0
+    ratio = paired_rate_ratio(
+        rows["analytic_congestion"], rows["congestion"], field="bytes"
+    )
+    print(
+        f"\nanalytic_congestion: {analytic_rate / 1e6:,.1f} MB/s vs "
+        f"congestion {packet_rate / 1e6:,.1f} MB/s "
+        f"(paired {ratio:.2f}x, bound {ANALYTIC_SPEEDUP_BOUND:.1f}x)"
+    )
+    if ratio < ANALYTIC_SPEEDUP_BOUND:
+        message = (
+            f"analytic_congestion is only {ratio:.2f}x of congestion "
+            f"(required {ANALYTIC_SPEEDUP_BOUND:.1f}x)"
+        )
+        if mode == "enforce":
+            pytest.fail(message)
+        print(f"PERF_GATE=report: {message}")
+
+
 def test_telemetry_overhead_within_bound(perf_report):
     """Metered workloads run within 1.5x of the unmetered fast path.
 
@@ -198,12 +241,17 @@ def test_million_ue_scaling_curve(perf_report):
     scaling = perf_report.get("scaling")
     if scaling is None:
         pytest.skip("PERF_SCALING not set")
-    print(f"\nmillion_ue: {scaling['n_ues']:,} UEs per point")
+    print(f"\nmillion_ue: {scaling['n_ues']:,} UEs per grid point")
     for point in scaling["points"]:
+        n_ues = point.get("n_ues", scaling["n_ues"])
+        tag = f" [{point['mode']}]" if point.get("mode") else ""
         print(
-            f"  shards={point['shards']:>2}: {point['wall_s']:7.2f} s  "
+            f"  shards={point['shards']:>2} ues={n_ues:>9,}: "
+            f"{point['wall_s']:8.2f} s  "
+            f"{point.get('per_ue_ms', 0.0):8.3f} ms/UE  "
             f"{point['events_per_sec']:>12,.0f} events/s  "
             f"peak RSS {point['rss_max_bytes'] / 1e6:7.1f} MB"
+            f"{tag}"
         )
         assert point["events"] > 0
         assert point["reconciles"], (

@@ -19,6 +19,12 @@ Workload selection mirrors the paper's evaluation surface:
   under ``mode="fluid"`` block advancement on the downlink VR
   archetype; the harness holds ``fluid_congestion`` at or above 5x the
   ``congestion`` bytes-per-wall-second.
+- ``analytic_congestion`` — the same loaded VR cycle under
+  ``mode="analytic"`` closed-form interval advancement: one aggregate
+  update per stable interval instead of one event chain per frame.
+  The harness holds it at or above 20x the ``congestion``
+  bytes-per-wall-second
+  (:data:`benchmarks.perf.test_perf.ANALYTIC_SPEEDUP_BOUND`).
 - ``intermittent`` — Figure 4/14 territory: Gilbert–Elliott outages,
   buffer flushes, RLF detach/reattach.
 - ``negotiation`` — Figure 16/17 territory: RSA-signed CDR/CDA/PoC
@@ -116,6 +122,26 @@ def fluid_congestion() -> WorkloadSample:
             cycle_duration=30.0,
             background_bps=120e6,
             mode="fluid",
+        )
+    )
+
+
+def analytic_congestion() -> WorkloadSample:
+    """The congested downlink VR cycle under analytic advancement.
+
+    The same scenario as ``fluid_congestion``, advanced by
+    :class:`repro.lte.analytic.AnalyticDriver`: stable intervals settle
+    in one closed-form step per layer, so the event loop carries only
+    structural events (outage edges, CDR flushes, observation points).
+    Compared against ``congestion`` on bytes-per-wall-second.
+    """
+    return _scenario_events(
+        ScenarioConfig(
+            app="vridge",
+            seed=_SEED,
+            cycle_duration=30.0,
+            background_bps=120e6,
+            mode="analytic",
         )
     )
 
@@ -225,6 +251,7 @@ def negotiation() -> WorkloadSample:
 
 
 WORKLOADS = {
+    "analytic_congestion": analytic_congestion,
     "congestion": congestion,
     "fluid_congestion": fluid_congestion,
     "fluid_intermittent": fluid_intermittent,
@@ -237,9 +264,10 @@ WORKLOADS = {
 }
 
 #: The workloads the smoke CI job runs (fast but representative): the
-#: two scenario archetypes, the fluid fast path, and the
+#: two scenario archetypes, the fluid and analytic fast paths, and the
 #: telemetry-overhead trio.
 SMOKE_WORKLOADS = (
+    "analytic_congestion",
     "congestion",
     "fluid_congestion",
     "negotiation",

@@ -18,6 +18,7 @@ from typing import Callable
 import numpy as np
 
 from repro.net.block import PacketBlock
+from repro.net.interval import IntervalFlow, stochastic_round
 from repro.net.packet import Direction, Packet
 from repro.sim.events import EventLoop
 
@@ -77,6 +78,18 @@ class FrameModel:
     def mean_frame_bytes(self) -> float:
         """Average frame size implied by bitrate and fps."""
         return self.bitrate_bps / 8.0 / self.fps
+
+    def expected_frame_bytes(self, iframe: bool) -> float:
+        """E[frame payload] of one frame type under the lognormal model.
+
+        ``exp(μ + σ²/2)`` — the closed form analytic advancement sums
+        per frame instead of drawing per frame.  The ``max(1, int(·))``
+        clipping of :meth:`frame_size` shifts the true mean by well
+        under a byte at realistic frame sizes; that residue is part of
+        the documented analytic-vs-fluid tolerance, not of this value.
+        """
+        mu = self._mu_iframe if iframe else self._mu_pframe
+        return math.exp(mu + self.jitter_sigma**2 / 2.0)
 
     def frame_size(self, frame_index: int, rng: random.Random) -> int:
         """Draw one frame's size in bytes."""
@@ -149,6 +162,12 @@ class Workload:
         # per-packet sends.  The scenario runner flips this and rebinds
         # ``send`` to the network's block entry point.
         self.emit_blocks = False
+        # Analytic mode: no cadence ticks at all — the AnalyticDriver
+        # pulls aggregate traffic via interval_traffic().  start() still
+        # draws the phase offset so the cadence is seed-stable.
+        self.analytic = False
+        self._first_at = 0.0
+        self._emitted = 0
         # Per-tick constants, hoisted off the frame cadence hot path.
         self._frame_period = 1.0 / model.fps
         self._frame_label = f"{flow}-frame"
@@ -164,15 +183,77 @@ class Workload:
         if self._running:
             return
         self._running = True
-        self.loop.schedule_in(
-            self.rng.uniform(0, self._frame_period),
-            self._tick,
-            label=self._frame_label,
-        )
+        offset = self.rng.uniform(0, self._frame_period)
+        if self.analytic:
+            # Same first draw as the event-driven modes (keeps every
+            # later stream position seed-stable), but no ticks: the
+            # driver advances the cadence in closed form.
+            self._first_at = self.loop.now + offset
+            self._emitted = 0
+            return
+        self.loop.schedule_in(offset, self._tick, label=self._frame_label)
 
     def stop(self) -> None:
         """Stop generating (already-scheduled frames still fire)."""
         self._running = False
+
+    def interval_traffic(self, t0: float, t1: float) -> IntervalFlow:
+        """Aggregate traffic of the stable interval ``(t0, t1]``.
+
+        Analytic mode's emit path: counts the cadence instants that fall
+        in the interval (O(1) index arithmetic — no per-frame work, no
+        float accumulation drift), splits them into I/P frames by GOP
+        position, and carries the *expected* payload of each type,
+        integerized by one :func:`~repro.net.interval.stochastic_round`
+        draw from the workload's own stream per non-empty interval.
+        Intervals must be advanced in order (``t0`` is trusted to be the
+        previous call's ``t1``); a stopped workload contributes nothing.
+        """
+        if not self._running:
+            return IntervalFlow.empty(self.flow, self.direction, self.qci)
+        period = self._frame_period
+        next_at = self._first_at + self._emitted * period
+        if next_at > t1:
+            return IntervalFlow.empty(self.flow, self.direction, self.qci)
+        frames = int((t1 - next_at) / period) + 1
+        start_index = self._frame_index
+        interval = self.model.iframe_interval
+        if interval > 0:
+            def iframes_below(n: int) -> int:
+                return (n + interval - 1) // interval
+
+            n_iframes = iframes_below(start_index + frames) - iframes_below(
+                start_index
+            )
+        else:
+            n_iframes = 0
+        n_pframes = frames - n_iframes
+        expected_payload = (
+            n_iframes * self.model.expected_frame_bytes(iframe=True)
+            + n_pframes * self.model.expected_frame_bytes(iframe=False)
+        )
+        payload = stochastic_round(expected_payload, self.rng.random())
+        packets = n_iframes * math.ceil(
+            self.model.expected_frame_bytes(iframe=True) / MTU_PAYLOAD
+        ) + n_pframes * math.ceil(
+            self.model.expected_frame_bytes(iframe=False) / MTU_PAYLOAD
+        )
+        packets = max(packets, frames)  # every frame is >= 1 packet
+        payload = max(payload, packets)  # >= 1 payload byte per packet
+        wire_bytes = payload + packets * PACKET_OVERHEAD
+        self._emitted += frames
+        self._frame_index += frames
+        self._seq += packets
+        self.generated_frames += frames
+        self.generated_packets += packets
+        self.generated_bytes += wire_bytes
+        return IntervalFlow(
+            packets=packets,
+            bytes=wire_bytes,
+            flow=self.flow,
+            direction=self.direction,
+            qci=self.qci,
+        )
 
     def _tick(self) -> None:
         if not self._running:

@@ -21,6 +21,7 @@ from typing import Callable
 from repro import telemetry
 from repro.charging.policy import ChargingPolicy
 from repro.net.block import PacketBlock
+from repro.net.interval import IntervalFlow
 from repro.net.packet import Direction, Packet
 from repro.sim.events import EventLoop
 
@@ -166,6 +167,73 @@ class ThrottlingEnforcer:
             if self.send(packet):
                 accepted += 1
         return accepted
+
+    def quota_crossing_time(self, bytes_per_second: float) -> float | None:
+        """Seconds until the quota boundary at a constant offered rate.
+
+        The analytic scheduler treats the quota crossing as a
+        *discontinuity*: instead of stepping traffic until the throttle
+        arms, it solves ``(quota − charged) / rate`` and schedules the
+        crossing instant directly.  Returns ``0.0`` when the quota is
+        already exhausted and ``None`` when it can never be reached
+        (non-positive rate).
+        """
+        remaining = self.policy.quota_bytes - self.charged_bytes
+        if remaining <= 0:
+            return 0.0
+        if bytes_per_second <= 0:
+            return None
+        return remaining / bytes_per_second
+
+    def send_interval(
+        self, flow: IntervalFlow, duration: float
+    ) -> IntervalFlow:
+        """Advance an aggregate interval through the shaper.
+
+        Callers (the analytic driver) split intervals at the instant
+        reported by :meth:`quota_crossing_time`, so a single call is
+        either entirely under quota (pass-through, mirroring
+        :meth:`send_block`'s fast path) or entirely throttled.  The
+        throttled branch is the token bucket in closed form: the bucket
+        releases ``throttle_bps × duration / 8`` bytes over the
+        interval and the rest tail-drops.  The packet path's bounded
+        queue carries at most ``queue_limit`` packets across interval
+        edges; analytic shaping drops that carry (a divergence bounded
+        by one queue's worth of packets, inside the documented
+        tolerance).
+        """
+        if flow.is_empty:
+            return flow
+        self.charged_bytes += flow.bytes
+        if self._m_in is not None:
+            self._m_in[flow.direction].inc(flow.bytes)
+        if not self.throttling:
+            if self._m_out is not None:
+                self._m_out[flow.direction].inc(flow.bytes)
+            return flow
+        tel = self._telemetry
+        if tel is not None and not self._throttle_announced:
+            self._throttle_announced = True
+            tel.event(
+                self.name, "throttle_armed", charged_bytes=self.charged_bytes
+            )
+        allowance = int(duration * self.policy.throttle_bps / 8)
+        if allowance >= flow.bytes:
+            self.throttled_packets += flow.packets
+            if self._m_out is not None:
+                self._m_out[flow.direction].inc(flow.bytes)
+            return flow
+        # Shape: pass the head that fits the bucket, tail-drop the rest.
+        mean_size = flow.bytes / flow.packets
+        head_packets = min(flow.packets, int(allowance / mean_size))
+        head, rest = flow.take(head_packets)
+        self.throttled_packets += head.packets
+        self.dropped_packets += rest.packets
+        if self._m_drop is not None:
+            self._m_drop[flow.direction].inc(rest.bytes)
+        if not head.is_empty and self._m_out is not None:
+            self._m_out[flow.direction].inc(head.bytes)
+        return head
 
     def _drain(self) -> None:
         if self._draining or not self._queue:

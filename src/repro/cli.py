@@ -349,30 +349,37 @@ def _faults(fast: bool) -> str:
     return fault_tolerance.render_fault_report(results)
 
 
-# ``run scale --ues N --shards A,B,C`` overrides, set by main() and
-# cleared in its finally block (same pattern as the fault-plan override).
+# ``run scale --ues N --shards A,B,C [--mode M]`` overrides, set by
+# main() and cleared in its finally block (same pattern as the
+# fault-plan override).
 _scale_ues: int | None = None
 _scale_shards: tuple[int, ...] | None = None
+_scale_mode: str | None = None
 
 
 def set_scale_override(
-    ues: int | None, shards: tuple[int, ...] | None
+    ues: int | None,
+    shards: tuple[int, ...] | None,
+    mode: str | None = None,
 ) -> None:
     """Override the ``scale`` experiment's population / shard grid."""
-    global _scale_ues, _scale_shards
+    global _scale_ues, _scale_shards, _scale_mode
     _scale_ues = ues
     _scale_shards = shards
+    _scale_mode = mode
 
 
 def _scale(fast: bool) -> str:
     """Scaling campaign: one population cell at several shard counts.
 
-    Regenerates the ``million_ue`` scaling curve (events/s and peak
-    shard RSS vs shard count) and checks the merge-invariant contract:
-    every shard count must produce the byte-identical merged accounting
-    table and Algorithm 1 settlement.  ``--ues``/``--shards`` set the
-    population and the shard-count grid; merged totals depend only on
-    the seed and the population, never on the shard count.
+    Regenerates the ``million_ue`` scaling curve (events/s, normalized
+    per-UE compute cost, and peak shard RSS vs shard count) and checks
+    the merge-invariant contract: every shard count must produce the
+    byte-identical merged accounting table and Algorithm 1 settlement.
+    ``--ues``/``--shards`` set the population and the shard-count
+    grid; ``--mode`` picks the advancement mode (default fluid).
+    Merged totals depend only on the seed, the population, and the
+    mode, never on the shard count.
     """
     from repro.experiments.sharding import scaling_curve
 
@@ -382,22 +389,24 @@ def _scale(fast: bool) -> str:
         if _scale_shards is not None
         else ((1, 2, 4) if fast else (1, 2, 4, 8))
     )
+    mode = _scale_mode if _scale_mode is not None else "fluid"
     config = ScenarioConfig(
         app="webcam-udp",
         seed=42,
         cycle_duration=2.0,
-        mode="fluid",
+        mode=mode,
         telemetry=True,
         n_ues=ues,
     )
     points = scaling_curve(config, shard_counts)
     table = render_table(
-        ["shards", "wall s", "events/s", "app MB/s", "peak RSS MB",
-         "reconciles", "settled B", "invariant"],
+        ["shards", "wall s", "ms/UE", "events/s", "app MB/s",
+         "peak RSS MB", "reconciles", "settled B", "invariant"],
         [
             [
                 p.shards,
                 f"{p.wall_s:.2f}",
+                f"{p.per_ue_ms:.3f}",
                 f"{p.events_per_sec:,.0f}",
                 f"{p.bytes_per_sec / 1e6:.1f}",
                 f"{p.rss_max_bytes / 1e6:.1f}",
@@ -414,7 +423,7 @@ def _scale(fast: bool) -> str:
         if ok
         else "MERGE INVARIANT VIOLATED — shard counts disagree"
     )
-    return f"{ues:,} UEs per point\n{table}\n{verdict}"
+    return f"{ues:,} UEs per point, mode={mode}\n{table}\n{verdict}"
 
 
 def _transport(fast: bool) -> str:
@@ -480,11 +489,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument(
         "--mode",
-        choices=("packet", "fluid"),
+        choices=("packet", "fluid", "analytic"),
         default=None,
         help="data-plane granularity: 'packet' pays one event chain per "
         "packet, 'fluid' moves one block per video frame through the "
-        "same elements with bit-identical byte totals "
+        "same elements with bit-identical byte totals, 'analytic' "
+        "settles whole stable intervals in closed form with "
+        "statistically equivalent totals that still reconcile exactly "
         "(default: each experiment's own setting)",
     )
     run.add_argument(
@@ -616,7 +627,11 @@ def main(argv: list[str] | None = None) -> int:
             return 2
     else:
         shard_counts = None
-    set_scale_override(getattr(args, "ues", None), shard_counts)
+    set_scale_override(
+        getattr(args, "ues", None),
+        shard_counts,
+        getattr(args, "mode", None),
+    )
     collect = metrics_out is not None or trace_out is not None
     engine = CampaignEngine(
         workers=workers,
@@ -664,7 +679,7 @@ def main(argv: list[str] | None = None) -> int:
             profiler.disable()
         set_default_engine(None)
         fault_tolerance.set_plan_override(None)
-        set_scale_override(None, None)
+        set_scale_override(None, None, None)
         if trace_sink is not None:
             _drain_trace()
             trace_sink.close()

@@ -31,7 +31,12 @@ import os
 import pickle
 import time
 import traceback
-from concurrent.futures import Executor, ProcessPoolExecutor, as_completed
+from concurrent.futures import (
+    BrokenExecutor,
+    Executor,
+    ProcessPoolExecutor,
+    as_completed,
+)
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Any, Callable, Iterable, Sequence
@@ -338,6 +343,12 @@ class CampaignEngine:
         #: Telemetry snapshots of every metered scenario this engine ran
         #: (cache hits included), in completion-batch order.
         self.telemetry_records: list[dict] = []
+        # Lazily-created persistent worker pool: spawning a process pool
+        # costs hundreds of ms per worker (interpreter + import), which
+        # used to be paid on *every* run_tasks call and dominated small
+        # populations.  The pool now lives as long as the engine (or
+        # until close()); warm workers amortize to ~zero per call.
+        self._pool: Executor | None = None
 
     # -- public API ----------------------------------------------------
 
@@ -424,7 +435,8 @@ class CampaignEngine:
                 report.compute_seconds += seconds
                 land(i, settle(i, value, seconds), cached=False, seconds=seconds)
         elif pending:
-            with self._make_executor() as pool:
+            pool = self._executor()
+            try:
                 futures = {
                     pool.submit(_execute_task, tasks[i]): i
                     for i in pending
@@ -440,6 +452,11 @@ class CampaignEngine:
                         cached=False,
                         seconds=seconds,
                     )
+            except BrokenExecutor:
+                # A dead pool poisons every later submit; drop it so the
+                # next call starts fresh, then surface the failure.
+                self.close()
+                raise
 
         report.wall_seconds = time.perf_counter() - start
         self.last_report = report
@@ -469,10 +486,51 @@ class CampaignEngine:
 
     # -- internals -----------------------------------------------------
 
+    def _executor(self) -> Executor:
+        """The persistent pool, created on first parallel batch."""
+        if self._pool is None:
+            self._pool = self._make_executor()
+        return self._pool
+
     def _make_executor(self) -> Executor:
         if self.executor_factory is not None:
             return self.executor_factory(self.workers)
         return ProcessPoolExecutor(max_workers=self.workers)
+
+    def close(self) -> None:
+        """Shut down the persistent worker pool (idempotent).
+
+        The engine stays usable — the next parallel batch simply starts
+        a fresh pool.
+        """
+        pool = self._pool
+        self._pool = None
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    def warm_up(self) -> None:
+        """Start the worker pool and wait for every worker to answer.
+
+        Timing-sensitive callers (the scaling curve) call this once so
+        process spawn + interpreter import cost never lands inside a
+        measured region.  Serial engines are a no-op.
+        """
+        if self.workers <= 1:
+            return
+        pool = self._executor()
+        futures = [pool.submit(_noop) for _ in range(self.workers)]
+        for future in futures:
+            future.result()
+
+    def __enter__(self) -> "CampaignEngine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def _noop() -> None:
+    """Module-level no-op task (picklable) used by warm-up."""
 
 
 # -- process-wide default engine ---------------------------------------

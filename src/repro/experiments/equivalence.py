@@ -33,15 +33,22 @@ equal but both wrong.
 
 from __future__ import annotations
 
+import math
+import random
 from dataclasses import dataclass, field, replace
+from typing import Any
 
+from repro.apps.base import MTU_PAYLOAD, PACKET_OVERHEAD
 from repro.experiments.scenario import (
+    APP_BUILDERS,
+    MODES,
     ChargingScheme,
     ScenarioConfig,
     ScenarioResult,
     charge_with_scheme,
     run_scenario,
 )
+from repro.sim.events import EventLoop
 from repro.telemetry.accounting import AccountingTable
 
 #: Settlement schemes compared by default: the deterministic ones.  The
@@ -49,10 +56,70 @@ from repro.telemetry.accounting import AccountingTable
 #: scenario, so it is equal across modes trivially and adds nothing.
 DEFAULT_SCHEMES = (ChargingScheme.TLC_OPTIMAL, ChargingScheme.TLC_HONEST)
 
+#: Workload-stop margin inside the scenario horizon (run_scenario stops
+#: the cadence at ``horizon - 0.5`` with ``horizon = cycle_end + 8``), so
+#: traffic flows for about ``cycle + 7.5`` simulated seconds.
+_ACTIVE_TAIL = 7.5
+
+
+def derived_tolerance(config: ScenarioConfig) -> float:
+    """The documented analytic-vs-fluid byte bound for one scenario.
+
+    Analytic advancement replaces per-frame lognormal draws and
+    per-packet Bernoulli losses with their expectations, integerized by
+    one stochastic-rounding draw per layer per interval.  Against a
+    fluid/packet run of the same seed the divergence is therefore pure
+    sampling noise, bounded (conservatively, 6σ per term) by:
+
+    - **generation noise** — the fluid run's total generated payload is
+      a sum of independent lognormals; its standard deviation is
+      ``sqrt(Σ E[frame]²) · sqrt(exp(σ²) − 1)`` over the I/P mix;
+    - **loss noise** — each loss layer's fluid drop count is binomial;
+      worst case variance at p = 0.5 over the run's packet budget,
+      scaled to full-MTU wire bytes;
+    - **rounding slack** — each stochastic layer's stochastic rounding
+      is off by at most one packet per interval; the 1 s sync heartbeat
+      plus discontinuity syncs give roughly ``active + 10`` intervals
+      across three loss layers.
+
+    The bound is a *per-run* byte envelope on every compared aggregate
+    (truth, views, legacy charged, per-layer accounting); settlement
+    decisions must still match structurally (converged flags) because
+    Algorithm 1 is deterministic in the views.
+    """
+    workload = APP_BUILDERS[config.app](
+        EventLoop(), lambda packet: None, random.Random(0)
+    )
+    model = workload.model
+    active = config.cycle_duration + _ACTIVE_TAIL
+    frames = model.fps * active
+    interval = model.iframe_interval
+    n_iframes = frames / interval if interval > 0 else 0.0
+    n_pframes = frames - n_iframes
+    e_iframe = model.expected_frame_bytes(iframe=True)
+    e_pframe = model.expected_frame_bytes(iframe=False)
+    lognormal_var = math.exp(model.jitter_sigma**2) - 1.0
+    sigma_generation = math.sqrt(
+        (n_iframes * e_iframe**2 + n_pframes * e_pframe**2) * lognormal_var
+    )
+    wire_packet = MTU_PAYLOAD + PACKET_OVERHEAD
+    n_packets = n_iframes * math.ceil(
+        e_iframe / MTU_PAYLOAD
+    ) + n_pframes * math.ceil(e_pframe / MTU_PAYLOAD)
+    sigma_loss = math.sqrt(n_packets * 0.25) * wire_packet
+    loss_layers = 3  # air + backhaul queue + RAN queue
+    rounding_slack = (active + 10.0) * loss_layers * wire_packet
+    return 6.0 * sigma_generation + 6.0 * sigma_loss + rounding_slack
+
 
 @dataclass(frozen=True)
 class ModeDivergence:
-    """One quantity that differed between packet and fluid mode."""
+    """One quantity that differed between the two compared modes.
+
+    The field names reflect the harness's original packet-vs-fluid
+    pairing; for other mode pairs ``packet`` holds the first mode's
+    value and ``fluid`` the second's.
+    """
 
     metric: str
     packet: float
@@ -60,7 +127,7 @@ class ModeDivergence:
 
     @property
     def delta(self) -> float:
-        """Absolute packet-vs-fluid difference."""
+        """Absolute first-vs-second-mode difference."""
         return abs(self.packet - self.fluid)
 
     def __str__(self) -> str:  # pragma: no cover - debugging aid
@@ -121,6 +188,35 @@ class EquivalenceReport:
         return "\n".join(lines)
 
 
+def _is_number(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _flatten_metrics(snapshot: dict) -> dict[str, Any]:
+    """One scalar leaf per instrument value, keyed by name + labels.
+
+    Counters and gauges contribute their value; histograms contribute
+    each summary statistic separately (``count``/``total``/``min``/
+    ``max``/``mean``).  ``None`` leaves (empty-histogram extremes) pass
+    through so a None-vs-number difference surfaces structurally.
+    """
+    flat: dict[str, Any] = {}
+    for kind in ("counters", "gauges"):
+        for entry in snapshot.get(kind, ()):
+            labels = ",".join(
+                f"{k}={v}" for k, v in sorted(entry["labels"].items())
+            )
+            flat[f"{entry['name']}{{{labels}}}"] = entry["value"]
+    for entry in snapshot.get("histograms", ()):
+        labels = ",".join(
+            f"{k}={v}" for k, v in sorted(entry["labels"].items())
+        )
+        base = f"{entry['name']}{{{labels}}}"
+        for stat in ("count", "total", "min", "max", "mean"):
+            flat[f"{base}.{stat}"] = entry.get(stat)
+    return flat
+
+
 class DualRunner:
     """Run one seeded scenario in packet and fluid mode and diff them.
 
@@ -136,7 +232,15 @@ class DualRunner:
         Charging schemes whose Algorithm 1 settlement ``x`` is compared.
     compare_telemetry:
         Force telemetry on for both runs and require the full metric
-        snapshot and accounting table to match key for key.
+        snapshot and accounting table to match key for key (numeric
+        instrument values diff within tolerance; anything non-numeric
+        must match structurally).
+    modes:
+        The two advancement modes to diff, default ``("packet",
+        "fluid")``.  The analytic grid runs ``("fluid", "analytic")``
+        with ``tolerance_bytes=derived_tolerance(config)``.  Report
+        fields named ``packet_*`` / ``fluid_*`` refer to the first /
+        second mode of the pair.
     """
 
     def __init__(
@@ -144,27 +248,36 @@ class DualRunner:
         tolerance_bytes: float = 0.0,
         schemes: tuple[ChargingScheme, ...] = DEFAULT_SCHEMES,
         compare_telemetry: bool = True,
+        modes: tuple[str, str] = ("packet", "fluid"),
     ) -> None:
         if tolerance_bytes < 0:
             raise ValueError(
                 f"tolerance must be >= 0 bytes: {tolerance_bytes}"
             )
+        if len(modes) != 2 or modes[0] == modes[1]:
+            raise ValueError(f"need two distinct modes: {modes!r}")
+        for mode in modes:
+            if mode not in MODES:
+                raise ValueError(
+                    f"unknown mode {mode!r}; choose from {MODES}"
+                )
         self.tolerance_bytes = float(tolerance_bytes)
         self.schemes = tuple(schemes)
         self.compare_telemetry = bool(compare_telemetry)
+        self.modes = (str(modes[0]), str(modes[1]))
 
     # ------------------------------------------------------------------
 
     def run(self, config: ScenarioConfig) -> EquivalenceReport:
         """Execute ``config`` in both modes and report every divergence."""
-        packet_config = replace(config, mode="packet")
-        fluid_config = replace(config, mode="fluid")
+        first_config = replace(config, mode=self.modes[0])
+        second_config = replace(config, mode=self.modes[1])
         if self.compare_telemetry:
-            packet_config = replace(packet_config, telemetry=True)
-            fluid_config = replace(fluid_config, telemetry=True)
-        packet = run_scenario(packet_config)
-        fluid = run_scenario(fluid_config)
-        return self._diff(config, packet, fluid)
+            first_config = replace(first_config, telemetry=True)
+            second_config = replace(second_config, telemetry=True)
+        first = run_scenario(first_config)
+        second = run_scenario(second_config)
+        return self._diff(config, first, second)
 
     def run_fault(self, fault_config) -> EquivalenceReport:
         """Like :meth:`run` for a fault-plan cell.
@@ -179,13 +292,13 @@ class DualRunner:
         packet = run_fault_scenario(
             replace(
                 fault_config,
-                scenario=replace(fault_config.scenario, mode="packet"),
+                scenario=replace(fault_config.scenario, mode=self.modes[0]),
             )
         )
         fluid = run_fault_scenario(
             replace(
                 fault_config,
-                scenario=replace(fault_config.scenario, mode="fluid"),
+                scenario=replace(fault_config.scenario, mode=self.modes[1]),
             )
         )
         report = EquivalenceReport(
@@ -301,10 +414,26 @@ class DualRunner:
             )
             compare("accounting.received", p_table.received, f_table.received)
             if p_tel["metrics"] != f_tel["metrics"]:
-                p_metrics = p_tel["metrics"]
-                f_metrics = f_tel["metrics"]
-                for key in sorted(set(p_metrics) | set(f_metrics)):
-                    if p_metrics.get(key) != f_metrics.get(key):
+                # Flatten instruments to scalar leaves so per-layer byte
+                # divergences get tolerance semantics (and attribution:
+                # the flattened key carries the instrument's labels),
+                # while anything non-numeric stays a structural check.
+                p_flat = _flatten_metrics(p_tel["metrics"])
+                f_flat = _flatten_metrics(f_tel["metrics"])
+                for key in sorted(set(p_flat) | set(f_flat)):
+                    p_val = p_flat.get(key, 0.0)
+                    f_val = f_flat.get(key, 0.0)
+                    if p_val == f_val:
+                        continue
+                    if _is_number(p_val) and _is_number(f_val):
+                        diffs.append(
+                            ModeDivergence(
+                                f"metrics[{key}]",
+                                float(p_val),
+                                float(f_val),
+                            )
+                        )
+                    else:
                         report.structural_mismatches.append(
                             f"metrics[{key}]"
                         )

@@ -37,6 +37,7 @@ from repro.core.strategies import (
     RandomSelfishStrategy,
     Role,
 )
+from repro.lte.analytic import AnalyticDriver
 from repro.lte.network import LteNetwork, LteNetworkConfig
 from repro.monitors.device import DeviceApiMonitor
 from repro.monitors.gateway import GatewayMonitor
@@ -94,6 +95,19 @@ class ChargingScheme(enum.Enum):
     TLC_HONEST = "tlc-honest"
 
 
+#: Every data-plane granularity a scenario can run at, in order of
+#: increasing aggregation (and decreasing event count):
+#:
+#: - ``"packet"``  — one event chain per packet (reference semantics);
+#: - ``"fluid"``   — one :class:`~repro.net.block.PacketBlock` per video
+#:   frame, bit-identical to packet mode under one seed;
+#: - ``"analytic"``— one closed-form step per *stable interval*
+#:   (see :mod:`repro.lte.analytic`), statistically equivalent to
+#:   fluid/packet within the documented tolerance
+#:   (:func:`repro.experiments.equivalence.derived_tolerance`).
+MODES = ("packet", "fluid", "analytic")
+
+
 @dataclass
 class ScenarioConfig:
     """Parameters of one experiment round."""
@@ -132,8 +146,13 @@ class ScenarioConfig:
     # "fluid" moves one PacketBlock per video frame through the same
     # elements, falling back to packet granularity wherever an element
     # needs true packet semantics (see DESIGN.md §8).  Byte totals are
-    # bit-identical across modes under one seed — enforced by
-    # tests/equivalence.
+    # bit-identical across packet and fluid modes under one seed —
+    # enforced by tests/equivalence.  "analytic" advances whole stable
+    # intervals in one closed-form step per layer (expected losses with
+    # integer reconciliation — see docs/architecture.md); it agrees with
+    # fluid mode within a derived per-run byte tolerance, never
+    # bit-exactly.  Runs with fault hooks fall back from analytic to
+    # fluid advancement (faults are packet/block-level machinery).
     mode: str = "packet"
     # UE population of this cell.  1 is the classic single-session
     # scenario.  n_ues > 1 models a population of independent UE
@@ -170,9 +189,10 @@ class ScenarioConfig:
             )
         if self.cycle_duration <= 0:
             raise ValueError("cycle duration must be positive")
-        if self.mode not in ("packet", "fluid"):
+        if self.mode not in MODES:
+            choices = " | ".join(MODES)
             raise ValueError(
-                f"unknown mode {self.mode!r}; choose 'packet' or 'fluid'"
+                f"unknown mode {self.mode!r}; choose one of {choices}"
             )
         if (
             isinstance(self.n_ues, bool)
@@ -338,7 +358,14 @@ def run_scenario(
         network = _build_network(config, loop, rngs)
 
         direction = config.direction
-        fluid = config.mode == "fluid"
+        # Fault hooks are packet/block-level machinery, so an analytic
+        # run with hooks drops to fluid advancement (still exact vs
+        # packet mode) rather than refusing.
+        mode = config.mode
+        if mode == "analytic" and hooks is not None:
+            mode = "fluid"
+        fluid = mode == "fluid"
+        analytic = mode == "analytic"
         if direction is Direction.UPLINK:
             send = network.send_uplink_block if fluid else network.send_uplink
         else:
@@ -351,6 +378,9 @@ def run_scenario(
         )
         if fluid:
             workload.emit_blocks = True
+        driver = None
+        if analytic:
+            driver = AnalyticDriver(loop, network, workload)
 
         if config.edge_tamper_fraction is not None:
             network.ue.os_stats.install_tamper(
@@ -465,6 +495,36 @@ def run_scenario(
                 network.legacy_charged(direction)
             )
 
+        if driver is not None:
+            # Observation points are analytic discontinuities: settle
+            # the pending interval before any monitor reads state, and
+            # before the workload's cadence stops.  Rebinding the names
+            # also routes snap_operator's coverage-retry reschedule
+            # through the synced wrapper.
+            sync = driver.sync
+            base_snap_edge = snap_edge
+            base_snap_operator = snap_operator
+            base_snap_truth = snap_truth
+            base_stop = workload.stop
+
+            def snap_edge() -> None:
+                sync()
+                base_snap_edge()
+
+            def snap_operator(retries_left: int = 10) -> None:
+                sync()
+                base_snap_operator(retries_left)
+
+            def snap_truth() -> None:
+                sync()
+                base_snap_truth()
+
+            def stop_workload() -> None:
+                sync()
+                base_stop()
+        else:
+            stop_workload = workload.stop
+
         cycle_end = config.cycle_duration
         if hooks is None:
             edge_boundary = max(0.0, cycle_end - edge_offset)
@@ -484,7 +544,7 @@ def run_scenario(
 
         horizon = max(cycle_end, edge_boundary, operator_boundary) + 8.0
         loop.schedule_at(
-            horizon - 0.5, workload.stop, label="workload-stop"
+            horizon - 0.5, stop_workload, label="workload-stop"
         )
         loop.run(until=horizon)
         if hooks is not None:

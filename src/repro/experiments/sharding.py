@@ -444,6 +444,18 @@ class ScalingPoint:
         """Simulated app bytes per wall second at this shard count."""
         return self.bytes / self.wall_s if self.wall_s > 0 else 0.0
 
+    @property
+    def per_ue_ms(self) -> float:
+        """Compute milliseconds per UE, normalized by parallelism.
+
+        ``wall_s × shards ÷ n_ues`` — the cost of one UE if every shard
+        ran on its own core, i.e. the quantity that must stay flat as
+        the population grows for the million-UE headline to be honest.
+        """
+        if self.n_ues <= 0:
+            return 0.0
+        return self.wall_s * self.shards / self.n_ues * 1000.0
+
     def as_dict(self) -> dict[str, Any]:
         """JSON-able form (what BENCH_perf.json records)."""
         return {
@@ -454,6 +466,7 @@ class ScalingPoint:
             "events_per_sec": self.events_per_sec,
             "bytes": self.bytes,
             "bytes_per_sec": self.bytes_per_sec,
+            "per_ue_ms": self.per_ue_ms,
             "rss_max_bytes": self.rss_max_bytes,
             "reconciles": self.reconciles,
             "settled": self.settled,
@@ -486,60 +499,81 @@ def scaling_curve(
 ) -> list[ScalingPoint]:
     """Measure the same population cell at several shard counts.
 
-    Each point runs through a fresh uncached engine with as many
-    workers as shards (``engine_factory(shards)`` to override), times
-    the whole sharded run, and records peak shard RSS plus the merged
-    accounting identity.  Every point's merged charging state, metric
-    snapshot, and Algorithm 1 settlement are compared byte-for-byte
-    against the first point's (``matches_first``) — the shard-count
-    invariance the ``shard-smoke`` CI job gates on.
+    All points share one uncached engine sized to the widest shard
+    count, and its worker pool is spawned and warmed (interpreter
+    start + module imports) *before* the first timed region — so the
+    curve measures shard compute, not one-off pool setup, and stays
+    monotone even at populations small enough that process spawning
+    would otherwise dominate.  ``engine_factory(shards)`` overrides
+    engine construction per point (tests use this to substitute
+    thread pools); factory-built engines are warmed too when they
+    support it.  Each point times the whole sharded run and records
+    peak shard RSS plus the merged accounting identity.  Every
+    point's merged charging state, metric snapshot, and Algorithm 1
+    settlement are compared byte-for-byte against the first point's
+    (``matches_first``) — the shard-count invariance the
+    ``shard-smoke`` CI job gates on.
     """
+    counts = list(shard_counts)
     points: list[ScalingPoint] = []
     reference: tuple | None = None
     reference_settled: float | None = None
-    for shards in shard_counts:
-        engine = (
-            engine_factory(shards)
-            if engine_factory is not None
-            else CampaignEngine(workers=shards)
-        )
-        t0 = time.perf_counter()
-        result = run_sharded_scenario(config, shards, engine=engine)
-        wall = time.perf_counter() - t0
-        settled = charge_with_scheme(
-            result, ChargingScheme.TLC_OPTIMAL, seed=config.seed
-        ).charged
-        state = _scaling_state(result)
-        if reference is None:
-            reference = state
-            reference_settled = settled
-        telemetry = result.extras.get("telemetry")
-        if telemetry is not None:
-            reconciles = bool(telemetry["accounting"]["reconciles"])
-            counted = telemetry["accounting"]["counted"]
-            received = telemetry["accounting"]["received"]
-            losses = telemetry["accounting"]["total_losses"]
-        else:
-            reconciles = False
-            counted = received = losses = 0.0
-        sharding = result.extras["sharding"]
-        points.append(
-            ScalingPoint(
-                shards=sharding["shards"],
-                n_ues=config.n_ues,
-                wall_s=wall,
-                events=int(result.extras.get("processed_events", 0)),
-                bytes=result.generated_bytes,
-                rss_max_bytes=sharding["rss_max_bytes"],
-                reconciles=reconciles,
-                counted=counted,
-                received=received,
-                total_losses=losses,
-                settled=settled,
-                legacy_charged=result.legacy_charged,
-                matches_first=(
-                    state == reference and settled == reference_settled
-                ),
+    shared: CampaignEngine | None = None
+    if engine_factory is None and counts:
+        shared = CampaignEngine(workers=max(counts))
+        shared.warm_up()
+    try:
+        for shards in counts:
+            if shared is not None:
+                engine = shared
+            else:
+                engine = engine_factory(shards)
+                warm = getattr(engine, "warm_up", None)
+                if warm is not None:
+                    warm()
+            t0 = time.perf_counter()
+            result = run_sharded_scenario(config, shards, engine=engine)
+            wall = time.perf_counter() - t0
+            settled = charge_with_scheme(
+                result, ChargingScheme.TLC_OPTIMAL, seed=config.seed
+            ).charged
+            state = _scaling_state(result)
+            if reference is None:
+                reference = state
+                reference_settled = settled
+            telemetry = result.extras.get("telemetry")
+            if telemetry is not None:
+                reconciles = bool(telemetry["accounting"]["reconciles"])
+                counted = telemetry["accounting"]["counted"]
+                received = telemetry["accounting"]["received"]
+                losses = telemetry["accounting"]["total_losses"]
+            else:
+                reconciles = False
+                counted = received = losses = 0.0
+            sharding = result.extras["sharding"]
+            points.append(
+                ScalingPoint(
+                    shards=sharding["shards"],
+                    n_ues=config.n_ues,
+                    wall_s=wall,
+                    events=int(
+                        result.extras.get("processed_events", 0)
+                    ),
+                    bytes=result.generated_bytes,
+                    rss_max_bytes=sharding["rss_max_bytes"],
+                    reconciles=reconciles,
+                    counted=counted,
+                    received=received,
+                    total_losses=losses,
+                    settled=settled,
+                    legacy_charged=result.legacy_charged,
+                    matches_first=(
+                        state == reference
+                        and settled == reference_settled
+                    ),
+                )
             )
-        )
+    finally:
+        if shared is not None:
+            shared.close()
     return points

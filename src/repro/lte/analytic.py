@@ -1,0 +1,172 @@
+"""Analytic advancement: closed-form stepping of stable intervals.
+
+The paper's charging gap is defined by aggregate per-layer byte counts,
+so a stretch of simulated time in which nothing *structural* changes —
+no fault, no throttle/quota crossing, no congestion-state or
+channel-regime transition — can be advanced in one closed-form step per
+layer instead of one event chain per packet (or per frame, as fluid mode
+does).  :class:`AnalyticDriver` is that stepper.
+
+Stable-interval definition
+--------------------------
+An interval ``(t0, t1]`` is *stable* when, throughout it:
+
+- the channel's connectivity state is constant (no outage edge),
+- the gateway's session state is constant (no attach/detach, no crash),
+- the throttle (if armed in the policy) does not cross its quota
+  boundary, and
+- no fault hook fires (scenarios with fault hooks fall back to fluid
+  advancement entirely — see ``run_scenario``).
+
+Discontinuity catalogue — what ends an interval
+-----------------------------------------------
+The event loop itself is the discontinuity scheduler: every structural
+transition is already an event, so the driver *synchronizes* (advances
+the pending interval) at exactly those instants:
+
+- **channel state change** — the channel notifies listeners after the
+  flag flips, so the driver advances the elapsed interval under the
+  *old* state it mirrors, then routes any outage buffer flushed by a
+  reconnect;
+- **session change** — the gateway runs pre-hooks *before*
+  attach()/detach() flips the flag;
+- **CDR flush** — a pre-flush hook folds the open interval's traffic
+  into the gateway counters before the record is cut;
+- **quota crossing** — solved for in closed form
+  (:meth:`~repro.charging.throttle.ThrottlingEnforcer.quota_crossing_time`)
+  and used to split the interval at the crossing instant;
+- **observation points** — cycle-boundary snapshots and workload stop
+  call :meth:`AnalyticDriver.sync` first (the scenario wraps them);
+- **periodic sync** — a 1 s heartbeat bounds interval length, keeping
+  the RRC inactivity clock honest (per-interval forwarding touches the
+  connection exactly as per-packet forwarding would).
+
+Rounding / reconciliation contract
+----------------------------------
+Expected per-layer losses are integerized by *stochastic rounding*: one
+uniform from the **same named ChunkedRandom stream** the packet path
+would have drawn from, consumed per stochastic layer per non-empty
+interval, only when that layer's loss rate is non-zero, in pipeline
+order (downlink: workload payload draw, backhaul-queue draw, air draw;
+uplink: workload draw, air draw, RAN-queue draw).  Every layer's
+``in = out + dropped (+ in-flight buffer)`` therefore holds in exact
+integers, and the global ``counted − Σ losses_by_layer == received``
+identity is preserved — analytic runs reconcile *exactly*, they just
+reconcile to slightly different (statistically equivalent) totals than
+packet/fluid runs.  The analytic-vs-fluid byte difference is bounded by
+:func:`repro.experiments.equivalence.derived_tolerance`.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import MTU_PAYLOAD, PACKET_OVERHEAD, Workload
+from repro.lte.network import LteNetwork
+from repro.net.packet import Direction
+from repro.sim.events import EventLoop
+
+_DOWNLINK = Direction.DOWNLINK
+
+
+class AnalyticDriver:
+    """Advances one UE's traffic between discontinuities in closed form.
+
+    Construction flips the workload into analytic mode (cadence phase
+    still drawn, no per-frame ticks) and registers the driver at every
+    discontinuity source; from then on the event loop only carries
+    structural events and the driver settles each elapsed interval
+    synchronously when one fires.
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        network: LteNetwork,
+        workload: Workload,
+        period: float = 1.0,
+    ) -> None:
+        if network.pcrf is not None:
+            raise ValueError(
+                "analytic advancement needs aggregate semantics; a PCRF "
+                "classifies per packet — run this scenario in fluid mode"
+            )
+        self.loop = loop
+        self.network = network
+        self.workload = workload
+        self.period = float(period)
+        self._last = loop.now
+        # The channel notifies listeners *after* flipping ``connected``,
+        # so the driver mirrors the state to advance elapsed intervals
+        # under the regime they actually ran in.
+        self._channel_up = network.channel.connected
+        workload.analytic = True
+        network.channel.on_state_change(self._on_channel_state)
+        network.gateway.on_pre_session_change(self.sync)
+        network.gateway.on_pre_cdr_flush(self.sync)
+        loop.schedule_in(self.period, self._tick, label="analytic-sync")
+
+    # ------------------------------------------------------------------
+    # synchronization points
+
+    def sync(self) -> None:
+        """Advance the pending interval up to the loop's current time."""
+        self.advance(self.loop.now)
+
+    def _tick(self) -> None:
+        self.sync()
+        self.loop.schedule_in(self.period, self._tick, label="analytic-sync")
+
+    def _on_channel_state(self, up: bool) -> None:
+        old = self._channel_up
+        self._channel_up = up
+        # The stretch that just ended ran under the *old* state.
+        self.advance(self.loop.now, connected=old)
+        if up:
+            flushed = self.network.channel.flush_interval_buffer()
+            if flushed is not None:
+                self.network.deliver_flushed_interval(flushed)
+
+    # ------------------------------------------------------------------
+    # interval advancement
+
+    def advance(self, t1: float, connected: bool | None = None) -> None:
+        """Advance the chain from the last settled instant to ``t1``.
+
+        ``connected`` pins the channel state the interval ran under when
+        the advance happens from inside a state-change notification.
+        """
+        t0 = self._last
+        if t1 <= t0:
+            return
+        throttle = self.network.throttle
+        if throttle is not None and not throttle.throttling:
+            # Quota-boundary solver: don't step *to* the crossing, solve
+            # for its time and split the interval there so each half is
+            # uniformly under- or over-quota.
+            eta = throttle.quota_crossing_time(self._offered_rate())
+            if eta is not None and 0.0 < eta < (t1 - t0):
+                self._advance_interval(t0, t0 + eta, connected)
+                t0 = t0 + eta
+        self._advance_interval(t0, t1, connected)
+        self._last = t1
+
+    def _advance_interval(
+        self, t0: float, t1: float, connected: bool | None
+    ) -> None:
+        flow = self.workload.interval_traffic(t0, t1)
+        if flow.is_empty:
+            return
+        if flow.direction is _DOWNLINK:
+            self.network.send_downlink_interval(
+                flow, t1 - t0, connected=connected
+            )
+        else:
+            self.network.send_uplink_interval(flow, connected=connected)
+
+    def _offered_rate(self) -> float:
+        """Offered wire bytes/second of the running workload (for the
+        quota solver; the crossing is re-solved every interval, so the
+        constant-rate approximation self-corrects)."""
+        model = self.workload.model
+        payload_rate = model.bitrate_bps / 8.0
+        packets_per_second = payload_rate / MTU_PAYLOAD
+        return payload_rate + packets_per_second * PACKET_OVERHEAD

@@ -28,6 +28,7 @@ from repro.lte.rrc import (
 from repro.lte.ue import UserEquipment
 from repro.net.block import PacketBlock
 from repro.net.channel import WirelessChannel
+from repro.net.interval import IntervalFlow
 from repro.net.packet import Direction, Packet
 from repro.sim.events import EventLoop
 
@@ -169,6 +170,31 @@ class ENodeB:
             for packet in block.packets():
                 for receiver in self._uplink_receivers:
                     receiver(packet)
+
+    def send_downlink_interval(
+        self, flow: IntervalFlow, connected: bool | None = None
+    ) -> IntervalFlow:
+        """Forward an aggregate interval over the air (analytic mode).
+
+        Touches the RRC connection exactly as per-packet forwarding
+        would (keeping the inactivity-release clock honest) and hands
+        the aggregate to the channel's closed-form loss step.
+        ``connected`` lets the analytic driver advance an interval under
+        the channel state that held *during* it, when the advance is
+        triggered by the state transition itself.
+        """
+        self._ensure_connection()
+        return self.channel.send_interval(flow, connected=connected)
+
+    def receive_uplink_interval(self, flow: IntervalFlow) -> IntervalFlow:
+        """Account an aggregate interval arriving from the UE.
+
+        The analytic driver routes the flow onward itself; this hook
+        only maintains the RRC activity clock.
+        """
+        if not flow.is_empty:
+            self._ensure_connection()
+        return flow
 
     def _on_air_delivery_block(self, block: PacketBlock) -> None:
         if block.direction is _DOWNLINK:

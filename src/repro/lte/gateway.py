@@ -26,6 +26,7 @@ from repro import telemetry
 from repro.charging.cdr import ChargingDataRecord
 from repro.lte.identifiers import Imsi
 from repro.net.block import PacketBlock
+from repro.net.interval import IntervalFlow
 from repro.net.packet import Direction, Packet
 from repro.sim.events import EventLoop
 
@@ -82,6 +83,11 @@ class ChargingGateway:
         self._downlink_block_receivers: list[DeliverBlock] = []
         self._uplink_block_receivers: list[DeliverBlock] = []
         self._cdr_sinks: list[CdrSink] = []
+        # Analytic-mode discontinuity hooks: fired BEFORE a session flag
+        # flips / a CDR interval closes, so an interval driver can settle
+        # the elapsed stretch under the *old* state first.
+        self._pre_session_change: list[Callable[[], None]] = []
+        self._pre_cdr_flush: list[Callable[[], None]] = []
         self._sequence = itertools.count(1000)
 
         # Cumulative charged volumes (what legacy billing uses).
@@ -239,15 +245,37 @@ class ChargingGateway:
         if sink in self._cdr_sinks:
             self._cdr_sinks.remove(sink)
 
+    def on_pre_session_change(self, callback: Callable[[], None]) -> None:
+        """Run ``callback`` before attach()/detach() flips the flag.
+
+        Session transitions are analytic-mode discontinuities: the
+        driver registers here so the interval up to the transition is
+        advanced under the outgoing session state.
+        """
+        self._pre_session_change.append(callback)
+
+    def on_pre_cdr_flush(self, callback: Callable[[], None]) -> None:
+        """Run ``callback`` before a CDR interval is closed.
+
+        Lets the analytic driver fold the open interval's traffic into
+        the gateway counters so the emitted CDR covers usage up to the
+        flush instant, matching the event-driven modes' timing.
+        """
+        self._pre_cdr_flush.append(callback)
+
     # ------------------------------------------------------------------
     # session state (driven by the MME)
 
     def detach(self) -> None:
         """Stop forwarding and charging (subscriber detached)."""
+        for callback in self._pre_session_change:
+            callback()
         self.attached = False
 
     def attach(self) -> None:
         """Resume forwarding and charging."""
+        for callback in self._pre_session_change:
+            callback()
         self.attached = True
 
     # ------------------------------------------------------------------
@@ -504,6 +532,46 @@ class ChargingGateway:
             self._m_counted[block.direction].inc(block.size)
             self._m_out[block.direction].inc(block.size)
 
+    def forward_interval(self, flow: IntervalFlow) -> IntervalFlow:
+        """Admit and meter an aggregate interval's traffic (analytic mode).
+
+        One verdict for the whole aggregate — admission depends only on
+        gateway state (alive/attached), which is constant inside a
+        stable interval by construction.  Returns the metered flow, or
+        an empty aggregate when the gateway refused it (crashed or
+        detached; counted in the same ledgers as the packet path).
+        """
+        if flow.is_empty:
+            return flow
+        if self._m_in is not None:
+            self._m_in[flow.direction].inc(flow.bytes)
+        if not self.alive:
+            self.crash_dropped_packets += flow.packets
+            self.crash_dropped_bytes += flow.bytes
+            if self._m_drop_crash is not None:
+                self._m_drop_crash[flow.direction].inc(flow.bytes)
+            return IntervalFlow.empty(flow.flow, flow.direction, flow.qci)
+        if not self.attached:
+            self.blocked_packets += flow.packets
+            self.blocked_bytes += flow.bytes
+            if self._m_drop_detached is not None:
+                self._m_drop_detached[flow.direction].inc(flow.bytes)
+            return IntervalFlow.empty(flow.flow, flow.direction, flow.qci)
+        if flow.direction is _UPLINK:
+            self.charged_uplink_bytes += flow.bytes
+            self._interval_uplink += flow.bytes
+        else:
+            self.charged_downlink_bytes += flow.bytes
+            self._interval_downlink += flow.bytes
+        now = self.loop.now
+        if self._interval_first_usage is None:
+            self._interval_first_usage = now
+        self._interval_last_usage = now
+        if self._m_counted is not None:
+            self._m_counted[flow.direction].inc(flow.bytes)
+            self._m_out[flow.direction].inc(flow.bytes)
+        return flow
+
     # ------------------------------------------------------------------
     # CDR generation
 
@@ -519,6 +587,8 @@ class ChargingGateway:
         A crashed gateway emits nothing (the periodic timer keeps
         rescheduling, it just finds no process to flush).
         """
+        for callback in self._pre_cdr_flush:
+            callback()
         if not self.alive:
             return None
         if self._interval_first_usage is None:

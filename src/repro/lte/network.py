@@ -40,6 +40,7 @@ from repro.lte.ue import DEVICE_PROFILES, DeviceProfile, UserEquipment
 from repro.net.block import PacketBlock
 from repro.net.channel import ChannelConfig, WirelessChannel
 from repro.net.congestion import CongestedQueue, CongestionConfig
+from repro.net.interval import IntervalFlow
 from repro.net.packet import Direction, Packet
 from repro.net.sla import SlaMiddlebox
 from repro.sim.events import EventLoop
@@ -258,6 +259,76 @@ class LteNetwork:
             return True
         self.ue.prepare_uplink_block(block)
         return self.channel.send_block(block) > 0
+
+    def send_downlink_interval(
+        self,
+        flow: IntervalFlow,
+        duration: float,
+        connected: bool | None = None,
+    ) -> IntervalFlow:
+        """Advance a stable interval's downlink traffic end to end.
+
+        One synchronous walk of the downlink chain — server counters,
+        gateway metering, optional quota shaper, backhaul queue,
+        optional SLA middlebox, air interface, device counters — each
+        hop in closed form.  ``duration`` is the interval length (the
+        shaper's token budget); ``connected`` optionally pins the
+        channel state the interval ran under.  Returns the delivered
+        aggregate.  A PCRF needs per-packet classification, so analytic
+        scenarios with ``use_pcrf`` never reach here (the scenario
+        runner falls back to fluid).
+        """
+        if flow.is_empty:
+            return flow
+        self.server_sent_bytes += flow.bytes
+        self.server_sent_packets += flow.packets
+        flow = self.gateway.forward_interval(flow)
+        if self.throttle is not None:
+            flow = self.throttle.send_interval(flow, duration)
+        flow = self.dl_queue.send_interval(flow)
+        if self.sla is not None:
+            # Age ahead of the middlebox is constant within a stable
+            # interval: the wired core hop plus the bottleneck's fixed
+            # queueing delay.
+            age = self.config.core_delay + self.dl_queue.queue_delay
+            flow = self.sla.send_interval(flow, age)
+        flow = self.enodeb.send_downlink_interval(flow, connected=connected)
+        return self.ue.receive_interval(flow)
+
+    def send_uplink_interval(
+        self, flow: IntervalFlow, connected: bool | None = None
+    ) -> IntervalFlow:
+        """Advance a stable interval's uplink traffic end to end.
+
+        Device counters, air interface, eNodeB, RAN scheduler queue,
+        gateway metering (uplink charges *after* the loss chain), server
+        counters.  Returns the aggregate that reached the server app.
+        """
+        if flow.is_empty:
+            return flow
+        flow = self.ue.prepare_uplink_interval(flow)
+        flow = self.channel.send_interval(flow, connected=connected)
+        return self.deliver_flushed_interval(flow)
+
+    def deliver_flushed_interval(self, flow: IntervalFlow) -> IntervalFlow:
+        """Route a channel-delivered aggregate to its endpoint.
+
+        Used both for interval survivors and for outage buffers the
+        channel flushes on reconnect: downlink continues to the device
+        counters, uplink through the RAN queue and gateway to the
+        server.
+        """
+        if flow.is_empty:
+            return flow
+        if flow.direction is _DOWNLINK:
+            return self.ue.receive_interval(flow)
+        flow = self.enodeb.receive_uplink_interval(flow)
+        flow = self.ul_queue.send_interval(flow)
+        flow = self.gateway.forward_interval(flow)
+        if not flow.is_empty:
+            self.server_received_bytes += flow.bytes
+            self.server_received_packets += flow.packets
+        return flow
 
     def _deliver_to_server(self, packet: Packet) -> None:
         self.loop.call_in(

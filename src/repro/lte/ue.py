@@ -30,6 +30,7 @@ from repro.lte.rrc import (
     CounterCheckResponse,
 )
 from repro.net.block import PacketBlock
+from repro.net.interval import IntervalFlow
 from repro.net.packet import Direction, Packet
 
 TamperFn = Callable[[int], int]
@@ -295,6 +296,25 @@ class UserEquipment:
                 for receiver in self._app_receivers:
                     receiver(packet)
 
+    def receive_interval(self, flow: IntervalFlow) -> IntervalFlow:
+        """Account an aggregate interval's delivered downlink traffic.
+
+        Analytic analogue of :meth:`receive_from_air_block`: modem, OS,
+        and app counters each take one aggregate add.
+        """
+        if flow.is_empty:
+            return flow
+        size = flow.bytes
+        self.modem.count_downlink(self.bearer.bearer_id, size)
+        self.os_stats.count_bytes(flow.direction, size)
+        self.app_received_packets += flow.packets
+        self.app_received_bytes += size
+        if self._m_dl_modem is not None:
+            self._m_dl_modem.inc(size)
+            self._m_dl_os.inc(size)
+            self._m_dl_app.inc(size)
+        return flow
+
     # -- uplink path: app -> OS -> modem -> air --------------------------
 
     def prepare_uplink(self, packet: Packet) -> Packet:
@@ -319,6 +339,20 @@ class UserEquipment:
             self._m_ul_os.inc(packet.size)
             self._m_ul_modem.inc(packet.size)
         return packet
+
+    def prepare_uplink_interval(self, flow: IntervalFlow) -> IntervalFlow:
+        """Account an aggregate interval's app-originated uplink traffic."""
+        if flow.direction is not _UPLINK:
+            raise ValueError("prepare_uplink_interval needs an uplink flow")
+        if flow.is_empty:
+            return flow
+        size = flow.bytes
+        self.os_stats.count_bytes(flow.direction, size)
+        self.modem.count_uplink(self.bearer.bearer_id, size)
+        if self._m_ul_os is not None:
+            self._m_ul_os.inc(size)
+            self._m_ul_modem.inc(size)
+        return flow
 
     def prepare_uplink_block(self, block: PacketBlock) -> PacketBlock:
         """Block-granular :meth:`prepare_uplink` (fluid mode)."""

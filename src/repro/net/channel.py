@@ -25,6 +25,7 @@ from typing import Callable
 
 from repro import telemetry
 from repro.net.block import PacketBlock
+from repro.net.interval import IntervalFlow
 from repro.net.packet import Direction, Packet
 from repro.sim.events import EventLoop
 from repro.sim.sampling import DEFAULT_BLOCK_SIZE, ChunkedRandom
@@ -133,6 +134,9 @@ class WirelessChannel:
         # is in *packets*, so a separate count tracks block contents.
         self._buffer: deque[Packet | PacketBlock] = deque()
         self._buffered_packets = 0
+        # Analytic mode parks outage traffic as one aggregate instead
+        # (same packet capacity, shared with ``_buffered_packets``).
+        self._interval_buffer: IntervalFlow | None = None
         self._outage_started_at: float | None = None
         self._telemetry = tel = telemetry.current()
         # Bound per-direction counter handles, keyed by the Direction
@@ -425,6 +429,100 @@ class WirelessChannel:
 
         self._call_in(self._delay, self._deliver_block, block)
         return block.count
+
+    def expected_loss(self, flow: IntervalFlow) -> float:
+        """Expected over-the-air packet losses of one stable interval.
+
+        The closed form analytic advancement integerizes: while
+        connected every packet faces the precomputed i.i.d. RSS loss
+        rate; while disconnected losses are buffer overflow, which is
+        capacity arithmetic (see :meth:`send_interval`), not a rate.
+        """
+        return flow.packets * self._loss_rate if self.connected else 0.0
+
+    def send_interval(
+        self, flow: IntervalFlow, connected: bool | None = None
+    ) -> IntervalFlow:
+        """Advance one stable interval's aggregate over the air.
+
+        Returns the survivor aggregate (already counted as delivered —
+        the caller routes it downstream).  Connected, the expected loss
+        ``n × loss_rate`` is integerized against **one** uniform from
+        the channel's own stream, consumed only when the rate and the
+        aggregate are both nonzero (the analytic draw contract).
+        Disconnected, packets fill the outage buffer up to capacity
+        with no draws — the analytic mirror of the scalar/block
+        admission rule — and the tail overflows; the parked aggregate
+        leaves via :meth:`flush_interval_buffer` on reconnect.
+
+        ``connected`` lets the driver pass the interval's *pre-
+        transition* state from inside a state-change notification
+        (listeners fire after ``connected`` has already flipped).
+        """
+        if flow.is_empty:
+            return flow
+        if connected is None:
+            connected = self.connected
+        n = flow.packets
+        size = flow.bytes
+        self.sent_packets += n
+        self.sent_bytes += size
+        if self._m_in is not None:
+            self._m_in[flow.direction].inc(size)
+
+        if not connected:
+            space = self.config.buffer_packets - self._buffered_packets
+            kept, overflow = flow.take(max(space, 0))
+            if not kept.is_empty:
+                buffer = self._interval_buffer
+                self._interval_buffer = (
+                    kept if buffer is None else buffer.merge(kept)
+                )
+                self._buffered_packets += kept.packets
+            if not overflow.is_empty:
+                self.dropped_packets += overflow.packets
+                self.dropped_bytes += overflow.bytes
+                if self._m_drop_overflow is not None:
+                    self._m_drop_overflow[overflow.direction].inc(
+                        overflow.bytes
+                    )
+            return IntervalFlow.empty(flow.flow, flow.direction, flow.qci)
+
+        if self._loss_rate > 0.0:
+            flow, lost, lost_bytes = flow.expected_drop(
+                self._loss_rate, self.rng.random()
+            )
+            if lost:
+                self.dropped_packets += lost
+                self.dropped_bytes += lost_bytes
+                if self._m_drop_rss is not None:
+                    self._m_drop_rss[flow.direction].inc(lost_bytes)
+            if flow.is_empty:
+                return flow
+        self.delivered_packets += flow.packets
+        self.delivered_bytes += flow.bytes
+        if self._m_out is not None:
+            self._m_out[flow.direction].inc(flow.bytes)
+        return flow
+
+    def flush_interval_buffer(self) -> IntervalFlow | None:
+        """Release the analytic outage buffer after a reconnect.
+
+        The aggregate is counted as delivered (no loss draws — the
+        scalar/block buffer flushes without redrawing too) and handed
+        back for the driver to route downstream; ``None`` when nothing
+        was parked.
+        """
+        flow = self._interval_buffer
+        if flow is None:
+            return None
+        self._interval_buffer = None
+        self._buffered_packets -= flow.packets
+        self.delivered_packets += flow.packets
+        self.delivered_bytes += flow.bytes
+        if self._m_out is not None:
+            self._m_out[flow.direction].inc(flow.bytes)
+        return flow
 
     def _flush_buffer(self) -> None:
         while self._buffer:

@@ -23,6 +23,7 @@ from typing import Callable
 
 from repro import telemetry
 from repro.net.block import PacketBlock
+from repro.net.interval import IntervalFlow
 from repro.net.packet import Direction, Packet
 from repro.sim.events import EventLoop
 from repro.sim.sampling import DEFAULT_BLOCK_SIZE, ChunkedRandom
@@ -187,6 +188,49 @@ class CongestedQueue:
         if rate is None:
             rate = min(1.0, self._base_drop_rate * 1.0)
         return rate
+
+    @property
+    def queue_delay(self) -> float:
+        """Queueing delay seen by surviving packets (constant per run)."""
+        return self._queue_delay
+
+    def expected_loss(self, flow: IntervalFlow) -> float:
+        """E[packets dropped] for an aggregate crossing this bottleneck."""
+        return flow.packets * self.drop_rate_for(flow.qci)
+
+    def send_interval(self, flow: IntervalFlow) -> IntervalFlow:
+        """Advance an aggregate through the bottleneck in one step.
+
+        The load — and hence the per-QCI drop rate — is constant for a
+        run, so a whole stable interval collapses to one binomial mean:
+        losses are ``stochastic_round(n·rate)`` using a single uniform
+        from this queue's own stream (drawn only when the rate is
+        non-zero, mirroring the packet path's draw gating).  Survivors
+        are counted out *synchronously*: the packet path delays egress
+        accounting by ``queue_delay``, a divergence bounded by one
+        interval's traffic and covered by the documented analytic
+        tolerance.  Byte totals are unchanged.
+        """
+        if flow.is_empty:
+            return flow
+        self.sent_packets += flow.packets
+        self.sent_bytes += flow.bytes
+        if self._m_in is not None:
+            self._m_in[flow.direction].inc(flow.bytes)
+        rate = self._drop_rate_by_qci.get(flow.qci, self._base_drop_rate)
+        if rate:
+            survivors, lost, lost_bytes = flow.expected_drop(
+                rate, self.rng.random()
+            )
+            if lost:
+                self.dropped_packets += lost
+                self.dropped_bytes += lost_bytes
+                if self._m_drop is not None:
+                    self._m_drop[flow.direction].inc(lost_bytes)
+            flow = survivors
+        if not flow.is_empty and self._m_out is not None:
+            self._m_out[flow.direction].inc(flow.bytes)
+        return flow
 
     def send(self, packet: Packet) -> bool:
         """Pass a packet through the bottleneck; False when dropped."""

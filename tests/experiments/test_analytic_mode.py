@@ -1,0 +1,164 @@
+"""Analytic advancement mode: exact reconciliation and discontinuities.
+
+The closed-form interval stepper may diverge from packet/fluid byte
+totals (within the derived tolerance — see the equivalence grid), but
+its *own* ledger must close on integers in every regime: the rounding
+contract makes ``counted − Σ losses_by_layer == received`` exact even
+though the per-layer losses are stochastic roundings of expectations.
+These tests pin that, the discontinuity handling (outages, CDR
+flushes, quota crossings), and the fallback paths.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.charging.policy import ChargingPolicy
+from repro.charging.throttle import ThrottlingEnforcer
+from repro.experiments.equivalence import DualRunner
+from repro.experiments.scenario import ScenarioConfig, run_scenario
+from repro.faults.plan import fault_grid
+from repro.faults.scenario import FaultScenarioConfig
+from repro.net.interval import IntervalFlow
+from repro.net.packet import Direction
+from repro.sim.events import EventLoop
+from repro.telemetry.accounting import AccountingTable
+
+
+def run_analytic(app="webcam-udp", seed=11, cycle=10.0, **knobs):
+    return run_scenario(
+        ScenarioConfig(
+            app=app,
+            seed=seed,
+            cycle_duration=cycle,
+            mode="analytic",
+            telemetry=True,
+            **knobs,
+        )
+    )
+
+
+def accounting(result) -> AccountingTable:
+    return AccountingTable.from_dict(
+        result.extras["telemetry"]["accounting"]
+    )
+
+
+CELLS = {
+    "clean": dict(),
+    "saturated": dict(background_bps=160e6),
+    "weak-rss": dict(rss_dbm=-100.0),
+    "intermittent": dict(disconnectivity_ratio=0.2),
+}
+
+
+class TestAnalyticReconciliation:
+    @pytest.mark.parametrize("app", ("webcam-udp", "vridge"))
+    @pytest.mark.parametrize("cell", CELLS, ids=list(CELLS))
+    def test_every_regime_reconciles_exactly(self, app, cell):
+        result = run_analytic(app=app, **CELLS[cell])
+        table = accounting(result)
+        assert result.generated_bytes > 0
+        assert table.reconciles, (
+            f"{app}/{cell}: counted={table.counted} "
+            f"losses={table.total_losses} received={table.received}"
+        )
+
+    def test_intermittent_cell_is_not_vacuous(self):
+        # The cell excluded from the tight analytic-vs-fluid grid (its
+        # outage clock diverges) must still exercise real outages and
+        # self-reconcile through buffer flushes and RLF detaches.
+        result = run_analytic(disconnectivity_ratio=0.2, cycle=20.0)
+        assert result.outage_time > 0
+        assert accounting(result).reconciles
+
+    def test_same_seed_is_deterministic(self):
+        a = run_analytic(app="vridge", background_bps=120e6)
+        b = run_analytic(app="vridge", background_bps=120e6)
+        assert a.truth == b.truth
+        assert a.edge_view == b.edge_view
+        assert a.operator_view == b.operator_view
+        assert a.legacy_charged == b.legacy_charged
+        assert (
+            a.extras["telemetry"]["metrics"]
+            == b.extras["telemetry"]["metrics"]
+        )
+
+    def test_orders_of_magnitude_fewer_events_than_fluid(self):
+        analytic = run_analytic(app="vridge", background_bps=120e6)
+        fluid = run_scenario(
+            ScenarioConfig(
+                app="vridge",
+                seed=11,
+                cycle_duration=10.0,
+                mode="fluid",
+                telemetry=True,
+                background_bps=120e6,
+            )
+        )
+        assert (
+            analytic.extras["processed_events"]
+            < fluid.extras["processed_events"] / 10
+        )
+
+
+class TestFallbacks:
+    def test_fault_hooks_fall_back_to_fluid_exactly(self):
+        # Scenarios with fault hooks run fluid even under
+        # mode="analytic" (faults are packet-timed interventions), so
+        # the pair must be bit-identical — no tolerance needed.
+        [plan] = fault_grid(intensities=(0.5,))[:1]
+        runner = DualRunner(
+            tolerance_bytes=0.0, modes=("fluid", "analytic")
+        )
+        report = runner.run_fault(
+            FaultScenarioConfig(
+                scenario=ScenarioConfig(
+                    app="webcam-udp", seed=5, cycle_duration=12.0
+                ),
+                plan=plan,
+            )
+        )
+        assert report.exact, report.summary()
+
+
+class TestQuotaSolver:
+    def make_throttle(self, quota=1_000_000, charged=0):
+        throttle = ThrottlingEnforcer(
+            EventLoop(),
+            ChargingPolicy(quota_bytes=quota, throttle_bps=128_000.0),
+        )
+        throttle.charged_bytes = charged
+        return throttle
+
+    def test_solves_remaining_over_rate(self):
+        throttle = self.make_throttle(quota=1_000_000, charged=400_000)
+        assert throttle.quota_crossing_time(100_000.0) == pytest.approx(
+            6.0
+        )
+
+    def test_exhausted_quota_crosses_immediately(self):
+        throttle = self.make_throttle(quota=1_000, charged=1_000)
+        assert throttle.quota_crossing_time(100.0) == 0.0
+
+    def test_zero_rate_never_crosses(self):
+        throttle = self.make_throttle()
+        assert throttle.quota_crossing_time(0.0) is None
+
+    def test_interval_shaping_brackets_the_crossing(self):
+        # Under quota: pure pass-through.  Over quota: the token bucket
+        # in closed form — duration × throttle_bps/8 bytes pass, the
+        # rest tail-drops.
+        flow = IntervalFlow(
+            packets=100, bytes=144_000, flow="app",
+            direction=Direction.DOWNLINK,
+        )
+        throttle = self.make_throttle(quota=10_000_000)
+        out = throttle.send_interval(flow, duration=1.0)
+        assert out == flow
+        throttle = self.make_throttle(quota=1, charged=2)
+        out = throttle.send_interval(flow, duration=1.0)
+        allowance = int(1.0 * 128_000.0 / 8)
+        assert out.bytes <= allowance + flow.bytes // flow.packets
+        assert out.packets < flow.packets
+        assert throttle.dropped_packets == flow.packets - out.packets
