@@ -58,6 +58,12 @@ FLUID_SPEEDUP_BOUND = 5.0
 #: ISSUE 8 tentpole bound: closed-form interval advancement).
 ANALYTIC_SPEEDUP_BOUND = 20.0
 
+#: The async charging service must attest at least this many Merkle
+#: batch leaves per hour — one RSA signature per batch — while keeping
+#: exact accounting reconciliation and batch-replay equivalence (the
+#: ISSUE 9 tentpole bound: charging as a service).
+SERVICE_CLAIMS_PER_HOUR_BOUND = 1_000_000.0
+
 
 def _selected_workloads() -> list[str] | None:
     raw = os.environ.get("PERF_WORKLOADS", "").strip()
@@ -226,6 +232,38 @@ def test_telemetry_overhead_within_bound(perf_report):
         print("PERF_GATE=report: overhead reported, not enforced:")
         for message in violations:
             print(f"  {message}")
+
+
+def test_service_claim_throughput(perf_report):
+    """``service_throughput`` sustains >= 1M attested claims/hr.
+
+    The workload's ``events`` are attested Merkle-batch leaves, so
+    ``events_per_sec * 3600`` is claims per hour.  The workload itself
+    already asserted the correctness half (exact reconciliation, batch
+    equivalence, one sign op per batch) — failing those raises inside
+    the harness regardless of gate mode.  The throughput half honors
+    ``PERF_GATE`` like the other rate gates.
+    """
+    mode = os.environ.get("PERF_GATE", "report").lower()
+    if mode == "off":
+        pytest.skip("PERF_GATE=off")
+    rows = perf_report["workloads"]
+    if "service_throughput" not in rows:
+        pytest.skip("needs service_throughput in PERF_WORKLOADS")
+    claims_per_hr = rows["service_throughput"]["events_per_sec"] * 3600.0
+    print(
+        f"\nservice_throughput: {claims_per_hr:,.0f} attested claims/hr "
+        f"(bound {SERVICE_CLAIMS_PER_HOUR_BOUND:,.0f}/hr)"
+    )
+    if claims_per_hr < SERVICE_CLAIMS_PER_HOUR_BOUND:
+        message = (
+            f"service_throughput sustains only {claims_per_hr:,.0f} "
+            f"claims/hr (required "
+            f"{SERVICE_CLAIMS_PER_HOUR_BOUND:,.0f}/hr)"
+        )
+        if mode == "enforce":
+            pytest.fail(message)
+        print(f"PERF_GATE=report: {message}")
 
 
 def test_million_ue_scaling_curve(perf_report):

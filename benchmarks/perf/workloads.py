@@ -34,6 +34,11 @@ Workload selection mirrors the paper's evaluation surface:
   buffered JSONL trace sink on top.  The harness holds the metered
   variants within 1.5x of ``telemetry_off``
   (:data:`benchmarks.perf.test_perf.TELEMETRY_OVERHEAD_BOUND`).
+- ``service_throughput`` — the service tier (ISSUE 9): the async
+  charging service multiplexing concurrent sessions, counting attested
+  Merkle-batch claim leaves; the harness holds it at or above one
+  million claims/hr
+  (:data:`benchmarks.perf.test_perf.SERVICE_CLAIMS_PER_HOUR_BOUND`).
 - ``million_ue`` — the population-cell class: many short metered UE
   cycles folded through the streaming shard merge
   (:mod:`repro.experiments.sharding`).  The timed unit is a small cell
@@ -250,6 +255,45 @@ def negotiation() -> WorkloadSample:
     return WorkloadSample(events=events)
 
 
+def service_throughput() -> WorkloadSample:
+    """The async charging service at attested-claim scale.
+
+    Boots :class:`repro.service.ChargingService` on one event loop,
+    drives concurrent synthetic sessions through the real ingest path,
+    and counts **attested claims** — Merkle batch leaves (gateway CDRs
+    plus negotiation-retained TLC claims) sealed under one RSA
+    signature per batch — as the workload's events.  ``events_per_sec
+    * 3600`` is therefore claims/hr, the Figure 17 service-scale axis;
+    the gate in :mod:`benchmarks.perf.test_perf` holds it at or above
+    one million claims/hr.  Every run also asserts the service tier's
+    correctness verdicts: exact accounting reconciliation and
+    settlement equivalence with a batch replay of the same events.
+    """
+    from repro.service import LoadProfile, ServiceConfig
+    from repro.service.load import run_service_load
+
+    profile = LoadProfile(
+        sessions=24,
+        events_per_session=160,
+        event_interval=1.0,
+        seed=_SEED,
+    )
+    config = ServiceConfig(
+        seed=_SEED,
+        cycle_duration=600.0,
+        cdr_period=1.0,
+        attest_batch=512,
+    )
+    report = run_service_load(profile, config)
+    assert report.reconciles, "service accounting must reconcile exactly"
+    assert report.batch_equivalent, "service must match the batch replay"
+    assert report.batch_attested_pocs >= 1
+    assert report.sign_ops == report.batches_sealed
+    return WorkloadSample(
+        events=report.claims_attested, bytes=report.bytes_offered
+    )
+
+
 WORKLOADS = {
     "analytic_congestion": analytic_congestion,
     "congestion": congestion,
@@ -258,6 +302,7 @@ WORKLOADS = {
     "intermittent": intermittent,
     "million_ue": million_ue,
     "negotiation": negotiation,
+    "service_throughput": service_throughput,
     "telemetry_off": telemetry_off,
     "telemetry_on": telemetry_on,
     "telemetry_on_traced": telemetry_on_traced,

@@ -6,6 +6,7 @@ Usage::
     python -m repro run fig03 [--fast]
     python -m repro run table2 --workers 4
     python -m repro run all --fast --cache-dir ~/.cache/tlc-campaigns
+    python -m repro serve --sessions 50 --metrics-out metrics.json
 
 Each experiment id maps to the same driver the benchmark suite uses;
 ``--fast`` shrinks seeds and cycle lengths for a quick look.
@@ -28,6 +29,16 @@ mid-campaign.  See ``docs/api.md``.
 25 functions by cumulative time on exit; ``--profile-out FILE`` dumps
 the raw stats for ``python -m pstats`` so hot-path regressions are
 diagnosable without editing code.
+
+``serve`` boots the long-lived async charging service
+(:mod:`repro.service`) instead of a batch experiment: it drives
+``--sessions`` concurrent synthetic sessions through the real ingest
+path and keeps serving until the load completes (plus ``--linger``) or
+SIGTERM/SIGINT arrives.  Shutdown is graceful either way, and
+``--metrics-out`` writes the final service snapshot — ingest tallies,
+delivery stats, attestation counts, and the exact accounting table —
+as JSON after the drain, so even a signal-stopped service leaves a
+complete snapshot.
 """
 
 from __future__ import annotations
@@ -426,6 +437,27 @@ def _scale(fast: bool) -> str:
     return f"{ues:,} UEs per point, mode={mode}\n{table}\n{verdict}"
 
 
+def _service_load(fast: bool) -> str:
+    """Drive the long-lived charging service with concurrent sessions.
+
+    Boots a :class:`repro.service.ChargingService` on one asyncio loop,
+    submits every session's synthetic stream through the real ingest
+    path (admission control, bounded queues, backpressure retries),
+    shuts down cleanly, and reports the service tier's verdicts: exact
+    accounting reconciliation, batch-attested PoCs, and settlement
+    equivalence with a batch replay of the same events.  The CI
+    ``service-smoke`` job greps this output.
+    """
+    from repro.service import LoadProfile, render_service_report
+    from repro.service.load import run_service_load
+
+    profile = LoadProfile(
+        sessions=12 if fast else 50,
+        events_per_session=20 if fast else 40,
+    )
+    return render_service_report(run_service_load(profile))
+
+
 def _transport(fast: bool) -> str:
     udp, tcp = compare_transports(
         seed=3, loss_rate=0.10, duration=15.0 if fast else 30.0
@@ -456,6 +488,7 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[bool], str]]] = {
     "rss": ("signal-strength ablation", _rss),
     "faults": ("fault-injection & recovery campaign", _faults),
     "scale": ("sharded population scaling curve", _scale),
+    "service-load": ("async charging service under load", _service_load),
 }
 
 
@@ -466,6 +499,66 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list available experiments")
+    serve = sub.add_parser(
+        "serve",
+        help="run the long-lived async charging service",
+        description="Boot repro.service.ChargingService, drive the "
+        "synthetic session load through it, and keep serving until the "
+        "load finishes (plus --linger) or SIGTERM/SIGINT arrives; "
+        "shutdown is always graceful: sessions drain, partial Merkle "
+        "batches seal, and --metrics-out gets the final snapshot.",
+    )
+    serve.add_argument(
+        "--sessions",
+        type=int,
+        default=8,
+        metavar="N",
+        help="concurrent synthetic sessions to drive (default 8)",
+    )
+    serve.add_argument(
+        "--events",
+        type=int,
+        default=40,
+        metavar="N",
+        help="usage events per session (default 40)",
+    )
+    serve.add_argument(
+        "--seed",
+        type=int,
+        default=23,
+        metavar="N",
+        help="seed for the synthetic load streams (default 23)",
+    )
+    serve.add_argument(
+        "--cycle",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help="charging-cycle length in stream seconds (default 60)",
+    )
+    serve.add_argument(
+        "--cdr-period",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="CDR flush period in stream seconds (default 10)",
+    )
+    serve.add_argument(
+        "--linger",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="keep the service up this long after the load completes, "
+        "until SIGTERM/SIGINT (default 0: shut down immediately)",
+    )
+    serve.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="write the service's final metrics snapshot (ingest, "
+        "delivery, attestation, verifier, accounting) to FILE as JSON "
+        "on shutdown — including signal-driven shutdown",
+    )
     run = sub.add_parser("run", help="run one experiment (or 'all')")
     run.add_argument("experiment", help="experiment id from 'list', or 'all'")
     run.add_argument(
@@ -577,12 +670,106 @@ def _render_telemetry_summary(records: list[dict]) -> str:
     )
 
 
+def serve_command(args: argparse.Namespace) -> int:
+    """``python -m repro serve``: the service as a long-lived process.
+
+    The service runs until its synthetic load completes (plus
+    ``--linger``) or a SIGTERM/SIGINT arrives; either way the shutdown
+    path is the same graceful one — sessions drain, the retry spool
+    resolves, partial Merkle batches seal — and ``--metrics-out`` is
+    written *after* it, so a signal-stopped service still leaves a
+    complete, reconciled snapshot behind.
+    """
+    import asyncio
+    import signal
+
+    from repro.service import ChargingService, LoadProfile, ServiceConfig
+    from repro.service.load import drive_load
+
+    try:
+        profile = LoadProfile(
+            sessions=args.sessions,
+            events_per_session=args.events,
+            seed=args.seed,
+        )
+        config = ServiceConfig(
+            seed=args.seed,
+            cycle_duration=args.cycle,
+            cdr_period=args.cdr_period,
+        )
+    except ValueError as exc:
+        print(f"invalid serve configuration: {exc}", file=sys.stderr)
+        return 2
+
+    async def _serve() -> tuple[ChargingService, dict, str]:
+        service = ChargingService(config)
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        reason = {"why": "load complete"}
+
+        def _on_signal(name: str) -> None:
+            reason["why"] = name
+            stop.set()
+
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(sig, _on_signal, sig.name)
+        print(
+            f"[serve] charging service up: {profile.sessions} sessions x "
+            f"{profile.events_per_session} events, cycle "
+            f"{config.cycle_duration:.0f}s (pid ready for SIGTERM)",
+            flush=True,
+        )
+        load = asyncio.create_task(drive_load(service, profile))
+        stopped = asyncio.create_task(stop.wait())
+        await asyncio.wait(
+            {load, stopped}, return_when=asyncio.FIRST_COMPLETED
+        )
+        if load.done() and not stop.is_set() and args.linger > 0:
+            print(
+                f"[serve] load complete; serving for up to "
+                f"{args.linger:.0f}s more (SIGTERM to stop)",
+                flush=True,
+            )
+            try:
+                await asyncio.wait_for(stop.wait(), timeout=args.linger)
+            except asyncio.TimeoutError:
+                pass
+        snapshot = await service.shutdown()
+        # A signal mid-load leaves the driver submitting into a closed
+        # ingest; every remaining event rejects with CLOSED and the
+        # driver finishes on its own — await it so nothing is pending.
+        await load
+        stopped.cancel()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            loop.remove_signal_handler(sig)
+        return service, snapshot, reason["why"]
+
+    service, snapshot, why = asyncio.run(_serve())
+    table = service.accounting()
+    print(f"[serve] shutdown ({why}): "
+          f"{snapshot['ingest']['accepted_events']} events charged, "
+          f"{snapshot['settlements']} settlements, "
+          f"{snapshot['attestation']['claims_attested']} claims attested "
+          f"in {snapshot['attestation']['batches_sealed']} batches")
+    print(f"[serve] accounting reconciles exactly: "
+          f"{'yes' if table.reconciles else 'NO'} "
+          f"(residual {table.residual:.0f} B)")
+    if args.metrics_out is not None:
+        with open(args.metrics_out, "w", encoding="utf-8") as fh:
+            json.dump(snapshot, fh, indent=2)
+            fh.write("\n")
+        print(f"[serve] metrics snapshot written to {args.metrics_out}")
+    return 0 if table.reconciles else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
         for name, (description, _fn) in EXPERIMENTS.items():
             print(f"{name:10s} {description}")
         return 0
+    if args.command == "serve":
+        return serve_command(args)
 
     if args.experiment == "all":
         targets = list(EXPERIMENTS)

@@ -16,6 +16,7 @@ fault run is as byte-identical as a fault-free one.
 from __future__ import annotations
 
 import random
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Callable, Hashable
 
@@ -75,11 +76,26 @@ class DedupCache:
     cached reply instead of re-driving its state machine — which both
     suppresses duplicates and un-sticks a sender whose previous reply
     was lost in flight.
+
+    ``max_entries`` bounds the cache for long-lived processes (the
+    charging service keeps one of these per gateway for the life of the
+    process): when full, the least-recently-used entry is evicted.  An
+    evicted key is simply forgotten — a *very* late redelivery of a
+    settled message re-drives the receiver, which every user of this
+    cache must already tolerate (the OFCS ingest and the negotiation
+    endpoints are idempotent by construction).  ``None`` keeps the
+    historical unbounded behaviour for short-lived batch runs.
     """
 
-    def __init__(self) -> None:
-        self._replies: dict[Hashable, Any] = {}
+    def __init__(self, max_entries: int | None = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(
+                f"dedup cache bound must be >= 1: {max_entries}"
+            )
+        self.max_entries = max_entries
+        self._replies: OrderedDict[Hashable, Any] = OrderedDict()
         self.hits = 0
+        self.evictions = 0
 
     def __contains__(self, key: Hashable) -> bool:
         return key in self._replies
@@ -89,11 +105,20 @@ class DedupCache:
 
     def remember(self, key: Hashable, reply: Any) -> None:
         """Record the reply produced for ``key`` (may be ``None``)."""
+        if key in self._replies:
+            self._replies.move_to_end(key)
         self._replies[key] = reply
+        if (
+            self.max_entries is not None
+            and len(self._replies) > self.max_entries
+        ):
+            self._replies.popitem(last=False)
+            self.evictions += 1
 
     def replay(self, key: Hashable) -> Any:
         """The cached reply for a duplicate; counts the hit."""
         self.hits += 1
+        self._replies.move_to_end(key)
         return self._replies[key]
 
 

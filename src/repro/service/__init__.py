@@ -1,0 +1,86 @@
+"""Charging-as-a-service: the long-lived async online charging gateway.
+
+The package splits the service tier into four layers, mirroring the
+ingest → charge → verify pipeline described in docs/architecture.md:
+
+- :mod:`repro.service.ingest` — admission control, bounded per-session
+  queues, stream-time token buckets, reject-with-reason accounting;
+- :mod:`repro.service.core` — the synchronous charging core (cycle
+  rollover, CDR flushes, reliable delivery, Merkle-batch attestation)
+  multiplexed across sessions;
+- :mod:`repro.service.verifier` — Algorithm 2 as a service, with an
+  LRU verification cache and a two-phase CDR query surface;
+- :mod:`repro.service.service` — the asyncio shell tying them together
+  behind a per-session fault barrier.
+
+:mod:`repro.service.load` drives synthetic multi-session campaigns for
+``python -m repro run service-load`` and the CI smoke job.
+"""
+
+from repro.service.config import ServiceConfig
+from repro.service.core import (
+    ChargingCore,
+    SealedClaimBatch,
+    SealedRecordBatch,
+    SettledCycle,
+    replay_settlements,
+)
+from repro.service.events import (
+    Admission,
+    RejectReason,
+    SessionSpec,
+    UsageEvent,
+)
+from repro.service.ingest import END_OF_STREAM, TokenBucket, UsageIngest
+from repro.service.load import (
+    LoadProfile,
+    ServiceLoadReport,
+    generate_session_events,
+    render_service_report,
+    run_service_load,
+)
+from repro.service.middleware import (
+    DegradedLedger,
+    ServiceError,
+    ServiceHooks,
+    SessionFault,
+)
+from repro.service.service import ChargingService
+from repro.service.verifier import (
+    CdrPage,
+    CdrRef,
+    LoadedCdr,
+    VerificationCache,
+    VerifierService,
+)
+
+__all__ = [
+    "Admission",
+    "CdrPage",
+    "CdrRef",
+    "ChargingCore",
+    "ChargingService",
+    "DegradedLedger",
+    "END_OF_STREAM",
+    "LoadProfile",
+    "LoadedCdr",
+    "RejectReason",
+    "SealedClaimBatch",
+    "SealedRecordBatch",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceHooks",
+    "ServiceLoadReport",
+    "SessionFault",
+    "SessionSpec",
+    "SettledCycle",
+    "TokenBucket",
+    "UsageEvent",
+    "UsageIngest",
+    "VerificationCache",
+    "VerifierService",
+    "generate_session_events",
+    "render_service_report",
+    "replay_settlements",
+    "run_service_load",
+]

@@ -1,0 +1,99 @@
+"""Configuration of the long-lived charging service."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.faults.recovery import RetryPolicy
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Everything a :class:`repro.service.ChargingService` needs.
+
+    All time quantities are *stream* seconds (event timestamps), not
+    wall-clock; two runs fed the same events make identical charging
+    decisions regardless of scheduling.  Attestation is **on by
+    default** in the service path: every negotiation retains its CDR
+    claims (``BatchSigningConfig(enabled=True)``) and the service seals
+    them — interleaved across sessions — into Merkle batches costing one
+    RSA signature each.
+    """
+
+    seed: int = 17
+    #: Charging-cycle length; Algorithm 1 runs once per session per cycle.
+    cycle_duration: float = 60.0
+    #: CDR flush period within a cycle (gateway reporting interval).
+    cdr_period: float = 10.0
+    #: The data plan's loss weight ``c``.
+    loss_weight: float = 0.5
+    #: Bound on each session's ingest queue (backpressure depth).
+    queue_depth: int = 256
+    #: Concurrent-session admission cap.
+    max_sessions: int = 256
+    #: Per-session token-bucket rate (bytes of usage per stream second);
+    #: ``None`` disables rate limiting.
+    rate_bytes_per_s: float | None = None
+    #: Token-bucket burst capacity (bytes).
+    burst_bytes: int = 1 << 20
+    #: Claims / gateway CDRs per sealed Merkle batch (≤ 4096).
+    attest_batch: int = 1024
+    #: RSA modulus size for both parties' keys.
+    key_bits: int = 1024
+    #: LRU bound on the verifier's batch-verification cache.
+    verify_cache_entries: int = 256
+    #: LRU bound on the delivery dedup cache (settled CDR acks).
+    dedup_entries: int = 4096
+    #: Backoff schedule for CDR redelivery during OFCS outages.
+    retry: RetryPolicy = field(
+        default_factory=lambda: RetryPolicy(
+            base_delay=0.5, max_delay=8.0, max_attempts=10
+        )
+    )
+    #: Verifier settlement window (seconds past cycle end); None = off.
+    settlement_window: float | None = None
+    #: Gateway address stamped into emitted CDRs.
+    gateway_address: str = "10.45.0.1"
+    #: Traffic direction the service meters.
+    direction: str = "downlink"
+
+    def __post_init__(self) -> None:
+        if self.cycle_duration <= 0:
+            raise ValueError(
+                f"cycle duration must be positive: {self.cycle_duration}"
+            )
+        if not 0 < self.cdr_period <= self.cycle_duration:
+            raise ValueError(
+                f"cdr period must be in (0, cycle_duration]: "
+                f"{self.cdr_period}"
+            )
+        if not 0.0 <= self.loss_weight <= 1.0:
+            raise ValueError(
+                f"loss weight c out of [0,1]: {self.loss_weight}"
+            )
+        if self.queue_depth < 1:
+            raise ValueError(f"queue depth must be >= 1: {self.queue_depth}")
+        if self.max_sessions < 1:
+            raise ValueError(
+                f"session cap must be >= 1: {self.max_sessions}"
+            )
+        if not 1 <= self.attest_batch <= 4096:
+            raise ValueError(
+                f"attestation batch size out of [1, 4096]: "
+                f"{self.attest_batch}"
+            )
+        if self.rate_bytes_per_s is not None and self.rate_bytes_per_s <= 0:
+            raise ValueError(
+                f"rate limit must be positive: {self.rate_bytes_per_s}"
+            )
+        if self.burst_bytes < 1:
+            raise ValueError(f"burst must be >= 1 byte: {self.burst_bytes}")
+        if self.verify_cache_entries < 1:
+            raise ValueError(
+                f"verify cache bound must be >= 1: "
+                f"{self.verify_cache_entries}"
+            )
+        if self.direction not in ("downlink", "uplink"):
+            raise ValueError(
+                f"direction must be downlink or uplink: {self.direction!r}"
+            )

@@ -1,0 +1,516 @@
+"""The synchronous charging core the service multiplexes.
+
+All charging *decisions* live here, in plain synchronous code driven by
+event timestamps: cycle boundaries, CDR flushes, Algorithm 1
+settlements, Merkle-batch attestation, and reliable CDR delivery to the
+OFCS.  The asyncio layer (:mod:`repro.service.service`) is a thin
+multiplexer around this class; a batch replay
+(:func:`replay_settlements`) folds the same events through a fresh core
+directly.  Because every decision derives from stream time and seeded
+RNG streams — never the wall clock or scheduling order — the two
+produce identical settlements for the same per-session event streams.
+
+Attestation is on by default: every per-cycle negotiation runs with
+``BatchSigningConfig(enabled=True)``, the operator's retained CDR
+claims are pooled *across sessions* per cycle, and both the claim pool
+and the stream of delivered gateway CDRs are sealed into Merkle batches
+costing one RSA private op each (:func:`repro.crypto.merkle.sign_batch`)
+— the Fig. 17 amortization at service scale.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.charging.cdr import ChargingDataRecord
+from repro.charging.cycle import ChargingCycle, CycleSchedule
+from repro.core.plan import DataPlan
+from repro.core.protocol import (
+    BatchSigningConfig,
+    NegotiationAgent,
+    ProtocolOutcome,
+    run_negotiation,
+    sign_cdr_batch,
+)
+from repro.core.records import UsageView
+from repro.core.messages import TlcCdr
+from repro.core.strategies import OptimalStrategy, Role
+from repro.crypto.keys import KeyPair
+from repro.crypto.merkle import BatchSignature, sign_batch
+from repro.crypto.nonces import NonceFactory
+from repro.crypto.rsa import keypair_for_seed
+from repro.faults.recovery import DedupCache
+from repro.lte.identifiers import Imsi
+from repro.lte.ofcs import OfflineChargingSystem
+from repro.service.config import ServiceConfig
+from repro.service.events import SessionSpec, UsageEvent
+from repro.service.middleware import ServiceHooks, SessionFault
+from repro.sim.rng import RngStreams, derive_seed
+
+
+@dataclass
+class SessionState:
+    """One session's charging state inside the core."""
+
+    spec: SessionSpec
+    cycle: ChargingCycle
+    status: str = "active"  # active | degraded | closed
+    degraded_reason: str = ""
+    next_sequence: int = 1
+    # Current-cycle accumulators (integers; reset at each boundary).
+    cycle_sent: int = 0
+    cycle_delivered: int = 0
+    cycle_events: int = 0
+    # Current CDR window.
+    window_start: float = 0.0
+    window_sent: int = 0
+    window_first: float = 0.0
+    window_last: float = 0.0
+    # Lifetime totals.
+    events_processed: int = 0
+    sent_bytes: int = 0
+    delivered_bytes: int = 0
+    lost_bytes: int = 0
+    last_timestamp: float = -1.0
+    settled_cycles: int = 0
+    #: The accepted events this session processed, in order — the input
+    #: to an equivalent batch replay.
+    history: list[UsageEvent] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class SettledCycle:
+    """One session-cycle's Algorithm 1 outcome."""
+
+    session_id: str
+    cycle: ChargingCycle
+    outcome: ProtocolOutcome
+    #: The operator's retained CDR claims (BatchSigningConfig path).
+    operator_claims: tuple[TlcCdr, ...]
+
+    @property
+    def volume(self) -> float | None:
+        return self.outcome.volume
+
+
+@dataclass(frozen=True)
+class SealedClaimBatch:
+    """Interleaved multi-session TLC CDR claims under one signature."""
+
+    cycle: ChargingCycle
+    claims: tuple[TlcCdr, ...]
+    batch: BatchSignature
+
+
+@dataclass(frozen=True)
+class SealedRecordBatch:
+    """Delivered gateway CDRs (across sessions) under one signature."""
+
+    records: tuple[ChargingDataRecord, ...]
+    batch: BatchSignature
+
+
+#: One drained output of the core: ("settlement" | "claim_batch" |
+#: "record_batch", payload).
+CoreOutput = tuple[str, object]
+
+
+class ChargingCore:
+    """Deterministic multi-session charging over a usage-event stream."""
+
+    def __init__(
+        self,
+        config: ServiceConfig,
+        hooks: ServiceHooks | None = None,
+    ) -> None:
+        self.config = config
+        self.hooks = hooks or ServiceHooks()
+        self.schedule = CycleSchedule(
+            origin=0.0, duration=config.cycle_duration
+        )
+        self.ofcs = OfflineChargingSystem()
+        rngs = RngStreams(config.seed)
+        self._rngs = rngs
+        # Jitter comes from a *derived* stream, never module-global
+        # random: fault-recovery timing is as byte-identical as the
+        # charging decisions themselves.
+        self._retry_rng = rngs.stream("service", "cdr-retry")
+        self.edge_keys: KeyPair = keypair_for_seed(
+            derive_seed(config.seed, "service", "edge-key"), config.key_bits
+        )
+        self.operator_keys: KeyPair = keypair_for_seed(
+            derive_seed(config.seed, "service", "operator-key"),
+            config.key_bits,
+        )
+        self._sessions: dict[str, SessionState] = {}
+        self._nonces: dict[str, NonceFactory] = {}
+        # Reliable delivery: retry heap + settled-ack dedup (LRU-bounded
+        # — the long-lived process must not grow without bound).
+        self._dedup = DedupCache(max_entries=config.dedup_entries)
+        self._retries: list[tuple[float, int, ChargingDataRecord, int]] = []
+        self._retry_tiebreak = 0
+        self.cdrs_emitted = 0
+        self.cdrs_delivered = 0
+        self.cdr_retries = 0
+        self.cdrs_abandoned = 0
+        self.abandoned_cdr_bytes = 0
+        self.redeliveries_suppressed = 0
+        # Attestation state.
+        self._pending_claims: dict[int, list[TlcCdr]] = {}
+        self._claim_cycles: dict[int, ChargingCycle] = {}
+        self._pending_records: list[ChargingDataRecord] = []
+        self.claims_attested = 0
+        self.batches_sealed = 0
+        self.sign_ops = 0
+        # Stream accounting (integers).
+        self.processed_events = 0
+        self.processed_sent_bytes = 0
+        self.delivered_bytes = 0
+        self.transit_lost_bytes = 0
+        #: Drained by the service layer after every call.
+        self.outbox: list[CoreOutput] = []
+
+    # ------------------------------------------------------------------
+    # session lifecycle
+
+    def open_session(self, spec: SessionSpec) -> SessionState:
+        if spec.session_id in self._sessions:
+            raise ValueError(f"session already open: {spec.session_id}")
+        state = SessionState(spec=spec, cycle=self.schedule.cycle(0))
+        self._sessions[spec.session_id] = state
+        self._nonces[spec.session_id] = NonceFactory(
+            self._rngs.stream("service", "nonces", spec.session_id)
+        )
+        return state
+
+    def session(self, session_id: str) -> SessionState:
+        return self._sessions[session_id]
+
+    def sessions(self) -> list[SessionState]:
+        return list(self._sessions.values())
+
+    def close_session(self, session_id: str) -> None:
+        """Flush and settle the session's open cycle, then close it."""
+        state = self._sessions[session_id]
+        if state.status == "closed":
+            return
+        if state.status == "active":
+            self._flush_cdr(state)
+            self._settle_cycle(state)
+        state.status = "closed"
+
+    def mark_degraded(self, session_id: str, reason: str) -> None:
+        """Fault middleware: stop charging this session, keep the rest."""
+        state = self._sessions[session_id]
+        state.status = "degraded"
+        state.degraded_reason = reason
+
+    # ------------------------------------------------------------------
+    # the event path
+
+    def process(self, event: UsageEvent) -> None:
+        """Advance one session by one usage event (stream time)."""
+        state = self._sessions[event.session_id]
+        if state.status != "active":
+            raise SessionFault(
+                f"event for {state.status} session {event.session_id}"
+            )
+        if event.timestamp < state.last_timestamp:
+            raise SessionFault(
+                f"stream time went backwards for {event.session_id}: "
+                f"{event.timestamp} < {state.last_timestamp}"
+            )
+        if self.hooks.on_event is not None:
+            self.hooks.on_event(state, event)
+
+        now = event.timestamp
+        # Cross any cycle boundaries the stream slept through.
+        while now >= state.cycle.end:
+            self._flush_cdr(state)
+            self._settle_cycle(state)
+            state.cycle = self.schedule.cycle(state.cycle.index + 1)
+            state.cycle_sent = 0
+            state.cycle_delivered = 0
+            state.cycle_events = 0
+            state.window_start = state.cycle.start
+            state.window_sent = 0
+        # Periodic CDR flush inside the cycle.
+        if (
+            state.window_sent
+            and now >= state.window_start + self.config.cdr_period
+        ):
+            self._flush_cdr(state)
+        if not state.window_sent:
+            state.window_start = max(state.window_start, state.cycle.start)
+
+        if state.window_sent == 0:
+            state.window_first = now
+        state.window_last = now
+        state.window_sent += event.sent_bytes
+        state.cycle_sent += event.sent_bytes
+        state.cycle_delivered += event.delivered_bytes
+        state.cycle_events += 1
+        state.events_processed += 1
+        state.sent_bytes += event.sent_bytes
+        state.delivered_bytes += event.delivered_bytes
+        state.lost_bytes += event.lost_bytes
+        state.last_timestamp = now
+        state.history.append(event)
+
+        self.processed_events += 1
+        self.processed_sent_bytes += event.sent_bytes
+        self.delivered_bytes += event.delivered_bytes
+        self.transit_lost_bytes += event.lost_bytes
+
+        self.pump_retries(now)
+
+    # ------------------------------------------------------------------
+    # CDR flush + reliable delivery
+
+    def _flush_cdr(self, state: SessionState) -> None:
+        if state.window_sent == 0:
+            return
+        uplink = downlink = 0
+        if self.config.direction == "downlink":
+            downlink = state.window_sent
+        else:
+            uplink = state.window_sent
+        record = ChargingDataRecord(
+            served_imsi=Imsi(state.spec.imsi),
+            gateway_address=self.config.gateway_address,
+            charging_id=state.spec.charging_id,
+            sequence_number=state.next_sequence,
+            time_of_first_usage=state.window_first,
+            time_of_last_usage=state.window_last,
+            uplink_bytes=uplink,
+            downlink_bytes=downlink,
+        )
+        state.next_sequence += 1
+        state.window_sent = 0
+        state.window_start = state.window_last
+        self.cdrs_emitted += 1
+        self._deliver(record, state.window_last, attempt=0)
+
+    def _deliver(
+        self, record: ChargingDataRecord, now: float, attempt: int
+    ) -> None:
+        key = (record.charging_id, record.sequence_number)
+        if key in self._dedup:
+            # A retry raced a successful delivery; the cached ack
+            # answers it without touching the OFCS again.
+            self._dedup.replay(key)
+            self.redeliveries_suppressed += 1
+            return
+        if self.ofcs.ingest(record):
+            self._dedup.remember(key, True)
+            self.cdrs_delivered += 1
+            self._pending_records.append(record)
+            if len(self._pending_records) >= self.config.attest_batch:
+                self._seal_record_batch()
+            return
+        # OFCS dark: spool and retry on the backoff schedule, jitter
+        # drawn from the derived stream (satellite: no module-global
+        # random anywhere in the retry path).
+        if self.config.retry.exhausted(attempt):
+            self.cdrs_abandoned += 1
+            self.abandoned_cdr_bytes += record.total_bytes
+            return
+        self.cdr_retries += 1
+        due = now + self.config.retry.delay(attempt, self._retry_rng)
+        self._retry_tiebreak += 1
+        heapq.heappush(
+            self._retries, (due, self._retry_tiebreak, record, attempt + 1)
+        )
+
+    def pump_retries(self, now: float) -> None:
+        """Re-attempt every spooled CDR whose backoff expired."""
+        while self._retries and self._retries[0][0] <= now:
+            _due, _tie, record, attempt = heapq.heappop(self._retries)
+            self._deliver(record, now, attempt)
+
+    @property
+    def unacked_cdrs(self) -> int:
+        """CDRs spooled for retry, not yet delivered or abandoned."""
+        return len(self._retries)
+
+    # ------------------------------------------------------------------
+    # settlement (Algorithm 1, attestation on)
+
+    def _agents(
+        self, state: SessionState, plan: DataPlan
+    ) -> tuple[NegotiationAgent, NegotiationAgent]:
+        view = UsageView(
+            sent_estimate=float(state.cycle_sent),
+            received_estimate=float(state.cycle_delivered),
+        )
+        nonce_factory = self._nonces[state.spec.session_id]
+        batch_config = BatchSigningConfig(
+            enabled=True, max_batch=self.config.attest_batch
+        )
+        operator = NegotiationAgent(
+            role=Role.OPERATOR,
+            strategy=OptimalStrategy(Role.OPERATOR, view),
+            plan=plan,
+            private_key=self.operator_keys.private,
+            peer_public_key=self.edge_keys.public,
+            nonce_factory=nonce_factory,
+            app_id=state.spec.app_id,
+            batch_config=batch_config,
+        )
+        edge = NegotiationAgent(
+            role=Role.EDGE,
+            strategy=OptimalStrategy(Role.EDGE, view),
+            plan=plan,
+            private_key=self.edge_keys.private,
+            peer_public_key=self.operator_keys.public,
+            nonce_factory=nonce_factory,
+            app_id=state.spec.app_id,
+            batch_config=batch_config,
+        )
+        return operator, edge
+
+    def _settle_cycle(self, state: SessionState) -> None:
+        if state.cycle_events == 0:
+            return  # an idle cycle has nothing to negotiate
+        plan = DataPlan(
+            cycle=state.cycle, loss_weight=self.config.loss_weight
+        )
+        operator, edge = self._agents(state, plan)
+        outcome = run_negotiation(operator, edge)
+        claims = tuple(operator.batched_cdrs)
+        settlement = SettledCycle(
+            session_id=state.spec.session_id,
+            cycle=state.cycle,
+            outcome=outcome,
+            operator_claims=claims,
+        )
+        state.settled_cycles += 1
+        self.outbox.append(("settlement", settlement))
+        # Pool the operator's retained claims across sessions: one
+        # Merkle signature will cover the whole interleaved pool.
+        if claims:
+            index = state.cycle.index
+            self._claim_cycles[index] = state.cycle
+            pool = self._pending_claims.setdefault(index, [])
+            pool.extend(claims)
+            if len(pool) >= self.config.attest_batch:
+                self._seal_claim_batch(index)
+
+    # ------------------------------------------------------------------
+    # Merkle-batch attestation
+
+    def _seal_claim_batch(self, cycle_index: int) -> None:
+        pool = self._pending_claims.pop(cycle_index, [])
+        if not pool:
+            return
+        claims = tuple(pool[: self.config.attest_batch])
+        rest = pool[self.config.attest_batch:]
+        if rest:
+            self._pending_claims[cycle_index] = rest
+        batch = sign_cdr_batch(self.operator_keys.private, claims)
+        self.sign_ops += 1
+        self.batches_sealed += 1
+        self.claims_attested += len(claims)
+        self.outbox.append(
+            (
+                "claim_batch",
+                SealedClaimBatch(
+                    cycle=self._claim_cycles[cycle_index],
+                    claims=claims,
+                    batch=batch,
+                ),
+            )
+        )
+
+    def _seal_record_batch(self) -> None:
+        if not self._pending_records:
+            return
+        records = tuple(self._pending_records[: self.config.attest_batch])
+        del self._pending_records[: self.config.attest_batch]
+        batch = sign_batch(
+            self.operator_keys.private,
+            [record.to_bytes() for record in records],
+        )
+        self.sign_ops += 1
+        self.batches_sealed += 1
+        self.claims_attested += len(records)
+        self.outbox.append(
+            ("record_batch", SealedRecordBatch(records=records, batch=batch))
+        )
+
+    # ------------------------------------------------------------------
+    # teardown
+
+    def finalize(self) -> None:
+        """Close out the stream: drain retries, seal partial batches."""
+        for state in self._sessions.values():
+            if state.status == "active":
+                self.close_session(state.spec.session_id)
+        # Drain the retry spool to a verdict: each spooled CDR is
+        # either delivered (OFCS back up) or abandoned at its policy's
+        # attempt budget — never left dangling.
+        while self._retries:
+            _due, _tie, record, attempt = heapq.heappop(self._retries)
+            self._deliver(record, float(_due), attempt)
+        while self._pending_claims:
+            self._seal_claim_batch(next(iter(self._pending_claims)))
+        while self._pending_records:
+            self._seal_record_batch()
+
+    def drain_outbox(self) -> list[CoreOutput]:
+        """Hand the accumulated outputs to the caller (service layer)."""
+        out = self.outbox
+        self.outbox = []
+        return out
+
+    def delivery_stats(self) -> dict[str, int]:
+        """Picklable reliable-delivery counters."""
+        return {
+            "emitted": self.cdrs_emitted,
+            "delivered": self.cdrs_delivered,
+            "retries": self.cdr_retries,
+            "abandoned": self.cdrs_abandoned,
+            "abandoned_bytes": self.abandoned_cdr_bytes,
+            "suppressed_redeliveries": self.redeliveries_suppressed,
+            "unacked": self.unacked_cdrs,
+            "dedup_hits": self._dedup.hits,
+            "dedup_evictions": self._dedup.evictions,
+        }
+
+
+def replay_settlements(
+    config: ServiceConfig,
+    specs: list[SessionSpec],
+    events_by_session: dict[str, list[UsageEvent]],
+    interleave: Callable[[dict[str, list[UsageEvent]]], list[UsageEvent]]
+    | None = None,
+) -> dict[tuple[str, int], float | None]:
+    """Settle the same event streams through a fresh core, batch-style.
+
+    The equivalence oracle for the service tier: feed each session's
+    accepted events — in their per-session order — through a new
+    :class:`ChargingCore` synchronously and return every settlement's
+    volume keyed by ``(session_id, cycle_index)``.  Per-session streams
+    are independent, so any global interleaving yields the same result;
+    the default replays sessions one after another.
+    """
+    core = ChargingCore(config)
+    for spec in specs:
+        core.open_session(spec)
+    if interleave is not None:
+        ordered = interleave(events_by_session)
+        for event in ordered:
+            core.process(event)
+    else:
+        for spec in specs:
+            for event in events_by_session.get(spec.session_id, ()):
+                core.process(event)
+    core.finalize()
+    out: dict[tuple[str, int], float | None] = {}
+    for kind, payload in core.drain_outbox():
+        if kind == "settlement":
+            settled: SettledCycle = payload  # type: ignore[assignment]
+            out[(settled.session_id, settled.cycle.index)] = settled.volume
+    return out

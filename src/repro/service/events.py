@@ -1,0 +1,131 @@
+"""The service tier's wire-facing data model.
+
+A long-lived charging service sees the world as a stream of
+:class:`UsageEvent` records — one per metering report from a session's
+gateway path — rather than as packets inside a simulation.  Each event
+carries the sender-side metered bytes and the bytes known lost in
+transit, so the service can maintain both parties' usage views and the
+``counted − Σ losses == received`` accounting identity without replaying
+the packet path.
+
+Admission is always explicit: :class:`Admission` either accepts an event
+or rejects it with a :class:`RejectReason`.  There is no silent drop
+anywhere in the ingest path — every rejected byte lands in the service's
+accounting table under its reason, which is what keeps the identity
+exact under overload.
+"""
+
+from __future__ import annotations
+
+import enum
+import zlib
+from dataclasses import dataclass
+
+
+class RejectReason(enum.Enum):
+    """Why the ingest front end refused an event (or a session)."""
+
+    #: ``open_session`` beyond the configured concurrent-session cap.
+    SESSION_LIMIT = "session_limit"
+    #: Event for a session id the service has never opened.
+    UNKNOWN_SESSION = "unknown_session"
+    #: ``open_session`` for an id that is already open.
+    DUPLICATE_SESSION = "duplicate_session"
+    #: The session's bounded queue is full (backpressure to the caller).
+    QUEUE_FULL = "queue_full"
+    #: The session's token bucket is empty (rate limiting).
+    RATE_LIMITED = "rate_limited"
+    #: The session was degraded by the fault middleware.
+    SESSION_DEGRADED = "session_degraded"
+    #: The session (or the whole service) is closed to new events.
+    CLOSED = "closed"
+
+
+@dataclass(frozen=True)
+class Admission:
+    """The ingest verdict for one event or session operation."""
+
+    accepted: bool
+    reason: RejectReason | None = None
+
+    def __bool__(self) -> bool:
+        return self.accepted
+
+    @classmethod
+    def ok(cls) -> "Admission":
+        return cls(accepted=True)
+
+    @classmethod
+    def reject(cls, reason: RejectReason) -> "Admission":
+        return cls(accepted=False, reason=reason)
+
+
+@dataclass(frozen=True)
+class UsageEvent:
+    """One metering report from a session's data path.
+
+    ``sent_bytes`` is what the sender-side meter counted over the report
+    interval ending at ``timestamp`` (stream time, seconds);
+    ``lost_bytes`` is the portion known lost between the meters, so the
+    receiver-side meter saw ``sent_bytes − lost_bytes``.  Timestamps are
+    *stream* time: all charging-cycle and CDR-flush decisions derive
+    from them, never from the wall clock, which is what makes a service
+    run settle identically to a batch replay of the same events.
+    """
+
+    session_id: str
+    timestamp: float
+    sent_bytes: int
+    lost_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.session_id:
+            raise ValueError("usage event needs a session id")
+        if self.timestamp < 0:
+            raise ValueError(f"negative event timestamp: {self.timestamp}")
+        if self.sent_bytes < 0:
+            raise ValueError(f"negative sent bytes: {self.sent_bytes}")
+        if not 0 <= self.lost_bytes <= self.sent_bytes:
+            raise ValueError(
+                f"lost bytes {self.lost_bytes} outside "
+                f"[0, {self.sent_bytes}]"
+            )
+
+    @property
+    def delivered_bytes(self) -> int:
+        """Bytes the receiver-side meter counted for this report."""
+        return self.sent_bytes - self.lost_bytes
+
+
+@dataclass(frozen=True)
+class SessionSpec:
+    """Identity of one charging session (one edge app ↔ one subscriber)."""
+
+    session_id: str
+    imsi: str
+
+    def __post_init__(self) -> None:
+        if not self.session_id:
+            raise ValueError("session spec needs a session id")
+        if not self.imsi.isdigit() or not 6 <= len(self.imsi) <= 15:
+            raise ValueError(f"not a plausible IMSI: {self.imsi!r}")
+
+    @property
+    def charging_id(self) -> int:
+        """A stable 32-bit charging id derived from the session id."""
+        return zlib.crc32(self.session_id.encode("utf-8")) & 0xFFFFFFFF
+
+    @property
+    def app_id(self) -> str:
+        """The TLC app id this session negotiates under (≤ 12 ASCII)."""
+        return f"s{self.charging_id:08x}"
+
+    @classmethod
+    def indexed(cls, index: int, prefix: str = "sess") -> "SessionSpec":
+        """The canonical spec for synthetic session number ``index``."""
+        if index < 0:
+            raise ValueError(f"negative session index: {index}")
+        return cls(
+            session_id=f"{prefix}-{index:05d}",
+            imsi=f"00101{index:010d}",
+        )

@@ -1,0 +1,232 @@
+"""The ingest front end: admission control, bounded queues, rate limits.
+
+:class:`UsageIngest` is the only way events enter the service.  It
+enforces three things, all with explicit reject-with-reason verdicts:
+
+- **admission control** — a cap on concurrently open sessions and a
+  check that events reference a known, live session;
+- **backpressure** — one bounded ``asyncio.Queue`` per session; a full
+  queue rejects with :attr:`RejectReason.QUEUE_FULL` instead of
+  buffering without bound, and the caller decides whether to retry
+  (the load driver does) or shed;
+- **rate limiting** — a per-session token bucket refilled in *stream*
+  time (event timestamps), so the limit is deterministic and a replay
+  of the same events is limited identically.
+
+Every submitted byte is counted: accepted bytes flow to the charging
+core, rejected bytes are tallied per :class:`RejectReason`.  The
+service's accounting table treats the ingest as a metering layer whose
+drops are exactly those tallies, which is how ``counted − Σ losses ==
+received`` stays an integer identity under overload.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+
+from repro.service.config import ServiceConfig
+from repro.service.events import (
+    Admission,
+    RejectReason,
+    SessionSpec,
+    UsageEvent,
+)
+
+#: Queue sentinel marking the end of a session's event stream.
+END_OF_STREAM = object()
+
+
+class TokenBucket:
+    """A token bucket refilled by stream time (not the wall clock)."""
+
+    def __init__(self, rate_per_s: float, burst: int) -> None:
+        if rate_per_s <= 0:
+            raise ValueError(f"rate must be positive: {rate_per_s}")
+        if burst < 1:
+            raise ValueError(f"burst must be >= 1: {burst}")
+        self.rate_per_s = float(rate_per_s)
+        self.burst = int(burst)
+        self._tokens = float(burst)
+        self._last = 0.0
+
+    def admit(self, amount: int, now: float) -> bool:
+        """Spend ``amount`` tokens at stream time ``now`` if available."""
+        if now > self._last:
+            self._tokens = min(
+                float(self.burst),
+                self._tokens + (now - self._last) * self.rate_per_s,
+            )
+            self._last = now
+        if amount <= self._tokens:
+            self._tokens -= amount
+            return True
+        return False
+
+
+@dataclass
+class _IngestSession:
+    """Ingest-side state for one open session."""
+
+    spec: SessionSpec
+    queue: asyncio.Queue
+    bucket: TokenBucket | None
+    degraded: bool = False
+    closed: bool = False
+    accepted_events: int = 0
+    accepted_bytes: int = 0
+    rejected_events: dict[str, int] = field(default_factory=dict)
+    rejected_bytes: dict[str, int] = field(default_factory=dict)
+
+
+class UsageIngest:
+    """Admission-controlled, rate-limited front door of the service."""
+
+    def __init__(self, config: ServiceConfig) -> None:
+        self.config = config
+        self._sessions: dict[str, _IngestSession] = {}
+        self.closed = False
+        # Service-wide tallies (integers; the accounting table's inputs).
+        self.received_events = 0
+        self.received_bytes = 0
+        self.accepted_events = 0
+        self.accepted_bytes = 0
+        self.rejected_events: dict[str, int] = {}
+        self.rejected_bytes: dict[str, int] = {}
+        self.sessions_rejected: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # session lifecycle
+
+    def open_session(self, spec: SessionSpec) -> Admission:
+        """Admit a new session, or reject it with a reason."""
+        if self.closed:
+            return self._reject_session(RejectReason.CLOSED)
+        if spec.session_id in self._sessions:
+            return self._reject_session(RejectReason.DUPLICATE_SESSION)
+        live = sum(
+            1 for s in self._sessions.values() if not s.closed
+        )
+        if live >= self.config.max_sessions:
+            return self._reject_session(RejectReason.SESSION_LIMIT)
+        bucket = None
+        if self.config.rate_bytes_per_s is not None:
+            bucket = TokenBucket(
+                self.config.rate_bytes_per_s, self.config.burst_bytes
+            )
+        self._sessions[spec.session_id] = _IngestSession(
+            spec=spec,
+            queue=asyncio.Queue(maxsize=self.config.queue_depth),
+            bucket=bucket,
+        )
+        return Admission.ok()
+
+    async def end_session(self, session_id: str) -> None:
+        """Mark a session's stream finished (waits for queue space)."""
+        session = self._sessions.get(session_id)
+        if session is None or session.closed:
+            return
+        session.closed = True
+        await session.queue.put(END_OF_STREAM)
+
+    def queue_for(self, session_id: str) -> asyncio.Queue:
+        """The session's bounded event queue (the worker's input)."""
+        return self._sessions[session_id].queue
+
+    def mark_degraded(self, session_id: str) -> None:
+        """Future submits for this session reject SESSION_DEGRADED."""
+        session = self._sessions.get(session_id)
+        if session is not None:
+            session.degraded = True
+
+    def open_session_ids(self) -> list[str]:
+        """Sessions opened and not yet ended, in insertion order."""
+        return [
+            sid for sid, s in self._sessions.items() if not s.closed
+        ]
+
+    # ------------------------------------------------------------------
+    # event submission
+
+    def submit(self, event: UsageEvent) -> Admission:
+        """Offer one event; never silently drops.
+
+        Each call is one metering report: it is counted as *received*
+        whatever the verdict, and a rejected report's bytes are tallied
+        under the rejection reason — the caller may re-submit later (a
+        fresh report, counted afresh) or give up, and the accounting
+        identity holds either way.
+        """
+        self.received_events += 1
+        self.received_bytes += event.sent_bytes
+        session = self._sessions.get(event.session_id)
+        if session is None:
+            return self._reject(None, event, RejectReason.UNKNOWN_SESSION)
+        if self.closed or session.closed:
+            return self._reject(session, event, RejectReason.CLOSED)
+        if session.degraded:
+            return self._reject(
+                session, event, RejectReason.SESSION_DEGRADED
+            )
+        if session.bucket is not None and not session.bucket.admit(
+            event.sent_bytes, event.timestamp
+        ):
+            return self._reject(session, event, RejectReason.RATE_LIMITED)
+        try:
+            session.queue.put_nowait(event)
+        except asyncio.QueueFull:
+            return self._reject(session, event, RejectReason.QUEUE_FULL)
+        session.accepted_events += 1
+        session.accepted_bytes += event.sent_bytes
+        self.accepted_events += 1
+        self.accepted_bytes += event.sent_bytes
+        return Admission.ok()
+
+    # ------------------------------------------------------------------
+    # bookkeeping
+
+    def _reject(
+        self,
+        session: _IngestSession | None,
+        event: UsageEvent,
+        reason: RejectReason,
+    ) -> Admission:
+        key = reason.value
+        self.rejected_events[key] = self.rejected_events.get(key, 0) + 1
+        self.rejected_bytes[key] = (
+            self.rejected_bytes.get(key, 0) + event.sent_bytes
+        )
+        if session is not None:
+            session.rejected_events[key] = (
+                session.rejected_events.get(key, 0) + 1
+            )
+            session.rejected_bytes[key] = (
+                session.rejected_bytes.get(key, 0) + event.sent_bytes
+            )
+        return Admission.reject(reason)
+
+    def _reject_session(self, reason: RejectReason) -> Admission:
+        key = reason.value
+        self.sessions_rejected[key] = (
+            self.sessions_rejected.get(key, 0) + 1
+        )
+        return Admission.reject(reason)
+
+    @property
+    def rejected_bytes_total(self) -> int:
+        """All bytes refused at the front door, across reasons."""
+        return sum(self.rejected_bytes.values())
+
+    def stats(self) -> dict:
+        """Picklable ingest counters for snapshots."""
+        return {
+            "received_events": self.received_events,
+            "received_bytes": self.received_bytes,
+            "accepted_events": self.accepted_events,
+            "accepted_bytes": self.accepted_bytes,
+            "rejected_events": dict(sorted(self.rejected_events.items())),
+            "rejected_bytes": dict(sorted(self.rejected_bytes.items())),
+            "sessions_rejected": dict(
+                sorted(self.sessions_rejected.items())
+            ),
+        }

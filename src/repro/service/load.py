@@ -1,0 +1,240 @@
+"""Deterministic multi-session load for the charging service.
+
+``python -m repro run service-load`` and the CI ``service-smoke`` job
+drive the service with this module: N concurrent synthetic sessions,
+each an independent seeded stream of usage events, submitted through
+the real ingest path (admission control, rate limits, backpressure
+retries) on one asyncio loop.  The report carries the verdicts the
+service tier promises — exact accounting reconciliation, batch-attested
+PoCs, and settlement equivalence with a batch replay — in grep-friendly
+form (:func:`render_service_report`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+
+from repro.service.config import ServiceConfig
+from repro.service.events import RejectReason, SessionSpec, UsageEvent
+from repro.service.middleware import ServiceHooks
+from repro.service.service import ChargingService
+from repro.sim.rng import RngStreams
+
+
+@dataclass(frozen=True)
+class LoadProfile:
+    """Shape of one synthetic multi-session campaign."""
+
+    sessions: int = 50
+    events_per_session: int = 40
+    #: Mean stream-time spacing between a session's events (seconds).
+    event_interval: float = 2.0
+    #: Mean metered bytes per event.
+    mean_event_bytes: int = 12_000
+    #: Mean fraction of each event's bytes lost in transit.
+    loss_rate: float = 0.02
+    seed: int = 23
+    #: Submit attempts per event before giving up on QUEUE_FULL
+    #: backpressure (each attempt yields the loop first).
+    max_submit_attempts: int = 50
+
+    def __post_init__(self) -> None:
+        if self.sessions < 1:
+            raise ValueError(f"need >= 1 session: {self.sessions}")
+        if self.events_per_session < 1:
+            raise ValueError(
+                f"need >= 1 event per session: {self.events_per_session}"
+            )
+        if self.event_interval <= 0:
+            raise ValueError(
+                f"event interval must be positive: {self.event_interval}"
+            )
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ValueError(f"loss rate out of [0, 1): {self.loss_rate}")
+
+
+def generate_session_events(
+    profile: LoadProfile, index: int
+) -> tuple[SessionSpec, list[UsageEvent]]:
+    """Session ``index``'s spec and deterministic event stream.
+
+    Each session draws from its own derived stream, so the load is
+    byte-identical run to run and independent of submission order.
+    """
+    spec = SessionSpec.indexed(index)
+    rng = RngStreams(profile.seed).stream("service-load", index)
+    events = []
+    t = rng.uniform(0.0, profile.event_interval)
+    for _ in range(profile.events_per_session):
+        sent = max(1, int(profile.mean_event_bytes * rng.lognormvariate(0.0, 0.35)))
+        lost = min(
+            sent, int(sent * profile.loss_rate * rng.uniform(0.0, 2.0))
+        )
+        events.append(
+            UsageEvent(
+                session_id=spec.session_id,
+                timestamp=t,
+                sent_bytes=sent,
+                lost_bytes=lost,
+            )
+        )
+        t += rng.uniform(0.2, 1.8) * profile.event_interval
+    return spec, events
+
+
+@dataclass
+class ServiceLoadReport:
+    """Everything ``run service-load`` asserts and prints."""
+
+    sessions: int
+    events_submitted: int
+    events_accepted: int
+    bytes_offered: int
+    rejected_events: dict[str, int]
+    settlements: int
+    settled_volume: float
+    claims_attested: int
+    batches_sealed: int
+    sign_ops: int
+    batch_attested_pocs: int
+    pocs_verified: int
+    pocs_rejected: int
+    reconciles: bool
+    residual: float
+    batch_equivalent: bool
+    degraded_sessions: int
+    wall_seconds: float
+    clean_shutdown: bool
+    snapshot: dict = field(default_factory=dict)
+
+    @property
+    def claims_per_hour(self) -> float:
+        """Attested claims per wall-clock hour (the Fig. 17 scale axis)."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.claims_attested * 3600.0 / self.wall_seconds
+
+
+async def drive_load(
+    service: ChargingService, profile: LoadProfile
+) -> int:
+    """Submit every session's stream concurrently; returns submit count.
+
+    One driver task per session; ``QUEUE_FULL`` rejections are retried
+    after yielding to the loop (backpressure in action), other
+    rejections are final for that event.
+    """
+    submitted = 0
+
+    async def _drive_one(spec: SessionSpec, events: list[UsageEvent]) -> None:
+        nonlocal submitted
+        for event in events:
+            for _attempt in range(profile.max_submit_attempts):
+                submitted += 1
+                admission = service.submit(event)
+                if admission or admission.reason is not RejectReason.QUEUE_FULL:
+                    break
+                await asyncio.sleep(0)
+            await asyncio.sleep(0)
+        await service.close_session(spec.session_id)
+
+    drivers = []
+    for index in range(profile.sessions):
+        spec, events = generate_session_events(profile, index)
+        admission = service.open_session(spec)
+        if not admission:
+            continue
+        drivers.append(asyncio.create_task(_drive_one(spec, events)))
+    await asyncio.gather(*drivers)
+    return submitted
+
+
+def run_service_load(
+    profile: LoadProfile | None = None,
+    config: ServiceConfig | None = None,
+    hooks: ServiceHooks | None = None,
+) -> ServiceLoadReport:
+    """Boot a service, drive the load, shut down, report the verdicts."""
+    profile = profile or LoadProfile()
+    config = config or ServiceConfig()
+
+    async def _run() -> tuple[ChargingService, int, dict]:
+        service = ChargingService(config, hooks=hooks)
+        submitted = await drive_load(service, profile)
+        snapshot = await service.shutdown()
+        return service, submitted, snapshot
+
+    started = time.perf_counter()
+    service, submitted, snapshot = asyncio.run(_run())
+    wall = time.perf_counter() - started
+
+    table = service.accounting()
+    volumes = [
+        volume
+        for volume in service.settlements.values()
+        if volume is not None
+    ]
+    return ServiceLoadReport(
+        sessions=profile.sessions,
+        events_submitted=submitted,
+        events_accepted=service.ingest.accepted_events,
+        bytes_offered=service.ingest.received_bytes,
+        rejected_events=dict(sorted(service.ingest.rejected_events.items())),
+        settlements=len(service.settlements),
+        settled_volume=sum(volumes),
+        claims_attested=service.core.claims_attested,
+        batches_sealed=service.core.batches_sealed,
+        sign_ops=service.core.sign_ops,
+        batch_attested_pocs=service.verifier.batch_attested_pocs,
+        pocs_verified=service.verifier.pocs_verified,
+        pocs_rejected=service.verifier.pocs_rejected,
+        reconciles=table.reconciles,
+        residual=table.residual,
+        batch_equivalent=service.verify_batch_equivalence(),
+        degraded_sessions=self_degraded(service),
+        wall_seconds=wall,
+        clean_shutdown=True,
+        snapshot=snapshot,
+    )
+
+
+def self_degraded(service: ChargingService) -> int:
+    """Degraded-session count (a helper so the report stays picklable)."""
+    return service.degraded.degraded_sessions
+
+
+def render_service_report(report: ServiceLoadReport) -> str:
+    """The grep-friendly text the CLI and CI smoke job read."""
+    rejected = (
+        ", ".join(
+            f"{reason}={count}"
+            for reason, count in report.rejected_events.items()
+        )
+        or "none"
+    )
+    lines = [
+        f"sessions {report.sessions}  "
+        f"events submitted {report.events_submitted}  "
+        f"accepted {report.events_accepted}",
+        f"rejected (by reason): {rejected}",
+        f"settlements {report.settlements}  "
+        f"total settled volume {report.settled_volume:,.0f} B",
+        f"claims attested {report.claims_attested} in "
+        f"{report.batches_sealed} Merkle batches "
+        f"({report.sign_ops} public-key sign ops — one per batch)",
+        f"batch-attested PoCs: {report.batch_attested_pocs} "
+        f"(verified {report.pocs_verified}, "
+        f"rejected {report.pocs_rejected})",
+        f"degraded sessions: {report.degraded_sessions}",
+        f"service accounting reconciles exactly: "
+        f"{'yes' if report.reconciles else 'NO'} "
+        f"(residual {report.residual:.0f} B)",
+        f"settlements identical to equivalent batch run: "
+        f"{'yes' if report.batch_equivalent else 'NO'}",
+        f"throughput: {report.claims_per_hour:,.0f} claims/hr "
+        f"({report.wall_seconds:.2f}s wall)",
+        f"clean shutdown: {'yes' if report.clean_shutdown else 'NO'}",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,81 @@
+"""Fault middleware: per-session failures degrade, the service lives.
+
+A long-lived service cannot let one misbehaving session — a stream
+whose clock runs backwards, a hook-injected fault, a bug in a charging
+path — take down charging for every other tenant.  The exception
+barrier in :meth:`repro.service.ChargingService._session_worker` wraps
+every core call; anything a session raises is converted by
+:class:`DegradedLedger` into *degraded-session* state:
+
+- the session stops being charged (its worker drains and rejects),
+- the ingest front end rejects its future events with
+  :attr:`repro.service.events.RejectReason.SESSION_DEGRADED`,
+- every accepted-but-unprocessed byte is tallied as a
+  ``session_degraded`` drop in the accounting table, so the
+  ``counted − Σ losses == received`` identity survives the fault.
+
+:class:`ServiceHooks` is the injection point the fault suite uses: its
+callbacks run inside the core's event path, so a test (or a
+:mod:`repro.faults` plan adapter) can raise mid-stream, toggle an OFCS
+outage, or observe settlements without patching service internals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+class ServiceError(RuntimeError):
+    """A charging-service failure outside any one session."""
+
+
+class SessionFault(ServiceError):
+    """A per-session failure; the middleware degrades only that session."""
+
+
+@dataclass
+class ServiceHooks:
+    """Callbacks threaded into the charging core's event path.
+
+    ``on_event(state, event)`` runs before an event is accumulated —
+    raising here is the canonical way the fault suite injects a
+    per-session failure.  ``on_settle(settlement)`` observes every
+    Algorithm 1 outcome as it happens.
+    """
+
+    on_event: Callable[[Any, Any], None] | None = None
+    on_settle: Callable[[Any], None] | None = None
+
+
+@dataclass
+class DegradedLedger:
+    """What the exception barrier recorded, per degraded session."""
+
+    reasons: dict[str, str] = field(default_factory=dict)
+    dropped_events: int = 0
+    dropped_bytes: int = 0
+
+    def record_fault(self, session_id: str, exc: BaseException) -> None:
+        """First fault wins; later ones do not rewrite the reason."""
+        self.reasons.setdefault(
+            session_id, f"{type(exc).__name__}: {exc}"
+        )
+
+    def record_drop(self, sent_bytes: int) -> None:
+        """Count one accepted-but-never-charged event."""
+        self.dropped_events += 1
+        self.dropped_bytes += sent_bytes
+
+    @property
+    def degraded_sessions(self) -> int:
+        return len(self.reasons)
+
+    def as_dict(self) -> dict:
+        """Picklable snapshot for service status output."""
+        return {
+            "degraded_sessions": self.degraded_sessions,
+            "dropped_events": self.dropped_events,
+            "dropped_bytes": self.dropped_bytes,
+            "reasons": dict(sorted(self.reasons.items())),
+        }

@@ -94,6 +94,51 @@ class TestDedupCache:
         cache.remember(b"a", 3)
         assert len(cache) == 2
 
+    def test_unbounded_by_default(self):
+        cache = DedupCache()
+        for i in range(10_000):
+            cache.remember(i, i)
+        assert len(cache) == 10_000
+        assert cache.evictions == 0
+
+    def test_bound_evicts_least_recently_used(self):
+        cache = DedupCache(max_entries=2)
+        cache.remember(b"a", 1)
+        cache.remember(b"b", 2)
+        assert cache.replay(b"a") == 1  # refresh a
+        cache.remember(b"c", 3)  # evicts b, the LRU entry
+        assert b"b" not in cache
+        assert b"a" in cache and b"c" in cache
+        assert cache.evictions == 1
+
+    def test_dedup_semantics_survive_eviction(self):
+        """An evicted key is forgotten, not corrupted: re-remembering it
+        re-drives the receiver once and dedups again afterwards."""
+        cache = DedupCache(max_entries=2)
+        cache.remember(b"k", "first")
+        cache.remember(b"x", 1)
+        cache.remember(b"y", 2)  # k evicted
+        assert b"k" not in cache
+        # Retained entries still replay their original replies.
+        assert cache.replay(b"x") == 1
+        assert cache.replay(b"y") == 2
+        # The evicted key behaves like a fresh message.
+        cache.remember(b"k", "second")
+        assert cache.replay(b"k") == "second"
+
+    def test_overwrite_does_not_evict(self):
+        cache = DedupCache(max_entries=2)
+        cache.remember(b"a", 1)
+        cache.remember(b"b", 2)
+        cache.remember(b"a", 99)  # overwrite, still 2 entries
+        assert len(cache) == 2
+        assert cache.evictions == 0
+        assert cache.replay(b"a") == 99
+
+    def test_invalid_bound_rejected(self):
+        with pytest.raises(ValueError):
+            DedupCache(max_entries=0)
+
 
 class TestCounterCheckpointer:
     def test_periodic_snapshots_capture_counters(self):

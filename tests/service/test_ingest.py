@@ -1,0 +1,179 @@
+"""Ingest front end: admission, backpressure, stream-time rate limits."""
+
+import asyncio
+
+import pytest
+
+from repro.service import (
+    RejectReason,
+    ServiceConfig,
+    SessionSpec,
+    TokenBucket,
+    UsageEvent,
+    UsageIngest,
+)
+
+
+def spec(i=0):
+    return SessionSpec.indexed(i)
+
+
+def event(sid, t=0.0, sent=100, lost=0):
+    return UsageEvent(
+        session_id=sid, timestamp=t, sent_bytes=sent, lost_bytes=lost
+    )
+
+
+def make_ingest(**overrides):
+    return UsageIngest(ServiceConfig(**overrides))
+
+
+class TestTokenBucket:
+    def test_burst_then_refill_in_stream_time(self):
+        bucket = TokenBucket(rate_per_s=100.0, burst=200)
+        assert bucket.admit(200, now=0.0)
+        assert not bucket.admit(1, now=0.0)
+        # One stream second refills 100 tokens.
+        assert bucket.admit(100, now=1.0)
+        assert not bucket.admit(1, now=1.0)
+
+    def test_refill_clamps_at_burst(self):
+        bucket = TokenBucket(rate_per_s=100.0, burst=150)
+        assert bucket.admit(150, now=0.0)
+        assert not bucket.admit(151, now=1000.0)
+        assert bucket.admit(150, now=1000.0)
+
+    def test_time_going_backwards_does_not_refill(self):
+        bucket = TokenBucket(rate_per_s=100.0, burst=100)
+        assert bucket.admit(100, now=5.0)
+        assert not bucket.admit(1, now=1.0)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"rate_per_s": 0.0, "burst": 1},
+        {"rate_per_s": -1.0, "burst": 1},
+        {"rate_per_s": 1.0, "burst": 0},
+    ])
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            TokenBucket(**kwargs)
+
+
+class TestAdmission:
+    def test_open_then_submit_accepts(self):
+        ingest = make_ingest()
+        asyncio.run(self._open_and_submit(ingest))
+
+    async def _open_and_submit(self, ingest):
+        assert ingest.open_session(spec())
+        admission = ingest.submit(event(spec().session_id))
+        assert admission
+        assert admission.reason is None
+
+    def test_unknown_session_rejected_with_reason(self):
+        ingest = make_ingest()
+        admission = ingest.submit(event("sess-nope"))
+        assert not admission
+        assert admission.reason is RejectReason.UNKNOWN_SESSION
+
+    def test_duplicate_session_rejected(self):
+        async def run():
+            ingest = make_ingest()
+            assert ingest.open_session(spec())
+            admission = ingest.open_session(spec())
+            assert admission.reason is RejectReason.DUPLICATE_SESSION
+
+        asyncio.run(run())
+
+    def test_session_limit_enforced(self):
+        async def run():
+            ingest = make_ingest(max_sessions=2)
+            assert ingest.open_session(spec(0))
+            assert ingest.open_session(spec(1))
+            admission = ingest.open_session(spec(2))
+            assert admission.reason is RejectReason.SESSION_LIMIT
+            assert ingest.sessions_rejected == {"session_limit": 1}
+
+        asyncio.run(run())
+
+    def test_closed_ingest_rejects_everything(self):
+        async def run():
+            ingest = make_ingest()
+            assert ingest.open_session(spec(0))
+            ingest.closed = True
+            assert (
+                ingest.open_session(spec(1)).reason is RejectReason.CLOSED
+            )
+            assert (
+                ingest.submit(event(spec(0).session_id)).reason
+                is RejectReason.CLOSED
+            )
+
+        asyncio.run(run())
+
+    def test_degraded_session_rejects_new_events(self):
+        async def run():
+            ingest = make_ingest()
+            sid = spec().session_id
+            assert ingest.open_session(spec())
+            ingest.mark_degraded(sid)
+            admission = ingest.submit(event(sid))
+            assert admission.reason is RejectReason.SESSION_DEGRADED
+
+        asyncio.run(run())
+
+
+class TestBackpressure:
+    def test_full_queue_rejects_queue_full(self):
+        async def run():
+            ingest = make_ingest(queue_depth=2)
+            sid = spec().session_id
+            assert ingest.open_session(spec())
+            assert ingest.submit(event(sid, t=0.0))
+            assert ingest.submit(event(sid, t=1.0))
+            admission = ingest.submit(event(sid, t=2.0))
+            assert admission.reason is RejectReason.QUEUE_FULL
+            # Draining one slot un-sticks the producer.
+            ingest.queue_for(sid).get_nowait()
+            assert ingest.submit(event(sid, t=3.0))
+
+        asyncio.run(run())
+
+    def test_rate_limit_uses_stream_time(self):
+        async def run():
+            ingest = make_ingest(
+                rate_bytes_per_s=100.0, burst_bytes=100, queue_depth=1024
+            )
+            sid = spec().session_id
+            assert ingest.open_session(spec())
+            assert ingest.submit(event(sid, t=0.0, sent=100))
+            limited = ingest.submit(event(sid, t=0.0, sent=100))
+            assert limited.reason is RejectReason.RATE_LIMITED
+            # Stream time (not wall time) refills the bucket.
+            assert ingest.submit(event(sid, t=1.0, sent=100))
+
+        asyncio.run(run())
+
+
+class TestRejectionAccounting:
+    def test_every_submission_is_counted(self):
+        async def run():
+            ingest = make_ingest(queue_depth=1)
+            sid = spec().session_id
+            assert ingest.open_session(spec())
+            assert ingest.submit(event(sid, t=0.0, sent=10))
+            assert not ingest.submit(event(sid, t=1.0, sent=20))
+            assert not ingest.submit(event("sess-ghost", t=2.0, sent=30))
+            assert ingest.received_events == 3
+            assert ingest.received_bytes == 60
+            assert ingest.accepted_bytes == 10
+            assert ingest.rejected_bytes == {
+                "queue_full": 20,
+                "unknown_session": 30,
+            }
+            # The metering identity the accounting table relies on.
+            assert (
+                ingest.received_bytes
+                == ingest.accepted_bytes + ingest.rejected_bytes_total
+            )
+
+        asyncio.run(run())

@@ -1,0 +1,91 @@
+"""The synthetic load driver behind ``run service-load`` and CI smoke."""
+
+import pytest
+
+from repro.service import (
+    LoadProfile,
+    ServiceConfig,
+    generate_session_events,
+    render_service_report,
+    run_service_load,
+)
+
+
+SMALL = LoadProfile(sessions=4, events_per_session=12)
+FAST_CFG = ServiceConfig(
+    cycle_duration=10.0, cdr_period=5.0, attest_batch=8
+)
+
+
+class TestLoadGeneration:
+    def test_streams_are_deterministic(self):
+        a = generate_session_events(SMALL, 2)
+        b = generate_session_events(SMALL, 2)
+        assert a == b
+
+    def test_sessions_draw_independent_streams(self):
+        _, first = generate_session_events(SMALL, 0)
+        _, second = generate_session_events(SMALL, 1)
+        assert [e.sent_bytes for e in first] != [
+            e.sent_bytes for e in second
+        ]
+
+    def test_timestamps_are_monotone(self):
+        _, events = generate_session_events(SMALL, 0)
+        times = [e.timestamp for e in events]
+        assert times == sorted(times)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"sessions": 0},
+        {"events_per_session": 0},
+        {"event_interval": 0.0},
+        {"loss_rate": 1.0},
+        {"loss_rate": -0.1},
+    ])
+    def test_invalid_profiles_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            LoadProfile(**kwargs)
+
+
+class TestServiceLoadRun:
+    def test_small_campaign_passes_every_verdict(self):
+        report = run_service_load(SMALL, FAST_CFG)
+        assert report.reconciles
+        assert report.residual == 0
+        assert report.batch_equivalent
+        assert report.clean_shutdown
+        assert report.batch_attested_pocs >= 1
+        assert report.sign_ops == report.batches_sealed
+        assert report.settlements >= SMALL.sessions
+        assert report.degraded_sessions == 0
+
+    def test_repeat_runs_settle_identically(self):
+        first = run_service_load(SMALL, FAST_CFG)
+        second = run_service_load(SMALL, FAST_CFG)
+        assert first.settled_volume == second.settled_volume
+        assert first.claims_attested == second.claims_attested
+        assert first.snapshot["accounting"] == (
+            second.snapshot["accounting"]
+        )
+
+    def test_report_renders_ci_greppable_lines(self):
+        report = run_service_load(SMALL, FAST_CFG)
+        text = render_service_report(report)
+        assert "reconciles exactly: yes" in text
+        assert "identical to equivalent batch run: yes" in text
+        assert "batch-attested PoCs:" in text
+        assert "clean shutdown: yes" in text
+        assert "NO" not in text
+
+    def test_queue_pressure_resolves_via_backpressure(self):
+        tight = ServiceConfig(
+            cycle_duration=10.0,
+            cdr_period=5.0,
+            
+            queue_depth=2,
+        )
+        report = run_service_load(SMALL, tight)
+        # QUEUE_FULL retries may happen, but every event lands and the
+        # identity still closes.
+        assert report.reconciles
+        assert report.batch_equivalent

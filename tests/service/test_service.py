@@ -1,0 +1,251 @@
+"""The asyncio service shell: equivalence, accounting, fault barrier."""
+
+import asyncio
+
+import pytest
+
+from repro.service import (
+    ChargingService,
+    RejectReason,
+    ServiceConfig,
+    ServiceHooks,
+    SessionSpec,
+    UsageEvent,
+)
+
+
+CFG = ServiceConfig(
+    cycle_duration=10.0, cdr_period=5.0, attest_batch=8
+)
+
+
+def stream(sid, n, start=0.0, step=1.0, sent=1000, lost=100):
+    return [
+        UsageEvent(
+            session_id=sid,
+            timestamp=start + i * step,
+            sent_bytes=sent,
+            lost_bytes=lost,
+        )
+        for i in range(n)
+    ]
+
+
+async def drive(service, specs, streams):
+    async def one(spec, events):
+        for e in events:
+            while True:
+                admission = service.submit(e)
+                if admission or (
+                    admission.reason is not RejectReason.QUEUE_FULL
+                ):
+                    break
+                await asyncio.sleep(0)
+            await asyncio.sleep(0)
+        await service.close_session(spec.session_id)
+
+    for spec in specs:
+        assert service.open_session(spec)
+    await asyncio.gather(
+        *(one(s, ev) for s, ev in zip(specs, streams))
+    )
+
+
+def run_service(config=CFG, sessions=3, n=25, hooks=None, streams=None):
+    async def main():
+        service = ChargingService(config, hooks=hooks)
+        specs = [SessionSpec.indexed(i) for i in range(sessions)]
+        evs = streams or [
+            stream(s.session_id, n, step=1.0 + 0.05 * i)
+            for i, s in enumerate(specs)
+        ]
+        await drive(service, specs, evs)
+        await service.shutdown()
+        return service
+
+    return asyncio.run(main())
+
+
+class TestServiceSettlement:
+    def test_concurrent_sessions_all_settle(self):
+        service = run_service()
+        settled_sessions = {sid for sid, _cycle in service.settlements}
+        assert len(settled_sessions) == 3
+        assert all(
+            volume is not None
+            for volume in service.settlements.values()
+        )
+
+    def test_settlements_match_equivalent_batch_run(self):
+        service = run_service()
+        assert service.verify_batch_equivalence()
+
+    def test_rerun_is_byte_identical(self):
+        first = run_service()
+        second = run_service()
+        assert first.settlements == second.settlements
+        assert first.snapshot() == second.snapshot()
+
+
+class TestServiceAccounting:
+    def test_exact_reconciliation_clean_run(self):
+        service = run_service()
+        table = service.accounting()
+        assert table.reconciles
+        assert table.residual == 0
+
+    def test_reconciliation_survives_rejections(self):
+        config = ServiceConfig(
+            cycle_duration=10.0,
+            cdr_period=5.0,
+            
+            rate_bytes_per_s=500.0,
+            burst_bytes=1000,
+            queue_depth=4,
+        )
+        service = run_service(config=config)
+        table = service.accounting()
+        rejected = service.ingest.rejected_bytes
+        assert rejected.get("rate_limited"), "load never hit the limiter"
+        assert table.reconciles
+        assert (
+            table.counted
+            == service.ingest.accepted_bytes
+            + service.ingest.rejected_bytes_total
+        )
+
+    def test_unknown_session_bytes_are_counted_losses(self):
+        async def main():
+            service = ChargingService(CFG)
+            spec = SessionSpec.indexed(0)
+            assert service.open_session(spec)
+            service.submit(UsageEvent("sess-ghost", 0.0, 777, 0))
+            for e in stream(spec.session_id, 5):
+                service.submit(e)
+            await service.close_session(spec.session_id)
+            await service.shutdown()
+            return service
+
+        service = asyncio.run(main())
+        table = service.accounting()
+        assert table.reconciles
+        assert (
+            service.ingest.rejected_bytes["unknown_session"] == 777
+        )
+
+
+class TestFaultMiddleware:
+    def fault_hooks(self, victim, at_event):
+        count = {"n": 0}
+
+        def on_event(state, event):
+            if state.spec.session_id != victim:
+                return
+            count["n"] += 1
+            if count["n"] == at_event:
+                raise RuntimeError("injected mid-stream fault")
+
+        return ServiceHooks(on_event=on_event)
+
+    def test_one_faulting_session_degrades_only_itself(self):
+        victim = SessionSpec.indexed(1).session_id
+        service = run_service(hooks=self.fault_hooks(victim, at_event=7))
+        assert service.degraded.degraded_sessions == 1
+        assert victim in service.degraded.reasons
+        assert "injected mid-stream fault" in (
+            service.degraded.reasons[victim]
+        )
+        # The other two sessions settled normally.
+        survivors = {
+            sid for sid, _ in service.settlements if sid != victim
+        }
+        assert len(survivors) == 2
+
+    def test_accounting_identity_survives_the_fault(self):
+        victim = SessionSpec.indexed(0).session_id
+        service = run_service(hooks=self.fault_hooks(victim, at_event=3))
+        table = service.accounting()
+        assert table.reconciles
+        assert service.degraded.dropped_bytes > 0
+        losses = {
+            reason
+            for row in table.rows
+            for reason in row.dropped
+        }
+        assert "session_degraded" in losses
+
+    def test_batch_equivalence_holds_for_survivors(self):
+        victim = SessionSpec.indexed(2).session_id
+        service = run_service(hooks=self.fault_hooks(victim, at_event=5))
+        assert service.verify_batch_equivalence()
+
+    def test_ingest_rejects_degraded_session_afterwards(self):
+        async def main():
+            victim_spec = SessionSpec.indexed(0)
+            victim = victim_spec.session_id
+            service = ChargingService(
+                CFG, hooks=self.fault_hooks(victim, at_event=2)
+            )
+            assert service.open_session(victim_spec)
+            for e in stream(victim, 4):
+                service.submit(e)
+            await service.ingest.end_session(victim)
+            await service._workers[victim]
+            admission = service.submit(
+                UsageEvent(victim, 50.0, 100, 0)
+            )
+            assert admission.reason in (
+                RejectReason.SESSION_DEGRADED, RejectReason.CLOSED
+            )
+            await service.shutdown()
+
+        asyncio.run(main())
+
+
+class TestLifecycle:
+    def test_shutdown_is_idempotent(self):
+        async def main():
+            service = ChargingService(CFG)
+            spec = SessionSpec.indexed(0)
+            assert service.open_session(spec)
+            for e in stream(spec.session_id, 5):
+                service.submit(e)
+            first = await service.shutdown()
+            second = await service.shutdown()
+            assert first == second
+            return service
+
+        asyncio.run(main())
+
+    def test_open_after_shutdown_raises(self):
+        async def main():
+            service = ChargingService(CFG)
+            await service.shutdown()
+            with pytest.raises(RuntimeError):
+                service.open_session(SessionSpec.indexed(0))
+
+        asyncio.run(main())
+
+    def test_shutdown_drains_unclosed_sessions(self):
+        async def main():
+            service = ChargingService(CFG)
+            spec = SessionSpec.indexed(0)
+            assert service.open_session(spec)
+            for e in stream(spec.session_id, 12):
+                service.submit(e)
+            snapshot = await service.shutdown()
+            return service, snapshot
+
+        service, snapshot = asyncio.run(main())
+        assert service.settlements  # the open cycle still settled
+        assert snapshot["accounting"]["reconciles"]
+
+    def test_session_status_merges_core_and_verifier(self):
+        service = run_service(sessions=1)
+        sid = SessionSpec.indexed(0).session_id
+        status = service.session_status(sid)
+        assert status["known"]
+        assert status["status"] == "closed"
+        assert status["events_processed"] == 25
+        assert status["pocs_ok"] >= 1
+        assert status["last_volume"] is not None
