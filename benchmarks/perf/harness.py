@@ -92,13 +92,16 @@ from typing import Callable, Iterable, Mapping
 
 from benchmarks.perf.workloads import WORKLOADS, WorkloadSample
 
-REPORT_VERSION = 4
+REPORT_VERSION = 5
 
 #: Older reports the loader still accepts (v2 lacks the scaling
-#: section, v3 lacks per-point ``per_ue_ms``/``n_ues``, but both are
-#: otherwise schema-compatible, so a committed older baseline keeps
-#: gating until regenerated).
-COMPATIBLE_VERSIONS = (2, 3, 4)
+#: section, v3 lacks per-point ``per_ue_ms``/``n_ues``, v4 lacks the
+#: schedule/``cpu_per_ue_ms`` split — and v4's ``per_ue_ms`` meant
+#: summed per-core compute, not wall, so cross-version per-UE
+#: comparisons are apples-to-oranges — but all are otherwise
+#: schema-compatible, so a committed older baseline keeps gating
+#: until regenerated).
+COMPATIBLE_VERSIONS = (2, 3, 4, 5)
 
 #: The canonical report location: the repository root.
 REPORT_PATH = Path(__file__).resolve().parents[2] / "BENCH_perf.json"
@@ -207,18 +210,27 @@ def run_scaling(
     ues: int | None = None,
     shard_counts: Iterable[int] | None = None,
     headline_ues: int | None = None,
+    schedule: str | None = None,
+    chunk_ues: int | None = None,
 ) -> dict:
     """Measure the ``million_ue`` cell across shard counts.
 
     Each point re-runs the same population (same seed) through
-    :func:`repro.experiments.sharding.run_sharded_scenario` on a fresh
-    uncached engine with one worker process per shard, recording wall
-    clock, event/byte rates, peak worker RSS, the merged accounting
-    identity, and whether the merged state is byte-identical to the
-    first point's (``matches_first`` — the shard-count invariance).
-    ``MILLION_UE_SCALING_UES`` / ``MILLION_UE_SHARDS`` override the
-    grid (distinct from ``MILLION_UE_UES``, which sizes the small
-    timed ``million_ue`` workload of the regression gate).
+    :func:`repro.experiments.sharding.run_sharded_scenario` on one
+    shared warm pool — by default the work-stealing chunk scheduler
+    on a **skewed heterogeneous** population (the load shape stealing
+    exists for) — recording wall clock, summed worker compute
+    (``cpu_s``), event/byte rates, peak worker RSS, the merged
+    accounting identity, and whether the merged state is
+    byte-identical to the first point's (``matches_first`` — the
+    shard-count invariance, which must hold across schedules and
+    chunk sizes too).  ``MILLION_UE_SCALING_UES`` /
+    ``MILLION_UE_SHARDS`` / ``MILLION_UE_SCHEDULE`` /
+    ``MILLION_UE_CHUNK_UES`` override the grid (distinct from
+    ``MILLION_UE_UES``, which sizes the small timed ``million_ue``
+    workload of the regression gate).  The section records
+    ``cpu_count`` so a reader can tell real parallel speedup from the
+    time-slicing a one-core runner necessarily shows.
 
     ``MILLION_UE_HEADLINE=<n_ues>`` (``headline_ues`` here) appends
     the paper-scale point: the same cell at that population under
@@ -231,7 +243,10 @@ def run_scaling(
     """
     from dataclasses import replace
 
-    from benchmarks.perf.workloads import million_ue_config
+    from benchmarks.perf.workloads import (
+        million_ue_config,
+        million_ue_hetero_config,
+    )
     from repro.experiments.sharding import scaling_curve
 
     if ues is None:
@@ -247,23 +262,34 @@ def run_scaling(
         )
     if headline_ues is None:
         headline_ues = int(os.environ.get("MILLION_UE_HEADLINE", "0"))
-    points = scaling_curve(million_ue_config(ues), shard_counts)
+    if schedule is None:
+        schedule = os.environ.get("MILLION_UE_SCHEDULE", "steal")
+    if chunk_ues is None:
+        raw = os.environ.get("MILLION_UE_CHUNK_UES")
+        chunk_ues = int(raw) if raw else None
+    config = million_ue_hetero_config(ues)
+    points = scaling_curve(
+        config, shard_counts, schedule=schedule, chunk_ues=chunk_ues
+    )
     rows = [point.as_dict() for point in points]
     invariant = all(
         point.matches_first and point.reconciles for point in points
     )
     if headline_ues:
-        config = replace(
+        headline_config = replace(
             million_ue_config(headline_ues), mode="analytic"
         )
-        headline = scaling_curve(config, (1,))[0]
+        headline = scaling_curve(headline_config, (1,))[0]
         row = headline.as_dict()
         row["mode"] = "analytic"
         rows.append(row)
         invariant = invariant and headline.reconciles
     return {
-        "workload": "million_ue",
+        "workload": "million_ue_hetero",
         "n_ues": ues,
+        "schedule": schedule,
+        "chunk_ues": chunk_ues,
+        "cpu_count": os.cpu_count(),
         "points": rows,
         "invariant": invariant,
     }

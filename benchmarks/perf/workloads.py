@@ -214,6 +214,45 @@ def million_ue_config(n_ues: int) -> ScenarioConfig:
     )
 
 
+def million_ue_hetero_config(n_ues: int) -> ScenarioConfig:
+    """A **skewed heterogeneous** population cell: the load shape the
+    work-stealing scheduler exists for.
+
+    One quarter of the UEs are congested downlink VR sessions (heavy:
+    a loaded bottleneck on ~20-packet frames, several times the
+    compute of a clean cycle, ``weight=4``); the rest are cloud-gaming
+    sessions on a weak radio (light).  Both apps are downlink, so the
+    merged cell keeps a single charging direction.  A static
+    contiguous partition puts whole heavy stretches on single shards
+    and stalls on them; chunked stealing balances the same cell.  The
+    merged result is still byte-identical at every worker count,
+    schedule, and chunk size.
+    """
+    from repro.experiments.scenario import PopulationGroup
+
+    heavy = max(1, n_ues // 4)
+    groups = [
+        PopulationGroup(
+            count=heavy, app="vridge", background_bps=120e6, weight=4.0
+        )
+    ]
+    if n_ues > heavy:
+        groups.append(
+            PopulationGroup(
+                count=n_ues - heavy, app="gaming", rss_dbm=-95.0
+            )
+        )
+    return ScenarioConfig(
+        app="vridge",
+        seed=_SEED,
+        cycle_duration=2.0,
+        mode="fluid",
+        telemetry=True,
+        n_ues=n_ues,
+        population=tuple(groups),
+    )
+
+
 def million_ue() -> WorkloadSample:
     """A population cell folded in-process through the shard merge.
 

@@ -360,24 +360,31 @@ def _faults(fast: bool) -> str:
     return fault_tolerance.render_fault_report(results)
 
 
-# ``run scale --ues N --shards A,B,C [--mode M]`` overrides, set by
-# main() and cleared in its finally block (same pattern as the
-# fault-plan override).
+# ``run scale --ues N --shards A,B,C [--mode M] [--schedule S]
+# [--chunk-ues C]`` overrides, set by main() and cleared in its
+# finally block (same pattern as the fault-plan override).
 _scale_ues: int | None = None
 _scale_shards: tuple[int, ...] | None = None
 _scale_mode: str | None = None
+_scale_schedule: str | None = None
+_scale_chunk_ues: int | None = None
 
 
 def set_scale_override(
     ues: int | None,
     shards: tuple[int, ...] | None,
     mode: str | None = None,
+    schedule: str | None = None,
+    chunk_ues: int | None = None,
 ) -> None:
     """Override the ``scale`` experiment's population / shard grid."""
     global _scale_ues, _scale_shards, _scale_mode
+    global _scale_schedule, _scale_chunk_ues
     _scale_ues = ues
     _scale_shards = shards
     _scale_mode = mode
+    _scale_schedule = schedule
+    _scale_chunk_ues = chunk_ues
 
 
 def _scale(fast: bool) -> str:
@@ -388,9 +395,11 @@ def _scale(fast: bool) -> str:
     the merge-invariant contract: every shard count must produce the
     byte-identical merged accounting table and Algorithm 1 settlement.
     ``--ues``/``--shards`` set the population and the shard-count
-    grid; ``--mode`` picks the advancement mode (default fluid).
+    grid; ``--mode`` picks the advancement mode (default fluid);
+    ``--schedule`` picks the fan-out strategy (default: the
+    work-stealing chunk scheduler) and ``--chunk-ues`` its chunk size.
     Merged totals depend only on the seed, the population, and the
-    mode, never on the shard count.
+    mode — never on the shard count, the schedule, or the chunk size.
     """
     from repro.experiments.sharding import scaling_curve
 
@@ -401,6 +410,7 @@ def _scale(fast: bool) -> str:
         else ((1, 2, 4) if fast else (1, 2, 4, 8))
     )
     mode = _scale_mode if _scale_mode is not None else "fluid"
+    schedule = _scale_schedule if _scale_schedule is not None else "steal"
     config = ScenarioConfig(
         app="webcam-udp",
         seed=42,
@@ -409,15 +419,19 @@ def _scale(fast: bool) -> str:
         telemetry=True,
         n_ues=ues,
     )
-    points = scaling_curve(config, shard_counts)
+    points = scaling_curve(
+        config, shard_counts, schedule=schedule, chunk_ues=_scale_chunk_ues
+    )
     table = render_table(
-        ["shards", "wall s", "ms/UE", "events/s", "app MB/s",
-         "peak RSS MB", "reconciles", "settled B", "invariant"],
+        ["shards", "wall s", "ms/UE", "cpu ms/UE", "events/s",
+         "app MB/s", "peak RSS MB", "reconciles", "settled B",
+         "invariant"],
         [
             [
                 p.shards,
                 f"{p.wall_s:.2f}",
                 f"{p.per_ue_ms:.3f}",
+                f"{p.cpu_per_ue_ms:.3f}",
                 f"{p.events_per_sec:,.0f}",
                 f"{p.bytes_per_sec / 1e6:.1f}",
                 f"{p.rss_max_bytes / 1e6:.1f}",
@@ -434,7 +448,12 @@ def _scale(fast: bool) -> str:
         if ok
         else "MERGE INVARIANT VIOLATED — shard counts disagree"
     )
-    return f"{ues:,} UEs per point, mode={mode}\n{table}\n{verdict}"
+    chunk = "auto" if _scale_chunk_ues is None else _scale_chunk_ues
+    header = (
+        f"{ues:,} UEs per point, mode={mode}, schedule={schedule}"
+        + (f", chunk_ues={chunk}" if schedule == "steal" else "")
+    )
+    return f"{header}\n{table}\n{verdict}"
 
 
 def _service_load(fast: bool) -> str:
@@ -628,6 +647,24 @@ def build_parser() -> argparse.ArgumentParser:
         "'1,2,4,8'; merged results are byte-identical for every count",
     )
     run.add_argument(
+        "--schedule",
+        default=None,
+        choices=("static", "steal"),
+        help="fan-out strategy for the 'scale' experiment: 'steal' "
+        "(default) pulls small UE chunks through the work-stealing "
+        "scheduler's warm workers; 'static' runs one contiguous range "
+        "per shard on the campaign engine",
+    )
+    run.add_argument(
+        "--chunk-ues",
+        type=int,
+        default=None,
+        metavar="N",
+        help="UEs per work-stealing chunk for the 'scale' experiment "
+        "(default: auto-sized, ~8 chunks per worker); only valid with "
+        "--schedule steal",
+    )
+    run.add_argument(
         "--fail-fast",
         action="store_true",
         help="abort the whole run on the first failing scenario "
@@ -814,10 +851,26 @@ def main(argv: list[str] | None = None) -> int:
             return 2
     else:
         shard_counts = None
+    chunk_ues = getattr(args, "chunk_ues", None)
+    if chunk_ues is not None and chunk_ues < 1:
+        print(
+            f"--chunk-ues must be a positive integer, got {chunk_ues}",
+            file=sys.stderr,
+        )
+        return 2
+    schedule = getattr(args, "schedule", None)
+    if chunk_ues is not None and schedule == "static":
+        print(
+            "--chunk-ues only applies to --schedule steal",
+            file=sys.stderr,
+        )
+        return 2
     set_scale_override(
         getattr(args, "ues", None),
         shard_counts,
         getattr(args, "mode", None),
+        schedule,
+        chunk_ues,
     )
     collect = metrics_out is not None or trace_out is not None
     engine = CampaignEngine(
@@ -866,7 +919,7 @@ def main(argv: list[str] | None = None) -> int:
             profiler.disable()
         set_default_engine(None)
         fault_tolerance.set_plan_override(None)
-        set_scale_override(None, None, None)
+        set_scale_override(None, None, None, None, None)
         if trace_sink is not None:
             _drain_trace()
             trace_sink.close()

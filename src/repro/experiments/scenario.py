@@ -95,6 +95,72 @@ class ChargingScheme(enum.Enum):
     TLC_HONEST = "tlc-honest"
 
 
+@dataclass(frozen=True)
+class PopulationGroup:
+    """A contiguous slice of a heterogeneous UE population.
+
+    ``ScenarioConfig(population=(g0, g1, ...))`` lays the groups out in
+    order: group 0 covers UE indices ``[0, g0.count)``, group 1 the next
+    ``g1.count`` indices, and so on.  Every ``None`` field inherits the
+    cell-level value, so a group only states what makes it different —
+    a congested app mix, a worse radio, a lossier workload.  All groups
+    must share one traffic direction (the accounting tables and the
+    gateway/OFCS boundary are per-direction).
+
+    ``weight`` is the scheduler's relative per-UE cost hint: the
+    work-stealing shard scheduler (:mod:`repro.experiments.scheduler`)
+    dispatches expensive chunks first (longest-processing-time order),
+    so a skewed population stops gating the run on whichever worker
+    drew the heavy UEs last.  The weight never affects simulation
+    results — per-UE seeds depend only on ``(cell seed, UE index)``.
+    """
+
+    count: int
+    app: str | None = None
+    rss_dbm: float | None = None
+    background_bps: float | None = None
+    disconnectivity_ratio: float | None = None
+    app_loss_rate: float | None = None
+    weight: float = 1.0
+
+    #: The ScenarioConfig fields a group may override, in field order.
+    OVERRIDE_FIELDS = (
+        "app",
+        "rss_dbm",
+        "background_bps",
+        "disconnectivity_ratio",
+        "app_loss_rate",
+    )
+
+    def __post_init__(self) -> None:
+        if (
+            isinstance(self.count, bool)
+            or not isinstance(self.count, int)
+            or self.count < 1
+        ):
+            raise ValueError(
+                f"population group count must be an int >= 1: "
+                f"{self.count!r}"
+            )
+        if self.app is not None and self.app not in APP_BUILDERS:
+            raise ValueError(
+                f"unknown app {self.app!r} in population group; choose "
+                f"from {sorted(APP_BUILDERS)}"
+            )
+        if not self.weight > 0:
+            raise ValueError(
+                f"population group weight must be > 0: {self.weight!r}"
+            )
+
+    def overrides(self) -> dict:
+        """The non-``None`` ScenarioConfig field overrides."""
+        return {
+            name: getattr(self, name)
+            for name in self.OVERRIDE_FIELDS
+            if getattr(self, name) is not None
+        }
+
+
 #: Every data-plane granularity a scenario can run at, in order of
 #: increasing aggregation (and decreasing event count):
 #:
@@ -163,6 +229,16 @@ class ScenarioConfig:
     # docs/architecture.md.  Merged totals depend only on (seed,
     # n_ues), never on how the population is sharded.
     n_ues: int = 1
+    # Heterogeneous population: an ordered tuple of PopulationGroup
+    # slices mixing apps / radio / load within one cell.  None is the
+    # homogeneous cell (every UE inherits the cell-level fields).  When
+    # set, the group counts must sum to ``n_ues`` (or ``n_ues`` may be
+    # left at its default and is derived from the groups).  UE ``i``'s
+    # sub-simulation config is the cell config plus its group's
+    # overrides — the seed stays ``derive_seed(seed, "ue", i)``, so the
+    # merge-invariant contract is unchanged: merged totals depend only
+    # on (seed, population layout), never on sharding or scheduling.
+    population: tuple | None = None
 
     EDGE_CLOCK_STD_FRACTION = 0.015
     OPERATOR_CLOCK_STD_FRACTION = 0.025
@@ -202,11 +278,93 @@ class ScenarioConfig:
             raise ValueError(
                 f"n_ues must be an int >= 1: {self.n_ues!r}"
             )
+        if self.population is not None:
+            groups = []
+            for entry in self.population:
+                if isinstance(entry, PopulationGroup):
+                    groups.append(entry)
+                elif isinstance(entry, dict):
+                    groups.append(PopulationGroup(**entry))
+                else:
+                    raise ValueError(
+                        f"population entries must be PopulationGroup "
+                        f"(or mappings of its fields): {entry!r}"
+                    )
+            if not groups:
+                raise ValueError("population must name at least one group")
+            total = sum(group.count for group in groups)
+            if self.n_ues not in (1, total):
+                raise ValueError(
+                    f"population groups cover {total} UEs but "
+                    f"n_ues={self.n_ues}; drop n_ues or make them agree"
+                )
+            directions = {
+                APP_DIRECTIONS[group.app or self.app] for group in groups
+            }
+            if len(directions) != 1:
+                raise ValueError(
+                    "population groups mix traffic directions "
+                    f"({sorted(d.value for d in directions)}); the "
+                    "gateway/OFCS accounting boundary is per-direction, "
+                    "so one cell must stay uplink-only or downlink-only"
+                )
+            self.population = tuple(groups)
+            self.n_ues = total
 
     @property
     def direction(self) -> Direction:
-        """The app's traffic direction."""
+        """The cell's traffic direction (groups never mix directions)."""
+        if self.population:
+            return APP_DIRECTIONS[self.population[0].app or self.app]
         return APP_DIRECTIONS[self.app]
+
+    # -- heterogeneous-population resolution ----------------------------
+
+    def group_for(self, index: int) -> PopulationGroup | None:
+        """UE ``index``'s population group (None for homogeneous cells)."""
+        if self.population is None:
+            return None
+        if not 0 <= index < self.n_ues:
+            raise IndexError(
+                f"UE index {index} outside population [0, {self.n_ues})"
+            )
+        start = 0
+        for group in self.population:
+            start += group.count
+            if index < start:
+                return group
+        raise AssertionError("group counts no longer cover n_ues")
+
+    def ue_overrides(self, index: int) -> dict:
+        """The ScenarioConfig field overrides of UE ``index``."""
+        group = self.group_for(index)
+        return group.overrides() if group is not None else {}
+
+    def weight_between(self, start: int, stop: int) -> float:
+        """Scheduler cost estimate of UEs ``[start, stop)``.
+
+        The sum of per-UE group weights over the range, computed from
+        the group boundaries (never by expanding the population).  A
+        homogeneous cell weighs every UE at 1.0.
+        """
+        if not 0 <= start <= stop <= self.n_ues:
+            raise ValueError(
+                f"UE range [{start}, {stop}) outside population "
+                f"[0, {self.n_ues}]"
+            )
+        if self.population is None:
+            return float(stop - start)
+        total = 0.0
+        cursor = 0
+        for group in self.population:
+            lo = max(start, cursor)
+            hi = min(stop, cursor + group.count)
+            if hi > lo:
+                total += group.weight * (hi - lo)
+            cursor += group.count
+            if cursor >= stop:
+                break
+        return total
 
 
 @dataclass

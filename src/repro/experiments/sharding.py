@@ -105,16 +105,21 @@ def per_ue_config(scenario: ScenarioConfig, index: int) -> ScenarioConfig:
 
     The UE's root seed depends only on ``(scenario.seed, index)`` — not
     on the shard layout — which is the whole merge-invariant contract.
-    Live trace sinks are stripped: per-UE JSONL streams from many
-    worker processes cannot interleave into one meaningful file (the
-    in-memory metric snapshots are what merge).
+    A heterogeneous cell additionally applies the UE's population-group
+    overrides (app/radio/load mix), which depend only on the index too,
+    so the contract survives heterogeneity unchanged.  Live trace sinks
+    are stripped: per-UE JSONL streams from many worker processes
+    cannot interleave into one meaningful file (the in-memory metric
+    snapshots are what merge).
     """
     return replace(
         scenario,
         seed=derive_seed(scenario.seed, "ue", index),
         n_ues=1,
+        population=None,
         trace=False,
         trace_path=None,
+        **scenario.ue_overrides(index),
     )
 
 
@@ -159,7 +164,12 @@ class ShardResult:
     ue_stop: int
     charging: ChargingAggregate
     duration: float
-    outage_time: float = 0.0
+    #: Summed UE outage time in integer nanoseconds.  Quantizing once
+    #: per UE makes the sum exact, so the merged total is independent
+    #: of how UEs were grouped into chunks/workers — float-second sums
+    #: would pick up ulp-level differences under the work-stealing
+    #: scheduler's nondeterministic chunk-to-worker assignment.
+    outage_ns: int = 0
     rlf_events: int = 0
     counter_checks: int = 0
     generated_bytes: int = 0
@@ -170,6 +180,11 @@ class ShardResult:
     #: Shard compute wall-clock (seconds) and worker peak RSS (bytes).
     wall_s: float = 0.0
     rss_max_bytes: int = 0
+
+    @property
+    def outage_time(self) -> float:
+        """Summed UE outage time in seconds."""
+        return self.outage_ns / 1e9
 
     def merge(self, other: "ShardResult") -> "ShardResult":
         """Fold ``other`` into a combined result (associative)."""
@@ -190,7 +205,7 @@ class ShardResult:
             ue_stop=max(self.ue_stop, other.ue_stop),
             charging=self.charging.merge(other.charging),
             duration=max(self.duration, other.duration),
-            outage_time=self.outage_time + other.outage_time,
+            outage_ns=self.outage_ns + other.outage_ns,
             rlf_events=self.rlf_events + other.rlf_events,
             counter_checks=self.counter_checks + other.counter_checks,
             generated_bytes=self.generated_bytes + other.generated_bytes,
@@ -219,7 +234,7 @@ def _fold_ues(
     snapshots = SnapshotAccumulator()
     metered = False
     direction = scenario.direction.value
-    outage_time = 0.0
+    outage_ns = 0
     rlf_events = 0
     counter_checks = 0
     generated_bytes = 0
@@ -236,7 +251,7 @@ def _fold_ues(
                 ue_count=1,
             )
         )
-        outage_time += result.outage_time
+        outage_ns += round(result.outage_time * 1e9)
         rlf_events += result.rlf_events
         counter_checks += result.counter_checks
         generated_bytes += result.generated_bytes
@@ -250,7 +265,7 @@ def _fold_ues(
         ue_stop=ue_stop,
         charging=charging,
         duration=scenario.cycle_duration,
-        outage_time=outage_time,
+        outage_ns=outage_ns,
         rlf_events=rlf_events,
         counter_checks=counter_checks,
         generated_bytes=generated_bytes,
@@ -308,6 +323,8 @@ def _merged_scenario_result(
     merged: ShardResult,
     per_shard: list[dict[str, Any]] | None = None,
     shards: int = 1,
+    schedule: str = "static",
+    scheduler_info: dict[str, Any] | None = None,
 ) -> ScenarioResult:
     """Assemble the population-level :class:`ScenarioResult`."""
     extras: dict[str, Any] = {
@@ -316,11 +333,14 @@ def _merged_scenario_result(
         "sharding": {
             "shards": shards,
             "n_ues": config.n_ues,
+            "schedule": schedule,
             "rss_max_bytes": merged.rss_max_bytes,
             "compute_seconds": merged.wall_s,
             "per_shard": per_shard or [],
         },
     }
+    if scheduler_info:
+        extras["sharding"].update(scheduler_info)
     if merged.metrics is not None:
         extras["telemetry"] = {
             "direction": merged.direction,
@@ -366,21 +386,56 @@ def run_sharded_scenario(
     config: ScenarioConfig,
     shards: int,
     engine: CampaignEngine | None = None,
+    schedule: str = "static",
+    chunk_ues: int | None = None,
+    scheduler=None,
 ) -> ScenarioResult:
     """Run a population cell as ``shards`` sub-simulations and merge.
 
-    The shards execute through ``engine`` (default: the process-wide
-    campaign engine), so ``CampaignEngine(workers=N)`` fans them out
-    over N processes and a configured cache serves repeated shard
-    ranges without recomputing.  A failing shard surfaces as the
-    engine's :class:`~repro.experiments.campaign.CampaignTaskError`
-    naming the shard's config hash; a partial population is never
-    silently merged.
+    ``schedule`` picks the fan-out strategy:
+
+    - ``"static"`` (default) — the PR 7 path: one contiguous UE range
+      per shard through ``engine`` (default: the process-wide campaign
+      engine), so ``CampaignEngine(workers=N)`` fans them out over N
+      processes and a configured cache serves repeated shard ranges
+      without recomputing.  Simple, cacheable, but a straggler shard
+      gates the whole run.
+    - ``"steal"`` — the work-stealing chunk scheduler
+      (:mod:`repro.experiments.scheduler`): the population splits into
+      many small chunks (``chunk_ues`` per chunk, auto-sized by
+      default) pulled by ``shards`` persistent warm workers from one
+      shared queue, heaviest chunks first.  The base config ships once
+      per worker; chunk descriptors are a few bytes.  ``scheduler``
+      reuses an existing :class:`~repro.experiments.scheduler.StealingScheduler`
+      pool across runs.
+
+    Both schedules produce the byte-identical merged result (the
+    merge-invariant contract: per-UE seeds depend only on the cell seed
+    and UE index).  A failing shard or chunk surfaces as
+    :class:`~repro.experiments.campaign.CampaignTaskError` naming the
+    failed range's config hash; a partial population is never silently
+    merged.
     """
     if config.trace or config.trace_path is not None:
         raise ValueError(
             "population runs merge metric snapshots, not trace streams; "
             "run with trace off (or trace a single-UE scenario)"
+        )
+    if schedule not in ("static", "steal"):
+        raise ValueError(
+            f"unknown schedule {schedule!r}; choose 'static' or 'steal'"
+        )
+    if schedule == "steal":
+        from repro.experiments.scheduler import run_stealing_scenario
+
+        return run_stealing_scenario(
+            config, workers=shards, chunk_ues=chunk_ues,
+            scheduler=scheduler,
+        )
+    if chunk_ues is not None:
+        raise ValueError(
+            "chunk_ues only applies to schedule='steal'; the static "
+            "schedule always runs one contiguous range per shard"
         )
     tasks = shard_tasks(config, shards)
     engine = resolve_engine(engine)
@@ -433,6 +488,11 @@ class ScalingPoint:
     #: Does this point's merged state equal the first point's?  (The
     #: shard-count-invariance check; always True for a correct build.)
     matches_first: bool = True
+    #: Summed worker compute seconds (Σ per-shard/per-chunk wall), the
+    #: CPU cost the run would pay single-threaded.
+    cpu_s: float = 0.0
+    schedule: str = "static"
+    chunk_ues: int | None = None
 
     @property
     def events_per_sec(self) -> float:
@@ -446,27 +506,47 @@ class ScalingPoint:
 
     @property
     def per_ue_ms(self) -> float:
-        """Compute milliseconds per UE, normalized by parallelism.
+        """Wall-clock milliseconds per UE — what the operator waits.
 
-        ``wall_s × shards ÷ n_ues`` — the cost of one UE if every shard
-        ran on its own core, i.e. the quantity that must stay flat as
-        the population grows for the million-UE headline to be honest.
+        ``wall_s ÷ n_ues``, nothing normalized away: this is the number
+        that must *fall* as shards go up for scaling to be real, and
+        the quantity the million-UE headline extrapolates from.  (It
+        used to report ``wall × shards ÷ n_ues``, i.e. summed per-core
+        compute — a number that grows with shard count and hid the
+        anti-scaling; that cost now lives in :attr:`cpu_per_ue_ms`.)
         """
         if self.n_ues <= 0:
             return 0.0
-        return self.wall_s * self.shards / self.n_ues * 1000.0
+        return self.wall_s / self.n_ues * 1000.0
+
+    @property
+    def cpu_per_ue_ms(self) -> float:
+        """Compute milliseconds per UE across all workers.
+
+        ``cpu_s ÷ n_ues`` — how much total CPU one UE costs.  Flat
+        across shard counts when fan-out overhead is low; the gap
+        between this × shards and ``per_ue_ms`` × shards is the
+        scheduler's overhead + idle time.
+        """
+        if self.n_ues <= 0:
+            return 0.0
+        return self.cpu_s / self.n_ues * 1000.0
 
     def as_dict(self) -> dict[str, Any]:
         """JSON-able form (what BENCH_perf.json records)."""
         return {
             "shards": self.shards,
             "n_ues": self.n_ues,
+            "schedule": self.schedule,
+            "chunk_ues": self.chunk_ues,
             "wall_s": self.wall_s,
+            "cpu_s": self.cpu_s,
             "events": self.events,
             "events_per_sec": self.events_per_sec,
             "bytes": self.bytes,
             "bytes_per_sec": self.bytes_per_sec,
             "per_ue_ms": self.per_ue_ms,
+            "cpu_per_ue_ms": self.cpu_per_ue_ms,
             "rss_max_bytes": self.rss_max_bytes,
             "reconciles": self.reconciles,
             "settled": self.settled,
@@ -496,22 +576,25 @@ def scaling_curve(
     config: ScenarioConfig,
     shard_counts: Iterable[int],
     engine_factory=None,
+    schedule: str = "static",
+    chunk_ues: int | None = None,
 ) -> list[ScalingPoint]:
     """Measure the same population cell at several shard counts.
 
-    All points share one uncached engine sized to the widest shard
-    count, and its worker pool is spawned and warmed (interpreter
-    start + module imports) *before* the first timed region — so the
-    curve measures shard compute, not one-off pool setup, and stays
-    monotone even at populations small enough that process spawning
-    would otherwise dominate.  ``engine_factory(shards)`` overrides
-    engine construction per point (tests use this to substitute
-    thread pools); factory-built engines are warmed too when they
-    support it.  Each point times the whole sharded run and records
-    peak shard RSS plus the merged accounting identity.  Every
-    point's merged charging state, metric snapshot, and Algorithm 1
-    settlement are compared byte-for-byte against the first point's
-    (``matches_first``) — the shard-count invariance the
+    All points share one uncached engine (``schedule="static"``) or one
+    work-stealing scheduler pool (``schedule="steal"``) sized to the
+    widest shard count, and its worker pool is spawned and warmed
+    (interpreter start + module imports) *before* the first timed
+    region — so the curve measures shard compute, not one-off pool
+    setup, and stays monotone even at populations small enough that
+    process spawning would otherwise dominate.  ``engine_factory(shards)``
+    overrides engine construction per point on the static path (tests
+    use this to substitute thread pools); factory-built engines are
+    warmed too when they support it.  Each point times the whole
+    sharded run and records peak shard RSS plus the merged accounting
+    identity.  Every point's merged charging state, metric snapshot,
+    and Algorithm 1 settlement are compared byte-for-byte against the
+    first point's (``matches_first``) — the shard-count invariance the
     ``shard-smoke`` CI job gates on.
     """
     counts = list(shard_counts)
@@ -519,12 +602,19 @@ def scaling_curve(
     reference: tuple | None = None
     reference_settled: float | None = None
     shared: CampaignEngine | None = None
-    if engine_factory is None and counts:
+    shared_scheduler = None
+    if schedule == "steal" and counts:
+        from repro.experiments.scheduler import StealingScheduler
+
+        shared_scheduler = StealingScheduler(workers=max(counts))
+        shared_scheduler.warm_up()
+    elif engine_factory is None and counts:
         shared = CampaignEngine(workers=max(counts))
         shared.warm_up()
     try:
         for shards in counts:
-            if shared is not None:
+            engine = None
+            if shared is not None or shared_scheduler is not None:
                 engine = shared
             else:
                 engine = engine_factory(shards)
@@ -532,7 +622,14 @@ def scaling_curve(
                 if warm is not None:
                     warm()
             t0 = time.perf_counter()
-            result = run_sharded_scenario(config, shards, engine=engine)
+            result = run_sharded_scenario(
+                config,
+                shards,
+                engine=engine,
+                schedule=schedule,
+                chunk_ues=chunk_ues,
+                scheduler=shared_scheduler,
+            )
             wall = time.perf_counter() - t0
             settled = charge_with_scheme(
                 result, ChargingScheme.TLC_OPTIMAL, seed=config.seed
@@ -571,9 +668,14 @@ def scaling_curve(
                         state == reference
                         and settled == reference_settled
                     ),
+                    cpu_s=sharding["compute_seconds"],
+                    schedule=sharding.get("schedule", "static"),
+                    chunk_ues=sharding.get("chunk_ues"),
                 )
             )
     finally:
         if shared is not None:
             shared.close()
+        if shared_scheduler is not None:
+            shared_scheduler.close()
     return points

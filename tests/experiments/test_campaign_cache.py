@@ -27,7 +27,11 @@ from repro.experiments.confighash import (
     config_key,
     stable_form,
 )
-from repro.experiments.scenario import ScenarioConfig, run_scenario
+from repro.experiments.scenario import (
+    PopulationGroup,
+    ScenarioConfig,
+    run_scenario,
+)
 
 
 class Color(enum.Enum):
@@ -116,7 +120,7 @@ class TestKeyFormatPin:
             '"loss_weight":{"__float__":"0x1.0000000000000p-1"},'
             '"mean_outage":{"__float__":"0x1.ee147ae147ae1p+0"},'
             '"mode":"packet","n_ues":1,'
-            '"operator_clock_std":null,'
+            '"operator_clock_std":null,"population":null,'
             '"rss_dbm":{"__float__":"-0x1.6800000000000p+6"},'
             '"seed":7,"telemetry":false,"trace":false,"trace_path":null}'
         )
@@ -126,11 +130,11 @@ class TestKeyFormatPin:
         key = config_key(
             "repro.experiments.scenario.run_scenario",
             cfg,
-            "tlc-campaign-v5",
+            "tlc-campaign-v6",
         )
         assert key == (
-            "17859c44999a7acc6189d2c87e76f14e"
-            "9284c01523017118fb5bd9bc772b4f43"
+            "9c2e0471b890cee88ec8a0b2602749b3"
+            "6e7b27f83e24c461b9c6b18f8a7896d2"
         )
 
     def test_task_key_matches_config_key(self):
@@ -165,6 +169,7 @@ class TestKeySensitivity:
             trace_path="/tmp/trace.jsonl",
             mode="fluid",
             n_ues=2,
+            population=(PopulationGroup(count=1, rss_dbm=-95.0),),
         )
         # Cover every field, so a new field cannot silently escape the key.
         assert set(perturbations) == {

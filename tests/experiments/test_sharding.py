@@ -249,6 +249,45 @@ def test_n_ues_validation():
         ScenarioConfig(n_ues=2.0)
 
 
+# -- schedule routing ---------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "scenario", GRID, ids=[c.app + "-" + c.mode for c in GRID]
+)
+def test_steal_schedule_matches_in_process_fold(scenario):
+    """The work-stealing path merges to the byte-identical cell."""
+    reference = run_population(scenario)
+    stolen = run_sharded_scenario(
+        scenario, 2, schedule="steal", chunk_ues=2
+    )
+    assert merged_state(stolen) == merged_state(reference)
+    sharding = stolen.extras["sharding"]
+    assert sharding["schedule"] == "steal"
+    assert sharding["chunk_ues"] == 2
+    assert sharding["n_chunks"] == 3
+    done = [j for j in sharding["jobs"] if j["status"] == "done"]
+    assert len(done) == 3
+    # The scheduler ships the config once per worker, not per chunk.
+    assert sharding["dispatch_bytes"] < sharding["static_dispatch_bytes"]
+
+
+def test_unknown_schedule_rejected():
+    with pytest.raises(ValueError, match="schedule"):
+        run_sharded_scenario(GRID[0], 2, schedule="round-robin")
+
+
+def test_chunk_ues_requires_steal_schedule():
+    with pytest.raises(ValueError, match="chunk_ues"):
+        run_sharded_scenario(GRID[0], 2, chunk_ues=2)
+
+
+def test_steal_schedule_rejects_trace_sinks():
+    traced = replace(GRID[0], trace=True)
+    with pytest.raises(ValueError, match="trace"):
+        run_sharded_scenario(traced, 2, schedule="steal")
+
+
 # -- scaling curve ------------------------------------------------------
 
 
@@ -267,3 +306,39 @@ def test_scaling_curve_reports_invariant_points():
         assert d["events_per_sec"] == pytest.approx(
             point.events / point.wall_s
         )
+
+
+def test_scaling_curve_over_the_stealing_scheduler():
+    scenario = replace(GRID[1], n_ues=5)
+    points = scaling_curve(scenario, (1, 2), schedule="steal", chunk_ues=1)
+    assert [p.shards for p in points] == [1, 2]
+    for point in points:
+        assert point.matches_first
+        assert point.reconciles
+        assert point.schedule == "steal"
+        assert point.chunk_ues == 1
+        assert point.cpu_s > 0
+
+
+def test_per_ue_ms_is_wall_based_and_cpu_cost_is_separate():
+    """The ISSUE 10 satellite: ``per_ue_ms`` used to report summed
+    per-shard compute normalized by parallelism (``wall × shards``),
+    which *grows* with shard count and hid the anti-scaling.  It is
+    wall-clock per UE now; the summed compute cost lives in
+    ``cpu_per_ue_ms``."""
+    from repro.experiments.sharding import ScalingPoint
+
+    point = ScalingPoint(
+        shards=8, n_ues=1000, wall_s=2.0, events=1, bytes=1,
+        rss_max_bytes=1, reconciles=True, counted=0.0, received=0.0,
+        total_losses=0.0, settled=0.0, legacy_charged=0.0,
+        cpu_s=12.0, schedule="steal", chunk_ues=16,
+    )
+    assert point.per_ue_ms == pytest.approx(2.0)        # wall / n_ues
+    assert point.cpu_per_ue_ms == pytest.approx(12.0)   # cpu / n_ues
+    d = point.as_dict()
+    assert d["per_ue_ms"] == point.per_ue_ms
+    assert d["cpu_per_ue_ms"] == point.cpu_per_ue_ms
+    assert d["cpu_s"] == 12.0
+    assert d["schedule"] == "steal"
+    assert d["chunk_ues"] == 16
